@@ -1,0 +1,91 @@
+//! The elsA stand-in (§4.3): a hand-optimized implicit CFD recipe.
+//!
+//! elsA is ONERA's proprietary Fortran/C framework; the paper reports
+//! that it applies "very similar optimization recipes" by hand
+//! (sub-domain parallelism, fusion, L3 cache blocking, vectorization)
+//! and is optimized for single-socket OpenMP execution (results are
+//! reported up to 22 threads only, beyond which a hybrid MPI/OpenMP
+//! scheme would be used).
+//!
+//! The stand-in therefore (i) reuses the same LU-SGS numerical method
+//! from `instencil-solvers` (functional path), and (ii) derives its cost
+//! configuration from the *same* measured op mix as the generated code,
+//! with a small hand-tuning factor and the single-socket restriction —
+//! expressing the paper's parity claim: generated code replicates manual
+//! optimization.
+
+use instencil_machine::cost::RunConfig;
+use instencil_machine::topology::Machine;
+
+/// Maximum threads the elsA OpenMP configuration uses (one socket).
+pub const ELSA_MAX_THREADS: usize = 22;
+
+/// Relative efficiency of the hand-tuned implementation against the
+/// generated pipeline at equal recipe (slightly better on tiny counts
+/// thanks to years of manual tuning).
+pub const HAND_TUNING_FACTOR: f64 = 0.96;
+
+/// Builds the elsA cost configuration from the generated pipeline's
+/// prototype. Returns `None` above the single-socket thread limit
+/// (matching the paper's Fig. 15, which stops the elsA series at 22).
+pub fn elsa_run_config(m: &Machine, proto: &RunConfig, threads: usize) -> Option<RunConfig> {
+    if threads > ELSA_MAX_THREADS {
+        return None;
+    }
+    let mut cfg = proto.clone();
+    cfg.threads = threads;
+    // Same recipe: sub-domain parallelism + fusion + blocking + AVX-512.
+    cfg.costs.scalar_flops *= HAND_TUNING_FACTOR;
+    cfg.costs.vector_flops *= HAND_TUNING_FACTOR;
+    // Manual Fortran kernels carry slightly less loop bookkeeping.
+    cfg.costs.control_ops = (cfg.costs.control_ops - 1.0).max(0.0);
+    let _ = m;
+    Some(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_machine::cost::{estimate_sweep, PerPointCosts};
+    use instencil_machine::topology::xeon_6152_dual;
+
+    fn proto() -> RunConfig {
+        let mut cfg = RunConfig::new(vec![64, 64, 64], vec![8, 16, 64], vec![4, 4, 64]);
+        cfg.nb_var = 5;
+        cfg.streams = 3.0;
+        cfg.costs = PerPointCosts {
+            scalar_flops: 80.0,
+            vector_flops: 30.0,
+            mem_ops: 40.0,
+            vector_mem_ops: 20.0,
+            control_ops: 10.0,
+        };
+        cfg.deps = vec![vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]];
+        cfg
+    }
+
+    #[test]
+    fn single_socket_limit() {
+        let m = xeon_6152_dual();
+        assert!(elsa_run_config(&m, &proto(), 22).is_some());
+        assert!(elsa_run_config(&m, &proto(), 23).is_none());
+    }
+
+    #[test]
+    fn parity_with_generated_pipeline() {
+        // The paper's claim: performance is similar. Within 10%.
+        let m = xeon_6152_dual();
+        for threads in [1, 4, 11, 22] {
+            let mut gen = proto();
+            gen.threads = threads;
+            let elsa = elsa_run_config(&m, &proto(), threads).unwrap();
+            let tg = estimate_sweep(&m, &gen).total_s;
+            let te = estimate_sweep(&m, &elsa).total_s;
+            let ratio = tg / te;
+            assert!(
+                (0.9..=1.15).contains(&ratio),
+                "parity broken at {threads} threads: ratio {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! `instencil-baseline` — the comparison systems of the paper's
+//! evaluation, rebuilt as models + functional checks:
+//!
+//! * [`pluto`] — the Pluto polyhedral compiler's two `#pragma scop`
+//!   placements (§4.1): skewed wavefronts, parallelogram tiles, scalar
+//!   in-place stencils, free 2-D tile autotuning;
+//! * [`elsa`] — the hand-optimized industrial CFD solver of §4.3,
+//!   modeled as the same recipe with a manual-tuning factor and the
+//!   single-socket (22-thread) OpenMP restriction.
+//!
+//! See DESIGN.md §2 for the substitution rationale.
+
+pub mod elsa;
+pub mod pluto;
+
+pub use elsa::{elsa_run_config, ELSA_MAX_THREADS};
+pub use pluto::{pluto_autotune, pluto_run_config, scalarized, PlutoVariant};

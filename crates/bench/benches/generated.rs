@@ -1,0 +1,46 @@
+//! Criterion benches of generated-code interpretation: one sweep of each
+//! compiled kernel variant on a profiling-scale domain. These are the
+//! host-measurable counterparts of Figs. 11/12 — the scalar-vs-vector op
+//! mix differences they exhibit feed the machine model that regenerates
+//! the figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use instencil_bench::cases::paper_cases;
+use instencil_core::pipeline::{compile, PipelineOptions};
+use instencil_exec::{buffer::BufferView, Interpreter, RtVal};
+
+fn bench_generated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generated-sweeps");
+    group.sample_size(10);
+    for case in paper_cases() {
+        let module = case.module();
+        for (label, vf) in [("scalar", None), ("vf8", Some(8))] {
+            let opts =
+                PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
+                    .fuse(case.name == "heat3d")
+                    .vectorize(vf);
+            let compiled = compile(&module, &opts).unwrap();
+            let mut shape = vec![case.nb_var];
+            shape.extend(&case.profile_domain);
+            let buffers: Vec<BufferView> = (0..case.n_buffers)
+                .map(|_| BufferView::alloc(&shape))
+                .collect();
+            buffers[0].fill(1.0);
+            group.bench_with_input(
+                BenchmarkId::new(label, case.name),
+                &compiled.module,
+                |b, m| {
+                    b.iter(|| {
+                        let mut interp = Interpreter::new();
+                        let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+                        interp.call(m, case.func, args).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generated);
+criterion_main!(benches);

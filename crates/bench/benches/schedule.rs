@@ -1,0 +1,54 @@
+//! Criterion benches of the Eq. (3) wavefront schedule computation —
+//! the paper argues its `O(n_blocks × |L|)` cost is negligible (§2.3);
+//! these benches quantify that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use instencil_pattern::blockdeps::block_dependences;
+use instencil_pattern::{presets, WavefrontSchedule};
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq3-schedule");
+    // Grids of the paper's production runs: 2000/64 ≈ 32², 4000×(1×128)
+    // rows, 256³/(8×16×128).
+    type Case = (&'static str, Vec<usize>, Vec<Vec<i64>>);
+    let cases: Vec<Case> = vec![
+        (
+            "gs5-32x32",
+            vec![32, 32],
+            block_dependences(&presets::gauss_seidel_5pt(), &[64, 64]).unwrap(),
+        ),
+        (
+            "gs9-rows-4000x32",
+            vec![4000, 32],
+            block_dependences(&presets::gauss_seidel_9pt(), &[1, 128]).unwrap(),
+        ),
+        (
+            "heat3d-64x16x2",
+            vec![64, 16, 2],
+            block_dependences(&presets::heat3d_gauss_seidel(), &[8, 16, 128]).unwrap(),
+        ),
+    ];
+    for (name, grid, deps) in &cases {
+        group.bench_with_input(BenchmarkId::new("compute", name), grid, |b, grid| {
+            b.iter(|| WavefrontSchedule::compute(grid, deps));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_deps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1-corner-analysis");
+    for (name, p, tiles) in [
+        ("gs9", presets::gauss_seidel_9pt(), vec![1usize, 128]),
+        ("gs9o2", presets::gauss_seidel_9pt_order2(), vec![64, 256]),
+        ("heat3d", presets::heat3d_gauss_seidel(), vec![4, 26, 256]),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| block_dependences(&p, &tiles).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule, bench_block_deps);
+criterion_main!(benches);

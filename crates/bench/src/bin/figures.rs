@@ -1,0 +1,241 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p instencil-bench --release --bin figures -- all
+//! cargo run -p instencil-bench --release --bin figures -- fig11 fig12
+//! ```
+//!
+//! Targets: `table1 table2 table3 fig8 fig11 fig12 fig13 fig15 jacobi all`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use instencil_bench::cases::{jacobi_case, paper_cases};
+use instencil_bench::figures::{
+    default_machine, fig13, fig15, fig8_text, jacobi_comparison, speedup_figure, table2, table3,
+};
+
+/// Writes a CSV file next to the printed output when `--out DIR` is given.
+fn write_csv(out: &Option<PathBuf>, name: &str, header: &str, rows: &[String]) {
+    let Some(dir) = out else { return };
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+fn hr(title: &str) {
+    println!("\n================ {title} ================");
+}
+
+fn run_table1() {
+    hr("Table 1: Gauss-Seidel kernel test case configurations");
+    println!("{:<24} {:<20} {:>10}", "Case", "Domain size", "Iterations");
+    for c in paper_cases() {
+        let dims: Vec<String> = c.domain.iter().map(ToString::to_string).collect();
+        println!(
+            "{:<24} {:<20} {:>10}",
+            c.display,
+            dims.join(" x "),
+            c.iterations
+        );
+    }
+    let j = jacobi_case();
+    let dims: Vec<String> = j.domain.iter().map(ToString::to_string).collect();
+    println!(
+        "{:<24} {:<20} {:>10}   (§4.1 completeness)",
+        j.display,
+        dims.join(" x "),
+        j.iterations
+    );
+}
+
+fn fmt_tile(t: &[usize]) -> String {
+    t.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" x ")
+}
+
+fn run_table2() {
+    hr("Table 2: MLIR tile sizes (autotuned under the §2.1 capacity rule)");
+    let m = default_machine();
+    println!(
+        "{:<24} {:<18} {:<18}",
+        "Case", "Tile 1-10 threads", "Tile 44 threads"
+    );
+    for row in table2(&m) {
+        println!(
+            "{:<24} {:<18} {:<18}",
+            row.kernel,
+            fmt_tile(&row.tile_1_10),
+            fmt_tile(&row.tile_44)
+        );
+    }
+}
+
+fn run_table3() {
+    hr("Table 3: Pluto tile sizes (autotuned, parallelogram/no pinning)");
+    let m = default_machine();
+    println!(
+        "{:<24} {:<18} {:<18}",
+        "Case", "Tile 1-10 threads", "Tile 44 threads"
+    );
+    for row in table3(&m) {
+        println!(
+            "{:<24} {:<18} {:<18}",
+            row.kernel,
+            fmt_tile(&row.tile_1_10),
+            fmt_tile(&row.tile_44)
+        );
+    }
+}
+
+fn run_fig8() {
+    hr("Figure 8: stencil patterns of the four use cases");
+    println!("{}", fig8_text());
+}
+
+fn run_speedups(threads: usize, title: &str, out: &Option<PathBuf>, csv_name: &str) {
+    hr(title);
+    let m = default_machine();
+    let rows = speedup_figure(&m, threads);
+    write_csv(
+        out,
+        csv_name,
+        "kernel,variant,threads,speedup",
+        &rows
+            .iter()
+            .map(|r| format!("{},{},{},{:.4}", r.kernel, r.variant, r.threads, r.speedup))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "{:<24} {:<12} {:>8} {:>10}",
+        "Case", "Variant", "Threads", "Speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:<12} {:>8} {:>9.2}x",
+            r.kernel, r.variant, r.threads, r.speedup
+        );
+    }
+}
+
+fn run_fig13(out: &Option<PathBuf>) {
+    hr("Figure 13: transformation ablation, heat 3D 514^3 (§4.2)");
+    let m = default_machine();
+    let threads = [1usize, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44];
+    let series = fig13(&m, &threads);
+    let mut rows = Vec::new();
+    for s in &series {
+        for (t, sp) in &s.points {
+            rows.push(format!("{},{t},{sp:.4}", s.label));
+        }
+    }
+    write_csv(out, "fig13", "variant,threads,speedup", &rows);
+    print!("{:<38}", "Variant \\ threads");
+    for t in threads {
+        print!("{t:>7}");
+    }
+    println!();
+    for s in &series {
+        print!("{:<38}", s.label);
+        for (_, sp) in &s.points {
+            print!("{sp:>7.1}");
+        }
+        println!();
+    }
+}
+
+fn run_fig15(out: &Option<PathBuf>) {
+    hr("Figure 15: Euler LU-SGS 512^3 — t_cell (us) per iteration per thread");
+    let m = default_machine();
+    let threads = [1usize, 2, 4, 8, 11, 16, 22, 28, 33, 40, 44];
+    let points = fig15(&m, &threads);
+    write_csv(
+        out,
+        "fig15",
+        "threads,mlir_tcell_us,elsa_tcell_us",
+        &points
+            .iter()
+            .map(|p| match p.elsa_us {
+                Some(e) => format!("{},{:.6},{:.6}", p.threads, p.mlir_us, e),
+                None => format!("{},{:.6},", p.threads, p.mlir_us),
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{:>8} {:>12} {:>12}", "Threads", "This paper", "elsA");
+    for p in &points {
+        match p.elsa_us {
+            Some(e) => println!("{:>8} {:>12.3} {:>12.3}", p.threads, p.mlir_us, e),
+            None => println!("{:>8} {:>12.3} {:>12}", p.threads, p.mlir_us, "-"),
+        }
+    }
+    println!("(elsA is reported up to 22 threads: single-socket OpenMP, as in the paper)");
+}
+
+fn run_jacobi() {
+    hr("§4.1 Jacobi (out-of-place) comparison");
+    let m = default_machine();
+    let (p1, p2) = jacobi_comparison(&m, 10);
+    println!(
+        "MLIR reaches {:.0}% of C+Pluto 1 and {:.0}% of C+Pluto 2",
+        p1 * 100.0,
+        p2 * 100.0
+    );
+    println!("(paper: about 90% and 110%)");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out: Option<PathBuf> = args.iter().position(|a| a == "--out").map(|i| {
+        let dir = args.get(i + 1).expect("--out needs a directory").clone();
+        args.drain(i..=i + 1);
+        PathBuf::from(dir)
+    });
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "table2", "table3", "fig8", "fig11", "fig12", "fig13", "fig15", "jacobi",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for t in targets {
+        match t {
+            "table1" => run_table1(),
+            "table2" => run_table2(),
+            "table3" => run_table3(),
+            "fig8" => run_fig8(),
+            "fig11" => {
+                run_speedups(
+                    1,
+                    "Figure 11 (left): speedup vs sequential, 1 thread",
+                    &out,
+                    "fig11_1thread",
+                );
+                run_speedups(
+                    10,
+                    "Figure 11 (right): speedup vs sequential, 10 threads",
+                    &out,
+                    "fig11_10threads",
+                );
+            }
+            "fig12" => run_speedups(
+                44,
+                "Figure 12: autotuned speedup for 44 threads",
+                &out,
+                "fig12",
+            ),
+            "fig13" => run_fig13(&out),
+            "fig15" => run_fig15(&out),
+            "jacobi" => run_jacobi(),
+            other => eprintln!(
+                "unknown target `{other}` (valid: table1..3, fig8/11/12/13/15, jacobi, all)"
+            ),
+        }
+    }
+}

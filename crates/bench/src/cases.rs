@@ -1,0 +1,196 @@
+//! The evaluation workloads of the paper (Table 1) plus the tile-size
+//! presets of Table 2.
+
+use instencil_ir::Module;
+use instencil_pattern::{presets, StencilPattern};
+
+/// One row of Table 1 plus the data needed to compile and model it.
+#[derive(Debug)]
+pub struct KernelCase {
+    /// Short identifier used in figure output.
+    pub name: &'static str,
+    /// Paper's display name.
+    pub display: &'static str,
+    /// Production domain size (spatial, Table 1).
+    pub domain: Vec<usize>,
+    /// Production iteration count (Table 1).
+    pub iterations: usize,
+    /// Stencil pattern of the kernel.
+    pub pattern: StencilPattern,
+    /// Tile sizes for 1–10 threads (Table 2, MLIR).
+    pub tile_1_10: Vec<usize>,
+    /// Tile sizes for 44 threads (Table 2, MLIR).
+    pub tile_44: Vec<usize>,
+    /// Sub-domain sizes used when modeling (multiples of the tiles).
+    pub subdomain_1_10: Vec<usize>,
+    /// Sub-domain sizes for 44 threads.
+    pub subdomain_44: Vec<usize>,
+    /// Small domain used when *profiling* the generated code by
+    /// interpretation (same code structure, fewer points).
+    pub profile_domain: Vec<usize>,
+    /// Profiling sub-domain/tile sizes (same vector structure).
+    pub profile_subdomain: Vec<usize>,
+    /// Profiling tiles.
+    pub profile_tile: Vec<usize>,
+    /// Field count.
+    pub nb_var: usize,
+    /// Global tensors streamed per sweep.
+    pub streams: f64,
+    /// Kernel function symbol.
+    pub func: &'static str,
+    /// Number of state buffers the kernel takes (shape `[nb_var, domain...]`).
+    pub n_buffers: usize,
+}
+
+impl KernelCase {
+    /// Builds the tensor-level module of this case.
+    pub fn module(&self) -> Module {
+        use instencil_core::kernels as k;
+        match self.name {
+            "gs5" => k::gauss_seidel_5pt_module(),
+            "gs9" => k::gauss_seidel_9pt_module(),
+            "gs9o2" => k::gauss_seidel_9pt_order2_module(),
+            "heat3d" => k::heat3d_module(),
+            "jacobi5" => k::jacobi_5pt_module(),
+            other => panic!("unknown case {other}"),
+        }
+    }
+}
+
+/// The four §4.1 kernels (Table 1) with the Table 2 tile presets.
+pub fn paper_cases() -> Vec<KernelCase> {
+    vec![
+        KernelCase {
+            name: "gs5",
+            display: "Seidel 2D 5p",
+            domain: vec![2000, 2000],
+            iterations: 500,
+            pattern: presets::gauss_seidel_5pt(),
+            tile_1_10: vec![64, 256],
+            tile_44: vec![32, 64],
+            subdomain_1_10: vec![128, 512],
+            subdomain_44: vec![64, 128],
+            profile_domain: vec![34, 66],
+            profile_subdomain: vec![16, 32],
+            profile_tile: vec![8, 32],
+            nb_var: 1,
+            streams: 3.0,
+            func: "gs5",
+            n_buffers: 2,
+        },
+        KernelCase {
+            name: "gs9",
+            display: "Seidel 2D 9p",
+            domain: vec![4000, 4000],
+            iterations: 200,
+            pattern: presets::gauss_seidel_9pt(),
+            tile_1_10: vec![1, 128],
+            tile_44: vec![1, 128],
+            subdomain_1_10: vec![1, 512],
+            subdomain_44: vec![1, 256],
+            profile_domain: vec![18, 66],
+            profile_subdomain: vec![1, 32],
+            profile_tile: vec![1, 32],
+            nb_var: 1,
+            streams: 3.0,
+            func: "gs9",
+            n_buffers: 2,
+        },
+        KernelCase {
+            name: "gs9o2",
+            display: "Seidel 2D 9p 2nd-ord",
+            domain: vec![2000, 2000],
+            iterations: 500,
+            pattern: presets::gauss_seidel_9pt_order2(),
+            tile_1_10: vec![64, 256],
+            tile_44: vec![64, 128],
+            subdomain_1_10: vec![128, 512],
+            subdomain_44: vec![64, 256],
+            profile_domain: vec![36, 68],
+            profile_subdomain: vec![16, 32],
+            profile_tile: vec![8, 32],
+            nb_var: 1,
+            streams: 3.0,
+            func: "gs9o2",
+            n_buffers: 2,
+        },
+        KernelCase {
+            name: "heat3d",
+            display: "heat 3D Seidel 6p",
+            domain: vec![256, 256, 256],
+            iterations: 50,
+            pattern: presets::heat3d_gauss_seidel(),
+            tile_1_10: vec![4, 26, 256],
+            tile_44: vec![4, 26, 128],
+            subdomain_1_10: vec![8, 26, 64],
+            subdomain_44: vec![8, 13, 64],
+            profile_domain: vec![10, 12, 34],
+            profile_subdomain: vec![4, 6, 16],
+            profile_tile: vec![2, 3, 16],
+            nb_var: 1,
+            streams: 7.0, // T r/w, dT r/w, Rhs r/w + halo re-reads
+            func: "heat_step",
+            n_buffers: 3,
+        },
+    ]
+}
+
+/// The out-of-place Jacobi case of §4.1's completeness experiment.
+pub fn jacobi_case() -> KernelCase {
+    KernelCase {
+        name: "jacobi5",
+        display: "Jacobi 2D 5p",
+        domain: vec![2000, 2000],
+        iterations: 500,
+        pattern: presets::jacobi_5pt(),
+        tile_1_10: vec![64, 256],
+        tile_44: vec![32, 128],
+        subdomain_1_10: vec![128, 512],
+        subdomain_44: vec![64, 256],
+        profile_domain: vec![34, 66],
+        profile_subdomain: vec![16, 32],
+        profile_tile: vec![8, 32],
+        nb_var: 1,
+        streams: 4.0, // X, Y distinct + B
+        func: "jacobi5",
+        n_buffers: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_pattern::tiling::is_legal_tiling;
+
+    #[test]
+    fn table1_matches_paper() {
+        let cases = paper_cases();
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].domain, vec![2000, 2000]);
+        assert_eq!(cases[0].iterations, 500);
+        assert_eq!(cases[1].domain, vec![4000, 4000]);
+        assert_eq!(cases[1].iterations, 200);
+        assert_eq!(cases[3].domain, vec![256, 256, 256]);
+        assert_eq!(cases[3].iterations, 50);
+    }
+
+    #[test]
+    fn table2_tiles_are_legal() {
+        for c in paper_cases() {
+            assert!(is_legal_tiling(&c.pattern, &c.tile_1_10), "{}", c.name);
+            assert!(is_legal_tiling(&c.pattern, &c.tile_44), "{}", c.name);
+            assert!(is_legal_tiling(&c.pattern, &c.profile_tile), "{}", c.name);
+            assert!(is_legal_tiling(&c.pattern, &c.subdomain_1_10), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn modules_build_and_verify() {
+        for c in paper_cases() {
+            let m = c.module();
+            assert!(m.verify().is_ok(), "{}", c.name);
+            assert!(m.lookup(c.func).is_some(), "{}", c.name);
+        }
+        assert!(jacobi_case().module().verify().is_ok());
+    }
+}

@@ -1,0 +1,16 @@
+//! `instencil-bench` — the benchmark harness regenerating every table and
+//! figure of the paper's evaluation (§4).
+//!
+//! * [`cases`] — Table 1 workloads + Table 2 tile presets;
+//! * [`profile`] — measures per-point op mixes of the actual compiled IR;
+//! * [`figures`] — regenerates Tables 1–3, Figs. 8/11/12/13/15 and the
+//!   Jacobi comparison through the machine model;
+//! * `figures` binary — CLI entry (`cargo run -p instencil-bench --release
+//!   --bin figures -- all`);
+//! * Criterion benches measure the real, host-measurable components
+//!   (reference kernels, schedule computation, compilation, generated-code
+//!   interpretation).
+
+pub mod cases;
+pub mod figures;
+pub mod profile;

@@ -1,0 +1,143 @@
+//! Measuring per-point op mixes of the *actual generated code*.
+//!
+//! The compiled module is interpreted on a scaled-down domain with the
+//! same vector structure (inner tile extents remain multiples of the
+//! vector factor), and the interpreter's dynamic counters are normalized
+//! by the number of interior points. The machine model consumes the
+//! result, so every figure derives from real compiled IR.
+
+use instencil_core::pipeline::{compile, CompiledModule, PipelineOptions};
+use instencil_exec::buffer::BufferView;
+use instencil_exec::{Interpreter, RtVal};
+use instencil_machine::cost::PerPointCosts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cases::KernelCase;
+
+/// A measured profile of one compiled kernel variant.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Per-interior-point op mix.
+    pub costs: PerPointCosts,
+    /// Interior points the measurement covered.
+    pub points: f64,
+    /// Whether the variant was vectorized by the pipeline.
+    pub vectorized: bool,
+}
+
+fn random_buffers(case: &KernelCase, seed: u64) -> Vec<BufferView> {
+    let mut shape = vec![case.nb_var];
+    shape.extend(&case.profile_domain);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..case.n_buffers)
+        .map(|_| {
+            let len: usize = shape.iter().product();
+            let data: Vec<f64> = (0..len).map(|_| rng.gen_range(0.1..1.0)).collect();
+            BufferView::from_data(&shape, data)
+        })
+        .collect()
+}
+
+/// Interior points of the profiling domain (radius-1 margins are a good
+/// enough normalization for all four kernels).
+fn interior_points(case: &KernelCase) -> f64 {
+    case.profile_domain
+        .iter()
+        .map(|&n| (n - 2) as f64)
+        .product()
+}
+
+/// Compiles the case with the given pipeline settings (geometry taken
+/// from the case's profiling presets) and measures one sweep.
+///
+/// # Panics
+/// Panics when compilation or interpretation fails (both indicate a bug
+/// in the pipeline, not in the workload).
+pub fn profile_case(case: &KernelCase, parallel: bool, fuse: bool, vf: Option<usize>) -> Profile {
+    let module = case.module();
+    let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
+        .parallel(parallel)
+        .fuse(fuse)
+        .vectorize(vf);
+    let compiled: CompiledModule =
+        compile(&module, &opts).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+    let buffers = random_buffers(case, 2026);
+    let mut interp = Interpreter::new();
+    let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+    interp
+        .call(&compiled.module, case.func, args)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+    let s = interp.stats;
+    let points = interior_points(case);
+    Profile {
+        costs: PerPointCosts {
+            scalar_flops: s.scalar_flops as f64 / points,
+            vector_flops: s.vector_flops as f64 / points,
+            mem_ops: (s.loads + s.stores) as f64 / points,
+            vector_mem_ops: (s.vector_loads + s.vector_stores) as f64 / points,
+            control_ops: s.index_ops as f64 / points,
+        },
+        points,
+        vectorized: compiled.stats.vectorized > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::paper_cases;
+
+    #[test]
+    fn vectorized_profile_has_fewer_scalar_flops() {
+        let case = &paper_cases()[0]; // gs5
+        let scalar = profile_case(case, true, false, None);
+        let vector = profile_case(case, true, false, Some(8));
+        assert!(!scalar.vectorized);
+        assert!(vector.vectorized);
+        assert!(vector.costs.vector_flops > 0.0);
+        assert!(
+            vector.costs.scalar_flops < scalar.costs.scalar_flops,
+            "partial vectorization must shift flops into vector units: {:?} vs {:?}",
+            vector.costs,
+            scalar.costs
+        );
+        // Effective useful work is comparable (same kernel!): the
+        // vectorized variant re-executes the serial chain per lane, so
+        // allow up to 2.5x of the scalar flops when lanes are expanded.
+        let eff_scalar = scalar.costs.scalar_flops;
+        let eff_vector = vector.costs.scalar_flops + vector.costs.vector_flops * 8.0;
+        assert!(
+            eff_vector < 2.5 * eff_scalar && eff_vector > 0.5 * eff_scalar,
+            "effective flops sanity: {eff_vector} vs {eff_scalar}"
+        );
+    }
+
+    #[test]
+    fn gs5_scalar_profile_matches_hand_count() {
+        // gs5 scalar: per point ≈ 5 neighbor adds + b add + 1 mul = ~6-7
+        // flops, 6 loads + 1 store.
+        let case = &paper_cases()[0];
+        let p = profile_case(case, false, false, None);
+        assert!(
+            (5.0..9.0).contains(&p.costs.scalar_flops),
+            "flops {:.2}",
+            p.costs.scalar_flops
+        );
+        assert!(
+            (6.0..9.5).contains(&p.costs.mem_ops),
+            "mem {:.2}",
+            p.costs.mem_ops
+        );
+    }
+
+    #[test]
+    fn heat3d_profile_covers_three_ops() {
+        let case = &paper_cases()[3];
+        let p = profile_case(case, true, true, Some(8));
+        // Three fused/tiled ops: meaningfully more work per point than a
+        // single stencil.
+        let eff = p.costs.scalar_flops + p.costs.vector_flops * 8.0;
+        assert!(eff > 10.0, "heat3d per-point flops {eff}");
+    }
+}

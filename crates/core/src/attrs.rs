@@ -1,0 +1,60 @@
+//! Conversions between [`StencilPattern`] and the IR attribute encoding.
+
+use instencil_ir::Attribute;
+use instencil_pattern::{PatternError, StencilPattern};
+
+/// Encodes a pattern as the dense `stencil` attribute of `cfd.stencil`.
+pub fn pattern_to_attr(pattern: &StencilPattern) -> Attribute {
+    Attribute::DenseI8 {
+        shape: pattern.shape().to_vec(),
+        data: pattern.data().to_vec(),
+    }
+}
+
+/// Decodes the dense `stencil` attribute back into a validated pattern.
+///
+/// # Errors
+/// Returns the underlying [`PatternError`] when the attribute payload does
+/// not form a valid pattern, or a synthetic `BadValue` when the attribute
+/// has the wrong kind.
+pub fn attr_to_pattern(attr: &Attribute) -> Result<StencilPattern, PatternError> {
+    match attr.as_dense_i8() {
+        Some((shape, data)) => StencilPattern::new(shape.to_vec(), data.to_vec()),
+        None => Err(PatternError::BadValue(i8::MAX)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_pattern::presets;
+
+    #[test]
+    fn roundtrip_all_presets() {
+        for p in [
+            presets::gauss_seidel_5pt(),
+            presets::gauss_seidel_9pt(),
+            presets::gauss_seidel_9pt_order2(),
+            presets::heat3d_gauss_seidel(),
+            presets::jacobi_5pt(),
+        ] {
+            let attr = pattern_to_attr(&p);
+            let back = attr_to_pattern(&attr).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn wrong_attr_kind_fails() {
+        assert!(attr_to_pattern(&Attribute::Int(3)).is_err());
+    }
+
+    #[test]
+    fn corrupted_payload_fails() {
+        let attr = Attribute::DenseI8 {
+            shape: vec![3, 3],
+            data: vec![0; 8],
+        };
+        assert!(attr_to_pattern(&attr).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Tensor-level kernel modules for the paper's evaluation use cases
+//! (§4.1, Fig. 8), built with the `cfd` dialect.
+//!
+//! Every kernel function performs **one sweep** (one iteration of Eq. 2);
+//! the execution driver calls it repeatedly, which matches the paper's
+//! parallelization granularity (wavefronts within a sweep, a barrier
+//! between sweeps).
+//!
+//! Conventions:
+//! * tensors are rank `k+1` with a leading field dimension of extent
+//!   `nb_var` (1 for the scalar kernels);
+//! * kernels named `*_module` return a module whose function takes the
+//!   working tensors as arguments and returns the updated tensors;
+//! * the Gauss-Seidel kernels pass the same tensor as `X` and `Y_init`,
+//!   which after bufferization aliases them into the classic single-array
+//!   in-place sweep.
+
+use instencil_ir::{FuncBuilder, Module, Type, ValueId};
+use instencil_pattern::presets;
+
+use crate::ops::{build_pointwise, build_stencil, PointwiseSpec, StencilSpec, StencilYield};
+
+fn t_dyn(rank: usize) -> Type {
+    Type::tensor_dyn(Type::F64, rank)
+}
+
+/// Averaging in-place kernel: `Y[i] = (Σ accessed states + B[i]) · d`,
+/// the shared shape of the paper's three 2-D Gauss-Seidel kernels
+/// (`w = (sum of window) / n_points` in PolyBench's `seidel`).
+fn averaging_kernel(
+    name: &str,
+    pattern: instencil_pattern::StencilPattern,
+    d_value: f64,
+    in_place: bool,
+) -> Module {
+    let rank = pattern.rank() + 1;
+    let mut module = Module::new(name);
+    let args = if in_place {
+        vec![t_dyn(rank), t_dyn(rank)]
+    } else {
+        vec![t_dyn(rank), t_dyn(rank), t_dyn(rank)]
+    };
+    let mut fb = FuncBuilder::new(name, args, vec![t_dyn(rank)]);
+    let w = fb.arg(0);
+    let b = fb.arg(1);
+    let y_init = if in_place { w } else { fb.arg(2) };
+    let spec = StencilSpec::simple(pattern);
+    let y = build_stencil(&mut fb, w, b, &[], y_init, &spec, |fb, view| {
+        let d = fb.const_f64(d_value);
+        let contribs: Vec<Vec<ValueId>> = (0..view.offsets().len())
+            .map(|o| vec![view.state(o, 0)])
+            .collect();
+        StencilYield {
+            d: vec![d],
+            contribs,
+        }
+    });
+    fb.ret(vec![y]);
+    module.push_func(fb.finish());
+    module
+}
+
+/// Use case (a): 5-point 2-D Gauss-Seidel of order 1.
+/// `kernel(W, B) -> W'` with `W' = (cross window sum + B) / 5`.
+pub fn gauss_seidel_5pt_module() -> Module {
+    averaging_kernel("gs5", presets::gauss_seidel_5pt(), 1.0 / 5.0, true)
+}
+
+/// Use case (b): 9-point 2-D Gauss-Seidel of order 1 (full 3×3 window).
+pub fn gauss_seidel_9pt_module() -> Module {
+    averaging_kernel("gs9", presets::gauss_seidel_9pt(), 1.0 / 9.0, true)
+}
+
+/// Use case (c): 9-point 2-D Gauss-Seidel of order 2 (5×5 cross).
+pub fn gauss_seidel_9pt_order2_module() -> Module {
+    averaging_kernel("gs9o2", presets::gauss_seidel_9pt_order2(), 1.0 / 9.0, true)
+}
+
+/// Out-of-place 5-point Jacobi (§4.1 completeness experiment):
+/// `kernel(X, B, Y) -> Y'` — distinct input and output tensors.
+pub fn jacobi_5pt_module() -> Module {
+    averaging_kernel("jacobi5", presets::jacobi_5pt(), 1.0 / 5.0, false)
+}
+
+/// Thermal diffusivity used by the heat-equation kernels.
+pub const HEAT_LAMBDA: f64 = 1.0 / 7.0;
+
+/// Use case (d): one time step of the 3-D heat equation solved with
+/// Gauss-Seidel (paper Figs. 9 and 10). Three chained operations:
+///
+/// 1. `Rhs = Δ T` (a 7-point `linalg.pointwise` finite difference),
+/// 2. `dT = λ (Rhs + Σ_{6 neighbors} dT)` — the in-place `cfd.stencil`,
+/// 3. `T += dT` (pointwise update).
+///
+/// Signature: `heat_step(T, dT, Rhs) -> (T', dT', Rhs')`.
+pub fn heat3d_module() -> Module {
+    let mut module = Module::new("heat3d");
+    let t4 = t_dyn(4);
+    let mut fb = FuncBuilder::new(
+        "heat_step",
+        vec![t4.clone(), t4.clone(), t4.clone()],
+        vec![t4.clone(), t4.clone(), t4.clone()],
+    );
+    let t = fb.arg(0);
+    let dt = fb.arg(1);
+    let rhs0 = fb.arg(2);
+
+    // 1. RHS: the 7-point laplacian of T (Fig. 9, "Compute RHS").
+    let lap_spec = PointwiseSpec {
+        offsets: vec![
+            vec![0, 0, 0, 0],
+            vec![0, -1, 0, 0],
+            vec![0, 1, 0, 0],
+            vec![0, 0, -1, 0],
+            vec![0, 0, 1, 0],
+            vec![0, 0, 0, -1],
+            vec![0, 0, 0, 1],
+        ],
+        interior: vec![0, 1, 1, 1],
+    };
+    let rhs = build_pointwise(&mut fb, &[t, t, t, t, t, t, t], rhs0, &lap_spec, |fb, a| {
+        // (a1 + a2 - 2c) + (a3 + a4 - 2c) + (a5 + a6 - 2c)
+        let six = fb.const_f64(6.0);
+        let c6 = fb.mulf(a[0], six);
+        let s1 = fb.addf(a[1], a[2]);
+        let s2 = fb.addf(a[3], a[4]);
+        let s3 = fb.addf(a[5], a[6]);
+        let s12 = fb.addf(s1, s2);
+        let s = fb.addf(s12, s3);
+        fb.subf(s, c6)
+    });
+
+    // 2. Gauss-Seidel increment: dT = λ (Rhs + Σ neighbors dT), in place.
+    let spec = StencilSpec::simple(presets::heat3d_gauss_seidel());
+    let dt2 = build_stencil(&mut fb, dt, rhs, &[], dt, &spec, |fb, view| {
+        let lambda = fb.const_f64(HEAT_LAMBDA);
+        let zero = fb.const_f64(0.0);
+        let center = view.layout().center_index();
+        let contribs: Vec<Vec<ValueId>> = (0..view.offsets().len())
+            .map(|o| vec![if o == center { zero } else { view.state(o, 0) }])
+            .collect();
+        StencilYield {
+            d: vec![lambda],
+            contribs,
+        }
+    });
+
+    // 3. Update: T += dT.
+    let upd_spec = PointwiseSpec {
+        offsets: vec![vec![0, 0, 0, 0], vec![0, 0, 0, 0]],
+        interior: vec![0, 1, 1, 1],
+    };
+    let t2 = build_pointwise(&mut fb, &[t, dt2], t, &upd_spec, |fb, a| {
+        fb.addf(a[0], a[1])
+    });
+
+    fb.ret(vec![t2, dt2, rhs]);
+    module.push_func(fb.finish());
+    module
+}
+
+/// Successive Overrelaxation (SOR) for the Poisson problem `-Δu = f`
+/// (the paper's headline method besides Gauss-Seidel): one in-place sweep
+///
+/// ```text
+/// u[i,j] ← (1-ω)·u[i,j] + ω/4·(u[i-1,j] + u[i,j-1] + u[i,j+1] + u[i+1,j]) + B[i,j]
+/// ```
+///
+/// where the caller pre-scales `B = ω·h²·f/4`. With `ω = 1` this is plain
+/// Gauss-Seidel. Expressed in Eq. (2) form with `D = 1`, `g_L = g_U = ω/4·w`
+/// and `g_center = (1-ω)·w` (the center reads the not-yet-updated value).
+/// Signature: `sor(U, B) -> U'`.
+pub fn sor_module(omega: f64) -> Module {
+    let mut module = Module::new("sor");
+    let t3 = t_dyn(3);
+    let mut fb = FuncBuilder::new("sor", vec![t3.clone(), t3.clone()], vec![t3]);
+    let u = fb.arg(0);
+    let b = fb.arg(1);
+    let spec = StencilSpec::simple(presets::gauss_seidel_5pt());
+    let y = build_stencil(&mut fb, u, b, &[], u, &spec, move |fb, view| {
+        let one = fb.const_f64(1.0);
+        let w4 = fb.const_f64(omega / 4.0);
+        let om1 = fb.const_f64(1.0 - omega);
+        let center = view.layout().center_index();
+        let contribs: Vec<Vec<ValueId>> = (0..view.offsets().len())
+            .map(|o| {
+                let v = view.state(o, 0);
+                vec![if o == center {
+                    fb.mulf(om1, v)
+                } else {
+                    fb.mulf(w4, v)
+                }]
+            })
+            .collect();
+        StencilYield {
+            d: vec![one],
+            contribs,
+        }
+    });
+    fb.ret(vec![y]);
+    module.push_func(fb.finish());
+    module
+}
+
+/// Backward-sweep variant of a simple averaging Gauss-Seidel kernel, used
+/// to test LU-SGS-style reversed traversal on its own.
+pub fn gauss_seidel_5pt_backward_module() -> Module {
+    let pattern = presets::gauss_seidel_5pt()
+        .reversed()
+        .expect("symmetric pattern reverses");
+    let mut module = Module::new("gs5_back");
+    let t3 = t_dyn(3);
+    let mut fb = FuncBuilder::new("gs5_back", vec![t3.clone(), t3.clone()], vec![t3]);
+    let w = fb.arg(0);
+    let b = fb.arg(1);
+    let spec = StencilSpec {
+        pattern,
+        nb_var: 1,
+        n_aux: 0,
+        sweep: instencil_pattern::Sweep::Backward,
+    };
+    let y = build_stencil(&mut fb, w, b, &[], w, &spec, |fb, view| {
+        let d = fb.const_f64(1.0 / 5.0);
+        let contribs: Vec<Vec<ValueId>> = (0..view.offsets().len())
+            .map(|o| vec![view.state(o, 0)])
+            .collect();
+        StencilYield {
+            d: vec![d],
+            contribs,
+        }
+    });
+    fb.ret(vec![y]);
+    module.push_func(fb.finish());
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_ir::OpCode;
+
+    #[test]
+    fn all_kernels_verify() {
+        for m in [
+            gauss_seidel_5pt_module(),
+            gauss_seidel_9pt_module(),
+            gauss_seidel_9pt_order2_module(),
+            jacobi_5pt_module(),
+            heat3d_module(),
+            sor_module(1.6),
+            gauss_seidel_5pt_backward_module(),
+        ] {
+            m.verify()
+                .unwrap_or_else(|e| panic!("kernel {}: {e}\n{}", m.name, m.to_text()));
+        }
+    }
+
+    #[test]
+    fn heat3d_has_three_chained_ops() {
+        let m = heat3d_module();
+        let f = m.lookup("heat_step").unwrap();
+        assert_eq!(f.body.find_all(&OpCode::LinalgPointwise).len(), 2);
+        assert_eq!(f.body.find_all(&OpCode::CfdStencil).len(), 1);
+        // The stencil consumes the RHS pointwise result (producer/consumer
+        // relation the fusion pass exploits).
+        let stencil = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        let b_operand = f.body.op(stencil).operands[1];
+        let producer = f.body.defining_op(b_operand).unwrap();
+        assert_eq!(f.body.op(producer).opcode, OpCode::LinalgPointwise);
+    }
+
+    #[test]
+    fn gs_kernels_are_single_array() {
+        let m = gauss_seidel_5pt_module();
+        let f = m.lookup("gs5").unwrap();
+        let stencil = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        let op = f.body.op(stencil);
+        // X operand == Y_init operand → in-place aliasing after
+        // bufferization.
+        assert_eq!(op.operands[0], *op.operands.last().unwrap());
+    }
+
+    #[test]
+    fn jacobi_is_out_of_place() {
+        let m = jacobi_5pt_module();
+        let f = m.lookup("jacobi5").unwrap();
+        let stencil = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        let op = f.body.op(stencil);
+        assert_ne!(op.operands[0], *op.operands.last().unwrap());
+    }
+
+    #[test]
+    fn printed_ir_resembles_fig3() {
+        let text = gauss_seidel_5pt_module().to_text();
+        assert!(text.contains("cfd.stencil"), "{text}");
+        assert!(text.contains("dense<3x3:0,-1,0,-1,0,1,0,1,0>"), "{text}");
+        assert!(text.contains("nb_var = 1"), "{text}");
+        assert!(text.contains("cfd.yield"), "{text}");
+    }
+}

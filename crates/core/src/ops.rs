@@ -1,0 +1,511 @@
+//! Builders for the `cfd` dialect and `linalg.pointwise` operations.
+//!
+//! All builders follow the paper's Fig. 3 idiom: the caller supplies a
+//! closure that receives the region's block arguments through a typed view
+//! and returns the values to yield; the builder assembles the op, its
+//! attributes and its region.
+
+use instencil_ir::attr::AttrMap;
+use instencil_ir::{Attribute, FuncBuilder, OpCode, Type, ValueId};
+use instencil_pattern::{Offset, StencilPattern, Sweep};
+
+use crate::attrs::pattern_to_attr;
+
+/// Static description of a `cfd.stencil` op.
+#[derive(Clone, Debug)]
+pub struct StencilSpec {
+    /// The access pattern (validated).
+    pub pattern: StencilPattern,
+    /// Number of physical fields `n_v` (leading tensor dimension).
+    pub nb_var: usize,
+    /// Number of auxiliary input tensors whose neighbor values are also
+    /// fed to the region (e.g. the frozen state `W` in LU-SGS).
+    pub n_aux: usize,
+    /// Traversal direction.
+    pub sweep: Sweep,
+}
+
+impl StencilSpec {
+    /// Single-field forward stencil with no auxiliary inputs.
+    pub fn simple(pattern: StencilPattern) -> Self {
+        StencilSpec {
+            pattern,
+            nb_var: 1,
+            n_aux: 0,
+            sweep: Sweep::Forward,
+        }
+    }
+}
+
+/// The region block-argument layout of `cfd.stencil`, shared between the
+/// op builder and the lowering pass.
+///
+/// For each accessed offset (the pattern's non-zero entries plus the
+/// center, in lexicographic order) the block receives `nb_var` state
+/// scalars (read from `Y` for `L` offsets, from `X` otherwise) followed by
+/// `nb_var` scalars per auxiliary tensor.
+#[derive(Clone, Debug)]
+pub struct RegionLayout {
+    /// Accessed offsets in lexicographic order.
+    pub offsets: Vec<Offset>,
+    /// Field count.
+    pub nb_var: usize,
+    /// Auxiliary tensor count.
+    pub n_aux: usize,
+}
+
+impl RegionLayout {
+    /// Derives the layout from a spec.
+    pub fn of(spec: &StencilSpec) -> Self {
+        RegionLayout {
+            offsets: spec.pattern.accessed_offsets(),
+            nb_var: spec.nb_var,
+            n_aux: spec.n_aux,
+        }
+    }
+
+    /// Total number of block arguments.
+    pub fn num_args(&self) -> usize {
+        self.offsets.len() * self.nb_var * (1 + self.n_aux)
+    }
+
+    /// Total number of yielded values (`nb_var` D values plus `nb_var`
+    /// per offset).
+    pub fn num_yields(&self) -> usize {
+        self.nb_var * (1 + self.offsets.len())
+    }
+
+    /// Block-argument index of the state value for (offset, field).
+    pub fn state_index(&self, offset_idx: usize, field: usize) -> usize {
+        offset_idx * self.nb_var * (1 + self.n_aux) + field
+    }
+
+    /// Block-argument index of an auxiliary value for
+    /// (offset, aux tensor, field).
+    pub fn aux_index(&self, offset_idx: usize, aux: usize, field: usize) -> usize {
+        offset_idx * self.nb_var * (1 + self.n_aux) + self.nb_var * (1 + aux) + field
+    }
+
+    /// Index of the center offset in [`RegionLayout::offsets`].
+    pub fn center_index(&self) -> usize {
+        self.offsets
+            .iter()
+            .position(|o| o.iter().all(|&x| x == 0))
+            .expect("accessed offsets always include the center")
+    }
+
+    /// Yield index of the diagonal `D` value for a field.
+    pub fn d_yield_index(&self, field: usize) -> usize {
+        field
+    }
+
+    /// Yield index of the contribution for (offset, field).
+    pub fn contrib_yield_index(&self, offset_idx: usize, field: usize) -> usize {
+        self.nb_var * (1 + offset_idx) + field
+    }
+}
+
+/// Typed view over the region block arguments, passed to the region
+/// closure of [`build_stencil`].
+#[derive(Debug)]
+pub struct StencilRegionView {
+    layout: RegionLayout,
+    args: Vec<ValueId>,
+}
+
+impl StencilRegionView {
+    /// Accessed offsets, in lexicographic order.
+    pub fn offsets(&self) -> &[Offset] {
+        &self.layout.offsets
+    }
+
+    /// The layout (for index arithmetic).
+    pub fn layout(&self) -> &RegionLayout {
+        &self.layout
+    }
+
+    /// State value (from `Y` for `L` offsets, from `X` otherwise) at the
+    /// given accessed-offset index and field.
+    pub fn state(&self, offset_idx: usize, field: usize) -> ValueId {
+        self.args[self.layout.state_index(offset_idx, field)]
+    }
+
+    /// State value by explicit offset vector.
+    ///
+    /// # Panics
+    /// Panics if the offset is not accessed by the pattern.
+    pub fn state_at(&self, offset: &[i64], field: usize) -> ValueId {
+        let idx = self
+            .layout
+            .offsets
+            .iter()
+            .position(|o| o.as_slice() == offset)
+            .unwrap_or_else(|| panic!("offset {offset:?} not accessed by the pattern"));
+        self.state(idx, field)
+    }
+
+    /// Center (`X[v, i]`) state value.
+    pub fn center(&self, field: usize) -> ValueId {
+        self.state(self.layout.center_index(), field)
+    }
+
+    /// Auxiliary value at (offset index, aux tensor, field).
+    pub fn aux(&self, offset_idx: usize, aux: usize, field: usize) -> ValueId {
+        self.args[self.layout.aux_index(offset_idx, aux, field)]
+    }
+}
+
+/// Values yielded by a stencil region: the diagonal `D` per field, and a
+/// contribution per accessed offset and field (paper Eq. 2:
+/// `Y[v,i] = D[v,i] · (B[v,i] + Σ_o g_o[v])`).
+#[derive(Debug)]
+pub struct StencilYield {
+    /// `D` per field (`nb_var` values).
+    pub d: Vec<ValueId>,
+    /// `contribs[offset_idx][field]`, one entry per accessed offset.
+    pub contribs: Vec<Vec<ValueId>>,
+}
+
+/// Builds a tensor-level `cfd.stencil` op:
+/// `%Y = cfd.stencil ins(%X, %B, aux...) outs(%Y_init)`.
+///
+/// Passing the same value for `x` and `y_init` yields the classic
+/// single-array in-place Gauss-Seidel.
+///
+/// # Panics
+/// Panics if the yield arity returned by `region_fn` does not match the
+/// spec.
+pub fn build_stencil(
+    fb: &mut FuncBuilder,
+    x: ValueId,
+    b: ValueId,
+    aux: &[ValueId],
+    y_init: ValueId,
+    spec: &StencilSpec,
+    region_fn: impl FnOnce(&mut FuncBuilder, &StencilRegionView) -> StencilYield,
+) -> ValueId {
+    assert_eq!(aux.len(), spec.n_aux, "aux operand count mismatch");
+    let layout = RegionLayout::of(spec);
+    let region = fb.body_mut().add_region();
+    let block = fb.body_mut().add_block(region);
+    let args: Vec<ValueId> = (0..layout.num_args())
+        .map(|_| fb.body_mut().add_block_arg(block, Type::F64))
+        .collect();
+    let view = StencilRegionView {
+        layout: layout.clone(),
+        args,
+    };
+    let saved = fb.insertion_block();
+    fb.set_insertion_block(block);
+    let yields = region_fn(fb, &view);
+    assert_eq!(yields.d.len(), spec.nb_var, "D yield arity mismatch");
+    assert_eq!(
+        yields.contribs.len(),
+        layout.offsets.len(),
+        "contribution offset count mismatch"
+    );
+    let mut yield_vals = yields.d;
+    for c in &yields.contribs {
+        assert_eq!(c.len(), spec.nb_var, "contribution field arity mismatch");
+        yield_vals.extend_from_slice(c);
+    }
+    fb.create(OpCode::CfdYield, yield_vals, vec![], AttrMap::new(), vec![]);
+    fb.set_insertion_block(saved);
+
+    let mut attrs = AttrMap::new();
+    attrs.set("stencil", pattern_to_attr(&spec.pattern));
+    attrs.set("nb_var", Attribute::Int(spec.nb_var as i64));
+    if spec.n_aux > 0 {
+        attrs.set("n_aux", Attribute::Int(spec.n_aux as i64));
+    }
+    attrs.set("sweep", Attribute::Int(spec.sweep.encode()));
+    let result_ty = fb.ty(y_init);
+    let mut operands = vec![x, b];
+    operands.extend_from_slice(aux);
+    operands.push(y_init);
+    let op = fb.create(
+        OpCode::CfdStencil,
+        operands,
+        vec![result_ty],
+        attrs,
+        vec![region],
+    );
+    fb.body().op(op).result()
+}
+
+/// Static description of a `linalg.pointwise` op: per-input constant read
+/// offsets (full rank, including the leading field dimension) and the
+/// interior margins of the iteration domain.
+#[derive(Clone, Debug)]
+pub struct PointwiseSpec {
+    /// One read offset per input operand.
+    pub offsets: Vec<Offset>,
+    /// Margin excluded on both sides, per dimension.
+    pub interior: Vec<i64>,
+}
+
+/// Builds `%out = linalg.pointwise ins(...) outs(%out_init)`.
+///
+/// For every point `i` of the interior domain the region receives
+/// `ins[j][i + offsets[j]]` and yields the value stored to `out[i]`.
+///
+/// # Panics
+/// Panics on rank mismatches between inputs, offsets and interior margins.
+pub fn build_pointwise(
+    fb: &mut FuncBuilder,
+    ins: &[ValueId],
+    out_init: ValueId,
+    spec: &PointwiseSpec,
+    region_fn: impl FnOnce(&mut FuncBuilder, &[ValueId]) -> ValueId,
+) -> ValueId {
+    assert_eq!(
+        ins.len(),
+        spec.offsets.len(),
+        "one offset per input required"
+    );
+    let rank = fb
+        .ty(out_init)
+        .rank()
+        .expect("pointwise output must be shaped");
+    assert_eq!(spec.interior.len(), rank, "interior margin rank mismatch");
+    for o in &spec.offsets {
+        assert_eq!(o.len(), rank, "offset rank mismatch");
+    }
+    let region = fb.body_mut().add_region();
+    let block = fb.body_mut().add_block(region);
+    let args: Vec<ValueId> = ins
+        .iter()
+        .map(|_| fb.body_mut().add_block_arg(block, Type::F64))
+        .collect();
+    let saved = fb.insertion_block();
+    fb.set_insertion_block(block);
+    let out_val = region_fn(fb, &args);
+    fb.create(
+        OpCode::CfdYield,
+        vec![out_val],
+        vec![],
+        AttrMap::new(),
+        vec![],
+    );
+    fb.set_insertion_block(saved);
+
+    let mut attrs = AttrMap::new();
+    attrs.set("n_ins", Attribute::Int(ins.len() as i64));
+    let flat: Vec<i64> = spec.offsets.iter().flatten().copied().collect();
+    attrs.set("offsets", Attribute::IntArray(flat));
+    attrs.set("interior", Attribute::IntArray(spec.interior.clone()));
+    let result_ty = fb.ty(out_init);
+    let mut operands = ins.to_vec();
+    operands.push(out_init);
+    let op = fb.create(
+        OpCode::LinalgPointwise,
+        operands,
+        vec![result_ty],
+        attrs,
+        vec![region],
+    );
+    fb.body().op(op).result()
+}
+
+/// Builds `%B = cfd.face_iterator ins(%X) outs(%B_init)` for one spatial
+/// `axis` (0-based, not counting the leading field dimension).
+///
+/// For each interior face between cells `i` and `i + e_axis`, the region
+/// receives the `nb_var` left-cell values followed by the `nb_var`
+/// right-cell values and yields `nb_var` flux values; the flux is added to
+/// the left cell of `B` and subtracted from the right cell, so each face
+/// is computed exactly once (paper §3.2).
+pub fn build_face_iterator(
+    fb: &mut FuncBuilder,
+    x: ValueId,
+    b_init: ValueId,
+    axis: usize,
+    nb_var: usize,
+    margin: i64,
+    region_fn: impl FnOnce(&mut FuncBuilder, &[ValueId], &[ValueId]) -> Vec<ValueId>,
+) -> ValueId {
+    let region = fb.body_mut().add_region();
+    let block = fb.body_mut().add_block(region);
+    let left: Vec<ValueId> = (0..nb_var)
+        .map(|_| fb.body_mut().add_block_arg(block, Type::F64))
+        .collect();
+    let right: Vec<ValueId> = (0..nb_var)
+        .map(|_| fb.body_mut().add_block_arg(block, Type::F64))
+        .collect();
+    let saved = fb.insertion_block();
+    fb.set_insertion_block(block);
+    let flux = region_fn(fb, &left, &right);
+    assert_eq!(flux.len(), nb_var, "face iterator must yield nb_var fluxes");
+    fb.create(OpCode::CfdYield, flux, vec![], AttrMap::new(), vec![]);
+    fb.set_insertion_block(saved);
+
+    let mut attrs = AttrMap::new();
+    attrs.set("axis", Attribute::Int(axis as i64));
+    attrs.set("nb_var", Attribute::Int(nb_var as i64));
+    attrs.set("margin", Attribute::Int(margin));
+    let result_ty = fb.ty(b_init);
+    let op = fb.create(
+        OpCode::CfdFaceIterator,
+        vec![x, b_init],
+        vec![result_ty],
+        attrs,
+        vec![region],
+    );
+    fb.body().op(op).result()
+}
+
+/// Builds `%rows, %cols = cfd.get_parallel_blocks(%nb...)` with the given
+/// `block_stencil` dense payload (paper §3.4).
+pub fn build_get_parallel_blocks(
+    fb: &mut FuncBuilder,
+    nb: &[ValueId],
+    block_shape: Vec<usize>,
+    block_data: Vec<i8>,
+) -> (ValueId, ValueId) {
+    let mut attrs = AttrMap::new();
+    attrs.set(
+        "block_stencil",
+        Attribute::DenseI8 {
+            shape: block_shape,
+            data: block_data,
+        },
+    );
+    let row_ty = Type::tensor(Type::I64, vec![None]);
+    let op = fb.create(
+        OpCode::CfdGetParallelBlocks,
+        nb.to_vec(),
+        vec![row_ty.clone(), row_ty],
+        attrs,
+        vec![],
+    );
+    let results = fb.body().op(op).results.clone();
+    (results[0], results[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_ir::Module;
+    use instencil_pattern::presets;
+
+    #[test]
+    fn stencil_builder_verifies() {
+        let mut m = Module::new("t");
+        let t3 = Type::tensor_dyn(Type::F64, 3);
+        let mut fb = FuncBuilder::new("gs5", vec![t3.clone(), t3.clone()], vec![t3.clone()]);
+        let w = fb.arg(0);
+        let b = fb.arg(1);
+        let spec = StencilSpec::simple(presets::gauss_seidel_5pt());
+        let y = build_stencil(&mut fb, w, b, &[], w, &spec, |fb, view| {
+            let d = fb.const_f64(0.2);
+            let contribs = (0..view.offsets().len())
+                .map(|o| vec![view.state(o, 0)])
+                .collect();
+            StencilYield {
+                d: vec![d],
+                contribs,
+            }
+        });
+        fb.ret(vec![y]);
+        m.push_func(fb.finish());
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e}\n{}", m.to_text()));
+    }
+
+    #[test]
+    fn region_layout_indices() {
+        let spec = StencilSpec {
+            pattern: presets::gauss_seidel_5pt(),
+            nb_var: 2,
+            n_aux: 1,
+            sweep: Sweep::Forward,
+        };
+        let l = RegionLayout::of(&spec);
+        assert_eq!(l.offsets.len(), 5);
+        assert_eq!(l.num_args(), 5 * 2 * 2);
+        assert_eq!(l.num_yields(), 2 * 6);
+        assert_eq!(l.state_index(0, 1), 1);
+        assert_eq!(l.aux_index(0, 0, 0), 2);
+        assert_eq!(l.state_index(1, 0), 4);
+        assert_eq!(l.center_index(), 2); // (-1,0), (0,-1), (0,0), ...
+        assert_eq!(l.d_yield_index(1), 1);
+        assert_eq!(l.contrib_yield_index(0, 0), 2);
+    }
+
+    #[test]
+    fn pointwise_builder_verifies() {
+        let mut m = Module::new("t");
+        let t3 = Type::tensor_dyn(Type::F64, 3);
+        let mut fb = FuncBuilder::new("lap", vec![t3.clone(), t3.clone()], vec![t3.clone()]);
+        let t = fb.arg(0);
+        let rhs0 = fb.arg(1);
+        let spec = PointwiseSpec {
+            offsets: vec![vec![0, 0, 0], vec![0, -1, 0], vec![0, 1, 0]],
+            interior: vec![0, 1, 1],
+        };
+        let r = build_pointwise(&mut fb, &[t, t, t], rhs0, &spec, |fb, args| {
+            let two = fb.const_f64(2.0);
+            let c2 = fb.mulf(args[0], two);
+            let s = fb.addf(args[1], args[2]);
+            fb.subf(s, c2)
+        });
+        fb.ret(vec![r]);
+        m.push_func(fb.finish());
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e}\n{}", m.to_text()));
+    }
+
+    #[test]
+    fn face_iterator_builder_verifies() {
+        let mut m = Module::new("t");
+        let t4 = Type::tensor_dyn(Type::F64, 4);
+        let mut fb = FuncBuilder::new("flux", vec![t4.clone(), t4.clone()], vec![t4.clone()]);
+        let x = fb.arg(0);
+        let b0 = fb.arg(1);
+        let b = build_face_iterator(&mut fb, x, b0, 0, 2, 1, |fb, ul, ur| {
+            let f0 = fb.subf(ur[0], ul[0]);
+            let f1 = fb.subf(ur[1], ul[1]);
+            vec![f0, f1]
+        });
+        fb.ret(vec![b]);
+        m.push_func(fb.finish());
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e}\n{}", m.to_text()));
+    }
+
+    #[test]
+    fn get_parallel_blocks_builder_verifies() {
+        let mut m = Module::new("t");
+        let mut fb = FuncBuilder::new("sched", vec![], vec![]);
+        let n0 = fb.const_index(4);
+        let n1 = fb.const_index(4);
+        let (rows, cols) = build_get_parallel_blocks(
+            &mut fb,
+            &[n0, n1],
+            vec![3, 3],
+            vec![0, 0, 0, -1, 0, 0, 0, -1, 0],
+        );
+        let _ = (rows, cols);
+        fb.ret(vec![]);
+        m.push_func(fb.finish());
+        m.verify()
+            .unwrap_or_else(|e| panic!("{e}\n{}", m.to_text()));
+    }
+
+    #[test]
+    #[should_panic(expected = "D yield arity mismatch")]
+    fn wrong_yield_arity_panics() {
+        let t3 = Type::tensor_dyn(Type::F64, 3);
+        let mut fb = FuncBuilder::new("bad", vec![t3.clone(), t3.clone()], vec![t3]);
+        let w = fb.arg(0);
+        let b = fb.arg(1);
+        let spec = StencilSpec::simple(presets::gauss_seidel_5pt());
+        let _ = build_stencil(&mut fb, w, b, &[], w, &spec, |fb, view| {
+            let d = fb.const_f64(0.2);
+            StencilYield {
+                d: vec![d, d],
+                contribs: vec![vec![view.state(0, 0)]; 5],
+            }
+        });
+    }
+}

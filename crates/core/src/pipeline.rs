@@ -1,0 +1,243 @@
+//! End-to-end compilation driver with the paper's ablation presets.
+//!
+//! A [`PipelineOptions`] value describes one point in the transformation
+//! space of §4.2:
+//!
+//! | preset | parallel | tiling+fusion | vectorization |
+//! |--------|----------|---------------|---------------|
+//! | Tr1    | ✓        | per-op tiles  | —             |
+//! | Tr2    | ✓        | ✓ fused       | —             |
+//! | Tr3    | ✓        | per-op tiles  | ✓             |
+//! | Tr4    | ✓        | ✓ fused       | ✓             |
+//!
+//! [`compile`] runs bufferize → tile/parallelize → lower → canonicalize
+//! and returns the executable module together with lowering statistics.
+
+use std::error::Error;
+use std::fmt;
+
+use instencil_ir::pass::CanonicalizePass;
+use instencil_ir::{Module, Pass, PassError};
+
+use crate::transforms::bufferize::bufferize_module;
+use crate::transforms::lower::{lower_module, LowerOptions, LowerStats};
+use crate::transforms::tile::{tile_module, TileOptions};
+
+/// Compilation failure (verification or transformation error).
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    /// The failing stage.
+    pub stage: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compilation failed in {}: {}", self.stage, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<PassError> for CompileError {
+    fn from(e: PassError) -> Self {
+        CompileError {
+            stage: e.pass.clone(),
+            message: e.message,
+        }
+    }
+}
+
+/// Options of the full pipeline (one point of the §4.2 ablation space).
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Sub-domain sizes (elements per spatial dimension) — the
+    /// parallelism level (§2.3).
+    pub subdomain: Vec<usize>,
+    /// Cache-tile sizes — the locality level (§2.1).
+    pub tile: Vec<usize>,
+    /// Emit wavefront parallelism.
+    pub parallel: bool,
+    /// Fuse `B` producers into the stencil tiles (§2.2).
+    pub fuse: bool,
+    /// Vector factor for partial vectorization (§2.4), `None` = scalar.
+    pub vectorize: Option<usize>,
+}
+
+impl PipelineOptions {
+    /// Base options: tiled, parallel, unfused, scalar.
+    pub fn new(subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
+        PipelineOptions {
+            subdomain,
+            tile,
+            parallel: true,
+            fuse: false,
+            vectorize: None,
+        }
+    }
+
+    /// Sets wavefront parallelism.
+    #[must_use]
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Sets fusion-after-tiling.
+    #[must_use]
+    pub fn fuse(mut self, on: bool) -> Self {
+        self.fuse = on;
+        self
+    }
+
+    /// Sets the vector factor.
+    #[must_use]
+    pub fn vectorize(mut self, vf: Option<usize>) -> Self {
+        self.vectorize = vf;
+        self
+    }
+
+    /// §4.2 preset Tr1: sub-domain parallelism, per-op tiling, no fusion,
+    /// no vectorization.
+    pub fn tr1(subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
+        Self::new(subdomain, tile)
+    }
+
+    /// §4.2 preset Tr2: Tr1 + fusion.
+    pub fn tr2(subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
+        Self::new(subdomain, tile).fuse(true)
+    }
+
+    /// §4.2 preset Tr3: Tr1 + vectorization (VF = 8).
+    pub fn tr3(subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
+        Self::new(subdomain, tile).vectorize(Some(8))
+    }
+
+    /// §4.2 preset Tr4: everything (parallel + tiling&fusion + vector).
+    pub fn tr4(subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
+        Self::new(subdomain, tile).fuse(true).vectorize(Some(8))
+    }
+}
+
+/// A fully lowered module plus compilation statistics.
+#[derive(Debug)]
+pub struct CompiledModule {
+    /// The executable (loop-level, memref-form) module.
+    pub module: Module,
+    /// Lowering statistics (vectorized vs scalar structured ops).
+    pub stats: LowerStats,
+    /// The options the module was compiled with.
+    pub options: PipelineOptions,
+}
+
+/// Runs the full pipeline on a tensor-level kernel module.
+///
+/// # Errors
+/// Returns a [`CompileError`] when any stage rejects the input (illegal
+/// tile sizes, malformed ops, post-pass verification failures).
+pub fn compile(module: &Module, opts: &PipelineOptions) -> Result<CompiledModule, CompileError> {
+    module.verify().map_err(|e| CompileError {
+        stage: "input-verify".into(),
+        message: e.to_string(),
+    })?;
+    let bufferized = bufferize_module(module)?;
+    let tiled = tile_module(
+        &bufferized,
+        &TileOptions {
+            subdomain: opts.subdomain.clone(),
+            tile: opts.tile.clone(),
+            parallel: opts.parallel,
+            fuse: opts.fuse,
+        },
+    )?;
+    let (mut lowered, stats) = lower_module(
+        &tiled,
+        &LowerOptions {
+            vectorize: opts.vectorize,
+        },
+    )?;
+    CanonicalizePass.run(&mut lowered)?;
+    lowered.verify().map_err(|e| CompileError {
+        stage: "final-verify".into(),
+        message: e.to_string(),
+    })?;
+    Ok(CompiledModule {
+        module: lowered,
+        stats,
+        options: opts.clone(),
+    })
+}
+
+/// Produces the *reference* executable form: bufferized only, with the
+/// structured `cfd` ops left intact for direct interpretation (the
+/// semantic oracle the lowered pipelines are tested against).
+///
+/// # Errors
+/// Propagates bufferization failures.
+pub fn reference_module(module: &Module) -> Result<Module, CompileError> {
+    Ok(bufferize_module(module)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use instencil_ir::OpCode;
+
+    #[test]
+    fn tr_presets_differ_as_documented() {
+        let t1 = PipelineOptions::tr1(vec![8, 8], vec![4, 4]);
+        let t2 = PipelineOptions::tr2(vec![8, 8], vec![4, 4]);
+        let t3 = PipelineOptions::tr3(vec![8, 8], vec![4, 4]);
+        let t4 = PipelineOptions::tr4(vec![8, 8], vec![4, 4]);
+        assert!(t1.parallel && !t1.fuse && t1.vectorize.is_none());
+        assert!(t2.fuse && t2.vectorize.is_none());
+        assert!(!t3.fuse && t3.vectorize == Some(8));
+        assert!(t4.fuse && t4.vectorize == Some(8));
+    }
+
+    #[test]
+    fn compile_all_kernels_all_presets() {
+        let cases: Vec<(instencil_ir::Module, Vec<usize>, Vec<usize>)> = vec![
+            (
+                kernels::gauss_seidel_5pt_module(),
+                vec![32, 32],
+                vec![16, 16],
+            ),
+            (kernels::gauss_seidel_9pt_module(), vec![1, 64], vec![1, 32]),
+            (
+                kernels::gauss_seidel_9pt_order2_module(),
+                vec![32, 32],
+                vec![16, 16],
+            ),
+            (kernels::heat3d_module(), vec![8, 8, 16], vec![4, 4, 8]),
+            (kernels::jacobi_5pt_module(), vec![32, 32], vec![16, 16]),
+        ];
+        for (m, sd, tile) in cases {
+            for opts in [
+                PipelineOptions::tr1(sd.clone(), tile.clone()),
+                PipelineOptions::tr2(sd.clone(), tile.clone()),
+                PipelineOptions::tr3(sd.clone(), tile.clone()),
+                PipelineOptions::tr4(sd.clone(), tile.clone()),
+            ] {
+                let c = compile(&m, &opts).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+                assert!(c.module.verify().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn reference_keeps_structured_ops() {
+        let r = reference_module(&kernels::gauss_seidel_5pt_module()).unwrap();
+        let f = r.lookup("gs5").unwrap();
+        assert!(f.body.find_first(&OpCode::CfdStencil).is_some());
+    }
+
+    #[test]
+    fn illegal_tiles_surface_as_compile_error() {
+        let m = kernels::gauss_seidel_9pt_module();
+        let e = compile(&m, &PipelineOptions::tr1(vec![8, 8], vec![8, 8])).unwrap_err();
+        assert_eq!(e.stage, "tile");
+    }
+}

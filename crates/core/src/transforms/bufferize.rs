@@ -1,0 +1,196 @@
+//! Bufferization: tensor value semantics → mutable memref buffers.
+//!
+//! The MLIR bufferization pass replaces immutable tensors by in-memory
+//! buffers (paper §3.3: `cfd.tiled_loop` "can be lowered to classical
+//! (parallel) for loops after the MLIR bufferization pass"). Here the pass
+//! runs *before* tiling, which is equivalent for the kernels at hand and
+//! keeps the executable pipeline single-form:
+//!
+//! * every tensor argument becomes a memref argument;
+//! * structured ops (`cfd.stencil`, `cfd.face_iterator`,
+//!   `linalg.pointwise`) lose their results and gain the `bufferized`
+//!   unit attribute — their `outs` operand *is* the result buffer;
+//! * a kernel whose `X` and `Y_init` are the same value becomes the
+//!   classic single-array in-place sweep;
+//! * function results are dropped (results alias argument buffers).
+
+use std::collections::HashMap;
+
+use instencil_ir::attr::Attribute;
+use instencil_ir::{Body, Func, FuncBuilder, Module, OpCode, OpId, PassError, Type, ValueId};
+
+use super::{rebuild_func, Expanded, OpExpander};
+
+struct Bufferizer;
+
+impl OpExpander for Bufferizer {
+    fn expand(
+        &mut self,
+        fb: &mut FuncBuilder,
+        src: &Body,
+        op_id: OpId,
+        map: &mut HashMap<ValueId, ValueId>,
+    ) -> Result<Expanded, PassError> {
+        let op = src.op(op_id);
+        match &op.opcode {
+            OpCode::CfdStencil | OpCode::CfdFaceIterator | OpCode::LinalgPointwise => {
+                if op.attrs.get("bufferized").is_some() {
+                    return Ok(Expanded::Keep);
+                }
+                let operands: Vec<ValueId> = op.operands.iter().map(|v| map[v]).collect();
+                // The `outs` operand is always last in the tensor forms.
+                let out_buffer = *operands.last().expect("structured op has outs");
+                if op.opcode == OpCode::LinalgPointwise {
+                    check_pointwise_aliasing(src, op_id, &operands, out_buffer)?;
+                }
+                let mut attrs = op.attrs.clone();
+                attrs.set("bufferized", Attribute::Unit);
+                let new_op = fb.create(op.opcode.clone(), operands, vec![], attrs, vec![]);
+                let region = fb.body_mut().clone_region_from(src, op.regions[0], map);
+                fb.body_mut().op_mut(new_op).regions = vec![region];
+                map.insert(op.results[0], out_buffer);
+                Ok(Expanded::Replaced)
+            }
+            OpCode::TensorEmpty => {
+                let operands: Vec<ValueId> = op.operands.iter().map(|v| map[v]).collect();
+                let ty = src.value_type(op.results[0]).to_memref();
+                let buf = fb.mem_alloc(ty, operands);
+                map.insert(op.results[0], buf);
+                Ok(Expanded::Replaced)
+            }
+            OpCode::TensorDim => {
+                let t = map[&op.operands[0]];
+                let dim = op.int_attr("dim").unwrap_or(0) as usize;
+                let d = fb.mem_dim(t, dim);
+                map.insert(op.results[0], d);
+                Ok(Expanded::Replaced)
+            }
+            OpCode::Return => {
+                fb.ret(vec![]);
+                Ok(Expanded::Replaced)
+            }
+            OpCode::For | OpCode::If | OpCode::Parallel => Err(PassError::new(
+                "bufferize",
+                format!(
+                    "control flow op {} is not supported before bufferization; \
+                     drive multi-step iteration from the executor",
+                    op.opcode
+                ),
+            )),
+            _ => Ok(Expanded::Keep),
+        }
+    }
+}
+
+/// A pointwise op may write in place only when the aliased input is read
+/// at the zero offset (otherwise the tile would read its own partially
+/// updated values).
+fn check_pointwise_aliasing(
+    src: &Body,
+    op_id: OpId,
+    mapped_operands: &[ValueId],
+    out_buffer: ValueId,
+) -> Result<(), PassError> {
+    let op = src.op(op_id);
+    let n_ins = op.int_attr("n_ins").unwrap_or(0) as usize;
+    let offsets = op.int_array_attr("offsets").unwrap_or(&[]);
+    let rank = offsets.len().checked_div(n_ins).unwrap_or(0);
+    for (j, &mapped_in) in mapped_operands.iter().take(n_ins).enumerate() {
+        if mapped_in == out_buffer {
+            let off = &offsets[j * rank..(j + 1) * rank];
+            if off.iter().any(|&x| x != 0) {
+                return Err(PassError::new(
+                    "bufferize",
+                    format!("pointwise input {j} aliases the output with non-zero offset {off:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Bufferizes one function.
+///
+/// # Errors
+/// Fails on unsupported pre-bufferization control flow or illegal
+/// in-place aliasing.
+pub fn bufferize_func(func: &Func) -> Result<Func, PassError> {
+    let arg_types: Vec<Type> = func.arg_types.iter().map(Type::to_memref).collect();
+    let (new_func, _map) = rebuild_func(func, &func.name, arg_types, vec![], &mut Bufferizer)?;
+    Ok(new_func)
+}
+
+/// Bufferizes every function of a module.
+///
+/// # Errors
+/// Propagates the first per-function failure.
+pub fn bufferize_module(module: &Module) -> Result<Module, PassError> {
+    let mut out = Module::new(module.name.clone());
+    for f in module.funcs() {
+        out.push_func(bufferize_func(f)?);
+    }
+    out.verify().map_err(PassError::from)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn gs5_bufferizes_to_aliased_in_place() {
+        let m = kernels::gauss_seidel_5pt_module();
+        let b = bufferize_module(&m).unwrap();
+        let f = b.lookup("gs5").unwrap();
+        assert!(f.result_types.is_empty());
+        assert!(f.arg_types.iter().all(|t| matches!(t, Type::MemRef { .. })));
+        let stencil = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        let op = f.body.op(stencil);
+        assert!(op.attrs.get("bufferized").is_some());
+        assert!(op.results.is_empty());
+        // X and Y are the same buffer.
+        assert_eq!(op.operands[0], op.operands[2]);
+    }
+
+    #[test]
+    fn heat3d_chains_through_buffers() {
+        let m = kernels::heat3d_module();
+        let b = bufferize_module(&m).unwrap();
+        let f = b.lookup("heat_step").unwrap();
+        let stencil = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        // The stencil's B operand is the Rhs argument buffer (arg 2).
+        let rhs_arg = f.arg(2);
+        assert_eq!(f.body.op(stencil).operands[1], rhs_arg);
+        // The update pointwise writes into the T buffer (arg 0).
+        let pws = f.body.find_all(&OpCode::LinalgPointwise);
+        let update = pws[1];
+        assert_eq!(*f.body.op(update).operands.last().unwrap(), f.arg(0));
+    }
+
+    #[test]
+    fn jacobi_keeps_buffers_distinct() {
+        let m = kernels::jacobi_5pt_module();
+        let b = bufferize_module(&m).unwrap();
+        let f = b.lookup("jacobi5").unwrap();
+        let stencil = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        let op = f.body.op(stencil);
+        assert_ne!(op.operands[0], op.operands[2]);
+    }
+
+    #[test]
+    fn bufferized_module_reverifies() {
+        for m in [
+            kernels::gauss_seidel_5pt_module(),
+            kernels::gauss_seidel_9pt_module(),
+            kernels::gauss_seidel_9pt_order2_module(),
+            kernels::heat3d_module(),
+            kernels::jacobi_5pt_module(),
+            kernels::gauss_seidel_5pt_backward_module(),
+        ] {
+            let b = bufferize_module(&m).unwrap();
+            b.verify()
+                .unwrap_or_else(|e| panic!("bufferized {}: {e}\n{}", b.name, b.to_text()));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The transformation pipeline: bufferization, tiling + sub-domain
+//! parallelization + fusion, and loop lowering with partial vectorization.
+
+pub mod bufferize;
+pub mod lower;
+pub mod tile;
+
+use std::collections::HashMap;
+
+use instencil_ir::{Body, Func, FuncBuilder, OpId, Type, ValueId};
+
+/// Verdict of an [`OpExpander`] for one source operation.
+pub(crate) enum Expanded {
+    /// The expander emitted replacement IR (and recorded any result
+    /// mappings); the default cloner must skip this op.
+    Replaced,
+    /// Clone the op (and recurse into its regions) unchanged.
+    Keep,
+}
+
+/// A callback that may replace individual operations while a function is
+/// structurally rebuilt. It runs with the builder positioned where the
+/// replacement should be emitted and must record mappings for any results
+/// of the consumed op in `map`.
+pub(crate) trait OpExpander {
+    fn expand(
+        &mut self,
+        fb: &mut FuncBuilder,
+        src: &Body,
+        op: OpId,
+        map: &mut HashMap<ValueId, ValueId>,
+    ) -> Result<Expanded, instencil_ir::PassError>;
+}
+
+/// Rebuilds `src` into a new function with the given signature, running
+/// `expander` on every operation (pre-order, through nested regions).
+/// Operations not consumed by the expander are cloned structurally.
+pub(crate) fn rebuild_func(
+    src: &Func,
+    name: &str,
+    arg_types: Vec<Type>,
+    result_types: Vec<Type>,
+    expander: &mut dyn OpExpander,
+) -> Result<(Func, HashMap<ValueId, ValueId>), instencil_ir::PassError> {
+    let mut fb = FuncBuilder::new(name, arg_types, result_types);
+    let mut map = HashMap::new();
+    let src_entry = src.body.entry_block();
+    for (old, new) in src
+        .body
+        .block(src_entry)
+        .args
+        .iter()
+        .zip(fb.body().block(fb.body().entry_block()).args.clone())
+    {
+        map.insert(*old, new);
+    }
+    let ops = src.body.block(src_entry).ops.clone();
+    for op in ops {
+        process_op(&mut fb, &src.body, op, &mut map, expander)?;
+    }
+    Ok((fb.finish(), map))
+}
+
+fn process_op(
+    fb: &mut FuncBuilder,
+    src: &Body,
+    op_id: OpId,
+    map: &mut HashMap<ValueId, ValueId>,
+    expander: &mut dyn OpExpander,
+) -> Result<(), instencil_ir::PassError> {
+    if matches!(expander.expand(fb, src, op_id, map)?, Expanded::Replaced) {
+        return Ok(());
+    }
+    // Default structural clone with recursion through regions.
+    let op = src.op(op_id).clone();
+    let operands: Vec<ValueId> = op
+        .operands
+        .iter()
+        .map(|v| {
+            *map.get(v)
+                .unwrap_or_else(|| panic!("rebuild: unmapped operand {v} of {}", op.opcode))
+        })
+        .collect();
+    let result_tys: Vec<Type> = op
+        .results
+        .iter()
+        .map(|r| src.value_type(*r).clone())
+        .collect();
+    let new_op = fb.create(
+        op.opcode.clone(),
+        operands,
+        result_tys,
+        op.attrs.clone(),
+        vec![],
+    );
+    let new_results = fb.body().op(new_op).results.clone();
+    for (old, new) in op.results.iter().zip(new_results) {
+        map.insert(*old, new);
+    }
+    let mut new_regions = Vec::with_capacity(op.regions.len());
+    let saved = fb.insertion_block();
+    for &region in &op.regions {
+        let new_region = fb.body_mut().add_region();
+        for &src_block in &src.region(region).blocks.clone() {
+            let new_block = fb.body_mut().add_block(new_region);
+            for &arg in &src.block(src_block).args.clone() {
+                let ty = src.value_type(arg).clone();
+                let new_arg = fb.body_mut().add_block_arg(new_block, ty);
+                map.insert(arg, new_arg);
+            }
+            fb.set_insertion_block(new_block);
+            for inner in src.block(src_block).ops.clone() {
+                process_op(fb, src, inner, map, expander)?;
+            }
+        }
+        new_regions.push(new_region);
+    }
+    fb.set_insertion_block(saved);
+    fb.body_mut().op_mut(new_op).regions = new_regions;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_ir::{OpCode, Type};
+
+    struct NoopExpander;
+    impl OpExpander for NoopExpander {
+        fn expand(
+            &mut self,
+            _fb: &mut FuncBuilder,
+            _src: &Body,
+            _op: OpId,
+            _map: &mut HashMap<ValueId, ValueId>,
+        ) -> Result<Expanded, instencil_ir::PassError> {
+            Ok(Expanded::Keep)
+        }
+    }
+
+    #[test]
+    fn identity_rebuild_preserves_structure() {
+        let mut fb = FuncBuilder::new("f", vec![Type::Index], vec![Type::F64]);
+        let n = fb.arg(0);
+        let c0 = fb.const_index(0);
+        let c1 = fb.const_index(1);
+        let acc = fb.const_f64(0.0);
+        let r = fb.build_for(c0, n, c1, vec![acc], |fb, iv, iters| {
+            let x = fb.index_to_f64(iv);
+            vec![fb.addf(iters[0], x)]
+        });
+        fb.ret(vec![r[0]]);
+        let src = fb.finish();
+        let (rebuilt, _) = rebuild_func(
+            &src,
+            "f",
+            vec![Type::Index],
+            vec![Type::F64],
+            &mut NoopExpander,
+        )
+        .unwrap();
+        assert!(instencil_ir::verify::verify_func(&rebuilt).is_ok());
+        assert!(rebuilt.body.find_first(&OpCode::For).is_some());
+        // Same op census.
+        assert_eq!(src.body.all_ops().len(), rebuilt.body.all_ops().len());
+    }
+}

@@ -1,0 +1,343 @@
+//! Runtime n-dimensional `f64` buffers with aliasing views.
+//!
+//! A [`BufferView`] is a (possibly shifted or sliced) window into shared
+//! storage. Views implement the semantics of `memref.subview` and
+//! `memref.shift_view`: a shifted view is addressed in *global*
+//! coordinates (`view[i] = src[i - shift]`), which is how fused per-tile
+//! temporaries are accessed by bounded producers.
+//!
+//! Storage is reference-counted and interior-mutable; the interpreter is
+//! single-threaded (the real thread-pool executor in
+//! [`crate::parallel`] works on raw slices instead).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A view into shared `f64` storage.
+#[derive(Clone)]
+pub struct BufferView {
+    storage: Rc<RefCell<Vec<f64>>>,
+    /// Extent per dimension (of this view).
+    shape: Vec<usize>,
+    /// Element stride per dimension.
+    strides: Vec<isize>,
+    /// Linear offset of the element at coordinate `origin`.
+    base: isize,
+    /// First valid coordinate per dimension (non-zero for shifted views).
+    origin: Vec<i64>,
+}
+
+impl BufferView {
+    /// Allocates a zero-initialized buffer of the given shape.
+    ///
+    /// Zero-initialization is a deliberate semantic choice of this
+    /// runtime (MLIR's `memref.alloc` leaves memory undefined): fused
+    /// per-tile `B` temporaries rely on starting from zero.
+    pub fn alloc(shape: &[usize]) -> Self {
+        let len: usize = shape.iter().product();
+        let mut strides = vec![1isize; shape.len()];
+        for d in (0..shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1] as isize;
+        }
+        BufferView {
+            storage: Rc::new(RefCell::new(vec![0.0; len])),
+            shape: shape.to_vec(),
+            strides,
+            base: 0,
+            origin: vec![0; shape.len()],
+        }
+    }
+
+    /// Builds a buffer from existing data (row-major).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.iter().product()`.
+    pub fn from_data(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data/shape mismatch"
+        );
+        let b = Self::alloc(shape);
+        *b.storage.borrow_mut() = data;
+        b
+    }
+
+    /// View extents.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank of the view.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Extent along one dimension.
+    pub fn dim(&self, d: usize) -> usize {
+        self.shape[d]
+    }
+
+    /// Whether two views share storage.
+    pub fn aliases(&self, other: &BufferView) -> bool {
+        Rc::ptr_eq(&self.storage, &other.storage)
+    }
+
+    #[inline]
+    fn flat_index(&self, idx: &[i64]) -> isize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut flat = self.base;
+        for d in 0..idx.len() {
+            let local = idx[d] - self.origin[d];
+            assert!(
+                local >= 0 && (local as usize) < self.shape[d],
+                "index {idx:?} out of bounds (dim {d}: valid [{}, {}))",
+                self.origin[d],
+                self.origin[d] + self.shape[d] as i64
+            );
+            flat += local as isize * self.strides[d];
+        }
+        flat
+    }
+
+    /// Scalar load.
+    ///
+    /// # Panics
+    /// Panics when the index is out of the view's valid range.
+    pub fn load(&self, idx: &[i64]) -> f64 {
+        let flat = self.flat_index(idx);
+        self.storage.borrow()[flat as usize]
+    }
+
+    /// Scalar store.
+    ///
+    /// # Panics
+    /// Panics when the index is out of the view's valid range.
+    pub fn store(&self, idx: &[i64], value: f64) {
+        let flat = self.flat_index(idx);
+        self.storage.borrow_mut()[flat as usize] = value;
+    }
+
+    /// Reads `lanes` consecutive elements along the last dimension.
+    pub fn load_vector(&self, idx: &[i64], lanes: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(lanes);
+        let mut cursor = idx.to_vec();
+        for l in 0..lanes {
+            *cursor.last_mut().unwrap() = idx[idx.len() - 1] + l as i64;
+            out.push(self.load(&cursor));
+        }
+        out
+    }
+
+    /// Writes `values` consecutively along the last dimension.
+    pub fn store_vector(&self, idx: &[i64], values: &[f64]) {
+        let mut cursor = idx.to_vec();
+        for (l, &v) in values.iter().enumerate() {
+            *cursor.last_mut().unwrap() = idx[idx.len() - 1] + l as i64;
+            self.store(&cursor, v);
+        }
+    }
+
+    /// `memref.subview`: a rectangular window re-addressed from zero.
+    pub fn subview(&self, offsets: &[i64], sizes: &[usize]) -> BufferView {
+        assert_eq!(offsets.len(), self.rank());
+        let mut base = self.base;
+        for ((&off, &origin), &stride) in offsets.iter().zip(&self.origin).zip(&self.strides) {
+            base += (off - origin) as isize * stride;
+        }
+        BufferView {
+            storage: Rc::clone(&self.storage),
+            shape: sizes.to_vec(),
+            strides: self.strides.clone(),
+            base,
+            origin: vec![0; self.rank()],
+        }
+    }
+
+    /// `memref.shift_view`: the same window addressed in shifted
+    /// coordinates (`view[i] = self[i - shift]`).
+    pub fn shift_view(&self, shifts: &[i64]) -> BufferView {
+        assert_eq!(shifts.len(), self.rank());
+        let origin = self.origin.iter().zip(shifts).map(|(o, s)| o + s).collect();
+        BufferView {
+            storage: Rc::clone(&self.storage),
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            base: self.base,
+            origin,
+        }
+    }
+
+    /// Copies all elements of `src` into `self` (matching shapes).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&self, src: &BufferView) {
+        assert_eq!(self.shape, src.shape, "copy shape mismatch");
+        // Iterate in row-major order over the view coordinates.
+        let total: usize = self.shape.iter().product();
+        let mut idx = vec![0i64; self.rank()];
+        for _ in 0..total {
+            let src_idx: Vec<i64> = idx.iter().zip(&src.origin).map(|(i, o)| i + o).collect();
+            let dst_idx: Vec<i64> = idx.iter().zip(&self.origin).map(|(i, o)| i + o).collect();
+            self.store(&dst_idx, src.load(&src_idx));
+            // Increment odometer.
+            for d in (0..self.rank()).rev() {
+                idx[d] += 1;
+                if (idx[d] as usize) < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Flattens the view into a row-major vector (for test assertions).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let total: usize = self.shape.iter().product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0i64; self.rank()];
+        for _ in 0..total {
+            let full: Vec<i64> = idx.iter().zip(&self.origin).map(|(i, o)| i + o).collect();
+            out.push(self.load(&full));
+            for d in (0..self.rank()).rev() {
+                idx[d] += 1;
+                if (idx[d] as usize) < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// Fills every element with a value.
+    pub fn fill(&self, value: f64) {
+        let len = self.storage.borrow().len();
+        if self.base == 0
+            && self.origin.iter().all(|&o| o == 0)
+            && self.shape.iter().product::<usize>() == len
+        {
+            self.storage.borrow_mut().fill(value);
+        } else {
+            let total: usize = self.shape.iter().product();
+            let mut idx = vec![0i64; self.rank()];
+            for _ in 0..total {
+                let full: Vec<i64> = idx.iter().zip(&self.origin).map(|(i, o)| i + o).collect();
+                self.store(&full, value);
+                for d in (0..self.rank()).rev() {
+                    idx[d] += 1;
+                    if (idx[d] as usize) < self.shape[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        }
+    }
+
+    /// Maximum absolute elementwise difference against another view of the
+    /// same shape.
+    pub fn max_abs_diff(&self, other: &BufferView) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        self.to_vec()
+            .iter()
+            .zip(other.to_vec())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Debug for BufferView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BufferView(shape={:?}, origin={:?}, base={})",
+            self.shape, self.origin, self.base
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_zeroed() {
+        let b = BufferView::alloc(&[2, 3]);
+        assert_eq!(b.to_vec(), vec![0.0; 6]);
+        assert_eq!(b.dim(0), 2);
+        assert_eq!(b.rank(), 2);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let b = BufferView::alloc(&[3, 4]);
+        b.store(&[1, 2], 7.5);
+        assert_eq!(b.load(&[1, 2]), 7.5);
+        assert_eq!(b.load(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let b = BufferView::alloc(&[2, 2]);
+        let _ = b.load(&[2, 0]);
+    }
+
+    #[test]
+    fn vector_access_contiguous() {
+        let b = BufferView::from_data(&[2, 4], (0..8).map(f64::from).collect());
+        assert_eq!(b.load_vector(&[1, 0], 4), vec![4.0, 5.0, 6.0, 7.0]);
+        b.store_vector(&[0, 1], &[9.0, 8.0]);
+        assert_eq!(b.to_vec()[..4], [0.0, 9.0, 8.0, 3.0]);
+    }
+
+    #[test]
+    fn shift_view_global_coordinates() {
+        // A 2x2 temp covering global window [3..5) x [10..12).
+        let tmp = BufferView::alloc(&[2, 2]);
+        let view = tmp.shift_view(&[3, 10]);
+        view.store(&[3, 10], 1.0);
+        view.store(&[4, 11], 2.0);
+        assert_eq!(tmp.load(&[0, 0]), 1.0);
+        assert_eq!(tmp.load(&[1, 1]), 2.0);
+        assert!(view.aliases(&tmp));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shift_view_bounds() {
+        let tmp = BufferView::alloc(&[2, 2]);
+        let view = tmp.shift_view(&[3, 10]);
+        let _ = view.load(&[2, 10]);
+    }
+
+    #[test]
+    fn subview_windows() {
+        let b = BufferView::from_data(&[3, 3], (0..9).map(f64::from).collect());
+        let s = b.subview(&[1, 1], &[2, 2]);
+        assert_eq!(s.to_vec(), vec![4.0, 5.0, 7.0, 8.0]);
+        s.store(&[0, 0], -1.0);
+        assert_eq!(b.load(&[1, 1]), -1.0);
+    }
+
+    #[test]
+    fn copy_and_diff() {
+        let a = BufferView::from_data(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = BufferView::alloc(&[2, 2]);
+        b.copy_from(&a);
+        assert_eq!(b.max_abs_diff(&a), 0.0);
+        b.store(&[0, 1], 2.5);
+        assert!((b.max_abs_diff(&a) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fill_shifted_view() {
+        let tmp = BufferView::alloc(&[2, 2]);
+        let v = tmp.shift_view(&[5, 5]);
+        v.fill(3.0);
+        assert_eq!(tmp.to_vec(), vec![3.0; 4]);
+    }
+}

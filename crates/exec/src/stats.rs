@@ -1,0 +1,89 @@
+//! Execution statistics collected by the interpreter.
+//!
+//! These counters serve two purposes: (i) white-box assertions in tests
+//! (e.g. "the vectorized pipeline executes ~N/VF vector chunk bodies"),
+//! and (ii) calibration inputs for the machine performance model.
+
+/// Dynamic operation counts of one interpreted execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Scalar floating-point operations executed.
+    pub scalar_flops: u64,
+    /// Vector floating-point operations executed (each counts once,
+    /// regardless of width).
+    pub vector_flops: u64,
+    /// Scalar loads.
+    pub loads: u64,
+    /// Scalar stores.
+    pub stores: u64,
+    /// Vector transfer reads.
+    pub vector_loads: u64,
+    /// Vector transfer writes.
+    pub vector_stores: u64,
+    /// Wavefront levels executed (each is a synchronization barrier).
+    pub wavefront_levels: u64,
+    /// Sub-domain bodies executed inside wavefronts.
+    pub blocks_executed: u64,
+    /// `cfd.get_parallel_blocks` schedule computations.
+    pub schedules_computed: u64,
+    /// Structured ops executed by reference semantics (not lowered).
+    pub reference_ops: u64,
+    /// Integer/index operations (loop and addressing overhead).
+    pub index_ops: u64,
+}
+
+impl ExecStats {
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.scalar_flops += other.scalar_flops;
+        self.vector_flops += other.vector_flops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.vector_loads += other.vector_loads;
+        self.vector_stores += other.vector_stores;
+        self.wavefront_levels += other.wavefront_levels;
+        self.blocks_executed += other.blocks_executed;
+        self.schedules_computed += other.schedules_computed;
+        self.reference_ops += other.reference_ops;
+        self.index_ops += other.index_ops;
+    }
+
+    /// Total dynamic floating-point work assuming `vf` lanes per vector
+    /// op.
+    pub fn effective_flops(&self, vf: u64) -> u64 {
+        self.scalar_flops + self.vector_flops * vf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecStats {
+            scalar_flops: 2,
+            loads: 1,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            scalar_flops: 3,
+            stores: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.scalar_flops, 5);
+        assert_eq!(a.loads, 1);
+        assert_eq!(a.stores, 4);
+    }
+
+    #[test]
+    fn effective_flops_scales_vectors() {
+        let s = ExecStats {
+            scalar_flops: 10,
+            vector_flops: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.effective_flops(8), 34);
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-function modules through the interpreter: `func.call` dispatch,
+//! argument passing and result threading.
+
+use instencil_exec::{Interpreter, RtVal};
+use instencil_ir::{FuncBuilder, Module, Type};
+
+fn helper_module() -> Module {
+    let mut m = Module::new("calls");
+    // g(x) = x * x
+    let mut g = FuncBuilder::new("square", vec![Type::F64], vec![Type::F64]);
+    let x = g.arg(0);
+    let y = g.mulf(x, x);
+    g.ret(vec![y]);
+    m.push_func(g.finish());
+    // f(a, b) = square(a) + square(b)
+    let mut f = FuncBuilder::new(
+        "sum_of_squares",
+        vec![Type::F64, Type::F64],
+        vec![Type::F64],
+    );
+    let a = f.arg(0);
+    let b = f.arg(1);
+    let sa = f.call("square", vec![a], vec![Type::F64]);
+    let sb = f.call("square", vec![b], vec![Type::F64]);
+    let s = f.addf(sa[0], sb[0]);
+    f.ret(vec![s]);
+    m.push_func(f.finish());
+    m
+}
+
+#[test]
+fn call_dispatch_and_results() {
+    let m = helper_module();
+    m.verify().unwrap();
+    let mut interp = Interpreter::new();
+    let out = interp
+        .call(&m, "sum_of_squares", vec![RtVal::F64(3.0), RtVal::F64(4.0)])
+        .unwrap();
+    assert_eq!(out[0].as_f64(), 25.0);
+}
+
+#[test]
+fn calls_inside_loops() {
+    let mut m = helper_module();
+    // h(n) = Σ_{i<n} square(i)
+    let mut h = FuncBuilder::new("sum_sq_to_n", vec![Type::Index], vec![Type::F64]);
+    let n = h.arg(0);
+    let c0 = h.const_index(0);
+    let c1 = h.const_index(1);
+    let acc0 = h.const_f64(0.0);
+    let r = h.build_for(c0, n, c1, vec![acc0], |fb, iv, iters| {
+        let x = fb.index_to_f64(iv);
+        let sq = fb.call("square", vec![x], vec![Type::F64]);
+        vec![fb.addf(iters[0], sq[0])]
+    });
+    h.ret(vec![r[0]]);
+    m.push_func(h.finish());
+    let mut interp = Interpreter::new();
+    let out = interp.call(&m, "sum_sq_to_n", vec![RtVal::Int(5)]).unwrap();
+    assert_eq!(out[0].as_f64(), 0.0 + 1.0 + 4.0 + 9.0 + 16.0);
+}
+
+#[test]
+fn missing_callee_is_a_clean_error() {
+    let mut m = Module::new("bad");
+    let mut f = FuncBuilder::new("f", vec![], vec![Type::F64]);
+    let r = f.call("ghost", vec![], vec![Type::F64]);
+    f.ret(vec![r[0]]);
+    m.push_func(f.finish());
+    let mut interp = Interpreter::new();
+    let e = interp.call(&m, "f", vec![]).unwrap_err();
+    assert!(e.message.contains("ghost"), "{e}");
+}
+
+#[test]
+fn buffers_pass_through_calls_by_reference() {
+    use instencil_exec::buffer::BufferView;
+    let mut m = Module::new("bufcall");
+    let mr = Type::memref_dyn(Type::F64, 1);
+    let mut callee = FuncBuilder::new("bump", vec![mr.clone()], vec![]);
+    let buf = callee.arg(0);
+    let i = callee.const_index(0);
+    let cur = callee.mem_load(buf, &[i]);
+    let one = callee.const_f64(1.0);
+    let nv = callee.addf(cur, one);
+    callee.mem_store(nv, buf, &[i]);
+    callee.ret(vec![]);
+    m.push_func(callee.finish());
+    let mut caller = FuncBuilder::new("twice", vec![mr], vec![]);
+    let b = caller.arg(0);
+    caller.call("bump", vec![b], vec![]);
+    caller.call("bump", vec![b], vec![]);
+    caller.ret(vec![]);
+    m.push_func(caller.finish());
+
+    let buf = BufferView::alloc(&[4]);
+    let mut interp = Interpreter::new();
+    interp
+        .call(&m, "twice", vec![RtVal::Buf(buf.clone())])
+        .unwrap();
+    assert_eq!(
+        buf.load(&[0]),
+        2.0,
+        "mutations through calls must be visible"
+    );
+}

@@ -1,0 +1,164 @@
+//! Interpreter coverage: the less-traveled ops (math functions, vector
+//! arithmetic, subviews, `scf.parallel`, select/compare chains).
+
+use instencil_exec::buffer::BufferView;
+use instencil_exec::{Interpreter, RtVal};
+use instencil_ir::{CmpPred, FuncBuilder, Module, Type};
+
+fn run1(build: impl FnOnce(&mut FuncBuilder)) -> f64 {
+    let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+    build(&mut fb);
+    let mut m = Module::new("t");
+    m.push_func(fb.finish());
+    m.verify().unwrap();
+    Interpreter::new().call(&m, "f", vec![]).unwrap()[0].as_f64()
+}
+
+#[test]
+fn math_functions() {
+    let v = run1(|fb| {
+        let x = fb.const_f64(4.0);
+        let s = fb.sqrt(x); // 2
+        let e = {
+            let z = fb.const_f64(0.0);
+            fb.exp(z) // 1
+        };
+        let p = {
+            let b = fb.const_f64(3.0);
+            fb.powf(s, b) // 8
+        };
+        let n = fb.negf(e); // -1
+        let a = fb.absf(n); // 1
+        let sum = fb.addf(p, a); // 9
+        fb.ret(vec![sum]);
+    });
+    assert_eq!(v, 9.0);
+}
+
+#[test]
+fn min_max_and_select() {
+    let v = run1(|fb| {
+        let a = fb.const_f64(2.0);
+        let b = fb.const_f64(-3.0);
+        let mx = fb.maxf(a, b); // 2
+        let mn = fb.minf(a, b); // -3
+        let c = fb.cmpf(CmpPred::Gt, mx, mn);
+        let r = fb.select(c, mx, mn);
+        fb.ret(vec![r]);
+    });
+    assert_eq!(v, 2.0);
+}
+
+#[test]
+fn sitofp_and_index_math() {
+    let v = run1(|fb| {
+        let a = fb.const_index(17);
+        let b = fb.const_index(5);
+        let q = fb.floordiv(a, b); // 3
+        let r = fb.remi(a, b); // 2
+        let mx = fb.maxsi(q, r); // 3
+        let mn = fb.minsi(q, r); // 2
+        let s = fb.addi(mx, mn); // 5
+        let f = fb.index_to_f64(s);
+        fb.ret(vec![f]);
+    });
+    assert_eq!(v, 5.0);
+}
+
+#[test]
+fn vector_arithmetic_elementwise() {
+    let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+    let a = fb.const_f64_vector(1.5, 4);
+    let two = fb.const_f64(2.0);
+    let b = fb.vec_broadcast(two, 4);
+    let s = fb.addf(a, b); // 3.5 splat
+    let p = fb.mulf(s, b); // 7.0 splat
+    let f = fb.fma(a, b, p); // 1.5*2+7 = 10
+    let lane = fb.vec_extract(f, 2);
+    fb.ret(vec![lane]);
+    let mut m = Module::new("t");
+    m.push_func(fb.finish());
+    let mut interp = Interpreter::new();
+    let out = interp.call(&m, "f", vec![]).unwrap();
+    assert_eq!(out[0].as_f64(), 10.0);
+    assert!(interp.stats.vector_flops >= 3);
+}
+
+#[test]
+fn subview_and_copy_ops() {
+    let mr = Type::memref_dyn(Type::F64, 2);
+    let mut fb = FuncBuilder::new("f", vec![mr], vec![Type::F64]);
+    let buf = fb.arg(0);
+    // Take the 2x2 window at (1,1) and copy it into a fresh alloc.
+    let one = fb.const_index(1);
+    let two = fb.const_index(2);
+    let sub = fb.mem_subview(buf, &[one, one], &[two, two]);
+    let tmp = fb.mem_alloc(Type::memref_dyn(Type::F64, 2), vec![two, two]);
+    fb.create(
+        instencil_ir::OpCode::MemCopy,
+        vec![sub, tmp],
+        vec![],
+        instencil_ir::attr::AttrMap::new(),
+        vec![],
+    );
+    let zero = fb.const_index(0);
+    let v = fb.mem_load(tmp, &[zero, zero]);
+    fb.ret(vec![v]);
+    let mut m = Module::new("t");
+    m.push_func(fb.finish());
+    m.verify().unwrap();
+    let b = BufferView::from_data(&[4, 4], (0..16).map(f64::from).collect());
+    let out = Interpreter::new()
+        .call(&m, "f", vec![RtVal::Buf(b)])
+        .unwrap();
+    assert_eq!(out[0].as_f64(), 5.0); // element (1,1)
+}
+
+#[test]
+fn scf_parallel_executes_all_iterations() {
+    let mr = Type::memref_dyn(Type::F64, 1);
+    let mut fb = FuncBuilder::new("f", vec![mr], vec![]);
+    let buf = fb.arg(0);
+    let c0 = fb.const_index(0);
+    let c8 = fb.const_index(8);
+    let c1 = fb.const_index(1);
+    fb.build_parallel(c0, c8, c1, |fb, iv| {
+        let x = fb.index_to_f64(iv);
+        fb.mem_store(x, buf, &[iv]);
+    });
+    fb.ret(vec![]);
+    let mut m = Module::new("t");
+    m.push_func(fb.finish());
+    m.verify().unwrap();
+    let b = BufferView::alloc(&[8]);
+    Interpreter::new()
+        .call(&m, "f", vec![RtVal::Buf(b.clone())])
+        .unwrap();
+    assert_eq!(b.to_vec(), (0..8).map(f64::from).collect::<Vec<_>>());
+}
+
+#[test]
+fn dim_queries_and_dealloc() {
+    let mr = Type::memref_dyn(Type::F64, 3);
+    let mut fb = FuncBuilder::new("f", vec![mr], vec![Type::F64]);
+    let buf = fb.arg(0);
+    let d0 = fb.mem_dim(buf, 0);
+    let d2 = fb.mem_dim(buf, 2);
+    let s = fb.muli(d0, d2);
+    fb.create(
+        instencil_ir::OpCode::MemDealloc,
+        vec![buf],
+        vec![],
+        instencil_ir::attr::AttrMap::new(),
+        vec![],
+    );
+    let f = fb.index_to_f64(s);
+    fb.ret(vec![f]);
+    let mut m = Module::new("t");
+    m.push_func(fb.finish());
+    let b = BufferView::alloc(&[2, 5, 7]);
+    let out = Interpreter::new()
+        .call(&m, "f", vec![RtVal::Buf(b)])
+        .unwrap();
+    assert_eq!(out[0].as_f64(), 14.0);
+}

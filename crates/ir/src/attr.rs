@@ -1,0 +1,338 @@
+//! Compile-time operation attributes.
+//!
+//! Attributes carry the static properties of an operation: constant values,
+//! loop bounds known at compile time, the stencil pattern of a
+//! `cfd.stencil` op (a dense `{-1,0,1}` grid, stored as [`Attribute::DenseI8`]),
+//! symbol names, etc.
+
+use std::fmt;
+
+use crate::types::Type;
+
+/// A compile-time attribute value attached to an [`crate::Operation`].
+///
+/// # Example
+/// ```
+/// use instencil_ir::Attribute;
+/// let a = Attribute::IntArray(vec![64, 256]);
+/// assert_eq!(a.to_string(), "[64, 256]");
+/// assert_eq!(a.as_int_array(), Some(&[64i64, 256][..]));
+/// ```
+#[derive(Clone, PartialEq)]
+pub enum Attribute {
+    /// A unit (presence-only) attribute.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string (symbol names, labels).
+    Str(String),
+    /// A flat array of integers (tile sizes, offsets, strides).
+    IntArray(Vec<i64>),
+    /// A dense multi-dimensional array of small integers, row-major.
+    /// Used for stencil-pattern attributes (values in `{-1,0,1}`).
+    DenseI8 {
+        /// Extent of each dimension; `data.len() == shape.iter().product()`.
+        shape: Vec<usize>,
+        /// Row-major payload.
+        data: Vec<i8>,
+    },
+    /// A type attribute.
+    TypeAttr(Type),
+    /// An array of nested attributes.
+    Array(Vec<Attribute>),
+}
+
+impl Attribute {
+    /// Returns the integer payload of an [`Attribute::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload of an [`Attribute::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload of an [`Attribute::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload of an [`Attribute::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the payload of an [`Attribute::IntArray`].
+    pub fn as_int_array(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::IntArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns `(shape, data)` of an [`Attribute::DenseI8`].
+    pub fn as_dense_i8(&self) -> Option<(&[usize], &[i8])> {
+        match self {
+            Attribute::DenseI8 { shape, data } => Some((shape, data)),
+            _ => None,
+        }
+    }
+
+    /// Returns the type payload of an [`Attribute::TypeAttr`].
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::TypeAttr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Attribute {
+    fn from(v: i64) -> Self {
+        Attribute::Int(v)
+    }
+}
+
+impl From<f64> for Attribute {
+    fn from(v: f64) -> Self {
+        Attribute::Float(v)
+    }
+}
+
+impl From<bool> for Attribute {
+    fn from(v: bool) -> Self {
+        Attribute::Bool(v)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(v: &str) -> Self {
+        Attribute::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(v: String) -> Self {
+        Attribute::Str(v)
+    }
+}
+
+impl From<Vec<i64>> for Attribute {
+    fn from(v: Vec<i64>) -> Self {
+        Attribute::IntArray(v)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => write!(f, "unit"),
+            Attribute::Bool(b) => write!(f, "{b}"),
+            Attribute::Int(v) => write!(f, "{v}"),
+            Attribute::Float(v) => {
+                // Always print a decimal point so the parser can
+                // distinguish floats from ints.
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Attribute::Str(s) => write!(f, "{s:?}"),
+            Attribute::IntArray(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::DenseI8 { shape, data } => {
+                write!(f, "dense<")?;
+                for (i, s) in shape.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "x")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ":")?;
+                for (i, v) in data.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">")
+            }
+            Attribute::TypeAttr(t) => write!(f, "type({t})"),
+            Attribute::Array(items) => {
+                write!(f, "#[")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An ordered attribute dictionary (small, so a sorted `Vec` is used).
+#[derive(Clone, Default, PartialEq)]
+pub struct AttrMap {
+    entries: Vec<(String, Attribute)>,
+}
+
+impl AttrMap {
+    /// Creates an empty attribute map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces an attribute, keeping entries sorted by key.
+    pub fn set(&mut self, key: impl Into<String>, value: Attribute) {
+        let key = key.into();
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+    }
+
+    /// Looks up an attribute by key.
+    pub fn get(&self, key: &str) -> Option<&Attribute> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Removes an attribute by key, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Attribute> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.entries.remove(i).1)
+    }
+
+    /// Returns `true` when no attributes are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Attribute)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl fmt::Debug for AttrMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<(String, Attribute)> for AttrMap {
+    fn from_iter<T: IntoIterator<Item = (String, Attribute)>>(iter: T) -> Self {
+        let mut map = AttrMap::new();
+        for (k, v) in iter {
+            map.set(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Attribute::Int(3).as_int(), Some(3));
+        assert_eq!(Attribute::Int(3).as_float(), None);
+        assert_eq!(Attribute::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Attribute::Bool(true).as_bool(), Some(true));
+        assert_eq!(Attribute::Str("x".into()).as_str(), Some("x"));
+        let d = Attribute::DenseI8 {
+            shape: vec![3, 3],
+            data: vec![0; 9],
+        };
+        let (shape, data) = d.as_dense_i8().unwrap();
+        assert_eq!(shape, &[3, 3]);
+        assert_eq!(data.len(), 9);
+    }
+
+    #[test]
+    fn display_round_numbers_keep_point() {
+        assert_eq!(Attribute::Float(2.0).to_string(), "2.0");
+        assert_eq!(Attribute::Float(0.5).to_string(), "0.5");
+        assert_eq!(Attribute::Int(2).to_string(), "2");
+    }
+
+    #[test]
+    fn display_dense() {
+        let d = Attribute::DenseI8 {
+            shape: vec![3, 3],
+            data: vec![0, -1, 0, -1, 0, 1, 0, 1, 0],
+        };
+        assert_eq!(d.to_string(), "dense<3x3:0,-1,0,-1,0,1,0,1,0>");
+    }
+
+    #[test]
+    fn attr_map_sorted_insert_get_remove() {
+        let mut m = AttrMap::new();
+        m.set("zeta", Attribute::Int(1));
+        m.set("alpha", Attribute::Int(2));
+        m.set("zeta", Attribute::Int(3)); // replace
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("zeta").and_then(Attribute::as_int), Some(3));
+        assert_eq!(m.get("alpha").and_then(Attribute::as_int), Some(2));
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+        assert_eq!(m.remove("alpha").and_then(|a| a.as_int()), Some(2));
+        assert!(m.get("alpha").is_none());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Attribute::from(7i64), Attribute::Int(7));
+        assert_eq!(Attribute::from(true), Attribute::Bool(true));
+        assert_eq!(Attribute::from("hi"), Attribute::Str("hi".into()));
+        assert_eq!(
+            Attribute::from(vec![1i64, 2]),
+            Attribute::IntArray(vec![1, 2])
+        );
+    }
+}

@@ -1,0 +1,702 @@
+//! Ergonomic construction of functions.
+//!
+//! [`FuncBuilder`] wraps a [`Func`] under construction with an insertion
+//! point and typed helper methods for every common operation, including
+//! closure-based builders for structured control flow (`scf.for`,
+//! `scf.if`), mirroring MLIR's `OpBuilder` idiom.
+
+use crate::attr::{AttrMap, Attribute};
+use crate::body::{Body, Func};
+use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::op::{CmpPred, OpCode};
+use crate::types::Type;
+
+/// Builder for a single function.
+///
+/// # Example
+/// ```
+/// use instencil_ir::{FuncBuilder, Type};
+/// let mut fb = FuncBuilder::new("sum_to_n", vec![Type::Index], vec![Type::F64]);
+/// let n = fb.arg(0);
+/// let zero = fb.const_index(0);
+/// let one = fb.const_index(1);
+/// let init = fb.const_f64(0.0);
+/// let result = fb.build_for(zero, n, one, vec![init], |fb, iv, iters| {
+///     let x = fb.index_to_f64(iv);
+///     let acc = fb.addf(iters[0], x);
+///     vec![acc]
+/// });
+/// fb.ret(vec![result[0]]);
+/// let func = fb.finish();
+/// assert_eq!(func.name, "sum_to_n");
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Func,
+    insert_block: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts a new function with the given signature. The entry block
+    /// receives one argument per `arg_types` entry.
+    pub fn new(name: impl Into<String>, arg_types: Vec<Type>, result_types: Vec<Type>) -> Self {
+        let mut body = Body::new();
+        let entry = body.entry_block();
+        for ty in &arg_types {
+            body.add_block_arg(entry, ty.clone());
+        }
+        let func = Func {
+            name: name.into(),
+            arg_types,
+            result_types,
+            body,
+        };
+        FuncBuilder {
+            insert_block: entry,
+            func,
+        }
+    }
+
+    /// The `i`-th function argument.
+    pub fn arg(&self, i: usize) -> ValueId {
+        self.func.arg(i)
+    }
+
+    /// Read access to the body under construction.
+    pub fn body(&self) -> &Body {
+        &self.func.body
+    }
+
+    /// Mutable access to the body under construction.
+    pub fn body_mut(&mut self) -> &mut Body {
+        &mut self.func.body
+    }
+
+    /// Current insertion block.
+    pub fn insertion_block(&self) -> BlockId {
+        self.insert_block
+    }
+
+    /// Moves the insertion point to the end of `block`.
+    pub fn set_insertion_block(&mut self, block: BlockId) {
+        self.insert_block = block;
+    }
+
+    /// Type of a value.
+    pub fn ty(&self, v: ValueId) -> Type {
+        self.func.body.value_type(v).clone()
+    }
+
+    /// Generic op creation at the insertion point. Returns the op id.
+    pub fn create(
+        &mut self,
+        opcode: OpCode,
+        operands: Vec<ValueId>,
+        result_tys: Vec<Type>,
+        attrs: AttrMap,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        self.func.body.create_op(
+            self.insert_block,
+            opcode,
+            operands,
+            result_tys,
+            attrs,
+            regions,
+        )
+    }
+
+    /// Generic single-result op creation; returns the result value.
+    pub fn create1(
+        &mut self,
+        opcode: OpCode,
+        operands: Vec<ValueId>,
+        result_ty: Type,
+        attrs: AttrMap,
+    ) -> ValueId {
+        let op = self.create(opcode, operands, vec![result_ty], attrs, vec![]);
+        self.func.body.op(op).result()
+    }
+
+    // ----- constants -----
+
+    fn constant(&mut self, value: Attribute, ty: Type) -> ValueId {
+        let mut attrs = AttrMap::new();
+        attrs.set("value", value);
+        self.create1(OpCode::Constant, vec![], ty, attrs)
+    }
+
+    /// `arith.constant : f64`.
+    pub fn const_f64(&mut self, v: f64) -> ValueId {
+        self.constant(Attribute::Float(v), Type::F64)
+    }
+
+    /// `arith.constant : index`.
+    pub fn const_index(&mut self, v: i64) -> ValueId {
+        self.constant(Attribute::Int(v), Type::Index)
+    }
+
+    /// `arith.constant : i64`.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.constant(Attribute::Int(v), Type::I64)
+    }
+
+    /// `arith.constant : i1`.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.constant(Attribute::Bool(v), Type::I1)
+    }
+
+    /// Splat constant of vector type: `arith.constant : vector<NxF64>`.
+    pub fn const_f64_vector(&mut self, v: f64, lanes: usize) -> ValueId {
+        self.constant(Attribute::Float(v), Type::vector(Type::F64, lanes))
+    }
+
+    // ----- float arithmetic (scalar or vector, type follows lhs) -----
+
+    fn binf(&mut self, opcode: OpCode, a: ValueId, b: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(opcode, vec![a, b], ty, AttrMap::new())
+    }
+
+    /// `arith.addf`.
+    pub fn addf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binf(OpCode::AddF, a, b)
+    }
+
+    /// `arith.subf`.
+    pub fn subf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binf(OpCode::SubF, a, b)
+    }
+
+    /// `arith.mulf`.
+    pub fn mulf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binf(OpCode::MulF, a, b)
+    }
+
+    /// `arith.divf`.
+    pub fn divf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binf(OpCode::DivF, a, b)
+    }
+
+    /// `arith.maximumf`.
+    pub fn maxf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binf(OpCode::MaxF, a, b)
+    }
+
+    /// `arith.minimumf`.
+    pub fn minf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binf(OpCode::MinF, a, b)
+    }
+
+    /// `arith.negf`.
+    pub fn negf(&mut self, a: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(OpCode::NegF, vec![a], ty, AttrMap::new())
+    }
+
+    /// `math.fma` — `a * b + c`.
+    pub fn fma(&mut self, a: ValueId, b: ValueId, c: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(OpCode::Fma, vec![a, b, c], ty, AttrMap::new())
+    }
+
+    /// `math.sqrt`.
+    pub fn sqrt(&mut self, a: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(OpCode::Sqrt, vec![a], ty, AttrMap::new())
+    }
+
+    /// `math.absf`.
+    pub fn absf(&mut self, a: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(OpCode::AbsF, vec![a], ty, AttrMap::new())
+    }
+
+    /// `math.exp`.
+    pub fn exp(&mut self, a: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(OpCode::Exp, vec![a], ty, AttrMap::new())
+    }
+
+    /// `math.powf`.
+    pub fn powf(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(OpCode::PowF, vec![a, b], ty, AttrMap::new())
+    }
+
+    // ----- integer / index arithmetic -----
+
+    fn bini(&mut self, opcode: OpCode, a: ValueId, b: ValueId) -> ValueId {
+        let ty = self.ty(a);
+        self.create1(opcode, vec![a, b], ty, AttrMap::new())
+    }
+
+    /// `arith.addi`.
+    pub fn addi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::AddI, a, b)
+    }
+
+    /// `arith.subi`.
+    pub fn subi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::SubI, a, b)
+    }
+
+    /// `arith.muli`.
+    pub fn muli(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::MulI, a, b)
+    }
+
+    /// `arith.floordivsi`.
+    pub fn floordiv(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::FloorDivSI, a, b)
+    }
+
+    /// `arith.ceildivsi`.
+    pub fn ceildiv(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::CeilDivSI, a, b)
+    }
+
+    /// `arith.remsi`.
+    pub fn remi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::RemSI, a, b)
+    }
+
+    /// `arith.minsi`.
+    pub fn minsi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::MinSI, a, b)
+    }
+
+    /// `arith.maxsi`.
+    pub fn maxsi(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bini(OpCode::MaxSI, a, b)
+    }
+
+    /// `arith.cmpi`.
+    pub fn cmpi(&mut self, pred: CmpPred, a: ValueId, b: ValueId) -> ValueId {
+        self.create1(OpCode::CmpI(pred), vec![a, b], Type::I1, AttrMap::new())
+    }
+
+    /// `arith.cmpf`.
+    pub fn cmpf(&mut self, pred: CmpPred, a: ValueId, b: ValueId) -> ValueId {
+        self.create1(OpCode::CmpF(pred), vec![a, b], Type::I1, AttrMap::new())
+    }
+
+    /// `arith.select`.
+    pub fn select(&mut self, cond: ValueId, t: ValueId, f: ValueId) -> ValueId {
+        let ty = self.ty(t);
+        self.create1(OpCode::Select, vec![cond, t, f], ty, AttrMap::new())
+    }
+
+    /// `arith.sitofp` from `index`/`i64` to `f64`.
+    pub fn index_to_f64(&mut self, v: ValueId) -> ValueId {
+        self.create1(OpCode::SiToFp, vec![v], Type::F64, AttrMap::new())
+    }
+
+    // ----- structured control flow -----
+
+    /// Builds `scf.for %iv = %lb to %ub step %step iter_args(inits)`.
+    ///
+    /// The closure receives the builder (positioned inside the loop body),
+    /// the induction variable and the iteration arguments; it must return
+    /// the values to yield (same arity and types as `inits`). Returns the
+    /// loop results.
+    pub fn build_for(
+        &mut self,
+        lb: ValueId,
+        ub: ValueId,
+        step: ValueId,
+        inits: Vec<ValueId>,
+        f: impl FnOnce(&mut FuncBuilder, ValueId, &[ValueId]) -> Vec<ValueId>,
+    ) -> Vec<ValueId> {
+        let region = self.func.body.add_region();
+        let block = self.func.body.add_block(region);
+        let iv = self.func.body.add_block_arg(block, Type::Index);
+        let iter_args: Vec<ValueId> = inits
+            .iter()
+            .map(|v| {
+                let ty = self.ty(*v);
+                self.func.body.add_block_arg(block, ty)
+            })
+            .collect();
+        let saved = self.insert_block;
+        self.insert_block = block;
+        let yields = f(self, iv, &iter_args);
+        assert_eq!(yields.len(), inits.len(), "scf.for yield arity mismatch");
+        self.create(OpCode::Yield, yields, vec![], AttrMap::new(), vec![]);
+        self.insert_block = saved;
+        let result_tys: Vec<Type> = inits.iter().map(|v| self.ty(*v)).collect();
+        let mut operands = vec![lb, ub, step];
+        operands.extend(inits);
+        let op = self.create(
+            OpCode::For,
+            operands,
+            result_tys,
+            AttrMap::new(),
+            vec![region],
+        );
+        self.func.body.op(op).results.clone()
+    }
+
+    /// Builds `scf.if %cond` with two regions; both closures must yield
+    /// values of `result_tys`. Returns the results.
+    pub fn build_if(
+        &mut self,
+        cond: ValueId,
+        result_tys: Vec<Type>,
+        then_f: impl FnOnce(&mut FuncBuilder) -> Vec<ValueId>,
+        else_f: impl FnOnce(&mut FuncBuilder) -> Vec<ValueId>,
+    ) -> Vec<ValueId> {
+        let then_region = self.func.body.add_region();
+        let then_block = self.func.body.add_block(then_region);
+        let saved = self.insert_block;
+        self.insert_block = then_block;
+        let then_vals = then_f(self);
+        self.create(OpCode::Yield, then_vals, vec![], AttrMap::new(), vec![]);
+        let else_region = self.func.body.add_region();
+        let else_block = self.func.body.add_block(else_region);
+        self.insert_block = else_block;
+        let else_vals = else_f(self);
+        self.create(OpCode::Yield, else_vals, vec![], AttrMap::new(), vec![]);
+        self.insert_block = saved;
+        let op = self.create(
+            OpCode::If,
+            vec![cond],
+            result_tys,
+            AttrMap::new(),
+            vec![then_region, else_region],
+        );
+        self.func.body.op(op).results.clone()
+    }
+
+    /// Builds `scf.parallel %iv = %lb to %ub step %step` (no iter args,
+    /// side-effecting body).
+    pub fn build_parallel(
+        &mut self,
+        lb: ValueId,
+        ub: ValueId,
+        step: ValueId,
+        f: impl FnOnce(&mut FuncBuilder, ValueId),
+    ) {
+        let region = self.func.body.add_region();
+        let block = self.func.body.add_block(region);
+        let iv = self.func.body.add_block_arg(block, Type::Index);
+        let saved = self.insert_block;
+        self.insert_block = block;
+        f(self, iv);
+        self.create(OpCode::Yield, vec![], vec![], AttrMap::new(), vec![]);
+        self.insert_block = saved;
+        self.create(
+            OpCode::Parallel,
+            vec![lb, ub, step],
+            vec![],
+            AttrMap::new(),
+            vec![region],
+        );
+    }
+
+    // ----- tensor ops -----
+
+    /// `tensor.empty` with dynamic sizes.
+    pub fn tensor_empty(&mut self, ty: Type, dyn_sizes: Vec<ValueId>) -> ValueId {
+        self.create1(OpCode::TensorEmpty, dyn_sizes, ty, AttrMap::new())
+    }
+
+    /// `tensor.extract`.
+    pub fn tensor_extract(&mut self, tensor: ValueId, indices: &[ValueId]) -> ValueId {
+        let elem = self
+            .ty(tensor)
+            .elem()
+            .expect("tensor.extract on non-tensor")
+            .clone();
+        let mut operands = vec![tensor];
+        operands.extend_from_slice(indices);
+        self.create1(OpCode::TensorExtract, operands, elem, AttrMap::new())
+    }
+
+    /// `tensor.insert` — returns the updated tensor value.
+    pub fn tensor_insert(
+        &mut self,
+        scalar: ValueId,
+        tensor: ValueId,
+        indices: &[ValueId],
+    ) -> ValueId {
+        let ty = self.ty(tensor);
+        let mut operands = vec![scalar, tensor];
+        operands.extend_from_slice(indices);
+        self.create1(OpCode::TensorInsert, operands, ty, AttrMap::new())
+    }
+
+    /// `tensor.extract_slice` with dynamic offsets and sizes (unit strides).
+    pub fn tensor_extract_slice(
+        &mut self,
+        tensor: ValueId,
+        offsets: &[ValueId],
+        sizes: &[ValueId],
+    ) -> ValueId {
+        let ty = self.ty(tensor);
+        let rank = ty.rank().expect("extract_slice on non-shaped");
+        assert_eq!(offsets.len(), rank);
+        assert_eq!(sizes.len(), rank);
+        let result_ty = ty.with_shape(vec![None; rank]);
+        let mut operands = vec![tensor];
+        operands.extend_from_slice(offsets);
+        operands.extend_from_slice(sizes);
+        self.create1(
+            OpCode::TensorExtractSlice,
+            operands,
+            result_ty,
+            AttrMap::new(),
+        )
+    }
+
+    /// `tensor.insert_slice` — writes `tile` into `dest` at `offsets`.
+    pub fn tensor_insert_slice(
+        &mut self,
+        tile: ValueId,
+        dest: ValueId,
+        offsets: &[ValueId],
+        sizes: &[ValueId],
+    ) -> ValueId {
+        let ty = self.ty(dest);
+        let mut operands = vec![tile, dest];
+        operands.extend_from_slice(offsets);
+        operands.extend_from_slice(sizes);
+        self.create1(OpCode::TensorInsertSlice, operands, ty, AttrMap::new())
+    }
+
+    /// `tensor.dim`.
+    pub fn tensor_dim(&mut self, tensor: ValueId, dim: usize) -> ValueId {
+        let mut attrs = AttrMap::new();
+        attrs.set("dim", Attribute::Int(dim as i64));
+        self.create1(OpCode::TensorDim, vec![tensor], Type::Index, attrs)
+    }
+
+    // ----- memref ops -----
+
+    /// `memref.alloc` with dynamic sizes.
+    pub fn mem_alloc(&mut self, ty: Type, dyn_sizes: Vec<ValueId>) -> ValueId {
+        self.create1(OpCode::MemAlloc, dyn_sizes, ty, AttrMap::new())
+    }
+
+    /// `memref.load`.
+    pub fn mem_load(&mut self, memref: ValueId, indices: &[ValueId]) -> ValueId {
+        let elem = self
+            .ty(memref)
+            .elem()
+            .expect("memref.load on non-memref")
+            .clone();
+        let mut operands = vec![memref];
+        operands.extend_from_slice(indices);
+        self.create1(OpCode::MemLoad, operands, elem, AttrMap::new())
+    }
+
+    /// `memref.store`.
+    pub fn mem_store(&mut self, value: ValueId, memref: ValueId, indices: &[ValueId]) {
+        let mut operands = vec![value, memref];
+        operands.extend_from_slice(indices);
+        self.create(OpCode::MemStore, operands, vec![], AttrMap::new(), vec![]);
+    }
+
+    /// `memref.subview` with dynamic offsets/sizes (unit strides, aliasing).
+    pub fn mem_subview(
+        &mut self,
+        memref: ValueId,
+        offsets: &[ValueId],
+        sizes: &[ValueId],
+    ) -> ValueId {
+        let ty = self.ty(memref);
+        let rank = ty.rank().expect("subview on non-shaped");
+        let result_ty = ty.with_shape(vec![None; rank]);
+        let mut operands = vec![memref];
+        operands.extend_from_slice(offsets);
+        operands.extend_from_slice(sizes);
+        self.create1(OpCode::MemSubview, operands, result_ty, AttrMap::new())
+    }
+
+    /// `memref.shift_view` — a view of `memref` addressed in shifted
+    /// coordinates (`view[i] = src[i - shift]`).
+    pub fn mem_shift_view(&mut self, memref: ValueId, shifts: &[ValueId]) -> ValueId {
+        let ty = self.ty(memref);
+        let rank = ty.rank().expect("shift_view on non-shaped");
+        assert_eq!(shifts.len(), rank);
+        let result_ty = ty.with_shape(vec![None; rank]);
+        let mut operands = vec![memref];
+        operands.extend_from_slice(shifts);
+        self.create1(OpCode::MemShiftView, operands, result_ty, AttrMap::new())
+    }
+
+    /// `memref.dim`.
+    pub fn mem_dim(&mut self, memref: ValueId, dim: usize) -> ValueId {
+        let mut attrs = AttrMap::new();
+        attrs.set("dim", Attribute::Int(dim as i64));
+        self.create1(OpCode::MemDim, vec![memref], Type::Index, attrs)
+    }
+
+    // ----- vector ops -----
+
+    /// `vector.transfer_read` of `lanes` elements from a memref/tensor.
+    pub fn transfer_read(&mut self, source: ValueId, indices: &[ValueId], lanes: usize) -> ValueId {
+        let elem = self
+            .ty(source)
+            .elem()
+            .expect("transfer_read on non-shaped")
+            .clone();
+        let mut operands = vec![source];
+        operands.extend_from_slice(indices);
+        self.create1(
+            OpCode::VecTransferRead,
+            operands,
+            Type::vector(elem, lanes),
+            AttrMap::new(),
+        )
+    }
+
+    /// `vector.transfer_write` of a vector into a memref (in-place) — for
+    /// tensors, returns the updated tensor; for memrefs, returns no value
+    /// (use [`FuncBuilder::transfer_write_mem`]).
+    pub fn transfer_write_tensor(
+        &mut self,
+        vector: ValueId,
+        dest: ValueId,
+        indices: &[ValueId],
+    ) -> ValueId {
+        let ty = self.ty(dest);
+        let mut operands = vec![vector, dest];
+        operands.extend_from_slice(indices);
+        self.create1(OpCode::VecTransferWrite, operands, ty, AttrMap::new())
+    }
+
+    /// `vector.transfer_write` into a memref (side effect, no result).
+    pub fn transfer_write_mem(&mut self, vector: ValueId, dest: ValueId, indices: &[ValueId]) {
+        let mut operands = vec![vector, dest];
+        operands.extend_from_slice(indices);
+        self.create(
+            OpCode::VecTransferWrite,
+            operands,
+            vec![],
+            AttrMap::new(),
+            vec![],
+        );
+    }
+
+    /// `vector.extract` of one lane.
+    pub fn vec_extract(&mut self, vector: ValueId, lane: usize) -> ValueId {
+        let elem = self
+            .ty(vector)
+            .elem()
+            .expect("vector.extract on non-vector")
+            .clone();
+        let mut attrs = AttrMap::new();
+        attrs.set("lane", Attribute::Int(lane as i64));
+        self.create1(OpCode::VecExtract, vec![vector], elem, attrs)
+    }
+
+    /// `vector.broadcast` — splat a scalar.
+    pub fn vec_broadcast(&mut self, scalar: ValueId, lanes: usize) -> ValueId {
+        let elem = self.ty(scalar);
+        self.create1(
+            OpCode::VecBroadcast,
+            vec![scalar],
+            Type::vector(elem, lanes),
+            AttrMap::new(),
+        )
+    }
+
+    // ----- func -----
+
+    /// `func.call`.
+    pub fn call(
+        &mut self,
+        callee: &str,
+        args: Vec<ValueId>,
+        result_tys: Vec<Type>,
+    ) -> Vec<ValueId> {
+        let mut attrs = AttrMap::new();
+        attrs.set("callee", Attribute::Str(callee.to_owned()));
+        let op = self.create(OpCode::Call, args, result_tys, attrs, vec![]);
+        self.func.body.op(op).results.clone()
+    }
+
+    /// `func.return` — terminates the entry region.
+    pub fn ret(&mut self, values: Vec<ValueId>) {
+        self.create(OpCode::Return, values, vec![], AttrMap::new(), vec![]);
+    }
+
+    /// Finalizes and returns the function.
+    pub fn finish(self) -> Func {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_with_iter_args() {
+        let mut fb = FuncBuilder::new("f", vec![Type::Index], vec![Type::F64]);
+        let n = fb.arg(0);
+        let c0 = fb.const_index(0);
+        let c1 = fb.const_index(1);
+        let acc0 = fb.const_f64(0.0);
+        let res = fb.build_for(c0, n, c1, vec![acc0], |fb, iv, iters| {
+            let x = fb.index_to_f64(iv);
+            vec![fb.addf(iters[0], x)]
+        });
+        fb.ret(vec![res[0]]);
+        let f = fb.finish();
+        let for_op = f.body.find_first(&OpCode::For).unwrap();
+        assert_eq!(f.body.op(for_op).operands.len(), 4);
+        assert_eq!(f.body.op(for_op).results.len(), 1);
+        assert_eq!(f.body.op(for_op).regions.len(), 1);
+    }
+
+    #[test]
+    fn if_with_results() {
+        let mut fb = FuncBuilder::new("g", vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        let zero = fb.const_f64(0.0);
+        let cond = fb.cmpf(CmpPred::Lt, x, zero);
+        let r = fb.build_if(cond, vec![Type::F64], |fb| vec![fb.negf(x)], |_fb| vec![x]);
+        fb.ret(vec![r[0]]);
+        let f = fb.finish();
+        let if_op = f.body.find_first(&OpCode::If).unwrap();
+        assert_eq!(f.body.op(if_op).regions.len(), 2);
+    }
+
+    #[test]
+    fn tensor_ops_shapes() {
+        let t2 = Type::tensor_dyn(Type::F64, 2);
+        let mut fb = FuncBuilder::new("h", vec![t2.clone()], vec![t2]);
+        let t = fb.arg(0);
+        let i = fb.const_index(1);
+        let j = fb.const_index(2);
+        let x = fb.tensor_extract(t, &[i, j]);
+        assert_eq!(fb.ty(x), Type::F64);
+        let t2b = fb.tensor_insert(x, t, &[j, i]);
+        assert!(fb.ty(t2b).is_shaped());
+        let slice = fb.tensor_extract_slice(t, &[i, i], &[j, j]);
+        assert_eq!(fb.ty(slice).rank(), Some(2));
+        let d = fb.tensor_dim(t, 0);
+        assert_eq!(fb.ty(d), Type::Index);
+        fb.ret(vec![t2b]);
+        fb.finish();
+    }
+
+    #[test]
+    fn vector_ops_types() {
+        let m = Type::memref_dyn(Type::F64, 2);
+        let mut fb = FuncBuilder::new("v", vec![m], vec![]);
+        let buf = fb.arg(0);
+        let i = fb.const_index(0);
+        let v = fb.transfer_read(buf, &[i, i], 8);
+        assert_eq!(fb.ty(v), Type::vector(Type::F64, 8));
+        let lane = fb.vec_extract(v, 3);
+        assert_eq!(fb.ty(lane), Type::F64);
+        let splat = fb.vec_broadcast(lane, 8);
+        assert_eq!(fb.ty(splat), Type::vector(Type::F64, 8));
+        fb.transfer_write_mem(splat, buf, &[i, i]);
+        fb.ret(vec![]);
+        fb.finish();
+    }
+}

@@ -1,0 +1,202 @@
+//! Common-subexpression elimination for pure operations.
+//!
+//! The stencil lowering emits the same index arithmetic (`%i + c`,
+//! `%v`-constants, lane offsets) many times per point; CSE deduplicates
+//! pure ops with identical `(opcode, operands, attributes)` within a
+//! block (constants additionally unify across the whole visible scope via
+//! the same mechanism, since they have no operands).
+
+use std::collections::HashMap;
+
+use crate::attr::Attribute;
+use crate::body::Func;
+use crate::ids::{BlockId, OpId, ValueId};
+
+/// A hashable key describing a pure op's computation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key {
+    opcode: String,
+    operands: Vec<u32>,
+    attrs: Vec<(String, String)>,
+    /// Result type — a scalar `2.0 : f64` and its `vector<8xf64>` splat
+    /// share everything else.
+    result_ty: String,
+}
+
+fn key_of(func: &Func, op: OpId) -> Option<Key> {
+    let o = func.body.op(op);
+    if !o.opcode.is_pure() || o.results.len() != 1 || !o.regions.is_empty() {
+        return None;
+    }
+    // Floats need bit-exact comparison; the textual form is canonical
+    // enough for our constants (printed with full precision).
+    let attrs = o
+        .attrs
+        .iter()
+        .map(|(k, v)| {
+            let repr = match v {
+                Attribute::Float(f) => format!("f{:016x}", f.to_bits()),
+                other => other.to_string(),
+            };
+            (k.to_owned(), repr)
+        })
+        .collect();
+    Some(Key {
+        opcode: o.opcode.name(),
+        operands: o.operands.iter().map(|v| v.raw()).collect(),
+        attrs,
+        result_ty: func.body.value_type(o.results[0]).to_string(),
+    })
+}
+
+fn cse_block(func: &mut Func, block: BlockId, available: &mut HashMap<Key, ValueId>) -> usize {
+    let mut eliminated = 0;
+    let ops = func.body.block(block).ops.clone();
+    for op in ops {
+        // Keys must be recomputed after prior replacements in this block.
+        if let Some(key) = key_of(func, op) {
+            if let Some(&existing) = available.get(&key) {
+                let result = func.body.op(op).result();
+                func.body.replace_all_uses(result, existing);
+                func.body.erase_op(op);
+                eliminated += 1;
+                continue;
+            }
+            let result = func.body.op(op).result();
+            available.insert(key, result);
+        }
+        // Recurse into regions with a scoped copy of the available set
+        // (values defined inside a region must not leak out).
+        let regions = func.body.op(op).regions.clone();
+        for region in regions {
+            let blocks = func.body.region(region).blocks.clone();
+            for b in blocks {
+                let mut inner = available.clone();
+                eliminated += cse_block(func, b, &mut inner);
+            }
+        }
+    }
+    eliminated
+}
+
+/// Runs CSE over a function (iterating once; replacements expose further
+/// matches on the next canonicalization round). Returns the number of
+/// eliminated operations.
+pub fn cse_func(func: &mut Func) -> usize {
+    let entry = func.body.entry_block();
+    let mut available = HashMap::new();
+    let mut total = cse_block(func, entry, &mut available);
+    // Fixpoint: replacing operands may reveal new duplicates.
+    loop {
+        let mut available = HashMap::new();
+        let n = cse_block(func, entry, &mut available);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn duplicate_constants_unified() {
+        let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+        let a = fb.const_f64(2.0);
+        let b = fb.const_f64(2.0);
+        let c = fb.addf(a, b);
+        fb.ret(vec![c]);
+        let mut func = fb.finish();
+        let n = cse_func(&mut func);
+        assert_eq!(n, 1);
+        let entry = func.body.entry_block();
+        // One constant + add + return.
+        assert_eq!(func.body.block(entry).ops.len(), 3);
+        let add = func.body.block(entry).ops[1];
+        let ops = &func.body.op(add).operands;
+        assert_eq!(ops[0], ops[1]);
+    }
+
+    #[test]
+    fn chained_duplicates_collapse_to_fixpoint() {
+        let mut fb = FuncBuilder::new("f", vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        let a1 = fb.const_f64(1.0);
+        let a2 = fb.const_f64(1.0);
+        let s1 = fb.addf(x, a1);
+        let s2 = fb.addf(x, a2); // duplicate only after a1 == a2
+        let out = fb.mulf(s1, s2);
+        fb.ret(vec![out]);
+        let mut func = fb.finish();
+        let n = cse_func(&mut func);
+        assert_eq!(n, 2, "constant and the revealed duplicate add");
+    }
+
+    #[test]
+    fn distinct_constants_survive() {
+        let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+        let a = fb.const_f64(1.0);
+        let b = fb.const_f64(1.0 + f64::EPSILON);
+        let c = fb.addf(a, b);
+        fb.ret(vec![c]);
+        let mut func = fb.finish();
+        assert_eq!(cse_func(&mut func), 0);
+    }
+
+    #[test]
+    fn region_values_do_not_leak() {
+        let mut fb = FuncBuilder::new("f", vec![Type::Index], vec![]);
+        let n = fb.arg(0);
+        let c0 = fb.const_index(0);
+        let c1 = fb.const_index(1);
+        fb.build_for(c0, n, c1, vec![], |fb, iv, _| {
+            let _inner = fb.addi(iv, iv);
+            vec![]
+        });
+        // Same expression outside the loop must NOT reuse the inner one
+        // (iv does not dominate here) — different operands anyway, but an
+        // identical-looking op inside a second loop must not match the
+        // first loop's instance either.
+        fb.build_for(c0, n, c1, vec![], |fb, iv, _| {
+            let _inner = fb.addi(iv, iv);
+            vec![]
+        });
+        fb.ret(vec![]);
+        let mut func = fb.finish();
+        cse_func(&mut func);
+        assert!(instencil_verify_ok(&func));
+    }
+
+    fn instencil_verify_ok(f: &crate::body::Func) -> bool {
+        crate::verify::verify_func(f).is_ok()
+    }
+
+    #[test]
+    fn side_effecting_ops_untouched() {
+        let m = Type::memref_dyn(Type::F64, 1);
+        let mut fb = FuncBuilder::new("f", vec![m], vec![]);
+        let buf = fb.arg(0);
+        let i = fb.const_index(0);
+        let a = fb.mem_load(buf, &[i]);
+        let two = fb.const_f64(2.0);
+        let v = fb.mulf(a, two);
+        fb.mem_store(v, buf, &[i]);
+        // The second load observes the store above and must stay:
+        // memory ops are not pure, so CSE never touches them.
+        let b = fb.mem_load(buf, &[i]);
+        let w = fb.mulf(b, two);
+        fb.mem_store(w, buf, &[i]);
+        fb.ret(vec![]);
+        let mut func = fb.finish();
+        cse_func(&mut func);
+        // Both loads and both stores survive (MemLoad is not pure in
+        // OpCode::is_pure, so CSE never touches it).
+        use crate::op::OpCode;
+        assert_eq!(func.body.find_all(&OpCode::MemLoad).len(), 2);
+        assert_eq!(func.body.find_all(&OpCode::MemStore).len(), 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Dead code elimination for pure operations.
+
+use std::collections::HashSet;
+
+use crate::body::Func;
+use crate::ids::ValueId;
+
+/// Erases pure ops whose results are all unused, iterating to fixpoint.
+/// Returns the number of erased operations.
+pub fn dce_func(func: &mut Func) -> usize {
+    let mut total = 0;
+    loop {
+        // Collect all used values (operands anywhere in the body).
+        let mut used: HashSet<ValueId> = HashSet::new();
+        let ops = func.body.all_ops();
+        for &op in &ops {
+            for &v in &func.body.op(op).operands {
+                used.insert(v);
+            }
+        }
+        let mut erased = 0;
+        for &op in &ops {
+            let o = func.body.op(op);
+            if !o.opcode.is_pure() {
+                continue;
+            }
+            if o.results.iter().all(|r| !used.contains(r)) {
+                func.body.erase_op(op);
+                erased += 1;
+            }
+        }
+        total += erased;
+        if erased == 0 {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::op::OpCode;
+    use crate::types::Type;
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut fb = FuncBuilder::new("f", vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        let a = fb.const_f64(1.0);
+        let b = fb.mulf(x, a); // dead (only used by dead op below)
+        let _c = fb.addf(b, b); // dead
+        fb.ret(vec![x]);
+        let mut func = fb.finish();
+        let n = dce_func(&mut func);
+        assert_eq!(n, 3);
+        let entry = func.body.entry_block();
+        assert_eq!(func.body.block(entry).ops.len(), 1); // just the return
+    }
+
+    #[test]
+    fn keeps_side_effecting_ops() {
+        let m = Type::memref_dyn(Type::F64, 1);
+        let mut fb = FuncBuilder::new("f", vec![m], vec![]);
+        let buf = fb.arg(0);
+        let i = fb.const_index(0);
+        let v = fb.const_f64(3.0);
+        fb.mem_store(v, buf, &[i]);
+        fb.ret(vec![]);
+        let mut func = fb.finish();
+        dce_func(&mut func);
+        assert!(func.body.find_first(&OpCode::MemStore).is_some());
+        // Constants feeding the store survive.
+        assert!(func.body.find_first(&OpCode::Constant).is_some());
+    }
+
+    #[test]
+    fn dce_inside_regions() {
+        let mut fb = FuncBuilder::new("f", vec![Type::Index], vec![]);
+        let n = fb.arg(0);
+        let c0 = fb.const_index(0);
+        let c1 = fb.const_index(1);
+        fb.build_for(c0, n, c1, vec![], |fb, iv, _| {
+            let _dead = fb.addi(iv, iv);
+            vec![]
+        });
+        fb.ret(vec![]);
+        let mut func = fb.finish();
+        let n_erased = dce_func(&mut func);
+        assert_eq!(n_erased, 1);
+    }
+}

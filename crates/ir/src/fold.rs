@@ -1,0 +1,270 @@
+//! Constant folding and algebraic canonicalization.
+//!
+//! [`fold_func`] repeatedly rewrites pure operations whose operands are
+//! constants into `arith.constant`, and applies identity simplifications
+//! (`x + 0`, `x * 1`, `select true`, ...) until a fixed point is reached.
+
+use crate::attr::{AttrMap, Attribute};
+use crate::body::{Body, Func};
+use crate::ids::{OpId, ValueId};
+use crate::op::OpCode;
+use crate::types::Type;
+
+/// A scalar compile-time constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Const {
+    F(f64),
+    I(i64),
+    B(bool),
+}
+
+fn const_of(body: &Body, v: ValueId) -> Option<Const> {
+    let op = body.defining_op(v)?;
+    let op = body.op(op);
+    if op.opcode != OpCode::Constant {
+        return None;
+    }
+    // Only scalar constants fold (vector splats stay).
+    if !body.value_type(v).is_scalar() {
+        return None;
+    }
+    let value = op.attrs.get("value")?;
+    match body.value_type(v) {
+        Type::F64 | Type::F32 => value.as_float().map(Const::F),
+        Type::I64 | Type::Index => value.as_int().map(Const::I),
+        Type::I1 => value.as_bool().map(Const::B),
+        _ => None,
+    }
+}
+
+fn make_constant(body: &mut Body, op_id: OpId, c: Const) {
+    let op = body.op_mut(op_id);
+    op.opcode = OpCode::Constant;
+    op.operands.clear();
+    op.regions.clear();
+    let mut attrs = AttrMap::new();
+    attrs.set(
+        "value",
+        match c {
+            Const::F(v) => Attribute::Float(v),
+            Const::I(v) => Attribute::Int(v),
+            Const::B(v) => Attribute::Bool(v),
+        },
+    );
+    op.attrs = attrs;
+}
+
+fn eval(opcode: &OpCode, operands: &[Const]) -> Option<Const> {
+    use Const::*;
+    Some(match (opcode, operands) {
+        (OpCode::AddF, [F(a), F(b)]) => F(a + b),
+        (OpCode::SubF, [F(a), F(b)]) => F(a - b),
+        (OpCode::MulF, [F(a), F(b)]) => F(a * b),
+        (OpCode::DivF, [F(a), F(b)]) => F(a / b),
+        (OpCode::NegF, [F(a)]) => F(-a),
+        (OpCode::MaxF, [F(a), F(b)]) => F(a.max(*b)),
+        (OpCode::MinF, [F(a), F(b)]) => F(a.min(*b)),
+        (OpCode::Fma, [F(a), F(b), F(c)]) => F(a.mul_add(*b, *c)),
+        (OpCode::Sqrt, [F(a)]) => F(a.sqrt()),
+        (OpCode::AbsF, [F(a)]) => F(a.abs()),
+        (OpCode::Exp, [F(a)]) => F(a.exp()),
+        (OpCode::PowF, [F(a), F(b)]) => F(a.powf(*b)),
+        (OpCode::AddI, [I(a), I(b)]) => I(a.wrapping_add(*b)),
+        (OpCode::SubI, [I(a), I(b)]) => I(a.wrapping_sub(*b)),
+        (OpCode::MulI, [I(a), I(b)]) => I(a.wrapping_mul(*b)),
+        (OpCode::FloorDivSI, [I(a), I(b)]) if *b != 0 => I(a.div_euclid(*b)),
+        (OpCode::CeilDivSI, [I(a), I(b)]) if *b != 0 => I((*a + *b - 1).div_euclid(*b)),
+        (OpCode::RemSI, [I(a), I(b)]) if *b != 0 => I(a.rem_euclid(*b)),
+        (OpCode::MinSI, [I(a), I(b)]) => I(*a.min(b)),
+        (OpCode::MaxSI, [I(a), I(b)]) => I(*a.max(b)),
+        (OpCode::CmpI(p), [I(a), I(b)]) => B(p.eval_int(*a, *b)),
+        (OpCode::CmpF(p), [F(a), F(b)]) => B(p.eval_float(*a, *b)),
+        (OpCode::Select, [B(c), t, f]) => {
+            if *c {
+                *t
+            } else {
+                *f
+            }
+        }
+        (OpCode::IndexCast, [I(a)]) => I(*a),
+        (OpCode::SiToFp, [I(a)]) => F(*a as f64),
+        _ => return None,
+    })
+}
+
+/// Identity simplification: returns the value the op's single result should
+/// be replaced by, if any.
+fn identity(body: &Body, op_id: OpId) -> Option<ValueId> {
+    let op = body.op(op_id);
+    if op.results.len() != 1 {
+        return None;
+    }
+    let c = |i: usize| const_of(body, op.operands[i]);
+    match op.opcode {
+        OpCode::AddF | OpCode::SubF => match (c(0), c(1)) {
+            (_, Some(Const::F(0.0))) => Some(op.operands[0]),
+            (Some(Const::F(a)), _) if a == 0.0 && op.opcode == OpCode::AddF => Some(op.operands[1]),
+            _ => None,
+        },
+        OpCode::MulF | OpCode::DivF => match (c(0), c(1)) {
+            (_, Some(Const::F(1.0))) => Some(op.operands[0]),
+            (Some(Const::F(a)), _) if a == 1.0 && op.opcode == OpCode::MulF => Some(op.operands[1]),
+            _ => None,
+        },
+        OpCode::AddI | OpCode::SubI => match (c(0), c(1)) {
+            (_, Some(Const::I(0))) => Some(op.operands[0]),
+            (Some(Const::I(0)), _) if op.opcode == OpCode::AddI => Some(op.operands[1]),
+            _ => None,
+        },
+        OpCode::MulI => match (c(0), c(1)) {
+            (_, Some(Const::I(1))) => Some(op.operands[0]),
+            (Some(Const::I(1)), _) => Some(op.operands[1]),
+            _ => None,
+        },
+        OpCode::Select => match c(0) {
+            Some(Const::B(true)) => Some(op.operands[1]),
+            Some(Const::B(false)) => Some(op.operands[2]),
+            _ => None,
+        },
+        OpCode::MinSI | OpCode::MaxSI if op.operands[0] == op.operands[1] => Some(op.operands[0]),
+        _ => None,
+    }
+}
+
+/// Folds constants and applies identities in `func` until fixpoint.
+/// Returns the number of rewrites applied.
+pub fn fold_func(func: &mut Func) -> usize {
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        let ops = func.body.all_ops();
+        for op_id in ops {
+            let op = func.body.op(op_id);
+            if !op.opcode.is_pure() || op.opcode == OpCode::Constant {
+                continue;
+            }
+            // Identity simplifications first (do not require all-const).
+            if let Some(repl) = identity(&func.body, op_id) {
+                let result = func.body.op(op_id).result();
+                func.body.replace_all_uses(result, repl);
+                func.body.erase_op(op_id);
+                changed += 1;
+                continue;
+            }
+            let operands: Option<Vec<Const>> = func
+                .body
+                .op(op_id)
+                .operands
+                .iter()
+                .map(|v| const_of(&func.body, *v))
+                .collect();
+            let Some(operands) = operands else { continue };
+            if let Some(result) = eval(&func.body.op(op_id).opcode, &operands) {
+                make_constant(&mut func.body, op_id, result);
+                changed += 1;
+            }
+        }
+        total += changed;
+        if changed == 0 {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::op::CmpPred;
+
+    #[test]
+    fn folds_constant_tree() {
+        let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+        let a = fb.const_f64(2.0);
+        let b = fb.const_f64(3.0);
+        let c = fb.mulf(a, b);
+        let d = fb.const_f64(1.0);
+        let e = fb.addf(c, d);
+        fb.ret(vec![e]);
+        let mut func = fb.finish();
+        let n = fold_func(&mut func);
+        assert!(n >= 2, "expected folds, got {n}");
+        let def = func.body.defining_op(e).unwrap();
+        assert_eq!(func.body.op(def).opcode, OpCode::Constant);
+        assert_eq!(
+            func.body
+                .op(def)
+                .attrs
+                .get("value")
+                .and_then(Attribute::as_float),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let mut fb = FuncBuilder::new("f", vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        let zero = fb.const_f64(0.0);
+        let y = fb.addf(x, zero);
+        fb.ret(vec![y]);
+        let mut func = fb.finish();
+        fold_func(&mut func);
+        // The return now uses x directly.
+        let entry = func.body.entry_block();
+        let last = *func.body.block(entry).ops.last().unwrap();
+        assert_eq!(func.body.op(last).operands, vec![x]);
+    }
+
+    #[test]
+    fn select_const_condition() {
+        let mut fb = FuncBuilder::new("f", vec![Type::F64, Type::F64], vec![Type::F64]);
+        let a = fb.arg(0);
+        let b = fb.arg(1);
+        let t = fb.const_bool(false);
+        let s = fb.select(t, a, b);
+        fb.ret(vec![s]);
+        let mut func = fb.finish();
+        fold_func(&mut func);
+        let entry = func.body.entry_block();
+        let last = *func.body.block(entry).ops.last().unwrap();
+        assert_eq!(func.body.op(last).operands, vec![b]);
+    }
+
+    #[test]
+    fn integer_folds() {
+        let mut fb = FuncBuilder::new("f", vec![], vec![Type::I1]);
+        let a = fb.const_index(7);
+        let b = fb.const_index(2);
+        let q = fb.floordiv(a, b); // 3
+        let r = fb.remi(a, b); // 1
+        let s = fb.addi(q, r); // 4
+        let four = fb.const_index(4);
+        let eq = fb.cmpi(CmpPred::Eq, s, four);
+        fb.ret(vec![eq]);
+        let mut func = fb.finish();
+        fold_func(&mut func);
+        let def = func.body.defining_op(eq).unwrap();
+        assert_eq!(
+            func.body
+                .op(def)
+                .attrs
+                .get("value")
+                .and_then(Attribute::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn does_not_fold_inside_unvisited_dead_slots() {
+        // Folding twice is a no-op (fixpoint reached).
+        let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+        let a = fb.const_f64(1.5);
+        let b = fb.const_f64(2.5);
+        let c = fb.addf(a, b);
+        fb.ret(vec![c]);
+        let mut func = fb.finish();
+        fold_func(&mut func);
+        assert_eq!(fold_func(&mut func), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Arena identifiers for IR entities.
+//!
+//! All IR entities (operations, blocks, regions, SSA values) live in flat
+//! arenas owned by a [`crate::Body`]; the types here are strongly-typed
+//! indices into those arenas. Using plain `u32` indices keeps the IR compact
+//! and makes cloning a whole function a `memcpy`-like operation.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            #[inline]
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw arena index as a `usize`, for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an [`crate::Operation`] inside a [`crate::Body`].
+    OpId,
+    "op"
+);
+id_type!(
+    /// Identifier of an SSA value (op result or block argument).
+    ValueId,
+    "%v"
+);
+id_type!(
+    /// Identifier of a basic block inside a [`crate::Body`].
+    BlockId,
+    "^bb"
+);
+id_type!(
+    /// Identifier of a region inside a [`crate::Body`].
+    RegionId,
+    "region"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let v = ValueId::from_raw(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v}"), "%v42");
+        assert_eq!(format!("{v:?}"), "%v42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(OpId::from_raw(1) < OpId::from_raw(2));
+        assert_eq!(BlockId::from_raw(7), BlockId::from_raw(7));
+    }
+}

@@ -1,0 +1,154 @@
+//! Top-level module container: a named collection of functions.
+
+use std::fmt;
+
+use crate::body::Func;
+use crate::verify::VerifyError;
+
+/// A compilation unit: named functions with unique symbols.
+///
+/// # Example
+/// ```
+/// use instencil_ir::{Module, FuncBuilder, Type};
+/// let mut m = Module::new("unit");
+/// let mut fb = FuncBuilder::new("id", vec![Type::F64], vec![Type::F64]);
+/// let x = fb.arg(0);
+/// fb.ret(vec![x]);
+/// m.push_func(fb.finish());
+/// assert!(m.lookup("id").is_some());
+/// assert!(m.verify().is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Module name (diagnostics only).
+    pub name: String,
+    funcs: Vec<Func>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Appends a function.
+    ///
+    /// # Panics
+    /// Panics if a function with the same symbol already exists.
+    pub fn push_func(&mut self, func: Func) {
+        assert!(
+            self.lookup(&func.name).is_none(),
+            "duplicate function symbol `{}`",
+            func.name
+        );
+        self.funcs.push(func);
+    }
+
+    /// Replaces the function with the same symbol, or appends it.
+    pub fn replace_func(&mut self, func: Func) {
+        if let Some(existing) = self.funcs.iter_mut().find(|f| f.name == func.name) {
+            *existing = func;
+        } else {
+            self.funcs.push(func);
+        }
+    }
+
+    /// Looks up a function by symbol.
+    pub fn lookup(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup by symbol.
+    pub fn lookup_mut(&mut self, name: &str) -> Option<&mut Func> {
+        self.funcs.iter_mut().find(|f| f.name == name)
+    }
+
+    /// All functions, in insertion order.
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// Mutable access to all functions.
+    pub fn funcs_mut(&mut self) -> &mut [Func] {
+        &mut self.funcs
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Verifies every function (SSA dominance, types, op invariants).
+    ///
+    /// # Errors
+    /// Returns the first [`VerifyError`] encountered.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        for f in &self.funcs {
+            crate::verify::verify_func(f)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the module to its textual form (parsable by
+    /// [`crate::parse::parse_module`]).
+    pub fn to_text(&self) -> String {
+        crate::print::print_module(self)
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::Type;
+
+    fn mk_func(name: &str) -> Func {
+        let mut fb = FuncBuilder::new(name, vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        fb.ret(vec![x]);
+        fb.finish()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut m = Module::new("m");
+        assert!(m.is_empty());
+        m.push_func(mk_func("a"));
+        m.push_func(mk_func("b"));
+        assert_eq!(m.len(), 2);
+        assert!(m.lookup("a").is_some());
+        assert!(m.lookup("c").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function symbol")]
+    fn duplicate_symbol_panics() {
+        let mut m = Module::new("m");
+        m.push_func(mk_func("a"));
+        m.push_func(mk_func("a"));
+    }
+
+    #[test]
+    fn replace_func_overwrites() {
+        let mut m = Module::new("m");
+        m.push_func(mk_func("a"));
+        m.replace_func(mk_func("a"));
+        assert_eq!(m.len(), 1);
+        m.replace_func(mk_func("b"));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Textual printer for modules.
+//!
+//! The output uses MLIR's *generic* operation form, which keeps the grammar
+//! regular and allows [`crate::parse::parse_module`] to round-trip any
+//! module:
+//!
+//! ```text
+//! module @name {
+//!   func @f(%v0: f64) -> (f64) {
+//!     %v1 = "arith.constant"() {value = 2.0} : () -> (f64)
+//!     %v2 = "arith.mulf"(%v0, %v1) : (f64, f64) -> (f64)
+//!     "func.return"(%v2) : (f64) -> ()
+//!   }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::body::{Body, Func};
+use crate::ids::{OpId, RegionId};
+use crate::module::Module;
+
+/// Prints a whole module in generic form.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module @{} {{", module.name);
+    for func in module.funcs() {
+        print_func(func, &mut out, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Prints a single function at the given indent level.
+pub fn print_func(func: &Func, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let _ = write!(out, "{pad}func @{}(", func.name);
+    let entry = func.body.entry_block();
+    let args = &func.body.block(entry).args;
+    for (i, arg) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{arg}: {}", func.body.value_type(*arg));
+    }
+    out.push_str(") -> (");
+    for (i, ty) in func.result_types.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{ty}");
+    }
+    out.push_str(") {\n");
+    for &op in &func.body.block(entry).ops {
+        print_op(&func.body, op, out, indent + 1);
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn print_op(body: &Body, op_id: OpId, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let op = body.op(op_id);
+    out.push_str(&pad);
+    for (i, r) in op.results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{r}");
+    }
+    if !op.results.is_empty() {
+        out.push_str(" = ");
+    }
+    let _ = write!(out, "\"{}\"(", op.opcode.name());
+    for (i, o) in op.operands.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{o}");
+    }
+    out.push(')');
+    if !op.attrs.is_empty() {
+        out.push_str(" {");
+        for (i, (k, v)) in op.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{k} = {v}");
+        }
+        out.push('}');
+    }
+    out.push_str(" : (");
+    for (i, o) in op.operands.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}", body.value_type(*o));
+    }
+    out.push_str(") -> (");
+    for (i, r) in op.results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}", body.value_type(*r));
+    }
+    out.push(')');
+    for &region in &op.regions {
+        out.push_str(" {\n");
+        print_region(body, region, out, indent + 1);
+        let _ = write!(out, "{pad}}}");
+    }
+    out.push('\n');
+}
+
+fn print_region(body: &Body, region: RegionId, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    for &block in &body.region(region).blocks {
+        let b = body.block(block);
+        let _ = write!(out, "{pad}^bb(");
+        for (i, arg) in b.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{arg}: {}", body.value_type(*arg));
+        }
+        out.push_str("):\n");
+        for &op in &b.ops {
+            print_op(body, op, out, indent + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FuncBuilder;
+    use crate::module::Module;
+    use crate::types::Type;
+
+    #[test]
+    fn print_simple_func() {
+        let mut m = Module::new("t");
+        let mut fb = FuncBuilder::new("f", vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        let c = fb.const_f64(2.0);
+        let y = fb.mulf(x, c);
+        fb.ret(vec![y]);
+        m.push_func(fb.finish());
+        let text = m.to_text();
+        assert!(text.contains("module @t {"), "{text}");
+        assert!(text.contains("func @f(%v0: f64) -> (f64) {"), "{text}");
+        assert!(
+            text.contains("\"arith.constant\"() {value = 2.0} : () -> (f64)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"arith.mulf\"(%v0, %v1) : (f64, f64) -> (f64)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"func.return\"(%v2) : (f64) -> ()"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn print_loop_region() {
+        let mut m = Module::new("t");
+        let mut fb = FuncBuilder::new("f", vec![Type::Index], vec![Type::F64]);
+        let n = fb.arg(0);
+        let c0 = fb.const_index(0);
+        let c1 = fb.const_index(1);
+        let acc = fb.const_f64(0.0);
+        let r = fb.build_for(c0, n, c1, vec![acc], |fb, iv, iters| {
+            let x = fb.index_to_f64(iv);
+            vec![fb.addf(iters[0], x)]
+        });
+        fb.ret(vec![r[0]]);
+        m.push_func(fb.finish());
+        let text = m.to_text();
+        assert!(text.contains("\"scf.for\""), "{text}");
+        assert!(text.contains("^bb(%v4: index, %v5: f64):"), "{text}");
+        assert!(text.contains("\"scf.yield\""), "{text}");
+    }
+}

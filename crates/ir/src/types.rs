@@ -1,0 +1,304 @@
+//! The IR type system.
+//!
+//! Mirrors the MLIR builtin types used by the stencil code generator:
+//! scalars (`f64`, `f32`, `i1`, `i64`, `index`), fixed-length 1-D vectors,
+//! ranked tensors (value semantics) and ranked memrefs (buffer semantics).
+//! Tensor/memref dimensions may be dynamic (`None`), printed as `?`.
+
+use std::fmt;
+
+/// A compile-time type of an SSA value.
+///
+/// # Example
+/// ```
+/// use instencil_ir::Type;
+/// let t = Type::tensor(Type::F64, vec![Some(1), None, None]);
+/// assert_eq!(t.to_string(), "tensor<1x?x?xf64>");
+/// assert!(t.is_shaped());
+/// assert_eq!(t.elem(), Some(&Type::F64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 1-bit boolean.
+    I1,
+    /// 64-bit signless integer.
+    I64,
+    /// Platform index type (loop counters, subscripts).
+    Index,
+    /// Fixed-length 1-D vector of a scalar element type.
+    Vector {
+        /// Element type; must be scalar.
+        elem: Box<Type>,
+        /// Number of lanes.
+        len: usize,
+    },
+    /// Ranked tensor with value semantics; `None` dims are dynamic.
+    Tensor {
+        /// Element type; must be scalar.
+        elem: Box<Type>,
+        /// Per-dimension static size, or `None` when dynamic.
+        shape: Vec<Option<usize>>,
+    },
+    /// Ranked buffer with reference semantics; `None` dims are dynamic.
+    MemRef {
+        /// Element type; must be scalar.
+        elem: Box<Type>,
+        /// Per-dimension static size, or `None` when dynamic.
+        shape: Vec<Option<usize>>,
+    },
+}
+
+impl Type {
+    /// Convenience constructor for a vector type.
+    pub fn vector(elem: Type, len: usize) -> Type {
+        Type::Vector {
+            elem: Box::new(elem),
+            len,
+        }
+    }
+
+    /// Convenience constructor for a ranked tensor type.
+    pub fn tensor(elem: Type, shape: Vec<Option<usize>>) -> Type {
+        Type::Tensor {
+            elem: Box::new(elem),
+            shape,
+        }
+    }
+
+    /// Convenience constructor for a fully dynamic tensor of the given rank.
+    pub fn tensor_dyn(elem: Type, rank: usize) -> Type {
+        Type::Tensor {
+            elem: Box::new(elem),
+            shape: vec![None; rank],
+        }
+    }
+
+    /// Convenience constructor for a ranked memref type.
+    pub fn memref(elem: Type, shape: Vec<Option<usize>>) -> Type {
+        Type::MemRef {
+            elem: Box::new(elem),
+            shape,
+        }
+    }
+
+    /// Convenience constructor for a fully dynamic memref of the given rank.
+    pub fn memref_dyn(elem: Type, rank: usize) -> Type {
+        Type::MemRef {
+            elem: Box::new(elem),
+            shape: vec![None; rank],
+        }
+    }
+
+    /// Returns `true` for `f64` / `f32`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F64 | Type::F32)
+    }
+
+    /// Returns `true` for `i1` / `i64` / `index`.
+    pub fn is_int_like(&self) -> bool {
+        matches!(self, Type::I1 | Type::I64 | Type::Index)
+    }
+
+    /// Returns `true` for scalar (non-aggregate) types.
+    pub fn is_scalar(&self) -> bool {
+        self.is_float() || self.is_int_like()
+    }
+
+    /// Returns `true` for tensor or memref types.
+    pub fn is_shaped(&self) -> bool {
+        matches!(self, Type::Tensor { .. } | Type::MemRef { .. })
+    }
+
+    /// Returns `true` if arithmetic ops accept this type (scalar or vector).
+    pub fn is_arith(&self) -> bool {
+        match self {
+            Type::Vector { .. } => true,
+            t => t.is_scalar(),
+        }
+    }
+
+    /// Element type of a vector/tensor/memref, or `None` for scalars.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Vector { elem, .. } | Type::Tensor { elem, .. } | Type::MemRef { elem, .. } => {
+                Some(elem)
+            }
+            _ => None,
+        }
+    }
+
+    /// Shape of a tensor/memref, or `None` otherwise.
+    pub fn shape(&self) -> Option<&[Option<usize>]> {
+        match self {
+            Type::Tensor { shape, .. } | Type::MemRef { shape, .. } => Some(shape),
+            _ => None,
+        }
+    }
+
+    /// Rank of a tensor/memref, or `None` otherwise.
+    pub fn rank(&self) -> Option<usize> {
+        self.shape().map(<[_]>::len)
+    }
+
+    /// For arithmetic: the scalar type this computes on (`f64` for
+    /// `vector<8xf64>`, the type itself for scalars).
+    pub fn arith_scalar(&self) -> Option<&Type> {
+        match self {
+            Type::Vector { elem, .. } => Some(elem),
+            t if t.is_scalar() => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Converts a tensor type to the corresponding memref type (used by
+    /// bufferization). Non-tensor types are returned unchanged.
+    pub fn to_memref(&self) -> Type {
+        match self {
+            Type::Tensor { elem, shape } => Type::MemRef {
+                elem: elem.clone(),
+                shape: shape.clone(),
+            },
+            t => t.clone(),
+        }
+    }
+
+    /// Converts a memref type to the corresponding tensor type.
+    /// Non-memref types are returned unchanged.
+    pub fn to_tensor(&self) -> Type {
+        match self {
+            Type::MemRef { elem, shape } => Type::Tensor {
+                elem: elem.clone(),
+                shape: shape.clone(),
+            },
+            t => t.clone(),
+        }
+    }
+
+    /// Returns a copy of a shaped type with a different shape.
+    ///
+    /// # Panics
+    /// Panics if `self` is not a tensor or memref.
+    pub fn with_shape(&self, shape: Vec<Option<usize>>) -> Type {
+        match self {
+            Type::Tensor { elem, .. } => Type::Tensor {
+                elem: elem.clone(),
+                shape,
+            },
+            Type::MemRef { elem, .. } => Type::MemRef {
+                elem: elem.clone(),
+                shape,
+            },
+            t => panic!("with_shape on non-shaped type {t}"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn dims(f: &mut fmt::Formatter<'_>, shape: &[Option<usize>]) -> fmt::Result {
+            for d in shape {
+                match d {
+                    Some(n) => write!(f, "{n}x")?,
+                    None => write!(f, "?x")?,
+                }
+            }
+            Ok(())
+        }
+        match self {
+            Type::F64 => write!(f, "f64"),
+            Type::F32 => write!(f, "f32"),
+            Type::I1 => write!(f, "i1"),
+            Type::I64 => write!(f, "i64"),
+            Type::Index => write!(f, "index"),
+            Type::Vector { elem, len } => write!(f, "vector<{len}x{elem}>"),
+            Type::Tensor { elem, shape } => {
+                write!(f, "tensor<")?;
+                dims(f, shape)?;
+                write!(f, "{elem}>")
+            }
+            Type::MemRef { elem, shape } => {
+                write!(f, "memref<")?;
+                dims(f, shape)?;
+                write!(f, "{elem}>")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_scalars() {
+        assert_eq!(Type::F64.to_string(), "f64");
+        assert_eq!(Type::Index.to_string(), "index");
+        assert_eq!(Type::I1.to_string(), "i1");
+    }
+
+    #[test]
+    fn display_aggregates() {
+        assert_eq!(Type::vector(Type::F64, 8).to_string(), "vector<8xf64>");
+        assert_eq!(
+            Type::tensor(Type::F64, vec![Some(4), None]).to_string(),
+            "tensor<4x?xf64>"
+        );
+        assert_eq!(
+            Type::memref(Type::F32, vec![None, Some(2)]).to_string(),
+            "memref<?x2xf32>"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::F64.is_float());
+        assert!(Type::F64.is_arith());
+        assert!(!Type::F64.is_shaped());
+        assert!(Type::vector(Type::F64, 4).is_arith());
+        assert!(!Type::tensor_dyn(Type::F64, 2).is_arith());
+        assert!(Type::tensor_dyn(Type::F64, 2).is_shaped());
+        assert!(Type::Index.is_int_like());
+    }
+
+    #[test]
+    fn elem_and_rank() {
+        let t = Type::tensor(Type::F64, vec![Some(1), None, None]);
+        assert_eq!(t.elem(), Some(&Type::F64));
+        assert_eq!(t.rank(), Some(3));
+        assert_eq!(Type::F64.rank(), None);
+        assert_eq!(Type::vector(Type::F32, 8).arith_scalar(), Some(&Type::F32));
+    }
+
+    #[test]
+    fn tensor_memref_roundtrip() {
+        let t = Type::tensor(Type::F64, vec![Some(2), Some(3)]);
+        let m = t.to_memref();
+        assert_eq!(m.to_string(), "memref<2x3xf64>");
+        assert_eq!(m.to_tensor(), t);
+        // Non-shaped types are unchanged.
+        assert_eq!(Type::F64.to_memref(), Type::F64);
+    }
+
+    #[test]
+    fn with_shape_replaces_dims() {
+        let t = Type::tensor_dyn(Type::F64, 3);
+        let t2 = t.with_shape(vec![Some(1), Some(8), Some(8)]);
+        assert_eq!(t2.to_string(), "tensor<1x8x8xf64>");
+    }
+
+    #[test]
+    #[should_panic(expected = "with_shape on non-shaped")]
+    fn with_shape_panics_on_scalar() {
+        let _ = Type::F64.with_shape(vec![]);
+    }
+}

@@ -1,0 +1,900 @@
+//! The IR verifier: SSA scoping, type rules, and per-op structural
+//! invariants.
+//!
+//! Verification is intentionally strict — transformation bugs in the
+//! stencil pipeline almost always manifest as type or arity mismatches, and
+//! catching them at the op where they occur is far cheaper than debugging
+//! an interpreter crash.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::body::{Body, Func};
+use crate::ids::{OpId, RegionId, ValueId};
+use crate::op::OpCode;
+use crate::types::Type;
+
+/// A verification failure, pointing at the offending operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Qualified op name (`"arith.addf"`), or `"func"` for signature errors.
+    pub op: String,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl VerifyError {
+    fn new(op: impl Into<String>, message: impl Into<String>) -> Self {
+        VerifyError {
+            op: op.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed at {}: {}", self.op, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a function: argument consistency, SSA scoping and the per-op
+/// rules below.
+///
+/// # Errors
+/// Returns the first violated invariant.
+pub fn verify_func(func: &Func) -> Result<(), VerifyError> {
+    let body = &func.body;
+    let entry = body.entry_block();
+    let entry_args = &body.block(entry).args;
+    if entry_args.len() != func.arg_types.len() {
+        return Err(VerifyError::new(
+            "func",
+            format!(
+                "function `{}` has {} entry block args but {} declared arg types",
+                func.name,
+                entry_args.len(),
+                func.arg_types.len()
+            ),
+        ));
+    }
+    for (arg, ty) in entry_args.iter().zip(&func.arg_types) {
+        if body.value_type(*arg) != ty {
+            return Err(VerifyError::new(
+                "func",
+                format!("argument {arg} type mismatch in `{}`", func.name),
+            ));
+        }
+    }
+    let mut scope: HashSet<ValueId> = entry_args.iter().copied().collect();
+    let block_ops = body.block(entry).ops.clone();
+    for op in block_ops {
+        verify_op(func, op, &mut scope)?;
+    }
+    // The entry block must end with func.return matching the signature.
+    match body.block(entry).ops.last() {
+        Some(&last) if body.op(last).opcode == OpCode::Return => {
+            let ret = body.op(last);
+            let got: Vec<&Type> = ret.operands.iter().map(|v| body.value_type(*v)).collect();
+            if got.len() != func.result_types.len()
+                || got.iter().zip(&func.result_types).any(|(a, b)| *a != b)
+            {
+                return Err(VerifyError::new(
+                    "func.return",
+                    format!("return types do not match signature of `{}`", func.name),
+                ));
+            }
+        }
+        _ => {
+            return Err(VerifyError::new(
+                "func",
+                format!("function `{}` does not end with func.return", func.name),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn err(op: &OpCode, msg: impl Into<String>) -> VerifyError {
+    VerifyError::new(op.name(), msg)
+}
+
+fn verify_region(
+    func: &Func,
+    region: RegionId,
+    scope: &HashSet<ValueId>,
+) -> Result<(), VerifyError> {
+    let body = &func.body;
+    for &block in &body.region(region).blocks {
+        let mut inner: HashSet<ValueId> = scope.clone();
+        inner.extend(body.block(block).args.iter().copied());
+        for &op in &body.block(block).ops {
+            verify_op(func, op, &mut inner)?;
+        }
+    }
+    Ok(())
+}
+
+fn verify_op(func: &Func, op_id: OpId, scope: &mut HashSet<ValueId>) -> Result<(), VerifyError> {
+    let body = &func.body;
+    let op = body.op(op_id);
+    for v in &op.operands {
+        if !scope.contains(v) {
+            return Err(err(
+                &op.opcode,
+                format!("operand {v} does not dominate its use"),
+            ));
+        }
+    }
+    check_op_rules(body, op_id)?;
+    for &r in &op.regions {
+        verify_region(func, r, scope)?;
+    }
+    scope.extend(op.results.iter().copied());
+    Ok(())
+}
+
+fn operand_ty(body: &Body, op_id: OpId, i: usize) -> &Type {
+    body.value_type(body.op(op_id).operands[i])
+}
+
+fn result_ty(body: &Body, op_id: OpId, i: usize) -> &Type {
+    body.value_type(body.op(op_id).results[i])
+}
+
+fn expect_operands(body: &Body, op_id: OpId, n: usize) -> Result<(), VerifyError> {
+    let op = body.op(op_id);
+    if op.operands.len() != n {
+        return Err(err(
+            &op.opcode,
+            format!("expected {n} operands, got {}", op.operands.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn expect_results(body: &Body, op_id: OpId, n: usize) -> Result<(), VerifyError> {
+    let op = body.op(op_id);
+    if op.results.len() != n {
+        return Err(err(
+            &op.opcode,
+            format!("expected {n} results, got {}", op.results.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn same_arith_operands(body: &Body, op_id: OpId, float: bool) -> Result<(), VerifyError> {
+    let op = body.op(op_id);
+    let t0 = operand_ty(body, op_id, 0);
+    if !t0.is_arith() {
+        return Err(err(&op.opcode, format!("non-arithmetic operand type {t0}")));
+    }
+    let scalar = t0.arith_scalar().unwrap();
+    if float && !scalar.is_float() {
+        return Err(err(
+            &op.opcode,
+            format!("expected float operands, got {t0}"),
+        ));
+    }
+    if !float && !scalar.is_int_like() {
+        return Err(err(
+            &op.opcode,
+            format!("expected integer operands, got {t0}"),
+        ));
+    }
+    for i in 1..op.operands.len() {
+        if operand_ty(body, op_id, i) != t0 {
+            return Err(err(&op.opcode, "operand type mismatch"));
+        }
+    }
+    if !op.results.is_empty() && result_ty(body, op_id, 0) != t0 {
+        return Err(err(&op.opcode, "result type must match operands"));
+    }
+    Ok(())
+}
+
+fn shaped_access(
+    body: &Body,
+    op_id: OpId,
+    base_index: usize,
+    index_start: usize,
+) -> Result<(), VerifyError> {
+    let op = body.op(op_id);
+    let base = operand_ty(body, op_id, base_index);
+    let rank = base
+        .rank()
+        .ok_or_else(|| err(&op.opcode, format!("expected shaped operand, got {base}")))?;
+    let n_idx = op.operands.len() - index_start;
+    if n_idx != rank {
+        return Err(err(
+            &op.opcode,
+            format!("expected {rank} indices, got {n_idx}"),
+        ));
+    }
+    for i in index_start..op.operands.len() {
+        if operand_ty(body, op_id, i) != &Type::Index {
+            return Err(err(&op.opcode, "indices must have index type"));
+        }
+    }
+    Ok(())
+}
+
+fn check_yield_matches(
+    body: &Body,
+    region: RegionId,
+    expected: &[ValueId],
+    parent: &OpCode,
+    terminator: OpCode,
+) -> Result<(), VerifyError> {
+    for &block in &body.region(region).blocks {
+        let last = body
+            .block(block)
+            .ops
+            .last()
+            .copied()
+            .ok_or_else(|| err(parent, "region block is empty"))?;
+        let term = body.op(last);
+        if term.opcode != terminator {
+            return Err(err(
+                parent,
+                format!(
+                    "region must terminate with {}, found {}",
+                    terminator, term.opcode
+                ),
+            ));
+        }
+        if term.operands.len() != expected.len() {
+            return Err(err(
+                parent,
+                format!(
+                    "terminator yields {} values, {} expected",
+                    term.operands.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        for (y, e) in term.operands.iter().zip(expected.iter()) {
+            if body.value_type(*y) != body.value_type(*e) {
+                return Err(err(parent, "yielded value type mismatch"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_op_rules(body: &Body, op_id: OpId) -> Result<(), VerifyError> {
+    let op = body.op(op_id);
+    match &op.opcode {
+        OpCode::Constant => {
+            expect_operands(body, op_id, 0)?;
+            expect_results(body, op_id, 1)?;
+            let ty = result_ty(body, op_id, 0);
+            let value = op
+                .attrs
+                .get("value")
+                .ok_or_else(|| err(&op.opcode, "missing `value`"))?;
+            let scalar = ty
+                .arith_scalar()
+                .ok_or_else(|| err(&op.opcode, format!("bad constant type {ty}")))?;
+            let ok = match scalar {
+                Type::F64 | Type::F32 => value.as_float().is_some(),
+                Type::I64 | Type::Index => value.as_int().is_some(),
+                Type::I1 => value.as_bool().is_some(),
+                _ => false,
+            };
+            if !ok {
+                return Err(err(
+                    &op.opcode,
+                    format!("`value` attr does not match type {ty}"),
+                ));
+            }
+        }
+        OpCode::AddF | OpCode::SubF | OpCode::MulF | OpCode::DivF | OpCode::MaxF | OpCode::MinF => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 1)?;
+            same_arith_operands(body, op_id, true)?;
+        }
+        OpCode::NegF | OpCode::Sqrt | OpCode::AbsF | OpCode::Exp => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 1)?;
+            same_arith_operands(body, op_id, true)?;
+        }
+        OpCode::PowF => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 1)?;
+            same_arith_operands(body, op_id, true)?;
+        }
+        OpCode::Fma => {
+            expect_operands(body, op_id, 3)?;
+            expect_results(body, op_id, 1)?;
+            same_arith_operands(body, op_id, true)?;
+        }
+        OpCode::AddI
+        | OpCode::SubI
+        | OpCode::MulI
+        | OpCode::FloorDivSI
+        | OpCode::CeilDivSI
+        | OpCode::RemSI
+        | OpCode::MinSI
+        | OpCode::MaxSI => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 1)?;
+            same_arith_operands(body, op_id, false)?;
+        }
+        OpCode::CmpI(_) => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 1)?;
+            if operand_ty(body, op_id, 0) != operand_ty(body, op_id, 1)
+                || !operand_ty(body, op_id, 0).is_int_like()
+            {
+                return Err(err(&op.opcode, "cmpi requires matching integer operands"));
+            }
+            if result_ty(body, op_id, 0) != &Type::I1 {
+                return Err(err(&op.opcode, "cmpi result must be i1"));
+            }
+        }
+        OpCode::CmpF(_) => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 1)?;
+            if operand_ty(body, op_id, 0) != operand_ty(body, op_id, 1)
+                || !operand_ty(body, op_id, 0).is_float()
+            {
+                return Err(err(&op.opcode, "cmpf requires matching float operands"));
+            }
+            if result_ty(body, op_id, 0) != &Type::I1 {
+                return Err(err(&op.opcode, "cmpf result must be i1"));
+            }
+        }
+        OpCode::Select => {
+            expect_operands(body, op_id, 3)?;
+            expect_results(body, op_id, 1)?;
+            if operand_ty(body, op_id, 0) != &Type::I1 {
+                return Err(err(&op.opcode, "select condition must be i1"));
+            }
+            if operand_ty(body, op_id, 1) != operand_ty(body, op_id, 2)
+                || operand_ty(body, op_id, 1) != result_ty(body, op_id, 0)
+            {
+                return Err(err(&op.opcode, "select branch/result type mismatch"));
+            }
+        }
+        OpCode::IndexCast => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 1)?;
+            let (from, to) = (operand_ty(body, op_id, 0), result_ty(body, op_id, 0));
+            if !(from.is_int_like() && to.is_int_like() && from != to) {
+                return Err(err(
+                    &op.opcode,
+                    "index_cast requires distinct integer types",
+                ));
+            }
+        }
+        OpCode::SiToFp => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 1)?;
+            if !operand_ty(body, op_id, 0).is_int_like() || !result_ty(body, op_id, 0).is_float() {
+                return Err(err(&op.opcode, "sitofp requires int operand, float result"));
+            }
+        }
+        OpCode::For => {
+            let op = body.op(op_id);
+            if op.operands.len() < 3 {
+                return Err(err(&op.opcode, "scf.for requires lb, ub, step"));
+            }
+            for i in 0..3 {
+                if operand_ty(body, op_id, i) != &Type::Index {
+                    return Err(err(&op.opcode, "loop bounds must be index"));
+                }
+            }
+            let inits = &op.operands[3..];
+            if inits.len() != op.results.len() {
+                return Err(err(&op.opcode, "iter_args/result arity mismatch"));
+            }
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "scf.for requires exactly one region"));
+            }
+            let block = body.region(op.regions[0]).blocks[0];
+            let args = &body.block(block).args;
+            if args.len() != 1 + inits.len() {
+                return Err(err(&op.opcode, "body block must take iv + iter_args"));
+            }
+            if body.value_type(args[0]) != &Type::Index {
+                return Err(err(&op.opcode, "induction variable must be index"));
+            }
+            for (a, i) in args[1..].iter().zip(inits.iter()) {
+                if body.value_type(*a) != body.value_type(*i) {
+                    return Err(err(&op.opcode, "iter_arg type mismatch"));
+                }
+            }
+            check_yield_matches(body, op.regions[0], inits, &op.opcode, OpCode::Yield)?;
+        }
+        OpCode::If => {
+            expect_operands(body, op_id, 1)?;
+            if operand_ty(body, op_id, 0) != &Type::I1 {
+                return Err(err(&op.opcode, "condition must be i1"));
+            }
+            if op.regions.len() != 2 {
+                return Err(err(&op.opcode, "scf.if requires then and else regions"));
+            }
+            let results = op.results.clone();
+            for &r in &op.regions {
+                check_yield_matches(body, r, &results, &op.opcode, OpCode::Yield)?;
+            }
+        }
+        OpCode::Parallel => {
+            expect_operands(body, op_id, 3)?;
+            expect_results(body, op_id, 0)?;
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "scf.parallel requires one region"));
+            }
+            let block = body.region(op.regions[0]).blocks[0];
+            if body.block(block).args.len() != 1 {
+                return Err(err(&op.opcode, "scf.parallel body takes one index"));
+            }
+        }
+        OpCode::ExecuteWavefronts => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 0)?;
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "requires one region"));
+            }
+            let block = body.region(op.regions[0]).blocks[0];
+            if body.block(block).args.len() != 1 {
+                return Err(err(&op.opcode, "body takes the linear block index"));
+            }
+        }
+        OpCode::Yield | OpCode::CfdYield | OpCode::Return => {
+            // Checked against the parent op / function.
+        }
+        OpCode::Call => {
+            if op.attrs.get("callee").and_then(|a| a.as_str()).is_none() {
+                return Err(err(&op.opcode, "missing `callee` attribute"));
+            }
+        }
+        OpCode::TensorEmpty | OpCode::MemAlloc => {
+            expect_results(body, op_id, 1)?;
+            let ty = result_ty(body, op_id, 0);
+            let shape = ty
+                .shape()
+                .ok_or_else(|| err(&op.opcode, "result must be shaped"))?;
+            let dynamic = shape.iter().filter(|d| d.is_none()).count();
+            if op.operands.len() != dynamic {
+                return Err(err(
+                    &op.opcode,
+                    format!(
+                        "expected {dynamic} dynamic sizes, got {}",
+                        op.operands.len()
+                    ),
+                ));
+            }
+        }
+        OpCode::TensorExtract => {
+            expect_results(body, op_id, 1)?;
+            shaped_access(body, op_id, 0, 1)?;
+            let base = operand_ty(body, op_id, 0);
+            if result_ty(body, op_id, 0) != base.elem().unwrap() {
+                return Err(err(&op.opcode, "result must be the element type"));
+            }
+        }
+        OpCode::TensorInsert => {
+            expect_results(body, op_id, 1)?;
+            shaped_access(body, op_id, 1, 2)?;
+            let base = operand_ty(body, op_id, 1);
+            if operand_ty(body, op_id, 0) != base.elem().unwrap() {
+                return Err(err(&op.opcode, "inserted scalar must match element type"));
+            }
+        }
+        OpCode::TensorExtractSlice | OpCode::MemSubview => {
+            expect_results(body, op_id, 1)?;
+            let base = operand_ty(body, op_id, 0);
+            let rank = base
+                .rank()
+                .ok_or_else(|| err(&op.opcode, "operand must be shaped"))?;
+            if op.operands.len() != 1 + 2 * rank {
+                return Err(err(&op.opcode, "expected base + offsets + sizes"));
+            }
+            if result_ty(body, op_id, 0).rank() != Some(rank) {
+                return Err(err(&op.opcode, "rank-preserving slice expected"));
+            }
+        }
+        OpCode::TensorInsertSlice => {
+            expect_results(body, op_id, 1)?;
+            let dest = operand_ty(body, op_id, 1);
+            let rank = dest
+                .rank()
+                .ok_or_else(|| err(&op.opcode, "dest must be shaped"))?;
+            if op.operands.len() != 2 + 2 * rank {
+                return Err(err(&op.opcode, "expected tile + dest + offsets + sizes"));
+            }
+        }
+        OpCode::TensorDim | OpCode::MemDim => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 1)?;
+            let dim = op
+                .int_attr("dim")
+                .ok_or_else(|| err(&op.opcode, "missing `dim`"))?;
+            let rank = operand_ty(body, op_id, 0)
+                .rank()
+                .ok_or_else(|| err(&op.opcode, "operand must be shaped"))?;
+            if dim < 0 || dim as usize >= rank {
+                return Err(err(
+                    &op.opcode,
+                    format!("dim {dim} out of range for rank {rank}"),
+                ));
+            }
+            if result_ty(body, op_id, 0) != &Type::Index {
+                return Err(err(&op.opcode, "result must be index"));
+            }
+        }
+        OpCode::MemLoad => {
+            expect_results(body, op_id, 1)?;
+            shaped_access(body, op_id, 0, 1)?;
+        }
+        OpCode::MemStore => {
+            expect_results(body, op_id, 0)?;
+            shaped_access(body, op_id, 1, 2)?;
+        }
+        OpCode::MemShiftView => {
+            expect_results(body, op_id, 1)?;
+            let base = operand_ty(body, op_id, 0);
+            let rank = base
+                .rank()
+                .ok_or_else(|| err(&op.opcode, "operand must be shaped"))?;
+            if op.operands.len() != 1 + rank {
+                return Err(err(&op.opcode, "expected base + one shift per dimension"));
+            }
+            if result_ty(body, op_id, 0).rank() != Some(rank) {
+                return Err(err(&op.opcode, "rank-preserving view expected"));
+            }
+        }
+        OpCode::MemCopy => {
+            expect_operands(body, op_id, 2)?;
+            expect_results(body, op_id, 0)?;
+        }
+        OpCode::MemDealloc => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 0)?;
+        }
+        OpCode::VecTransferRead => {
+            expect_results(body, op_id, 1)?;
+            shaped_access(body, op_id, 0, 1)?;
+            if !matches!(result_ty(body, op_id, 0), Type::Vector { .. }) {
+                return Err(err(&op.opcode, "result must be a vector"));
+            }
+        }
+        OpCode::VecTransferWrite => {
+            if !matches!(operand_ty(body, op_id, 0), Type::Vector { .. }) {
+                return Err(err(&op.opcode, "first operand must be a vector"));
+            }
+            shaped_access(body, op_id, 1, 2)?;
+        }
+        OpCode::VecExtract => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 1)?;
+            let lane = op
+                .int_attr("lane")
+                .ok_or_else(|| err(&op.opcode, "missing `lane`"))?;
+            match operand_ty(body, op_id, 0) {
+                Type::Vector { len, .. } if (lane as usize) < *len => {}
+                Type::Vector { len, .. } => {
+                    return Err(err(
+                        &op.opcode,
+                        format!("lane {lane} out of range for {len} lanes"),
+                    ))
+                }
+                _ => return Err(err(&op.opcode, "operand must be a vector")),
+            }
+        }
+        OpCode::VecBroadcast => {
+            expect_operands(body, op_id, 1)?;
+            expect_results(body, op_id, 1)?;
+            if !matches!(result_ty(body, op_id, 0), Type::Vector { .. }) {
+                return Err(err(&op.opcode, "result must be a vector"));
+            }
+        }
+        OpCode::LinalgPointwise => {
+            let n_ins = op
+                .int_attr("n_ins")
+                .ok_or_else(|| err(&op.opcode, "missing `n_ins`"))?;
+            if op.operands.len() <= n_ins as usize {
+                return Err(err(&op.opcode, "needs at least one output"));
+            }
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "requires one region"));
+            }
+        }
+        OpCode::CfdStencil => {
+            expect_results(
+                body,
+                op_id,
+                if op.attrs.get("bufferized").is_some() {
+                    0
+                } else {
+                    1
+                },
+            )?;
+            let (shape, data) = op
+                .attrs
+                .get("stencil")
+                .and_then(|a| a.as_dense_i8())
+                .ok_or_else(|| err(&op.opcode, "missing dense `stencil` attribute"))?;
+            if shape.iter().product::<usize>() != data.len() {
+                return Err(err(&op.opcode, "stencil attr shape/data mismatch"));
+            }
+            if data.iter().any(|v| !(-1..=1).contains(v)) {
+                return Err(err(&op.opcode, "stencil values must be in {-1,0,1}"));
+            }
+            let nb_var =
+                op.int_attr("nb_var")
+                    .ok_or_else(|| err(&op.opcode, "missing `nb_var`"))? as usize;
+            let n_aux = op.int_attr("n_aux").unwrap_or(0) as usize;
+            let rank = shape.len();
+            // Operand layout: [X, B, aux..., Y] plus, when `bounded`,
+            // 2*rank index bounds (lo..., hi...).
+            let base = 3 + n_aux;
+            let expected_operands = base
+                + if op.attrs.get("bounded").is_some() {
+                    2 * rank
+                } else {
+                    0
+                };
+            if op.operands.len() != expected_operands {
+                return Err(err(
+                    &op.opcode,
+                    format!(
+                        "expected {expected_operands} operands, got {}",
+                        op.operands.len()
+                    ),
+                ));
+            }
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "requires one region"));
+            }
+            // Region block args: per accessed offset (non-zeros plus the
+            // center if zero-valued), nb_var state scalars followed by
+            // nb_var scalars per aux tensor.
+            let nnz = data.iter().filter(|v| **v != 0).count();
+            let center_idx = {
+                let mut idx = 0;
+                for &s in shape.iter() {
+                    idx = idx * s + s / 2;
+                }
+                idx
+            };
+            let n_accessed = nnz + usize::from(data[center_idx] == 0);
+            let expected_args = n_accessed * nb_var * (1 + n_aux);
+            let block = body.region(op.regions[0]).blocks[0];
+            if body.block(block).args.len() != expected_args {
+                return Err(err(
+                    &op.opcode,
+                    format!(
+                        "region block must take {} args ({} accessed offsets × {} fields × (1+{} aux)), got {}",
+                        expected_args,
+                        n_accessed,
+                        nb_var,
+                        n_aux,
+                        body.block(block).args.len()
+                    ),
+                ));
+            }
+            // Terminator yields nb_var D values followed by nb_var values
+            // per accessed offset.
+            let expected_yields = nb_var * (1 + n_accessed);
+            let last = body.block(block).ops.last().copied();
+            match last {
+                Some(t) if body.op(t).opcode == OpCode::CfdYield => {
+                    if body.op(t).operands.len() != expected_yields {
+                        return Err(err(
+                            &op.opcode,
+                            format!(
+                                "region must yield {} values (D per field, then one per offset and field), got {}",
+                                expected_yields,
+                                body.op(t).operands.len()
+                            ),
+                        ));
+                    }
+                }
+                _ => return Err(err(&op.opcode, "region must end with cfd.yield")),
+            }
+        }
+        OpCode::CfdFaceIterator => {
+            let bufferized = op.attrs.get("bufferized").is_some();
+            expect_results(body, op_id, usize::from(!bufferized))?;
+            op.int_attr("axis")
+                .ok_or_else(|| err(&op.opcode, "missing `axis`"))?;
+            op.int_attr("nb_var")
+                .ok_or_else(|| err(&op.opcode, "missing `nb_var`"))?;
+            let k = operand_ty(body, op_id, 0)
+                .rank()
+                .ok_or_else(|| err(&op.opcode, "input must be shaped"))?
+                - 1;
+            let expected = 2 + if op.attrs.get("bounded").is_some() {
+                2 * k
+            } else {
+                0
+            };
+            expect_operands(body, op_id, expected)?;
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "requires one region"));
+            }
+        }
+        OpCode::CfdTiledLoop => {
+            let rank = op
+                .int_attr("rank")
+                .ok_or_else(|| err(&op.opcode, "missing `rank`"))?;
+            let n_ins = op
+                .int_attr("n_ins")
+                .ok_or_else(|| err(&op.opcode, "missing `n_ins`"))?;
+            let n_outs = op
+                .int_attr("n_outs")
+                .ok_or_else(|| err(&op.opcode, "missing `n_outs`"))?;
+            let expected = 3 * rank + n_ins + n_outs;
+            if op.operands.len() != expected as usize {
+                return Err(err(
+                    &op.opcode,
+                    format!("expected {expected} operands, got {}", op.operands.len()),
+                ));
+            }
+            if op.results.len() != n_outs as usize {
+                return Err(err(&op.opcode, "one result per output"));
+            }
+            if op.regions.len() != 1 {
+                return Err(err(&op.opcode, "requires one region"));
+            }
+        }
+        OpCode::CfdGetParallelBlocks => {
+            expect_results(body, op_id, 2)?;
+            let (shape, data) = op
+                .attrs
+                .get("block_stencil")
+                .and_then(|a| a.as_dense_i8())
+                .ok_or_else(|| err(&op.opcode, "missing `block_stencil`"))?;
+            if shape.len() != op.operands.len() {
+                return Err(err(
+                    &op.opcode,
+                    "block_stencil rank must match operand count",
+                ));
+            }
+            if data.iter().any(|v| !(-1..=0).contains(v)) {
+                return Err(err(&op.opcode, "block_stencil values must be in {-1,0}"));
+            }
+        }
+        OpCode::Generic(_) => {
+            // Opaque: no structural checks.
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMap;
+    use crate::builder::FuncBuilder;
+    use crate::module::Module;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut fb = FuncBuilder::new("ok", vec![Type::F64], vec![Type::F64]);
+        let x = fb.arg(0);
+        let c = fb.const_f64(1.0);
+        let y = fb.addf(x, c);
+        fb.ret(vec![y]);
+        assert!(verify_func(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn missing_return_fails() {
+        let fb = FuncBuilder::new("bad", vec![], vec![]);
+        let e = verify_func(&fb.finish()).unwrap_err();
+        assert!(e.message.contains("does not end with func.return"), "{e}");
+    }
+
+    #[test]
+    fn return_type_mismatch_fails() {
+        let mut fb = FuncBuilder::new("bad", vec![Type::F64], vec![Type::Index]);
+        let x = fb.arg(0);
+        fb.ret(vec![x]);
+        let e = verify_func(&fb.finish()).unwrap_err();
+        assert!(e.message.contains("return types"), "{e}");
+    }
+
+    #[test]
+    fn type_mismatch_in_addf_fails() {
+        let mut fb = FuncBuilder::new("bad", vec![Type::F64, Type::Index], vec![Type::F64]);
+        let x = fb.arg(0);
+        let i = fb.arg(1);
+        // Force an invalid op through the generic interface.
+        let bad = fb.create1(OpCode::AddF, vec![x, i], Type::F64, AttrMap::new());
+        fb.ret(vec![bad]);
+        let e = verify_func(&fb.finish()).unwrap_err();
+        assert_eq!(e.op, "arith.addf");
+    }
+
+    #[test]
+    fn use_before_def_fails() {
+        let mut fb = FuncBuilder::new("bad", vec![], vec![]);
+        // Build a loop whose body uses a value defined *after* the loop.
+        let c0 = fb.const_index(0);
+        let c4 = fb.const_index(4);
+        let c1 = fb.const_index(1);
+        // Manually assemble: region uses a value not yet defined.
+        let region = fb.body_mut().add_region();
+        let block = fb.body_mut().add_block(region);
+        let _iv = fb.body_mut().add_block_arg(block, Type::Index);
+        // `late` is created in the entry block *after* the for op below.
+        fb.create(
+            OpCode::For,
+            vec![c0, c4, c1],
+            vec![],
+            AttrMap::new(),
+            vec![region],
+        );
+        let saved = fb.insertion_block();
+        fb.set_insertion_block(block);
+        let late_placeholder = fb.const_index(7); // defined inside region: fine
+        fb.create(OpCode::Yield, vec![], vec![], AttrMap::new(), vec![]);
+        fb.set_insertion_block(saved);
+        // Now rewrite the region op to use a value from after the loop.
+        let late = fb.const_index(9);
+        let body = fb.body_mut();
+        let def_op = body.defining_op(late_placeholder).unwrap();
+        body.op_mut(def_op).opcode = OpCode::AddI;
+        body.op_mut(def_op).operands = vec![late, late];
+        body.op_mut(def_op).attrs = AttrMap::new();
+        fb.ret(vec![]);
+        let e = verify_func(&fb.finish()).unwrap_err();
+        assert!(e.message.contains("dominate"), "{e}");
+    }
+
+    #[test]
+    fn loop_yield_arity_checked() {
+        let mut fb = FuncBuilder::new("bad", vec![], vec![]);
+        let c0 = fb.const_index(0);
+        let c4 = fb.const_index(4);
+        let c1 = fb.const_index(1);
+        let acc = fb.const_f64(0.0);
+        // Build a for loop then corrupt its yield.
+        let res = fb.build_for(c0, c4, c1, vec![acc], |_fb, _iv, iters| vec![iters[0]]);
+        let _ = res;
+        // Find the yield and drop its operand.
+        let body = fb.body_mut();
+        let for_op = body.find_first(&OpCode::For).unwrap();
+        let region = body.op(for_op).regions[0];
+        let block = body.region(region).blocks[0];
+        let yield_op = *body.block(block).ops.last().unwrap();
+        body.op_mut(yield_op).operands.clear();
+        fb.ret(vec![]);
+        let e = verify_func(&fb.finish()).unwrap_err();
+        assert!(e.message.contains("yields 0 values"), "{e}");
+    }
+
+    #[test]
+    fn module_verify_covers_all_funcs() {
+        let mut m = Module::new("m");
+        let mut fb = FuncBuilder::new("ok", vec![], vec![]);
+        fb.ret(vec![]);
+        m.push_func(fb.finish());
+        let fb2 = FuncBuilder::new("bad", vec![], vec![]);
+        m.push_func(fb2.finish()); // no return
+        assert!(m.verify().is_err());
+    }
+
+    #[test]
+    fn vec_extract_lane_bounds() {
+        let m = Type::memref_dyn(Type::F64, 1);
+        let mut fb = FuncBuilder::new("bad", vec![m], vec![]);
+        let buf = fb.arg(0);
+        let i = fb.const_index(0);
+        let v = fb.transfer_read(buf, &[i], 4);
+        let mut attrs = AttrMap::new();
+        attrs.set("lane", crate::attr::Attribute::Int(4));
+        let _bad = fb.create1(OpCode::VecExtract, vec![v], Type::F64, attrs);
+        fb.ret(vec![]);
+        let e = verify_func(&fb.finish()).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+}

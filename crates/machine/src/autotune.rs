@@ -1,0 +1,161 @@
+//! Tile-size autotuning (§2.1: "like most tiling frameworks, we rely on
+//! autotuning for selecting tile sizes", bounded by the L2 capacity rule).
+//!
+//! The tuner enumerates capacity-respecting, legality-respecting tile
+//! candidates from `instencil_pattern::tiling` and scores each with the
+//! cost estimator, reproducing the per-thread-count tile choices of the
+//! paper's Tables 2 and 3.
+
+use instencil_pattern::tiling::candidate_tile_sizes;
+use instencil_pattern::{blockdeps, StencilPattern};
+
+use crate::cost::{estimate_sweep, RunConfig};
+use crate::topology::Machine;
+
+/// Result of one autotuning search.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TunedTiles {
+    /// The winning cache-tile sizes.
+    pub tile: Vec<usize>,
+    /// The winning sub-domain sizes.
+    pub subdomain: Vec<usize>,
+    /// Estimated sweep time of the winner, seconds.
+    pub time_s: f64,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// Searches tile and sub-domain sizes minimizing the estimated sweep
+/// time for a given thread count. `proto` supplies the measured op mix
+/// and workload geometry; its `tile`/`subdomain`/`deps` fields are
+/// overwritten per candidate.
+///
+/// Sub-domain candidates are derived from each tile candidate by scaling
+/// with small integer factors, mirroring the paper's two-level scheme
+/// (sub-domains are unions of cache tiles).
+pub fn autotune(
+    m: &Machine,
+    pattern: &StencilPattern,
+    proto: &RunConfig,
+    threads: usize,
+) -> TunedTiles {
+    let k = pattern.rank();
+    let cands = candidate_tile_sizes(
+        pattern,
+        &proto.domain,
+        proto.nb_var,
+        proto.live_tensors,
+        m.l2_bytes,
+    );
+    let mut best: Option<TunedTiles> = None;
+    let mut evaluated = 0;
+    for tile in &cands {
+        // Skip degenerate candidates with tiny innermost extents (no
+        // vector chunk would fit); keep 1-pinned dims.
+        if tile[k - 1] < 8.min(proto.domain[k - 1]) {
+            continue;
+        }
+        for factor in [1usize, 2, 4, 8] {
+            let subdomain: Vec<usize> = tile
+                .iter()
+                .zip(&proto.domain)
+                .map(|(&t, &n)| (t * factor).min(n))
+                .collect();
+            let Ok(deps) = blockdeps::block_dependences(pattern, &subdomain) else {
+                continue;
+            };
+            // Enough sub-domains to feed the threads, but not so many
+            // that scheduling overhead dominates (the paper notes the
+            // number of sub-domains stays small, < 100^k).
+            let grid: usize = proto
+                .domain
+                .iter()
+                .zip(&subdomain)
+                .map(|(&n, &s)| n.div_ceil(s))
+                .product();
+            if grid < threads || grid > 16_384 {
+                continue;
+            }
+            let mut cfg = proto.clone();
+            cfg.threads = threads;
+            cfg.tile = tile.clone();
+            cfg.subdomain = subdomain.clone();
+            cfg.deps = deps;
+            let t = estimate_sweep(m, &cfg).total_s;
+            evaluated += 1;
+            if best.as_ref().is_none_or(|b| t < b.time_s) {
+                best = Some(TunedTiles {
+                    tile: tile.clone(),
+                    subdomain,
+                    time_s: t,
+                    evaluated,
+                });
+            }
+        }
+    }
+    let mut best = best.expect("at least one legal tile candidate");
+    best.evaluated = evaluated;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PerPointCosts;
+    use crate::topology::xeon_6152_dual;
+    use instencil_pattern::presets;
+    use instencil_pattern::tiling::is_legal_tiling;
+
+    fn proto(domain: Vec<usize>) -> RunConfig {
+        let k = domain.len();
+        let mut cfg = RunConfig::new(domain, vec![1; k], vec![1; k]);
+        cfg.costs = PerPointCosts {
+            scalar_flops: 6.0,
+            mem_ops: 7.0,
+            ..Default::default()
+        };
+        cfg
+    }
+
+    #[test]
+    fn gs5_tuning_yields_legal_capacity_tiles() {
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 10);
+        assert!(is_legal_tiling(&p, &tuned.tile));
+        let fp: usize = tuned.tile.iter().product::<usize>() * 3 * 8;
+        assert!(fp <= m.l2_bytes, "capacity rule violated: {fp}");
+        assert!(tuned.evaluated > 4);
+    }
+
+    #[test]
+    fn gs9_tuning_respects_pinned_dim() {
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_9pt();
+        let tuned = autotune(&m, &p, &proto(vec![4000, 4000]), 44);
+        assert_eq!(tuned.tile[0], 1, "paper Table 2: 9-point tiles are 1×N");
+    }
+
+    #[test]
+    fn more_threads_prefers_smaller_or_equal_subdomains() {
+        // With 44 threads the tuner must produce at least 44 sub-domains.
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 44);
+        let grid: usize = [2000usize, 2000]
+            .iter()
+            .zip(&tuned.subdomain)
+            .map(|(&n, &s)| n.div_ceil(s))
+            .product();
+        assert!(grid >= 44);
+    }
+
+    #[test]
+    fn heat3d_tuning_runs() {
+        let m = xeon_6152_dual();
+        let p = presets::heat3d_gauss_seidel();
+        let tuned = autotune(&m, &p, &proto(vec![256, 256, 256]), 10);
+        assert_eq!(tuned.tile.len(), 3);
+        assert!(tuned.time_s > 0.0);
+    }
+}

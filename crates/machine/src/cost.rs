@@ -1,0 +1,316 @@
+//! The analytic + discrete-event performance estimator.
+//!
+//! A [`RunConfig`] combines a *measured* per-point op mix
+//! ([`PerPointCosts`], obtained by interpreting the actual generated code
+//! on a small domain) with the workload geometry (domain, sub-domain and
+//! tile sizes) and the *actual* sub-domain dependence offsets. The
+//! estimator then:
+//!
+//! 1. computes per-point compute time from the op mix (issue-throughput
+//!    model) and per-point memory time from streamed traffic under the
+//!    available bandwidth (roofline: the two overlap, the max wins);
+//! 2. replays the Eq. (3) wavefront schedule of the sub-domain grid level
+//!    by level (`ceil(width/threads)` rounds per level), charging one
+//!    barrier per level — the discrete-event part that produces the
+//!    NUMA/synchronization effects of Figs. 13 and 15.
+
+use instencil_pattern::{Offset, WavefrontSchedule};
+
+use crate::topology::Machine;
+
+/// Dynamic op counts *per interior point*, measured from generated code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
+pub struct PerPointCosts {
+    /// Scalar floating-point ops.
+    pub scalar_flops: f64,
+    /// Vector floating-point ops (each one lane-group wide).
+    pub vector_flops: f64,
+    /// Scalar loads + stores.
+    pub mem_ops: f64,
+    /// Vector transfers (reads + writes).
+    pub vector_mem_ops: f64,
+    /// Index/control ops (loop overhead proxy).
+    pub control_ops: f64,
+}
+
+impl PerPointCosts {
+    /// Cycles per point under the machine's issue throughput.
+    pub fn cycles(&self, m: &Machine, strided_vectors: bool) -> f64 {
+        let vec_cost = if strided_vectors {
+            m.gather_penalty
+        } else {
+            1.0
+        };
+        self.scalar_flops / m.scalar_flops_per_cycle
+            + self.vector_flops / m.vector_ops_per_cycle
+            + self.mem_ops / m.mem_ops_per_cycle
+            + self.vector_mem_ops * vec_cost / m.mem_ops_per_cycle
+            + self.control_ops / 4.0
+    }
+}
+
+/// One run-configuration of the estimator.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RunConfig {
+    /// Spatial domain extents (interior is assumed ≈ the full domain).
+    pub domain: Vec<usize>,
+    /// Sub-domain sizes (outer tiling level, one per spatial dim).
+    pub subdomain: Vec<usize>,
+    /// Cache-tile sizes (inner level).
+    pub tile: Vec<usize>,
+    /// Threads used.
+    pub threads: usize,
+    /// Measured per-point op mix.
+    pub costs: PerPointCosts,
+    /// Field count `n_v`.
+    pub nb_var: usize,
+    /// Distinct tensors streamed per sweep (X/Y/B… — 3 for Eq. (2),
+    /// fewer when fusion eliminates a global stream).
+    pub streams: f64,
+    /// Tensors live *inside a tile* (the §2.1 capacity rule uses 3:
+    /// X, Y and B; independent of the number of global streams).
+    pub live_tensors: usize,
+    /// Sub-domain dependence offsets (empty ⇒ fully parallel level).
+    pub deps: Vec<Offset>,
+    /// Whether vector accesses are strided (wavefront vectorization) —
+    /// charged the gather penalty.
+    pub strided_vectors: bool,
+    /// Extra multiplier for partial/parallelogram tiles (Pluto paths).
+    pub tile_overhead: f64,
+    /// Synchronization barriers per sweep *in addition* to the wavefront
+    /// levels (e.g. one between solver phases).
+    pub extra_barriers: f64,
+}
+
+impl RunConfig {
+    /// A baseline config with sensible defaults.
+    pub fn new(domain: Vec<usize>, subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
+        RunConfig {
+            domain,
+            subdomain,
+            tile,
+            threads: 1,
+            costs: PerPointCosts::default(),
+            nb_var: 1,
+            streams: 3.0,
+            live_tensors: 3,
+            deps: Vec::new(),
+            strided_vectors: false,
+            tile_overhead: 1.0,
+            extra_barriers: 0.0,
+        }
+    }
+}
+
+/// Result of one estimation, all in seconds (per sweep).
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct TimeEstimate {
+    /// Pure compute component of the makespan.
+    pub compute_s: f64,
+    /// Memory-bound component of the makespan.
+    pub memory_s: f64,
+    /// Synchronization (barriers between wavefront levels).
+    pub sync_s: f64,
+    /// Total makespan of one sweep.
+    pub total_s: f64,
+    /// Number of wavefront levels of the schedule.
+    pub levels: usize,
+}
+
+/// Estimates the makespan of one sweep of a kernel run.
+///
+/// # Panics
+/// Panics on rank mismatches between `domain`, `subdomain` and `tile`.
+pub fn estimate_sweep(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
+    let k = cfg.domain.len();
+    assert_eq!(cfg.subdomain.len(), k);
+    assert_eq!(cfg.tile.len(), k);
+    let points: f64 = cfg.domain.iter().product::<usize>() as f64;
+
+    // --- per-point time (roofline) ---
+    let cycles_pp = cfg.costs.cycles(m, cfg.strided_vectors) * cfg.tile_overhead;
+    let compute_pp = cycles_pp * m.cycle_s();
+    // Streamed traffic: every live tensor element is moved once per sweep
+    // when the tile working set fits in L2, with a reuse penalty
+    // otherwise.
+    let tile_points: usize = cfg.tile.iter().product();
+    let footprint = tile_points * cfg.nb_var * cfg.live_tensors * 8;
+    let reuse = if footprint <= m.l2_bytes { 1.0 } else { 2.0 };
+    let bytes_pp = cfg.streams * cfg.nb_var as f64 * 8.0 * reuse;
+    let bw = m.bandwidth(cfg.threads);
+    // Per-thread compute overlaps with memory; the aggregate sweep obeys:
+    //   time >= compute/threads   and   time >= bytes/bandwidth
+    // applied per wavefront level below.
+
+    // --- wavefront schedule replay ---
+    let grid: Vec<usize> = cfg
+        .domain
+        .iter()
+        .zip(&cfg.subdomain)
+        .map(|(&n, &s)| n.div_ceil(s.max(1)).max(1))
+        .collect();
+    let schedule = WavefrontSchedule::compute(&grid, &cfg.deps);
+    let block_points: f64 = points / grid.iter().product::<usize>() as f64;
+
+    let mut compute_s = 0.0;
+    let mut memory_s = 0.0;
+    let mut sync_s = 0.0;
+    let threads = cfg.threads.max(1) as f64;
+    for level in schedule.wavefronts().levels() {
+        let width = level.len() as f64;
+        let rounds = (width / threads).ceil();
+        let level_compute = rounds * block_points * compute_pp;
+        let level_bytes = width * block_points * bytes_pp;
+        let level_memory = level_bytes / bw;
+        // Roofline per level: compute and memory overlap.
+        let level_time = level_compute.max(level_memory);
+        compute_s += level_compute;
+        memory_s += level_memory;
+        sync_s += m.barrier_cost(cfg.threads);
+        // Accumulate into total via the max law, stored in compute/memory
+        // components for reporting.
+        let _ = level_time;
+    }
+    // The level-by-level max: recompute totals properly.
+    let mut total = 0.0;
+    for level in schedule.wavefronts().levels() {
+        let width = level.len() as f64;
+        let rounds = (width / threads).ceil();
+        let level_compute = rounds * block_points * compute_pp;
+        let level_memory = width * block_points * bytes_pp / bw;
+        total += level_compute.max(level_memory) + m.barrier_cost(cfg.threads);
+    }
+    total += cfg.extra_barriers * m.barrier_cost(cfg.threads);
+
+    TimeEstimate {
+        compute_s,
+        memory_s,
+        sync_s,
+        total_s: total,
+        levels: schedule.num_levels(),
+    }
+}
+
+/// The paper's Fig. 15 metric: average time per cell per iteration per
+/// thread, `t_cell = threads · elapsed / (iterations · cells)`.
+pub fn t_cell(m: &Machine, cfg: &RunConfig, sweeps: &[RunConfig]) -> f64 {
+    let cells: f64 = cfg.domain.iter().product::<usize>() as f64;
+    let elapsed: f64 = sweeps.iter().map(|c| estimate_sweep(m, c).total_s).sum();
+    cfg.threads as f64 * elapsed / cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::xeon_6152_dual;
+
+    fn base_cfg(threads: usize) -> RunConfig {
+        let mut cfg = RunConfig::new(vec![512, 512], vec![64, 64], vec![32, 32]);
+        cfg.threads = threads;
+        cfg.costs = PerPointCosts {
+            scalar_flops: 6.0,
+            mem_ops: 7.0,
+            ..Default::default()
+        };
+        cfg.deps = vec![vec![-1, 0], vec![0, -1]];
+        cfg
+    }
+
+    #[test]
+    fn more_threads_is_faster_until_saturation() {
+        let m = xeon_6152_dual();
+        // A large grid (32×32 sub-domains) so the wavefront pipeline can
+        // actually feed 8 threads.
+        let big = |threads| {
+            let mut c = base_cfg(threads);
+            c.domain = vec![2048, 2048];
+            c
+        };
+        let t1 = estimate_sweep(&m, &big(1)).total_s;
+        let t8 = estimate_sweep(&m, &big(8)).total_s;
+        let t44 = estimate_sweep(&m, &big(44)).total_s;
+        assert!(t8 < t1 / 4.5, "8 threads should scale well: {t1} vs {t8}");
+        assert!(t44 <= t8);
+    }
+
+    #[test]
+    fn vectorization_reduces_compute_time() {
+        let m = xeon_6152_dual();
+        let scalar = base_cfg(1);
+        let mut vec = base_cfg(1);
+        // Same work expressed as vector ops (8 lanes): 1/8 the op count.
+        vec.costs = PerPointCosts {
+            scalar_flops: 1.0,
+            vector_flops: 6.0 / 8.0,
+            mem_ops: 1.0,
+            vector_mem_ops: 6.0 / 8.0,
+            ..Default::default()
+        };
+        let ts = estimate_sweep(&m, &scalar).total_s;
+        let tv = estimate_sweep(&m, &vec).total_s;
+        assert!(tv < ts / 2.0, "vector {tv} vs scalar {ts}");
+    }
+
+    #[test]
+    fn gather_penalty_hurts_strided_vectorization() {
+        let m = xeon_6152_dual();
+        let mut contiguous = base_cfg(1);
+        contiguous.costs.vector_mem_ops = 2.0;
+        let mut strided = contiguous.clone();
+        strided.strided_vectors = true;
+        assert!(estimate_sweep(&m, &strided).total_s > estimate_sweep(&m, &contiguous).total_s);
+    }
+
+    #[test]
+    fn memory_bound_at_high_thread_counts() {
+        // A light-compute, heavy-traffic kernel on a wide (dep-free)
+        // schedule: 44 threads are bandwidth-limited.
+        let m = xeon_6152_dual();
+        let mut cfg = base_cfg(44);
+        cfg.subdomain = vec![8, 8];
+        cfg.deps = vec![];
+        cfg.streams = 6.0;
+        cfg.costs = PerPointCosts {
+            scalar_flops: 1.0,
+            mem_ops: 1.0,
+            ..Default::default()
+        };
+        let e = estimate_sweep(&m, &cfg);
+        assert!(e.memory_s > e.compute_s, "{e:?}");
+    }
+
+    #[test]
+    fn serial_deps_limit_scaling() {
+        let m = xeon_6152_dual();
+        // A 1xN sub-domain grid with row deps: no parallelism at all.
+        let mut serial = base_cfg(16);
+        serial.subdomain = vec![512, 64];
+        serial.deps = vec![vec![-1, 0], vec![-1, 1], vec![-1, -1], vec![0, -1]];
+        let mut parallel = base_cfg(16);
+        parallel.deps = vec![];
+        let ts = estimate_sweep(&m, &serial);
+        let tp = estimate_sweep(&m, &parallel);
+        assert!(ts.total_s > tp.total_s, "{ts:?} vs {tp:?}");
+        assert!(ts.levels > tp.levels);
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_levels() {
+        let m = xeon_6152_dual();
+        let mut few = base_cfg(8);
+        few.subdomain = vec![256, 256];
+        let mut many = base_cfg(8);
+        many.subdomain = vec![16, 16];
+        let ef = estimate_sweep(&m, &few);
+        let em = estimate_sweep(&m, &many);
+        assert!(em.sync_s > ef.sync_s);
+    }
+
+    #[test]
+    fn t_cell_is_per_thread_normalized() {
+        let m = xeon_6152_dual();
+        let cfg = base_cfg(4);
+        let tc = t_cell(&m, &cfg, std::slice::from_ref(&cfg));
+        assert!(tc > 0.0 && tc.is_finite());
+    }
+}

@@ -1,0 +1,242 @@
+//! Sub-domain-level dependence derivation (paper §2.3, Fig. 1).
+//!
+//! Given the element-level pattern and rectangular sub-domain sizes, the
+//! dependence of element `i` on element `i + r` (`r ∈ L`) induces a
+//! dependence between the sub-domain containing `i` and the one containing
+//! `i + r`. Because sub-domains are rectangular, it suffices to consider
+//! corners: the set of possible sub-domain offsets along dimension `d` is
+//! exactly `{floor(r_d / t_d), ..., floor((t_d - 1 + r_d) / t_d)}` — the
+//! deltas reachable from every in-tile position.
+//!
+//! Executing sub-domains in lexicographic order (or any schedule refining
+//! the wavefront partial order) is valid only when every induced
+//! sub-domain offset is lexicographically negative — this is exactly the
+//! §2.1 tiling restriction. [`block_dependences`] therefore returns an
+//! error when the chosen sub-domain sizes are illegal for the pattern,
+//! which the tiling pass uses as its legality oracle.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::offset::{is_lex_negative, lex_sign, LexOrder, Offset};
+use crate::pattern::StencilPattern;
+
+/// The chosen sub-domain sizes are illegal for the stencil pattern: some
+/// element-level dependence would point to a lexicographically
+/// non-negative sub-domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IllegalTiling {
+    /// The element-level offset that caused the violation.
+    pub element_offset: Offset,
+    /// The induced sub-domain offset that is not lexicographically
+    /// negative.
+    pub block_offset: Offset,
+}
+
+impl fmt::Display for IllegalTiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stencil offset {:?} induces non-causal sub-domain dependence {:?}; \
+             shrink the tile along dim {} to 1",
+            self.element_offset,
+            self.block_offset,
+            self.element_offset
+                .iter()
+                .position(|&x| x != 0)
+                .unwrap_or(0)
+        )
+    }
+}
+
+impl Error for IllegalTiling {}
+
+/// Derives the set of sub-domain dependence offsets for the given
+/// sub-domain (tile) sizes. Offsets are returned in lexicographic order
+/// and are all lexicographically negative.
+///
+/// # Errors
+/// Returns [`IllegalTiling`] when a dependence would cross to a
+/// lexicographically non-negative sub-domain (see module docs).
+///
+/// # Panics
+/// Panics if `tile_sizes.len() != pattern.rank()` or any size is zero.
+pub fn block_dependences(
+    pattern: &StencilPattern,
+    tile_sizes: &[usize],
+) -> Result<Vec<Offset>, IllegalTiling> {
+    assert_eq!(tile_sizes.len(), pattern.rank(), "tile size rank mismatch");
+    assert!(
+        tile_sizes.iter().all(|&t| t > 0),
+        "tile sizes must be positive"
+    );
+    let mut deps: BTreeSet<Offset> = BTreeSet::new();
+    for r in pattern.l_offsets() {
+        // Per-dimension range of reachable sub-domain offsets.
+        // For an element at in-block position p ∈ [0, t_d) the dependence
+        // lands in block delta floor((p + r_d)/t_d); over all p this spans
+        // exactly [floor(r_d/t_d), floor((t_d - 1 + r_d)/t_d)].
+        let ranges: Vec<(i64, i64)> = r
+            .iter()
+            .zip(tile_sizes.iter())
+            .map(|(&rd, &td)| {
+                let td = td as i64;
+                (rd.div_euclid(td), (td - 1 + rd).div_euclid(td))
+            })
+            .collect();
+        // Enumerate the (small) cartesian product of ranges.
+        let mut stack: Vec<Offset> = vec![Vec::with_capacity(r.len())];
+        for &(lo, hi) in &ranges {
+            let mut next = Vec::new();
+            for prefix in &stack {
+                for v in lo..=hi {
+                    let mut p = prefix.clone();
+                    p.push(v);
+                    next.push(p);
+                }
+            }
+            stack = next;
+        }
+        for b in stack {
+            match lex_sign(&b) {
+                LexOrder::Zero => {}
+                LexOrder::Negative => {
+                    deps.insert(b);
+                }
+                LexOrder::Positive => {
+                    return Err(IllegalTiling {
+                        element_offset: r.clone(),
+                        block_offset: b,
+                    })
+                }
+            }
+        }
+    }
+    let out: Vec<Offset> = deps.into_iter().collect();
+    debug_assert!(out.iter().all(|b| is_lex_negative(b)));
+    Ok(out)
+}
+
+/// Renders sub-domain dependences as the `block_stencil` dense attribute of
+/// `cfd.get_parallel_blocks`: a `(2m+1)^k` window (sized to the widest
+/// dependence reach, at least 3 per dimension) with `-1` at each dependence
+/// offset — values restricted to `{-1, 0}` as in the paper.
+pub fn to_block_stencil(rank: usize, deps: &[Offset]) -> (Vec<usize>, Vec<i8>) {
+    let radius = deps
+        .iter()
+        .flat_map(|b| b.iter().map(|x| x.unsigned_abs() as usize))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let extent = 2 * radius + 1;
+    let shape = vec![extent; rank];
+    let mut data = vec![0i8; extent.pow(rank as u32)];
+    for b in deps {
+        let mut idx = 0usize;
+        for &x in b {
+            idx = idx * extent + (x + radius as i64) as usize;
+        }
+        data[idx] = -1;
+    }
+    (shape, data)
+}
+
+/// Parses a `block_stencil` dense attribute back into dependence offsets.
+pub fn from_block_stencil(shape: &[usize], data: &[i8]) -> Vec<Offset> {
+    let rank = shape.len();
+    let mut out = Vec::new();
+    for (flat, &v) in data.iter().enumerate() {
+        if v != -1 {
+            continue;
+        }
+        let mut rem = flat;
+        let mut b = vec![0i64; rank];
+        for d in (0..rank).rev() {
+            b[d] = (rem % shape[d]) as i64 - (shape[d] / 2) as i64;
+            rem /= shape[d];
+        }
+        out.push(b);
+    }
+    out.sort_by(|a, b| crate::offset::lex_compare(a, b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn gs5_block_deps_are_lower_neighbors() {
+        let p = presets::gauss_seidel_5pt();
+        let deps = block_dependences(&p, &[8, 8]).unwrap();
+        assert_eq!(deps, vec![vec![-1, 0], vec![0, -1]]);
+    }
+
+    #[test]
+    fn gs9_large_tiles_are_illegal() {
+        // (-1, +1) ∈ L with tile (8, 8): reaches sub-domain (-1, +1)?
+        // No: (-1,+1) with t=(8,8) gives block range {-1,0}×{0,1}; the
+        // offset (0, 1) is lexicographically positive → illegal.
+        let p = presets::gauss_seidel_9pt();
+        let e = block_dependences(&p, &[8, 8]).unwrap_err();
+        assert_eq!(e.element_offset, vec![-1, 1]);
+        assert!(matches!(lex_sign(&e.block_offset), LexOrder::Positive));
+    }
+
+    #[test]
+    fn gs9_tile_one_row_is_legal() {
+        // Paper Table 2: the 9-point kernel is pinned to 1×128 tiles.
+        let p = presets::gauss_seidel_9pt();
+        let deps = block_dependences(&p, &[1, 128]).unwrap();
+        // Dependences: (-1,-1) unreachable at 1x128? (-1,-1): ranges
+        // {-1}×{-1,0} → (-1,-1), (-1,0); (-1,0) → (-1,0); (-1,1) →
+        // {-1}×{0,1} → (-1,0), (-1,1); (0,-1) → (0,-1).
+        assert!(deps.contains(&vec![-1, 0]));
+        assert!(deps.contains(&vec![-1, 1]));
+        assert!(deps.contains(&vec![-1, -1]));
+        assert!(deps.contains(&vec![0, -1]));
+        assert_eq!(deps.len(), 4);
+    }
+
+    #[test]
+    fn second_order_multi_block_reach() {
+        // (-2, 0) with tile size 1 along dim 0 reaches two blocks back.
+        let p = presets::gauss_seidel_9pt_order2();
+        let deps = block_dependences(&p, &[1, 64]).unwrap();
+        assert!(deps.contains(&vec![-2, 0]));
+        assert!(deps.contains(&vec![-1, 0]));
+    }
+
+    #[test]
+    fn heat3d_deps() {
+        let p = presets::heat3d_gauss_seidel();
+        let deps = block_dependences(&p, &[6, 6, 128]).unwrap();
+        assert_eq!(deps, vec![vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]]);
+    }
+
+    #[test]
+    fn out_of_place_has_no_deps() {
+        let p = presets::jacobi_5pt();
+        let deps = block_dependences(&p, &[16, 16]).unwrap();
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn block_stencil_roundtrip() {
+        let deps = vec![vec![-1, -1], vec![-1, 0], vec![0, -1]];
+        let (shape, data) = to_block_stencil(2, &deps);
+        assert_eq!(shape, vec![3, 3]);
+        assert_eq!(data.iter().filter(|&&v| v == -1).count(), 3);
+        assert_eq!(from_block_stencil(&shape, &data), deps);
+    }
+
+    #[test]
+    fn block_stencil_widens_for_long_reach() {
+        let deps = vec![vec![-2, 0], vec![-1, 0]];
+        let (shape, data) = to_block_stencil(2, &deps);
+        assert_eq!(shape, vec![5, 5]);
+        assert_eq!(from_block_stencil(&shape, &data), deps);
+    }
+}

@@ -1,0 +1,140 @@
+//! Compressed-sparse-row encoding of wavefronts.
+//!
+//! `cfd.get_parallel_blocks` (paper §3.4) produces the wavefront schedule
+//! as two flat arrays: `row_ptr` delimits the rows, `cols` holds the
+//! linearized sub-domain indices of each row. Each row is one wavefront:
+//! all its sub-domains are mutually independent and may execute in
+//! parallel; rows execute in order with a synchronization barrier between
+//! consecutive rows.
+
+/// A wavefront schedule in CSR form.
+///
+/// # Example
+/// ```
+/// use instencil_pattern::CsrWavefronts;
+/// let w = CsrWavefronts::from_rows(vec![vec![0], vec![1, 4], vec![2, 5, 8]]);
+/// assert_eq!(w.num_levels(), 3);
+/// assert_eq!(w.level(1), &[1, 4]);
+/// assert_eq!(w.num_blocks(), 6);
+/// assert_eq!(w.max_parallelism(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrWavefronts {
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+impl CsrWavefronts {
+    /// Builds from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if `row_ptr` is not a valid monotone delimiter array ending
+    /// at `cols.len()`.
+    pub fn new(row_ptr: Vec<usize>, cols: Vec<usize>) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must contain at least [0]");
+        assert_eq!(*row_ptr.first().unwrap(), 0, "row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            cols.len(),
+            "row_ptr must end at cols.len()"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be monotone"
+        );
+        CsrWavefronts { row_ptr, cols }
+    }
+
+    /// Builds from a list of explicit rows.
+    pub fn from_rows(rows: Vec<Vec<usize>>) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut cols = Vec::new();
+        row_ptr.push(0);
+        for row in rows {
+            cols.extend(row);
+            row_ptr.push(cols.len());
+        }
+        CsrWavefronts { row_ptr, cols }
+    }
+
+    /// Number of wavefront levels (rows).
+    pub fn num_levels(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Total number of scheduled sub-domains.
+    pub fn num_blocks(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The linearized sub-domain indices of one level.
+    ///
+    /// # Panics
+    /// Panics if `level >= num_levels()`.
+    pub fn level(&self, level: usize) -> &[usize] {
+        &self.cols[self.row_ptr[level]..self.row_ptr[level + 1]]
+    }
+
+    /// Iterates over levels.
+    pub fn levels(&self) -> impl Iterator<Item = &[usize]> {
+        (0..self.num_levels()).map(|l| self.level(l))
+    }
+
+    /// Widest level (the peak amount of parallelism available).
+    pub fn max_parallelism(&self) -> usize {
+        self.levels().map(<[_]>::len).max().unwrap_or(0)
+    }
+
+    /// Mean level width (average parallelism over the schedule).
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.num_levels() == 0 {
+            return 0.0;
+        }
+        self.num_blocks() as f64 / self.num_levels() as f64
+    }
+
+    /// The raw row pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column (linearized index) array.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let w = CsrWavefronts::from_rows(vec![vec![0], vec![1, 2], vec![]]);
+        assert_eq!(w.num_levels(), 3);
+        assert_eq!(w.level(0), &[0]);
+        assert_eq!(w.level(1), &[1, 2]);
+        assert_eq!(w.level(2), &[] as &[usize]);
+        assert_eq!(w.row_ptr(), &[0, 1, 3, 3]);
+        assert_eq!(w.cols(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn parallelism_stats() {
+        let w = CsrWavefronts::from_rows(vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6]]);
+        assert_eq!(w.max_parallelism(), 3);
+        assert!((w.mean_parallelism() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_non_monotone_row_ptr() {
+        let _ = CsrWavefronts::new(vec![0, 3, 2, 4], (0..4).collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "end at cols.len()")]
+    fn rejects_bad_tail() {
+        let _ = CsrWavefronts::new(vec![0, 2], vec![0, 1, 2]);
+    }
+}

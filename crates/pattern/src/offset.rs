@@ -1,0 +1,116 @@
+//! Integer offset vectors and lexicographic ordering.
+//!
+//! The validity of an in-place stencil hinges on lexicographic order: every
+//! intra-iteration dependence offset `r ∈ L` must satisfy `r ≺ 0`, which
+//! makes the plain lexicographic traversal of the iteration space a valid
+//! schedule (paper §2).
+
+use std::cmp::Ordering;
+
+/// A relative coordinate offset (one entry per space dimension).
+pub type Offset = Vec<i64>;
+
+/// Result of comparing an offset against the zero vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LexOrder {
+    /// `r ≺ 0` — strictly lexicographically negative.
+    Negative,
+    /// `r = 0`.
+    Zero,
+    /// `r ≻ 0` — strictly lexicographically positive.
+    Positive,
+}
+
+/// Compares two offset vectors lexicographically.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn lex_compare(a: &[i64], b: &[i64]) -> Ordering {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "lexicographic compare of mismatched ranks"
+    );
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Classifies an offset against the zero vector.
+pub fn lex_sign(r: &[i64]) -> LexOrder {
+    for &x in r {
+        match x.cmp(&0) {
+            Ordering::Less => return LexOrder::Negative,
+            Ordering::Greater => return LexOrder::Positive,
+            Ordering::Equal => {}
+        }
+    }
+    LexOrder::Zero
+}
+
+/// `true` when `r ≺ 0` lexicographically.
+pub fn is_lex_negative(r: &[i64]) -> bool {
+    lex_sign(r) == LexOrder::Negative
+}
+
+/// `true` when `r ≻ 0` lexicographically.
+pub fn is_lex_positive(r: &[i64]) -> bool {
+    lex_sign(r) == LexOrder::Positive
+}
+
+/// Negates an offset (used when reversing a sweep).
+pub fn negate(r: &[i64]) -> Offset {
+    r.iter().map(|x| -x).collect()
+}
+
+/// Index of the first non-zero component, if any (the "leading" dimension
+/// that decides the lexicographic sign).
+pub fn leading_dim(r: &[i64]) -> Option<usize> {
+    r.iter().position(|&x| x != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_sign_basic() {
+        assert_eq!(lex_sign(&[0, 0]), LexOrder::Zero);
+        assert_eq!(lex_sign(&[-1, 5]), LexOrder::Negative);
+        assert_eq!(lex_sign(&[0, -1]), LexOrder::Negative);
+        assert_eq!(lex_sign(&[1, -5]), LexOrder::Positive);
+        assert_eq!(lex_sign(&[0, 0, 2]), LexOrder::Positive);
+    }
+
+    #[test]
+    fn compare_is_lexicographic() {
+        assert_eq!(lex_compare(&[-1, 1], &[0, 0]), Ordering::Less);
+        assert_eq!(lex_compare(&[0, 1], &[0, 0]), Ordering::Greater);
+        assert_eq!(lex_compare(&[2, 3], &[2, 3]), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched ranks")]
+    fn compare_rejects_rank_mismatch() {
+        let _ = lex_compare(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn negate_flips_sign_class() {
+        let r = vec![-1, 1];
+        assert!(is_lex_negative(&r));
+        assert!(is_lex_positive(&negate(&r)));
+        assert_eq!(negate(&negate(&r)), r);
+    }
+
+    #[test]
+    fn leading_dim_finds_first_nonzero() {
+        assert_eq!(leading_dim(&[0, 0]), None);
+        assert_eq!(leading_dim(&[0, -2, 1]), Some(1));
+        assert_eq!(leading_dim(&[3, 0]), Some(0));
+    }
+}

@@ -1,0 +1,529 @@
+//! The dense stencil-pattern attribute (paper Figs. 3, 4 and 8).
+//!
+//! A [`StencilPattern`] is a `(2s₁+1) × ... × (2s_k+1)` grid of values in
+//! `{-1, 0, +1}` centered at the origin:
+//!
+//! * `-1` at offset `r` — `r ∈ L`: the update of `Y[i]` reads the *already
+//!   updated* `Y[i + r]` (intra-iteration dependence);
+//! * `+1` at offset `r` — `r ∈ U`: the update reads `X[i + r]` from the
+//!   previous iteration;
+//! * `0` — the offset is not accessed.
+//!
+//! Validity requires `r ≺ 0` (lexicographically) for every `r ∈ L`, so the
+//! natural lexicographic traversal satisfies all intra-iteration
+//! dependences.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::offset::{self, lex_compare, Offset};
+
+/// Sweep direction of an in-place stencil application (paper §4.3):
+/// LU-SGS applies a forward sweep followed by a backward sweep with the
+/// mirrored pattern over the reversed iteration domain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Sweep {
+    /// Lexicographically increasing traversal.
+    #[default]
+    Forward,
+    /// Lexicographically decreasing traversal (pattern signs mirrored).
+    Backward,
+}
+
+impl Sweep {
+    /// The opposite direction.
+    pub fn reversed(self) -> Sweep {
+        match self {
+            Sweep::Forward => Sweep::Backward,
+            Sweep::Backward => Sweep::Forward,
+        }
+    }
+
+    /// Encoding used in the `sweep` attribute of `cfd.stencil`
+    /// (`+1` forward, `-1` backward).
+    pub fn encode(self) -> i64 {
+        match self {
+            Sweep::Forward => 1,
+            Sweep::Backward => -1,
+        }
+    }
+
+    /// Decodes the attribute encoding.
+    pub fn decode(v: i64) -> Option<Sweep> {
+        match v {
+            1 => Some(Sweep::Forward),
+            -1 => Some(Sweep::Backward),
+            _ => None,
+        }
+    }
+}
+
+/// Construction/validation failure for a stencil pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// A window extent was even or zero (must be `2s+1`).
+    EvenExtent(usize),
+    /// `shape.product() != data.len()`.
+    ShapeDataMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// An entry was outside `{-1, 0, 1}`.
+    BadValue(i8),
+    /// The center entry was non-zero.
+    NonZeroCenter,
+    /// An `L` offset is not lexicographically negative.
+    NonCausal(Offset),
+    /// An offset fell outside the window.
+    OutOfWindow(Offset),
+    /// Duplicate offset in a set-based constructor.
+    Duplicate(Offset),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::EvenExtent(e) => {
+                write!(f, "window extent {e} is not of the form 2s+1")
+            }
+            PatternError::ShapeDataMismatch { expected, got } => {
+                write!(
+                    f,
+                    "pattern data has {got} entries, shape requires {expected}"
+                )
+            }
+            PatternError::BadValue(v) => write!(f, "pattern value {v} outside {{-1,0,1}}"),
+            PatternError::NonZeroCenter => write!(f, "pattern center must be 0"),
+            PatternError::NonCausal(r) => {
+                write!(f, "L offset {r:?} is not lexicographically negative")
+            }
+            PatternError::OutOfWindow(r) => write!(f, "offset {r:?} outside the window"),
+            PatternError::Duplicate(r) => write!(f, "duplicate offset {r:?}"),
+        }
+    }
+}
+
+impl Error for PatternError {}
+
+/// A validated in-place stencil pattern.
+///
+/// # Example
+/// ```
+/// use instencil_pattern::StencilPattern;
+/// // The 5-point Gauss-Seidel pattern of paper Fig. 4 (left).
+/// let p = StencilPattern::from_rows_2d(&[
+///     [0, -1, 0],
+///     [-1, 0, 1],
+///     [0, 1, 0],
+/// ]).unwrap();
+/// assert_eq!(p.l_offsets().len(), 2);
+/// assert_eq!(p.u_offsets().len(), 2);
+/// assert!(p.is_in_place());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct StencilPattern {
+    shape: Vec<usize>,
+    data: Vec<i8>,
+}
+
+impl StencilPattern {
+    /// Builds a pattern from a dense window.
+    ///
+    /// # Errors
+    /// Returns a [`PatternError`] when the window is malformed or the
+    /// lexicographic validity rule is violated.
+    pub fn new(shape: Vec<usize>, data: Vec<i8>) -> Result<Self, PatternError> {
+        for &e in &shape {
+            if e == 0 || e % 2 == 0 {
+                return Err(PatternError::EvenExtent(e));
+            }
+        }
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(PatternError::ShapeDataMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        for &v in &data {
+            if !(-1..=1).contains(&v) {
+                return Err(PatternError::BadValue(v));
+            }
+        }
+        let p = StencilPattern { shape, data };
+        if p.value_at(&vec![0; p.rank()]) != 0 {
+            return Err(PatternError::NonZeroCenter);
+        }
+        for r in p.l_offsets() {
+            if !offset::is_lex_negative(&r) {
+                return Err(PatternError::NonCausal(r));
+            }
+        }
+        // U offsets carry no sign restriction: `+1` entries read the
+        // previous-iteration tensor X, which is legal at any offset (this
+        // is what makes Jacobi-style out-of-place stencils expressible).
+        Ok(p)
+    }
+
+    /// Builds a 2-D pattern from rows of a `(2s+1)²` window.
+    ///
+    /// # Errors
+    /// Same as [`StencilPattern::new`].
+    pub fn from_rows_2d<const N: usize>(rows: &[[i8; N]]) -> Result<Self, PatternError> {
+        let data: Vec<i8> = rows.iter().flatten().copied().collect();
+        StencilPattern::new(vec![rows.len(), N], data)
+    }
+
+    /// Builds a pattern of the given per-dimension radii from explicit
+    /// `L` and `U` offset sets.
+    ///
+    /// # Errors
+    /// Same as [`StencilPattern::new`], plus
+    /// [`PatternError::OutOfWindow`] / [`PatternError::Duplicate`].
+    pub fn from_sets(radii: &[usize], l: &[Offset], u: &[Offset]) -> Result<Self, PatternError> {
+        let shape: Vec<usize> = radii.iter().map(|s| 2 * s + 1).collect();
+        let len: usize = shape.iter().product();
+        let mut data = vec![0i8; len];
+        let mut place = |r: &Offset, v: i8| -> Result<(), PatternError> {
+            if r.len() != radii.len() {
+                return Err(PatternError::OutOfWindow(r.clone()));
+            }
+            for (x, s) in r.iter().zip(radii.iter()) {
+                if x.unsigned_abs() as usize > *s {
+                    return Err(PatternError::OutOfWindow(r.clone()));
+                }
+            }
+            let mut idx = 0usize;
+            for (d, x) in r.iter().enumerate() {
+                idx = idx * shape[d] + (x + radii[d] as i64) as usize;
+            }
+            if data[idx] != 0 {
+                return Err(PatternError::Duplicate(r.clone()));
+            }
+            data[idx] = v;
+            Ok(())
+        };
+        for r in l {
+            place(r, -1)?;
+        }
+        for r in u {
+            place(r, 1)?;
+        }
+        StencilPattern::new(shape, data)
+    }
+
+    /// Space rank `k`.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Window extents (`2s_d + 1` per dimension).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Per-dimension radii `s_d`.
+    pub fn radii(&self) -> Vec<usize> {
+        self.shape.iter().map(|e| e / 2).collect()
+    }
+
+    /// Raw row-major window data.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Pattern value at a given offset (0 outside the window).
+    pub fn value_at(&self, r: &[i64]) -> i8 {
+        let radii = self.radii();
+        let mut idx = 0usize;
+        for (d, &x) in r.iter().enumerate() {
+            let shifted = x + radii[d] as i64;
+            if shifted < 0 || shifted >= self.shape[d] as i64 {
+                return 0;
+            }
+            idx = idx * self.shape[d] + shifted as usize;
+        }
+        self.data[idx]
+    }
+
+    fn offsets_with(&self, value: i8) -> Vec<Offset> {
+        let radii = self.radii();
+        let mut out = Vec::new();
+        for (flat, &v) in self.data.iter().enumerate() {
+            if v != value {
+                continue;
+            }
+            let mut rem = flat;
+            let mut r = vec![0i64; self.rank()];
+            for d in (0..self.rank()).rev() {
+                r[d] = (rem % self.shape[d]) as i64 - radii[d] as i64;
+                rem /= self.shape[d];
+            }
+            out.push(r);
+        }
+        out.sort_by(|a, b| lex_compare(a, b));
+        out
+    }
+
+    /// Intra-iteration dependence offsets (`L`, value `-1`), in
+    /// lexicographic order.
+    pub fn l_offsets(&self) -> Vec<Offset> {
+        self.offsets_with(-1)
+    }
+
+    /// Previous-iteration offsets (`U`, value `+1`), in lexicographic
+    /// order.
+    pub fn u_offsets(&self) -> Vec<Offset> {
+        self.offsets_with(1)
+    }
+
+    /// All accessed offsets (`L ∪ U ∪ {0}` — the center is always
+    /// accessed as `X[i]`), in lexicographic order. This matches the block
+    /// argument order of `cfd.stencil` (paper Fig. 3).
+    pub fn accessed_offsets(&self) -> Vec<Offset> {
+        let mut out = self.l_offsets();
+        out.push(vec![0; self.rank()]);
+        out.extend(self.u_offsets());
+        out.sort_by(|a, b| lex_compare(a, b));
+        out
+    }
+
+    /// Whether the stencil carries intra-iteration dependences
+    /// (`L ≠ ∅`). Jacobi-style out-of-place stencils return `false`.
+    pub fn is_in_place(&self) -> bool {
+        self.data.contains(&-1)
+    }
+
+    /// The pattern of the reversed sweep: all offsets negated and L/U
+    /// roles swapped (paper §4.3: "the signs of the stencil pattern
+    /// attribute must be inverted"). Patterns are stored in
+    /// traversal-local coordinates, so the backward sweep of LU-SGS uses
+    /// `pattern.reversed()` together with a reversed iteration domain.
+    ///
+    /// # Errors
+    /// Fails with [`PatternError::NonCausal`] when a `U` offset is
+    /// lexicographically negative (out-of-place Jacobi-style patterns have
+    /// no meaningful in-place reversal).
+    pub fn reversed(&self) -> Result<StencilPattern, PatternError> {
+        let l: Vec<Offset> = self.u_offsets().iter().map(|r| offset::negate(r)).collect();
+        let u: Vec<Offset> = self.l_offsets().iter().map(|r| offset::negate(r)).collect();
+        StencilPattern::from_sets(&self.radii(), &l, &u)
+    }
+
+    /// §2.4 classification: can the read at `L` offset `r` be vectorized
+    /// with vector factor `vf` along the innermost (last) dimension?
+    ///
+    /// Reads with `r_last = 0` touch other rows of `Y` that are complete
+    /// before the current row starts; reads with `r_last ≤ -vf` land
+    /// strictly before the current vector chunk. Only
+    /// `-vf < r_last < 0` creates a serial chain through the lanes.
+    pub fn l_offset_vectorizable(&self, r: &[i64], vf: usize) -> bool {
+        let last = *r.last().expect("rank >= 1");
+        last == 0 || last <= -(vf as i64)
+    }
+
+    /// Splits `L` into (vectorizable, serial) for a given vector factor.
+    pub fn l_partition(&self, vf: usize) -> (Vec<Offset>, Vec<Offset>) {
+        self.l_offsets()
+            .into_iter()
+            .partition(|r| self.l_offset_vectorizable(r, vf))
+    }
+
+    /// Renders the window as ASCII rows (2-D) or slices (3-D) for
+    /// diagnostics and the Fig. 8 reproduction.
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        let radii = self.radii();
+        match self.rank() {
+            2 => {
+                for i in 0..self.shape[0] {
+                    for j in 0..self.shape[1] {
+                        let v = self
+                            .value_at(&[i as i64 - radii[0] as i64, j as i64 - radii[1] as i64]);
+                        out.push_str(&format!("{v:>3}"));
+                    }
+                    out.push('\n');
+                }
+            }
+            3 => {
+                for i in 0..self.shape[0] {
+                    out.push_str(&format!("slice i={}:\n", i as i64 - radii[0] as i64));
+                    for j in 0..self.shape[1] {
+                        for k in 0..self.shape[2] {
+                            let v = self.value_at(&[
+                                i as i64 - radii[0] as i64,
+                                j as i64 - radii[1] as i64,
+                                k as i64 - radii[2] as i64,
+                            ]);
+                            out.push_str(&format!("{v:>3}"));
+                        }
+                        out.push('\n');
+                    }
+                }
+            }
+            _ => out.push_str(&format!("{:?}", self.data)),
+        }
+        out
+    }
+}
+
+impl fmt::Debug for StencilPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StencilPattern(shape={:?}, |L|={}, |U|={})",
+            self.shape,
+            self.l_offsets().len(),
+            self.u_offsets().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gs5() -> StencilPattern {
+        StencilPattern::from_rows_2d(&[[0, -1, 0], [-1, 0, 1], [0, 1, 0]]).unwrap()
+    }
+
+    fn gs9() -> StencilPattern {
+        StencilPattern::from_rows_2d(&[[-1, -1, -1], [-1, 0, 1], [1, 1, 1]]).unwrap()
+    }
+
+    #[test]
+    fn l_u_extraction() {
+        let p = gs5();
+        assert_eq!(p.l_offsets(), vec![vec![-1, 0], vec![0, -1]]);
+        assert_eq!(p.u_offsets(), vec![vec![0, 1], vec![1, 0]]);
+        assert!(p.is_in_place());
+    }
+
+    #[test]
+    fn accessed_offsets_include_center() {
+        let p = gs5();
+        let acc = p.accessed_offsets();
+        assert_eq!(acc.len(), 5);
+        assert!(acc.contains(&vec![0, 0]));
+        // Lexicographic order.
+        for w in acc.windows(2) {
+            assert!(lex_compare(&w[0], &w[1]).is_lt());
+        }
+    }
+
+    #[test]
+    fn nine_point_has_wraparound_l() {
+        let p = gs9();
+        assert_eq!(p.l_offsets().len(), 4);
+        assert!(p.l_offsets().contains(&vec![-1, 1]));
+        assert_eq!(p.u_offsets().len(), 4);
+        assert!(p.u_offsets().contains(&vec![1, -1]));
+    }
+
+    #[test]
+    fn rejects_non_causal_l() {
+        // -1 at offset (0, 1): lexicographically positive → invalid L.
+        let e = StencilPattern::from_rows_2d(&[[0, 0, 0], [0, 0, -1], [0, 0, 0]]).unwrap_err();
+        assert!(matches!(e, PatternError::NonCausal(_)));
+    }
+
+    #[test]
+    fn negative_u_offsets_allowed_for_jacobi() {
+        // +1 at offset (0, -1): reads X (previous iteration) — legal, this
+        // is how out-of-place (Jacobi) stencils are expressed.
+        let p = StencilPattern::from_rows_2d(&[[0, 1, 0], [1, 0, 1], [0, 1, 0]]).unwrap();
+        assert!(!p.is_in_place());
+        assert_eq!(p.u_offsets().len(), 4);
+    }
+
+    #[test]
+    fn rejects_nonzero_center_and_bad_shapes() {
+        let e = StencilPattern::from_rows_2d(&[[0, 0, 0], [0, 1, 0], [0, 0, 0]]).unwrap_err();
+        assert_eq!(e, PatternError::NonZeroCenter);
+        let e = StencilPattern::new(vec![2, 3], vec![0; 6]).unwrap_err();
+        assert_eq!(e, PatternError::EvenExtent(2));
+        let e = StencilPattern::new(vec![3, 3], vec![0; 8]).unwrap_err();
+        assert!(matches!(e, PatternError::ShapeDataMismatch { .. }));
+        let e = StencilPattern::new(vec![3], vec![0, 0, 3]).unwrap_err();
+        assert_eq!(e, PatternError::BadValue(3));
+    }
+
+    #[test]
+    fn from_sets_matches_dense() {
+        let p = StencilPattern::from_sets(
+            &[1, 1],
+            &[vec![-1, 0], vec![0, -1]],
+            &[vec![0, 1], vec![1, 0]],
+        )
+        .unwrap();
+        assert_eq!(p, gs5());
+    }
+
+    #[test]
+    fn from_sets_rejects_out_of_window_and_duplicates() {
+        let e = StencilPattern::from_sets(&[1, 1], &[vec![-2, 0]], &[]).unwrap_err();
+        assert!(matches!(e, PatternError::OutOfWindow(_)));
+        let e = StencilPattern::from_sets(&[1, 1], &[vec![-1, 0], vec![-1, 0]], &[]).unwrap_err();
+        assert!(matches!(e, PatternError::Duplicate(_)));
+    }
+
+    #[test]
+    fn reversal_swaps_l_and_u() {
+        let p = gs9();
+        let r = p.reversed().unwrap();
+        assert_eq!(r.l_offsets().len(), 4);
+        assert!(r.l_offsets().contains(&vec![-1, 1]));
+        // Reversal is an involution.
+        assert_eq!(r.reversed().unwrap(), p);
+    }
+
+    #[test]
+    fn reversal_fails_for_out_of_place() {
+        let jacobi = StencilPattern::from_rows_2d(&[[0, 1, 0], [1, 0, 1], [0, 1, 0]]).unwrap();
+        assert!(jacobi.reversed().is_err());
+    }
+
+    #[test]
+    fn sweep_encoding() {
+        assert_eq!(Sweep::Forward.encode(), 1);
+        assert_eq!(Sweep::Backward.encode(), -1);
+        assert_eq!(Sweep::decode(-1), Some(Sweep::Backward));
+        assert_eq!(Sweep::decode(0), None);
+        assert_eq!(Sweep::Forward.reversed(), Sweep::Backward);
+    }
+
+    #[test]
+    fn vectorization_classification() {
+        let p = gs5();
+        // (-1, 0): previous row of Y — vectorizable.
+        assert!(p.l_offset_vectorizable(&[-1, 0], 8));
+        // (0, -1): within-row serial chain — not vectorizable.
+        assert!(!p.l_offset_vectorizable(&[0, -1], 8));
+        // (0, -8) with VF=8: lands in the previous chunk — vectorizable.
+        assert!(p.l_offset_vectorizable(&[0, -8], 8));
+        let (vec_l, ser_l) = p.l_partition(8);
+        assert_eq!(vec_l, vec![vec![-1, 0]]);
+        assert_eq!(ser_l, vec![vec![0, -1]]);
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let a = gs5().ascii();
+        assert!(a.contains("-1"));
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn out_of_place_pattern_from_sets() {
+        let p = StencilPattern::from_sets(
+            &[1, 1],
+            &[],
+            &[vec![0, -1], vec![-1, 0], vec![0, 1], vec![1, 0]],
+        )
+        .unwrap();
+        assert!(!p.is_in_place());
+        assert_eq!(p.accessed_offsets().len(), 5);
+    }
+}

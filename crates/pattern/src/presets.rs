@@ -1,0 +1,137 @@
+//! The stencil patterns of the paper's evaluation (Fig. 8) plus the
+//! out-of-place Jacobi baseline.
+
+use crate::pattern::StencilPattern;
+
+/// (a) Two-dimensional Gauss-Seidel, 5 points, order 1 — the cross shape in
+/// a 3×3 window (paper Fig. 4 left / Fig. 8a).
+pub fn gauss_seidel_5pt() -> StencilPattern {
+    StencilPattern::from_rows_2d(&[[0, -1, 0], [-1, 0, 1], [0, 1, 0]]).expect("preset is valid")
+}
+
+/// (b) Two-dimensional Gauss-Seidel, 9 points, order 1 — the full 3×3
+/// window (paper Fig. 4 right / Fig. 8b). Contains the wrap-around offset
+/// `(-1, +1)` that pins the tile size to 1 along the first dimension.
+pub fn gauss_seidel_9pt() -> StencilPattern {
+    StencilPattern::from_rows_2d(&[[-1, -1, -1], [-1, 0, 1], [1, 1, 1]]).expect("preset is valid")
+}
+
+/// (c) Two-dimensional Gauss-Seidel, 9 points, order 2 — the cross shape
+/// in a 5×5 window (paper Fig. 8c; the PolyBench `seidel` benchmark shape).
+pub fn gauss_seidel_9pt_order2() -> StencilPattern {
+    StencilPattern::from_sets(
+        &[2, 2],
+        &[vec![-2, 0], vec![-1, 0], vec![0, -2], vec![0, -1]],
+        &[vec![0, 1], vec![0, 2], vec![1, 0], vec![2, 0]],
+    )
+    .expect("preset is valid")
+}
+
+/// (d) Three-dimensional Gauss-Seidel, 6 points, order 1 — the in-place
+/// solver step of the 3D heat equation (paper Figs. 8d, 9 and 10).
+pub fn heat3d_gauss_seidel() -> StencilPattern {
+    StencilPattern::from_sets(
+        &[1, 1, 1],
+        &[vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]],
+        &[vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]],
+    )
+    .expect("preset is valid")
+}
+
+/// Three-dimensional Gauss-Seidel over the full 3×3×3 window (27 points,
+/// the densest first-order pattern). Like the 2-D 9-point kernel, its
+/// wrap-around `L` offsets (e.g. `(-1, 1, 1)` and `(0, -1, 1)`) pin the
+/// tile sizes to 1 along the first *two* dimensions — a stress test for
+/// the §2.1 restriction beyond the paper's use cases.
+pub fn gauss_seidel_27pt() -> StencilPattern {
+    let mut l = Vec::new();
+    let mut u = Vec::new();
+    for i in -1i64..=1 {
+        for j in -1i64..=1 {
+            for k in -1i64..=1 {
+                if i == 0 && j == 0 && k == 0 {
+                    continue;
+                }
+                let r = vec![i, j, k];
+                if crate::offset::is_lex_negative(&r) {
+                    l.push(r);
+                } else {
+                    u.push(r);
+                }
+            }
+        }
+    }
+    StencilPattern::from_sets(&[1, 1, 1], &l, &u).expect("preset is valid")
+}
+
+/// Out-of-place 5-point Jacobi (paper §4.1, "for the sake of
+/// completeness"): `L = ∅`, every neighbor read comes from the previous
+/// iteration.
+pub fn jacobi_5pt() -> StencilPattern {
+    StencilPattern::from_sets(
+        &[1, 1],
+        &[],
+        &[vec![-1, 0], vec![0, -1], vec![0, 1], vec![1, 0]],
+    )
+    .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_cardinalities() {
+        assert_eq!(gauss_seidel_5pt().l_offsets().len(), 2);
+        assert_eq!(gauss_seidel_5pt().u_offsets().len(), 2);
+        assert_eq!(gauss_seidel_9pt().l_offsets().len(), 4);
+        assert_eq!(gauss_seidel_9pt().u_offsets().len(), 4);
+        assert_eq!(gauss_seidel_9pt_order2().l_offsets().len(), 4);
+        assert_eq!(gauss_seidel_9pt_order2().u_offsets().len(), 4);
+        assert_eq!(heat3d_gauss_seidel().l_offsets().len(), 3);
+        assert_eq!(heat3d_gauss_seidel().u_offsets().len(), 3);
+        assert!(jacobi_5pt().l_offsets().is_empty());
+        assert_eq!(jacobi_5pt().u_offsets().len(), 4);
+    }
+
+    #[test]
+    fn preset_27pt_pins_two_dims() {
+        use crate::tiling::restricted_dims;
+        let p = gauss_seidel_27pt();
+        assert_eq!(p.l_offsets().len(), 13);
+        assert_eq!(p.u_offsets().len(), 13);
+        // Offsets like (-1, 1, 1) pin dim 0; (0, -1, 1) pins dim 1.
+        assert_eq!(restricted_dims(&p), vec![true, true, false]);
+        assert!(crate::tiling::is_legal_tiling(&p, &[1, 1, 64]));
+        assert!(!crate::tiling::is_legal_tiling(&p, &[2, 1, 64]));
+    }
+
+    #[test]
+    fn preset_ranks_and_radii() {
+        assert_eq!(gauss_seidel_5pt().rank(), 2);
+        assert_eq!(gauss_seidel_9pt_order2().radii(), vec![2, 2]);
+        assert_eq!(heat3d_gauss_seidel().rank(), 3);
+    }
+
+    #[test]
+    fn in_place_flags() {
+        assert!(gauss_seidel_5pt().is_in_place());
+        assert!(gauss_seidel_9pt().is_in_place());
+        assert!(gauss_seidel_9pt_order2().is_in_place());
+        assert!(heat3d_gauss_seidel().is_in_place());
+        assert!(!jacobi_5pt().is_in_place());
+    }
+
+    #[test]
+    fn symmetric_presets_reverse_cleanly() {
+        for p in [
+            gauss_seidel_5pt(),
+            gauss_seidel_9pt(),
+            heat3d_gauss_seidel(),
+        ] {
+            let r = p.reversed().unwrap();
+            assert_eq!(r.l_offsets().len(), p.l_offsets().len());
+            assert_eq!(r.reversed().unwrap(), p);
+        }
+    }
+}

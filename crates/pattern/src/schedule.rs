@@ -1,0 +1,247 @@
+//! The longest-path wavefront schedule of paper Eq. (3).
+//!
+//! Given a `k`-dimensional grid of sub-domains and the sub-domain
+//! dependence offsets (all lexicographically negative), the optimal-latency
+//! schedule maps each sub-domain `s` to
+//!
+//! ```text
+//! θ(s) = max_{r ∈ deps, s + r valid} θ(s + r) + 1        (θ = 0 otherwise)
+//! ```
+//!
+//! computed in lexicographic order of `s` (dependences point backward, so a
+//! single sweep suffices). The complexity is `O(n_blocks × |deps|)`,
+//! computed once and reused across all solver iterations (paper §2.3).
+
+use crate::csr::CsrWavefronts;
+use crate::offset::Offset;
+
+/// A computed wavefront schedule over a grid of sub-domains.
+///
+/// # Example
+/// ```
+/// use instencil_pattern::schedule::WavefrontSchedule;
+/// // 3x3 grid, Gauss-Seidel-like deps: anti-diagonal wavefronts.
+/// let s = WavefrontSchedule::compute(&[3, 3], &[vec![-1, 0], vec![0, -1]]);
+/// assert_eq!(s.num_levels(), 5);
+/// assert_eq!(s.level_of(&[0, 0]), 0);
+/// assert_eq!(s.level_of(&[2, 2]), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WavefrontSchedule {
+    grid: Vec<usize>,
+    /// θ value per linearized sub-domain.
+    theta: Vec<usize>,
+    wavefronts: CsrWavefronts,
+}
+
+impl WavefrontSchedule {
+    /// Computes the Eq. (3) schedule.
+    ///
+    /// # Panics
+    /// Panics if `grid` is empty, any extent is zero, or a dependence
+    /// offset rank differs from the grid rank.
+    pub fn compute(grid: &[usize], deps: &[Offset]) -> Self {
+        assert!(!grid.is_empty(), "grid must have rank >= 1");
+        assert!(grid.iter().all(|&n| n > 0), "grid extents must be positive");
+        for d in deps {
+            assert_eq!(d.len(), grid.len(), "dependence rank mismatch");
+        }
+        let n: usize = grid.iter().product();
+        let mut theta = vec![0usize; n];
+        let mut coord = vec![0i64; grid.len()];
+        for flat in 0..n {
+            // Decode lexicographic coordinates of `flat`.
+            let mut rem = flat;
+            for d in (0..grid.len()).rev() {
+                coord[d] = (rem % grid[d]) as i64;
+                rem /= grid[d];
+            }
+            let mut level = 0usize;
+            'dep: for r in deps {
+                let mut src_flat = 0usize;
+                for d in 0..grid.len() {
+                    let c = coord[d] + r[d];
+                    if c < 0 || c >= grid[d] as i64 {
+                        continue 'dep;
+                    }
+                    src_flat = src_flat * grid[d] + c as usize;
+                }
+                level = level.max(theta[src_flat] + 1);
+            }
+            theta[flat] = level;
+        }
+        let num_levels = theta.iter().max().map_or(0, |m| m + 1);
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); num_levels];
+        for (flat, &t) in theta.iter().enumerate() {
+            rows[t].push(flat);
+        }
+        WavefrontSchedule {
+            grid: grid.to_vec(),
+            theta,
+            wavefronts: CsrWavefronts::from_rows(rows),
+        }
+    }
+
+    /// The sub-domain grid extents.
+    pub fn grid(&self) -> &[usize] {
+        &self.grid
+    }
+
+    /// Number of wavefront levels (the schedule latency + 1).
+    pub fn num_levels(&self) -> usize {
+        self.wavefronts.num_levels()
+    }
+
+    /// θ of a sub-domain given by multi-index.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of the grid.
+    pub fn level_of(&self, coord: &[usize]) -> usize {
+        self.theta[self.linearize(coord)]
+    }
+
+    /// θ of a linearized sub-domain.
+    pub fn level_of_flat(&self, flat: usize) -> usize {
+        self.theta[flat]
+    }
+
+    /// Linearizes a multi-index (row-major, matching `cfd.tiled_loop`).
+    pub fn linearize(&self, coord: &[usize]) -> usize {
+        assert_eq!(coord.len(), self.grid.len());
+        let mut flat = 0usize;
+        for (c, n) in coord.iter().zip(self.grid.iter()) {
+            assert!(c < n, "coordinate {c} out of extent {n}");
+            flat = flat * n + c;
+        }
+        flat
+    }
+
+    /// Decodes a linearized index into grid coordinates.
+    pub fn delinearize(&self, mut flat: usize) -> Vec<usize> {
+        let mut coord = vec![0usize; self.grid.len()];
+        for d in (0..self.grid.len()).rev() {
+            coord[d] = flat % self.grid[d];
+            flat /= self.grid[d];
+        }
+        coord
+    }
+
+    /// The CSR wavefront encoding consumed by `cfd.tiled_loop`.
+    pub fn wavefronts(&self) -> &CsrWavefronts {
+        &self.wavefronts
+    }
+
+    /// Consumes the schedule, returning the CSR wavefronts.
+    pub fn into_wavefronts(self) -> CsrWavefronts {
+        self.wavefronts
+    }
+
+    /// Checks that the schedule respects every dependence: for each block
+    /// `s` and dep `r`, `θ(s + r) < θ(s)` whenever `s + r` is in the grid.
+    /// Used by tests and the verifier of `cfd.get_parallel_blocks`.
+    pub fn validate(&self, deps: &[Offset]) -> bool {
+        let n: usize = self.grid.iter().product();
+        for flat in 0..n {
+            let coord = self.delinearize(flat);
+            'dep: for r in deps {
+                let mut src = vec![0usize; coord.len()];
+                for d in 0..coord.len() {
+                    let c = coord[d] as i64 + r[d];
+                    if c < 0 || c >= self.grid[d] as i64 {
+                        continue 'dep;
+                    }
+                    src[d] = c as usize;
+                }
+                if self.level_of(&src) >= self.theta[flat] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_deps_single_level() {
+        let s = WavefrontSchedule::compute(&[4, 4], &[]);
+        assert_eq!(s.num_levels(), 1);
+        assert_eq!(s.wavefronts().level(0).len(), 16);
+        assert_eq!(s.wavefronts().max_parallelism(), 16);
+    }
+
+    #[test]
+    fn diagonal_wavefronts_2d() {
+        let s = WavefrontSchedule::compute(&[4, 6], &[vec![-1, 0], vec![0, -1]]);
+        assert_eq!(s.num_levels(), 4 + 6 - 1);
+        // θ(i, j) = i + j.
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(s.level_of(&[i, j]), i + j);
+            }
+        }
+        assert!(s.validate(&[vec![-1, 0], vec![0, -1]]));
+    }
+
+    #[test]
+    fn diagonal_dep_only() {
+        // Only (-1,-1): blocks in the same row/col are independent.
+        let s = WavefrontSchedule::compute(&[3, 3], &[vec![-1, -1]]);
+        assert_eq!(s.num_levels(), 3);
+        assert_eq!(s.level_of(&[0, 2]), 0);
+        assert_eq!(s.level_of(&[2, 2]), 2);
+        assert!(s.validate(&[vec![-1, -1]]));
+    }
+
+    #[test]
+    fn gs9_row_pinned_schedule_is_sequential_rows() {
+        // Deps from the 9-point pattern at 1×T tiles include (-1, +1),
+        // which serializes consecutive rows into a pipeline with skew.
+        let deps = vec![vec![-1, -1], vec![-1, 0], vec![-1, 1], vec![0, -1]];
+        let s = WavefrontSchedule::compute(&[4, 8], &deps);
+        assert!(s.validate(&deps));
+        // θ(i, j) = i*2 + j is NOT the answer; with (0,-1) serializing
+        // each row, θ(i,j) = max over deps. Check monotonicity per row.
+        for i in 0..4 {
+            for j in 1..8 {
+                assert!(s.level_of(&[i, j]) > s.level_of(&[i, j - 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn wavefronts_partition_the_grid() {
+        let deps = vec![vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]];
+        let s = WavefrontSchedule::compute(&[3, 4, 5], &deps);
+        let total: usize = s.wavefronts().levels().map(<[_]>::len).sum();
+        assert_eq!(total, 60);
+        assert_eq!(s.num_levels(), 3 + 4 + 5 - 2);
+        // Every block appears exactly once.
+        let mut seen = [false; 60];
+        for level in s.wavefronts().levels() {
+            for &b in level {
+                assert!(!seen[b], "block {b} scheduled twice");
+                seen[b] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let s = WavefrontSchedule::compute(&[3, 4, 5], &[]);
+        for flat in [0usize, 1, 19, 37, 59] {
+            assert_eq!(s.linearize(&s.delinearize(flat)), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of extent")]
+    fn linearize_bounds_checked() {
+        let s = WavefrontSchedule::compute(&[3, 3], &[]);
+        let _ = s.linearize(&[3, 0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Rectangular-tiling legality and capacity-constrained tile enumeration
+//! (paper §2.1).
+//!
+//! Rectangular tiling of an in-place stencil is legal only when every
+//! intra-iteration dependence distance is non-negative along all tiled
+//! dimensions. The paper's restriction: *"for any negative dependence
+//! distance, we force the tile size along the associated dimension to be
+//! 1"* — i.e. when an `L` offset has a positive trailing component (such as
+//! `(-1, +1)` in the 9-point Gauss-Seidel), the tile extent along the
+//! leading (negative) dimension of that offset is pinned to 1, which keeps
+//! every induced sub-domain dependence lexicographically negative.
+//!
+//! Tile-size *candidates* for autotuning are bounded by the capacity rule:
+//! `prod(tile) × n_v × live_tensors × bytes_per_elem ≤ cache_bytes`.
+
+use crate::blockdeps::block_dependences;
+use crate::offset::leading_dim;
+use crate::pattern::StencilPattern;
+
+/// Per-dimension tiling restriction derived from the pattern: `true` means
+/// the tile size along that dimension must be 1.
+pub fn restricted_dims(pattern: &StencilPattern) -> Vec<bool> {
+    let mut restricted = vec![false; pattern.rank()];
+    for r in pattern.l_offsets() {
+        // A positive component anywhere in an L offset means the
+        // dependence distance (-r) has a negative component: rectangular
+        // tiles would permute that dimension past the leading one.
+        if r.iter().any(|&x| x > 0) {
+            if let Some(d) = leading_dim(&r) {
+                restricted[d] = true;
+            }
+        }
+    }
+    restricted
+}
+
+/// Clamps requested tile sizes to the legality restriction (restricted
+/// dimensions are forced to 1) and to the domain extents.
+pub fn clamp_tile_sizes(
+    pattern: &StencilPattern,
+    requested: &[usize],
+    domain: &[usize],
+) -> Vec<usize> {
+    let restricted = restricted_dims(pattern);
+    requested
+        .iter()
+        .zip(restricted.iter())
+        .zip(domain.iter())
+        .map(|((&t, &r), &n)| if r { 1 } else { t.max(1).min(n.max(1)) })
+        .collect()
+}
+
+/// `true` when the tile sizes are legal for the pattern (no induced
+/// lexicographically positive sub-domain dependence).
+pub fn is_legal_tiling(pattern: &StencilPattern, tile_sizes: &[usize]) -> bool {
+    block_dependences(pattern, tile_sizes).is_ok()
+}
+
+/// Working-set footprint of one tile in bytes (paper §2.1): the tile
+/// volume times the number of fields times the number of live tensors
+/// (3 for `X`, `Y`, `B` in Eq. (2)) times the element size.
+pub fn tile_footprint_bytes(
+    tile_sizes: &[usize],
+    nb_var: usize,
+    live_tensors: usize,
+    bytes_per_elem: usize,
+) -> usize {
+    tile_sizes.iter().product::<usize>() * nb_var * live_tensors * bytes_per_elem
+}
+
+/// Enumerates legal, capacity-respecting tile-size candidates: powers of
+/// two (and the full extent) per dimension, restricted dims pinned to 1,
+/// filtered by [`tile_footprint_bytes`]` ≤ cache_bytes`.
+pub fn candidate_tile_sizes(
+    pattern: &StencilPattern,
+    domain: &[usize],
+    nb_var: usize,
+    live_tensors: usize,
+    cache_bytes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(domain.len(), pattern.rank());
+    let restricted = restricted_dims(pattern);
+    let per_dim: Vec<Vec<usize>> = domain
+        .iter()
+        .zip(restricted.iter())
+        .map(|(&n, &r)| {
+            if r {
+                vec![1]
+            } else {
+                let mut sizes: Vec<usize> = Vec::new();
+                let mut t = 1usize;
+                while t < n {
+                    sizes.push(t);
+                    t *= 2;
+                }
+                sizes.push(n);
+                sizes
+            }
+        })
+        .collect();
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for dim_sizes in &per_dim {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for &t in dim_sizes {
+                let mut p = prefix.clone();
+                p.push(t);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    // The generator works in f64 throughout, hence 8 bytes per element.
+    out.retain(|tile| {
+        tile_footprint_bytes(tile, nb_var, live_tensors, 8) <= cache_bytes
+            && is_legal_tiling(pattern, tile)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn gs5_unrestricted() {
+        let p = presets::gauss_seidel_5pt();
+        assert_eq!(restricted_dims(&p), vec![false, false]);
+        assert!(is_legal_tiling(&p, &[64, 256]));
+        assert_eq!(
+            clamp_tile_sizes(&p, &[64, 256], &[2000, 2000]),
+            vec![64, 256]
+        );
+    }
+
+    #[test]
+    fn gs9_restricted_first_dim() {
+        // (-1, +1) ∈ L: leading dim 0 pinned to 1 (paper Table 2: 1×128).
+        let p = presets::gauss_seidel_9pt();
+        assert_eq!(restricted_dims(&p), vec![true, false]);
+        assert!(!is_legal_tiling(&p, &[16, 16]));
+        assert!(is_legal_tiling(&p, &[1, 128]));
+        assert_eq!(
+            clamp_tile_sizes(&p, &[64, 128], &[4000, 4000]),
+            vec![1, 128]
+        );
+    }
+
+    #[test]
+    fn order2_cross_unrestricted() {
+        let p = presets::gauss_seidel_9pt_order2();
+        assert_eq!(restricted_dims(&p), vec![false, false]);
+        assert!(is_legal_tiling(&p, &[64, 256]));
+    }
+
+    #[test]
+    fn heat3d_unrestricted() {
+        let p = presets::heat3d_gauss_seidel();
+        assert_eq!(restricted_dims(&p), vec![false, false, false]);
+        assert!(is_legal_tiling(&p, &[4, 26, 256]));
+    }
+
+    #[test]
+    fn footprint_formula() {
+        // 64×256 tile, 1 field, 3 live tensors, f64.
+        assert_eq!(tile_footprint_bytes(&[64, 256], 1, 3, 8), 64 * 256 * 3 * 8);
+    }
+
+    #[test]
+    fn candidates_respect_capacity_and_legality() {
+        let p = presets::gauss_seidel_9pt();
+        // 1 MB L2 as in the paper's Xeon 6152.
+        let cands = candidate_tile_sizes(&p, &[4000, 4000], 1, 3, 1 << 20);
+        assert!(!cands.is_empty());
+        for t in &cands {
+            assert_eq!(t[0], 1, "restricted dim must stay 1: {t:?}");
+            assert!(tile_footprint_bytes(t, 1, 3, 8) <= 1 << 20);
+            assert!(is_legal_tiling(&p, t));
+        }
+        // The paper's choice 1×128 must be among the candidates.
+        assert!(cands.contains(&vec![1, 128]));
+    }
+
+    #[test]
+    fn candidates_include_full_extent_when_it_fits() {
+        let p = presets::gauss_seidel_5pt();
+        let cands = candidate_tile_sizes(&p, &[64, 64], 1, 3, 1 << 20);
+        assert!(cands.contains(&vec![64, 64]));
+    }
+
+    #[test]
+    fn clamp_respects_domain() {
+        let p = presets::gauss_seidel_5pt();
+        assert_eq!(clamp_tile_sizes(&p, &[4096, 0], &[100, 100]), vec![100, 1]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the stencil-pattern domain model.
+
+use proptest::prelude::*;
+
+use instencil_pattern::blockdeps::{block_dependences, from_block_stencil, to_block_stencil};
+use instencil_pattern::offset::{is_lex_negative, lex_compare, negate};
+use instencil_pattern::schedule::WavefrontSchedule;
+use instencil_pattern::tiling::{clamp_tile_sizes, is_legal_tiling, restricted_dims};
+use instencil_pattern::{presets, StencilPattern};
+
+/// Strategy: a random valid 2-D pattern in a 3×3 or 5×5 window.
+fn arb_pattern_2d() -> impl Strategy<Value = StencilPattern> {
+    (1usize..=2).prop_flat_map(|radius| {
+        let extent = 2 * radius + 1;
+        let n = extent * extent;
+        proptest::collection::vec(-1i8..=1, n).prop_filter_map("valid pattern", move |mut data| {
+            // Force the center to zero and L entries to be causal by
+            // zeroing lexicographically non-negative -1 entries.
+            let center = n / 2;
+            data[center] = 0;
+            for (flat, v) in data.iter_mut().enumerate() {
+                if *v == -1 {
+                    let i = (flat / extent) as i64 - radius as i64;
+                    let j = (flat % extent) as i64 - radius as i64;
+                    if !is_lex_negative(&[i, j]) {
+                        *v = 0;
+                    }
+                }
+            }
+            StencilPattern::new(vec![extent, extent], data).ok()
+        })
+    })
+}
+
+fn arb_grid_2d() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..=6, 2)
+}
+
+proptest! {
+    /// Every constructed pattern satisfies the causality invariant.
+    #[test]
+    fn l_offsets_always_causal(p in arb_pattern_2d()) {
+        for r in p.l_offsets() {
+            prop_assert!(is_lex_negative(&r), "L offset {r:?} not causal");
+        }
+    }
+
+    /// accessed_offsets is sorted, unique, and contains the center.
+    #[test]
+    fn accessed_offsets_sorted_unique(p in arb_pattern_2d()) {
+        let acc = p.accessed_offsets();
+        prop_assert!(acc.contains(&vec![0, 0]));
+        for w in acc.windows(2) {
+            prop_assert!(lex_compare(&w[0], &w[1]).is_lt());
+        }
+        prop_assert_eq!(acc.len(), p.l_offsets().len() + p.u_offsets().len() + 1);
+    }
+
+    /// Negation is an involution on offsets.
+    #[test]
+    fn negate_involution(r in proptest::collection::vec(-3i64..=3, 1..4)) {
+        prop_assert_eq!(negate(&negate(&r)), r);
+    }
+
+    /// Clamped tile sizes are always legal.
+    #[test]
+    fn clamped_tiles_are_legal(
+        p in arb_pattern_2d(),
+        t0 in 1usize..64,
+        t1 in 1usize..64,
+    ) {
+        let tiles = clamp_tile_sizes(&p, &[t0, t1], &[512, 512]);
+        prop_assert!(is_legal_tiling(&p, &tiles), "clamped {tiles:?} illegal for {p:?}");
+    }
+
+    /// Restricted dimensions really are necessary: if a dim is restricted
+    /// and we tile it with size >= 2 while the offending offset reaches a
+    /// positive component, legality fails for some tile choice.
+    #[test]
+    fn restriction_is_sound(p in arb_pattern_2d()) {
+        let restricted = restricted_dims(&p);
+        let mut tiles = vec![8usize; p.rank()];
+        for (d, &r) in restricted.iter().enumerate() {
+            if r {
+                tiles[d] = 1;
+            }
+        }
+        prop_assert!(is_legal_tiling(&p, &tiles));
+    }
+
+    /// The Eq. (3) schedule respects every dependence and partitions the
+    /// grid.
+    #[test]
+    fn schedule_valid_and_complete(p in arb_pattern_2d(), grid in arb_grid_2d()) {
+        let restricted = restricted_dims(&p);
+        let tiles: Vec<usize> =
+            restricted.iter().map(|&r| if r { 1 } else { 4 }).collect();
+        let deps = block_dependences(&p, &tiles).unwrap();
+        let s = WavefrontSchedule::compute(&grid, &deps);
+        prop_assert!(s.validate(&deps));
+        let total: usize = s.wavefronts().levels().map(<[_]>::len).sum();
+        prop_assert_eq!(total, grid.iter().product::<usize>());
+    }
+
+    /// Block-stencil attribute encoding round-trips when offsets fit in
+    /// the 3^k window.
+    #[test]
+    fn block_stencil_roundtrip(p in arb_pattern_2d()) {
+        let restricted = restricted_dims(&p);
+        // Tiles >= radius so every dependence reaches at most one block.
+        let tiles: Vec<usize> =
+            restricted.iter().map(|&r| if r { 1 } else { 8 }).collect();
+        let deps = block_dependences(&p, &tiles).unwrap();
+        if deps.iter().all(|b| b.iter().all(|&x| (-1..=1).contains(&x))) {
+            let (shape, data) = to_block_stencil(p.rank(), &deps);
+            prop_assert_eq!(from_block_stencil(&shape, &data), deps);
+        }
+    }
+
+    /// Schedule latency is monotone in grid size for fixed GS deps.
+    #[test]
+    fn latency_monotone(n in 1usize..8, m in 1usize..8) {
+        let deps = vec![vec![-1, 0], vec![0, -1]];
+        let s1 = WavefrontSchedule::compute(&[n, m], &deps);
+        let s2 = WavefrontSchedule::compute(&[n + 1, m], &deps);
+        prop_assert!(s2.num_levels() >= s1.num_levels());
+    }
+}
+
+/// Deterministic regression cases alongside the properties.
+#[test]
+fn paper_table2_tile_restrictions() {
+    // Table 2: the 9-point kernel is the only one with a pinned dimension.
+    assert_eq!(
+        restricted_dims(&presets::gauss_seidel_5pt()),
+        vec![false, false]
+    );
+    assert_eq!(
+        restricted_dims(&presets::gauss_seidel_9pt()),
+        vec![true, false]
+    );
+    assert_eq!(
+        restricted_dims(&presets::gauss_seidel_9pt_order2()),
+        vec![false, false]
+    );
+    assert_eq!(
+        restricted_dims(&presets::heat3d_gauss_seidel()),
+        vec![false, false, false]
+    );
+}
+
+#[test]
+fn reversed_schedule_symmetry() {
+    // The backward sweep of a symmetric pattern yields the same wavefront
+    // structure on the mirrored grid.
+    let p = presets::heat3d_gauss_seidel();
+    let r = p.reversed().unwrap();
+    let tiles = [4usize, 4, 4];
+    let d1 = block_dependences(&p, &tiles).unwrap();
+    let d2 = block_dependences(&r, &tiles).unwrap();
+    assert_eq!(
+        d1, d2,
+        "symmetric pattern has identical block deps after reversal"
+    );
+    let s1 = WavefrontSchedule::compute(&[3, 3, 3], &d1);
+    let s2 = WavefrontSchedule::compute(&[3, 3, 3], &d2);
+    assert_eq!(s1.num_levels(), s2.num_levels());
+}

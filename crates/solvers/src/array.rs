@@ -1,0 +1,192 @@
+//! Plain dense field arrays for the reference solvers.
+//!
+//! A [`Field`] is a rank-`k+1` row-major array whose leading dimension
+//! enumerates the physical fields (`n_v`), matching the tensor layout of
+//! the paper (§2).
+
+use std::ops::{Index, IndexMut};
+
+/// A dense `f64` array of shape `[n_v, n_1, ..., n_k]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Field {
+    /// Zero-filled field of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        let mut strides = vec![1usize; shape.len()];
+        for d in (0..shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+        Field {
+            shape: shape.to_vec(),
+            strides,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Field from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_data(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), shape.iter().product::<usize>());
+        let mut f = Field::zeros(shape);
+        f.data = data;
+        f
+    }
+
+    /// Field initialized by a function of the index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut out = Field::zeros(shape);
+        let total = out.data.len();
+        let mut idx = vec![0usize; shape.len()];
+        for flat in 0..total {
+            out.data[flat] = f(&idx);
+            for d in (0..shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Extent along one dimension.
+    pub fn dim(&self, d: usize) -> usize {
+        self.shape[d]
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn flat(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let mut f = 0;
+        for d in 0..idx.len() {
+            debug_assert!(
+                idx[d] < self.shape[d],
+                "index {idx:?} out of {:?}",
+                self.shape
+            );
+            f += idx[d] * self.strides[d];
+        }
+        f
+    }
+
+    /// Signed-index accessor (for offset arithmetic); panics when out of
+    /// bounds in debug builds.
+    #[inline]
+    pub fn at(&self, idx: &[i64]) -> f64 {
+        let u: Vec<usize> = idx.iter().map(|&x| x as usize).collect();
+        self.data[self.flat(&u)]
+    }
+
+    /// Signed-index mutable accessor.
+    #[inline]
+    pub fn at_mut(&mut self, idx: &[i64]) -> &mut f64 {
+        let u: Vec<usize> = idx.iter().map(|&x| x as usize).collect();
+        let f = self.flat(&u);
+        &mut self.data[f]
+    }
+
+    /// Fills with a constant.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Max-norm of the difference against another field.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Field) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// L2 norm of the field.
+    pub fn norm_l2(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Max-norm of the field.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+}
+
+impl Index<&[usize]> for Field {
+    type Output = f64;
+    fn index(&self, idx: &[usize]) -> &f64 {
+        &self.data[self.flat(idx)]
+    }
+}
+
+impl IndexMut<&[usize]> for Field {
+    fn index_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let f = self.flat(idx);
+        &mut self.data[f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_row_major() {
+        let f = Field::from_data(&[1, 2, 3], (0..6).map(|x| x as f64).collect());
+        assert_eq!(f[&[0, 0, 0][..]], 0.0);
+        assert_eq!(f[&[0, 1, 2][..]], 5.0);
+        assert_eq!(f.at(&[0, 1, 0]), 3.0);
+    }
+
+    #[test]
+    fn from_fn_matches_index() {
+        let f = Field::from_fn(&[2, 3], |idx| (10 * idx[0] + idx[1]) as f64);
+        assert_eq!(f[&[1, 2][..]], 12.0);
+        assert_eq!(f[&[0, 0][..]], 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let f = Field::from_data(&[2], vec![3.0, -4.0]);
+        assert!((f.norm_l2() - 5.0).abs() < 1e-15);
+        assert_eq!(f.norm_max(), 4.0);
+        let g = Field::from_data(&[2], vec![3.0, -3.0]);
+        assert_eq!(f.max_abs_diff(&g), 1.0);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut f = Field::zeros(&[2, 2]);
+        f[&[1, 1][..]] = 7.0;
+        *f.at_mut(&[0, 1]) = 2.0;
+        assert_eq!(f.data(), &[0.0, 2.0, 0.0, 7.0]);
+        f.fill(1.0);
+        assert_eq!(f.data(), &[1.0; 4]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Colored (red-black) Gauss-Seidel — the out-of-place workaround the
+//! paper's related work discusses (§5: *"ExaStencils has been evaluated
+//! on a colored variant of the Gauss-Seidel method, but this variant is
+//! effectively an out-of-place stencil with inferior convergence
+//! guarantees"*).
+//!
+//! A two-coloring is exact for the 5-point cross (neighbors always have
+//! the opposite color), so red-black GS keeps the Gauss-Seidel rate for
+//! the Poisson problem while exposing trivial parallelism. For the full
+//! 9-point window, however, diagonal neighbors share the color: within a
+//! color the update degenerates to Jacobi on those couplings, and the
+//! convergence rate drops — the quantitative content of the paper's
+//! "inferior convergence guarantees" remark, measured by the tests below.
+
+use crate::array::Field;
+
+/// One red-black sweep for the 5-point Poisson problem
+/// (`u = (sum of cross + h²f)/4`): first all cells with `(i+j)` even,
+/// then all with `(i+j)` odd. Returns the max update magnitude.
+pub fn poisson_redblack_sweep(u: &mut Field, f: &Field, h2: f64) -> f64 {
+    let (n1, n2) = (u.dim(1) as i64, u.dim(2) as i64);
+    let mut delta: f64 = 0.0;
+    for color in 0..2i64 {
+        for i in 1..n1 - 1 {
+            for j in 1..n2 - 1 {
+                if (i + j) % 2 != color {
+                    continue;
+                }
+                let new = 0.25
+                    * (u.at(&[0, i - 1, j])
+                        + u.at(&[0, i + 1, j])
+                        + u.at(&[0, i, j - 1])
+                        + u.at(&[0, i, j + 1])
+                        + h2 * f.at(&[0, i, j]));
+                delta = delta.max((new - u.at(&[0, i, j])).abs());
+                *u.at_mut(&[0, i, j]) = new;
+            }
+        }
+    }
+    delta
+}
+
+/// One lexicographic in-place 9-point averaging sweep for a model problem
+/// with boundary forcing: `w = (Σ 3×3 window + b)/9`. Returns the max
+/// update magnitude.
+pub fn nine_point_gs_sweep(w: &mut Field, b: &Field) -> f64 {
+    let (n1, n2) = (w.dim(1) as i64, w.dim(2) as i64);
+    let mut delta: f64 = 0.0;
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let mut s = 0.0;
+            for di in -1..=1 {
+                for dj in -1..=1 {
+                    if di != 0 || dj != 0 {
+                        s += w.at(&[0, i + di, j + dj]);
+                    }
+                }
+            }
+            let new = (s + b.at(&[0, i, j])) / 8.0;
+            delta = delta.max((new - w.at(&[0, i, j])).abs());
+            *w.at_mut(&[0, i, j]) = new;
+        }
+    }
+    delta
+}
+
+/// The same 9-point update applied with a two-coloring: diagonal
+/// neighbors share the color, so within a color those couplings see
+/// stale (Jacobi) values — this is *not* a true Gauss-Seidel ordering.
+/// Returns the max update magnitude.
+pub fn nine_point_redblack_sweep(w: &mut Field, b: &Field) -> f64 {
+    let (n1, n2) = (w.dim(1) as i64, w.dim(2) as i64);
+    let mut delta: f64 = 0.0;
+    for color in 0..2i64 {
+        // Snapshot for the same-color couplings (what makes it
+        // effectively out-of-place).
+        let snapshot = w.clone();
+        for i in 1..n1 - 1 {
+            for j in 1..n2 - 1 {
+                if (i + j) % 2 != color {
+                    continue;
+                }
+                let mut s = 0.0;
+                for di in -1..=1i64 {
+                    for dj in -1..=1i64 {
+                        if di == 0 && dj == 0 {
+                            continue;
+                        }
+                        let src = if (i + di + j + dj) % 2 == color {
+                            &snapshot // same color: stale value
+                        } else {
+                            &*w
+                        };
+                        s += src.at(&[0, i + di, j + dj]);
+                    }
+                }
+                let new = (s + b.at(&[0, i, j])) / 8.0;
+                delta = delta.max((new - w.at(&[0, i, j])).abs());
+                *w.at_mut(&[0, i, j]) = new;
+            }
+        }
+    }
+    delta
+}
+
+/// Sweeps a closure until the reported update magnitude drops below
+/// `tol`; returns the sweep count (capped).
+pub fn count_sweeps(mut sweep: impl FnMut() -> f64, tol: f64, cap: usize) -> usize {
+    for it in 1..=cap {
+        if sweep() < tol {
+            return it;
+        }
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss_seidel::poisson_gs_sweep;
+
+    fn poisson_setup(n: usize) -> (Field, Field, f64) {
+        let u = Field::from_fn(&[1, n, n], |idx| {
+            if idx[1] == 0 || idx[2] == 0 || idx[1] == n - 1 || idx[2] == n - 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        (u, Field::zeros(&[1, n, n]), 1.0 / ((n - 1) as f64).powi(2))
+    }
+
+    #[test]
+    fn redblack_matches_gs_rate_for_5_point() {
+        // Two-coloring is exact for the cross: the rate matches plain GS.
+        let n = 33;
+        let (mut u1, f, h2) = poisson_setup(n);
+        let mut u2 = u1.clone();
+        let gs = count_sweeps(|| poisson_gs_sweep(&mut u1, &f, h2), 1e-8, 50_000);
+        let rb = count_sweeps(|| poisson_redblack_sweep(&mut u2, &f, h2), 1e-8, 50_000);
+        let ratio = rb as f64 / gs as f64;
+        assert!(
+            (0.8..=1.3).contains(&ratio),
+            "5-point red-black should track GS: {rb} vs {gs}"
+        );
+    }
+
+    #[test]
+    fn coloring_is_inferior_for_9_point() {
+        // The paper's §5 remark, measured: with the full 3×3 window a
+        // two-coloring leaves diagonal couplings stale and needs more
+        // sweeps than true lexicographic Gauss-Seidel.
+        let n = 33;
+        let boundary = |idx: &[usize]| {
+            if idx[1] == 0 || idx[2] == 0 || idx[1] == n - 1 || idx[2] == n - 1 {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let b = Field::zeros(&[1, n, n]);
+        let mut w1 = Field::from_fn(&[1, n, n], boundary);
+        let mut w2 = w1.clone();
+        let gs = count_sweeps(|| nine_point_gs_sweep(&mut w1, &b), 1e-8, 50_000);
+        let rb = count_sweeps(|| nine_point_redblack_sweep(&mut w2, &b), 1e-8, 50_000);
+        assert!(
+            rb as f64 > 1.15 * gs as f64,
+            "colored 9-point must need noticeably more sweeps: {rb} vs {gs}"
+        );
+    }
+
+    #[test]
+    fn both_converge_to_the_same_solution() {
+        let n = 17;
+        let (mut u1, f, h2) = poisson_setup(n);
+        let mut u2 = u1.clone();
+        for _ in 0..5_000 {
+            poisson_gs_sweep(&mut u1, &f, h2);
+            poisson_redblack_sweep(&mut u2, &f, h2);
+        }
+        assert!(u1.max_abs_diff(&u2) < 1e-9);
+    }
+}

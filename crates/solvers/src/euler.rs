@@ -1,0 +1,254 @@
+//! 3-D compressible Euler equations: state handling, exact flux, Roe and
+//! Rusanov numerical fluxes, wave speeds (paper §4.3).
+//!
+//! Conservative state vector `U = [ρ, ρu, ρv, ρw, E]` with the ideal-gas
+//! equation of state `p = (γ-1)(E - ½ρ|u|²)`, `γ = 1.4`.
+
+/// Ratio of specific heats for air.
+pub const GAMMA: f64 = 1.4;
+
+/// Number of conservative fields.
+pub const NV: usize = 5;
+
+/// Primitive quantities derived from a conservative state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Primitive {
+    /// Density.
+    pub rho: f64,
+    /// Velocity components.
+    pub vel: [f64; 3],
+    /// Pressure.
+    pub p: f64,
+    /// Speed of sound.
+    pub c: f64,
+}
+
+/// Converts a conservative state to primitives.
+///
+/// # Panics
+/// Panics (in debug builds) on non-physical states (ρ ≤ 0 or p ≤ 0).
+pub fn primitive(u: &[f64; NV]) -> Primitive {
+    let rho = u[0];
+    debug_assert!(rho > 0.0, "non-physical density {rho}");
+    let inv = 1.0 / rho;
+    let vel = [u[1] * inv, u[2] * inv, u[3] * inv];
+    let q2 = vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2];
+    let p = (GAMMA - 1.0) * (u[4] - 0.5 * rho * q2);
+    debug_assert!(p > 0.0, "non-physical pressure {p}");
+    Primitive {
+        rho,
+        vel,
+        p,
+        c: (GAMMA * p * inv).sqrt(),
+    }
+}
+
+/// Builds a conservative state from primitives.
+pub fn conservative(rho: f64, vel: [f64; 3], p: f64) -> [f64; NV] {
+    let q2 = vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2];
+    [
+        rho,
+        rho * vel[0],
+        rho * vel[1],
+        rho * vel[2],
+        p / (GAMMA - 1.0) + 0.5 * rho * q2,
+    ]
+}
+
+/// The exact Euler flux along `axis`.
+pub fn flux(u: &[f64; NV], axis: usize) -> [f64; NV] {
+    let pr = primitive(u);
+    let un = pr.vel[axis];
+    let mut f = [
+        u[0] * un,
+        u[1] * un,
+        u[2] * un,
+        u[3] * un,
+        (u[4] + pr.p) * un,
+    ];
+    f[1 + axis] += pr.p;
+    f
+}
+
+/// Spectral radius of the flux Jacobian along `axis`: `|u_axis| + c`.
+pub fn wave_speed(u: &[f64; NV], axis: usize) -> f64 {
+    let pr = primitive(u);
+    pr.vel[axis].abs() + pr.c
+}
+
+/// Rusanov (local Lax-Friedrichs) numerical flux through the face between
+/// `ul` (left) and `ur` (right) along `axis`.
+pub fn rusanov_flux(ul: &[f64; NV], ur: &[f64; NV], axis: usize) -> [f64; NV] {
+    let fl = flux(ul, axis);
+    let fr = flux(ur, axis);
+    let lambda = wave_speed(ul, axis).max(wave_speed(ur, axis));
+    let mut f = [0.0; NV];
+    for v in 0..NV {
+        f[v] = 0.5 * (fl[v] + fr[v]) - 0.5 * lambda * (ur[v] - ul[v]);
+    }
+    f
+}
+
+/// Roe's approximate Riemann solver ([Roe 1981], the flux used by the
+/// paper's Euler evaluation), without entropy fix.
+pub fn roe_flux(ul: &[f64; NV], ur: &[f64; NV], axis: usize) -> [f64; NV] {
+    let pl = primitive(ul);
+    let pr = primitive(ur);
+    // Roe averages.
+    let sl = pl.rho.sqrt();
+    let sr = pr.rho.sqrt();
+    let inv = 1.0 / (sl + sr);
+    let vel = [
+        (sl * pl.vel[0] + sr * pr.vel[0]) * inv,
+        (sl * pl.vel[1] + sr * pr.vel[1]) * inv,
+        (sl * pl.vel[2] + sr * pr.vel[2]) * inv,
+    ];
+    let hl = (ul[4] + pl.p) / pl.rho;
+    let hr = (ur[4] + pr.p) / pr.rho;
+    let h = (sl * hl + sr * hr) * inv;
+    let q2 = vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2];
+    let c2 = (GAMMA - 1.0) * (h - 0.5 * q2);
+    let c = c2.max(1e-12).sqrt();
+    let un = vel[axis];
+
+    // Differences.
+    let drho = pr.rho - pl.rho;
+    let dp = pr.p - pl.p;
+    let dun = pr.vel[axis] - pl.vel[axis];
+
+    // Characteristic strengths.
+    let a1 = (dp - pl.rho.sqrt() * pr.rho.sqrt() * c * dun) / (2.0 * c2); // u - c
+    let a5 = (dp + pl.rho.sqrt() * pr.rho.sqrt() * c * dun) / (2.0 * c2); // u + c
+    let a234 = drho - dp / c2; // entropy + shear
+
+    // Eigenvalues.
+    let l1 = (un - c).abs();
+    let l234 = un.abs();
+    let l5 = (un + c).abs();
+
+    // Right eigenvectors applied to strengths (dissipation term).
+    let mut diss = [0.0; NV];
+    // λ1 wave (u - c).
+    let mut r1 = [1.0, vel[0], vel[1], vel[2], h - un * c];
+    r1[1 + axis] -= c;
+    for v in 0..NV {
+        diss[v] += l1 * a1 * r1[v];
+    }
+    // Entropy wave.
+    let r2 = [1.0, vel[0], vel[1], vel[2], 0.5 * q2];
+    for v in 0..NV {
+        diss[v] += l234 * a234 * r2[v];
+    }
+    // Shear waves: velocity differences orthogonal to the face normal.
+    let rho_avg = sl * sr;
+    for t in 0..3 {
+        if t == axis {
+            continue;
+        }
+        let dv = pr.vel[t] - pl.vel[t];
+        diss[1 + t] += l234 * rho_avg * dv;
+        diss[4] += l234 * rho_avg * dv * vel[t];
+    }
+    // λ5 wave (u + c).
+    let mut r5 = [1.0, vel[0], vel[1], vel[2], h + un * c];
+    r5[1 + axis] += c;
+    for v in 0..NV {
+        diss[v] += l5 * a5 * r5[v];
+    }
+
+    let fl = flux(ul, axis);
+    let fr = flux(ur, axis);
+    let mut f = [0.0; NV];
+    for v in 0..NV {
+        f[v] = 0.5 * (fl[v] + fr[v]) - 0.5 * diss[v];
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(rho: f64, u: f64, v: f64, w: f64, p: f64) -> [f64; NV] {
+        conservative(rho, [u, v, w], p)
+    }
+
+    #[test]
+    fn primitive_roundtrip() {
+        let u = state(1.2, 0.3, -0.2, 0.1, 1.5);
+        let pr = primitive(&u);
+        assert!((pr.rho - 1.2).abs() < 1e-14);
+        assert!((pr.vel[0] - 0.3).abs() < 1e-14);
+        assert!((pr.p - 1.5).abs() < 1e-12);
+        assert!(pr.c > 0.0);
+    }
+
+    #[test]
+    fn flux_momentum_contains_pressure() {
+        let u = state(1.0, 0.0, 0.0, 0.0, 1.0);
+        // At rest: flux is pure pressure in the normal momentum slot.
+        for axis in 0..3 {
+            let f = flux(&u, axis);
+            assert_eq!(f[0], 0.0);
+            assert!((f[1 + axis] - 1.0).abs() < 1e-14);
+            assert_eq!(f[4], 0.0);
+        }
+    }
+
+    #[test]
+    fn numerical_fluxes_are_consistent() {
+        // F_num(U, U) == F(U) for both Roe and Rusanov.
+        let u = state(1.3, 0.4, -0.1, 0.2, 2.0);
+        for axis in 0..3 {
+            let exact = flux(&u, axis);
+            let rus = rusanov_flux(&u, &u, axis);
+            let roe = roe_flux(&u, &u, axis);
+            for v in 0..NV {
+                assert!(
+                    (rus[v] - exact[v]).abs() < 1e-12,
+                    "rusanov axis {axis} var {v}"
+                );
+                assert!((roe[v] - exact[v]).abs() < 1e-10, "roe axis {axis} var {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rusanov_is_more_dissipative_than_roe() {
+        // Across a contact discontinuity (same p, u; different rho) Roe
+        // adds dissipation scaled by |u| while Rusanov uses |u|+c.
+        let ul = state(1.0, 0.1, 0.0, 0.0, 1.0);
+        let ur = state(0.5, 0.1, 0.0, 0.0, 1.0);
+        let rus = rusanov_flux(&ul, &ur, 0);
+        let roe = roe_flux(&ul, &ur, 0);
+        let central = {
+            let fl = flux(&ul, 0);
+            let fr = flux(&ur, 0);
+            (fl[0] + fr[0]) * 0.5
+        };
+        let d_rus = (rus[0] - central).abs();
+        let d_roe = (roe[0] - central).abs();
+        assert!(d_rus > d_roe, "rusanov {d_rus} should exceed roe {d_roe}");
+    }
+
+    #[test]
+    fn wave_speed_positive_and_directional() {
+        let u = state(1.0, 0.5, -0.2, 0.0, 1.0);
+        assert!(wave_speed(&u, 0) > wave_speed(&u, 2));
+        for axis in 0..3 {
+            assert!(wave_speed(&u, axis) > 0.0);
+        }
+    }
+
+    #[test]
+    fn roe_resolves_stationary_contact_exactly() {
+        // A stationary contact (u = 0, equal p): Roe flux is exactly zero
+        // in mass; Rusanov smears it.
+        let ul = state(1.0, 0.0, 0.0, 0.0, 1.0);
+        let ur = state(0.3, 0.0, 0.0, 0.0, 1.0);
+        let roe = roe_flux(&ul, &ur, 0);
+        assert!(roe[0].abs() < 1e-12, "Roe mass flux {:.3e}", roe[0]);
+        let rus = rusanov_flux(&ul, &ur, 0);
+        assert!(rus[0].abs() > 1e-3);
+    }
+}

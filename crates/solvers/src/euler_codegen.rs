@@ -1,0 +1,350 @@
+//! The Euler LU-SGS solver expressed in the `cfd` dialect — the paper's
+//! Fig. 14 computational graph, generated through `instencil-core`
+//! builders:
+//!
+//! ```text
+//! W ──► cfd.face_iterator (axis 0) ─► ... (axis 1) ─► ... (axis 2) ──► B
+//! (B, dW, W) ──► cfd.stencil (forward sweep,  L = {−e_d}) ──► dW*
+//! (dW*, W)  ──► cfd.stencil (backward sweep, mirrored)    ──► dW
+//! (W, dW)   ──► linalg.pointwise (update)                 ──► W'
+//! ```
+//!
+//! The numerical flux in the generated region is Rusanov (local
+//! Lax-Friedrichs); the region builders below emit the full compressible
+//! Euler flux and wave-speed computations as `arith`/`math` op graphs
+//! (`n_v = 5` fields, one auxiliary tensor carrying the frozen state `W`).
+
+use instencil_core::ops::{
+    build_face_iterator, build_pointwise, build_stencil, PointwiseSpec, StencilSpec, StencilYield,
+};
+use instencil_ir::{FuncBuilder, Module, OpCode, Type, ValueId};
+use instencil_pattern::{StencilPattern, Sweep};
+
+use crate::euler::{GAMMA, NV};
+
+/// Emits the primitive decomposition of a 5-field conservative state:
+/// returns `(inv_rho, vel[3], p)`.
+fn emit_primitive(fb: &mut FuncBuilder, s: &[ValueId]) -> (ValueId, [ValueId; 3], ValueId) {
+    let one = fb.const_f64(1.0);
+    let inv_rho = fb.divf(one, s[0]);
+    let u = fb.mulf(s[1], inv_rho);
+    let v = fb.mulf(s[2], inv_rho);
+    let w = fb.mulf(s[3], inv_rho);
+    // q2·rho/2 = (m1² + m2² + m3²) / (2 rho)
+    let m1sq = fb.mulf(s[1], s[1]);
+    let m2sq = fb.mulf(s[2], s[2]);
+    let m3sq = fb.mulf(s[3], s[3]);
+    let msq = {
+        let t = fb.addf(m1sq, m2sq);
+        fb.addf(t, m3sq)
+    };
+    let half = fb.const_f64(0.5);
+    let ke = {
+        let t = fb.mulf(msq, inv_rho);
+        fb.mulf(t, half)
+    };
+    let gm1 = fb.const_f64(GAMMA - 1.0);
+    let p = {
+        let t = fb.subf(s[4], ke);
+        fb.mulf(gm1, t)
+    };
+    (inv_rho, [u, v, w], p)
+}
+
+/// Emits the exact Euler flux of a state along `axis`.
+fn emit_flux(fb: &mut FuncBuilder, s: &[ValueId], axis: usize) -> [ValueId; NV] {
+    let (inv_rho, vel, p) = emit_primitive(fb, s);
+    let _ = inv_rho;
+    let un = vel[axis];
+    let f0 = fb.mulf(s[0], un);
+    let mut f1 = fb.mulf(s[1], un);
+    let mut f2 = fb.mulf(s[2], un);
+    let mut f3 = fb.mulf(s[3], un);
+    let f4 = {
+        let ep = fb.addf(s[4], p);
+        fb.mulf(ep, un)
+    };
+    match axis {
+        0 => f1 = fb.addf(f1, p),
+        1 => f2 = fb.addf(f2, p),
+        _ => f3 = fb.addf(f3, p),
+    }
+    [f0, f1, f2, f3, f4]
+}
+
+/// Emits the spectral radius `|u_axis| + c` of a state.
+fn emit_wave_speed(fb: &mut FuncBuilder, s: &[ValueId], axis: usize) -> ValueId {
+    let (inv_rho, vel, p) = emit_primitive(fb, s);
+    let g = fb.const_f64(GAMMA);
+    let c = {
+        let gp = fb.mulf(g, p);
+        let t = fb.mulf(gp, inv_rho);
+        fb.sqrt(t)
+    };
+    let au = fb.absf(vel[axis]);
+    fb.addf(au, c)
+}
+
+/// Emits the Rusanov flux between two states along `axis`.
+fn emit_rusanov(
+    fb: &mut FuncBuilder,
+    ul: &[ValueId],
+    ur: &[ValueId],
+    axis: usize,
+) -> [ValueId; NV] {
+    let fl = emit_flux(fb, ul, axis);
+    let fr = emit_flux(fb, ur, axis);
+    let ll = emit_wave_speed(fb, ul, axis);
+    let lr = emit_wave_speed(fb, ur, axis);
+    let lambda = fb.maxf(ll, lr);
+    let half = fb.const_f64(0.5);
+    let mut out = [fl[0]; NV];
+    for v in 0..NV {
+        let central = {
+            let t = fb.addf(fl[v], fr[v]);
+            fb.mulf(half, t)
+        };
+        let jump = fb.subf(ur[v], ul[v]);
+        let diss = {
+            let t = fb.mulf(lambda, jump);
+            fb.mulf(half, t)
+        };
+        out[v] = fb.subf(central, diss);
+    }
+    out
+}
+
+/// Emits `1 / (1/dt + Σ_d ρ_d(Wc))` — the inverted LU-SGS diagonal.
+fn emit_inv_diag(fb: &mut FuncBuilder, wc: &[ValueId], dt: f64) -> ValueId {
+    let mut d = fb.const_f64(1.0 / dt);
+    for axis in 0..3 {
+        let rho = emit_wave_speed(fb, wc, axis);
+        d = fb.addf(d, rho);
+    }
+    let one = fb.const_f64(1.0);
+    fb.divf(one, d)
+}
+
+/// Emits `½ (F(W_j + ΔW_j) − F(W_j) + s·ρ_j·ΔW_j)` for one neighbor.
+fn emit_offdiag(
+    fb: &mut FuncBuilder,
+    w_j: &[ValueId],
+    dw_j: &[ValueId],
+    axis: usize,
+    sign: f64,
+) -> [ValueId; NV] {
+    let wp: Vec<ValueId> = w_j.iter().zip(dw_j).map(|(a, b)| fb.addf(*a, *b)).collect();
+    let f1 = emit_flux(fb, &wp, axis);
+    let f0 = emit_flux(fb, w_j, axis);
+    let rho = emit_wave_speed(fb, w_j, axis);
+    let s = fb.const_f64(sign);
+    let half = fb.const_f64(0.5);
+    let mut out = [f1[0]; NV];
+    for v in 0..NV {
+        let df = fb.subf(f1[v], f0[v]);
+        let rdw = {
+            let t = fb.mulf(rho, dw_j[v]);
+            fb.mulf(s, t)
+        };
+        let sum = fb.addf(df, rdw);
+        out[v] = fb.mulf(half, sum);
+    }
+    out
+}
+
+/// The LU-SGS stencil pattern: `L = {−e_d}`, `U = ∅` (pure lower sweep).
+pub fn lusgs_pattern() -> StencilPattern {
+    StencilPattern::from_sets(
+        &[1, 1, 1],
+        &[vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]],
+        &[],
+    )
+    .expect("valid LU-SGS pattern")
+}
+
+/// Builds the complete one-step Euler LU-SGS module (Fig. 14):
+/// `euler_step(W, dW, B) -> (W', dW', B')`.
+///
+/// The driver must zero `dW` and `B` before each call (`ΔW` starts from
+/// zero and the face iterators accumulate into `B`).
+pub fn euler_lusgs_module(dt: f64) -> Module {
+    let t5 = Type::tensor_dyn(Type::F64, 4);
+    let mut module = Module::new("euler_lusgs");
+    let mut fb = FuncBuilder::new(
+        "euler_step",
+        vec![t5.clone(), t5.clone(), t5.clone()],
+        vec![t5.clone(), t5.clone(), t5.clone()],
+    );
+    let w = fb.arg(0);
+    let dw = fb.arg(1);
+    let b0 = fb.arg(2);
+
+    // 1. Residual accumulation, one face iterator per axis. The region
+    //    yields −F_face so that the op's (left += f, right −= f)
+    //    convention produces R_i = Σ_d (F_{i−e/2} − F_{i+e/2}).
+    let mut b = b0;
+    for axis in 0..3 {
+        b = build_face_iterator(&mut fb, w, b, axis, NV, 1, |fb, ul, ur| {
+            let f = emit_rusanov(fb, ul, ur, axis);
+            f.iter().map(|&x| fb.negf(x)).collect()
+        });
+    }
+
+    // 2. Forward sweep.
+    let fwd_spec = StencilSpec {
+        pattern: lusgs_pattern(),
+        nb_var: NV,
+        n_aux: 1,
+        sweep: Sweep::Forward,
+    };
+    let dw1 = build_stencil(&mut fb, dw, b, &[w], dw, &fwd_spec, |fb, view| {
+        let layout = view.layout().clone();
+        let center = layout.center_index();
+        let wc: Vec<ValueId> = (0..NV).map(|v| view.aux(center, 0, v)).collect();
+        let inv_d = emit_inv_diag(fb, &wc, dt);
+        let zero = fb.const_f64(0.0);
+        let mut contribs: Vec<Vec<ValueId>> = Vec::with_capacity(layout.offsets.len());
+        for (o, r) in layout.offsets.clone().iter().enumerate() {
+            if o == center {
+                contribs.push(vec![zero; NV]);
+                continue;
+            }
+            let axis = r.iter().position(|&x| x != 0).unwrap();
+            let w_j: Vec<ValueId> = (0..NV).map(|v| view.aux(o, 0, v)).collect();
+            let dw_j: Vec<ValueId> = (0..NV).map(|v| view.state(o, v)).collect();
+            let od = emit_offdiag(fb, &w_j, &dw_j, axis, 1.0);
+            contribs.push(od.to_vec());
+        }
+        StencilYield {
+            d: vec![inv_d; NV],
+            contribs,
+        }
+    });
+
+    // 3. Zero tensor for the backward sweep's B (alloc is zero-filled).
+    let one = fb.const_index(1);
+    let two = fb.const_index(2);
+    let three = fb.const_index(3);
+    let zero_idx = fb.const_index(0);
+    let d0 = fb.tensor_dim(w, 0);
+    let _ = zero_idx;
+    let d1 = {
+        let _ = one;
+        fb.tensor_dim(w, 1)
+    };
+    let d2 = {
+        let _ = two;
+        fb.tensor_dim(w, 2)
+    };
+    let d3 = {
+        let _ = three;
+        fb.tensor_dim(w, 3)
+    };
+    let zeros = fb.tensor_empty(t5.clone(), vec![d0, d1, d2, d3]);
+
+    // 4. Backward sweep: Y = D⁻¹ (0 + D·ΔW*_c − Σ_d ½(ΔF − ρΔW)).
+    //    The pattern is expressed in traversal-local coordinates: with
+    //    sweep = Backward the L offsets {−e_d} address the *upper*
+    //    memory neighbors, already updated by the descending traversal.
+    let bwd_spec = StencilSpec {
+        pattern: lusgs_pattern(),
+        nb_var: NV,
+        n_aux: 1,
+        sweep: Sweep::Backward,
+    };
+    let dw2 = build_stencil(&mut fb, dw1, zeros, &[w], dw1, &bwd_spec, |fb, view| {
+        let layout = view.layout().clone();
+        let center = layout.center_index();
+        let wc: Vec<ValueId> = (0..NV).map(|v| view.aux(center, 0, v)).collect();
+        let inv_d = emit_inv_diag(fb, &wc, dt);
+        // g_center = D·ΔW*_c (so Y = D⁻¹·D·ΔW*_c − corrections).
+        let one_f = fb.const_f64(1.0);
+        let d_full = fb.divf(one_f, inv_d);
+        let mut contribs: Vec<Vec<ValueId>> = Vec::with_capacity(layout.offsets.len());
+        for (o, r) in layout.offsets.clone().iter().enumerate() {
+            if o == center {
+                let g: Vec<ValueId> = (0..NV)
+                    .map(|v| {
+                        let c = view.state(o, v);
+                        fb.mulf(d_full, c)
+                    })
+                    .collect();
+                contribs.push(g);
+                continue;
+            }
+            let axis = r.iter().position(|&x| x != 0).unwrap();
+            let w_j: Vec<ValueId> = (0..NV).map(|v| view.aux(o, 0, v)).collect();
+            let dw_j: Vec<ValueId> = (0..NV).map(|v| view.state(o, v)).collect();
+            // −½(ΔF − ρΔW): offdiag with sign −1, then negated.
+            let od = emit_offdiag(fb, &w_j, &dw_j, axis, -1.0);
+            contribs.push(od.iter().map(|&x| fb.negf(x)).collect());
+        }
+        StencilYield {
+            d: vec![inv_d; NV],
+            contribs,
+        }
+    });
+
+    // 5. Update: W += ΔW.
+    let upd = PointwiseSpec {
+        offsets: vec![vec![0, 0, 0, 0], vec![0, 0, 0, 0]],
+        interior: vec![0, 1, 1, 1],
+    };
+    let w2 = build_pointwise(&mut fb, &[w, dw2], w, &upd, |fb, a| fb.addf(a[0], a[1]));
+
+    fb.ret(vec![w2, dw2, b]);
+    module.push_func(fb.finish());
+    module
+}
+
+/// Op census of the generated module (used by tests and EXPERIMENTS.md).
+pub fn euler_module_census(module: &Module) -> (usize, usize, usize) {
+    let f = module.funcs().first().expect("module has one function");
+    let faces = f.body.find_all(&OpCode::CfdFaceIterator).len();
+    let stencils = f.body.find_all(&OpCode::CfdStencil).len();
+    let pointwise = f.body.find_all(&OpCode::LinalgPointwise).len();
+    (faces, stencils, pointwise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_verifies() {
+        let m = euler_lusgs_module(0.1);
+        m.verify().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(euler_module_census(&m), (3, 2, 1));
+    }
+
+    #[test]
+    fn sweeps_have_opposite_directions() {
+        let m = euler_lusgs_module(0.1);
+        let f = m.lookup("euler_step").unwrap();
+        let stencils = f.body.find_all(&OpCode::CfdStencil);
+        let sweeps: Vec<i64> = stencils
+            .iter()
+            .map(|&s| f.body.op(s).int_attr("sweep").unwrap())
+            .collect();
+        assert_eq!(sweeps, vec![1, -1]);
+    }
+
+    #[test]
+    fn stencil_region_arity_matches_nv5_aux1() {
+        let m = euler_lusgs_module(0.1);
+        let f = m.lookup("euler_step").unwrap();
+        let s = f.body.find_first(&OpCode::CfdStencil).unwrap();
+        let region = f.body.op(s).regions[0];
+        let block = f.body.region(region).blocks[0];
+        // 4 accessed offsets × 5 fields × (1 state + 1 aux) = 40 args.
+        assert_eq!(f.body.block(block).args.len(), 40);
+    }
+
+    #[test]
+    fn pattern_is_pure_lower() {
+        let p = lusgs_pattern();
+        assert_eq!(p.l_offsets().len(), 3);
+        assert!(p.u_offsets().is_empty());
+        assert!(p.is_in_place());
+    }
+}

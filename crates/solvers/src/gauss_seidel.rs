@@ -1,0 +1,197 @@
+//! Reference in-place Gauss-Seidel / SOR sweeps (2-D), the C baselines of
+//! §4.1 written in plain Rust.
+//!
+//! These sweeps mirror the generated kernels exactly (`averaging`
+//! semantics: `w[i] = d · (Σ window + b[i])`), serve as correctness
+//! oracles and as the "sequential C" baseline of Figs. 11/12, and expose
+//! the convergence behaviour the paper leans on (Gauss-Seidel converges
+//! with the square of Jacobi's spectral radius).
+
+use crate::array::Field;
+
+/// One in-place 5-point Gauss-Seidel sweep: `w = (cross sum + b) / 5`.
+pub fn gs5_sweep(w: &mut Field, b: &Field) {
+    let (n1, n2) = (w.dim(1) as i64, w.dim(2) as i64);
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let s = w.at(&[0, i - 1, j])
+                + w.at(&[0, i, j - 1])
+                + w.at(&[0, i, j])
+                + w.at(&[0, i, j + 1])
+                + w.at(&[0, i + 1, j]);
+            *w.at_mut(&[0, i, j]) = (s + b.at(&[0, i, j])) / 5.0;
+        }
+    }
+}
+
+/// One in-place 9-point Gauss-Seidel sweep (full 3×3 window / 9), the
+/// PolyBench `seidel-2d` kernel.
+pub fn gs9_sweep(w: &mut Field, b: &Field) {
+    let (n1, n2) = (w.dim(1) as i64, w.dim(2) as i64);
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let mut s = 0.0;
+            for di in -1..=1 {
+                for dj in -1..=1 {
+                    s += w.at(&[0, i + di, j + dj]);
+                }
+            }
+            *w.at_mut(&[0, i, j]) = (s + b.at(&[0, i, j])) / 9.0;
+        }
+    }
+}
+
+/// One in-place 9-point 2nd-order Gauss-Seidel sweep (5×5 cross / 9).
+pub fn gs9_order2_sweep(w: &mut Field, b: &Field) {
+    let (n1, n2) = (w.dim(1) as i64, w.dim(2) as i64);
+    for i in 2..n1 - 2 {
+        for j in 2..n2 - 2 {
+            let s = w.at(&[0, i - 2, j])
+                + w.at(&[0, i - 1, j])
+                + w.at(&[0, i, j - 2])
+                + w.at(&[0, i, j - 1])
+                + w.at(&[0, i, j])
+                + w.at(&[0, i, j + 1])
+                + w.at(&[0, i, j + 2])
+                + w.at(&[0, i + 1, j])
+                + w.at(&[0, i + 2, j]);
+            *w.at_mut(&[0, i, j]) = (s + b.at(&[0, i, j])) / 9.0;
+        }
+    }
+}
+
+/// One classic Gauss-Seidel sweep for the Poisson problem
+/// `-Δu = f` on the unit square (Dirichlet boundaries):
+/// `u[i,j] = (u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1] + h²f) / 4`.
+/// Returns the max update magnitude (for convergence tracking).
+pub fn poisson_gs_sweep(u: &mut Field, f: &Field, h2: f64) -> f64 {
+    let (n1, n2) = (u.dim(1) as i64, u.dim(2) as i64);
+    let mut delta: f64 = 0.0;
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let new = 0.25
+                * (u.at(&[0, i - 1, j])
+                    + u.at(&[0, i + 1, j])
+                    + u.at(&[0, i, j - 1])
+                    + u.at(&[0, i, j + 1])
+                    + h2 * f.at(&[0, i, j]));
+            delta = delta.max((new - u.at(&[0, i, j])).abs());
+            *u.at_mut(&[0, i, j]) = new;
+        }
+    }
+    delta
+}
+
+/// One SOR sweep for the same Poisson problem with relaxation `omega`
+/// (`omega = 1` is plain Gauss-Seidel). Returns the max update magnitude.
+pub fn poisson_sor_sweep(u: &mut Field, f: &Field, h2: f64, omega: f64) -> f64 {
+    let (n1, n2) = (u.dim(1) as i64, u.dim(2) as i64);
+    let mut delta: f64 = 0.0;
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let gs = 0.25
+                * (u.at(&[0, i - 1, j])
+                    + u.at(&[0, i + 1, j])
+                    + u.at(&[0, i, j - 1])
+                    + u.at(&[0, i, j + 1])
+                    + h2 * f.at(&[0, i, j]));
+            let old = u.at(&[0, i, j]);
+            let new = old + omega * (gs - old);
+            delta = delta.max((new - old).abs());
+            *u.at_mut(&[0, i, j]) = new;
+        }
+    }
+    delta
+}
+
+/// Iterates a sweep until the residual-update norm drops below `tol`,
+/// returning the number of sweeps (capped at `max_iters`).
+pub fn sweeps_to_converge(mut sweep: impl FnMut() -> f64, tol: f64, max_iters: usize) -> usize {
+    for it in 1..=max_iters {
+        if sweep() < tol {
+            return it;
+        }
+    }
+    max_iters
+}
+
+/// Theoretically optimal SOR relaxation factor for the 2-D Poisson
+/// problem on an `n×n` interior grid.
+pub fn sor_optimal_omega(n: usize) -> f64 {
+    let rho = (std::f64::consts::PI / (n as f64 + 1.0)).cos(); // Jacobi spectral radius
+    2.0 / (1.0 + (1.0 - rho * rho).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_setup(n: usize) -> (Field, Field, f64) {
+        let u = Field::from_fn(&[1, n, n], |idx| {
+            // Nonzero boundary to give the solver work to do.
+            if idx[1] == 0 || idx[2] == 0 || idx[1] == n - 1 || idx[2] == n - 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let f = Field::zeros(&[1, n, n]);
+        let h2 = 1.0 / ((n - 1) as f64).powi(2);
+        (u, f, h2)
+    }
+
+    #[test]
+    fn gs_converges_to_harmonic_interior() {
+        let (mut u, f, h2) = poisson_setup(17);
+        let iters = sweeps_to_converge(|| poisson_gs_sweep(&mut u, &f, h2), 1e-10, 10_000);
+        assert!(iters < 10_000, "did not converge");
+        // Laplace with constant boundary 1 → interior approaches 1.
+        assert!((u.at(&[0, 8, 8]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sor_beats_plain_gs() {
+        let n = 33;
+        let (mut u1, f, h2) = poisson_setup(n);
+        let mut u2 = u1.clone();
+        let gs = sweeps_to_converge(|| poisson_gs_sweep(&mut u1, &f, h2), 1e-8, 50_000);
+        let omega = sor_optimal_omega(n - 2);
+        let sor = sweeps_to_converge(|| poisson_sor_sweep(&mut u2, &f, h2, omega), 1e-8, 50_000);
+        assert!(
+            sor * 3 < gs,
+            "SOR ({sor}) should be much faster than GS ({gs})"
+        );
+    }
+
+    #[test]
+    fn averaging_sweeps_preserve_constant_fields() {
+        for sweep in [gs5_sweep, gs9_sweep, gs9_order2_sweep] {
+            let mut w = Field::from_fn(&[1, 12, 12], |_| 2.5);
+            let b = Field::zeros(&[1, 12, 12]);
+            sweep(&mut w, &b);
+            assert!(
+                w.data().iter().all(|&x| (x - 2.5).abs() < 1e-14),
+                "constant field is a fixed point of averaging"
+            );
+        }
+    }
+
+    #[test]
+    fn gs5_propagates_in_sweep_order() {
+        // An impulse at the top-left propagates through the whole domain
+        // in a single in-place sweep (the hallmark of Gauss-Seidel).
+        let mut w = Field::zeros(&[1, 8, 8]);
+        *w.at_mut(&[0, 1, 1]) = 1.0;
+        let b = Field::zeros(&[1, 8, 8]);
+        gs5_sweep(&mut w, &b);
+        assert!(
+            w.at(&[0, 6, 6]) > 0.0,
+            "update must reach the far corner in one sweep"
+        );
+        // Whereas an impulse at the bottom-right does not reach back.
+        let mut w2 = Field::zeros(&[1, 8, 8]);
+        *w2.at_mut(&[0, 6, 6]) = 1.0;
+        gs5_sweep(&mut w2, &b);
+        assert_eq!(w2.at(&[0, 1, 1]), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Reference out-of-place Jacobi sweeps and the Gauss-Seidel vs Jacobi
+//! convergence comparison the paper's introduction relies on ("Gauss-
+//! Seidel and SOR converge quadratically faster than ... Jacobi").
+
+use crate::array::Field;
+use crate::gauss_seidel::poisson_gs_sweep;
+
+/// One out-of-place 5-point Jacobi averaging sweep:
+/// `y = (cross sum of x + b) / 5` (the §4.1 completeness kernel).
+pub fn jacobi5_sweep(x: &Field, b: &Field, y: &mut Field) {
+    let (n1, n2) = (x.dim(1) as i64, x.dim(2) as i64);
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let s = x.at(&[0, i - 1, j])
+                + x.at(&[0, i, j - 1])
+                + x.at(&[0, i, j])
+                + x.at(&[0, i, j + 1])
+                + x.at(&[0, i + 1, j]);
+            *y.at_mut(&[0, i, j]) = (s + b.at(&[0, i, j])) / 5.0;
+        }
+    }
+}
+
+/// One Jacobi sweep for the Poisson problem `-Δu = f`; returns the max
+/// update magnitude.
+pub fn poisson_jacobi_sweep(u: &Field, f: &Field, h2: f64, out: &mut Field) -> f64 {
+    let (n1, n2) = (u.dim(1) as i64, u.dim(2) as i64);
+    let mut delta: f64 = 0.0;
+    for i in 1..n1 - 1 {
+        for j in 1..n2 - 1 {
+            let new = 0.25
+                * (u.at(&[0, i - 1, j])
+                    + u.at(&[0, i + 1, j])
+                    + u.at(&[0, i, j - 1])
+                    + u.at(&[0, i, j + 1])
+                    + h2 * f.at(&[0, i, j]));
+            delta = delta.max((new - u.at(&[0, i, j])).abs());
+            *out.at_mut(&[0, i, j]) = new;
+        }
+    }
+    delta
+}
+
+/// Measures the number of sweeps Jacobi and Gauss-Seidel need to converge
+/// on the same Poisson problem. Returns `(jacobi_iters, gs_iters)`.
+///
+/// Theory (paper §1 and Greenbaum): `ρ(GS) = ρ(Jacobi)²`, so Gauss-Seidel
+/// needs about half as many sweeps.
+pub fn convergence_comparison(n: usize, tol: f64, max_iters: usize) -> (usize, usize) {
+    let boundary = |idx: &[usize]| {
+        if idx[1] == 0 || idx[2] == 0 || idx[1] == n - 1 || idx[2] == n - 1 {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    let f = Field::zeros(&[1, n, n]);
+    let h2 = 1.0 / ((n - 1) as f64).powi(2);
+
+    // Jacobi with double buffering.
+    let mut a = Field::from_fn(&[1, n, n], boundary);
+    let mut bbuf = a.clone();
+    let mut jacobi_iters = max_iters;
+    for it in 1..=max_iters {
+        let delta = poisson_jacobi_sweep(&a, &f, h2, &mut bbuf);
+        std::mem::swap(&mut a, &mut bbuf);
+        if delta < tol {
+            jacobi_iters = it;
+            break;
+        }
+    }
+
+    // Gauss-Seidel in place.
+    let mut u = Field::from_fn(&[1, n, n], boundary);
+    let mut gs_iters = max_iters;
+    for it in 1..=max_iters {
+        if poisson_gs_sweep(&mut u, &f, h2) < tol {
+            gs_iters = it;
+            break;
+        }
+    }
+    (jacobi_iters, gs_iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_needs_about_twice_the_sweeps_of_gs() {
+        let (jacobi, gs) = convergence_comparison(33, 1e-8, 100_000);
+        assert!(jacobi < 100_000 && gs < 100_000, "both must converge");
+        let ratio = jacobi as f64 / gs as f64;
+        assert!(
+            (1.7..=2.4).contains(&ratio),
+            "expected ~2x (rho_GS = rho_J^2), got {ratio} ({jacobi} vs {gs})"
+        );
+    }
+
+    #[test]
+    fn jacobi5_is_linear_shift_invariant() {
+        // Out-of-place: impulse response is local (radius 1 per sweep).
+        let mut x = Field::zeros(&[1, 9, 9]);
+        *x.at_mut(&[0, 4, 4]) = 1.0;
+        let b = Field::zeros(&[1, 9, 9]);
+        let mut y = Field::zeros(&[1, 9, 9]);
+        jacobi5_sweep(&x, &b, &mut y);
+        assert!(y.at(&[0, 4, 5]) > 0.0);
+        assert_eq!(y.at(&[0, 4, 6]), 0.0, "Jacobi reach is one cell per sweep");
+    }
+}

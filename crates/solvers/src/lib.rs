@@ -1,0 +1,38 @@
+//! `instencil-solvers` — reference numerical methods for the paper's
+//! evaluation workloads.
+//!
+//! Plain-Rust implementations that serve as (i) correctness oracles for
+//! the generated code, (ii) the "sequential C" baselines of Figs. 11/12,
+//! and (iii) the numerical-behaviour checks the paper's motivation rests
+//! on (Gauss-Seidel converging twice as fast as Jacobi, SOR faster
+//! still):
+//!
+//! * [`gauss_seidel`] — in-place 5/9-point and 2nd-order sweeps, Poisson
+//!   Gauss-Seidel and SOR;
+//! * [`jacobi`] — out-of-place sweeps and the GS-vs-Jacobi convergence
+//!   measurement;
+//! * [`heat3d`] — the Fig. 9 three-phase time step;
+//! * [`colored`] — red-black Gauss-Seidel, with the measured §5 claim that
+//!   coloring the 9-point window degrades convergence;
+//! * [`euler`] — compressible Euler: exact flux, Roe and Rusanov solvers;
+//! * [`lusgs`] — the LU-SGS implicit solver (§4.3) in plain Rust;
+//! * [`euler_codegen`] — the same solver expressed as a `cfd`-dialect
+//!   module (Fig. 14), compiled by `instencil-core`.
+//!
+//! # Example
+//! ```
+//! use instencil_solvers::jacobi::convergence_comparison;
+//! let (jacobi, gs) = convergence_comparison(17, 1e-6, 50_000);
+//! assert!(gs < jacobi); // Gauss-Seidel needs fewer sweeps
+//! ```
+
+pub mod array;
+pub mod colored;
+pub mod euler;
+pub mod euler_codegen;
+pub mod gauss_seidel;
+pub mod heat3d;
+pub mod jacobi;
+pub mod lusgs;
+
+pub use array::Field;

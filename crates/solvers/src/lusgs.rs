@@ -1,0 +1,277 @@
+//! LU-Symmetric-Gauss-Seidel implicit solver for the 3-D Euler equations
+//! (paper §4.3, after Chen & Wang and Yoon & Kwak; see also Otero's
+//! dissertation ch. 4.2).
+//!
+//! One implicit time step solves `(I/Δt + ∂R/∂W) ΔW = R(Wⁿ)` through the
+//! approximate LU factorization:
+//!
+//! ```text
+//! forward :  ΔW*ᵢ = Dᵢ⁻¹ [ Rᵢ + Σ_d ½(ΔF_d(ΔW*ᵢ₋ₑ) + ρᵢ₋ₑ ΔW*ᵢ₋ₑ) ]
+//! backward:  ΔWᵢ  = ΔW*ᵢ − Dᵢ⁻¹ Σ_d ½(ΔF_d(ΔWᵢ₊ₑ) − ρᵢ₊ₑ ΔWᵢ₊ₑ)
+//! ```
+//!
+//! with `Dᵢ = 1/Δt + Σ_d ρ_d(Wᵢ)`, `ρ_d = |u_d| + c` (spectral radius)
+//! and `ΔF_d(ΔW_j) = F_d(W_j + ΔW_j) − F_d(W_j)`. The forward sweep is an
+//! in-place stencil with `L = {−e_d}`; the backward sweep is its reversed
+//! counterpart — exactly the two `cfd.stencil` ops of the paper's Fig. 14.
+//!
+//! Boundary cells are frozen (Dirichlet ghost values) in both the
+//! reference and the generated version; see DESIGN.md for the
+//! periodic-boundary substitution note.
+
+use crate::array::Field;
+use crate::euler::{flux, rusanov_flux, wave_speed, NV};
+
+/// Numerical flux selection for the right-hand side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FluxKind {
+    /// Roe's approximate Riemann solver (the paper's choice).
+    Roe,
+    /// Rusanov / local Lax-Friedrichs (the generated kernel's region).
+    Rusanov,
+}
+
+fn load(fld: &Field, i: &[i64; 3]) -> [f64; NV] {
+    let mut u = [0.0; NV];
+    for (v, slot) in u.iter_mut().enumerate() {
+        *slot = fld.at(&[v as i64, i[0], i[1], i[2]]);
+    }
+    u
+}
+
+fn store(fld: &mut Field, i: &[i64; 3], u: &[f64; NV]) {
+    for (v, val) in u.iter().enumerate() {
+        *fld.at_mut(&[v as i64, i[0], i[1], i[2]]) = *val;
+    }
+}
+
+/// Accumulates the finite-volume residual `R(W)` into `rhs`
+/// (which must be zeroed by the caller): `Rᵢ = Σ_d (Fᵢ₋ₑ/₂ − Fᵢ₊ₑ/₂)`.
+/// Interior cells only (margin 1).
+pub fn euler_rhs(w: &Field, rhs: &mut Field, kind: FluxKind) {
+    let dims = [w.dim(1) as i64, w.dim(2) as i64, w.dim(3) as i64];
+    for axis in 0..3 {
+        // Faces between cells f and f+1 along `axis`, including the faces
+        // against the frozen boundary cells (Dirichlet ghosts), so that a
+        // uniform flow has exactly zero residual. Flux is accumulated
+        // only into interior cells.
+        let lo = [1i64; 3];
+        let hi = [dims[0] - 1, dims[1] - 1, dims[2] - 1];
+        let mut flo = lo;
+        let mut fhi = hi;
+        flo[axis] = 0;
+        fhi[axis] = dims[axis] - 1;
+        for i0 in flo[0]..fhi[0] {
+            for i1 in flo[1]..fhi[1] {
+                for i2 in flo[2]..fhi[2] {
+                    let left = [i0, i1, i2];
+                    let mut right = left;
+                    right[axis] += 1;
+                    let ul = load(w, &left);
+                    let ur = load(w, &right);
+                    let f = match kind {
+                        FluxKind::Roe => crate::euler::roe_flux(&ul, &ur, axis),
+                        FluxKind::Rusanov => rusanov_flux(&ul, &ur, axis),
+                    };
+                    for (v, &fv) in f.iter().enumerate() {
+                        // Outflow for the left cell, inflow for the right.
+                        if left[axis] >= lo[axis] {
+                            *rhs.at_mut(&[v as i64, left[0], left[1], left[2]]) -= fv;
+                        }
+                        if right[axis] < hi[axis] {
+                            *rhs.at_mut(&[v as i64, right[0], right[1], right[2]]) += fv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `ΔF_d(ΔW_j) + s·ρ_j·ΔW_j` — the off-diagonal LU-SGS term.
+fn offdiag(w_j: &[f64; NV], dw_j: &[f64; NV], axis: usize, s: f64) -> [f64; NV] {
+    let mut wp = *w_j;
+    for v in 0..NV {
+        wp[v] += dw_j[v];
+    }
+    let f1 = flux(&wp, axis);
+    let f0 = flux(w_j, axis);
+    let rho = wave_speed(w_j, axis);
+    let mut out = [0.0; NV];
+    for v in 0..NV {
+        out[v] = 0.5 * (f1[v] - f0[v] + s * rho * dw_j[v]);
+    }
+    out
+}
+
+/// One LU-SGS implicit step: computes the RHS, runs the forward and
+/// backward sweeps, and updates `w += ΔW`. `dw` and `rhs` are scratch
+/// fields (zeroed internally). Returns the max-norm of the applied update.
+pub fn lusgs_step(w: &mut Field, dw: &mut Field, rhs: &mut Field, dt: f64, kind: FluxKind) -> f64 {
+    rhs.fill(0.0);
+    dw.fill(0.0);
+    euler_rhs(w, rhs, kind);
+    let dims = [w.dim(1) as i64, w.dim(2) as i64, w.dim(3) as i64];
+    let (lo, hi) = ([1i64; 3], [dims[0] - 1, dims[1] - 1, dims[2] - 1]);
+
+    // Forward sweep (lexicographic ascending).
+    for i0 in lo[0]..hi[0] {
+        for i1 in lo[1]..hi[1] {
+            for i2 in lo[2]..hi[2] {
+                let i = [i0, i1, i2];
+                let wc = load(w, &i);
+                let d = 1.0 / dt + wave_speed(&wc, 0) + wave_speed(&wc, 1) + wave_speed(&wc, 2);
+                let mut sum = load(rhs, &i);
+                for axis in 0..3 {
+                    let mut j = i;
+                    j[axis] -= 1;
+                    let w_j = load(w, &j);
+                    let dw_j = load(dw, &j);
+                    let od = offdiag(&w_j, &dw_j, axis, 1.0);
+                    for v in 0..NV {
+                        sum[v] += od[v];
+                    }
+                }
+                let mut out = [0.0; NV];
+                for v in 0..NV {
+                    out[v] = sum[v] / d;
+                }
+                store(dw, &i, &out);
+            }
+        }
+    }
+
+    // Backward sweep (lexicographic descending).
+    for i0 in (lo[0]..hi[0]).rev() {
+        for i1 in (lo[1]..hi[1]).rev() {
+            for i2 in (lo[2]..hi[2]).rev() {
+                let i = [i0, i1, i2];
+                let wc = load(w, &i);
+                let d = 1.0 / dt + wave_speed(&wc, 0) + wave_speed(&wc, 1) + wave_speed(&wc, 2);
+                let mut corr = [0.0; NV];
+                for axis in 0..3 {
+                    let mut j = i;
+                    j[axis] += 1;
+                    let w_j = load(w, &j);
+                    let dw_j = load(dw, &j);
+                    let od = offdiag(&w_j, &dw_j, axis, -1.0);
+                    for v in 0..NV {
+                        corr[v] += od[v];
+                    }
+                }
+                let mut out = load(dw, &i);
+                for v in 0..NV {
+                    out[v] -= corr[v] / d;
+                }
+                store(dw, &i, &out);
+            }
+        }
+    }
+
+    // Update and measure.
+    let mut delta: f64 = 0.0;
+    for i0 in lo[0]..hi[0] {
+        for i1 in lo[1]..hi[1] {
+            for i2 in lo[2]..hi[2] {
+                for v in 0..NV as i64 {
+                    let d = dw.at(&[v, i0, i1, i2]);
+                    delta = delta.max(d.abs());
+                    *w.at_mut(&[v, i0, i1, i2]) += d;
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// An isentropic-vortex-like smooth initial condition on an `n³` grid:
+/// uniform flow plus a localized density/pressure perturbation.
+pub fn vortex_initial(n: usize) -> Field {
+    let c = (n as f64 - 1.0) / 2.0;
+    let s2 = (n as f64 / 5.0).powi(2).max(1.0);
+    Field::from_fn(&[NV, n, n, n], |idx| {
+        let (i, j, k) = (idx[1] as f64, idx[2] as f64, idx[3] as f64);
+        let r2 = (i - c).powi(2) + (j - c).powi(2) + (k - c).powi(2);
+        let bump = 0.1 * (-r2 / s2).exp();
+        let rho = 1.0 + bump;
+        let vel = [0.3, 0.1, 0.05];
+        let p = 1.0 + 0.5 * bump;
+        crate::euler::conservative(rho, vel, p)[idx[0]]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_flow_is_steady() {
+        // A uniform state has zero residual: LU-SGS must not change it.
+        let n = 8;
+        let mut w = Field::from_fn(&[NV, n, n, n], |idx| {
+            crate::euler::conservative(1.0, [0.3, 0.0, 0.0], 1.0)[idx[0]]
+        });
+        let w0 = w.clone();
+        let mut dw = Field::zeros(&[NV, n, n, n]);
+        let mut rhs = Field::zeros(&[NV, n, n, n]);
+        let delta = lusgs_step(&mut w, &mut dw, &mut rhs, 0.1, FluxKind::Rusanov);
+        assert!(delta < 1e-12, "uniform flow moved by {delta}");
+        assert!(w.max_abs_diff(&w0) < 1e-12);
+    }
+
+    #[test]
+    fn vortex_step_stays_physical_and_moves() {
+        let n = 10;
+        let mut w = vortex_initial(n);
+        let mut dw = Field::zeros(&[NV, n, n, n]);
+        let mut rhs = Field::zeros(&[NV, n, n, n]);
+        let mut moved = 0.0f64;
+        for _ in 0..3 {
+            moved = moved.max(lusgs_step(&mut w, &mut dw, &mut rhs, 0.05, FluxKind::Roe));
+        }
+        assert!(moved > 1e-8, "perturbed flow must evolve");
+        // Physicality: positive density and pressure everywhere.
+        for i in 0..n as i64 {
+            for j in 0..n as i64 {
+                for k in 0..n as i64 {
+                    let u = load(&w, &[i, j, k]);
+                    let pr = crate::euler::primitive(&u);
+                    assert!(pr.rho > 0.0 && pr.p > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_dt_gives_larger_implicit_update() {
+        let n = 8;
+        let base = vortex_initial(n);
+        let mut deltas = Vec::new();
+        for dt in [0.01, 0.1] {
+            let mut w = base.clone();
+            let mut dw = Field::zeros(&[NV, n, n, n]);
+            let mut rhs = Field::zeros(&[NV, n, n, n]);
+            deltas.push(lusgs_step(&mut w, &mut dw, &mut rhs, dt, FluxKind::Rusanov));
+        }
+        assert!(
+            deltas[1] > deltas[0],
+            "implicit step scales with dt: {deltas:?}"
+        );
+    }
+
+    #[test]
+    fn rhs_is_conservative() {
+        // Interior flux exchanges cancel: the residual summed over all
+        // cells equals the net boundary flux only; for frozen identical
+        // boundary rows the interior sum telescopes.
+        let n = 8;
+        let w = vortex_initial(n);
+        let mut rhs = Field::zeros(&[NV, n, n, n]);
+        euler_rhs(&w, &mut rhs, FluxKind::Rusanov);
+        // Mass: sum over interior must equal flux through interior hull,
+        // which for this smooth compact bump is small but nonzero; just
+        // check it is bounded and finite.
+        let total: f64 = rhs.data().iter().sum();
+        assert!(total.is_finite());
+    }
+}

@@ -1,0 +1,82 @@
+//! Tile-size autotuning (§2.1) on the simulated Xeon 6152: shows the
+//! capacity rule, the 9-point pinning restriction and the resulting
+//! Table 2-style choices.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use instencil::machine::cost::PerPointCosts;
+use instencil::machine::{autotune, xeon_6152_dual, RunConfig};
+use instencil::pattern::presets;
+use instencil::pattern::tiling::{restricted_dims, tile_footprint_bytes};
+
+fn main() {
+    let m = xeon_6152_dual();
+    println!(
+        "machine: {} ({} cores, {} NUMA nodes, L2 {} KiB/core)\n",
+        m.name,
+        m.cores,
+        m.numa_nodes,
+        m.l2_bytes / 1024
+    );
+
+    let cases = [
+        (
+            "Seidel 2D 5p",
+            presets::gauss_seidel_5pt(),
+            vec![2000usize, 2000],
+        ),
+        (
+            "Seidel 2D 9p",
+            presets::gauss_seidel_9pt(),
+            vec![4000, 4000],
+        ),
+        (
+            "Seidel 2D 9p 2nd",
+            presets::gauss_seidel_9pt_order2(),
+            vec![2000, 2000],
+        ),
+        (
+            "heat 3D 6p",
+            presets::heat3d_gauss_seidel(),
+            vec![256, 256, 256],
+        ),
+    ];
+
+    for (name, pattern, domain) in cases {
+        let pinned = restricted_dims(&pattern);
+        let mut proto =
+            RunConfig::new(domain.clone(), vec![1; domain.len()], vec![1; domain.len()]);
+        proto.costs = PerPointCosts {
+            scalar_flops: 2.0,
+            vector_flops: 0.8,
+            mem_ops: 2.0,
+            vector_mem_ops: 0.8,
+            control_ops: 2.0,
+        };
+        println!("=== {name} (domain {domain:?}) ===");
+        println!(
+            "  pinned dims (L offsets with positive components): {:?}",
+            pinned
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p)
+                .map(|(d, _)| d)
+                .collect::<Vec<_>>()
+        );
+        for threads in [1usize, 10, 44] {
+            let tuned = autotune(&m, &pattern, &proto, threads);
+            let fp = tile_footprint_bytes(&tuned.tile, 1, 3, 8);
+            println!(
+                "  {threads:>2} threads: tile {:?}, sub-domain {:?}  (footprint {:>4} KiB of {} KiB L2, {} candidates)",
+                tuned.tile,
+                tuned.subdomain,
+                fp / 1024,
+                m.l2_bytes / 1024,
+                tuned.evaluated
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,93 @@
+//! Printer/parser round-trips over every module the system produces:
+//! hand-built kernels, the Euler Fig. 14 graph, and fully compiled
+//! pipelines.
+
+use instencil::ir::parse::parse_module;
+use instencil::prelude::*;
+
+fn check_roundtrip(m: &instencil::ir::Module, label: &str) {
+    let text = m.to_text();
+    let reparsed = parse_module(&text).unwrap_or_else(|e| panic!("{label}: {e}\n{text}"));
+    reparsed
+        .verify()
+        .unwrap_or_else(|e| panic!("{label}: reparsed invalid: {e}"));
+    // Canonical fixed point: print∘parse is idempotent.
+    let text2 = reparsed.to_text();
+    let again = parse_module(&text2).unwrap();
+    assert_eq!(
+        text2,
+        again.to_text(),
+        "{label}: print/parse not idempotent"
+    );
+}
+
+#[test]
+fn kernels_round_trip() {
+    for m in [
+        kernels::gauss_seidel_5pt_module(),
+        kernels::gauss_seidel_9pt_module(),
+        kernels::gauss_seidel_9pt_order2_module(),
+        kernels::heat3d_module(),
+        kernels::jacobi_5pt_module(),
+        kernels::sor_module(1.5),
+        kernels::gauss_seidel_5pt_backward_module(),
+    ] {
+        check_roundtrip(&m, &m.name.clone());
+    }
+}
+
+#[test]
+fn euler_fig14_round_trips() {
+    let m = instencil::solvers::euler_codegen::euler_lusgs_module(0.05);
+    check_roundtrip(&m, "euler_lusgs");
+}
+
+#[test]
+fn compiled_pipelines_round_trip() {
+    for (m, sd, tile) in [
+        (
+            kernels::gauss_seidel_5pt_module(),
+            vec![8usize, 8],
+            vec![4usize, 4],
+        ),
+        (kernels::gauss_seidel_9pt_module(), vec![1, 16], vec![1, 8]),
+        (kernels::jacobi_5pt_module(), vec![8, 8], vec![4, 4]),
+    ] {
+        for vf in [None, Some(8)] {
+            let compiled = compile(
+                &m,
+                &PipelineOptions::new(sd.clone(), tile.clone()).vectorize(vf),
+            )
+            .unwrap();
+            check_roundtrip(&compiled.module, &format!("{} vf={vf:?}", m.name));
+        }
+    }
+}
+
+#[test]
+fn reparsed_pipeline_still_executes_correctly() {
+    // The ultimate printer/parser test: run the kernel from its *text*.
+    let m = kernels::gauss_seidel_5pt_module();
+    let compiled = compile(
+        &m,
+        &PipelineOptions::new(vec![8, 8], vec![4, 4]).vectorize(Some(4)),
+    )
+    .unwrap();
+    let reparsed = parse_module(&compiled.module.to_text()).unwrap();
+
+    let mk = || {
+        let w = BufferView::alloc(&[1, 17, 19]);
+        w.store(&[0, 8, 9], 3.0);
+        let b = BufferView::alloc(&[1, 17, 19]);
+        (w, b)
+    };
+    let (w1, b1) = mk();
+    let (w2, b2) = mk();
+    run_sweeps(&compiled.module, "gs5", &[w1.clone(), b1], 3).unwrap();
+    run_sweeps(&reparsed, "gs5", &[w2.clone(), b2], 3).unwrap();
+    assert_eq!(
+        w1.to_vec(),
+        w2.to_vec(),
+        "text round-trip must preserve semantics"
+    );
+}
