@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint — the same three gates a PR must pass.
+#
+# Offline operation
+# -----------------
+# The workspace has zero external dependencies (randomness / property
+# testing / benches come from the in-tree `instencil-testkit` crate), so
+# no step below ever needs the crates.io registry. Should a dependency
+# ever be added, vendor it first:
+#
+#     cargo vendor vendor/
+#     mkdir -p .cargo && cat >> .cargo/config.toml <<'EOF'
+#     [source.crates-io]
+#     replace-with = "vendored-sources"
+#     [source.vendored-sources]
+#     directory = "vendor"
+#     EOF
+#
+# and keep `vendor/` in the tree; `--offline` below then still works.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# --offline is best-effort: older cargo versions accept it everywhere we
+# use it, but if the local toolchain rejects it, drop the flag (the build
+# is still network-free because there is nothing to download).
+OFFLINE="--offline"
+cargo --offline --version >/dev/null 2>&1 || OFFLINE=""
+
+echo "==> cargo build --release"
+cargo build $OFFLINE --workspace --release
+
+echo "==> cargo test"
+cargo test $OFFLINE --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,41 +1,45 @@
-//! Criterion benches of the code-generation pipeline itself: how long the
+//! Benches of the code-generation pipeline itself: how long the
 //! bufferize → tile/parallelize → vectorize → canonicalize chain takes on
-//! each evaluation kernel (compiler throughput, not generated-code speed).
+//! each evaluation kernel (compiler throughput, not generated-code
+//! speed). Uses the in-tree `instencil_testkit::bench` harness (no
+//! criterion; offline build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use instencil_bench::cases::paper_cases;
 use instencil_core::pipeline::{compile, PipelineOptions};
 use instencil_solvers::euler_codegen::euler_lusgs_module;
+use instencil_testkit::bench::Group;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile-pipeline");
+fn bench_pipeline() {
+    let group = Group::new("compile-pipeline");
     for case in paper_cases() {
         let module = case.module();
         let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
             .fuse(case.name == "heat3d")
             .vectorize(Some(8));
-        group.bench_with_input(BenchmarkId::new("tr4", case.name), &module, |b, m| {
-            b.iter(|| compile(m, &opts).unwrap());
+        group.bench(format!("tr4/{}", case.name), || {
+            let _ = compile(&module, &opts).unwrap();
         });
     }
     group.finish();
 }
 
-fn bench_euler_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile-euler");
+fn bench_euler_compile() {
+    let mut group = Group::new("compile-euler");
     group.sample_size(10);
     let module = euler_lusgs_module(0.05);
     let opts = PipelineOptions::new(vec![4, 4, 8], vec![2, 2, 8])
         .fuse(true)
         .vectorize(Some(8));
-    group.bench_function("fig14-lusgs-tr4", |b| {
-        b.iter(|| compile(&module, &opts).unwrap());
+    group.bench("fig14-lusgs-tr4", || {
+        let _ = compile(&module, &opts).unwrap();
     });
-    group.bench_function("fig14-module-build", |b| {
-        b.iter(|| euler_lusgs_module(0.05));
+    group.bench("fig14-module-build", || {
+        let _ = euler_lusgs_module(0.05);
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_euler_compile);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline();
+    bench_euler_compile();
+}

@@ -1,69 +1,66 @@
-//! Criterion benches of the reference kernels (the "sequential C"
+//! Wall-clock benches of the reference kernels (the "sequential C"
 //! baselines of Figs. 11/12, real wall-clock on the host). One benchmark
-//! group per Table 1 case, on host-sized domains.
+//! group per Table 1 case, on host-sized domains. Uses the in-tree
+//! `instencil_testkit::bench` harness (the workspace builds offline,
+//! without criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use instencil_solvers::array::Field;
 use instencil_solvers::gauss_seidel::{gs5_sweep, gs9_order2_sweep, gs9_sweep};
 use instencil_solvers::heat3d::heat3d_step;
 use instencil_solvers::jacobi::jacobi5_sweep;
 use instencil_solvers::lusgs::{lusgs_step, vortex_initial, FluxKind};
+use instencil_testkit::bench::Group;
 
-fn bench_2d_sweeps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1-2d-kernels");
+fn bench_2d_sweeps() {
+    let group = Group::new("table1-2d-kernels");
     for n in [128usize, 256] {
         let b = Field::zeros(&[1, n, n]);
         let mk = || Field::from_fn(&[1, n, n], |i| ((i[1] * 7 + i[2]) % 13) as f64 * 0.1);
-        group.bench_with_input(BenchmarkId::new("gs5", n), &n, |bench, _| {
-            let mut w = mk();
-            bench.iter(|| gs5_sweep(&mut w, &b));
-        });
-        group.bench_with_input(BenchmarkId::new("gs9", n), &n, |bench, _| {
-            let mut w = mk();
-            bench.iter(|| gs9_sweep(&mut w, &b));
-        });
-        group.bench_with_input(BenchmarkId::new("gs9o2", n), &n, |bench, _| {
-            let mut w = mk();
-            bench.iter(|| gs9_order2_sweep(&mut w, &b));
-        });
-        group.bench_with_input(BenchmarkId::new("jacobi5", n), &n, |bench, _| {
-            let x = mk();
-            let mut y = mk();
-            bench.iter(|| jacobi5_sweep(&x, &b, &mut y));
-        });
+        let mut w = mk();
+        group.bench(format!("gs5/{n}"), || gs5_sweep(&mut w, &b));
+        let mut w = mk();
+        group.bench(format!("gs9/{n}"), || gs9_sweep(&mut w, &b));
+        let mut w = mk();
+        group.bench(format!("gs9o2/{n}"), || gs9_order2_sweep(&mut w, &b));
+        let x = mk();
+        let mut y = mk();
+        group.bench(format!("jacobi5/{n}"), || jacobi5_sweep(&x, &b, &mut y));
     }
     group.finish();
 }
 
-fn bench_heat3d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1-heat3d");
+fn bench_heat3d() {
+    let mut group = Group::new("table1-heat3d");
     group.sample_size(10);
     for n in [32usize, 48] {
-        group.bench_with_input(BenchmarkId::new("step", n), &n, |bench, &n| {
-            let mut t = instencil_solvers::heat3d::gaussian_bump(n);
-            let mut dt = Field::zeros(&[1, n, n, n]);
-            let mut rhs = Field::zeros(&[1, n, n, n]);
-            bench.iter(|| heat3d_step(&mut t, &mut dt, &mut rhs));
+        let mut t = instencil_solvers::heat3d::gaussian_bump(n);
+        let mut dt = Field::zeros(&[1, n, n, n]);
+        let mut rhs = Field::zeros(&[1, n, n, n]);
+        group.bench(format!("step/{n}"), || {
+            heat3d_step(&mut t, &mut dt, &mut rhs);
         });
     }
     group.finish();
 }
 
-fn bench_euler_lusgs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig15-euler-lusgs");
+fn bench_euler_lusgs() {
+    let mut group = Group::new("fig15-euler-lusgs");
     group.sample_size(10);
     for n in [12usize, 16] {
         for (label, kind) in [("roe", FluxKind::Roe), ("rusanov", FluxKind::Rusanov)] {
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |bench, &n| {
-                let mut w = vortex_initial(n);
-                let mut dw = Field::zeros(&[5, n, n, n]);
-                let mut rhs = Field::zeros(&[5, n, n, n]);
-                bench.iter(|| lusgs_step(&mut w, &mut dw, &mut rhs, 0.05, kind));
+            let mut w = vortex_initial(n);
+            let mut dw = Field::zeros(&[5, n, n, n]);
+            let mut rhs = Field::zeros(&[5, n, n, n]);
+            group.bench(format!("{label}/{n}"), || {
+                lusgs_step(&mut w, &mut dw, &mut rhs, 0.05, kind);
             });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_2d_sweeps, bench_heat3d, bench_euler_lusgs);
-criterion_main!(benches);
+fn main() {
+    bench_2d_sweeps();
+    bench_heat3d();
+    bench_euler_lusgs();
+}

@@ -1,13 +1,14 @@
-//! Criterion benches of the Eq. (3) wavefront schedule computation —
-//! the paper argues its `O(n_blocks × |L|)` cost is negligible (§2.3);
-//! these benches quantify that claim.
+//! Benches of the Eq. (3) wavefront schedule computation — the paper
+//! argues its `O(n_blocks × |L|)` cost is negligible (§2.3); these
+//! benches quantify that claim. Uses the in-tree
+//! `instencil_testkit::bench` harness (no criterion; offline build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use instencil_pattern::blockdeps::block_dependences;
 use instencil_pattern::{presets, WavefrontSchedule};
+use instencil_testkit::bench::Group;
 
-fn bench_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eq3-schedule");
+fn bench_schedule() {
+    let group = Group::new("eq3-schedule");
     // Grids of the paper's production runs: 2000/64 ≈ 32², 4000×(1×128)
     // rows, 256³/(8×16×128).
     type Case = (&'static str, Vec<usize>, Vec<Vec<i64>>);
@@ -29,26 +30,28 @@ fn bench_schedule(c: &mut Criterion) {
         ),
     ];
     for (name, grid, deps) in &cases {
-        group.bench_with_input(BenchmarkId::new("compute", name), grid, |b, grid| {
-            b.iter(|| WavefrontSchedule::compute(grid, deps));
+        group.bench(format!("compute/{name}"), || {
+            let _ = WavefrontSchedule::compute(grid, deps);
         });
     }
     group.finish();
 }
 
-fn bench_block_deps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1-corner-analysis");
+fn bench_block_deps() {
+    let group = Group::new("fig1-corner-analysis");
     for (name, p, tiles) in [
         ("gs9", presets::gauss_seidel_9pt(), vec![1usize, 128]),
         ("gs9o2", presets::gauss_seidel_9pt_order2(), vec![64, 256]),
         ("heat3d", presets::heat3d_gauss_seidel(), vec![4, 26, 256]),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| block_dependences(&p, &tiles).unwrap());
+        group.bench(name, || {
+            let _ = block_dependences(&p, &tiles).unwrap();
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule, bench_block_deps);
-criterion_main!(benches);
+fn main() {
+    bench_schedule();
+    bench_block_deps();
+}

@@ -204,6 +204,7 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+    let mut unknown = false;
     for t in targets {
         match t {
             "table1" => run_table1(),
@@ -233,9 +234,15 @@ fn main() {
             "fig13" => run_fig13(&out),
             "fig15" => run_fig15(&out),
             "jacobi" => run_jacobi(),
-            other => eprintln!(
-                "unknown target `{other}` (valid: table1..3, fig8/11/12/13/15, jacobi, all)"
-            ),
+            other => {
+                eprintln!(
+                    "unknown target `{other}` (valid: table1..3, fig8/11/12/13/15, jacobi, all)"
+                );
+                unknown = true;
+            }
         }
+    }
+    if unknown {
+        std::process::exit(1);
     }
 }

@@ -23,7 +23,7 @@ use crate::profile::{profile_case, Profile};
 pub const VF: usize = 8;
 
 /// One bar of Figs. 11/12.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct SpeedupRow {
     /// Kernel display name.
     pub kernel: String,
@@ -161,7 +161,7 @@ pub fn speedup_figure(m: &Machine, threads: usize) -> Vec<SpeedupRow> {
 }
 
 /// One series of the Fig. 13 ablation.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationSeries {
     /// Tr1–Tr4.
     pub label: String,
@@ -222,7 +222,7 @@ pub fn fig13(m: &Machine, thread_counts: &[usize]) -> Vec<AblationSeries> {
 }
 
 /// One point of Fig. 15.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct TCellPoint {
     /// Thread count.
     pub threads: usize,
@@ -321,7 +321,7 @@ pub fn jacobi_comparison(m: &Machine, threads: usize) -> (f64, f64) {
 }
 
 /// One row of Table 2 / Table 3.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct TileRow {
     /// Kernel name.
     pub kernel: String,

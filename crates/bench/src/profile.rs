@@ -10,8 +10,7 @@ use instencil_core::pipeline::{compile, CompiledModule, PipelineOptions};
 use instencil_exec::buffer::BufferView;
 use instencil_exec::{Interpreter, RtVal};
 use instencil_machine::cost::PerPointCosts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use instencil_testkit::Rng;
 
 use crate::cases::KernelCase;
 
@@ -29,11 +28,11 @@ pub struct Profile {
 fn random_buffers(case: &KernelCase, seed: u64) -> Vec<BufferView> {
     let mut shape = vec![case.nb_var];
     shape.extend(&case.profile_domain);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..case.n_buffers)
         .map(|_| {
             let len: usize = shape.iter().product();
-            let data: Vec<f64> = (0..len).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let data = rng.f64_vec(len, 0.1, 1.0);
             BufferView::from_data(&shape, data)
         })
         .collect()

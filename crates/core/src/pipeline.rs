@@ -63,6 +63,12 @@ pub struct PipelineOptions {
     pub fuse: bool,
     /// Vector factor for partial vectorization (§2.4), `None` = scalar.
     pub vectorize: Option<usize>,
+    /// OS threads for wavefront execution (§3.4): each wavefront level of
+    /// `scf.execute_wavefronts` is split across this many workers at run
+    /// time. `1` = sequential. Purely a runtime knob — the generated IR
+    /// is identical for every value, and so are the computed results
+    /// (sub-domains within a level are independent by Eq. (3)).
+    pub threads: usize,
 }
 
 impl PipelineOptions {
@@ -74,6 +80,7 @@ impl PipelineOptions {
             parallel: true,
             fuse: false,
             vectorize: None,
+            threads: 1,
         }
     }
 
@@ -95,6 +102,13 @@ impl PipelineOptions {
     #[must_use]
     pub fn vectorize(mut self, vf: Option<usize>) -> Self {
         self.vectorize = vf;
+        self
+    }
+
+    /// Sets the wavefront worker count (minimum 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -195,6 +209,18 @@ mod tests {
         assert!(t2.fuse && t2.vectorize.is_none());
         assert!(!t3.fuse && t3.vectorize == Some(8));
         assert!(t4.fuse && t4.vectorize == Some(8));
+        // Presets default to sequential execution.
+        assert_eq!(t4.threads, 1);
+    }
+
+    #[test]
+    fn threads_knob_clamps_and_persists() {
+        let o = PipelineOptions::new(vec![8, 8], vec![4, 4]).threads(0);
+        assert_eq!(o.threads, 1);
+        let o = o.threads(4);
+        assert_eq!(o.threads, 4);
+        let c = compile(&kernels::gauss_seidel_5pt_module(), &o).unwrap();
+        assert_eq!(c.options.threads, 4);
     }
 
     #[test]

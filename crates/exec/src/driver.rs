@@ -3,8 +3,11 @@
 //! Kernels compiled by `instencil-core` perform one sweep per call and
 //! mutate their argument buffers in place; [`run_sweeps`] drives the
 //! iteration loop (the granularity at which the paper synchronizes
-//! between Gauss-Seidel iterations).
+//! between Gauss-Seidel iterations). [`run_sweeps_threaded`] does the
+//! same with a wavefront worker count; [`run_compiled_sweeps`] reads the
+//! count from the `threads` knob of the module's [`PipelineOptions`].
 
+use instencil_core::pipeline::CompiledModule;
 use instencil_ir::Module;
 
 use crate::buffer::BufferView;
@@ -24,12 +27,50 @@ pub fn run_sweeps(
     buffers: &[BufferView],
     iterations: usize,
 ) -> Result<ExecStats, ExecError> {
-    let mut interp = Interpreter::new();
+    run_sweeps_threaded(module, func, buffers, iterations, 1)
+}
+
+/// [`run_sweeps`] with `scf.execute_wavefronts` levels spread over
+/// `threads` OS threads. Results are bit-identical to `threads == 1`
+/// (sub-domains within a wavefront level are independent), and so are
+/// the returned statistics.
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_sweeps_threaded(
+    module: &Module,
+    func: &str,
+    buffers: &[BufferView],
+    iterations: usize,
+    threads: usize,
+) -> Result<ExecStats, ExecError> {
+    let mut interp = Interpreter::with_threads(threads);
     for _ in 0..iterations {
         let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
         interp.call(module, func, args)?;
     }
     Ok(interp.stats)
+}
+
+/// Runs sweeps of a compiled module, honoring the `threads` knob of the
+/// [`PipelineOptions`](instencil_core::pipeline::PipelineOptions) it was
+/// compiled with.
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_compiled_sweeps(
+    compiled: &CompiledModule,
+    func: &str,
+    buffers: &[BufferView],
+    iterations: usize,
+) -> Result<ExecStats, ExecError> {
+    run_sweeps_threaded(
+        &compiled.module,
+        func,
+        buffers,
+        iterations,
+        compiled.options.threads,
+    )
 }
 
 /// Runs alternating-buffer sweeps for out-of-place kernels (Jacobi):
@@ -133,6 +174,35 @@ mod tests {
         let sweeps = run_until_converged(&m, "gs5", &[w.clone(), b], 0, 1e-9, 5_000).unwrap();
         assert!(sweeps < 5_000, "must converge");
         assert!((w.load(&[0, 5, 5]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compiled_sweeps_honor_thread_knob() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let m = kernels::gauss_seidel_5pt_module();
+        let n = 12usize;
+        let init = |_: &()| {
+            let w = BufferView::alloc(&[1, n, n]);
+            for i in 0..n as i64 {
+                for j in 0..n as i64 {
+                    w.store(&[0, i, j], ((i * 7 + j * 3) % 11) as f64 * 0.1);
+                }
+            }
+            (w, BufferView::alloc(&[1, n, n]))
+        };
+        let seq = compile(&m, &PipelineOptions::new(vec![4, 4], vec![2, 2])).unwrap();
+        let par = compile(
+            &m,
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]).threads(3),
+        )
+        .unwrap();
+        let (ws, bs) = init(&());
+        let stats_seq = run_compiled_sweeps(&seq, "gs5", &[ws.clone(), bs], 2).unwrap();
+        let (wp, bp) = init(&());
+        let stats_par = run_compiled_sweeps(&par, "gs5", &[wp.clone(), bp], 2).unwrap();
+        assert_eq!(ws.to_vec(), wp.to_vec(), "bit-identical results");
+        assert_eq!(stats_seq, stats_par, "thread-count-invariant stats");
+        assert!(stats_par.wavefront_levels > 0);
     }
 
     #[test]

@@ -11,21 +11,30 @@
 //!   `cfd.get_parallel_blocks` (the wavefront schedule is computed at run
 //!   time, as in the paper, and executed level by level).
 //!
-//! The interpreter is sequential; wavefront levels count as
-//! synchronization barriers in [`ExecStats`]. Real multithreaded wavefront
-//! execution lives in [`crate::parallel`].
+//! The interpreter is split into a read-only compiled view ([`ExecCtx`]:
+//! the module plus a [`WavefrontPool`]) and per-thread execution frames
+//! ([`Frame`]: the dynamic statistics). With
+//! [`Interpreter::with_threads`] `> 1`, `scf.execute_wavefronts` runs
+//! each wavefront level across real OS threads through the pool —
+//! "a sequential for loop iterating over groups that contains a parallel
+//! for loop" (paper §3.4). The Eq. (3) schedule guarantees sub-domains
+//! within a level are independent, so parallel execution is bit-identical
+//! to sequential execution; each worker accumulates a private `Frame`
+//! that the coordinator merges, so statistics are thread-count-invariant
+//! too (levels are counted once by the coordinator).
 
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use instencil_core::attrs::attr_to_pattern;
 use instencil_core::ops::RegionLayout;
 use instencil_ir::body::ValueDef;
 use instencil_ir::{Attribute, Body, Module, OpCode, OpId, RegionId, Type, ValueId};
-use instencil_pattern::{blockdeps, Sweep, WavefrontSchedule};
+use instencil_pattern::{blockdeps, CsrWavefronts, Sweep, WavefrontSchedule};
 
 use crate::buffer::BufferView;
+use crate::parallel::WavefrontPool;
 use crate::stats::ExecStats;
 use crate::value::RtVal;
 
@@ -54,17 +63,49 @@ impl Error for ExecError {}
 
 type Env = Vec<Option<RtVal>>;
 
-/// The interpreter: owns execution statistics across calls.
+/// Per-thread mutable execution state: one frame per wavefront worker
+/// (and one for the coordinating thread).
 #[derive(Debug, Default)]
+struct Frame {
+    stats: ExecStats,
+}
+
+/// The interpreter: owns execution statistics across calls and the
+/// thread-count knob for wavefront execution.
+#[derive(Debug)]
 pub struct Interpreter {
     /// Accumulated dynamic statistics.
     pub stats: ExecStats,
+    threads: usize,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Interpreter {
-    /// Creates an interpreter with zeroed statistics.
+    /// Creates a sequential interpreter with zeroed statistics.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_threads(1)
+    }
+
+    /// Creates an interpreter that executes `scf.execute_wavefronts`
+    /// levels across `threads` OS threads (minimum 1). Results are
+    /// bit-identical to the sequential interpreter for any thread count:
+    /// the Eq. (3) schedule makes sub-domains within a level write
+    /// disjoint regions.
+    pub fn with_threads(threads: usize) -> Self {
+        Interpreter {
+            stats: ExecStats::default(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wavefront worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Calls a function of `module` by name.
@@ -78,7 +119,29 @@ impl Interpreter {
         name: &str,
         args: Vec<RtVal>,
     ) -> Result<Vec<RtVal>, ExecError> {
-        let func = module
+        let ctx = ExecCtx {
+            module,
+            pool: WavefrontPool::new(self.threads),
+        };
+        let mut frame = Frame::default();
+        let out = ctx.call(name, args, &mut frame);
+        // Merge even on error so partially executed work is accounted.
+        self.stats.merge(&frame.stats);
+        out
+    }
+}
+
+/// Read-only compiled view shared by all threads: the module under
+/// execution plus the pool that runs wavefront levels.
+struct ExecCtx<'m> {
+    module: &'m Module,
+    pool: WavefrontPool,
+}
+
+impl ExecCtx<'_> {
+    fn call(&self, name: &str, args: Vec<RtVal>, frame: &mut Frame) -> Result<Vec<RtVal>, ExecError> {
+        let func = self
+            .module
             .lookup(name)
             .ok_or_else(|| ExecError::new(format!("no function `{name}`")))?;
         if args.len() != func.arg_types.len() {
@@ -91,18 +154,18 @@ impl Interpreter {
         let body = &func.body;
         let mut env: Env = vec![None; body.num_values()];
         let entry = body.entry_block();
-        self.exec_block(module, body, entry, &args, &mut env)
+        self.exec_block(body, entry, &args, &mut env, frame)
     }
 
     /// Executes the ops of `block` with `args` bound to its block
     /// arguments; returns the terminator's operand values.
     fn exec_block(
-        &mut self,
-        module: &Module,
+        &self,
         body: &Body,
         block: instencil_ir::BlockId,
         args: &[RtVal],
         env: &mut Env,
+        frame: &mut Frame,
     ) -> Result<Vec<RtVal>, ExecError> {
         let block_args = &body.block(block).args;
         if block_args.len() != args.len() {
@@ -124,21 +187,21 @@ impl Interpreter {
                     .map(|v| self.value(env, *v))
                     .collect::<Result<Vec<_>, _>>();
             }
-            self.exec_op(module, body, op, env)?;
+            self.exec_op(body, op, env, frame)?;
         }
         Ok(Vec::new())
     }
 
     fn eval_region(
-        &mut self,
-        module: &Module,
+        &self,
         body: &Body,
         region: RegionId,
         args: &[RtVal],
         env: &mut Env,
+        frame: &mut Frame,
     ) -> Result<Vec<RtVal>, ExecError> {
         let block = body.region(region).blocks[0];
-        self.exec_block(module, body, block, args, env)
+        self.exec_block(body, block, args, env, frame)
     }
 
     fn value(&self, env: &Env, v: ValueId) -> Result<RtVal, ExecError> {
@@ -170,11 +233,11 @@ impl Interpreter {
 
     #[allow(clippy::too_many_lines)]
     fn exec_op(
-        &mut self,
-        module: &Module,
+        &self,
         body: &Body,
         op_id: OpId,
         env: &mut Env,
+        frame: &mut Frame,
     ) -> Result<(), ExecError> {
         let op = body.op(op_id);
         let set = |env: &mut Env, results: &[ValueId], vals: Vec<RtVal>| {
@@ -219,11 +282,11 @@ impl Interpreter {
                 };
                 let out = match (a, b) {
                     (RtVal::F64(x), RtVal::F64(y)) => {
-                        self.stats.scalar_flops += 1;
+                        frame.stats.scalar_flops += 1;
                         RtVal::F64(g(x, y))
                     }
                     (RtVal::Vec(x), RtVal::Vec(y)) => {
-                        self.stats.vector_flops += 1;
+                        frame.stats.vector_flops += 1;
                         RtVal::Vec(x.iter().zip(y).map(|(p, q)| g(*p, q)).collect())
                     }
                     _ => return Err(ExecError::new("mixed scalar/vector arithmetic")),
@@ -240,11 +303,11 @@ impl Interpreter {
                 };
                 let out = match self.value(env, op.operands[0])? {
                     RtVal::F64(x) => {
-                        self.stats.scalar_flops += 1;
+                        frame.stats.scalar_flops += 1;
                         RtVal::F64(g(x))
                     }
                     RtVal::Vec(x) => {
-                        self.stats.vector_flops += 1;
+                        frame.stats.vector_flops += 1;
                         RtVal::Vec(x.iter().map(|p| g(*p)).collect())
                     }
                     other => return Err(ExecError::new(format!("bad unary operand {other:?}"))),
@@ -257,11 +320,11 @@ impl Interpreter {
                 let c = self.value(env, op.operands[2])?;
                 let out = match (a, b, c) {
                     (RtVal::F64(x), RtVal::F64(y), RtVal::F64(z)) => {
-                        self.stats.scalar_flops += 1;
+                        frame.stats.scalar_flops += 1;
                         RtVal::F64(x.mul_add(y, z))
                     }
                     (RtVal::Vec(x), RtVal::Vec(y), RtVal::Vec(z)) => {
-                        self.stats.vector_flops += 1;
+                        frame.stats.vector_flops += 1;
                         RtVal::Vec(
                             x.iter()
                                 .zip(y.iter())
@@ -284,7 +347,7 @@ impl Interpreter {
             | OpCode::MaxSI => {
                 let a = self.int(env, op.operands[0])?;
                 let b = self.int(env, op.operands[1])?;
-                self.stats.index_ops += 1;
+                frame.stats.index_ops += 1;
                 let out = match op.opcode {
                     OpCode::AddI => a + b,
                     OpCode::SubI => a - b,
@@ -354,7 +417,7 @@ impl Interpreter {
                 while iv < ub {
                     let mut args = vec![RtVal::Int(iv)];
                     args.extend(iters.iter().cloned());
-                    iters = self.eval_region(module, body, op.regions[0], &args, env)?;
+                    iters = self.eval_region(body, op.regions[0], &args, env, frame)?;
                     iv += step;
                 }
                 set(env, &op.results, iters);
@@ -365,7 +428,7 @@ impl Interpreter {
                     other => return Err(ExecError::new(format!("if cond {other:?}"))),
                 };
                 let region = op.regions[if c { 0 } else { 1 }];
-                let vals = self.eval_region(module, body, region, &[], env)?;
+                let vals = self.eval_region(body, region, &[], env, frame)?;
                 set(env, &op.results, vals);
             }
             OpCode::Parallel => {
@@ -377,7 +440,7 @@ impl Interpreter {
                 }
                 let mut iv = lb;
                 while iv < ub {
-                    self.eval_region(module, body, op.regions[0], &[RtVal::Int(iv)], env)?;
+                    self.eval_region(body, op.regions[0], &[RtVal::Int(iv)], env, frame)?;
                     iv += step;
                 }
             }
@@ -390,12 +453,53 @@ impl Interpreter {
                     RtVal::I64Arr(a) => a,
                     other => return Err(ExecError::new(format!("cols {other:?}"))),
                 };
-                for level in rows.windows(2) {
-                    self.stats.wavefront_levels += 1;
-                    for &c in &cols[level[0] as usize..level[1] as usize] {
-                        self.stats.blocks_executed += 1;
-                        self.eval_region(module, body, op.regions[0], &[RtVal::Int(c)], env)?;
+                if self.pool.threads() == 1 {
+                    for level in rows.windows(2) {
+                        frame.stats.wavefront_levels += 1;
+                        for &c in &cols[level[0] as usize..level[1] as usize] {
+                            frame.stats.blocks_executed += 1;
+                            self.eval_region(
+                                body,
+                                op.regions[0],
+                                &[RtVal::Int(c)],
+                                env,
+                                frame,
+                            )?;
+                        }
                     }
+                } else {
+                    let row_ptr: Vec<usize> = rows.iter().map(|&x| x as usize).collect();
+                    let blocks: Vec<usize> = cols.iter().map(|&x| x as usize).collect();
+                    let schedule = CsrWavefronts::new(row_ptr, blocks);
+                    // The coordinator counts levels — once per level
+                    // regardless of how many workers ran it — so stats
+                    // are identical across thread counts. Workers count
+                    // the blocks (and ops) they execute in private
+                    // frames, merged below.
+                    frame.stats.wavefront_levels += schedule.num_levels() as u64;
+                    let region = op.regions[0];
+                    // Each worker gets a clone of the environment:
+                    // region-local SSA values are written per block but
+                    // never read across blocks (dominance), so discarding
+                    // the clones afterwards matches sequential semantics.
+                    let base_env: Env = env.clone();
+                    self.pool.try_execute_stateful(
+                        &schedule,
+                        || (base_env.clone(), Frame::default()),
+                        |state: &mut (Env, Frame), block| {
+                            let (worker_env, worker_frame) = state;
+                            worker_frame.stats.blocks_executed += 1;
+                            self.eval_region(
+                                body,
+                                region,
+                                &[RtVal::Int(block as i64)],
+                                worker_env,
+                                worker_frame,
+                            )
+                            .map(|_| ())
+                        },
+                        |(_, worker_frame)| frame.stats.merge(&worker_frame.stats),
+                    )?;
                 }
             }
             OpCode::CfdGetParallelBlocks => {
@@ -411,12 +515,12 @@ impl Interpreter {
                     .ok_or_else(|| ExecError::new("missing block_stencil"))?;
                 let deps = blockdeps::from_block_stencil(shape, data);
                 let schedule = WavefrontSchedule::compute(&grid, &deps);
-                self.stats.schedules_computed += 1;
+                frame.stats.schedules_computed += 1;
                 let csr = schedule.into_wavefronts();
                 let row_ptr: Vec<i64> = csr.row_ptr().iter().map(|&x| x as i64).collect();
                 let cols: Vec<i64> = csr.cols().iter().map(|&x| x as i64).collect();
-                env[op.results[0].index()] = Some(RtVal::I64Arr(Rc::new(row_ptr)));
-                env[op.results[1].index()] = Some(RtVal::I64Arr(Rc::new(cols)));
+                env[op.results[0].index()] = Some(RtVal::I64Arr(Arc::new(row_ptr)));
+                env[op.results[1].index()] = Some(RtVal::I64Arr(Arc::new(cols)));
             }
             OpCode::Call => {
                 let callee = op
@@ -430,7 +534,7 @@ impl Interpreter {
                     .iter()
                     .map(|v| self.value(env, *v))
                     .collect::<Result<_, _>>()?;
-                let results = self.call(module, &callee, args)?;
+                let results = self.call(&callee, args, frame)?;
                 set(env, &op.results, results);
             }
             OpCode::MemAlloc => {
@@ -466,7 +570,7 @@ impl Interpreter {
                     .iter()
                     .map(|v| self.int(env, *v))
                     .collect::<Result<_, _>>()?;
-                self.stats.loads += 1;
+                frame.stats.loads += 1;
                 env[op.results[0].index()] = Some(RtVal::F64(b.load(&idx)));
             }
             OpCode::MemStore => {
@@ -476,7 +580,7 @@ impl Interpreter {
                     .iter()
                     .map(|x| self.int(env, *x))
                     .collect::<Result<_, _>>()?;
-                self.stats.stores += 1;
+                frame.stats.stores += 1;
                 b.store(&idx, v);
             }
             OpCode::MemSubview => {
@@ -515,7 +619,7 @@ impl Interpreter {
                     Type::Vector { len, .. } => *len,
                     _ => return Err(ExecError::new("transfer_read result not vector")),
                 };
-                self.stats.vector_loads += 1;
+                frame.stats.vector_loads += 1;
                 env[op.results[0].index()] = Some(RtVal::Vec(b.load_vector(&idx, lanes)));
             }
             OpCode::VecTransferWrite => {
@@ -528,7 +632,7 @@ impl Interpreter {
                     .iter()
                     .map(|x| self.int(env, *x))
                     .collect::<Result<_, _>>()?;
-                self.stats.vector_stores += 1;
+                frame.stats.vector_stores += 1;
                 b.store_vector(&idx, &v);
             }
             OpCode::VecExtract => {
@@ -547,9 +651,9 @@ impl Interpreter {
                 };
                 env[op.results[0].index()] = Some(RtVal::Vec(vec![s; lanes]));
             }
-            OpCode::CfdStencil => self.exec_stencil_ref(module, body, op_id, env)?,
-            OpCode::LinalgPointwise => self.exec_pointwise_ref(module, body, op_id, env)?,
-            OpCode::CfdFaceIterator => self.exec_face_ref(module, body, op_id, env)?,
+            OpCode::CfdStencil => self.exec_stencil_ref(body, op_id, env, frame)?,
+            OpCode::LinalgPointwise => self.exec_pointwise_ref(body, op_id, env, frame)?,
+            OpCode::CfdFaceIterator => self.exec_face_ref(body, op_id, env, frame)?,
             other => {
                 return Err(ExecError::new(format!(
                     "op {other} is not executable (bufferize/lower the module first)"
@@ -564,10 +668,10 @@ impl Interpreter {
     // -----------------------------------------------------------------
 
     fn bounds_of(
-        &mut self,
+        &self,
         body: &Body,
         op_id: OpId,
-        env: &mut Env,
+        env: &Env,
         k: usize,
         margins: &[i64],
         dims_buf: &BufferView,
@@ -594,13 +698,13 @@ impl Interpreter {
     }
 
     fn exec_stencil_ref(
-        &mut self,
-        module: &Module,
+        &self,
         body: &Body,
         op_id: OpId,
         env: &mut Env,
+        frame: &mut Frame,
     ) -> Result<(), ExecError> {
-        self.stats.reference_ops += 1;
+        frame.stats.reference_ops += 1;
         let op = body.op(op_id);
         if op.attrs.get("bufferized").is_none() {
             return Err(ExecError::new("tensor-form cfd.stencil is not executable"));
@@ -651,27 +755,27 @@ impl Interpreter {
                     let mut full = vec![v as i64];
                     full.extend_from_slice(&neighbor);
                     let src = if from_y { &y } else { &x };
-                    self.stats.loads += 1;
+                    frame.stats.loads += 1;
                     args[layout.state_index(o, v)] = RtVal::F64(src.load(&full));
                     for (a, ab) in aux.iter().enumerate() {
-                        self.stats.loads += 1;
+                        frame.stats.loads += 1;
                         args[layout.aux_index(o, a, v)] = RtVal::F64(ab.load(&full));
                     }
                 }
             }
-            let yields = self.eval_region(module, body, region, &args, env)?;
+            let yields = self.eval_region(body, region, &args, env, frame)?;
             for v in 0..nb_var {
                 let mut full = vec![v as i64];
                 full.extend_from_slice(&point);
-                self.stats.loads += 1;
+                frame.stats.loads += 1;
                 let mut sum = b.load(&full);
                 for o in 0..layout.offsets.len() {
                     sum += yields[layout.contrib_yield_index(o, v)].as_f64();
-                    self.stats.scalar_flops += 1;
+                    frame.stats.scalar_flops += 1;
                 }
                 let d = yields[layout.d_yield_index(v)].as_f64();
-                self.stats.scalar_flops += 1;
-                self.stats.stores += 1;
+                frame.stats.scalar_flops += 1;
+                frame.stats.stores += 1;
                 y.store(&full, d * sum);
             }
             // Odometer over tau.
@@ -687,13 +791,13 @@ impl Interpreter {
     }
 
     fn exec_pointwise_ref(
-        &mut self,
-        module: &Module,
+        &self,
         body: &Body,
         op_id: OpId,
         env: &mut Env,
+        frame: &mut Frame,
     ) -> Result<(), ExecError> {
-        self.stats.reference_ops += 1;
+        frame.stats.reference_ops += 1;
         let op = body.op(op_id);
         if op.attrs.get("bufferized").is_none() {
             return Err(ExecError::new(
@@ -742,13 +846,13 @@ impl Interpreter {
                     for d in 0..k {
                         full.push(point[d] + off[d + 1]);
                     }
-                    self.stats.loads += 1;
+                    frame.stats.loads += 1;
                     args.push(RtVal::F64(buf.load(&full)));
                 }
-                let yields = self.eval_region(module, body, region, &args, env)?;
+                let yields = self.eval_region(body, region, &args, env, frame)?;
                 let mut full = vec![v];
                 full.extend_from_slice(&point);
-                self.stats.stores += 1;
+                frame.stats.stores += 1;
                 out.store(&full, yields[0].as_f64());
                 for d in (0..k).rev() {
                     tau[d] += 1;
@@ -763,13 +867,13 @@ impl Interpreter {
     }
 
     fn exec_face_ref(
-        &mut self,
-        module: &Module,
+        &self,
         body: &Body,
         op_id: OpId,
         env: &mut Env,
+        frame: &mut Frame,
     ) -> Result<(), ExecError> {
-        self.stats.reference_ops += 1;
+        frame.stats.reference_ops += 1;
         let op = body.op(op_id);
         if op.attrs.get("bufferized").is_none() {
             return Err(ExecError::new(
@@ -811,20 +915,20 @@ impl Interpreter {
                 for v in 0..nb_var {
                     let mut full = vec![v as i64];
                     full.extend_from_slice(cell);
-                    self.stats.loads += 1;
+                    frame.stats.loads += 1;
                     args.push(RtVal::F64(x.load(&full)));
                 }
             }
-            let flux = self.eval_region(module, body, region, &args, env)?;
+            let flux = self.eval_region(body, region, &args, env, frame)?;
             if left[axis] >= wlo[axis] {
                 for (v, f) in flux.iter().enumerate() {
                     let mut full = vec![v as i64];
                     full.extend_from_slice(&left);
                     let cur = b.load(&full);
                     b.store(&full, cur + f.as_f64());
-                    self.stats.loads += 1;
-                    self.stats.stores += 1;
-                    self.stats.scalar_flops += 1;
+                    frame.stats.loads += 1;
+                    frame.stats.stores += 1;
+                    frame.stats.scalar_flops += 1;
                 }
             }
             if right[axis] < whi[axis] {
@@ -833,9 +937,9 @@ impl Interpreter {
                     full.extend_from_slice(&right);
                     let cur = b.load(&full);
                     b.store(&full, cur - f.as_f64());
-                    self.stats.loads += 1;
-                    self.stats.stores += 1;
-                    self.stats.scalar_flops += 1;
+                    frame.stats.loads += 1;
+                    frame.stats.stores += 1;
+                    frame.stats.scalar_flops += 1;
                 }
             }
             for d in (0..k).rev() {
@@ -967,5 +1071,12 @@ mod tests {
         let m = Module::new("t");
         let mut interp = Interpreter::new();
         assert!(interp.call(&m, "nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn threads_knob_clamps_to_one() {
+        assert_eq!(Interpreter::with_threads(0).threads(), 1);
+        assert_eq!(Interpreter::with_threads(4).threads(), 4);
+        assert_eq!(Interpreter::new().threads(), 1);
     }
 }

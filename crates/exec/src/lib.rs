@@ -9,7 +9,7 @@
 //!   *lowered* (loops + vectors + wavefronts) forms of a module, while
 //!   collecting dynamic [`stats::ExecStats`];
 //! * [`parallel::WavefrontPool`] — genuinely multithreaded wavefront
-//!   execution over CSR schedules (crossbeam scoped threads);
+//!   execution over CSR schedules (std scoped threads);
 //! * [`driver`] — sweep-loop helpers for in-place and out-of-place
 //!   kernels.
 //!

@@ -7,11 +7,14 @@
 //! ("a sequential for loop iterating over groups that contains a parallel
 //! for loop").
 //!
-//! The pool runs closures over *linearized sub-domain indices*; the
-//! numeric solvers use it to run wavefront Gauss-Seidel with real threads
-//! (the IR interpreter itself stays single-threaded).
+//! The pool runs closures over *linearized sub-domain indices*. It has
+//! two entry points: [`WavefrontPool::execute`] for stateless workers,
+//! and [`WavefrontPool::try_execute_stateful`], which gives each worker
+//! private state (the interpreter uses this to run
+//! `scf.execute_wavefronts` bodies with a per-thread environment and
+//! statistics frame) and propagates the first error.
 
-use crossbeam::thread;
+use std::thread;
 
 use instencil_pattern::CsrWavefronts;
 
@@ -60,15 +63,107 @@ impl WavefrontPool {
             let chunk = level.len().div_ceil(self.threads);
             thread::scope(|s| {
                 for part in level.chunks(chunk) {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for &b in part {
                             work(b);
                         }
                     });
                 }
-            })
-            .expect("wavefront worker panicked");
+            });
         }
+    }
+
+    /// Executes a fallible `work` closure over every scheduled sub-domain
+    /// with per-worker state.
+    ///
+    /// Each worker thread gets its own state from `init`; when its chunk
+    /// finishes (or fails), the state is handed to `merge` on the calling
+    /// thread. Within a level the sub-domain indices are split into
+    /// contiguous chunks, one per worker; a join barrier separates
+    /// consecutive levels, which is what publishes one level's buffer
+    /// stores to the next (see [`crate::buffer`]).
+    ///
+    /// State is always merged — including the partial state of a worker
+    /// that failed — so additive counters (e.g.
+    /// [`crate::ExecStats`]) stay consistent. Workers already running
+    /// when another worker of the same level fails are not cancelled;
+    /// no further level starts after a failure.
+    ///
+    /// # Errors
+    /// Returns the first error produced by `work` (in chunk order within
+    /// the failing level).
+    ///
+    /// # Panics
+    /// Propagates panics from worker closures.
+    pub fn try_execute_stateful<S, E, I, W, M>(
+        &self,
+        schedule: &CsrWavefronts,
+        init: I,
+        work: W,
+        mut merge: M,
+    ) -> Result<(), E>
+    where
+        S: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize) -> Result<(), E> + Sync,
+        M: FnMut(S),
+    {
+        if self.threads == 1 {
+            let mut state = init();
+            let mut outcome = Ok(());
+            'levels: for level in schedule.levels() {
+                for &b in level {
+                    if let Err(e) = work(&mut state, b) {
+                        outcome = Err(e);
+                        break 'levels;
+                    }
+                }
+            }
+            merge(state);
+            return outcome;
+        }
+        let init = &init;
+        let work = &work;
+        for level in schedule.levels() {
+            if level.is_empty() {
+                continue;
+            }
+            let chunk = level.len().div_ceil(self.threads);
+            let outcomes: Vec<(S, Result<(), E>)> = thread::scope(|s| {
+                let handles: Vec<_> = level
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            let mut state = init();
+                            let mut outcome = Ok(());
+                            for &b in part {
+                                if let Err(e) = work(&mut state, b) {
+                                    outcome = Err(e);
+                                    break;
+                                }
+                            }
+                            (state, outcome)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("wavefront worker panicked"))
+                    .collect()
+            });
+            let mut first_err = None;
+            for (state, outcome) in outcomes {
+                merge(state);
+                if first_err.is_none() {
+                    first_err = outcome.err();
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -132,5 +227,68 @@ mod tests {
         let order = Mutex::new(Vec::new());
         WavefrontPool::new(1).execute(&csr, |b| order.lock().unwrap().push(b));
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stateful_merges_every_worker() {
+        // 3 levels, 7 blocks, more workers than blocks in some levels.
+        let csr = CsrWavefronts::from_rows(vec![vec![0], vec![1, 2, 3], vec![4, 5, 6]]);
+        for threads in [1usize, 2, 4, 8] {
+            let mut total = 0usize;
+            let mut merges = 0usize;
+            WavefrontPool::new(threads)
+                .try_execute_stateful(
+                    &csr,
+                    || 0usize,
+                    |count, b| {
+                        *count += b + 1;
+                        Ok::<(), ()>(())
+                    },
+                    |count| {
+                        total += count;
+                        merges += 1;
+                    },
+                )
+                .unwrap();
+            // Sum of (b+1) over b in 0..7 regardless of thread count.
+            assert_eq!(total, 28, "threads={threads}");
+            assert!(merges >= 1);
+        }
+    }
+
+    #[test]
+    fn stateful_propagates_first_error_and_partial_state() {
+        let csr = CsrWavefronts::from_rows(vec![vec![0, 1], vec![2, 3]]);
+        for threads in [1usize, 3] {
+            let mut total = 0usize;
+            let err = WavefrontPool::new(threads)
+                .try_execute_stateful(
+                    &csr,
+                    || 0usize,
+                    |count, b| {
+                        if b >= 2 {
+                            return Err(format!("block {b} failed"));
+                        }
+                        *count += 1;
+                        Ok(())
+                    },
+                    |count| total += count,
+                )
+                .unwrap_err();
+            assert!(err.starts_with("block "), "threads={threads}: {err}");
+            // Level 0 completed before the failing level was entered.
+            assert_eq!(total, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stateful_empty_schedule() {
+        let csr = CsrWavefronts::from_rows(vec![vec![], vec![]]);
+        let mut merges = 0usize;
+        WavefrontPool::new(4)
+            .try_execute_stateful(&csr, || (), |(), _| Ok::<(), ()>(()), |()| merges += 1)
+            .unwrap();
+        // No level spawns workers, so nothing to merge (multi-thread path).
+        assert_eq!(merges, 0);
     }
 }

@@ -34,18 +34,36 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Adds another stats record into this one.
+    ///
+    /// Worker threads each accumulate a private `ExecStats` that the
+    /// wavefront coordinator merges, so every field must participate:
+    /// the exhaustive destructure makes adding a field without summing
+    /// it here a compile error rather than a silent under-count.
     pub fn merge(&mut self, other: &ExecStats) {
-        self.scalar_flops += other.scalar_flops;
-        self.vector_flops += other.vector_flops;
-        self.loads += other.loads;
-        self.stores += other.stores;
-        self.vector_loads += other.vector_loads;
-        self.vector_stores += other.vector_stores;
-        self.wavefront_levels += other.wavefront_levels;
-        self.blocks_executed += other.blocks_executed;
-        self.schedules_computed += other.schedules_computed;
-        self.reference_ops += other.reference_ops;
-        self.index_ops += other.index_ops;
+        let ExecStats {
+            scalar_flops,
+            vector_flops,
+            loads,
+            stores,
+            vector_loads,
+            vector_stores,
+            wavefront_levels,
+            blocks_executed,
+            schedules_computed,
+            reference_ops,
+            index_ops,
+        } = *other;
+        self.scalar_flops += scalar_flops;
+        self.vector_flops += vector_flops;
+        self.loads += loads;
+        self.stores += stores;
+        self.vector_loads += vector_loads;
+        self.vector_stores += vector_stores;
+        self.wavefront_levels += wavefront_levels;
+        self.blocks_executed += blocks_executed;
+        self.schedules_computed += schedules_computed;
+        self.reference_ops += reference_ops;
+        self.index_ops += index_ops;
     }
 
     /// Total dynamic floating-point work assuming `vf` lanes per vector
@@ -75,6 +93,44 @@ mod tests {
         assert_eq!(a.scalar_flops, 5);
         assert_eq!(a.loads, 1);
         assert_eq!(a.stores, 4);
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // Guard against field drift: fill every field with a distinct
+        // value and check that merging into zero reproduces it exactly.
+        // A field missing from `merge` would come back as 0 here.
+        let full = ExecStats {
+            scalar_flops: 1,
+            vector_flops: 2,
+            loads: 3,
+            stores: 4,
+            vector_loads: 5,
+            vector_stores: 6,
+            wavefront_levels: 7,
+            blocks_executed: 8,
+            schedules_computed: 9,
+            reference_ops: 10,
+            index_ops: 11,
+        };
+        let mut acc = ExecStats::default();
+        acc.merge(&full);
+        assert_eq!(acc, full);
+        acc.merge(&full);
+        let double = ExecStats {
+            scalar_flops: 2,
+            vector_flops: 4,
+            loads: 6,
+            stores: 8,
+            vector_loads: 10,
+            vector_stores: 12,
+            wavefront_levels: 14,
+            blocks_executed: 16,
+            schedules_computed: 18,
+            reference_ops: 20,
+            index_ops: 22,
+        };
+        assert_eq!(acc, double);
     }
 
     #[test]

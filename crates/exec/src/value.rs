@@ -1,7 +1,7 @@
 //! Runtime values manipulated by the interpreter.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::buffer::BufferView;
 
@@ -19,7 +19,7 @@ pub enum RtVal {
     /// A memref (buffer view).
     Buf(BufferView),
     /// An immutable `i64` array (`tensor<?xi64>` — CSR schedules).
-    I64Arr(Rc<Vec<i64>>),
+    I64Arr(Arc<Vec<i64>>),
 }
 
 impl RtVal {
@@ -113,7 +113,13 @@ mod tests {
         assert_eq!(RtVal::Int(-3).as_int(), -3);
         assert!(RtVal::Bool(true).as_bool());
         assert_eq!(RtVal::Vec(vec![1.0, 2.0]).as_vec(), &[1.0, 2.0]);
-        assert_eq!(RtVal::I64Arr(Rc::new(vec![1, 2])).as_i64_arr(), &[1, 2]);
+        assert_eq!(RtVal::I64Arr(Arc::new(vec![1, 2])).as_i64_arr(), &[1, 2]);
+    }
+
+    #[test]
+    fn values_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtVal>();
     }
 
     #[test]

@@ -1,106 +1,114 @@
 //! Property-based tests of the buffer view algebra (subviews and shifted
 //! views must compose like the affine maps they represent).
+//!
+//! Randomized via the in-tree `instencil-testkit` (the workspace builds
+//! offline, without proptest); every case is seeded and reproducible.
 
-use proptest::prelude::*;
+use instencil_testkit::{check, Rng};
 
 use instencil_exec::buffer::BufferView;
 
-fn arb_shape() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..6, 1..4)
+fn arb_shape(rng: &mut Rng) -> Vec<usize> {
+    let rank = rng.gen_range_usize(1, 4);
+    (0..rank).map(|_| rng.gen_range_usize(1, 6)).collect()
 }
 
-proptest! {
-    /// `shift_view(s)[i] == base[i - s]` for every valid coordinate.
-    #[test]
-    fn shift_view_is_coordinate_translation(
-        shape in arb_shape(),
-        shift_seed in proptest::collection::vec(-5i64..5, 3),
-    ) {
+fn delinearize(shape: &[usize], flat: usize) -> Vec<i64> {
+    let mut idx = Vec::new();
+    let mut rem = flat;
+    for &n in shape.iter().rev() {
+        idx.push((rem % n) as i64);
+        rem /= n;
+    }
+    idx.reverse();
+    idx
+}
+
+/// `shift_view(s)[i + s] == base[i]` for every valid coordinate.
+#[test]
+fn shift_view_is_coordinate_translation() {
+    check("shift_view_is_coordinate_translation", |rng| {
+        let shape = arb_shape(rng);
         let base = BufferView::alloc(&shape);
-        // Fill with a coordinate-dependent value.
         let total: usize = shape.iter().product();
         for flat in 0..total {
-            let mut idx = Vec::new();
-            let mut rem = flat;
-            for &n in shape.iter().rev() {
-                idx.push((rem % n) as i64);
-                rem /= n;
-            }
-            idx.reverse();
-            base.store(&idx, flat as f64);
+            base.store(&delinearize(&shape, flat), flat as f64);
         }
-        let shifts: Vec<i64> = shift_seed.iter().take(shape.len()).copied().collect();
+        let shifts: Vec<i64> = shape.iter().map(|_| rng.gen_range_i64(-5, 5)).collect();
         let view = base.shift_view(&shifts);
         for flat in 0..total {
-            let mut idx = Vec::new();
-            let mut rem = flat;
-            for &n in shape.iter().rev() {
-                idx.push((rem % n) as i64);
-                rem /= n;
-            }
-            idx.reverse();
+            let idx = delinearize(&shape, flat);
             let shifted: Vec<i64> = idx.iter().zip(&shifts).map(|(i, s)| i + s).collect();
-            prop_assert_eq!(view.load(&shifted), base.load(&idx));
+            assert_eq!(view.load(&shifted), base.load(&idx));
         }
-    }
+    });
+}
 
-    /// Two consecutive shifts compose additively.
-    #[test]
-    fn shifts_compose(
-        shape in arb_shape(),
-        s1 in proptest::collection::vec(-3i64..3, 3),
-        s2 in proptest::collection::vec(-3i64..3, 3),
-    ) {
+/// Two consecutive shifts compose additively.
+#[test]
+fn shifts_compose() {
+    check("shifts_compose", |rng| {
+        let shape = arb_shape(rng);
         let base = BufferView::alloc(&shape);
         base.fill(0.0);
         let k = shape.len();
-        let s1: Vec<i64> = s1.into_iter().take(k).collect();
-        let s2: Vec<i64> = s2.into_iter().take(k).collect();
+        let s1: Vec<i64> = (0..k).map(|_| rng.gen_range_i64(-3, 3)).collect();
+        let s2: Vec<i64> = (0..k).map(|_| rng.gen_range_i64(-3, 3)).collect();
         let v12 = base.shift_view(&s1).shift_view(&s2);
         let sum: Vec<i64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
         let v_sum = base.shift_view(&sum);
         // Write through one, read through the other.
-        let probe: Vec<i64> = sum.clone();
-        v12.store(&probe, 42.0);
-        prop_assert_eq!(v_sum.load(&probe), 42.0);
-    }
+        v12.store(&sum, 42.0);
+        assert_eq!(v_sum.load(&sum), 42.0);
+    });
+}
 
-    /// A full-extent subview is identity.
-    #[test]
-    fn full_subview_is_identity(shape in arb_shape()) {
+/// A full-extent subview is identity.
+#[test]
+fn full_subview_is_identity() {
+    check("full_subview_is_identity", |rng| {
+        let shape = arb_shape(rng);
         let base = BufferView::alloc(&shape);
         let zeros = vec![0i64; shape.len()];
         let sub = base.subview(&zeros, &shape);
         let idx = vec![0i64; shape.len()];
         sub.store(&idx, 7.0);
-        prop_assert_eq!(base.load(&idx), 7.0);
-        prop_assert!(sub.aliases(&base));
-    }
+        assert_eq!(base.load(&idx), 7.0);
+        assert!(sub.aliases(&base));
+    });
+}
 
-    /// Vector load equals the sequence of scalar loads.
-    #[test]
-    fn vector_load_matches_scalars(
-        n in 4usize..32,
-        start in 0usize..4,
-        lanes in 1usize..8,
-    ) {
-        prop_assume!(start + lanes <= n);
+/// Vector load equals the sequence of scalar loads.
+#[test]
+fn vector_load_matches_scalars() {
+    check("vector_load_matches_scalars", |rng| {
+        let n = rng.gen_range_usize(4, 32);
+        let start = rng.gen_range_usize(0, 4);
+        let lanes = rng.gen_range_usize(1, 8);
+        if start + lanes > n {
+            return;
+        }
         let b = BufferView::from_data(&[n], (0..n).map(|x| x as f64 * 1.5).collect());
         let v = b.load_vector(&[start as i64], lanes);
         for (l, &val) in v.iter().enumerate() {
-            prop_assert_eq!(val, b.load(&[(start + l) as i64]));
+            assert_eq!(val, b.load(&[(start + l) as i64]));
         }
-    }
+    });
+}
 
-    /// `to_vec` after `copy_from` reproduces the source exactly.
-    #[test]
-    fn copy_roundtrip(shape in arb_shape(), seed in any::<u64>()) {
+/// `to_vec` after `copy_from` reproduces the source exactly.
+#[test]
+fn copy_roundtrip() {
+    check("copy_roundtrip", |rng| {
+        let shape = arb_shape(rng);
         let total: usize = shape.iter().product();
-        let data: Vec<f64> =
-            (0..total).map(|i| ((seed.wrapping_add(i as u64) % 1000) as f64) * 0.01).collect();
+        let seed = rng.next_u64();
+        let data: Vec<f64> = (0..total)
+            .map(|i| ((seed.wrapping_add(i as u64) % 1000) as f64) * 0.01)
+            .collect();
         let src = BufferView::from_data(&shape, data.clone());
         let dst = BufferView::alloc(&shape);
         dst.copy_from(&src);
-        prop_assert_eq!(dst.to_vec(), data);
-    }
+        assert_eq!(dst.to_vec(), data);
+    });
 }

@@ -3,9 +3,10 @@
 //! Random scalar expression DAGs are built through the public builder,
 //! evaluated by the interpreter, canonicalized, re-evaluated and compared
 //! bit-for-bit (the folder uses the same f64 arithmetic as the
-//! interpreter, so equality is exact).
+//! interpreter, so equality is exact). Randomized via the in-tree
+//! `instencil-testkit` (the workspace builds offline, without proptest).
 
-use proptest::prelude::*;
+use instencil_testkit::{check_n, Rng};
 
 use instencil_exec::{Interpreter, RtVal};
 use instencil_ir::pass::CanonicalizePass;
@@ -23,16 +24,20 @@ enum Node {
     Un(u8, u16),
 }
 
-fn arb_dag() -> impl Strategy<Value = Vec<Node>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..3).prop_map(Node::Arg),
-            (-50i16..50).prop_map(Node::Const),
-            (0u8..6, any::<u16>(), any::<u16>()).prop_map(|(o, a, b)| Node::Bin(o, a, b)),
-            (0u8..2, any::<u16>()).prop_map(|(o, a)| Node::Un(o, a)),
-        ],
-        1..40,
-    )
+fn arb_dag(rng: &mut Rng) -> Vec<Node> {
+    let len = rng.gen_range_usize(1, 40);
+    (0..len)
+        .map(|_| match rng.gen_range_usize(0, 4) {
+            0 => Node::Arg(rng.gen_range_i64(0, 3) as u8),
+            1 => Node::Const(rng.gen_range_i64(-50, 50) as i16),
+            2 => Node::Bin(
+                rng.gen_range_i64(0, 6) as u8,
+                rng.next_u64() as u16,
+                rng.next_u64() as u16,
+            ),
+            _ => Node::Un(rng.gen_range_i64(0, 2) as u8, rng.next_u64() as u16),
+        })
+        .collect()
 }
 
 fn build(nodes: &[Node]) -> Module {
@@ -96,37 +101,37 @@ fn eval(m: &Module, args: (f64, f64, f64)) -> f64 {
     out[0].as_f64()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn canonicalization_preserves_value(
-        nodes in arb_dag(),
-        a in -4.0f64..4.0,
-        b in -4.0f64..4.0,
-        c in -4.0f64..4.0,
-    ) {
+#[test]
+fn canonicalization_preserves_value() {
+    check_n("canonicalization_preserves_value", 128, |rng| {
+        let nodes = arb_dag(rng);
+        let a = rng.gen_range_f64(-4.0, 4.0);
+        let b = rng.gen_range_f64(-4.0, 4.0);
+        let c = rng.gen_range_f64(-4.0, 4.0);
         let mut m = build(&nodes);
-        prop_assert!(m.verify().is_ok());
+        assert!(m.verify().is_ok());
         let before = eval(&m, (a, b, c));
         CanonicalizePass.run(&mut m).unwrap();
-        prop_assert!(m.verify().is_ok(), "canonicalized module must verify");
+        assert!(m.verify().is_ok(), "canonicalized module must verify");
         let after = eval(&m, (a, b, c));
-        prop_assert!(
+        assert!(
             before == after || (before.is_nan() && after.is_nan()),
             "canonicalization changed the result: {before} vs {after}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn canonicalized_modules_roundtrip_through_text(nodes in arb_dag()) {
+#[test]
+fn canonicalized_modules_roundtrip_through_text() {
+    check_n("canonicalized_modules_roundtrip_through_text", 128, |rng| {
+        let nodes = arb_dag(rng);
         let mut m = build(&nodes);
         CanonicalizePass.run(&mut m).unwrap();
         let text = m.to_text();
         let reparsed = instencil_ir::parse::parse_module(&text).unwrap();
-        prop_assert!(reparsed.verify().is_ok());
+        assert!(reparsed.verify().is_ok());
         // Semantics preserved through text as well.
         let x = (0.75, -1.5, 2.25);
-        prop_assert_eq!(eval(&m, x), eval(&reparsed, x));
-    }
+        assert_eq!(eval(&m, x), eval(&reparsed, x));
+    });
 }

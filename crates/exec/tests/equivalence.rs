@@ -2,8 +2,7 @@
 //! bitwise-tolerantly with the reference interpretation of the structured
 //! `cfd` ops (the paper's Eq. 2 semantics).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use instencil_testkit::Rng;
 
 use instencil_core::kernels;
 use instencil_core::pipeline::{compile, reference_module, PipelineOptions};
@@ -13,9 +12,9 @@ use instencil_exec::driver::run_sweeps;
 const TOL: f64 = 1e-12;
 
 fn random_buffer(shape: &[usize], seed: u64) -> BufferView {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let len: usize = shape.iter().product();
-    let data: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let data = rng.f64_vec(len, -1.0, 1.0);
     BufferView::from_data(shape, data)
 }
 

@@ -13,7 +13,7 @@ use crate::cost::{estimate_sweep, RunConfig};
 use crate::topology::Machine;
 
 /// Result of one autotuning search.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct TunedTiles {
     /// The winning cache-tile sizes.
     pub tile: Vec<usize>,

@@ -19,7 +19,7 @@ use instencil_pattern::{Offset, WavefrontSchedule};
 use crate::topology::Machine;
 
 /// Dynamic op counts *per interior point*, measured from generated code.
-#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PerPointCosts {
     /// Scalar floating-point ops.
     pub scalar_flops: f64,
@@ -50,7 +50,7 @@ impl PerPointCosts {
 }
 
 /// One run-configuration of the estimator.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Spatial domain extents (interior is assumed ≈ the full domain).
     pub domain: Vec<usize>,
@@ -103,7 +103,7 @@ impl RunConfig {
 }
 
 /// Result of one estimation, all in seconds (per sweep).
-#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TimeEstimate {
     /// Pure compute component of the makespan.
     pub compute_s: f64,

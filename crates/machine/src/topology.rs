@@ -12,7 +12,7 @@
 //! real compiled structure.
 
 /// A machine model: topology plus calibrated cost constants.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Machine {
     /// Human-readable name.
     pub name: String,

@@ -1,6 +1,9 @@
 //! Property-based tests for the stencil-pattern domain model.
+//!
+//! Randomized via the in-tree `instencil-testkit` (the workspace builds
+//! offline, without proptest); every case is seeded and reproducible.
 
-use proptest::prelude::*;
+use instencil_testkit::{check, check_n, Rng};
 
 use instencil_pattern::blockdeps::{block_dependences, from_block_stencil, to_block_stencil};
 use instencil_pattern::offset::{is_lex_negative, lex_compare, negate};
@@ -8,76 +11,89 @@ use instencil_pattern::schedule::WavefrontSchedule;
 use instencil_pattern::tiling::{clamp_tile_sizes, is_legal_tiling, restricted_dims};
 use instencil_pattern::{presets, StencilPattern};
 
-/// Strategy: a random valid 2-D pattern in a 3×3 or 5×5 window.
-fn arb_pattern_2d() -> impl Strategy<Value = StencilPattern> {
-    (1usize..=2).prop_flat_map(|radius| {
+/// A random valid 2-D pattern in a 3×3 or 5×5 window.
+fn arb_pattern_2d(rng: &mut Rng) -> StencilPattern {
+    loop {
+        let radius = rng.gen_range_usize(1, 3);
         let extent = 2 * radius + 1;
         let n = extent * extent;
-        proptest::collection::vec(-1i8..=1, n).prop_filter_map("valid pattern", move |mut data| {
-            // Force the center to zero and L entries to be causal by
-            // zeroing lexicographically non-negative -1 entries.
-            let center = n / 2;
-            data[center] = 0;
-            for (flat, v) in data.iter_mut().enumerate() {
-                if *v == -1 {
-                    let i = (flat / extent) as i64 - radius as i64;
-                    let j = (flat % extent) as i64 - radius as i64;
-                    if !is_lex_negative(&[i, j]) {
-                        *v = 0;
-                    }
+        let mut data: Vec<i8> = (0..n).map(|_| rng.gen_range_i64(-1, 2) as i8).collect();
+        // Force the center to zero and L entries to be causal by zeroing
+        // lexicographically non-negative -1 entries.
+        let center = n / 2;
+        data[center] = 0;
+        for (flat, v) in data.iter_mut().enumerate() {
+            if *v == -1 {
+                let i = (flat / extent) as i64 - radius as i64;
+                let j = (flat % extent) as i64 - radius as i64;
+                if !is_lex_negative(&[i, j]) {
+                    *v = 0;
                 }
             }
-            StencilPattern::new(vec![extent, extent], data).ok()
-        })
-    })
+        }
+        if let Ok(p) = StencilPattern::new(vec![extent, extent], data) {
+            return p;
+        }
+    }
 }
 
-fn arb_grid_2d() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..=6, 2)
+fn arb_grid_2d(rng: &mut Rng) -> Vec<usize> {
+    (0..2).map(|_| rng.gen_range_usize(1, 7)).collect()
 }
 
-proptest! {
-    /// Every constructed pattern satisfies the causality invariant.
-    #[test]
-    fn l_offsets_always_causal(p in arb_pattern_2d()) {
+/// Every constructed pattern satisfies the causality invariant.
+#[test]
+fn l_offsets_always_causal() {
+    check("l_offsets_always_causal", |rng| {
+        let p = arb_pattern_2d(rng);
         for r in p.l_offsets() {
-            prop_assert!(is_lex_negative(&r), "L offset {r:?} not causal");
+            assert!(is_lex_negative(&r), "L offset {r:?} not causal");
         }
-    }
+    });
+}
 
-    /// accessed_offsets is sorted, unique, and contains the center.
-    #[test]
-    fn accessed_offsets_sorted_unique(p in arb_pattern_2d()) {
+/// accessed_offsets is sorted, unique, and contains the center.
+#[test]
+fn accessed_offsets_sorted_unique() {
+    check("accessed_offsets_sorted_unique", |rng| {
+        let p = arb_pattern_2d(rng);
         let acc = p.accessed_offsets();
-        prop_assert!(acc.contains(&vec![0, 0]));
+        assert!(acc.contains(&vec![0, 0]));
         for w in acc.windows(2) {
-            prop_assert!(lex_compare(&w[0], &w[1]).is_lt());
+            assert!(lex_compare(&w[0], &w[1]).is_lt());
         }
-        prop_assert_eq!(acc.len(), p.l_offsets().len() + p.u_offsets().len() + 1);
-    }
+        assert_eq!(acc.len(), p.l_offsets().len() + p.u_offsets().len() + 1);
+    });
+}
 
-    /// Negation is an involution on offsets.
-    #[test]
-    fn negate_involution(r in proptest::collection::vec(-3i64..=3, 1..4)) {
-        prop_assert_eq!(negate(&negate(&r)), r);
-    }
+/// Negation is an involution on offsets.
+#[test]
+fn negate_involution() {
+    check("negate_involution", |rng| {
+        let len = rng.gen_range_usize(1, 4);
+        let r: Vec<i64> = (0..len).map(|_| rng.gen_range_i64(-3, 4)).collect();
+        assert_eq!(negate(&negate(&r)), r);
+    });
+}
 
-    /// Clamped tile sizes are always legal.
-    #[test]
-    fn clamped_tiles_are_legal(
-        p in arb_pattern_2d(),
-        t0 in 1usize..64,
-        t1 in 1usize..64,
-    ) {
+/// Clamped tile sizes are always legal.
+#[test]
+fn clamped_tiles_are_legal() {
+    check("clamped_tiles_are_legal", |rng| {
+        let p = arb_pattern_2d(rng);
+        let t0 = rng.gen_range_usize(1, 64);
+        let t1 = rng.gen_range_usize(1, 64);
         let tiles = clamp_tile_sizes(&p, &[t0, t1], &[512, 512]);
-        prop_assert!(is_legal_tiling(&p, &tiles), "clamped {tiles:?} illegal for {p:?}");
-    }
+        assert!(is_legal_tiling(&p, &tiles), "clamped {tiles:?} illegal for {p:?}");
+    });
+}
 
-    /// Restricted dimensions really are necessary: if a dim is restricted
-    /// and we tile it with size >= 2 while the offending offset reaches a
-    /// positive component, legality fails for some tile choice.
-    #[test]
-    fn restriction_is_sound(p in arb_pattern_2d()) {
+/// Restricted dimensions really are necessary: pinning every restricted
+/// dim to tile size 1 always yields a legal tiling.
+#[test]
+fn restriction_is_sound() {
+    check("restriction_is_sound", |rng| {
+        let p = arb_pattern_2d(rng);
         let restricted = restricted_dims(&p);
         let mut tiles = vec![8usize; p.rank()];
         for (d, &r) in restricted.iter().enumerate() {
@@ -85,46 +101,171 @@ proptest! {
                 tiles[d] = 1;
             }
         }
-        prop_assert!(is_legal_tiling(&p, &tiles));
-    }
+        assert!(is_legal_tiling(&p, &tiles));
+    });
+}
 
-    /// The Eq. (3) schedule respects every dependence and partitions the
-    /// grid.
-    #[test]
-    fn schedule_valid_and_complete(p in arb_pattern_2d(), grid in arb_grid_2d()) {
+/// The Eq. (3) schedule respects every dependence and partitions the
+/// grid.
+#[test]
+fn schedule_valid_and_complete() {
+    check("schedule_valid_and_complete", |rng| {
+        let p = arb_pattern_2d(rng);
+        let grid = arb_grid_2d(rng);
         let restricted = restricted_dims(&p);
-        let tiles: Vec<usize> =
-            restricted.iter().map(|&r| if r { 1 } else { 4 }).collect();
+        let tiles: Vec<usize> = restricted.iter().map(|&r| if r { 1 } else { 4 }).collect();
         let deps = block_dependences(&p, &tiles).unwrap();
         let s = WavefrontSchedule::compute(&grid, &deps);
-        prop_assert!(s.validate(&deps));
+        assert!(s.validate(&deps));
         let total: usize = s.wavefronts().levels().map(<[_]>::len).sum();
-        prop_assert_eq!(total, grid.iter().product::<usize>());
-    }
+        assert_eq!(total, grid.iter().product::<usize>());
+    });
+}
 
-    /// Block-stencil attribute encoding round-trips when offsets fit in
-    /// the 3^k window.
-    #[test]
-    fn block_stencil_roundtrip(p in arb_pattern_2d()) {
+/// Independent longest-dependence-path oracle: memoized top-down search
+/// over the dependence DAG (`compute` uses a bottom-up lexicographic
+/// sweep instead, so agreement is a genuine cross-check).
+fn longest_path(
+    flat: usize,
+    grid: &[usize],
+    deps: &[Vec<i64>],
+    memo: &mut Vec<Option<usize>>,
+) -> usize {
+    if let Some(v) = memo[flat] {
+        return v;
+    }
+    let mut coord = vec![0i64; grid.len()];
+    let mut rem = flat;
+    for d in (0..grid.len()).rev() {
+        coord[d] = (rem % grid[d]) as i64;
+        rem /= grid[d];
+    }
+    let mut best = 0usize;
+    'dep: for r in deps {
+        let mut src = 0usize;
+        for d in 0..grid.len() {
+            let c = coord[d] + r[d];
+            if c < 0 || c >= grid[d] as i64 {
+                continue 'dep;
+            }
+            src = src * grid[d] + c as usize;
+        }
+        best = best.max(longest_path(src, grid, deps, memo) + 1);
+    }
+    memo[flat] = Some(best);
+    best
+}
+
+/// Eq. (3) on *random grids and random lex-negative dependence sets*
+/// (not derived from a stencil pattern): (i) θ is valid — every
+/// dependence that stays inside the grid crosses strictly increasing
+/// levels, checked directly from the CSR encoding; (ii) the level count
+/// equals `1 + longest dependence path`, computed by the independent
+/// oracle above (the schedule is latency-optimal, not merely legal).
+#[test]
+fn schedule_random_deps_valid_and_latency_optimal() {
+    check_n("schedule_random_deps_valid_and_latency_optimal", 128, |rng| {
+        let rank = rng.gen_range_usize(1, 4);
+        let grid: Vec<usize> = (0..rank).map(|_| rng.gen_range_usize(1, 7)).collect();
+        let n: usize = grid.iter().product();
+        // 1..=4 distinct lex-negative offsets in {-1, 0, 1}^rank.
+        let want = rng.gen_range_usize(1, 5);
+        let mut deps: Vec<Vec<i64>> = Vec::new();
+        let mut attempts = 0;
+        while deps.len() < want && attempts < 200 {
+            attempts += 1;
+            let r: Vec<i64> = (0..rank).map(|_| rng.gen_range_i64(-1, 2)).collect();
+            if is_lex_negative(&r) && !deps.contains(&r) {
+                deps.push(r);
+            }
+        }
+        if deps.is_empty() {
+            return; // rank-1 grids admit only one such offset; never empty in practice
+        }
+        let s = WavefrontSchedule::compute(&grid, &deps);
+
+        // Recover θ from the CSR rows (block → level index) and check the
+        // partition: every block scheduled exactly once.
+        let mut theta = vec![usize::MAX; n];
+        for (lvl, row) in s.wavefronts().levels().enumerate() {
+            for &b in row {
+                assert_eq!(theta[b], usize::MAX, "block {b} scheduled twice");
+                theta[b] = lvl;
+            }
+        }
+        assert!(
+            theta.iter().all(|&t| t != usize::MAX),
+            "some block never scheduled"
+        );
+
+        // (i) Every in-grid dependence crosses strictly increasing levels.
+        let mut coord = vec![0i64; rank];
+        for flat in 0..n {
+            let mut rem = flat;
+            for d in (0..rank).rev() {
+                coord[d] = (rem % grid[d]) as i64;
+                rem /= grid[d];
+            }
+            'dep: for r in &deps {
+                let mut src = 0usize;
+                for d in 0..rank {
+                    let c = coord[d] + r[d];
+                    if c < 0 || c >= grid[d] as i64 {
+                        continue 'dep;
+                    }
+                    src = src * grid[d] + c as usize;
+                }
+                assert!(
+                    theta[src] < theta[flat],
+                    "dep {r:?}: θ({src}) = {} !< θ({flat}) = {} on grid {grid:?}",
+                    theta[src],
+                    theta[flat]
+                );
+            }
+        }
+
+        // (ii) Latency optimality: level count = 1 + longest path.
+        let mut memo = vec![None; n];
+        let longest = (0..n)
+            .map(|flat| longest_path(flat, &grid, &deps, &mut memo))
+            .max()
+            .unwrap();
+        assert_eq!(
+            s.num_levels(),
+            longest + 1,
+            "grid {grid:?} deps {deps:?}: schedule is not latency-optimal"
+        );
+    });
+}
+
+/// Block-stencil attribute encoding round-trips when offsets fit in the
+/// 3^k window.
+#[test]
+fn block_stencil_roundtrip() {
+    check("block_stencil_roundtrip", |rng| {
+        let p = arb_pattern_2d(rng);
         let restricted = restricted_dims(&p);
         // Tiles >= radius so every dependence reaches at most one block.
-        let tiles: Vec<usize> =
-            restricted.iter().map(|&r| if r { 1 } else { 8 }).collect();
+        let tiles: Vec<usize> = restricted.iter().map(|&r| if r { 1 } else { 8 }).collect();
         let deps = block_dependences(&p, &tiles).unwrap();
         if deps.iter().all(|b| b.iter().all(|&x| (-1..=1).contains(&x))) {
             let (shape, data) = to_block_stencil(p.rank(), &deps);
-            prop_assert_eq!(from_block_stencil(&shape, &data), deps);
+            assert_eq!(from_block_stencil(&shape, &data), deps);
         }
-    }
+    });
+}
 
-    /// Schedule latency is monotone in grid size for fixed GS deps.
-    #[test]
-    fn latency_monotone(n in 1usize..8, m in 1usize..8) {
+/// Schedule latency is monotone in grid size for fixed GS deps.
+#[test]
+fn latency_monotone() {
+    check("latency_monotone", |rng| {
+        let n = rng.gen_range_usize(1, 8);
+        let m = rng.gen_range_usize(1, 8);
         let deps = vec![vec![-1, 0], vec![0, -1]];
         let s1 = WavefrontSchedule::compute(&[n, m], &deps);
         let s2 = WavefrontSchedule::compute(&[n + 1, m], &deps);
-        prop_assert!(s2.num_levels() >= s1.num_levels());
-    }
+        assert!(s2.num_levels() >= s1.num_levels());
+    });
 }
 
 /// Deterministic regression cases alongside the properties.

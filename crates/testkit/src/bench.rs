@@ -1,0 +1,94 @@
+//! A minimal wall-clock benchmarking harness (offline stand-in for
+//! criterion).
+//!
+//! Each measurement runs a short calibration phase to pick an iteration
+//! count that fills the per-sample time budget, then reports the
+//! min/median/mean time per iteration over a fixed number of samples.
+//! Set `INSTENCIL_BENCH_FAST=1` to run a single sample of a single
+//! iteration (used to smoke-test the benches in CI).
+
+use std::time::{Duration, Instant};
+
+/// A named group of measurements, mirroring criterion's `benchmark_group`.
+pub struct Group {
+    name: String,
+    samples: usize,
+    budget: Duration,
+    fast: bool,
+}
+
+impl Group {
+    /// Starts a group with default settings (20 samples, ~20ms budget per
+    /// sample).
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            samples: 20,
+            budget: Duration::from_millis(20),
+            fast: std::env::var_os("INSTENCIL_BENCH_FAST").is_some(),
+        }
+    }
+
+    /// Overrides the number of samples (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Measures `f`, printing one line of results.
+    pub fn bench(&self, id: impl AsRef<str>, mut f: impl FnMut()) {
+        let id = id.as_ref();
+        if self.fast {
+            let t0 = Instant::now();
+            f();
+            print_row(&self.name, id, &[t0.elapsed()], 1);
+            return;
+        }
+        // Calibrate: how many iterations fit the per-sample budget?
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            times.push(t0.elapsed() / iters);
+        }
+        times.sort();
+        print_row(&self.name, id, &times, iters);
+    }
+
+    /// Ends the group (no-op; kept for criterion-like call sites).
+    pub fn finish(&self) {}
+}
+
+fn print_row(group: &str, id: &str, sorted: &[Duration], iters: u32) {
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{id:<32} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {iters} iters)",
+        min,
+        median,
+        mean,
+        sorted.len(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut g = Group::new("test-group");
+        g.sample_size(2);
+        let mut count = 0u64;
+        g.bench("noop", || count += 1);
+        assert!(count > 0);
+        g.finish();
+    }
+}

@@ -59,7 +59,9 @@ pub mod prelude {
     };
     pub use instencil_core::pipeline::{compile, reference_module, PipelineOptions};
     pub use instencil_exec::buffer::BufferView;
-    pub use instencil_exec::driver::{run_jacobi_sweeps, run_sweeps};
+    pub use instencil_exec::driver::{
+        run_compiled_sweeps, run_jacobi_sweeps, run_sweeps, run_sweeps_threaded,
+    };
     pub use instencil_exec::{Interpreter, RtVal, WavefrontPool};
     pub use instencil_ir::{FuncBuilder, Module, Type};
     pub use instencil_machine::{autotune, estimate_sweep, xeon_6152_dual, RunConfig};
