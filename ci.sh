@@ -35,4 +35,7 @@ cargo test $OFFLINE --workspace -q
 echo "==> cargo clippy -D warnings"
 cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 
+echo "==> engines bench smoke (interp vs bytecode, writes BENCH_exec.json)"
+INSTENCIL_BENCH_FAST=1 cargo bench $OFFLINE -p instencil-bench --bench engines
+
 echo "CI OK"

@@ -1,0 +1,102 @@
+//! Interpreter vs bytecode engine on generated kernels.
+//!
+//! Measures ns/point of one full sweep of the compiled 5-point 2D
+//! Gauss-Seidel (the profiling-scale case of `generated.rs`) on both
+//! execution engines, and writes the numbers to `BENCH_exec.json` so CI
+//! can track the speedup. The engines are bit-identical (enforced by
+//! `tests/engine_equiv.rs`); this bench records what that identity
+//! costs — or rather, what compiling to tapes buys: the acceptance bar
+//! for the bytecode engine is >= 5x on this case.
+//!
+//! `INSTENCIL_BENCH_FAST=1` shrinks the sampling to a CI smoke run; the
+//! JSON is written either way.
+
+use std::time::Instant;
+
+use instencil_bench::cases::paper_cases;
+use instencil_core::pipeline::{compile, PipelineOptions};
+use instencil_exec::{buffer::BufferView, BytecodeEngine, Interpreter, RtVal};
+
+struct Row {
+    engine: &'static str,
+    case: String,
+    ns_per_point: f64,
+}
+
+/// Minimum time of `samples` runs of one sweep, in ns.
+fn measure(samples: usize, mut sweep: impl FnMut()) -> f64 {
+    sweep(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        sweep();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    let fast = std::env::var_os("INSTENCIL_BENCH_FAST").is_some();
+    let samples = if fast { 3 } else { 15 };
+    let case = paper_cases()
+        .into_iter()
+        .find(|c| c.name == "gs5")
+        .expect("gs5 case");
+    let module = case.module();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (label, vf) in [("scalar", None), ("vf8", Some(8))] {
+        let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
+            .vectorize(vf);
+        let compiled = compile(&module, &opts).unwrap();
+        let mut shape = vec![case.nb_var];
+        shape.extend(&case.profile_domain);
+        let points: usize = shape.iter().product();
+        let buffers: Vec<BufferView> = (0..case.n_buffers)
+            .map(|_| BufferView::alloc(&shape))
+            .collect();
+        buffers[0].fill(1.0);
+        let args = || -> Vec<RtVal> { buffers.iter().cloned().map(RtVal::Buf).collect() };
+
+        let mut interp = Interpreter::new();
+        let t_interp = measure(samples, || {
+            interp.call(&compiled.module, case.func, args()).unwrap();
+        });
+        let mut engine = BytecodeEngine::compile(&compiled.module).unwrap();
+        let t_bytecode = measure(samples, || {
+            engine.call(case.func, args()).unwrap();
+        });
+
+        for (engine_name, t) in [("interp", t_interp), ("bytecode", t_bytecode)] {
+            let ns = t / points as f64;
+            println!("engines/{engine_name}/gs5-{label:<8} {ns:>10.1} ns/point");
+            rows.push(Row {
+                engine: engine_name,
+                case: format!("gs5-{label}"),
+                ns_per_point: ns,
+            });
+        }
+        println!(
+            "engines/speedup/gs5-{label:<9} {:>9.2}x",
+            t_interp / t_bytecode
+        );
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"engine\": \"{}\", \"case\": \"{}\", \"ns_per_point\": {:.2}}}{}\n",
+            r.engine,
+            r.case,
+            r.ns_per_point,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    // Cargo runs benches with cwd = the package dir; pin the output to
+    // the workspace root (override with INSTENCIL_BENCH_JSON).
+    let out = std::env::var("INSTENCIL_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json").into());
+    std::fs::write(&out, &json).expect("write BENCH_exec.json");
+    println!("wrote {out} ({} rows)", rows.len());
+}

@@ -11,7 +11,7 @@
 //! generated code structure.
 
 use instencil_baseline::{elsa_run_config, pluto_autotune, pluto_run_config, PlutoVariant};
-use instencil_machine::autotune::autotune;
+use instencil_machine::autotune::autotune_or_fallback;
 use instencil_machine::cost::{estimate_sweep, PerPointCosts, RunConfig};
 use instencil_machine::topology::{xeon_6152_dual, Machine};
 use instencil_pattern::blockdeps;
@@ -343,8 +343,8 @@ pub fn table2(m: &Machine) -> Vec<TileRow> {
                 p.costs = profiles.vector.costs;
                 p
             };
-            let t10 = autotune(m, &case.pattern, &proto, 10);
-            let t44 = autotune(m, &case.pattern, &proto, 44);
+            let t10 = autotune_or_fallback(m, &case.pattern, &proto, 10);
+            let t44 = autotune_or_fallback(m, &case.pattern, &proto, 44);
             TileRow {
                 kernel: case.display.to_string(),
                 tile_1_10: t10.tile,

@@ -49,6 +49,28 @@ impl From<PassError> for CompileError {
     }
 }
 
+/// Which execution engine runs the lowered module.
+///
+/// Both engines are bit-identical (results *and* `ExecStats` counters —
+/// enforced by the `engine_equiv` differential tests), so this knob
+/// trades debuggability against speed, never semantics:
+///
+/// * [`Engine::Bytecode`] (the default) compiles each function once into
+///   flat register-machine tapes and is what wall-clock numbers should
+///   be measured on;
+/// * [`Engine::Interp`] re-walks the IR tree per executed op — the
+///   reference semantics, and the only engine able to execute structured
+///   `cfd` reference modules (drivers fall back to it automatically when
+///   bytecode compilation reports an unsupported op).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Tree-walking reference interpreter.
+    Interp,
+    /// Compiled bytecode tapes (default).
+    #[default]
+    Bytecode,
+}
+
 /// Options of the full pipeline (one point of the §4.2 ablation space).
 #[derive(Clone, Debug)]
 pub struct PipelineOptions {
@@ -69,6 +91,9 @@ pub struct PipelineOptions {
     /// is identical for every value, and so are the computed results
     /// (sub-domains within a level are independent by Eq. (3)).
     pub threads: usize,
+    /// Execution engine for the lowered module (runtime knob; the
+    /// generated IR is identical either way).
+    pub engine: Engine,
 }
 
 impl PipelineOptions {
@@ -81,6 +106,7 @@ impl PipelineOptions {
             fuse: false,
             vectorize: None,
             threads: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -109,6 +135,13 @@ impl PipelineOptions {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the execution engine.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -221,6 +254,16 @@ mod tests {
         assert_eq!(o.threads, 4);
         let c = compile(&kernels::gauss_seidel_5pt_module(), &o).unwrap();
         assert_eq!(c.options.threads, 4);
+    }
+
+    #[test]
+    fn engine_knob_defaults_to_bytecode_and_persists() {
+        let o = PipelineOptions::new(vec![8, 8], vec![4, 4]);
+        assert_eq!(o.engine, Engine::Bytecode, "bytecode is the default");
+        let o = o.engine(Engine::Interp);
+        assert_eq!(o.engine, Engine::Interp);
+        let c = compile(&kernels::gauss_seidel_5pt_module(), &o).unwrap();
+        assert_eq!(c.options.engine, Engine::Interp);
     }
 
     #[test]

@@ -93,9 +93,42 @@ impl BufferView {
         self.shape[d]
     }
 
-    /// Whether two views share storage.
+    /// Whether two views may touch the same elements.
+    ///
+    /// Views on different allocations never alias. Views on the same
+    /// allocation are compared by their addressable flat-index intervals:
+    /// two *disjoint* subviews of one buffer (e.g. complementary halves)
+    /// do not alias. The answer stays conservative for genuinely
+    /// overlapping intervals — stride gaps could still make the element
+    /// sets disjoint, but interval overlap is reported as aliasing.
     pub fn aliases(&self, other: &BufferView) -> bool {
-        Arc::ptr_eq(&self.storage, &other.storage)
+        if !Arc::ptr_eq(&self.storage, &other.storage) {
+            return false;
+        }
+        match (self.flat_range(), other.flat_range()) {
+            (Some((a_lo, a_hi)), Some((b_lo, b_hi))) => a_lo <= b_hi && b_lo <= a_hi,
+            // An empty view addresses no elements.
+            _ => false,
+        }
+    }
+
+    /// Inclusive `[lo, hi]` interval of flat indices this view can
+    /// address, or `None` when the view is empty.
+    fn flat_range(&self) -> Option<(isize, isize)> {
+        if self.shape.contains(&0) {
+            return None;
+        }
+        let mut lo = self.base;
+        let mut hi = self.base;
+        for d in 0..self.rank() {
+            let extent = (self.shape[d] - 1) as isize * self.strides[d];
+            if extent >= 0 {
+                hi += extent;
+            } else {
+                lo += extent;
+            }
+        }
+        Some((lo, hi))
     }
 
     #[inline]
@@ -113,6 +146,47 @@ impl BufferView {
             flat += local as isize * self.strides[d];
         }
         flat
+    }
+
+    /// Bounds-checked flat index from an index iterator (no slice needed;
+    /// the bytecode engine feeds register values directly).
+    #[inline]
+    fn flat_index_iter(&self, idx: impl IntoIterator<Item = i64>) -> isize {
+        let mut flat = self.base;
+        let mut d = 0usize;
+        for x in idx {
+            assert!(d < self.rank(), "index rank mismatch");
+            let local = x - self.origin[d];
+            assert!(
+                local >= 0 && (local as usize) < self.shape[d],
+                "index {x} out of bounds (dim {d}: valid [{}, {}))",
+                self.origin[d],
+                self.origin[d] + self.shape[d] as i64
+            );
+            flat += local as isize * self.strides[d];
+            d += 1;
+        }
+        assert_eq!(d, self.rank(), "index rank mismatch");
+        flat
+    }
+
+    /// Scalar load with indices supplied by an iterator (allocation-free
+    /// for callers that hold indices in registers).
+    ///
+    /// # Panics
+    /// Panics when the index is out of the view's valid range.
+    pub fn load_iter(&self, idx: impl IntoIterator<Item = i64>) -> f64 {
+        let flat = self.flat_index_iter(idx);
+        f64::from_bits(self.storage[flat as usize].load(Ordering::Relaxed))
+    }
+
+    /// Scalar store with indices supplied by an iterator.
+    ///
+    /// # Panics
+    /// Panics when the index is out of the view's valid range.
+    pub fn store_iter(&self, idx: impl IntoIterator<Item = i64>, value: f64) {
+        let flat = self.flat_index_iter(idx);
+        self.storage[flat as usize].store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Scalar load.
@@ -133,23 +207,71 @@ impl BufferView {
         self.storage[flat as usize].store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Whether a `lanes`-wide run starting at `idx` along the last
+    /// dimension is contiguous in storage and fully in bounds — the fast
+    /// path shared by [`BufferView::load_vector`] and
+    /// [`BufferView::store_vector`]: one bounds check for the whole run,
+    /// then plain consecutive element accesses.
+    #[inline]
+    fn contiguous_run(&self, idx: &[i64], lanes: usize) -> Option<usize> {
+        let last = self.rank() - 1;
+        if self.strides[last] != 1 {
+            return None;
+        }
+        let local = idx[last] - self.origin[last];
+        if local < 0 || (local as usize) + lanes > self.shape[last] {
+            return None;
+        }
+        // `flat_index` re-checks the leading dimensions (checking the
+        // innermost start a second time costs nothing measurable).
+        Some(self.flat_index(idx) as usize)
+    }
+
     /// Reads `lanes` consecutive elements along the last dimension.
     pub fn load_vector(&self, idx: &[i64], lanes: usize) -> Vec<f64> {
-        let mut out = Vec::with_capacity(lanes);
-        let mut cursor = idx.to_vec();
-        for l in 0..lanes {
-            *cursor.last_mut().unwrap() = idx[idx.len() - 1] + l as i64;
-            out.push(self.load(&cursor));
-        }
+        let mut out = vec![0.0; lanes];
+        self.load_vector_into(idx, &mut out);
         out
     }
 
-    /// Writes `values` consecutively along the last dimension.
+    /// Reads `out.len()` consecutive elements along the last dimension
+    /// into `out` without allocating. Contiguous views (innermost stride
+    /// 1) take a single-bounds-check fast path over the lane run.
+    pub fn load_vector_into(&self, idx: &[i64], out: &mut [f64]) {
+        if let Some(flat) = self.contiguous_run(idx, out.len()) {
+            for (l, o) in out.iter_mut().enumerate() {
+                *o = f64::from_bits(self.storage[flat + l].load(Ordering::Relaxed));
+            }
+            return;
+        }
+        // Strided (or out-of-range, which panics like a scalar access).
+        let last = idx.len() - 1;
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.load_iter(
+                idx.iter()
+                    .enumerate()
+                    .map(|(d, &x)| if d == last { x + l as i64 } else { x }),
+            );
+        }
+    }
+
+    /// Writes `values` consecutively along the last dimension. Contiguous
+    /// views (innermost stride 1) take a single-bounds-check fast path.
     pub fn store_vector(&self, idx: &[i64], values: &[f64]) {
-        let mut cursor = idx.to_vec();
+        if let Some(flat) = self.contiguous_run(idx, values.len()) {
+            for (l, &v) in values.iter().enumerate() {
+                self.storage[flat + l].store(v.to_bits(), Ordering::Relaxed);
+            }
+            return;
+        }
+        let last = idx.len() - 1;
         for (l, &v) in values.iter().enumerate() {
-            *cursor.last_mut().unwrap() = idx[idx.len() - 1] + l as i64;
-            self.store(&cursor, v);
+            self.store_iter(
+                idx.iter()
+                    .enumerate()
+                    .map(|(d, &x)| if d == last { x + l as i64 } else { x }),
+                v,
+            );
         }
     }
 
@@ -355,6 +477,77 @@ mod tests {
         let v = tmp.shift_view(&[5, 5]);
         v.fill(3.0);
         assert_eq!(tmp.to_vec(), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn disjoint_subviews_do_not_alias() {
+        let b = BufferView::alloc(&[4, 8]);
+        let top = b.subview(&[0, 0], &[2, 8]);
+        let bottom = b.subview(&[2, 0], &[2, 8]);
+        assert!(!top.aliases(&bottom), "disjoint halves must not alias");
+        assert!(top.aliases(&b) && bottom.aliases(&b));
+        // Overlapping windows still alias.
+        let mid = b.subview(&[1, 0], &[2, 8]);
+        assert!(top.aliases(&mid) && bottom.aliases(&mid));
+        // Different allocations never alias.
+        assert!(!b.aliases(&BufferView::alloc(&[4, 8])));
+    }
+
+    #[test]
+    fn disjoint_row_segments_do_not_alias() {
+        let b = BufferView::alloc(&[1, 16]);
+        let left = b.subview(&[0, 0], &[1, 8]);
+        let right = b.subview(&[0, 8], &[1, 8]);
+        assert!(!left.aliases(&right));
+        assert!(left.aliases(&left.shift_view(&[0, 3])));
+    }
+
+    #[test]
+    fn empty_views_alias_nothing() {
+        let b = BufferView::alloc(&[4, 4]);
+        let empty = b.subview(&[1, 1], &[0, 2]);
+        assert!(!empty.aliases(&b));
+        assert!(!b.aliases(&empty));
+        assert!(!empty.aliases(&empty));
+    }
+
+    #[test]
+    fn load_iter_matches_load() {
+        let b = BufferView::from_data(&[3, 4], (0..12).map(f64::from).collect());
+        let v = b.subview(&[1, 1], &[2, 2]).shift_view(&[5, 5]);
+        assert_eq!(v.load_iter([5i64, 6].into_iter()), v.load(&[5, 6]));
+        v.store_iter([6i64, 5], -3.0);
+        assert_eq!(v.load(&[6, 5]), -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn load_iter_bounds_checked() {
+        let b = BufferView::alloc(&[2, 2]);
+        let _ = b.load_iter([0i64, 2]);
+    }
+
+    #[test]
+    fn vector_fast_path_matches_strided_path() {
+        // A subview keeps innermost stride 1 → fast path; compare against
+        // per-lane scalar loads.
+        let b = BufferView::from_data(&[4, 8], (0..32).map(f64::from).collect());
+        let s = b.subview(&[1, 2], &[2, 5]);
+        let mut out = [0.0; 4];
+        s.load_vector_into(&[1, 1], &mut out);
+        let expect: Vec<f64> = (0..4).map(|l| s.load(&[1, 1 + l])).collect();
+        assert_eq!(out.to_vec(), expect);
+        s.store_vector(&[0, 0], &[9.0, 8.0, 7.0]);
+        assert_eq!(s.load(&[0, 0]), 9.0);
+        assert_eq!(s.load(&[0, 2]), 7.0);
+        assert_eq!(b.load(&[1, 2]), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn vector_run_past_view_edge_panics() {
+        let b = BufferView::alloc(&[2, 4]);
+        let _ = b.load_vector(&[0, 2], 4);
     }
 
     #[test]

@@ -1,0 +1,1147 @@
+//! Compiled bytecode execution of lowered stencil modules.
+//!
+//! The tree-walking [`crate::interp::Interpreter`] re-traverses
+//! `Operation` structs, clones [`crate::value::RtVal`]s (a buffer operand
+//! clone is three heap allocations), and allocates per grid point. That
+//! makes it a fine *semantic oracle* and a terrible *clock*. This module
+//! is the clock: [`super::compile::compile_program`] translates each
+//! function **once** into flat register-machine instruction tapes
+//! ([`Instr`]) with
+//!
+//! * pre-resolved register slots per SSA value (typed register files — no
+//!   `RtVal` boxing, no environment vector of `Option`s),
+//! * pre-resolved buffer bindings (buffer-valued SSA values live in a
+//!   slot table; loads borrow the view instead of cloning it),
+//! * a reusable scalar/vector scratch file (vector registers are lane
+//!   ranges of one flat `f64` file — no `Vec<f64>` per vector op),
+//! * direct opcode dispatch over a closed [`Instr`] enum (no string
+//!   formatting, no attribute lookups on the hot path).
+//!
+//! Whole tiles and wavefront blocks are driven through the tapes by
+//! [`BytecodeEngine`], which mirrors the interpreter's API (including the
+//! `threads` knob: `scf.execute_wavefronts` levels run on the same
+//! [`WavefrontPool`]) and counts the **same** [`ExecStats`] — results and
+//! statistics are bit-identical to the interpreter, which the
+//! `engine_equiv` differential tests enforce for every pipeline variant.
+
+use std::sync::Arc;
+
+use instencil_ir::{CmpPred, Module};
+use instencil_pattern::CsrWavefronts;
+
+use crate::buffer::BufferView;
+use crate::compile::{compile_program, BcCompileError};
+use crate::interp::ExecError;
+use crate::parallel::WavefrontPool;
+use crate::stats::ExecStats;
+use crate::value::RtVal;
+
+/// A typed register: class + slot in the class's file (vector registers
+/// carry their lane-range start and width).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Reg {
+    /// Scalar `f64` (also `f32`).
+    F(u32),
+    /// Integer / index / `i1` (booleans stored as 0/1).
+    I(u32),
+    /// Vector: `lanes` consecutive slots of the flat vector file at `off`.
+    V {
+        /// First lane slot.
+        off: u32,
+        /// Lane count.
+        lanes: u32,
+    },
+    /// Buffer view slot.
+    B(u32),
+    /// Immutable `i64` array slot (CSR schedules).
+    A(u32),
+}
+
+/// A register-to-register copy (same class on both sides).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Move {
+    /// Destination register.
+    pub dst: Reg,
+    /// Source register.
+    pub src: Reg,
+}
+
+/// Scalar/vector float binary operator.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Max,
+    Min,
+    Pow,
+}
+
+impl FOp {
+    #[inline]
+    fn apply(self, x: f64, y: f64) -> f64 {
+        match self {
+            FOp::Add => x + y,
+            FOp::Sub => x - y,
+            FOp::Mul => x * y,
+            FOp::Div => x / y,
+            FOp::Max => x.max(y),
+            FOp::Min => x.min(y),
+            FOp::Pow => x.powf(y),
+        }
+    }
+}
+
+/// Scalar/vector float unary operator.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FUn {
+    Neg,
+    Sqrt,
+    Abs,
+    Exp,
+}
+
+impl FUn {
+    #[inline]
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            FUn::Neg => -x,
+            FUn::Sqrt => x.sqrt(),
+            FUn::Abs => x.abs(),
+            FUn::Exp => x.exp(),
+        }
+    }
+}
+
+/// Integer binary operator (division/remainder check for zero at run
+/// time, exactly like the interpreter).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum IOp {
+    Add,
+    Sub,
+    Mul,
+    FloorDiv,
+    CeilDiv,
+    Rem,
+    Min,
+    Max,
+}
+
+/// One dimension of a `memref.alloc` shape.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DimSpec {
+    /// Statically known extent.
+    Static(usize),
+    /// Extent read from an integer register.
+    Dyn(u32),
+}
+
+/// One bytecode instruction. Registers are plain `u32` slots into the
+/// class-specific files; `Box<[...]>` operand lists are built once at
+/// compile time and only *read* on the hot path.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    ConstF {
+        dst: u32,
+        v: f64,
+    },
+    ConstI {
+        dst: u32,
+        v: i64,
+    },
+    ConstV {
+        off: u32,
+        lanes: u32,
+        v: f64,
+    },
+    BinF {
+        op: FOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BinV {
+        op: FOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        lanes: u32,
+    },
+    UnF {
+        op: FUn,
+        dst: u32,
+        a: u32,
+    },
+    UnV {
+        op: FUn,
+        dst: u32,
+        a: u32,
+        lanes: u32,
+    },
+    FmaF {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    FmaV {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        lanes: u32,
+    },
+    BinI {
+        op: IOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpI {
+        pred: CmpPred,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpF {
+        pred: CmpPred,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    SelF {
+        dst: u32,
+        cond: u32,
+        t: u32,
+        e: u32,
+    },
+    SelI {
+        dst: u32,
+        cond: u32,
+        t: u32,
+        e: u32,
+    },
+    SelV {
+        dst: u32,
+        cond: u32,
+        t: u32,
+        e: u32,
+        lanes: u32,
+    },
+    /// `arith.index_cast` (i64 ↔ index are both `i64` here).
+    MoveI {
+        dst: u32,
+        src: u32,
+    },
+    SiToFp {
+        dst: u32,
+        src: u32,
+    },
+    For {
+        lb: u32,
+        ub: u32,
+        step: u32,
+        iv: u32,
+        body: u32,
+        /// Init-operand → iter-slot copies, run before the loop.
+        inits: Box<[Move]>,
+        /// Yield-register → iter-slot copies, run after each iteration.
+        loopback: Box<[Move]>,
+        /// Iter-slot → result-register copies, run after the loop.
+        results: Box<[Move]>,
+    },
+    If {
+        cond: u32,
+        then_body: u32,
+        else_body: u32,
+        then_res: Box<[Move]>,
+        else_res: Box<[Move]>,
+    },
+    ParallelLoop {
+        lb: u32,
+        ub: u32,
+        step: u32,
+        iv: u32,
+        body: u32,
+    },
+    Wavefronts {
+        rows: u32,
+        cols: u32,
+        /// Integer register receiving the linearized block index.
+        block: u32,
+        body: u32,
+    },
+    GetParallelBlocks {
+        dims: Box<[u32]>,
+        /// Block dependences decoded from the `block_stencil` attribute at
+        /// compile time (pure decode — hoisted off the execution path).
+        deps: Box<[Vec<i64>]>,
+        rows: u32,
+        cols: u32,
+    },
+    Call {
+        func: u32,
+        args: Box<[Reg]>,
+        results: Box<[Reg]>,
+    },
+    Alloc {
+        dst: u32,
+        dims: Box<[DimSpec]>,
+    },
+    Dim {
+        dst: u32,
+        buf: u32,
+        dim: u32,
+    },
+    Load {
+        dst: u32,
+        buf: u32,
+        idx: Box<[u32]>,
+    },
+    Store {
+        src: u32,
+        buf: u32,
+        idx: Box<[u32]>,
+    },
+    Subview {
+        dst: u32,
+        src: u32,
+        offs: Box<[u32]>,
+        sizes: Box<[u32]>,
+    },
+    ShiftView {
+        dst: u32,
+        src: u32,
+        shifts: Box<[u32]>,
+    },
+    CopyBuf {
+        src: u32,
+        dst: u32,
+    },
+    VLoad {
+        dst: u32,
+        lanes: u32,
+        buf: u32,
+        idx: Box<[u32]>,
+    },
+    VStore {
+        src: u32,
+        lanes: u32,
+        buf: u32,
+        idx: Box<[u32]>,
+    },
+    VExtract {
+        dst: u32,
+        src: u32,
+        lane: u32,
+    },
+    VBroadcast {
+        dst: u32,
+        lanes: u32,
+        src: u32,
+    },
+}
+
+/// The kind of a function argument or result at the `RtVal` boundary.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RKind {
+    F64,
+    Int,
+    Bool,
+    Vec(u32),
+    Buf,
+    Arr,
+}
+
+/// One compiled single-block region: an instruction tape plus the
+/// registers its terminator yields.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Tape {
+    pub code: Vec<Instr>,
+    /// Registers of the terminator operands (`scf.yield` /
+    /// `func.return`), in order.
+    pub term: Vec<Reg>,
+}
+
+/// One function compiled to tapes. `tapes[0]` is the entry block.
+#[derive(Clone, Debug)]
+pub(crate) struct BcFunc {
+    pub name: String,
+    pub tapes: Vec<Tape>,
+    /// Entry-block argument registers, with their boundary kinds.
+    pub args: Vec<(RKind, Reg)>,
+    /// Boundary kinds of the results (parallel to `tapes[0].term`).
+    pub results: Vec<RKind>,
+    /// Register file sizes.
+    pub num_f: u32,
+    pub num_i: u32,
+    pub num_v_slots: u32,
+    pub num_b: u32,
+    pub num_a: u32,
+}
+
+/// A whole module compiled to bytecode.
+#[derive(Clone, Debug)]
+pub(crate) struct BcProgram {
+    pub funcs: Vec<BcFunc>,
+}
+
+impl BcProgram {
+    pub(crate) fn lookup(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+}
+
+/// Per-call register files: the whole mutable state of one frame. Cloned
+/// per wavefront worker (flat `memcpy`-able vectors plus a slot table of
+/// buffer views — far cheaper than cloning an `RtVal` environment).
+#[derive(Clone, Debug)]
+struct Regs {
+    f: Vec<f64>,
+    i: Vec<i64>,
+    v: Vec<f64>,
+    b: Vec<Option<BufferView>>,
+    a: Vec<Option<Arc<Vec<i64>>>>,
+    /// Reusable index scratch for scalar/vector memory access (no
+    /// per-point allocation).
+    scratch: Vec<i64>,
+}
+
+impl Regs {
+    fn new(func: &BcFunc) -> Self {
+        Regs {
+            f: vec![0.0; func.num_f as usize],
+            i: vec![0; func.num_i as usize],
+            v: vec![0.0; func.num_v_slots as usize],
+            b: vec![None; func.num_b as usize],
+            a: vec![None; func.num_a as usize],
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// Same-frame typed register copy.
+    fn mv(&mut self, m: Move) {
+        match (m.dst, m.src) {
+            (Reg::F(d), Reg::F(s)) => self.f[d as usize] = self.f[s as usize],
+            (Reg::I(d), Reg::I(s)) => self.i[d as usize] = self.i[s as usize],
+            (Reg::V { off: d, lanes }, Reg::V { off: s, .. }) => {
+                self.v
+                    .copy_within(s as usize..(s + lanes) as usize, d as usize);
+            }
+            (Reg::B(d), Reg::B(s)) => self.b[d as usize] = self.b[s as usize].clone(),
+            (Reg::A(d), Reg::A(s)) => self.a[d as usize] = self.a[s as usize].clone(),
+            (d, s) => unreachable!("class-mismatched move {d:?} <- {s:?}"),
+        }
+    }
+
+    fn buf(&self, slot: u32) -> Result<&BufferView, ExecError> {
+        self.b[slot as usize]
+            .as_ref()
+            .ok_or_else(|| ExecError::new("use of unset buffer register"))
+    }
+
+    fn arr(&self, slot: u32) -> Result<&Arc<Vec<i64>>, ExecError> {
+        self.a[slot as usize]
+            .as_ref()
+            .ok_or_else(|| ExecError::new("use of unset i64-array register"))
+    }
+
+    fn set_rtval(&mut self, reg: Reg, kind: RKind, val: RtVal) -> Result<(), ExecError> {
+        match (kind, reg, val) {
+            (RKind::F64, Reg::F(d), RtVal::F64(x)) => self.f[d as usize] = x,
+            (RKind::Int, Reg::I(d), RtVal::Int(x)) => self.i[d as usize] = x,
+            (RKind::Bool, Reg::I(d), RtVal::Bool(x)) => self.i[d as usize] = i64::from(x),
+            (RKind::Vec(lanes), Reg::V { off, .. }, RtVal::Vec(x)) => {
+                if x.len() != lanes as usize {
+                    return Err(ExecError::new("vector argument lane mismatch"));
+                }
+                self.v[off as usize..(off + lanes) as usize].copy_from_slice(&x);
+            }
+            (RKind::Buf, Reg::B(d), RtVal::Buf(b)) => self.b[d as usize] = Some(b),
+            (RKind::Arr, Reg::A(d), RtVal::I64Arr(a)) => self.a[d as usize] = Some(a),
+            (_, _, other) => {
+                return Err(ExecError::new(format!(
+                    "argument kind mismatch: got {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn get_rtval(&self, reg: Reg, kind: RKind) -> Result<RtVal, ExecError> {
+        Ok(match (kind, reg) {
+            (RKind::F64, Reg::F(s)) => RtVal::F64(self.f[s as usize]),
+            (RKind::Int, Reg::I(s)) => RtVal::Int(self.i[s as usize]),
+            (RKind::Bool, Reg::I(s)) => RtVal::Bool(self.i[s as usize] != 0),
+            (RKind::Vec(lanes), Reg::V { off, .. }) => {
+                RtVal::Vec(self.v[off as usize..(off + lanes) as usize].to_vec())
+            }
+            (RKind::Buf, Reg::B(s)) => RtVal::Buf(
+                self.b[s as usize]
+                    .clone()
+                    .ok_or_else(|| ExecError::new("unset buffer result"))?,
+            ),
+            (RKind::Arr, Reg::A(s)) => RtVal::I64Arr(
+                self.a[s as usize]
+                    .clone()
+                    .ok_or_else(|| ExecError::new("unset array result"))?,
+            ),
+            (k, r) => return Err(ExecError::new(format!("result kind mismatch {k:?}/{r:?}"))),
+        })
+    }
+}
+
+/// Copies a register value across frames (caller ↔ callee of
+/// `func.call`).
+fn cross_move(src_regs: &Regs, src: Reg, dst_regs: &mut Regs, dst: Reg) {
+    match (dst, src) {
+        (Reg::F(d), Reg::F(s)) => dst_regs.f[d as usize] = src_regs.f[s as usize],
+        (Reg::I(d), Reg::I(s)) => dst_regs.i[d as usize] = src_regs.i[s as usize],
+        (Reg::V { off: d, lanes }, Reg::V { off: s, .. }) => {
+            dst_regs.v[d as usize..(d + lanes) as usize]
+                .copy_from_slice(&src_regs.v[s as usize..(s + lanes) as usize]);
+        }
+        (Reg::B(d), Reg::B(s)) => dst_regs.b[d as usize] = src_regs.b[s as usize].clone(),
+        (Reg::A(d), Reg::A(s)) => dst_regs.a[d as usize] = src_regs.a[s as usize].clone(),
+        (d, s) => unreachable!("class-mismatched cross move {d:?} <- {s:?}"),
+    }
+}
+
+/// The bytecode engine: a compiled program plus the same `stats` /
+/// `threads` surface as [`crate::interp::Interpreter`]. Compile once,
+/// call many times.
+#[derive(Debug)]
+pub struct BytecodeEngine {
+    program: BcProgram,
+    /// Accumulated dynamic statistics (identical to the interpreter's on
+    /// the same module and inputs).
+    pub stats: ExecStats,
+    threads: usize,
+}
+
+impl BytecodeEngine {
+    /// Compiles every function of `module` to bytecode (sequential
+    /// wavefront execution).
+    ///
+    /// # Errors
+    /// Returns [`BcCompileError`] when the module contains ops outside
+    /// the lowered subset (e.g. structured `cfd.stencil` reference ops —
+    /// those stay on the tree-walking interpreter).
+    pub fn compile(module: &Module) -> Result<Self, BcCompileError> {
+        Self::compile_with_threads(module, 1)
+    }
+
+    /// [`BytecodeEngine::compile`] with a wavefront worker count.
+    ///
+    /// # Errors
+    /// See [`BytecodeEngine::compile`].
+    pub fn compile_with_threads(module: &Module, threads: usize) -> Result<Self, BcCompileError> {
+        Ok(BytecodeEngine {
+            program: compile_program(module)?,
+            stats: ExecStats::default(),
+            threads: threads.max(1),
+        })
+    }
+
+    /// The wavefront worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Calls a compiled function by name.
+    ///
+    /// # Errors
+    /// Fails when the function is missing, arity/kind mismatches, or a
+    /// runtime check (division by zero, unset register) trips.
+    pub fn call(&mut self, name: &str, args: Vec<RtVal>) -> Result<Vec<RtVal>, ExecError> {
+        let fi = self
+            .program
+            .lookup(name)
+            .ok_or_else(|| ExecError::new(format!("no function `{name}`")))?;
+        let ctx = BcCtx {
+            program: &self.program,
+            pool: WavefrontPool::new(self.threads),
+        };
+        let mut stats = ExecStats::default();
+        let out = ctx.call(fi, args, &mut stats);
+        // Merge even on error so partially executed work is accounted.
+        self.stats.merge(&stats);
+        out
+    }
+}
+
+/// Read-only execution context shared by all threads.
+struct BcCtx<'p> {
+    program: &'p BcProgram,
+    pool: WavefrontPool,
+}
+
+impl BcCtx<'_> {
+    fn call(
+        &self,
+        fi: usize,
+        args: Vec<RtVal>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<RtVal>, ExecError> {
+        let func = &self.program.funcs[fi];
+        if args.len() != func.args.len() {
+            return Err(ExecError::new(format!(
+                "`{}` expects {} args, got {}",
+                func.name,
+                func.args.len(),
+                args.len()
+            )));
+        }
+        let mut regs = Regs::new(func);
+        for ((kind, reg), val) in func.args.iter().zip(args) {
+            regs.set_rtval(*reg, *kind, val)?;
+        }
+        self.run_tape(func, 0, &mut regs, stats)?;
+        func.tapes[0]
+            .term
+            .iter()
+            .zip(&func.results)
+            .map(|(&r, &k)| regs.get_rtval(r, k))
+            .collect()
+    }
+
+    /// Executes one tape over the frame's registers. The inner loop is a
+    /// direct match over [`Instr`] — no value boxing, no allocation.
+    #[allow(clippy::too_many_lines)]
+    fn run_tape(
+        &self,
+        func: &BcFunc,
+        tape: u32,
+        regs: &mut Regs,
+        stats: &mut ExecStats,
+    ) -> Result<(), ExecError> {
+        for instr in &func.tapes[tape as usize].code {
+            match instr {
+                Instr::ConstF { dst, v } => regs.f[*dst as usize] = *v,
+                Instr::ConstI { dst, v } => regs.i[*dst as usize] = *v,
+                Instr::ConstV { off, lanes, v } => {
+                    regs.v[*off as usize..(*off + *lanes) as usize].fill(*v);
+                }
+                Instr::BinF { op, dst, a, b } => {
+                    stats.scalar_flops += 1;
+                    regs.f[*dst as usize] = op.apply(regs.f[*a as usize], regs.f[*b as usize]);
+                }
+                Instr::BinV {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    lanes,
+                } => {
+                    stats.vector_flops += 1;
+                    for l in 0..*lanes as usize {
+                        regs.v[*dst as usize + l] =
+                            op.apply(regs.v[*a as usize + l], regs.v[*b as usize + l]);
+                    }
+                }
+                Instr::UnF { op, dst, a } => {
+                    stats.scalar_flops += 1;
+                    regs.f[*dst as usize] = op.apply(regs.f[*a as usize]);
+                }
+                Instr::UnV { op, dst, a, lanes } => {
+                    stats.vector_flops += 1;
+                    for l in 0..*lanes as usize {
+                        regs.v[*dst as usize + l] = op.apply(regs.v[*a as usize + l]);
+                    }
+                }
+                Instr::FmaF { dst, a, b, c } => {
+                    stats.scalar_flops += 1;
+                    regs.f[*dst as usize] =
+                        regs.f[*a as usize].mul_add(regs.f[*b as usize], regs.f[*c as usize]);
+                }
+                Instr::FmaV {
+                    dst,
+                    a,
+                    b,
+                    c,
+                    lanes,
+                } => {
+                    stats.vector_flops += 1;
+                    for l in 0..*lanes as usize {
+                        regs.v[*dst as usize + l] = regs.v[*a as usize + l]
+                            .mul_add(regs.v[*b as usize + l], regs.v[*c as usize + l]);
+                    }
+                }
+                Instr::BinI { op, dst, a, b } => {
+                    stats.index_ops += 1;
+                    let a = regs.i[*a as usize];
+                    let b = regs.i[*b as usize];
+                    regs.i[*dst as usize] = match op {
+                        IOp::Add => a + b,
+                        IOp::Sub => a - b,
+                        IOp::Mul => a * b,
+                        IOp::FloorDiv => {
+                            if b == 0 {
+                                return Err(ExecError::new("division by zero"));
+                            }
+                            a.div_euclid(b)
+                        }
+                        IOp::CeilDiv => {
+                            if b == 0 {
+                                return Err(ExecError::new("division by zero"));
+                            }
+                            (a + b - 1).div_euclid(b)
+                        }
+                        IOp::Rem => {
+                            if b == 0 {
+                                return Err(ExecError::new("remainder by zero"));
+                            }
+                            a.rem_euclid(b)
+                        }
+                        IOp::Min => a.min(b),
+                        IOp::Max => a.max(b),
+                    };
+                }
+                Instr::CmpI { pred, dst, a, b } => {
+                    regs.i[*dst as usize] =
+                        i64::from(pred.eval_int(regs.i[*a as usize], regs.i[*b as usize]));
+                }
+                Instr::CmpF { pred, dst, a, b } => {
+                    regs.i[*dst as usize] =
+                        i64::from(pred.eval_float(regs.f[*a as usize], regs.f[*b as usize]));
+                }
+                Instr::SelF { dst, cond, t, e } => {
+                    let s = if regs.i[*cond as usize] != 0 { t } else { e };
+                    regs.f[*dst as usize] = regs.f[*s as usize];
+                }
+                Instr::SelI { dst, cond, t, e } => {
+                    let s = if regs.i[*cond as usize] != 0 { t } else { e };
+                    regs.i[*dst as usize] = regs.i[*s as usize];
+                }
+                Instr::SelV {
+                    dst,
+                    cond,
+                    t,
+                    e,
+                    lanes,
+                } => {
+                    let s = if regs.i[*cond as usize] != 0 { t } else { e };
+                    regs.v
+                        .copy_within(*s as usize..(*s + *lanes) as usize, *dst as usize);
+                }
+                Instr::MoveI { dst, src } => regs.i[*dst as usize] = regs.i[*src as usize],
+                Instr::SiToFp { dst, src } => {
+                    regs.f[*dst as usize] = regs.i[*src as usize] as f64;
+                }
+                Instr::For {
+                    lb,
+                    ub,
+                    step,
+                    iv,
+                    body,
+                    inits,
+                    loopback,
+                    results,
+                } => {
+                    let lb = regs.i[*lb as usize];
+                    let ub = regs.i[*ub as usize];
+                    let step = regs.i[*step as usize];
+                    if step <= 0 {
+                        return Err(ExecError::new("scf.for requires a positive step"));
+                    }
+                    for m in inits.iter() {
+                        regs.mv(*m);
+                    }
+                    let mut i = lb;
+                    while i < ub {
+                        regs.i[*iv as usize] = i;
+                        self.run_tape(func, *body, regs, stats)?;
+                        for m in loopback.iter() {
+                            regs.mv(*m);
+                        }
+                        i += step;
+                    }
+                    for m in results.iter() {
+                        regs.mv(*m);
+                    }
+                }
+                Instr::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    then_res,
+                    else_res,
+                } => {
+                    let (body, moves) = if regs.i[*cond as usize] != 0 {
+                        (*then_body, then_res)
+                    } else {
+                        (*else_body, else_res)
+                    };
+                    self.run_tape(func, body, regs, stats)?;
+                    for m in moves.iter() {
+                        regs.mv(*m);
+                    }
+                }
+                Instr::ParallelLoop {
+                    lb,
+                    ub,
+                    step,
+                    iv,
+                    body,
+                } => {
+                    let lb = regs.i[*lb as usize];
+                    let ub = regs.i[*ub as usize];
+                    let step = regs.i[*step as usize];
+                    if step <= 0 {
+                        return Err(ExecError::new("scf.parallel requires a positive step"));
+                    }
+                    let mut i = lb;
+                    while i < ub {
+                        regs.i[*iv as usize] = i;
+                        self.run_tape(func, *body, regs, stats)?;
+                        i += step;
+                    }
+                }
+                Instr::Wavefronts {
+                    rows,
+                    cols,
+                    block,
+                    body,
+                } => {
+                    self.exec_wavefronts(func, *rows, *cols, *block, *body, regs, stats)?;
+                }
+                Instr::GetParallelBlocks {
+                    dims,
+                    deps,
+                    rows,
+                    cols,
+                } => {
+                    let grid: Vec<usize> = dims
+                        .iter()
+                        .map(|&r| regs.i[r as usize].max(1) as usize)
+                        .collect();
+                    let schedule =
+                        instencil_pattern::WavefrontSchedule::compute(&grid, deps.as_ref());
+                    stats.schedules_computed += 1;
+                    let csr = schedule.into_wavefronts();
+                    let row_ptr: Vec<i64> = csr.row_ptr().iter().map(|&x| x as i64).collect();
+                    let col: Vec<i64> = csr.cols().iter().map(|&x| x as i64).collect();
+                    regs.a[*rows as usize] = Some(Arc::new(row_ptr));
+                    regs.a[*cols as usize] = Some(Arc::new(col));
+                }
+                Instr::Call {
+                    func: callee_idx,
+                    args,
+                    results,
+                } => {
+                    let callee = &self.program.funcs[*callee_idx as usize];
+                    let mut callee_regs = Regs::new(callee);
+                    for (&src, (_, dst)) in args.iter().zip(&callee.args) {
+                        cross_move(regs, src, &mut callee_regs, *dst);
+                    }
+                    self.run_tape(callee, 0, &mut callee_regs, stats)?;
+                    let term = &callee.tapes[0].term;
+                    for (&src, &dst) in term.iter().zip(results.iter()) {
+                        cross_move(&callee_regs, src, regs, dst);
+                    }
+                }
+                Instr::Alloc { dst, dims } => {
+                    let shape: Vec<usize> = dims
+                        .iter()
+                        .map(|d| match d {
+                            DimSpec::Static(n) => *n,
+                            DimSpec::Dyn(r) => regs.i[*r as usize] as usize,
+                        })
+                        .collect();
+                    regs.b[*dst as usize] = Some(BufferView::alloc(&shape));
+                }
+                Instr::Dim { dst, buf, dim } => {
+                    regs.i[*dst as usize] = regs.buf(*buf)?.dim(*dim as usize) as i64;
+                }
+                Instr::Load { dst, buf, idx } => {
+                    stats.loads += 1;
+                    let b = regs.b[*buf as usize]
+                        .as_ref()
+                        .ok_or_else(|| ExecError::new("use of unset buffer register"))?;
+                    let v = b.load_iter(idx.iter().map(|&r| regs.i[r as usize]));
+                    regs.f[*dst as usize] = v;
+                }
+                Instr::Store { src, buf, idx } => {
+                    stats.stores += 1;
+                    let v = regs.f[*src as usize];
+                    let b = regs.b[*buf as usize]
+                        .as_ref()
+                        .ok_or_else(|| ExecError::new("use of unset buffer register"))?;
+                    b.store_iter(idx.iter().map(|&r| regs.i[r as usize]), v);
+                }
+                Instr::Subview {
+                    dst,
+                    src,
+                    offs,
+                    sizes,
+                } => {
+                    regs.scratch.clear();
+                    for &r in offs.iter() {
+                        regs.scratch.push(regs.i[r as usize]);
+                    }
+                    let sizes: Vec<usize> = sizes
+                        .iter()
+                        .map(|&r| regs.i[r as usize] as usize)
+                        .collect();
+                    let view = regs.buf(*src)?.subview(&regs.scratch, &sizes);
+                    regs.b[*dst as usize] = Some(view);
+                }
+                Instr::ShiftView { dst, src, shifts } => {
+                    regs.scratch.clear();
+                    for &r in shifts.iter() {
+                        regs.scratch.push(regs.i[r as usize]);
+                    }
+                    let view = regs.buf(*src)?.shift_view(&regs.scratch);
+                    regs.b[*dst as usize] = Some(view);
+                }
+                Instr::CopyBuf { src, dst } => {
+                    regs.buf(*dst)?.copy_from(regs.buf(*src)?);
+                }
+                Instr::VLoad {
+                    dst,
+                    lanes,
+                    buf,
+                    idx,
+                } => {
+                    stats.vector_loads += 1;
+                    regs.scratch.clear();
+                    for &r in idx.iter() {
+                        regs.scratch.push(regs.i[r as usize]);
+                    }
+                    let b = regs.b[*buf as usize]
+                        .as_ref()
+                        .ok_or_else(|| ExecError::new("use of unset buffer register"))?;
+                    let out = &mut regs.v[*dst as usize..(*dst + *lanes) as usize];
+                    b.load_vector_into(&regs.scratch, out);
+                }
+                Instr::VStore {
+                    src,
+                    lanes,
+                    buf,
+                    idx,
+                } => {
+                    stats.vector_stores += 1;
+                    regs.scratch.clear();
+                    for &r in idx.iter() {
+                        regs.scratch.push(regs.i[r as usize]);
+                    }
+                    let b = regs.b[*buf as usize]
+                        .as_ref()
+                        .ok_or_else(|| ExecError::new("use of unset buffer register"))?;
+                    let vals = &regs.v[*src as usize..(*src + *lanes) as usize];
+                    b.store_vector(&regs.scratch, vals);
+                }
+                Instr::VExtract { dst, src, lane } => {
+                    regs.f[*dst as usize] = regs.v[(*src + *lane) as usize];
+                }
+                Instr::VBroadcast { dst, lanes, src } => {
+                    let s = regs.f[*src as usize];
+                    regs.v[*dst as usize..(*dst + *lanes) as usize].fill(s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `scf.execute_wavefronts`: sequential over levels, parallel within
+    /// one — mirrors the interpreter exactly, including how statistics
+    /// are attributed (the coordinator counts levels once; workers count
+    /// the blocks they run in private frames that are merged here).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_wavefronts(
+        &self,
+        func: &BcFunc,
+        rows: u32,
+        cols: u32,
+        block: u32,
+        body: u32,
+        regs: &mut Regs,
+        stats: &mut ExecStats,
+    ) -> Result<(), ExecError> {
+        let rows = Arc::clone(regs.arr(rows)?);
+        let cols = Arc::clone(regs.arr(cols)?);
+        if self.pool.threads() == 1 {
+            for level in rows.windows(2) {
+                stats.wavefront_levels += 1;
+                for &c in &cols[level[0] as usize..level[1] as usize] {
+                    stats.blocks_executed += 1;
+                    regs.i[block as usize] = c;
+                    self.run_tape(func, body, regs, stats)?;
+                }
+            }
+            return Ok(());
+        }
+        let row_ptr: Vec<usize> = rows.iter().map(|&x| x as usize).collect();
+        let blocks: Vec<usize> = cols.iter().map(|&x| x as usize).collect();
+        let schedule = CsrWavefronts::new(row_ptr, blocks);
+        stats.wavefront_levels += schedule.num_levels() as u64;
+        // Each worker gets a clone of the register files: tape-local
+        // registers are written per block but never read across blocks
+        // (SSA dominance), so discarding the clones afterwards matches
+        // sequential semantics.
+        let base: &Regs = regs;
+        self.pool.try_execute_stateful(
+            &schedule,
+            || (base.clone(), ExecStats::default()),
+            |state: &mut (Regs, ExecStats), b| {
+                let (worker_regs, worker_stats) = state;
+                worker_stats.blocks_executed += 1;
+                worker_regs.i[block as usize] = b as i64;
+                self.run_tape(func, body, worker_regs, worker_stats)
+            },
+            |(_, worker_stats)| stats.merge(&worker_stats),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instencil_ir::{FuncBuilder, Type};
+
+    fn engine_for(build: impl FnOnce(&mut Module)) -> BytecodeEngine {
+        let mut m = Module::new("t");
+        build(&mut m);
+        m.verify().unwrap();
+        BytecodeEngine::compile(&m).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        let mut eng = engine_for(|m| {
+            let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+            let c0 = fb.const_index(0);
+            let c10 = fb.const_index(10);
+            let c1 = fb.const_index(1);
+            let acc0 = fb.const_f64(0.0);
+            let r = fb.build_for(c0, c10, c1, vec![acc0], |fb, iv, iters| {
+                let x = fb.index_to_f64(iv);
+                vec![fb.addf(iters[0], x)]
+            });
+            fb.ret(vec![r[0]]);
+            m.push_func(fb.finish());
+        });
+        let out = eng.call("f", vec![]).unwrap();
+        assert_eq!(out[0].as_f64(), 45.0);
+        assert_eq!(eng.stats.scalar_flops, 10);
+    }
+
+    #[test]
+    fn if_and_compare() {
+        let mut eng = engine_for(|m| {
+            let mut fb = FuncBuilder::new("f", vec![], vec![Type::F64]);
+            let a = fb.const_f64(3.0);
+            let b = fb.const_f64(5.0);
+            let c = fb.cmpf(CmpPred::Lt, a, b);
+            let r = fb.build_if(
+                c,
+                vec![Type::F64],
+                |fb| vec![fb.const_f64(1.0)],
+                |fb| vec![fb.const_f64(-1.0)],
+            );
+            fb.ret(vec![r[0]]);
+            m.push_func(fb.finish());
+        });
+        assert_eq!(eng.call("f", vec![]).unwrap()[0].as_f64(), 1.0);
+    }
+
+    #[test]
+    fn memory_and_vectors() {
+        let mut eng = engine_for(|m| {
+            let m2 = Type::memref_dyn(Type::F64, 2);
+            let mut fb = FuncBuilder::new("f", vec![m2], vec![Type::F64]);
+            let buf = fb.arg(0);
+            let i0 = fb.const_index(0);
+            let i1 = fb.const_index(1);
+            let v = fb.transfer_read(buf, &[i0, i0], 4);
+            let two = fb.const_f64_vector(2.0, 4);
+            let scaled = fb.mulf(v, two);
+            fb.transfer_write_mem(scaled, buf, &[i1, i0]);
+            let x = fb.vec_extract(scaled, 3);
+            fb.ret(vec![x]);
+            m.push_func(fb.finish());
+        });
+        let b = BufferView::from_data(&[2, 4], (0..8).map(f64::from).collect());
+        let out = eng.call("f", vec![RtVal::Buf(b.clone())]).unwrap();
+        assert_eq!(out[0].as_f64(), 6.0);
+        assert_eq!(b.to_vec()[4..], [0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(eng.stats.vector_loads, 1);
+        assert_eq!(eng.stats.vector_stores, 1);
+        assert_eq!(eng.stats.vector_flops, 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let mut eng = engine_for(|m| {
+            let mut fb = FuncBuilder::new("f", vec![], vec![Type::Index]);
+            let a = fb.const_index(3);
+            let z = fb.const_index(0);
+            let q = fb.floordiv(a, z);
+            fb.ret(vec![q]);
+            m.push_func(fb.finish());
+        });
+        let e = eng.call("f", vec![]).unwrap_err();
+        assert!(e.message.contains("division by zero"), "{e}");
+    }
+
+    #[test]
+    fn missing_function_is_an_error() {
+        let mut eng = engine_for(|_| {});
+        assert!(eng.call("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_results() {
+        let mut eng = engine_for(|m| {
+            let mut g = FuncBuilder::new("square", vec![Type::F64], vec![Type::F64]);
+            let x = g.arg(0);
+            let y = g.mulf(x, x);
+            g.ret(vec![y]);
+            m.push_func(g.finish());
+            let mut f = FuncBuilder::new("f", vec![Type::F64, Type::F64], vec![Type::F64]);
+            let a = f.arg(0);
+            let b = f.arg(1);
+            let sa = f.call("square", vec![a], vec![Type::F64]);
+            let sb = f.call("square", vec![b], vec![Type::F64]);
+            let s = f.addf(sa[0], sb[0]);
+            f.ret(vec![s]);
+            m.push_func(f.finish());
+        });
+        let out = eng
+            .call("f", vec![RtVal::F64(3.0), RtVal::F64(4.0)])
+            .unwrap();
+        assert_eq!(out[0].as_f64(), 25.0);
+    }
+
+    #[test]
+    fn get_parallel_blocks_and_wavefronts() {
+        let mut eng = engine_for(|m| {
+            let mut fb = FuncBuilder::new("f", vec![], vec![]);
+            let n = fb.const_index(3);
+            let (_rows, _cols) = instencil_core::ops::build_get_parallel_blocks(
+                &mut fb,
+                &[n, n],
+                vec![3, 3],
+                vec![0, 0, 0, -1, 0, 0, 0, -1, 0],
+            );
+            fb.ret(vec![]);
+            m.push_func(fb.finish());
+        });
+        eng.call("f", vec![]).unwrap();
+        assert_eq!(eng.stats.schedules_computed, 1);
+    }
+
+    #[test]
+    fn threads_knob_clamps_to_one() {
+        let m = Module::new("t");
+        assert_eq!(
+            BytecodeEngine::compile_with_threads(&m, 0).unwrap().threads(),
+            1
+        );
+        assert_eq!(
+            BytecodeEngine::compile_with_threads(&m, 4).unwrap().threads(),
+            4
+        );
+    }
+}

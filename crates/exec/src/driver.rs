@@ -5,22 +5,107 @@
 //! iteration loop (the granularity at which the paper synchronizes
 //! between Gauss-Seidel iterations). [`run_sweeps_threaded`] does the
 //! same with a wavefront worker count; [`run_compiled_sweeps`] reads the
-//! count from the `threads` knob of the module's [`PipelineOptions`].
+//! `threads` and `engine` knobs from the module's [`PipelineOptions`].
+//!
+//! # Engine selection
+//!
+//! Every helper here executes through [`Runner`], which compiles the
+//! module to bytecode once up front ([`Engine::Bytecode`], the default)
+//! and replays the tapes each sweep. Modules outside the lowered subset
+//! — reference modules with structured `cfd` ops — make bytecode
+//! compilation report [`BcCompileError::Unsupported`], and the runner
+//! silently falls back to the tree-walking [`Interpreter`]; both engines
+//! are bit-identical in results and statistics, so the fallback is
+//! observable only as wall-clock time.
+//!
+//! [`PipelineOptions`]: instencil_core::pipeline::PipelineOptions
 
-use instencil_core::pipeline::CompiledModule;
+use instencil_core::pipeline::{CompiledModule, Engine};
 use instencil_ir::Module;
 
 use crate::buffer::BufferView;
+use crate::bytecode::BytecodeEngine;
+use crate::compile::BcCompileError;
 use crate::interp::{ExecError, Interpreter};
 use crate::stats::ExecStats;
 use crate::value::RtVal;
+
+/// A module bound to an execution engine: bytecode when the module is in
+/// the lowered subset (or when explicitly requested), the tree-walking
+/// interpreter otherwise.
+#[derive(Debug)]
+pub enum Runner<'m> {
+    /// Tree-walking reference interpreter.
+    Interp {
+        /// The module under execution.
+        module: &'m Module,
+        /// The interpreter instance (owns accumulated statistics).
+        interp: Interpreter,
+    },
+    /// Compiled bytecode tapes.
+    Bytecode(BytecodeEngine),
+}
+
+impl<'m> Runner<'m> {
+    /// Binds `module` to the requested engine with a wavefront worker
+    /// count. [`Engine::Bytecode`] falls back to the interpreter when
+    /// the module contains ops outside the lowered subset (structured
+    /// `cfd` reference ops); a *malformed* module fails on either
+    /// engine, so that error is surfaced instead of masked by fallback.
+    ///
+    /// # Errors
+    /// Returns an error only for [`BcCompileError::Malformed`] modules.
+    pub fn new(module: &'m Module, engine: Engine, threads: usize) -> Result<Self, ExecError> {
+        match engine {
+            Engine::Interp => Ok(Runner::Interp {
+                module,
+                interp: Interpreter::with_threads(threads),
+            }),
+            Engine::Bytecode => match BytecodeEngine::compile_with_threads(module, threads) {
+                Ok(engine) => Ok(Runner::Bytecode(engine)),
+                Err(BcCompileError::Unsupported(_)) => Ok(Runner::Interp {
+                    module,
+                    interp: Interpreter::with_threads(threads),
+                }),
+                Err(e @ BcCompileError::Malformed(_)) => Err(ExecError::new(e.to_string())),
+            },
+        }
+    }
+
+    /// Calls a function of the bound module by name.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn call(&mut self, name: &str, args: Vec<RtVal>) -> Result<Vec<RtVal>, ExecError> {
+        match self {
+            Runner::Interp { module, interp } => interp.call(module, name, args),
+            Runner::Bytecode(engine) => engine.call(name, args),
+        }
+    }
+
+    /// Statistics accumulated across calls.
+    pub fn stats(&self) -> ExecStats {
+        match self {
+            Runner::Interp { interp, .. } => interp.stats,
+            Runner::Bytecode(engine) => engine.stats,
+        }
+    }
+
+    /// Which engine actually executes (after any fallback).
+    pub fn engine(&self) -> Engine {
+        match self {
+            Runner::Interp { .. } => Engine::Interp,
+            Runner::Bytecode(_) => Engine::Bytecode,
+        }
+    }
+}
 
 /// Runs `func` of `module` for `iterations` sweeps over the given
 /// buffers (passed as memref arguments each sweep). Returns accumulated
 /// execution statistics.
 ///
 /// # Errors
-/// Propagates interpreter failures.
+/// Propagates engine failures.
 pub fn run_sweeps(
     module: &Module,
     func: &str,
@@ -36,7 +121,7 @@ pub fn run_sweeps(
 /// the returned statistics.
 ///
 /// # Errors
-/// Propagates interpreter failures.
+/// Propagates engine failures.
 pub fn run_sweeps_threaded(
     module: &Module,
     func: &str,
@@ -44,32 +129,48 @@ pub fn run_sweeps_threaded(
     iterations: usize,
     threads: usize,
 ) -> Result<ExecStats, ExecError> {
-    let mut interp = Interpreter::with_threads(threads);
-    for _ in 0..iterations {
-        let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
-        interp.call(module, func, args)?;
-    }
-    Ok(interp.stats)
+    run_sweeps_with(module, func, buffers, iterations, threads, Engine::default())
 }
 
-/// Runs sweeps of a compiled module, honoring the `threads` knob of the
-/// [`PipelineOptions`](instencil_core::pipeline::PipelineOptions) it was
-/// compiled with.
+/// [`run_sweeps_threaded`] with an explicit engine choice.
 ///
 /// # Errors
-/// Propagates interpreter failures.
+/// Propagates engine failures.
+pub fn run_sweeps_with(
+    module: &Module,
+    func: &str,
+    buffers: &[BufferView],
+    iterations: usize,
+    threads: usize,
+    engine: Engine,
+) -> Result<ExecStats, ExecError> {
+    let mut runner = Runner::new(module, engine, threads)?;
+    for _ in 0..iterations {
+        let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+        runner.call(func, args)?;
+    }
+    Ok(runner.stats())
+}
+
+/// Runs sweeps of a compiled module, honoring the `threads` and `engine`
+/// knobs of the [`PipelineOptions`](instencil_core::pipeline::PipelineOptions)
+/// it was compiled with.
+///
+/// # Errors
+/// Propagates engine failures.
 pub fn run_compiled_sweeps(
     compiled: &CompiledModule,
     func: &str,
     buffers: &[BufferView],
     iterations: usize,
 ) -> Result<ExecStats, ExecError> {
-    run_sweeps_threaded(
+    run_sweeps_with(
         &compiled.module,
         func,
         buffers,
         iterations,
         compiled.options.threads,
+        compiled.options.engine,
     )
 }
 
@@ -78,7 +179,7 @@ pub fn run_compiled_sweeps(
 /// buffer holding the final solution.
 ///
 /// # Errors
-/// Propagates interpreter failures.
+/// Propagates engine failures.
 pub fn run_jacobi_sweeps(
     module: &Module,
     func: &str,
@@ -87,12 +188,11 @@ pub fn run_jacobi_sweeps(
     y: &BufferView,
     iterations: usize,
 ) -> Result<BufferView, ExecError> {
-    let mut interp = Interpreter::new();
+    let mut runner = Runner::new(module, Engine::default(), 1)?;
     let mut cur = x.clone();
     let mut next = y.clone();
     for _ in 0..iterations {
-        interp.call(
-            module,
+        runner.call(
             func,
             vec![
                 RtVal::Buf(cur.clone()),
@@ -111,7 +211,7 @@ pub fn run_jacobi_sweeps(
 /// number of sweeps executed (capped at `max_sweeps`).
 ///
 /// # Errors
-/// Propagates interpreter failures.
+/// Propagates engine failures.
 pub fn run_until_converged(
     module: &Module,
     func: &str,
@@ -120,11 +220,11 @@ pub fn run_until_converged(
     tol: f64,
     max_sweeps: usize,
 ) -> Result<usize, ExecError> {
-    let mut interp = Interpreter::new();
+    let mut runner = Runner::new(module, Engine::default(), 1)?;
     let mut previous = buffers[watch].to_vec();
     for sweep in 1..=max_sweeps {
         let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
-        interp.call(module, func, args)?;
+        runner.call(func, args)?;
         let current = buffers[watch].to_vec();
         let delta = previous
             .iter()
@@ -159,6 +259,29 @@ mod tests {
     }
 
     #[test]
+    fn reference_modules_fall_back_to_interp() {
+        let m = reference_module(&kernels::gauss_seidel_5pt_module()).unwrap();
+        let runner = Runner::new(&m, Engine::Bytecode, 1).unwrap();
+        assert_eq!(
+            runner.engine(),
+            Engine::Interp,
+            "structured cfd ops must fall back to the tree-walker"
+        );
+    }
+
+    #[test]
+    fn lowered_modules_run_on_bytecode() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let c = compile(
+            &kernels::gauss_seidel_5pt_module(),
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]),
+        )
+        .unwrap();
+        let runner = Runner::new(&c.module, Engine::Bytecode, 1).unwrap();
+        assert_eq!(runner.engine(), Engine::Bytecode);
+    }
+
+    #[test]
     fn run_until_converged_reaches_fixed_point() {
         let m = reference_module(&kernels::gauss_seidel_5pt_module()).unwrap();
         let w = BufferView::alloc(&[1, 10, 10]);
@@ -177,7 +300,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_sweeps_honor_thread_knob() {
+    fn compiled_sweeps_honor_thread_and_engine_knobs() {
         use instencil_core::pipeline::{compile, PipelineOptions};
         let m = kernels::gauss_seidel_5pt_module();
         let n = 12usize;
@@ -190,7 +313,11 @@ mod tests {
             }
             (w, BufferView::alloc(&[1, n, n]))
         };
-        let seq = compile(&m, &PipelineOptions::new(vec![4, 4], vec![2, 2])).unwrap();
+        let seq = compile(
+            &m,
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]).engine(Engine::Interp),
+        )
+        .unwrap();
         let par = compile(
             &m,
             &PipelineOptions::new(vec![4, 4], vec![2, 2]).threads(3),
@@ -200,8 +327,8 @@ mod tests {
         let stats_seq = run_compiled_sweeps(&seq, "gs5", &[ws.clone(), bs], 2).unwrap();
         let (wp, bp) = init(&());
         let stats_par = run_compiled_sweeps(&par, "gs5", &[wp.clone(), bp], 2).unwrap();
-        assert_eq!(ws.to_vec(), wp.to_vec(), "bit-identical results");
-        assert_eq!(stats_seq, stats_par, "thread-count-invariant stats");
+        assert_eq!(ws.to_vec(), wp.to_vec(), "bit-identical across engines");
+        assert_eq!(stats_seq, stats_par, "engine- and thread-invariant stats");
         assert!(stats_par.wavefront_levels > 0);
     }
 

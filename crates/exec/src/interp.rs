@@ -46,7 +46,7 @@ pub struct ExecError {
 }
 
 impl ExecError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         ExecError {
             message: message.into(),
         }

@@ -6,11 +6,43 @@
 //! cost estimator, reproducing the per-thread-count tile choices of the
 //! paper's Tables 2 and 3.
 
-use instencil_pattern::tiling::candidate_tile_sizes;
+use std::error::Error;
+use std::fmt;
+
+use instencil_pattern::tiling::{candidate_tile_sizes, clamp_tile_sizes};
 use instencil_pattern::{blockdeps, StencilPattern};
 
 use crate::cost::{estimate_sweep, RunConfig};
 use crate::topology::Machine;
+
+/// The autotuner found no legal candidate: every enumerated tile was
+/// filtered out by the vector-chunk, legality, or sub-domain-grid
+/// constraints. Happens on degenerate inputs — domains smaller than one
+/// vector chunk, or thread counts exceeding any possible sub-domain
+/// grid — where the search space is genuinely empty.
+#[derive(Clone, Debug)]
+pub struct AutotuneError {
+    /// The problem domain that produced an empty search space.
+    pub domain: Vec<usize>,
+    /// The requested thread count.
+    pub threads: usize,
+    /// Candidates enumerated before filtering (0 = capacity rule
+    /// admitted nothing).
+    pub candidates: usize,
+}
+
+impl fmt::Display for AutotuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "autotune: no legal tile candidate for domain {:?} with {} threads \
+             ({} candidates enumerated, all filtered)",
+            self.domain, self.threads, self.candidates
+        )
+    }
+}
+
+impl Error for AutotuneError {}
 
 /// Result of one autotuning search.
 #[derive(Clone, Debug)]
@@ -33,12 +65,17 @@ pub struct TunedTiles {
 /// Sub-domain candidates are derived from each tile candidate by scaling
 /// with small integer factors, mirroring the paper's two-level scheme
 /// (sub-domains are unions of cache tiles).
+///
+/// # Errors
+/// Returns [`AutotuneError`] when every candidate is filtered out (tiny
+/// domains, excessive thread counts). Use [`autotune_or_fallback`] when a
+/// usable-if-suboptimal answer is preferred over an error.
 pub fn autotune(
     m: &Machine,
     pattern: &StencilPattern,
     proto: &RunConfig,
     threads: usize,
-) -> TunedTiles {
+) -> Result<TunedTiles, AutotuneError> {
     let k = pattern.rank();
     let cands = candidate_tile_sizes(
         pattern,
@@ -93,9 +130,50 @@ pub fn autotune(
             }
         }
     }
-    let mut best = best.expect("at least one legal tile candidate");
-    best.evaluated = evaluated;
-    best
+    match best {
+        Some(mut b) => {
+            b.evaluated = evaluated;
+            Ok(b)
+        }
+        None => Err(AutotuneError {
+            domain: proto.domain.clone(),
+            threads,
+            candidates: cands.len(),
+        }),
+    }
+}
+
+/// [`autotune`], but degenerate search spaces degrade to a whole-domain
+/// tiling (one tile = one sub-domain = the clamped domain) instead of
+/// erroring. The fallback is always legal — [`clamp_tile_sizes`] pins the
+/// restricted dimensions — and on domains big enough for a real search
+/// this behaves exactly like [`autotune`].
+pub fn autotune_or_fallback(
+    m: &Machine,
+    pattern: &StencilPattern,
+    proto: &RunConfig,
+    threads: usize,
+) -> TunedTiles {
+    match autotune(m, pattern, proto, threads) {
+        Ok(t) => t,
+        Err(_) => {
+            let tile = clamp_tile_sizes(pattern, &proto.domain, &proto.domain);
+            let subdomain = tile.clone();
+            let mut cfg = proto.clone();
+            cfg.threads = threads;
+            cfg.tile = tile.clone();
+            cfg.subdomain = subdomain.clone();
+            if let Ok(deps) = blockdeps::block_dependences(pattern, &subdomain) {
+                cfg.deps = deps;
+            }
+            TunedTiles {
+                tile,
+                subdomain,
+                time_s: estimate_sweep(m, &cfg).total_s,
+                evaluated: 0,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +199,7 @@ mod tests {
     fn gs5_tuning_yields_legal_capacity_tiles() {
         let m = xeon_6152_dual();
         let p = presets::gauss_seidel_5pt();
-        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 10);
+        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 10).unwrap();
         assert!(is_legal_tiling(&p, &tuned.tile));
         let fp: usize = tuned.tile.iter().product::<usize>() * 3 * 8;
         assert!(fp <= m.l2_bytes, "capacity rule violated: {fp}");
@@ -132,7 +210,7 @@ mod tests {
     fn gs9_tuning_respects_pinned_dim() {
         let m = xeon_6152_dual();
         let p = presets::gauss_seidel_9pt();
-        let tuned = autotune(&m, &p, &proto(vec![4000, 4000]), 44);
+        let tuned = autotune(&m, &p, &proto(vec![4000, 4000]), 44).unwrap();
         assert_eq!(tuned.tile[0], 1, "paper Table 2: 9-point tiles are 1×N");
     }
 
@@ -141,7 +219,7 @@ mod tests {
         // With 44 threads the tuner must produce at least 44 sub-domains.
         let m = xeon_6152_dual();
         let p = presets::gauss_seidel_5pt();
-        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 44);
+        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 44).unwrap();
         let grid: usize = [2000usize, 2000]
             .iter()
             .zip(&tuned.subdomain)
@@ -154,8 +232,72 @@ mod tests {
     fn heat3d_tuning_runs() {
         let m = xeon_6152_dual();
         let p = presets::heat3d_gauss_seidel();
-        let tuned = autotune(&m, &p, &proto(vec![256, 256, 256]), 10);
+        let tuned = autotune(&m, &p, &proto(vec![256, 256, 256]), 10).unwrap();
         assert_eq!(tuned.tile.len(), 3);
         assert!(tuned.time_s > 0.0);
+    }
+
+    #[test]
+    fn tiny_domains_never_panic() {
+        // Domains smaller than one vector chunk used to hit the
+        // `best.expect(...)` panic when the candidate filters emptied the
+        // search; now every outcome is a clean Ok or Err.
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        for domain in [vec![2, 2], vec![4, 4], vec![7, 7]] {
+            for threads in [1usize, 44] {
+                match autotune(&m, &p, &proto(domain.clone()), threads) {
+                    Ok(t) => assert!(is_legal_tiling(&p, &t.tile)),
+                    Err(e) => {
+                        assert_eq!(e.domain, domain);
+                        assert_eq!(e.threads, threads);
+                        assert!(e.to_string().contains("no legal tile candidate"));
+                    }
+                }
+            }
+        }
+        // With 44 threads no sub-domain grid over a 2x2 domain can feed
+        // the workers: the search is genuinely empty and must say so.
+        let e = autotune(&m, &p, &proto(vec![2, 2]), 44);
+        assert!(e.is_err(), "2x2 x 44 threads has no legal candidate");
+    }
+
+    #[test]
+    fn excessive_threads_error_instead_of_panicking() {
+        // A thread count no sub-domain grid can feed also empties the
+        // search (the `grid < threads` filter rejects everything).
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let r = autotune(&m, &p, &proto(vec![16, 16]), 100_000);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fallback_tunes_tiny_domains_to_the_whole_domain() {
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        for domain in [vec![2, 2], vec![4, 4], vec![7, 7]] {
+            let tuned = autotune_or_fallback(&m, &p, &proto(domain.clone()), 44);
+            assert!(is_legal_tiling(&p, &tuned.tile), "fallback must be legal");
+            assert_eq!(tuned.subdomain, tuned.tile);
+            assert!(tuned
+                .tile
+                .iter()
+                .zip(&domain)
+                .all(|(&t, &n)| t >= 1 && t <= n));
+            assert_eq!(tuned.evaluated, 0, "fallback evaluates no candidates");
+            assert!(tuned.time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn fallback_matches_autotune_on_real_domains() {
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let cfg = proto(vec![2000, 2000]);
+        let direct = autotune(&m, &p, &cfg, 10).unwrap();
+        let fallback = autotune_or_fallback(&m, &p, &cfg, 10);
+        assert_eq!(direct.tile, fallback.tile);
+        assert_eq!(direct.subdomain, fallback.subdomain);
     }
 }

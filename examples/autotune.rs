@@ -66,7 +66,13 @@ fn main() {
                 .collect::<Vec<_>>()
         );
         for threads in [1usize, 10, 44] {
-            let tuned = autotune(&m, &pattern, &proto, threads);
+            let tuned = match autotune(&m, &pattern, &proto, threads) {
+                Ok(t) => t,
+                Err(e) => {
+                    println!("  {threads:>2} threads: {e}");
+                    continue;
+                }
+            };
             let fp = tile_footprint_bytes(&tuned.tile, 1, 3, 8);
             println!(
                 "  {threads:>2} threads: tile {:?}, sub-domain {:?}  (footprint {:>4} KiB of {} KiB L2, {} candidates)",

@@ -13,7 +13,7 @@
 //! | [`ir`] | `instencil-ir` | MLIR-like SSA IR, dialects, verifier, printer/parser, passes |
 //! | [`pattern`] | `instencil-pattern` | stencil patterns, L/U sets, tiling legality, Eq. (3) wavefronts |
 //! | [`core`] | `instencil-core` | the `cfd` dialect, kernels, tiling/fusion/parallelization/vectorization |
-//! | [`exec`] | `instencil-exec` | buffers, interpreter (reference + lowered), thread-pool wavefronts |
+//! | [`exec`] | `instencil-exec` | buffers, interpreter (reference + lowered), bytecode engine, thread-pool wavefronts |
 //! | [`machine`] | `instencil-machine` | Xeon 6152 model, roofline + wavefront estimator, autotuner |
 //! | [`solvers`] | `instencil-solvers` | reference numerics: GS/SOR/Jacobi, heat 3D, Euler/Roe, LU-SGS |
 //! | [`baseline`] | `instencil-baseline` | Pluto-like and elsA-like comparison systems |
@@ -57,12 +57,12 @@ pub mod prelude {
         build_face_iterator, build_pointwise, build_stencil, PointwiseSpec, StencilSpec,
         StencilYield,
     };
-    pub use instencil_core::pipeline::{compile, reference_module, PipelineOptions};
+    pub use instencil_core::pipeline::{compile, reference_module, Engine, PipelineOptions};
     pub use instencil_exec::buffer::BufferView;
     pub use instencil_exec::driver::{
-        run_compiled_sweeps, run_jacobi_sweeps, run_sweeps, run_sweeps_threaded,
+        run_compiled_sweeps, run_jacobi_sweeps, run_sweeps, run_sweeps_threaded, run_sweeps_with,
     };
-    pub use instencil_exec::{Interpreter, RtVal, WavefrontPool};
+    pub use instencil_exec::{BytecodeEngine, Interpreter, RtVal, WavefrontPool};
     pub use instencil_ir::{FuncBuilder, Module, Type};
     pub use instencil_machine::{autotune, estimate_sweep, xeon_6152_dual, RunConfig};
     pub use instencil_pattern::{presets, StencilPattern, Sweep, WavefrontSchedule};

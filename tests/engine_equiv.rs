@@ -1,0 +1,169 @@
+//! The bytecode engine is *bit-identical* to the tree-walking
+//! interpreter — results and statistics.
+//!
+//! The bytecode compiler translates each lowered function once into flat
+//! register-machine tapes; the only thing it is allowed to change is
+//! wall-clock time. These tests drive every §4.2 transformation preset
+//! (tr1–tr4) of the SOR solver and the Euler LU-SGS solver through both
+//! engines at 1, 2, 4 and 8 wavefront threads and require
+//!
+//! * identical `f64` bit patterns in every output buffer, and
+//! * identical [`ExecStats`](instencil::exec::ExecStats) counters
+//!   (loads, stores, flops, wavefront levels, blocks, …),
+//!
+//! which is the contract that lets wall-clock numbers be measured on the
+//! bytecode engine while correctness arguments stay with the reference
+//! interpreter.
+
+use instencil::prelude::*;
+use instencil::solvers::euler::NV;
+use instencil::solvers::euler_codegen::euler_lusgs_module;
+use instencil::solvers::lusgs::vortex_initial;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deterministic non-trivial initial data.
+fn seeded(shape: &[usize]) -> BufferView {
+    let len: usize = shape.iter().product();
+    let data: Vec<f64> = (0..len)
+        .map(|i| ((i * 2_654_435_761) % 1_000) as f64 * 1e-3 - 0.5)
+        .collect();
+    BufferView::from_data(shape, data)
+}
+
+fn assert_bits_equal(expect: &[f64], got: &[f64], what: &str) {
+    assert_eq!(expect.len(), got.len(), "{what}: length mismatch");
+    for (i, (a, b)) in expect.iter().zip(got).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{what}: bit mismatch at flat index {i}: {a:?} vs {b:?}"
+        );
+    }
+}
+
+#[test]
+fn sor_bytecode_matches_interp_on_every_preset() {
+    let module = kernels::sor_module(1.5);
+    let n = 17usize;
+    let shape = [1, n, n];
+    let presets: [(&str, PipelineOptions); 4] = [
+        ("tr1", PipelineOptions::tr1(vec![4, 4], vec![2, 2])),
+        ("tr2", PipelineOptions::tr2(vec![4, 4], vec![2, 2])),
+        ("tr3", PipelineOptions::tr3(vec![4, 4], vec![2, 2])),
+        ("tr4", PipelineOptions::tr4(vec![4, 4], vec![2, 2])),
+    ];
+    for (name, opts) in presets {
+        let compiled = compile(&module, &opts).expect("sor compiles");
+        for threads in THREAD_COUNTS {
+            let u_i = seeded(&shape);
+            let b_i = seeded(&shape);
+            let stats_i = run_sweeps_with(
+                &compiled.module,
+                "sor",
+                &[u_i.clone(), b_i],
+                3,
+                threads,
+                Engine::Interp,
+            )
+            .unwrap();
+            let u_b = seeded(&shape);
+            let b_b = seeded(&shape);
+            let stats_b = run_sweeps_with(
+                &compiled.module,
+                "sor",
+                &[u_b.clone(), b_b],
+                3,
+                threads,
+                Engine::Bytecode,
+            )
+            .unwrap();
+            assert_bits_equal(
+                &u_i.to_vec(),
+                &u_b.to_vec(),
+                &format!("sor {name} threads={threads}"),
+            );
+            assert_eq!(
+                stats_i, stats_b,
+                "sor {name} threads={threads}: engines must count identically"
+            );
+            assert!(stats_b.wavefront_levels > 0, "{name}: wavefronts expected");
+        }
+    }
+}
+
+#[test]
+fn lusgs_bytecode_matches_interp() {
+    let module = euler_lusgs_module(0.05);
+    let n = 10usize;
+    let shape = [NV, n, n, n];
+    let compiled = compile(&module, &PipelineOptions::new(vec![4, 4, 4], vec![2, 2, 2]))
+        .expect("euler compiles");
+
+    let run = |threads: usize, engine: Engine| {
+        let w0 = vortex_initial(n);
+        let w = BufferView::from_data(&shape, w0.data().to_vec());
+        let dw = BufferView::alloc(&shape);
+        let b = BufferView::alloc(&shape);
+        let mut stats = instencil::exec::ExecStats::default();
+        for _ in 0..2 {
+            dw.fill(0.0);
+            b.fill(0.0);
+            stats = run_sweeps_with(
+                &compiled.module,
+                "euler_step",
+                &[w.clone(), dw.clone(), b.clone()],
+                1,
+                threads,
+                engine,
+            )
+            .expect("euler step runs");
+        }
+        (w.to_vec(), stats)
+    };
+
+    for threads in THREAD_COUNTS {
+        let (expect, stats_i) = run(threads, Engine::Interp);
+        let (got, stats_b) = run(threads, Engine::Bytecode);
+        assert_bits_equal(&expect, &got, &format!("lusgs threads={threads}"));
+        assert_eq!(
+            stats_i, stats_b,
+            "lusgs threads={threads}: engines must count identically"
+        );
+        assert!(stats_b.wavefront_levels > 0, "wavefronts expected");
+    }
+}
+
+#[test]
+fn gs5_presets_match_across_engines() {
+    // The bench kernel of the acceptance criterion: 5-point 2D
+    // Gauss-Seidel through every preset at every thread count.
+    let module = kernels::gauss_seidel_5pt_module();
+    let n = 18usize;
+    let shape = [1, n, n];
+    for opts in [
+        PipelineOptions::tr1(vec![8, 8], vec![4, 4]),
+        PipelineOptions::tr4(vec![8, 8], vec![4, 4]),
+    ] {
+        let compiled = compile(&module, &opts).expect("gs5 compiles");
+        for threads in THREAD_COUNTS {
+            let run = |engine: Engine| {
+                let w = seeded(&shape);
+                let b = seeded(&shape);
+                let stats = run_sweeps_with(
+                    &compiled.module,
+                    "gs5",
+                    &[w.clone(), b],
+                    2,
+                    threads,
+                    engine,
+                )
+                .unwrap();
+                (w.to_vec(), stats)
+            };
+            let (expect, stats_i) = run(Engine::Interp);
+            let (got, stats_b) = run(Engine::Bytecode);
+            assert_bits_equal(&expect, &got, &format!("gs5 threads={threads}"));
+            assert_eq!(stats_i, stats_b, "gs5 threads={threads}: stats differ");
+        }
+    }
+}
