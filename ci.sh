@@ -38,4 +38,9 @@ cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 echo "==> engines bench smoke (interp vs bytecode, writes BENCH_exec.json)"
 INSTENCIL_BENCH_FAST=1 cargo bench $OFFLINE -p instencil-bench --bench engines
 
+echo "==> obs report smoke (Trace pipeline run, schema-validates the JSON)"
+# The example fails if the emitted report does not validate against the
+# current report schema version, so this doubles as the schema gate.
+cargo run $OFFLINE --release --example obs_report
+
 echo "CI OK"

@@ -1,21 +1,44 @@
 //! Interpreter vs bytecode engine on generated kernels.
 //!
-//! Measures ns/point of one full sweep of the compiled 5-point 2D
-//! Gauss-Seidel (the profiling-scale case of `generated.rs`) on both
-//! execution engines, and writes the numbers to `BENCH_exec.json` so CI
-//! can track the speedup. The engines are bit-identical (enforced by
-//! `tests/engine_equiv.rs`); this bench records what that identity
-//! costs — or rather, what compiling to tapes buys: the acceptance bar
-//! for the bytecode engine is >= 5x on this case.
+//! Measures ns/point of one full sweep of two compiled in-place kernels
+//! on both execution engines, and writes the numbers to
+//! `BENCH_exec.json` so CI can track the speedup:
 //!
-//! `INSTENCIL_BENCH_FAST=1` shrinks the sampling to a CI smoke run; the
-//! JSON is written either way.
+//! * `gs5` — 5-point 2D Gauss-Seidel (profiling scale of
+//!   `generated.rs`), scalar and vf8;
+//! * `sor-tr2` — SOR (ω = 1.6) through the §4.2 Tr2 preset (fusion, no
+//!   vectorization).
+//!
+//! All measured runs execute with observability **Off**; the previous
+//! `BENCH_exec.json` is parsed first and the fresh bytecode numbers are
+//! compared against it, so an accidental Off-path overhead regression
+//! in the obs layer fails the bench instead of silently shifting the
+//! baseline. A separate gs5 run at `ObsLevel::Trace` renders the run
+//! report to `BENCH_exec_report.json` next to it (schema-validated).
+//!
+//! The engines are bit-identical (enforced by `tests/engine_equiv.rs`);
+//! this bench records what that identity costs — or rather, what
+//! compiling to tapes buys: the acceptance bar for the bytecode engine
+//! is >= 5x on the gs5 case.
+//!
+//! `INSTENCIL_BENCH_FAST=1` shrinks the sampling to a CI smoke run and
+//! skips the regression gate (smoke timings are too noisy to compare);
+//! the JSON is written either way.
 
 use std::time::Instant;
 
 use instencil_bench::cases::paper_cases;
+use instencil_core::kernels;
 use instencil_core::pipeline::{compile, PipelineOptions};
+use instencil_exec::driver::run_compiled_report;
 use instencil_exec::{buffer::BufferView, BytecodeEngine, Interpreter, RtVal};
+use instencil_ir::Module;
+use instencil_obs::{report::validate_report_json, Json, ObsLevel};
+
+/// Tolerated slowdown of a fresh bytecode measurement vs the stored
+/// baseline before the bench fails (generous: CI machines are noisy,
+/// and the guard only needs to catch gross Off-path overhead).
+const MAX_REGRESSION: f64 = 1.5;
 
 struct Row {
     engine: &'static str,
@@ -35,51 +58,137 @@ fn measure(samples: usize, mut sweep: impl FnMut()) -> f64 {
     best
 }
 
+/// Measures one compiled module on both engines; returns the two rows.
+fn bench_case(
+    samples: usize,
+    label: &str,
+    module: &Module,
+    opts: &PipelineOptions,
+    shape: &[usize],
+    n_buffers: usize,
+    func: &str,
+) -> Vec<Row> {
+    let compiled = compile(module, opts).unwrap();
+    let points: usize = shape.iter().product();
+    let buffers: Vec<BufferView> = (0..n_buffers).map(|_| BufferView::alloc(shape)).collect();
+    buffers[0].fill(1.0);
+    let args = || -> Vec<RtVal> { buffers.iter().cloned().map(RtVal::Buf).collect() };
+
+    let mut interp = Interpreter::new();
+    let t_interp = measure(samples, || {
+        interp.call(&compiled.module, func, args()).unwrap();
+    });
+    let mut engine = BytecodeEngine::compile(&compiled.module).unwrap();
+    let t_bytecode = measure(samples, || {
+        engine.call(func, args()).unwrap();
+    });
+
+    let mut rows = Vec::new();
+    for (engine_name, t) in [("interp", t_interp), ("bytecode", t_bytecode)] {
+        let ns = t / points as f64;
+        println!("engines/{engine_name}/{label:<12} {ns:>10.1} ns/point");
+        rows.push(Row {
+            engine: engine_name,
+            case: label.to_string(),
+            ns_per_point: ns,
+        });
+    }
+    println!(
+        "engines/speedup/{label:<13} {:>9.2}x",
+        t_interp / t_bytecode
+    );
+    rows
+}
+
+/// Reads the bytecode baselines (case -> ns/point) from a previous
+/// `BENCH_exec.json`, if one exists and parses.
+fn read_baselines(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(rows) = doc.as_arr() else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            if r.get("engine")?.as_str()? != "bytecode" {
+                return None;
+            }
+            Some((
+                r.get("case")?.as_str()?.to_string(),
+                r.get("ns_per_point")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
 fn main() {
     let fast = std::env::var_os("INSTENCIL_BENCH_FAST").is_some();
     let samples = if fast { 3 } else { 15 };
+    // Cargo runs benches with cwd = the package dir; pin the output to
+    // the workspace root (override with INSTENCIL_BENCH_JSON).
+    let out = std::env::var("INSTENCIL_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json").into());
+    let baselines = read_baselines(&out);
+
     let case = paper_cases()
         .into_iter()
         .find(|c| c.name == "gs5")
         .expect("gs5 case");
     let module = case.module();
+    let mut shape = vec![case.nb_var];
+    shape.extend(&case.profile_domain);
     let mut rows: Vec<Row> = Vec::new();
 
     for (label, vf) in [("scalar", None), ("vf8", Some(8))] {
         let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
             .vectorize(vf);
-        let compiled = compile(&module, &opts).unwrap();
-        let mut shape = vec![case.nb_var];
-        shape.extend(&case.profile_domain);
-        let points: usize = shape.iter().product();
-        let buffers: Vec<BufferView> = (0..case.n_buffers)
-            .map(|_| BufferView::alloc(&shape))
-            .collect();
-        buffers[0].fill(1.0);
-        let args = || -> Vec<RtVal> { buffers.iter().cloned().map(RtVal::Buf).collect() };
+        rows.extend(bench_case(
+            samples,
+            &format!("gs5-{label}"),
+            &module,
+            &opts,
+            &shape,
+            case.n_buffers,
+            case.func,
+        ));
+    }
 
-        let mut interp = Interpreter::new();
-        let t_interp = measure(samples, || {
-            interp.call(&compiled.module, case.func, args()).unwrap();
-        });
-        let mut engine = BytecodeEngine::compile(&compiled.module).unwrap();
-        let t_bytecode = measure(samples, || {
-            engine.call(case.func, args()).unwrap();
-        });
+    // SOR through the Tr2 preset (fusion), same profiling geometry as
+    // gs5 (both are 5-point in-place sweeps over [1, 34, 66]).
+    let sor = kernels::sor_module(1.6);
+    let sor_opts =
+        PipelineOptions::tr2(case.profile_subdomain.clone(), case.profile_tile.clone());
+    rows.extend(bench_case(
+        samples, "sor-tr2", &sor, &sor_opts, &shape, 2, "sor",
+    ));
 
-        for (engine_name, t) in [("interp", t_interp), ("bytecode", t_bytecode)] {
-            let ns = t / points as f64;
-            println!("engines/{engine_name}/gs5-{label:<8} {ns:>10.1} ns/point");
-            rows.push(Row {
-                engine: engine_name,
-                case: format!("gs5-{label}"),
-                ns_per_point: ns,
-            });
+    // Off-path overhead gate: the measured runs above all used
+    // ObsLevel::Off; a gross slowdown vs the stored baseline means the
+    // obs layer leaked work onto the hot path.
+    if !fast {
+        for (case_name, baseline_ns) in &baselines {
+            let Some(row) = rows
+                .iter()
+                .find(|r| r.engine == "bytecode" && r.case == *case_name)
+            else {
+                continue;
+            };
+            let ratio = row.ns_per_point / baseline_ns;
+            println!(
+                "engines/off-overhead/{:<13} {:>8.2}x vs baseline {:.1} ns/point",
+                case_name, ratio, baseline_ns
+            );
+            assert!(
+                ratio <= MAX_REGRESSION,
+                "bytecode {case_name} regressed {ratio:.2}x vs baseline \
+                 ({:.1} vs {baseline_ns:.1} ns/point): obs Off path must stay free",
+                row.ns_per_point
+            );
         }
-        println!(
-            "engines/speedup/gs5-{label:<9} {:>9.2}x",
-            t_interp / t_bytecode
-        );
     }
 
     let mut json = String::from("[\n");
@@ -93,10 +202,23 @@ fn main() {
         ));
     }
     json.push_str("]\n");
-    // Cargo runs benches with cwd = the package dir; pin the output to
-    // the workspace root (override with INSTENCIL_BENCH_JSON).
-    let out = std::env::var("INSTENCIL_BENCH_JSON")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json").into());
     std::fs::write(&out, &json).expect("write BENCH_exec.json");
     println!("wrote {out} ({} rows)", rows.len());
+
+    // Unmeasured observability run: gs5 at Trace, rendered next to the
+    // numbers so the perf trajectory ships with its run report.
+    let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
+        .vectorize(Some(8))
+        .obs(ObsLevel::Trace);
+    let compiled = compile(&module, &opts).unwrap();
+    let buffers: Vec<BufferView> = (0..case.n_buffers)
+        .map(|_| BufferView::alloc(&shape))
+        .collect();
+    buffers[0].fill(1.0);
+    let report = run_compiled_report(&compiled, case.func, &buffers, 2).unwrap();
+    let report_json = report.to_json().to_string();
+    validate_report_json(&report_json).expect("engines bench report must validate");
+    let report_out = out.replace(".json", "_report.json");
+    std::fs::write(&report_out, &report_json).expect("write report JSON");
+    println!("wrote {report_out} (schema-validated run report)");
 }

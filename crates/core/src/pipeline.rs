@@ -18,10 +18,11 @@ use std::fmt;
 
 use instencil_ir::pass::CanonicalizePass;
 use instencil_ir::{Module, Pass, PassError};
+use instencil_obs::{Obs, ObsLevel};
 
 use crate::transforms::bufferize::bufferize_module;
 use crate::transforms::lower::{lower_module, LowerOptions, LowerStats};
-use crate::transforms::tile::{tile_module, TileOptions};
+use crate::transforms::tile::{tile_module_traced, TileOptions};
 
 /// Compilation failure (verification or transformation error).
 #[derive(Debug, Clone)]
@@ -94,6 +95,11 @@ pub struct PipelineOptions {
     /// Execution engine for the lowered module (runtime knob; the
     /// generated IR is identical either way).
     pub engine: Engine,
+    /// Observability level: `Off` (default, free), `Summary`, or
+    /// `Trace`. Governs the collector that [`compile`] threads through
+    /// the passes and that the exec drivers continue at run time; the
+    /// generated IR is identical for every value.
+    pub obs: ObsLevel,
 }
 
 impl PipelineOptions {
@@ -107,6 +113,7 @@ impl PipelineOptions {
             vectorize: None,
             threads: 1,
             engine: Engine::default(),
+            obs: ObsLevel::default(),
         }
     }
 
@@ -145,6 +152,13 @@ impl PipelineOptions {
         self
     }
 
+    /// Sets the observability level.
+    #[must_use]
+    pub fn obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// §4.2 preset Tr1: sub-domain parallelism, per-op tiling, no fusion,
     /// no vectorization.
     pub fn tr1(subdomain: Vec<usize>, tile: Vec<usize>) -> Self {
@@ -176,6 +190,11 @@ pub struct CompiledModule {
     pub stats: LowerStats,
     /// The options the module was compiled with.
     pub options: PipelineOptions,
+    /// The observability collector the passes recorded into (the no-op
+    /// handle at [`ObsLevel::Off`]). Hand it to the exec drivers to
+    /// extend the same record with runtime metrics, then render it with
+    /// [`instencil_obs::RunReport::build`].
+    pub obs: Obs,
 }
 
 /// Runs the full pipeline on a tensor-level kernel module.
@@ -184,36 +203,96 @@ pub struct CompiledModule {
 /// Returns a [`CompileError`] when any stage rejects the input (illegal
 /// tile sizes, malformed ops, post-pass verification failures).
 pub fn compile(module: &Module, opts: &PipelineOptions) -> Result<CompiledModule, CompileError> {
-    module.verify().map_err(|e| CompileError {
-        stage: "input-verify".into(),
-        message: e.to_string(),
-    })?;
-    let bufferized = bufferize_module(module)?;
-    let tiled = tile_module(
-        &bufferized,
-        &TileOptions {
-            subdomain: opts.subdomain.clone(),
-            tile: opts.tile.clone(),
-            parallel: opts.parallel,
-            fuse: opts.fuse,
-        },
-    )?;
-    let (mut lowered, stats) = lower_module(
-        &tiled,
-        &LowerOptions {
-            vectorize: opts.vectorize,
-        },
-    )?;
-    CanonicalizePass.run(&mut lowered)?;
-    lowered.verify().map_err(|e| CompileError {
-        stage: "final-verify".into(),
-        message: e.to_string(),
-    })?;
+    compile_with_obs(module, opts, Obs::new(opts.obs))
+}
+
+/// [`compile`] recording into an existing collector (e.g. one shared
+/// with an autotuning run). Each pass gets a `pass:*` span carrying the
+/// module op count entering and leaving it; span guards close on every
+/// error path, so a failed compilation still leaves balanced records.
+///
+/// # Errors
+/// See [`compile`].
+pub fn compile_with_obs(
+    module: &Module,
+    opts: &PipelineOptions,
+    obs: Obs,
+) -> Result<CompiledModule, CompileError> {
+    let ops_in = module_ops(module);
+    {
+        let mut s = obs.span("pass:input-verify");
+        s.note("ops_before", ops_in);
+        s.note("ops_after", ops_in);
+        module.verify().map_err(|e| CompileError {
+            stage: "input-verify".into(),
+            message: e.to_string(),
+        })?;
+    }
+    let bufferized = {
+        let mut s = obs.span("pass:bufferize");
+        s.note("ops_before", ops_in);
+        let bufferized = bufferize_module(module)?;
+        s.note("ops_after", module_ops(&bufferized));
+        bufferized
+    };
+    let tiled = {
+        let mut s = obs.span("pass:tile");
+        s.note("ops_before", module_ops(&bufferized));
+        s.note("fuse", i64::from(opts.fuse));
+        let tiled = tile_module_traced(
+            &bufferized,
+            &TileOptions {
+                subdomain: opts.subdomain.clone(),
+                tile: opts.tile.clone(),
+                parallel: opts.parallel,
+                fuse: opts.fuse,
+            },
+            &obs,
+        )?;
+        s.note("ops_after", module_ops(&tiled));
+        tiled
+    };
+    let (mut lowered, stats) = {
+        let mut s = obs.span("pass:lower");
+        s.note("ops_before", module_ops(&tiled));
+        let (lowered, stats) = lower_module(
+            &tiled,
+            &LowerOptions {
+                vectorize: opts.vectorize,
+            },
+        )?;
+        s.note("ops_after", module_ops(&lowered));
+        s.note("vectorized_ops", stats.vectorized as i64);
+        s.note("scalar_ops", stats.scalar as i64);
+        (lowered, stats)
+    };
+    {
+        let mut s = obs.span("pass:canonicalize");
+        s.note("ops_before", module_ops(&lowered));
+        CanonicalizePass.run(&mut lowered)?;
+        s.note("ops_after", module_ops(&lowered));
+    }
+    {
+        let ops = module_ops(&lowered);
+        let mut s = obs.span("pass:final-verify");
+        s.note("ops_before", ops);
+        s.note("ops_after", ops);
+        lowered.verify().map_err(|e| CompileError {
+            stage: "final-verify".into(),
+            message: e.to_string(),
+        })?;
+    }
     Ok(CompiledModule {
         module: lowered,
         stats,
         options: opts.clone(),
+        obs,
     })
+}
+
+/// Total op count across all functions (the per-pass IR size metric).
+fn module_ops(module: &Module) -> i64 {
+    module.funcs().iter().map(|f| f.body.num_ops() as i64).sum()
 }
 
 /// Produces the *reference* executable form: bufferized only, with the
@@ -301,6 +380,82 @@ mod tests {
         let r = reference_module(&kernels::gauss_seidel_5pt_module()).unwrap();
         let f = r.lookup("gs5").unwrap();
         assert!(f.body.find_first(&OpCode::CfdStencil).is_some());
+    }
+
+    #[test]
+    fn every_pass_is_spanned_with_op_count_deltas() {
+        let obs = Obs::new(ObsLevel::Summary);
+        let opts = PipelineOptions::new(vec![8, 8], vec![4, 4]).fuse(true);
+        compile_with_obs(&kernels::gauss_seidel_5pt_module(), &opts, obs.clone()).unwrap();
+        let rec = obs.snapshot();
+        let pass_names: Vec<&str> = rec
+            .spans
+            .iter()
+            .filter_map(|s| s.name.strip_prefix("pass:"))
+            .collect();
+        assert_eq!(
+            pass_names,
+            vec![
+                "input-verify",
+                "bufferize",
+                "tile",
+                "lower",
+                "canonicalize",
+                "final-verify"
+            ],
+            "all six stages spanned in completion order"
+        );
+        let note = |name: &str, key: &str| {
+            rec.spans
+                .iter()
+                .find(|s| s.name == name)
+                .and_then(|s| s.notes.iter().find(|(k, _)| k == key).map(|&(_, v)| v))
+        };
+        // Tiling expands the module, lowering expands it further.
+        let tile_in = note("pass:tile", "ops_before").unwrap();
+        let tile_out = note("pass:tile", "ops_after").unwrap();
+        assert!(tile_out > tile_in, "{tile_out} <= {tile_in}");
+        assert_eq!(note("pass:lower", "ops_before"), Some(tile_out));
+        assert!(note("pass:lower", "ops_after").unwrap() > tile_out);
+        assert_eq!(note("pass:tile", "fuse"), Some(1));
+        // Transform internals nest under the tile pass.
+        let tile_id = rec.spans.iter().find(|s| s.name == "pass:tile").unwrap().id;
+        let fusion = rec
+            .spans
+            .iter()
+            .find(|s| s.name == "tile:fusion-analysis")
+            .expect("tiler internals spanned");
+        assert_eq!(fusion.parent, Some(tile_id));
+    }
+
+    #[test]
+    fn failed_compilation_leaves_balanced_spans() {
+        // An illegal tiling makes the tile pass fail while its span
+        // guard is open; the guard must close on the error path so the
+        // collector stays balanced and records the failed pass.
+        let m = kernels::gauss_seidel_9pt_module();
+        let obs = Obs::new(ObsLevel::Trace);
+        let bad = PipelineOptions::new(vec![64, 64], vec![32, 32]); // 9p needs 1-pinned rows
+        let err = compile_with_obs(&m, &bad, obs.clone());
+        assert!(err.is_err());
+        assert_eq!(obs.active_depth(), 0, "span guards closed on error");
+        let rec = obs.snapshot();
+        assert!(
+            rec.spans.iter().any(|s| s.name == "pass:tile"),
+            "the failing pass still records its span"
+        );
+        assert!(
+            rec.spans.iter().all(|s| s.name != "pass:lower"),
+            "passes after the failure never opened"
+        );
+    }
+
+    #[test]
+    fn off_compilation_records_nothing() {
+        let opts = PipelineOptions::new(vec![8, 8], vec![4, 4]); // obs: Off
+        let c = compile(&kernels::gauss_seidel_5pt_module(), &opts).unwrap();
+        assert!(!c.obs.enabled());
+        assert_eq!(c.obs.snapshot(), instencil_obs::Recorded::default());
     }
 
     #[test]

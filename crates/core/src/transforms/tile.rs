@@ -30,6 +30,7 @@ use std::collections::{HashMap, HashSet};
 
 use instencil_ir::attr::Attribute;
 use instencil_ir::{Body, Func, FuncBuilder, Module, OpCode, OpId, PassError, Type, ValueId};
+use instencil_obs::Obs;
 use instencil_pattern::{blockdeps, Offset, StencilPattern, Sweep};
 
 use super::{rebuild_func, Expanded, OpExpander};
@@ -183,6 +184,7 @@ struct Tiler<'a> {
     opts: &'a TileOptions,
     fused: HashMap<OpId, Vec<OpId>>,
     skip: HashSet<OpId>,
+    obs: &'a Obs,
 }
 
 impl OpExpander for Tiler<'_> {
@@ -207,7 +209,10 @@ impl OpExpander for Tiler<'_> {
         {
             return Ok(Expanded::Keep);
         }
-        let info = op_info(src, op_id, &self.opts.subdomain)?;
+        let info = {
+            let _s = self.obs.span("tile:pattern-extraction");
+            op_info(src, op_id, &self.opts.subdomain)?
+        };
         if self.opts.tile.len() < info.k || self.opts.subdomain.len() < info.k {
             return Err(PassError::new(
                 "tile",
@@ -215,6 +220,8 @@ impl OpExpander for Tiler<'_> {
             ));
         }
         let fused = self.fused.get(&op_id).cloned().unwrap_or_default();
+        let mut s = self.obs.span("tile:emit");
+        s.note("fused_producers", fused.len() as i64);
         emit_tiled(fb, src, op_id, map, self.opts, &info, &fused)
     }
 }
@@ -501,6 +508,16 @@ fn emit_tile_body(
 /// Fails when sub-domain or tile sizes are illegal for a stencil pattern
 /// (§2.1 restriction) or ranks mismatch.
 pub fn tile_func(func: &Func, opts: &TileOptions) -> Result<Func, PassError> {
+    tile_func_traced(func, opts, &Obs::off())
+}
+
+/// [`tile_func`] with an observability collector: records spans for the
+/// fusion analysis (`tile:fusion-analysis`), per-op pattern extraction
+/// (`tile:pattern-extraction`) and tiled emission (`tile:emit`).
+///
+/// # Errors
+/// See [`tile_func`].
+pub fn tile_func_traced(func: &Func, opts: &TileOptions, obs: &Obs) -> Result<Func, PassError> {
     // Validate cache-tile legality for every stencil up front.
     let mut legality: Result<(), PassError> = Ok(());
     func.body.walk(|op_id| {
@@ -521,12 +538,24 @@ pub fn tile_func(func: &Func, opts: &TileOptions) -> Result<Func, PassError> {
     });
     legality?;
     let fused = if opts.fuse {
-        fusable_producers(func)
+        let mut s = obs.span("tile:fusion-analysis");
+        let fused = fusable_producers(func);
+        s.note("fused_stencils", fused.len() as i64);
+        s.note(
+            "fused_producers",
+            fused.values().map(Vec::len).sum::<usize>() as i64,
+        );
+        fused
     } else {
         HashMap::new()
     };
     let skip: HashSet<OpId> = fused.values().flatten().copied().collect();
-    let mut tiler = Tiler { opts, fused, skip };
+    let mut tiler = Tiler {
+        opts,
+        fused,
+        skip,
+        obs,
+    };
     let (new_func, _) = rebuild_func(
         func,
         &func.name,
@@ -542,9 +571,22 @@ pub fn tile_func(func: &Func, opts: &TileOptions) -> Result<Func, PassError> {
 /// # Errors
 /// Propagates the first per-function failure.
 pub fn tile_module(module: &Module, opts: &TileOptions) -> Result<Module, PassError> {
+    tile_module_traced(module, opts, &Obs::off())
+}
+
+/// [`tile_module`] with an observability collector (see
+/// [`tile_func_traced`]).
+///
+/// # Errors
+/// Propagates the first per-function failure.
+pub fn tile_module_traced(
+    module: &Module,
+    opts: &TileOptions,
+    obs: &Obs,
+) -> Result<Module, PassError> {
     let mut out = Module::new(module.name.clone());
     for f in module.funcs() {
-        out.push_func(tile_func(f, opts)?);
+        out.push_func(tile_func_traced(f, opts, obs)?);
     }
     out.verify().map_err(PassError::from)?;
     Ok(out)

@@ -27,6 +27,7 @@
 use std::sync::Arc;
 
 use instencil_ir::{CmpPred, Module};
+use instencil_obs::Obs;
 use instencil_pattern::CsrWavefronts;
 
 use crate::buffer::BufferView;
@@ -518,6 +519,7 @@ pub struct BytecodeEngine {
     /// the same module and inputs).
     pub stats: ExecStats,
     threads: usize,
+    obs: Obs,
 }
 
 impl BytecodeEngine {
@@ -537,10 +539,24 @@ impl BytecodeEngine {
     /// # Errors
     /// See [`BytecodeEngine::compile`].
     pub fn compile_with_threads(module: &Module, threads: usize) -> Result<Self, BcCompileError> {
+        Self::compile_with_obs(module, threads, Obs::off())
+    }
+
+    /// [`BytecodeEngine::compile_with_threads`] recording wavefront and
+    /// schedule timings into `obs`.
+    ///
+    /// # Errors
+    /// See [`BytecodeEngine::compile`].
+    pub fn compile_with_obs(
+        module: &Module,
+        threads: usize,
+        obs: Obs,
+    ) -> Result<Self, BcCompileError> {
         Ok(BytecodeEngine {
             program: compile_program(module)?,
             stats: ExecStats::default(),
             threads: threads.max(1),
+            obs,
         })
     }
 
@@ -561,7 +577,7 @@ impl BytecodeEngine {
             .ok_or_else(|| ExecError::new(format!("no function `{name}`")))?;
         let ctx = BcCtx {
             program: &self.program,
-            pool: WavefrontPool::new(self.threads),
+            pool: WavefrontPool::with_obs(self.threads, self.obs.clone()),
         };
         let mut stats = ExecStats::default();
         let out = ctx.call(fi, args, &mut stats);
@@ -816,8 +832,12 @@ impl BcCtx<'_> {
                         .iter()
                         .map(|&r| regs.i[r as usize].max(1) as usize)
                         .collect();
+                    let mut span = self.pool.obs().span("run:schedule");
                     let schedule =
                         instencil_pattern::WavefrontSchedule::compute(&grid, deps.as_ref());
+                    span.note("levels", schedule.num_levels() as i64);
+                    span.note("blocks", grid.iter().product::<usize>() as i64);
+                    drop(span);
                     stats.schedules_computed += 1;
                     let csr = schedule.into_wavefronts();
                     let row_ptr: Vec<i64> = csr.row_ptr().iter().map(|&x| x as i64).collect();
@@ -962,15 +982,51 @@ impl BcCtx<'_> {
         let rows = Arc::clone(regs.arr(rows)?);
         let cols = Arc::clone(regs.arr(cols)?);
         if self.pool.threads() == 1 {
-            for level in rows.windows(2) {
+            let obs = self.pool.obs();
+            let record = obs.enabled();
+            let detail = obs.detail_enabled();
+            let mut level_records = Vec::new();
+            let mut outcome = Ok(());
+            'levels: for (index, level) in rows.windows(2).enumerate() {
+                let t0 = record.then(std::time::Instant::now);
+                let mut done = 0u64;
                 stats.wavefront_levels += 1;
                 for &c in &cols[level[0] as usize..level[1] as usize] {
                     stats.blocks_executed += 1;
+                    done += 1;
                     regs.i[block as usize] = c;
-                    self.run_tape(func, body, regs, stats)?;
+                    if let Err(e) = self.run_tape(func, body, regs, stats) {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                if let Some(t0) = t0 {
+                    let wall_ns = t0.elapsed().as_nanos() as u64;
+                    level_records.push(instencil_obs::LevelRecord {
+                        index,
+                        blocks: (level[1] - level[0]) as u64,
+                        wall_ns,
+                        workers: if detail {
+                            vec![instencil_obs::WorkerRecord {
+                                busy_ns: wall_ns,
+                                blocks: done,
+                            }]
+                        } else {
+                            Vec::new()
+                        },
+                    });
+                }
+                if outcome.is_err() {
+                    break 'levels;
                 }
             }
-            return Ok(());
+            if record {
+                obs.record_wavefronts(instencil_obs::WavefrontRecord {
+                    threads: 1,
+                    levels: level_records,
+                });
+            }
+            return outcome;
         }
         let row_ptr: Vec<usize> = rows.iter().map(|&x| x as usize).collect();
         let blocks: Vec<usize> = cols.iter().map(|&x| x as usize).collect();

@@ -14,14 +14,17 @@
 //! and replays the tapes each sweep. Modules outside the lowered subset
 //! — reference modules with structured `cfd` ops — make bytecode
 //! compilation report [`BcCompileError::Unsupported`], and the runner
-//! silently falls back to the tree-walking [`Interpreter`]; both engines
-//! are bit-identical in results and statistics, so the fallback is
-//! observable only as wall-clock time.
+//! falls back to the tree-walking [`Interpreter`]; both engines are
+//! bit-identical in results and statistics, so the fallback is
+//! observable as wall-clock time and — when a collector is attached via
+//! [`Runner::with_obs`] — as an `engine-fallback` event surfaced in the
+//! [`RunReport`] together with the compile/execute time split.
 //!
 //! [`PipelineOptions`]: instencil_core::pipeline::PipelineOptions
 
 use instencil_core::pipeline::{CompiledModule, Engine};
 use instencil_ir::Module;
+use instencil_obs::{Obs, RunReport};
 
 use crate::buffer::BufferView;
 use crate::bytecode::BytecodeEngine;
@@ -30,11 +33,17 @@ use crate::interp::{ExecError, Interpreter};
 use crate::stats::ExecStats;
 use crate::value::RtVal;
 
-/// A module bound to an execution engine: bytecode when the module is in
-/// the lowered subset (or when explicitly requested), the tree-walking
-/// interpreter otherwise.
+/// Stable engine name used in run reports.
+fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Interp => "interp",
+        Engine::Bytecode => "bytecode",
+    }
+}
+
+/// The engine actually bound by a [`Runner`].
 #[derive(Debug)]
-pub enum Runner<'m> {
+enum RunnerInner<'m> {
     /// Tree-walking reference interpreter.
     Interp {
         /// The module under execution.
@@ -44,6 +53,18 @@ pub enum Runner<'m> {
     },
     /// Compiled bytecode tapes.
     Bytecode(BytecodeEngine),
+}
+
+/// A module bound to an execution engine: bytecode when the module is in
+/// the lowered subset (or when explicitly requested), the tree-walking
+/// interpreter otherwise. Remembers which engine was *requested* and why
+/// a fallback fired, so run reports can surface the decision.
+#[derive(Debug)]
+pub struct Runner<'m> {
+    inner: RunnerInner<'m>,
+    requested: Engine,
+    fallback: Option<String>,
+    obs: Obs,
 }
 
 impl<'m> Runner<'m> {
@@ -56,20 +77,56 @@ impl<'m> Runner<'m> {
     /// # Errors
     /// Returns an error only for [`BcCompileError::Malformed`] modules.
     pub fn new(module: &'m Module, engine: Engine, threads: usize) -> Result<Self, ExecError> {
-        match engine {
-            Engine::Interp => Ok(Runner::Interp {
+        Self::with_obs(module, engine, threads, Obs::off())
+    }
+
+    /// [`Runner::new`] recording into `obs`: bytecode compilation under
+    /// an `engine:compile` span, each call under `engine:execute`, the
+    /// interpreter fallback as an `engine-fallback` event, and wavefront
+    /// timings through the engines' pools.
+    ///
+    /// # Errors
+    /// Returns an error only for [`BcCompileError::Malformed`] modules.
+    pub fn with_obs(
+        module: &'m Module,
+        engine: Engine,
+        threads: usize,
+        obs: Obs,
+    ) -> Result<Self, ExecError> {
+        let mut fallback = None;
+        let inner = match engine {
+            Engine::Interp => RunnerInner::Interp {
                 module,
-                interp: Interpreter::with_threads(threads),
-            }),
-            Engine::Bytecode => match BytecodeEngine::compile_with_threads(module, threads) {
-                Ok(engine) => Ok(Runner::Bytecode(engine)),
-                Err(BcCompileError::Unsupported(_)) => Ok(Runner::Interp {
-                    module,
-                    interp: Interpreter::with_threads(threads),
-                }),
-                Err(e @ BcCompileError::Malformed(_)) => Err(ExecError::new(e.to_string())),
+                interp: Interpreter::with_obs(threads, obs.clone()),
             },
-        }
+            Engine::Bytecode => {
+                let compiled = {
+                    let _span = obs.span("engine:compile");
+                    BytecodeEngine::compile_with_obs(module, threads, obs.clone())
+                };
+                match compiled {
+                    Ok(engine) => RunnerInner::Bytecode(engine),
+                    Err(BcCompileError::Unsupported(what)) => {
+                        let reason = format!("unsupported by bytecode: {what}");
+                        obs.event("engine-fallback", &reason);
+                        fallback = Some(reason);
+                        RunnerInner::Interp {
+                            module,
+                            interp: Interpreter::with_obs(threads, obs.clone()),
+                        }
+                    }
+                    Err(e @ BcCompileError::Malformed(_)) => {
+                        return Err(ExecError::new(e.to_string()))
+                    }
+                }
+            }
+        };
+        Ok(Runner {
+            inner,
+            requested: engine,
+            fallback,
+            obs,
+        })
     }
 
     /// Calls a function of the bound module by name.
@@ -77,26 +134,59 @@ impl<'m> Runner<'m> {
     /// # Errors
     /// Propagates engine failures.
     pub fn call(&mut self, name: &str, args: Vec<RtVal>) -> Result<Vec<RtVal>, ExecError> {
-        match self {
-            Runner::Interp { module, interp } => interp.call(module, name, args),
-            Runner::Bytecode(engine) => engine.call(name, args),
+        let _span = self.obs.span("engine:execute");
+        match &mut self.inner {
+            RunnerInner::Interp { module, interp } => interp.call(module, name, args),
+            RunnerInner::Bytecode(engine) => engine.call(name, args),
         }
     }
 
     /// Statistics accumulated across calls.
     pub fn stats(&self) -> ExecStats {
-        match self {
-            Runner::Interp { interp, .. } => interp.stats,
-            Runner::Bytecode(engine) => engine.stats,
+        match &self.inner {
+            RunnerInner::Interp { interp, .. } => interp.stats,
+            RunnerInner::Bytecode(engine) => engine.stats,
         }
     }
 
     /// Which engine actually executes (after any fallback).
     pub fn engine(&self) -> Engine {
-        match self {
-            Runner::Interp { .. } => Engine::Interp,
-            Runner::Bytecode(_) => Engine::Bytecode,
+        match &self.inner {
+            RunnerInner::Interp { .. } => Engine::Interp,
+            RunnerInner::Bytecode(_) => Engine::Bytecode,
         }
+    }
+
+    /// The engine the caller asked for.
+    pub fn requested_engine(&self) -> Engine {
+        self.requested
+    }
+
+    /// Why the runner fell back to the interpreter, when it did.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.fallback.as_deref()
+    }
+
+    /// The attached collector ([`Obs::off`] unless built via
+    /// [`Runner::with_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Builds the run report from everything the attached collector has
+    /// recorded, filling in the engine section (requested/actual engine,
+    /// fallback reason) and the [`ExecStats`] counters. With the
+    /// collector off this is exactly [`RunReport::default`].
+    pub fn report(&self) -> RunReport {
+        if !self.obs.enabled() {
+            return RunReport::default();
+        }
+        let mut report = self.obs.report();
+        report.engine.requested = engine_name(self.requested).into();
+        report.engine.actual = engine_name(self.engine()).into();
+        report.engine.fallback_reason = self.fallback.clone();
+        report.exec_stats = Some(self.stats().to_json());
+        report
     }
 }
 
@@ -164,14 +254,47 @@ pub fn run_compiled_sweeps(
     buffers: &[BufferView],
     iterations: usize,
 ) -> Result<ExecStats, ExecError> {
-    run_sweeps_with(
+    let runner = run_compiled_runner(compiled, func, buffers, iterations)?;
+    Ok(runner.stats())
+}
+
+/// [`run_compiled_sweeps`] that additionally renders the full
+/// [`RunReport`]: pipeline pass spans recorded while `compiled` was
+/// built, engine compile/execute split, wavefront timelines, events and
+/// the [`ExecStats`] counters. With `obs: ObsLevel::Off` in the
+/// pipeline options this is exactly [`RunReport::default`].
+///
+/// # Errors
+/// Propagates engine failures.
+pub fn run_compiled_report(
+    compiled: &CompiledModule,
+    func: &str,
+    buffers: &[BufferView],
+    iterations: usize,
+) -> Result<RunReport, ExecError> {
+    let runner = run_compiled_runner(compiled, func, buffers, iterations)?;
+    Ok(runner.report())
+}
+
+/// Shared driver loop: binds a runner to the module's own collector
+/// (the one its pipeline passes were recorded into) and runs the sweeps.
+fn run_compiled_runner<'m>(
+    compiled: &'m CompiledModule,
+    func: &str,
+    buffers: &[BufferView],
+    iterations: usize,
+) -> Result<Runner<'m>, ExecError> {
+    let mut runner = Runner::with_obs(
         &compiled.module,
-        func,
-        buffers,
-        iterations,
-        compiled.options.threads,
         compiled.options.engine,
-    )
+        compiled.options.threads,
+        compiled.obs.clone(),
+    )?;
+    for _ in 0..iterations {
+        let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+        runner.call(func, args)?;
+    }
+    Ok(runner)
 }
 
 /// Runs alternating-buffer sweeps for out-of-place kernels (Jacobi):

@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use instencil_core::attrs::attr_to_pattern;
 use instencil_core::ops::RegionLayout;
+use instencil_obs::Obs;
 use instencil_ir::body::ValueDef;
 use instencil_ir::{Attribute, Body, Module, OpCode, OpId, RegionId, Type, ValueId};
 use instencil_pattern::{blockdeps, CsrWavefronts, Sweep, WavefrontSchedule};
@@ -77,6 +78,7 @@ pub struct Interpreter {
     /// Accumulated dynamic statistics.
     pub stats: ExecStats,
     threads: usize,
+    obs: Obs,
 }
 
 impl Default for Interpreter {
@@ -97,9 +99,16 @@ impl Interpreter {
     /// the Eq. (3) schedule makes sub-domains within a level write
     /// disjoint regions.
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_obs(threads, Obs::off())
+    }
+
+    /// Like [`Interpreter::with_threads`], but recording wavefront-level
+    /// and schedule timings into `obs`.
+    pub fn with_obs(threads: usize, obs: Obs) -> Self {
         Interpreter {
             stats: ExecStats::default(),
             threads: threads.max(1),
+            obs,
         }
     }
 
@@ -121,7 +130,7 @@ impl Interpreter {
     ) -> Result<Vec<RtVal>, ExecError> {
         let ctx = ExecCtx {
             module,
-            pool: WavefrontPool::new(self.threads),
+            pool: WavefrontPool::with_obs(self.threads, self.obs.clone()),
         };
         let mut frame = Frame::default();
         let out = ctx.call(name, args, &mut frame);
@@ -454,19 +463,61 @@ impl ExecCtx<'_> {
                     other => return Err(ExecError::new(format!("cols {other:?}"))),
                 };
                 if self.pool.threads() == 1 {
-                    for level in rows.windows(2) {
+                    let obs = self.pool.obs();
+                    let record = obs.enabled();
+                    let detail = obs.detail_enabled();
+                    let mut level_records = Vec::new();
+                    let mut run_level = |index: usize,
+                                         level: &[i64],
+                                         env: &mut Env,
+                                         frame: &mut Frame|
+                     -> Result<(), ExecError> {
+                        let t0 = record.then(std::time::Instant::now);
+                        let mut done = 0u64;
                         frame.stats.wavefront_levels += 1;
+                        let mut outcome = Ok(());
                         for &c in &cols[level[0] as usize..level[1] as usize] {
                             frame.stats.blocks_executed += 1;
-                            self.eval_region(
-                                body,
-                                op.regions[0],
-                                &[RtVal::Int(c)],
-                                env,
-                                frame,
-                            )?;
+                            done += 1;
+                            if let Err(e) = self
+                                .eval_region(body, op.regions[0], &[RtVal::Int(c)], env, frame)
+                            {
+                                outcome = Err(e);
+                                break;
+                            }
+                        }
+                        if let Some(t0) = t0 {
+                            let wall_ns = t0.elapsed().as_nanos() as u64;
+                            level_records.push(instencil_obs::LevelRecord {
+                                index,
+                                blocks: (level[1] - level[0]) as u64,
+                                wall_ns,
+                                workers: if detail {
+                                    vec![instencil_obs::WorkerRecord {
+                                        busy_ns: wall_ns,
+                                        blocks: done,
+                                    }]
+                                } else {
+                                    Vec::new()
+                                },
+                            });
+                        }
+                        outcome
+                    };
+                    let mut outcome = Ok(());
+                    for (index, level) in rows.windows(2).enumerate() {
+                        if let Err(e) = run_level(index, level, env, frame) {
+                            outcome = Err(e);
+                            break;
                         }
                     }
+                    if record {
+                        obs.record_wavefronts(instencil_obs::WavefrontRecord {
+                            threads: 1,
+                            levels: level_records,
+                        });
+                    }
+                    outcome?;
                 } else {
                     let row_ptr: Vec<usize> = rows.iter().map(|&x| x as usize).collect();
                     let blocks: Vec<usize> = cols.iter().map(|&x| x as usize).collect();
@@ -514,7 +565,11 @@ impl ExecCtx<'_> {
                     .and_then(Attribute::as_dense_i8)
                     .ok_or_else(|| ExecError::new("missing block_stencil"))?;
                 let deps = blockdeps::from_block_stencil(shape, data);
+                let mut span = self.pool.obs().span("run:schedule");
                 let schedule = WavefrontSchedule::compute(&grid, &deps);
+                span.note("levels", schedule.num_levels() as i64);
+                span.note("blocks", grid.iter().product::<usize>() as i64);
+                drop(span);
                 frame.stats.schedules_computed += 1;
                 let csr = schedule.into_wavefronts();
                 let row_ptr: Vec<i64> = csr.row_ptr().iter().map(|&x| x as i64).collect();

@@ -48,6 +48,7 @@ pub mod value;
 pub use buffer::BufferView;
 pub use bytecode::BytecodeEngine;
 pub use compile::BcCompileError;
+pub use driver::Runner;
 pub use interp::{ExecError, Interpreter};
 pub use parallel::WavefrontPool;
 pub use stats::ExecStats;

@@ -15,26 +15,41 @@
 //! statistics frame) and propagates the first error.
 
 use std::thread;
+use std::time::Instant;
 
+use instencil_obs::{LevelRecord, Obs, WavefrontRecord, WorkerRecord};
 use instencil_pattern::CsrWavefronts;
 
 /// A scoped thread pool executing wavefront schedules.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct WavefrontPool {
     threads: usize,
+    obs: Obs,
 }
 
 impl WavefrontPool {
     /// Creates a pool with the given number of worker threads (minimum 1).
     pub fn new(threads: usize) -> Self {
+        Self::with_obs(threads, Obs::off())
+    }
+
+    /// Creates a pool that records per-level (and, at
+    /// [`instencil_obs::ObsLevel::Trace`], per-worker) timings into `obs`.
+    pub fn with_obs(threads: usize, obs: Obs) -> Self {
         WavefrontPool {
             threads: threads.max(1),
+            obs,
         }
     }
 
     /// Number of workers.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The observability collector this pool reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Executes `work` for every scheduled sub-domain, level by level.
@@ -109,41 +124,58 @@ impl WavefrontPool {
         W: Fn(&mut S, usize) -> Result<(), E> + Sync,
         M: FnMut(S),
     {
+        let record = self.obs.enabled();
+        let detail = self.obs.detail_enabled();
+        let mut level_records: Vec<LevelRecord> = Vec::new();
         if self.threads == 1 {
             let mut state = init();
             let mut outcome = Ok(());
-            'levels: for level in schedule.levels() {
+            'levels: for (index, level) in schedule.levels().enumerate() {
+                let t0 = record.then(Instant::now);
+                let mut done = 0u64;
                 for &b in level {
                     if let Err(e) = work(&mut state, b) {
                         outcome = Err(e);
+                        done += 1; // the failing block still ran
+                        self.push_level(&mut level_records, index, level.len(), t0, detail, vec![done]);
                         break 'levels;
                     }
+                    done += 1;
+                }
+                if outcome.is_ok() {
+                    self.push_level(&mut level_records, index, level.len(), t0, detail, vec![done]);
                 }
             }
             merge(state);
+            self.flush_levels(level_records);
             return outcome;
         }
         let init = &init;
         let work = &work;
-        for level in schedule.levels() {
+        for (index, level) in schedule.levels().enumerate() {
             if level.is_empty() {
                 continue;
             }
             let chunk = level.len().div_ceil(self.threads);
-            let outcomes: Vec<(S, Result<(), E>)> = thread::scope(|s| {
+            let t0 = record.then(Instant::now);
+            let outcomes: Vec<(S, Result<(), E>, u64, u64)> = thread::scope(|s| {
                 let handles: Vec<_> = level
                     .chunks(chunk)
                     .map(|part| {
                         s.spawn(move || {
+                            let w0 = detail.then(Instant::now);
                             let mut state = init();
                             let mut outcome = Ok(());
+                            let mut done = 0u64;
                             for &b in part {
+                                done += 1;
                                 if let Err(e) = work(&mut state, b) {
                                     outcome = Err(e);
                                     break;
                                 }
                             }
-                            (state, outcome)
+                            let busy = w0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                            (state, outcome, busy, done)
                         })
                     })
                     .collect();
@@ -153,17 +185,74 @@ impl WavefrontPool {
                     .collect()
             });
             let mut first_err = None;
-            for (state, outcome) in outcomes {
+            let mut workers = Vec::new();
+            for (state, outcome, busy_ns, blocks) in outcomes {
                 merge(state);
                 if first_err.is_none() {
                     first_err = outcome.err();
                 }
+                if detail {
+                    workers.push(WorkerRecord { busy_ns, blocks });
+                }
+            }
+            if let Some(t0) = t0 {
+                level_records.push(LevelRecord {
+                    index,
+                    blocks: level.len() as u64,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    workers,
+                });
             }
             if let Some(e) = first_err {
+                self.flush_levels(level_records);
                 return Err(e);
             }
         }
+        self.flush_levels(level_records);
         Ok(())
+    }
+
+    /// Closes one single-thread level record (`blocks_done` holds the
+    /// lone worker's executed-block count).
+    fn push_level(
+        &self,
+        records: &mut Vec<LevelRecord>,
+        index: usize,
+        width: usize,
+        t0: Option<Instant>,
+        detail: bool,
+        blocks_done: Vec<u64>,
+    ) {
+        let Some(t0) = t0 else { return };
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let workers = if detail {
+            blocks_done
+                .into_iter()
+                .map(|blocks| WorkerRecord {
+                    busy_ns: wall_ns,
+                    blocks,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        records.push(LevelRecord {
+            index,
+            blocks: width as u64,
+            wall_ns,
+            workers,
+        });
+    }
+
+    /// Publishes the accumulated per-level records as one
+    /// [`WavefrontRecord`] (no-op when nothing was recorded).
+    fn flush_levels(&self, levels: Vec<LevelRecord>) {
+        if self.obs.enabled() {
+            self.obs.record_wavefronts(WavefrontRecord {
+                threads: self.threads,
+                levels,
+            });
+        }
     }
 }
 

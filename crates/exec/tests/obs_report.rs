@@ -1,0 +1,195 @@
+//! Observability integration: the runner's engine-fallback event, the
+//! wavefront timelines recorded through real threads, and the guarantee
+//! that `ObsLevel::Off` produces the byte-identical default report.
+
+use instencil_core::kernels;
+use instencil_core::pipeline::{compile, reference_module, Engine, PipelineOptions};
+use instencil_exec::buffer::BufferView;
+use instencil_exec::driver::{run_compiled_report, run_compiled_sweeps, Runner};
+use instencil_exec::RtVal;
+use instencil_obs::{Obs, ObsLevel, RunReport};
+
+fn gs5_buffers(n: usize) -> Vec<BufferView> {
+    let w = BufferView::alloc(&[1, n, n]);
+    for i in 0..n as i64 {
+        for j in 0..n as i64 {
+            w.store(&[0, i, j], ((i * 13 + j * 7) % 17) as f64 * 0.05);
+        }
+    }
+    vec![w, BufferView::alloc(&[1, n, n])]
+}
+
+#[test]
+fn engine_fallback_is_an_event_surfaced_in_the_report() {
+    // Reference modules keep structured cfd ops, which the bytecode
+    // compiler rejects as Unsupported — the runner must fall back AND
+    // say so, not just silently switch engines (regression: the
+    // fallback used to be observable only as wall-clock time).
+    let m = reference_module(&kernels::gauss_seidel_5pt_module()).unwrap();
+    let obs = Obs::new(ObsLevel::Summary);
+    let mut runner = Runner::with_obs(&m, Engine::Bytecode, 1, obs.clone()).unwrap();
+    assert_eq!(runner.requested_engine(), Engine::Bytecode);
+    assert_eq!(runner.engine(), Engine::Interp);
+    assert!(runner.fallback_reason().unwrap().contains("unsupported"));
+
+    let buffers = gs5_buffers(8);
+    let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+    runner.call("gs5", args).unwrap();
+
+    let report = runner.report();
+    assert_eq!(report.engine.requested, "bytecode");
+    assert_eq!(report.engine.actual, "interp");
+    assert!(report
+        .engine
+        .fallback_reason
+        .as_deref()
+        .unwrap()
+        .contains("unsupported"));
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| e.name == "engine-fallback" && e.detail.contains("unsupported")),
+        "fallback must be recorded as an event"
+    );
+    assert_eq!(report.engine.calls, 1);
+    assert!(report.exec_stats.is_some());
+}
+
+#[test]
+fn no_fallback_event_when_bytecode_compiles() {
+    let c = compile(
+        &kernels::gauss_seidel_5pt_module(),
+        &PipelineOptions::new(vec![4, 4], vec![2, 2]),
+    )
+    .unwrap();
+    let obs = Obs::new(ObsLevel::Summary);
+    let runner = Runner::with_obs(&c.module, Engine::Bytecode, 1, obs).unwrap();
+    assert_eq!(runner.engine(), Engine::Bytecode);
+    assert!(runner.fallback_reason().is_none());
+    let report = runner.report();
+    assert_eq!(report.engine.fallback_reason, None);
+    assert!(report.events.iter().all(|e| e.name != "engine-fallback"));
+    assert!(report.engine.compile_ns > 0, "compile span must be timed");
+}
+
+#[test]
+fn worker_busy_never_exceeds_level_wall() {
+    // Trace-level per-worker records across real threads: each worker's
+    // busy time is contained in its level's barrier-to-barrier wall.
+    let c = compile(
+        &kernels::gauss_seidel_5pt_module(),
+        &PipelineOptions::new(vec![4, 4], vec![2, 2])
+            .threads(3)
+            .obs(ObsLevel::Trace),
+    )
+    .unwrap();
+    let buffers = gs5_buffers(16);
+    run_compiled_sweeps(&c, "gs5", &buffers, 2).unwrap();
+    let rec = c.obs.snapshot();
+    assert!(!rec.wavefronts.is_empty(), "wavefront records must exist");
+    let mut workers_seen = 0usize;
+    for w in &rec.wavefronts {
+        assert_eq!(w.threads, 3);
+        for level in &w.levels {
+            assert!(!level.workers.is_empty(), "Trace records per-worker detail");
+            let executed: u64 = level.workers.iter().map(|x| x.blocks).sum();
+            assert_eq!(executed, level.blocks, "every block attributed to a worker");
+            for worker in &level.workers {
+                workers_seen += 1;
+                assert!(
+                    worker.busy_ns <= level.wall_ns,
+                    "worker busy {} > level wall {}",
+                    worker.busy_ns,
+                    level.wall_ns
+                );
+            }
+        }
+    }
+    assert!(workers_seen > 0);
+}
+
+#[test]
+fn summary_level_skips_worker_detail_but_keeps_level_walls() {
+    let c = compile(
+        &kernels::gauss_seidel_5pt_module(),
+        &PipelineOptions::new(vec![4, 4], vec![2, 2])
+            .threads(2)
+            .obs(ObsLevel::Summary),
+    )
+    .unwrap();
+    let buffers = gs5_buffers(16);
+    run_compiled_sweeps(&c, "gs5", &buffers, 1).unwrap();
+    let rec = c.obs.snapshot();
+    assert!(!rec.wavefronts.is_empty());
+    for w in &rec.wavefronts {
+        assert!(!w.levels.is_empty());
+        for level in &w.levels {
+            assert!(level.workers.is_empty(), "Summary keeps no worker detail");
+        }
+    }
+}
+
+#[test]
+fn off_produces_the_byte_identical_default_report() {
+    let c = compile(
+        &kernels::gauss_seidel_5pt_module(),
+        &PipelineOptions::new(vec![4, 4], vec![2, 2]), // obs: Off (default)
+    )
+    .unwrap();
+    assert!(!c.obs.enabled());
+    let buffers = gs5_buffers(12);
+    let report = run_compiled_report(&c, "gs5", &buffers, 2).unwrap();
+    assert_eq!(report, RunReport::default());
+    assert_eq!(
+        report.to_json().to_string(),
+        RunReport::default().to_json().to_string(),
+        "Off must serialize byte-identically to the default report"
+    );
+    assert_eq!(report.to_text(), RunReport::default().to_text());
+}
+
+#[test]
+fn observed_runs_match_unobserved_runs_bit_for_bit() {
+    // The collector must be read-only with respect to the computation:
+    // identical results and ExecStats with obs Off vs Trace.
+    let opts = PipelineOptions::new(vec![4, 4], vec![2, 2]).threads(2);
+    let m = kernels::gauss_seidel_5pt_module();
+    let c_off = compile(&m, &opts.clone()).unwrap();
+    let c_trace = compile(&m, &opts.obs(ObsLevel::Trace)).unwrap();
+    let b_off = gs5_buffers(16);
+    let b_trace = gs5_buffers(16);
+    let s_off = run_compiled_sweeps(&c_off, "gs5", &b_off, 3).unwrap();
+    let s_trace = run_compiled_sweeps(&c_trace, "gs5", &b_trace, 3).unwrap();
+    assert_eq!(b_off[0].to_vec(), b_trace[0].to_vec());
+    assert_eq!(s_off, s_trace, "stats are obs-invariant");
+}
+
+#[test]
+fn report_aggregates_sweeps_at_multiple_thread_counts() {
+    let c = compile(
+        &kernels::gauss_seidel_5pt_module(),
+        &PipelineOptions::new(vec![4, 4], vec![2, 2]).obs(ObsLevel::Trace),
+    )
+    .unwrap();
+    let buffers = gs5_buffers(16);
+    for threads in [1usize, 2] {
+        let mut runner =
+            Runner::with_obs(&c.module, Engine::Bytecode, threads, c.obs.clone()).unwrap();
+        for _ in 0..2 {
+            let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+            runner.call("gs5", args).unwrap();
+        }
+    }
+    let report = RunReport::build(&c.obs);
+    let mut threads_seen: Vec<usize> = report.wavefronts.iter().map(|g| g.threads).collect();
+    threads_seen.sort_unstable();
+    threads_seen.dedup();
+    assert_eq!(threads_seen, vec![1, 2], "both thread counts grouped");
+    for g in &report.wavefronts {
+        assert_eq!(g.sweeps, 2, "sweeps aggregated per group");
+    }
+    // Pipeline passes recorded at compile time are in the same report.
+    assert!(report.passes.iter().any(|p| p.name == "tile"));
+    assert!(report.engine.execute_ns > 0);
+}

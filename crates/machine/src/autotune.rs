@@ -9,6 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
+use instencil_obs::{AutotuneCandidate, AutotuneTrace, Obs};
 use instencil_pattern::tiling::{candidate_tile_sizes, clamp_tile_sizes};
 use instencil_pattern::{blockdeps, StencilPattern};
 
@@ -76,7 +77,27 @@ pub fn autotune(
     proto: &RunConfig,
     threads: usize,
 ) -> Result<TunedTiles, AutotuneError> {
+    autotune_traced(m, pattern, proto, threads, &Obs::off())
+}
+
+/// [`autotune`] recording the search into `obs` as an
+/// [`AutotuneTrace`]: every enumerated candidate with its cost-model
+/// score or rejection verdict, and the winner marked. At
+/// `ObsLevel::Summary` only the winning candidate is kept in the table;
+/// at `ObsLevel::Trace` the full table is recorded. The trace is
+/// recorded even when the search fails (all candidates rejected).
+///
+/// # Errors
+/// See [`autotune`].
+pub fn autotune_traced(
+    m: &Machine,
+    pattern: &StencilPattern,
+    proto: &RunConfig,
+    threads: usize,
+    obs: &Obs,
+) -> Result<TunedTiles, AutotuneError> {
     let k = pattern.rank();
+    let mut span = obs.span("autotune");
     let cands = candidate_tile_sizes(
         pattern,
         &proto.domain,
@@ -84,12 +105,30 @@ pub fn autotune(
         proto.live_tensors,
         m.l2_bytes,
     );
+    let recording = obs.enabled();
+    let mut table: Vec<AutotuneCandidate> = Vec::new();
+    let record = |table: &mut Vec<AutotuneCandidate>, c: AutotuneCandidate| {
+        if recording {
+            table.push(c);
+        }
+    };
     let mut best: Option<TunedTiles> = None;
+    let mut best_record: Option<usize> = None;
     let mut evaluated = 0;
     for tile in &cands {
         // Skip degenerate candidates with tiny innermost extents (no
         // vector chunk would fit); keep 1-pinned dims.
         if tile[k - 1] < 8.min(proto.domain[k - 1]) {
+            record(
+                &mut table,
+                AutotuneCandidate {
+                    tile: tile.clone(),
+                    subdomain: Vec::new(),
+                    score_s: None,
+                    verdict: "skip-small-inner".into(),
+                    chosen: false,
+                },
+            );
             continue;
         }
         for factor in [1usize, 2, 4, 8] {
@@ -98,7 +137,15 @@ pub fn autotune(
                 .zip(&proto.domain)
                 .map(|(&t, &n)| (t * factor).min(n))
                 .collect();
+            let candidate = |score_s: Option<f64>, verdict: &str| AutotuneCandidate {
+                tile: tile.clone(),
+                subdomain: subdomain.clone(),
+                score_s,
+                verdict: verdict.into(),
+                chosen: false,
+            };
             let Ok(deps) = blockdeps::block_dependences(pattern, &subdomain) else {
+                record(&mut table, candidate(None, "skip-illegal-deps"));
                 continue;
             };
             // Enough sub-domains to feed the threads, but not so many
@@ -110,7 +157,12 @@ pub fn autotune(
                 .zip(&subdomain)
                 .map(|(&n, &s)| n.div_ceil(s))
                 .product();
-            if grid < threads || grid > 16_384 {
+            if grid < threads {
+                record(&mut table, candidate(None, "skip-grid-threads"));
+                continue;
+            }
+            if grid > 16_384 {
+                record(&mut table, candidate(None, "skip-grid-large"));
                 continue;
             }
             let mut cfg = proto.clone();
@@ -120,6 +172,7 @@ pub fn autotune(
             cfg.deps = deps;
             let t = estimate_sweep(m, &cfg).total_s;
             evaluated += 1;
+            record(&mut table, candidate(Some(t), "evaluated"));
             if best.as_ref().is_none_or(|b| t < b.time_s) {
                 best = Some(TunedTiles {
                     tile: tile.clone(),
@@ -127,8 +180,27 @@ pub fn autotune(
                     time_s: t,
                     evaluated,
                 });
+                best_record = Some(table.len().saturating_sub(1));
             }
         }
+    }
+    span.note("candidates", cands.len() as i64);
+    span.note("evaluated", evaluated as i64);
+    drop(span);
+    if recording {
+        if let Some(i) = best_record {
+            table[i].chosen = true;
+        }
+        if !obs.detail_enabled() {
+            // Summary keeps only the winner's row.
+            table.retain(|c| c.chosen);
+        }
+        obs.record_autotune(AutotuneTrace {
+            domain: proto.domain.clone(),
+            threads,
+            evaluated,
+            candidates: table,
+        });
     }
     match best {
         Some(mut b) => {
@@ -154,9 +226,23 @@ pub fn autotune_or_fallback(
     proto: &RunConfig,
     threads: usize,
 ) -> TunedTiles {
-    match autotune(m, pattern, proto, threads) {
+    autotune_or_fallback_traced(m, pattern, proto, threads, &Obs::off())
+}
+
+/// [`autotune_or_fallback`] recording the search into `obs`; a
+/// degenerate search additionally records an `autotune-fallback` event
+/// with the empty-search reason.
+pub fn autotune_or_fallback_traced(
+    m: &Machine,
+    pattern: &StencilPattern,
+    proto: &RunConfig,
+    threads: usize,
+    obs: &Obs,
+) -> TunedTiles {
+    match autotune_traced(m, pattern, proto, threads, obs) {
         Ok(t) => t,
-        Err(_) => {
+        Err(e) => {
+            obs.event("autotune-fallback", &e.to_string());
             let tile = clamp_tile_sizes(pattern, &proto.domain, &proto.domain);
             let subdomain = tile.clone();
             let mut cfg = proto.clone();
@@ -288,6 +374,81 @@ mod tests {
             assert_eq!(tuned.evaluated, 0, "fallback evaluates no candidates");
             assert!(tuned.time_s > 0.0);
         }
+    }
+
+    #[test]
+    fn trace_records_every_candidate_and_marks_one_winner() {
+        use instencil_obs::ObsLevel;
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let obs = Obs::new(ObsLevel::Trace);
+        let tuned = autotune_traced(&m, &p, &proto(vec![2000, 2000]), 10, &obs).unwrap();
+        let rec = obs.snapshot();
+        assert_eq!(rec.autotune.len(), 1);
+        let t = &rec.autotune[0];
+        assert_eq!(t.domain, vec![2000, 2000]);
+        assert_eq!(t.threads, 10);
+        assert_eq!(t.evaluated, tuned.evaluated);
+        assert_eq!(
+            t.candidates.iter().filter(|c| c.verdict == "evaluated").count(),
+            t.evaluated,
+            "every scored candidate appears in the table"
+        );
+        assert!(
+            t.candidates.len() > t.evaluated,
+            "rejected candidates appear with their verdicts"
+        );
+        let winners: Vec<_> = t.candidates.iter().filter(|c| c.chosen).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].tile, tuned.tile);
+        assert_eq!(winners[0].subdomain, tuned.subdomain);
+        assert_eq!(winners[0].score_s, Some(tuned.time_s));
+        assert!(rec.spans.iter().any(|s| s.name == "autotune"));
+    }
+
+    #[test]
+    fn summary_trace_keeps_only_the_winner() {
+        use instencil_obs::ObsLevel;
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let obs = Obs::new(ObsLevel::Summary);
+        let tuned = autotune_traced(&m, &p, &proto(vec![2000, 2000]), 10, &obs).unwrap();
+        let t = &obs.snapshot().autotune[0];
+        assert_eq!(t.candidates.len(), 1, "summary keeps the winner's row only");
+        assert!(t.candidates[0].chosen);
+        assert_eq!(t.candidates[0].tile, tuned.tile);
+        assert_eq!(t.evaluated, tuned.evaluated, "counts still cover the search");
+    }
+
+    #[test]
+    fn failed_search_still_records_its_trace_and_fallback_event() {
+        use instencil_obs::ObsLevel;
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let obs = Obs::new(ObsLevel::Trace);
+        let tuned = autotune_or_fallback_traced(&m, &p, &proto(vec![2, 2]), 44, &obs);
+        assert!(is_legal_tiling(&p, &tuned.tile));
+        let rec = obs.snapshot();
+        assert_eq!(rec.autotune.len(), 1);
+        assert!(rec.autotune[0].candidates.iter().all(|c| !c.chosen));
+        assert!(rec
+            .events
+            .iter()
+            .any(|e| e.name == "autotune-fallback" && e.detail.contains("no legal tile")));
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_result() {
+        use instencil_obs::ObsLevel;
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let cfg = proto(vec![2000, 2000]);
+        let plain = autotune(&m, &p, &cfg, 10).unwrap();
+        let traced = autotune_traced(&m, &p, &cfg, 10, &Obs::new(ObsLevel::Trace)).unwrap();
+        assert_eq!(plain.tile, traced.tile);
+        assert_eq!(plain.subdomain, traced.subdomain);
+        assert_eq!(plain.time_s, traced.time_s);
+        assert_eq!(plain.evaluated, traced.evaluated);
     }
 
     #[test]

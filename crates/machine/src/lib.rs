@@ -33,6 +33,9 @@ pub mod cachesim;
 pub mod cost;
 pub mod topology;
 
-pub use autotune::{autotune, autotune_or_fallback, AutotuneError, TunedTiles};
+pub use autotune::{
+    autotune, autotune_or_fallback, autotune_or_fallback_traced, autotune_traced, AutotuneError,
+    TunedTiles,
+};
 pub use cost::{estimate_sweep, t_cell, PerPointCosts, RunConfig, TimeEstimate};
 pub use topology::{xeon_6152_dual, Machine};

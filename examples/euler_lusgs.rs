@@ -6,6 +6,11 @@
 //! ```text
 //! cargo run --release --example euler_lusgs
 //! ```
+//!
+//! Besides the correctness check, the example re-runs the generated
+//! solver under an `ObsLevel::Trace` collector and prints the
+//! wavefront-imbalance profile (per-level walls, per-worker busy/idle)
+//! that EXPERIMENTS.md's LU-SGS imbalance recipe refers to.
 
 use instencil::prelude::*;
 use instencil::solvers::array::Field;
@@ -89,5 +94,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(min_p > 0.0);
     println!("ok: generated implicit CFD solver matches the hand-written LU-SGS");
+
+    // --- wavefront-imbalance profile (EXPERIMENTS.md recipe) -------------
+    // LU-SGS wavefronts are diagonal planes of a cube: level widths ramp
+    // 1, 3, 6, … up to the main diagonal and back down, so the first and
+    // last levels cannot feed every worker. Re-run the generated solver
+    // under a Trace collector and print where that idle time lands.
+    let threads = 4usize;
+    let obs = Obs::new(ObsLevel::Trace);
+    let mut runner = Runner::with_obs(&compiled.module, Engine::Bytecode, threads, obs)?;
+    for _ in 0..steps {
+        dw.fill(0.0);
+        b.fill(0.0);
+        runner.call(
+            "euler_step",
+            vec![
+                RtVal::Buf(w_gen.clone()),
+                RtVal::Buf(dw.clone()),
+                RtVal::Buf(b.clone()),
+            ],
+        )?;
+    }
+    let report = runner.report();
+    println!("\nwavefront imbalance, {threads} threads ({steps} traced steps):");
+    for group in &report.wavefronts {
+        for level in &group.levels {
+            let idle: u64 = level.workers.iter().map(|w| w.idle_ns).sum();
+            println!(
+                "  level {:>2}: {:>3} blocks, wall {:>8} ns, imbalance {:.2}, total idle {:>8} ns",
+                level.index, level.blocks, level.wall_ns, level.imbalance, idle
+            );
+        }
+    }
     Ok(())
 }

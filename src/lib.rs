@@ -47,6 +47,7 @@ pub use instencil_core as core;
 pub use instencil_exec as exec;
 pub use instencil_ir as ir;
 pub use instencil_machine as machine;
+pub use instencil_obs as obs;
 pub use instencil_pattern as pattern;
 pub use instencil_solvers as solvers;
 
@@ -60,9 +61,11 @@ pub mod prelude {
     pub use instencil_core::pipeline::{compile, reference_module, Engine, PipelineOptions};
     pub use instencil_exec::buffer::BufferView;
     pub use instencil_exec::driver::{
-        run_compiled_sweeps, run_jacobi_sweeps, run_sweeps, run_sweeps_threaded, run_sweeps_with,
+        run_compiled_report, run_compiled_sweeps, run_jacobi_sweeps, run_sweeps,
+        run_sweeps_threaded, run_sweeps_with,
     };
-    pub use instencil_exec::{BytecodeEngine, Interpreter, RtVal, WavefrontPool};
+    pub use instencil_exec::{BytecodeEngine, Interpreter, RtVal, Runner, WavefrontPool};
+    pub use instencil_obs::{Obs, ObsLevel, RunReport};
     pub use instencil_ir::{FuncBuilder, Module, Type};
     pub use instencil_machine::{autotune, estimate_sweep, xeon_6152_dual, RunConfig};
     pub use instencil_pattern::{presets, StencilPattern, Sweep, WavefrontSchedule};
