@@ -35,8 +35,17 @@ cargo test $OFFLINE --workspace -q
 echo "==> cargo clippy -D warnings"
 cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 
-echo "==> engines bench smoke (interp vs bytecode, writes BENCH_exec.json)"
+echo "==> overlap checker (debug profile — the checker compiles out in release)"
+# The non-atomic tile views of the run-specialized engine are sound only
+# under Eq. (3) disjoint scheduling; these tests prove the debug checker
+# both accepts a correct schedule and panics on a deliberate mis-schedule.
+cargo test $OFFLINE --test overlap_checker
+
+echo "==> engines bench smoke (interp vs dispatch vs run-specialized, writes BENCH_exec.json)"
 INSTENCIL_BENCH_FAST=1 cargo bench $OFFLINE -p instencil-bench --bench engines
+
+echo "==> bench report schema gate (BENCH_exec_report.json vs obs schema)"
+cargo run $OFFLINE --release --example validate_bench_report
 
 echo "==> obs report smoke (Trace pipeline run, schema-validates the JSON)"
 # The example fails if the emitted report does not validate against the

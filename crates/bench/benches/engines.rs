@@ -21,9 +21,16 @@
 //! compiling to tapes buys: the acceptance bar for the bytecode engine
 //! is >= 5x on the gs5 case.
 //!
-//! `INSTENCIL_BENCH_FAST=1` shrinks the sampling to a CI smoke run and
-//! skips the regression gate (smoke timings are too noisy to compare);
-//! the JSON is written either way.
+//! Each case is measured on three engines: the interpreter, the
+//! bytecode engine with run specialization (`bytecode` — one dispatch
+//! per contiguous innermost run), and the same tapes with
+//! specialization disabled (`bytecode-dispatch` — full per-point
+//! dispatch). The dispatch rows quantify what the run path buys.
+//!
+//! `INSTENCIL_BENCH_FAST=1` shrinks the sampling to a CI smoke run;
+//! the >1.5x regression gate runs in both modes (a smoke breach gets
+//! one re-measurement before failing, since short smoke samples are
+//! noisy); the JSON is written either way.
 
 use std::time::Instant;
 
@@ -31,9 +38,9 @@ use instencil_bench::cases::paper_cases;
 use instencil_core::kernels;
 use instencil_core::pipeline::{compile, PipelineOptions};
 use instencil_exec::driver::run_compiled_report;
-use instencil_exec::{buffer::BufferView, BytecodeEngine, Interpreter, RtVal};
+use instencil_exec::{buffer::BufferView, BcOptions, BytecodeEngine, Interpreter, RtVal};
 use instencil_ir::Module;
-use instencil_obs::{report::validate_report_json, Json, ObsLevel};
+use instencil_obs::{report::validate_report_json, Json, Obs, ObsLevel};
 
 /// Tolerated slowdown of a fresh bytecode measurement vs the stored
 /// baseline before the bench fails (generous: CI machines are noisy,
@@ -82,9 +89,25 @@ fn bench_case(
     let t_bytecode = measure(samples, || {
         engine.call(func, args()).unwrap();
     });
+    let mut dispatch = BytecodeEngine::compile_with_opts(
+        &compiled.module,
+        1,
+        Obs::off(),
+        BcOptions {
+            specialize_runs: false,
+        },
+    )
+    .unwrap();
+    let t_dispatch = measure(samples, || {
+        dispatch.call(func, args()).unwrap();
+    });
 
     let mut rows = Vec::new();
-    for (engine_name, t) in [("interp", t_interp), ("bytecode", t_bytecode)] {
+    for (engine_name, t) in [
+        ("interp", t_interp),
+        ("bytecode", t_bytecode),
+        ("bytecode-dispatch", t_dispatch),
+    ] {
         let ns = t / points as f64;
         println!("engines/{engine_name}/{label:<12} {ns:>10.1} ns/point");
         rows.push(Row {
@@ -94,15 +117,16 @@ fn bench_case(
         });
     }
     println!(
-        "engines/speedup/{label:<13} {:>9.2}x",
-        t_interp / t_bytecode
+        "engines/speedup/{label:<13} {:>9.2}x  (run path {:.2}x over dispatch)",
+        t_interp / t_bytecode,
+        t_dispatch / t_bytecode,
     );
     rows
 }
 
 /// Reads the bytecode baselines (case -> ns/point) from a previous
 /// `BENCH_exec.json`, if one exists and parses.
-fn read_baselines(path: &str) -> Vec<(String, f64)> {
+fn read_baselines(path: &str) -> Vec<(String, String, f64)> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
@@ -114,10 +138,12 @@ fn read_baselines(path: &str) -> Vec<(String, f64)> {
     };
     rows.iter()
         .filter_map(|r| {
-            if r.get("engine")?.as_str()? != "bytecode" {
+            let engine = r.get("engine")?.as_str()?;
+            if !engine.starts_with("bytecode") {
                 return None;
             }
             Some((
+                engine.to_string(),
                 r.get("case")?.as_str()?.to_string(),
                 r.get("ns_per_point")?.as_f64()?,
             ))
@@ -127,7 +153,7 @@ fn read_baselines(path: &str) -> Vec<(String, f64)> {
 
 fn main() {
     let fast = std::env::var_os("INSTENCIL_BENCH_FAST").is_some();
-    let samples = if fast { 3 } else { 15 };
+    let samples = if fast { 5 } else { 15 };
     // Cargo runs benches with cwd = the package dir; pin the output to
     // the workspace root (override with INSTENCIL_BENCH_JSON).
     let out = std::env::var("INSTENCIL_BENCH_JSON")
@@ -141,54 +167,75 @@ fn main() {
     let module = case.module();
     let mut shape = vec![case.nb_var];
     shape.extend(&case.profile_domain);
-    let mut rows: Vec<Row> = Vec::new();
-
+    // (module, options, n_buffers, label, func) per measured case — kept
+    // around so the regression gate can re-measure a breached case.
+    let sor = kernels::sor_module(1.6);
+    let mut cases: Vec<(Module, PipelineOptions, usize, String, &str)> = Vec::new();
     for (label, vf) in [("scalar", None), ("vf8", Some(8))] {
         let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
             .vectorize(vf);
-        rows.extend(bench_case(
-            samples,
-            &format!("gs5-{label}"),
-            &module,
-            &opts,
-            &shape,
+        cases.push((
+            module.clone(),
+            opts,
             case.n_buffers,
+            format!("gs5-{label}"),
             case.func,
         ));
     }
-
     // SOR through the Tr2 preset (fusion), same profiling geometry as
     // gs5 (both are 5-point in-place sweeps over [1, 34, 66]).
-    let sor = kernels::sor_module(1.6);
-    let sor_opts =
-        PipelineOptions::tr2(case.profile_subdomain.clone(), case.profile_tile.clone());
-    rows.extend(bench_case(
-        samples, "sor-tr2", &sor, &sor_opts, &shape, 2, "sor",
+    cases.push((
+        sor,
+        PipelineOptions::tr2(case.profile_subdomain.clone(), case.profile_tile.clone()),
+        2,
+        "sor-tr2".to_string(),
+        "sor",
     ));
 
-    // Off-path overhead gate: the measured runs above all used
-    // ObsLevel::Off; a gross slowdown vs the stored baseline means the
-    // obs layer leaked work onto the hot path.
-    if !fast {
-        for (case_name, baseline_ns) in &baselines {
-            let Some(row) = rows
+    let mut rows: Vec<Row> = Vec::new();
+    for (m, opts, nb, label, func) in &cases {
+        rows.extend(bench_case(samples, label, m, opts, &shape, *nb, func));
+    }
+
+    // Regression gate, in smoke mode too: a fresh bytecode measurement
+    // more than MAX_REGRESSION over the stored baseline fails the
+    // bench — this catches a run-path perf regression (or obs work
+    // leaking onto the Off path) in CI. Smoke samples are short and CI
+    // machines are noisy, so a breach gets one re-measurement and the
+    // better of the two is judged.
+    for (engine_name, case_name, baseline_ns) in &baselines {
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.engine == *engine_name && r.case == *case_name)
+        else {
+            continue;
+        };
+        let mut ns = row.ns_per_point;
+        if ns / baseline_ns > MAX_REGRESSION {
+            if let Some((m, o, nb, f)) = cases
                 .iter()
-                .find(|r| r.engine == "bytecode" && r.case == *case_name)
-            else {
-                continue;
-            };
-            let ratio = row.ns_per_point / baseline_ns;
-            println!(
-                "engines/off-overhead/{:<13} {:>8.2}x vs baseline {:.1} ns/point",
-                case_name, ratio, baseline_ns
-            );
-            assert!(
-                ratio <= MAX_REGRESSION,
-                "bytecode {case_name} regressed {ratio:.2}x vs baseline \
-                 ({:.1} vs {baseline_ns:.1} ns/point): obs Off path must stay free",
-                row.ns_per_point
-            );
+                .find(|c| c.3 == *case_name)
+                .map(|c| (&c.0, &c.1, c.2, c.4))
+            {
+                let again = bench_case(samples, case_name, m, o, &shape, nb, f);
+                if let Some(r2) = again
+                    .iter()
+                    .find(|r| r.engine == *engine_name && r.case == *case_name)
+                {
+                    ns = ns.min(r2.ns_per_point);
+                }
+            }
         }
+        let ratio = ns / baseline_ns;
+        println!(
+            "engines/regression/{engine_name}/{:<13} {:>8.2}x vs baseline {:.1} ns/point",
+            case_name, ratio, baseline_ns
+        );
+        assert!(
+            ratio <= MAX_REGRESSION,
+            "{engine_name} {case_name} regressed {ratio:.2}x vs baseline \
+             ({ns:.1} vs {baseline_ns:.1} ns/point)",
+        );
     }
 
     let mut json = String::from("[\n");

@@ -67,9 +67,17 @@ impl From<PassError> for CompileError {
 pub enum Engine {
     /// Tree-walking reference interpreter.
     Interp,
-    /// Compiled bytecode tapes (default).
+    /// Compiled bytecode tapes (default), with innermost-loop run
+    /// specialization: straight-line stencil bodies execute a whole
+    /// contiguous run of points per dispatch.
     #[default]
     Bytecode,
+    /// Compiled bytecode tapes with run specialization disabled —
+    /// every point pays full opcode dispatch. Exists to measure what
+    /// the specialized run path buys (see `benches/engines.rs`) and as
+    /// a differential-testing comparator; results and statistics are
+    /// bit-identical to the other two engines.
+    BytecodeDispatch,
 }
 
 /// Options of the full pipeline (one point of the §4.2 ablation space).

@@ -24,6 +24,75 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Raw, non-atomic access to a buffer's storage for run-specialized
+/// execution (the "disjoint tile view" of DESIGN.md §4f).
+///
+/// A `TileView` addresses the *whole underlying allocation* by flat
+/// element index (the same flat index [`BufferView`] computes), but
+/// reads and writes plain `u64`/`f64` words instead of going through
+/// `AtomicU64` — which is what lets LLVM autovectorize the streamed
+/// inner loops of a run (relaxed atomic accesses are never vectorized).
+///
+/// # Safety argument
+///
+/// The storage is an `Arc<[AtomicU64]>`; `AtomicU64` is an interior-
+/// mutability (`UnsafeCell`-based) type with the same in-memory
+/// representation as `u64`, so writing through a raw pointer derived
+/// from the shared allocation is sound *provided no other thread
+/// accesses the same elements concurrently*. That exclusivity is
+/// exactly what the Eq. (3) wavefront schedule guarantees: two blocks
+/// of the same level never overlap in writes (or in a read of one and
+/// a write of the other) — any such overlap is a block dependence and
+/// forces the blocks into different levels, and the thread join between
+/// levels establishes the happens-before edge. The debug-mode
+/// [`overlap`] checker enforces this at run time in every test build.
+///
+/// Bounds are *not* checked per access (`debug_assert!` only): the run
+/// planner proves every address of a run in-bounds up front by
+/// bounds-checking both run endpoints through [`BufferView`]'s checked
+/// flat-index path (per-dimension indices are affine in the iteration
+/// variable, so the endpoints bound every intermediate iteration).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TileView {
+    ptr: *mut u64,
+    len: usize,
+}
+
+// SAFETY: a TileView is only dereferenced inside one wavefront block,
+// whose accesses are disjoint from every concurrently running block
+// (Eq. 3); the pointee allocation is kept alive by the BufferView held
+// in the executing frame's register file.
+unsafe impl Send for TileView {}
+unsafe impl Sync for TileView {}
+
+impl TileView {
+    /// Reads element `i` (flat index into the allocation).
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len, "tile read {i} out of {}", self.len);
+        // SAFETY: see the type-level safety argument; `i` was proven
+        // in-bounds by the run planner's endpoint checks.
+        unsafe { f64::from_bits(*self.ptr.add(i)) }
+    }
+
+    /// Writes element `i` (flat index into the allocation).
+    #[inline]
+    pub(crate) fn set(&self, i: usize, v: f64) {
+        debug_assert!(i < self.len, "tile write {i} out of {}", self.len);
+        // SAFETY: as for `get`; the pointee is interior-mutable
+        // (AtomicU64), so writing through a shared allocation is sound.
+        unsafe { *self.ptr.add(i) = v.to_bits() }
+    }
+
+    /// Identity of the underlying allocation (shared by every view of
+    /// the same storage) — the key hazard analysis and the overlap
+    /// checker group accesses by.
+    #[inline]
+    pub(crate) fn id(&self) -> usize {
+        self.ptr as usize
+    }
+}
+
 /// A view into shared `f64` storage.
 #[derive(Clone)]
 pub struct BufferView {
@@ -131,21 +200,88 @@ impl BufferView {
         Some((lo, hi))
     }
 
+    /// Element strides per dimension (run planner).
+    /// Resolves one run access to `(flat base, per-iteration flat
+    /// delta)` in a single pass over the dimensions, bounds-checking
+    /// both run endpoints — per-dimension indices are linear in the
+    /// iteration, so in-bounds endpoints bound all `n` iterations.
+    /// Panics exactly like a scalar access at the offending endpoint.
+    pub(crate) fn resolve_run(&self, i0: &[i64], i1: &[i64], n: usize) -> (isize, isize) {
+        debug_assert_eq!(i0.len(), self.rank(), "index rank mismatch");
+        let last = (n - 1) as i64;
+        let mut base = self.base;
+        let mut delta = 0isize;
+        for d in 0..i0.len() {
+            let local = i0[d] - self.origin[d];
+            if local < 0 || (local as usize) >= self.shape[d] {
+                self.oob(i0, d);
+            }
+            let step = i1[d] - i0[d];
+            let end = local + last * step;
+            if end < 0 || (end as usize) >= self.shape[d] {
+                self.oob_end(i0, i1, last, d);
+            }
+            base += local as isize * self.strides[d];
+            delta += step as isize * self.strides[d];
+        }
+        (base, delta)
+    }
+
+    /// Outlined endpoint-violation path of [`Self::resolve_run`]:
+    /// reconstructs the full endpoint index so the panic reads exactly
+    /// like a scalar access to it.
+    #[cold]
+    #[inline(never)]
+    fn oob_end(&self, i0: &[i64], i1: &[i64], last: i64, d: usize) -> ! {
+        let end: Vec<i64> = i0
+            .iter()
+            .zip(i1)
+            .map(|(&a, &b)| a + last * (b - a))
+            .collect();
+        self.oob(&end, d);
+    }
+
+    /// Raw non-atomic handle on the whole underlying allocation.
+    pub(crate) fn tile_view(&self) -> TileView {
+        TileView {
+            // AtomicU64 has the same in-memory representation as u64;
+            // the pointee is interior-mutable, so writing through a
+            // pointer derived from the shared allocation is sound.
+            ptr: self.storage.as_ptr().cast::<u64>().cast_mut(),
+            len: self.storage.len(),
+        }
+    }
+
+    /// The allocation this view addresses (for overlap-checker pinning).
+    #[cfg(debug_assertions)]
+    pub(crate) fn storage(&self) -> &Arc<[AtomicU64]> {
+        &self.storage
+    }
+
     #[inline]
     fn flat_index(&self, idx: &[i64]) -> isize {
         debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
         let mut flat = self.base;
         for d in 0..idx.len() {
             let local = idx[d] - self.origin[d];
-            assert!(
-                local >= 0 && (local as usize) < self.shape[d],
-                "index {idx:?} out of bounds (dim {d}: valid [{}, {}))",
-                self.origin[d],
-                self.origin[d] + self.shape[d] as i64
-            );
+            if local < 0 || (local as usize) >= self.shape[d] {
+                self.oob(idx, d);
+            }
             flat += local as isize * self.strides[d];
         }
         flat
+    }
+
+    /// Outlined panic path of [`Self::flat_index`], keeping the hot
+    /// loop free of format machinery.
+    #[cold]
+    #[inline(never)]
+    fn oob(&self, idx: &[i64], d: usize) -> ! {
+        panic!(
+            "index {idx:?} out of bounds (dim {d}: valid [{}, {}))",
+            self.origin[d],
+            self.origin[d] + self.shape[d] as i64
+        );
     }
 
     /// Bounds-checked flat index from an index iterator (no slice needed;
@@ -186,6 +322,7 @@ impl BufferView {
     /// Panics when the index is out of the view's valid range.
     pub fn store_iter(&self, idx: impl IntoIterator<Item = i64>, value: f64) {
         let flat = self.flat_index_iter(idx);
+        overlap::note_store(&self.storage, flat as usize, 1);
         self.storage[flat as usize].store(value.to_bits(), Ordering::Relaxed);
     }
 
@@ -204,6 +341,7 @@ impl BufferView {
     /// Panics when the index is out of the view's valid range.
     pub fn store(&self, idx: &[i64], value: f64) {
         let flat = self.flat_index(idx);
+        overlap::note_store(&self.storage, flat as usize, 1);
         self.storage[flat as usize].store(value.to_bits(), Ordering::Relaxed);
     }
 
@@ -259,6 +397,7 @@ impl BufferView {
     /// views (innermost stride 1) take a single-bounds-check fast path.
     pub fn store_vector(&self, idx: &[i64], values: &[f64]) {
         if let Some(flat) = self.contiguous_run(idx, values.len()) {
+            overlap::note_store(&self.storage, flat, values.len());
             for (l, &v) in values.iter().enumerate() {
                 self.storage[flat + l].store(v.to_bits(), Ordering::Relaxed);
             }
@@ -354,6 +493,7 @@ impl BufferView {
             && self.origin.iter().all(|&o| o == 0)
             && self.shape.iter().product::<usize>() == self.storage.len()
         {
+            overlap::note_store(&self.storage, 0, self.storage.len());
             let bits = value.to_bits();
             for slot in self.storage.iter() {
                 slot.store(bits, Ordering::Relaxed);
@@ -385,6 +525,254 @@ impl BufferView {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
     }
+}
+
+/// Debug-mode wavefront overlap checker — a lightweight race detector
+/// for the Eq. (3) disjointness guarantee the non-atomic [`TileView`]
+/// path relies on.
+///
+/// While a wavefront block executes (between [`LevelChecker::guard`]
+/// and the guard's drop), every buffer store on that thread is recorded
+/// into a thread-local, per-block set of flat-index intervals, grouped
+/// by allocation. When the block finishes, its write set is merged into
+/// the level's shared state; if it intersects the write set of any
+/// *other* block of the same level, the checker panics naming both
+/// blocks and the offending extents. A fresh [`LevelChecker`] per level
+/// implements the "reset at the barrier" semantics — blocks of
+/// *different* levels may freely write the same cells.
+///
+/// Recorded write sets pin an `Arc` clone of each touched allocation
+/// until the level ends, so a per-block temporary freed by one block
+/// cannot be re-allocated at the same address by a later block of the
+/// same level and produce a false positive.
+///
+/// The whole module compiles to no-ops in release builds (`ci.sh` runs
+/// the checker tests under the debug profile); `cargo test` exercises
+/// it on every shipped schedule by default.
+#[cfg(debug_assertions)]
+pub mod overlap {
+    use std::cell::RefCell;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::{Arc, Mutex};
+
+    /// One allocation's recorded writes: (allocation id, pinned storage,
+    /// closed `[lo, hi]` flat-index intervals).
+    type StorageWrites = (usize, Arc<[AtomicU64]>, Vec<(usize, usize)>);
+
+    /// Write extents of one block, grouped by allocation. Intervals are
+    /// coalesced on the fly for the common consecutive-store case and
+    /// normalized at commit.
+    struct BlockWrites {
+        block: usize,
+        per_storage: Vec<StorageWrites>,
+    }
+
+    thread_local! {
+        static ACTIVE: RefCell<Option<BlockWrites>> = const { RefCell::new(None) };
+    }
+
+    /// Shared per-level state: the write sets of every finished block.
+    #[derive(Default)]
+    pub struct LevelChecker {
+        done: Mutex<Vec<BlockWrites>>,
+    }
+
+    impl LevelChecker {
+        /// A fresh checker (create one per wavefront level).
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Starts recording block `block` on the current thread; the
+        /// returned guard commits and checks the write set on drop.
+        pub fn guard(&self, block: usize) -> BlockGuard<'_> {
+            ACTIVE.with(|a| {
+                let mut a = a.borrow_mut();
+                debug_assert!(a.is_none(), "nested overlap-checker blocks");
+                *a = Some(BlockWrites {
+                    block,
+                    per_storage: Vec::new(),
+                });
+            });
+            BlockGuard { checker: self }
+        }
+
+        fn commit(&self, mut writes: BlockWrites) {
+            for (_, _, intervals) in &mut writes.per_storage {
+                normalize(intervals);
+            }
+            let mut done = self.done.lock().unwrap();
+            for prior in done.iter() {
+                for (id, _, intervals) in &writes.per_storage {
+                    for (pid, _, prior_intervals) in &prior.per_storage {
+                        if pid != id {
+                            continue;
+                        }
+                        if let Some((lo, hi)) = intersect(intervals, prior_intervals) {
+                            panic!(
+                                "wavefront overlap: blocks {} and {} of the same \
+                                 level both wrote flat extent [{lo}, {hi}] of one \
+                                 allocation — the schedule violates Eq. (3) \
+                                 disjointness",
+                                prior.block, writes.block
+                            );
+                        }
+                    }
+                }
+            }
+            done.push(writes);
+        }
+    }
+
+    /// RAII scope of one block's recording (see [`LevelChecker::guard`]).
+    pub struct BlockGuard<'a> {
+        checker: &'a LevelChecker,
+    }
+
+    impl Drop for BlockGuard<'_> {
+        fn drop(&mut self) {
+            let Some(writes) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+                return;
+            };
+            // Don't double-panic while unwinding out of a failed block.
+            if std::thread::panicking() {
+                return;
+            }
+            self.checker.commit(writes);
+        }
+    }
+
+    /// Records a store of `len` elements at flat index `lo` (no-op
+    /// outside a block guard, i.e. outside wavefront execution).
+    #[inline]
+    pub(crate) fn note_store(storage: &Arc<[AtomicU64]>, lo: usize, len: usize) {
+        ACTIVE.with(|a| {
+            if let Some(w) = a.borrow_mut().as_mut() {
+                w.push(storage.as_ptr() as usize, Some(storage), lo, len);
+            }
+        });
+    }
+
+    /// Pins `storage` in the current block's write set so later
+    /// [`note_store_raw`] calls with its id are address-stable.
+    #[inline]
+    pub(crate) fn pin_storage(storage: &Arc<[AtomicU64]>) {
+        note_store(storage, 0, 0);
+    }
+
+    /// Records a store by allocation id only — the run-specialized path,
+    /// which must have pinned the allocation via [`pin_storage`] first.
+    #[inline]
+    pub(crate) fn note_store_raw(id: usize, lo: usize, len: usize) {
+        ACTIVE.with(|a| {
+            if let Some(w) = a.borrow_mut().as_mut() {
+                w.push(id, None, lo, len);
+            }
+        });
+    }
+
+    impl BlockWrites {
+        fn push(&mut self, id: usize, storage: Option<&Arc<[AtomicU64]>>, lo: usize, len: usize) {
+            let entry = match self.per_storage.iter_mut().find(|(i, _, _)| *i == id) {
+                Some(e) => e,
+                None => {
+                    let Some(storage) = storage else {
+                        debug_assert!(storage.is_some(), "raw store without pinned storage");
+                        return;
+                    };
+                    self.per_storage.push((id, Arc::clone(storage), Vec::new()));
+                    self.per_storage.last_mut().unwrap()
+                }
+            };
+            if len == 0 {
+                return;
+            }
+            let (lo, hi) = (lo, lo + len - 1);
+            // Coalesce with the previous interval when adjacent or
+            // overlapping (consecutive innermost-x stores).
+            if let Some(last) = entry.2.last_mut() {
+                if lo <= last.1.saturating_add(1) && last.0 <= hi.saturating_add(1) {
+                    last.0 = last.0.min(lo);
+                    last.1 = last.1.max(hi);
+                    return;
+                }
+            }
+            entry.2.push((lo, hi));
+        }
+    }
+
+    /// Sorts and merges an interval list in place.
+    fn normalize(intervals: &mut Vec<(usize, usize)>) {
+        intervals.sort_unstable();
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(intervals.len());
+        for &(lo, hi) in intervals.iter() {
+            if let Some(last) = out.last_mut() {
+                if lo <= last.1.saturating_add(1) {
+                    last.1 = last.1.max(hi);
+                    continue;
+                }
+            }
+            out.push((lo, hi));
+        }
+        *intervals = out;
+    }
+
+    /// First intersection of two sorted, merged interval lists.
+    fn intersect(a: &[(usize, usize)], b: &[(usize, usize)]) -> Option<(usize, usize)> {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let lo = a[i].0.max(b[j].0);
+            let hi = a[i].1.min(b[j].1);
+            if lo <= hi {
+                return Some((lo, hi));
+            }
+            if a[i].1 < b[j].1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+}
+
+/// Release builds: the overlap checker compiles out entirely (the guard
+/// is a ZST and every recording call is an empty inline function).
+#[cfg(not(debug_assertions))]
+pub mod overlap {
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    /// No-op stand-in for the debug checker.
+    #[derive(Default)]
+    pub struct LevelChecker;
+
+    /// No-op guard.
+    pub struct BlockGuard;
+
+    impl LevelChecker {
+        /// A fresh (no-op) checker.
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// No-op block scope.
+        #[inline]
+        pub fn guard(&self, _block: usize) -> BlockGuard {
+            BlockGuard
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn note_store(_storage: &Arc<[AtomicU64]>, _lo: usize, _len: usize) {}
+
+    #[allow(dead_code)] // debug-only call sites
+    #[inline(always)]
+    pub(crate) fn pin_storage(_storage: &Arc<[AtomicU64]>) {}
+
+    #[allow(dead_code)] // debug-only call sites
+    #[inline(always)]
+    pub(crate) fn note_store_raw(_id: usize, _lo: usize, _len: usize) {}
 }
 
 impl fmt::Debug for BufferView {

@@ -31,9 +31,10 @@ use instencil_obs::Obs;
 use instencil_pattern::CsrWavefronts;
 
 use crate::buffer::BufferView;
-use crate::compile::{compile_program, BcCompileError};
+use crate::compile::{compile_program, BcCompileError, BcOptions};
 use crate::interp::ExecError;
 use crate::parallel::WavefrontPool;
+use crate::runspec::{self, RunScratch, RunSpec};
 use crate::stats::ExecStats;
 use crate::value::RtVal;
 
@@ -81,7 +82,7 @@ pub(crate) enum FOp {
 
 impl FOp {
     #[inline]
-    fn apply(self, x: f64, y: f64) -> f64 {
+    pub(crate) fn apply(self, x: f64, y: f64) -> f64 {
         match self {
             FOp::Add => x + y,
             FOp::Sub => x - y,
@@ -105,7 +106,7 @@ pub(crate) enum FUn {
 
 impl FUn {
     #[inline]
-    fn apply(self, x: f64) -> f64 {
+    pub(crate) fn apply(self, x: f64) -> f64 {
         match self {
             FUn::Neg => -x,
             FUn::Sqrt => x.sqrt(),
@@ -251,6 +252,12 @@ pub(crate) enum Instr {
         loopback: Box<[Move]>,
         /// Iter-slot → result-register copies, run after the loop.
         results: Box<[Move]>,
+        /// Run specialization (DESIGN.md §4f): present when the body is
+        /// a straight-line stencil point and the compiler built a
+        /// [`RunSpec`] macro-op for it. The executor tries the
+        /// specialized path first and falls back to the generic loop
+        /// for short or unplannable runs.
+        run: Option<Box<RunSpec>>,
     },
     If {
         cond: u32,
@@ -398,15 +405,18 @@ impl BcProgram {
 /// per wavefront worker (flat `memcpy`-able vectors plus a slot table of
 /// buffer views — far cheaper than cloning an `RtVal` environment).
 #[derive(Clone, Debug)]
-struct Regs {
-    f: Vec<f64>,
-    i: Vec<i64>,
+pub(crate) struct Regs {
+    pub(crate) f: Vec<f64>,
+    pub(crate) i: Vec<i64>,
     v: Vec<f64>,
-    b: Vec<Option<BufferView>>,
+    pub(crate) b: Vec<Option<BufferView>>,
     a: Vec<Option<Arc<Vec<i64>>>>,
     /// Reusable index scratch for scalar/vector memory access (no
     /// per-point allocation).
     scratch: Vec<i64>,
+    /// Reusable run-specialization state (plans, stripes); `Clone`
+    /// hands out empty scratch, so worker frames start fresh.
+    rs: Box<RunScratch>,
 }
 
 impl Regs {
@@ -418,6 +428,7 @@ impl Regs {
             b: vec![None; func.num_b as usize],
             a: vec![None; func.num_a as usize],
             scratch: Vec::with_capacity(8),
+            rs: Box::default(),
         }
     }
 
@@ -552,8 +563,24 @@ impl BytecodeEngine {
         threads: usize,
         obs: Obs,
     ) -> Result<Self, BcCompileError> {
+        Self::compile_with_opts(module, threads, obs, BcOptions::default())
+    }
+
+    /// [`BytecodeEngine::compile_with_obs`] with explicit compile
+    /// options — `opts.specialize_runs = false` forces dispatch-per-point
+    /// execution (the pre-§4f engine), kept for differential tests and
+    /// the engines bench.
+    ///
+    /// # Errors
+    /// See [`BytecodeEngine::compile`].
+    pub fn compile_with_opts(
+        module: &Module,
+        threads: usize,
+        obs: Obs,
+        opts: BcOptions,
+    ) -> Result<Self, BcCompileError> {
         Ok(BytecodeEngine {
-            program: compile_program(module)?,
+            program: compile_program(module, opts)?,
             stats: ExecStats::default(),
             threads: threads.max(1),
             obs,
@@ -754,12 +781,22 @@ impl BcCtx<'_> {
                     inits,
                     loopback,
                     results,
+                    run,
                 } => {
                     let lb = regs.i[*lb as usize];
                     let ub = regs.i[*ub as usize];
                     let step = regs.i[*step as usize];
                     if step <= 0 {
                         return Err(ExecError::new("scf.for requires a positive step"));
+                    }
+                    if let Some(spec) = run {
+                        debug_assert!(
+                            inits.is_empty() && loopback.is_empty() && results.is_empty(),
+                            "run specialization requires a loop without iter args"
+                        );
+                        if self.exec_run(spec, lb, ub, step, *iv, regs, stats) {
+                            continue;
+                        }
                     }
                     for m in inits.iter() {
                         regs.mv(*m);
@@ -964,6 +1001,105 @@ impl BcCtx<'_> {
         Ok(())
     }
 
+    /// Executes one specialized run (`n` innermost-loop iterations in a
+    /// single dispatch). Returns `false` — with the frame untouched
+    /// apart from body-local probe registers, which the generic loop
+    /// recomputes anyway — when the run is too short or cannot be
+    /// planned (probe error, unset buffer); the caller then takes the
+    /// generic point-by-point path, reproducing identical results,
+    /// statistics, and error behavior.
+    ///
+    /// Out-of-range accesses panic here (at the run endpoints) instead
+    /// of at the offending iteration; success paths are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_run(
+        &self,
+        spec: &RunSpec,
+        lb: i64,
+        ub: i64,
+        step: i64,
+        iv: u32,
+        regs: &mut Regs,
+        stats: &mut ExecStats,
+    ) -> bool {
+        if ub <= lb {
+            return false;
+        }
+        let n = ((ub - lb + step - 1) / step) as usize;
+        if n < runspec::MIN_RUN {
+            return false;
+        }
+        // Probe the body's integer/constant subset at `lb`, then
+        // re-evaluate only its iv-dependent part at `lb + step`; the
+        // index deltas resolve every access to base + t·delta form.
+        // The probe counts no stats — the real counts are bulk-added
+        // below, identical to n generic iterations. Probe errors (e.g.
+        // division by zero) fall back so the generic loop raises them
+        // with exact accounting.
+        let mut rs = std::mem::take(&mut regs.rs);
+        regs.i[iv as usize] = lb;
+        if !runspec::run_probe(&spec.probe, regs) {
+            regs.rs = rs;
+            return false;
+        }
+        rs.idx0.clear();
+        rs.idx0.extend(spec.idx_regs.iter().map(|&r| regs.i[r as usize]));
+        regs.i[iv as usize] = lb + step;
+        if !runspec::run_probe(&spec.probe_iv, regs) {
+            regs.rs = rs;
+            return false;
+        }
+        rs.idx1.clear();
+        rs.idx1.extend(spec.idx_regs.iter().map(|&r| regs.i[r as usize]));
+        // Resolve each access: flat base at t = 0, per-iteration flat
+        // delta, raw tile view. Both run endpoints go through the
+        // checked indexing path — every per-dimension index is linear
+        // in t, so in-bounds endpoints bound all n iterations.
+        rs.acc.clear();
+        let mut cursor = 0usize;
+        for (pos, op) in spec.ops.iter().enumerate() {
+            let (buf, idx_len, store) = match op {
+                runspec::RunOp::Load { buf, idx, .. } => (*buf, idx.len(), false),
+                runspec::RunOp::Store { buf, idx, .. } => (*buf, idx.len(), true),
+                _ => continue,
+            };
+            let Some(view) = regs.b[buf as usize].as_ref() else {
+                regs.rs = rs;
+                return false;
+            };
+            let i0 = &rs.idx0[cursor..cursor + idx_len];
+            let i1 = &rs.idx1[cursor..cursor + idx_len];
+            cursor += idx_len;
+            let (base, delta) = view.resolve_run(i0, i1, n);
+            #[cfg(debug_assertions)]
+            if store {
+                crate::buffer::overlap::pin_storage(view.storage());
+            }
+            rs.acc.push(runspec::AccessPlan {
+                base,
+                delta,
+                tile: view.tile_view(),
+                pos: pos as u32,
+                store,
+            });
+        }
+        runspec::build_plan(spec, n, &regs.f, &mut rs);
+        let mut t0 = 0usize;
+        while t0 < n {
+            let m = (n - t0).min(runspec::CHUNK);
+            runspec::exec_streamed(&rs.stream, &mut rs.arena, t0, m);
+            runspec::exec_recurrent(&rs.rec_first, &rs.rec_steady, &mut rs.arena, t0, m);
+            t0 += m;
+        }
+        let n = n as u64;
+        stats.loads += spec.loads_per_iter * n;
+        stats.stores += spec.stores_per_iter * n;
+        stats.scalar_flops += spec.flops_per_iter * n;
+        stats.index_ops += spec.index_ops_per_iter * n;
+        regs.rs = rs;
+        true
+    }
+
     /// `scf.execute_wavefronts`: sequential over levels, parallel within
     /// one — mirrors the interpreter exactly, including how statistics
     /// are attributed (the coordinator counts levels once; workers count
@@ -988,6 +1124,7 @@ impl BcCtx<'_> {
             let mut level_records = Vec::new();
             let mut outcome = Ok(());
             'levels: for (index, level) in rows.windows(2).enumerate() {
+                let checker = crate::buffer::overlap::LevelChecker::new();
                 let t0 = record.then(std::time::Instant::now);
                 let mut done = 0u64;
                 stats.wavefront_levels += 1;
@@ -995,6 +1132,7 @@ impl BcCtx<'_> {
                     stats.blocks_executed += 1;
                     done += 1;
                     regs.i[block as usize] = c;
+                    let _wg = checker.guard(c as usize);
                     if let Err(e) = self.run_tape(func, body, regs, stats) {
                         outcome = Err(e);
                         break;

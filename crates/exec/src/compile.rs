@@ -34,6 +34,7 @@ use instencil_ir::{Attribute, Body, Func, Module, OpCode, Operation, Type, Value
 use instencil_pattern::blockdeps;
 
 use crate::bytecode::{BcFunc, BcProgram, DimSpec, FOp, FUn, IOp, Instr, Move, RKind, Reg, Tape};
+use crate::runspec;
 
 /// Why a module could not be compiled to bytecode.
 #[derive(Debug, Clone)]
@@ -66,18 +67,39 @@ fn malformed(msg: impl Into<String>) -> BcCompileError {
     BcCompileError::Malformed(msg.into())
 }
 
+/// Bytecode compilation options.
+#[derive(Clone, Copy, Debug)]
+pub struct BcOptions {
+    /// Attach run-specialization macro-ops (DESIGN.md §4f) to
+    /// straight-line innermost loops. On by default; turning it off
+    /// yields the dispatch-per-point engine, kept for differential
+    /// tests and benchmarks.
+    pub specialize_runs: bool,
+}
+
+impl Default for BcOptions {
+    fn default() -> Self {
+        BcOptions {
+            specialize_runs: true,
+        }
+    }
+}
+
 /// Compiles every function of a module to bytecode.
 ///
 /// # Errors
 /// See [`BcCompileError`].
-pub(crate) fn compile_program(module: &Module) -> Result<BcProgram, BcCompileError> {
+pub(crate) fn compile_program(
+    module: &Module,
+    opts: BcOptions,
+) -> Result<BcProgram, BcCompileError> {
     // Callee indices resolve against module order (call targets may be
     // defined after their callers).
     let names: Vec<&str> = module.funcs().iter().map(|f| f.name.as_str()).collect();
     let funcs = module
         .funcs()
         .iter()
-        .map(|f| compile_func(f, &names))
+        .map(|f| compile_func(f, &names, opts))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(BcProgram { funcs })
 }
@@ -99,6 +121,7 @@ fn rkind_of(ty: &Type) -> Result<RKind, BcCompileError> {
 struct FnCompiler<'m> {
     body: &'m Body,
     names: &'m [&'m str],
+    opts: BcOptions,
     /// Register of each SSA value, assigned at its definition.
     val_reg: Vec<Option<Reg>>,
     tapes: Vec<Tape>,
@@ -109,11 +132,12 @@ struct FnCompiler<'m> {
     num_a: u32,
 }
 
-fn compile_func(func: &Func, names: &[&str]) -> Result<BcFunc, BcCompileError> {
+fn compile_func(func: &Func, names: &[&str], opts: BcOptions) -> Result<BcFunc, BcCompileError> {
     let body = &func.body;
     let mut c = FnCompiler {
         body,
         names,
+        opts,
         val_reg: vec![None; body.num_values()],
         tapes: Vec::new(),
         num_f: 0,
@@ -558,6 +582,19 @@ impl FnCompiler<'_> {
                     .map(|&v| self.use_reg(v))
                     .collect::<Result<Vec<_>, _>>()?;
                 let res_moves = self.def_moves(&iter_regs, &results)?;
+                // Run specialization (DESIGN.md §4f): loops without
+                // iter args whose body is a straight-line stencil point
+                // get a macro-op; everything else keeps the generic
+                // path.
+                let run = if self.opts.specialize_runs
+                    && inits.is_empty()
+                    && loopback.is_empty()
+                    && res_moves.is_empty()
+                {
+                    runspec::analyze(&self.tapes[body_tape as usize], iv).map(Box::new)
+                } else {
+                    None
+                };
                 code.push(Instr::For {
                     lb,
                     ub,
@@ -567,6 +604,7 @@ impl FnCompiler<'_> {
                     inits,
                     loopback,
                     results: res_moves,
+                    run,
                 });
             }
             OpCode::If => {

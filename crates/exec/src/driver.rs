@@ -28,6 +28,7 @@ use instencil_obs::{Obs, RunReport};
 
 use crate::buffer::BufferView;
 use crate::bytecode::BytecodeEngine;
+use crate::BcOptions;
 use crate::compile::BcCompileError;
 use crate::interp::{ExecError, Interpreter};
 use crate::stats::ExecStats;
@@ -38,6 +39,7 @@ fn engine_name(engine: Engine) -> &'static str {
     match engine {
         Engine::Interp => "interp",
         Engine::Bytecode => "bytecode",
+        Engine::BytecodeDispatch => "bytecode-dispatch",
     }
 }
 
@@ -99,10 +101,13 @@ impl<'m> Runner<'m> {
                 module,
                 interp: Interpreter::with_obs(threads, obs.clone()),
             },
-            Engine::Bytecode => {
+            Engine::Bytecode | Engine::BytecodeDispatch => {
                 let compiled = {
                     let _span = obs.span("engine:compile");
-                    BytecodeEngine::compile_with_obs(module, threads, obs.clone())
+                    let opts = BcOptions {
+                        specialize_runs: engine == Engine::Bytecode,
+                    };
+                    BytecodeEngine::compile_with_opts(module, threads, obs.clone(), opts)
                 };
                 match compiled {
                     Ok(engine) => RunnerInner::Bytecode(engine),
@@ -153,7 +158,9 @@ impl<'m> Runner<'m> {
     pub fn engine(&self) -> Engine {
         match &self.inner {
             RunnerInner::Interp { .. } => Engine::Interp,
-            RunnerInner::Bytecode(_) => Engine::Bytecode,
+            // Both bytecode flavors bind the same engine type; the
+            // requested variant records which compile options were used.
+            RunnerInner::Bytecode(_) => self.requested,
         }
     }
 

@@ -472,6 +472,7 @@ impl ExecCtx<'_> {
                                          env: &mut Env,
                                          frame: &mut Frame|
                      -> Result<(), ExecError> {
+                        let checker = crate::buffer::overlap::LevelChecker::new();
                         let t0 = record.then(std::time::Instant::now);
                         let mut done = 0u64;
                         frame.stats.wavefront_levels += 1;
@@ -479,6 +480,7 @@ impl ExecCtx<'_> {
                         for &c in &cols[level[0] as usize..level[1] as usize] {
                             frame.stats.blocks_executed += 1;
                             done += 1;
+                            let _wg = checker.guard(c as usize);
                             if let Err(e) = self
                                 .eval_region(body, op.regions[0], &[RtVal::Int(c)], env, frame)
                             {

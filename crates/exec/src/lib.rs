@@ -42,12 +42,13 @@ pub mod compile;
 pub mod driver;
 pub mod interp;
 pub mod parallel;
+pub(crate) mod runspec;
 pub mod stats;
 pub mod value;
 
 pub use buffer::BufferView;
 pub use bytecode::BytecodeEngine;
-pub use compile::BcCompileError;
+pub use compile::{BcCompileError, BcOptions};
 pub use driver::Runner;
 pub use interp::{ExecError, Interpreter};
 pub use parallel::WavefrontPool;

@@ -20,6 +20,8 @@ use std::time::Instant;
 use instencil_obs::{LevelRecord, Obs, WavefrontRecord, WorkerRecord};
 use instencil_pattern::CsrWavefronts;
 
+use crate::buffer::overlap;
+
 /// A scoped thread pool executing wavefront schedules.
 #[derive(Clone, Debug)]
 pub struct WavefrontPool {
@@ -64,7 +66,9 @@ impl WavefrontPool {
     {
         if self.threads == 1 {
             for level in schedule.levels() {
+                let checker = overlap::LevelChecker::new();
                 for &b in level {
+                    let _wg = checker.guard(b);
                     work(b);
                 }
             }
@@ -75,11 +79,13 @@ impl WavefrontPool {
             if level.is_empty() {
                 continue;
             }
+            let checker = &overlap::LevelChecker::new();
             let chunk = level.len().div_ceil(self.threads);
             thread::scope(|s| {
                 for part in level.chunks(chunk) {
                     s.spawn(move || {
                         for &b in part {
+                            let _wg = checker.guard(b);
                             work(b);
                         }
                     });
@@ -131,9 +137,11 @@ impl WavefrontPool {
             let mut state = init();
             let mut outcome = Ok(());
             'levels: for (index, level) in schedule.levels().enumerate() {
+                let checker = overlap::LevelChecker::new();
                 let t0 = record.then(Instant::now);
                 let mut done = 0u64;
                 for &b in level {
+                    let _wg = checker.guard(b);
                     if let Err(e) = work(&mut state, b) {
                         outcome = Err(e);
                         done += 1; // the failing block still ran
@@ -156,6 +164,7 @@ impl WavefrontPool {
             if level.is_empty() {
                 continue;
             }
+            let checker = &overlap::LevelChecker::new();
             let chunk = level.len().div_ceil(self.threads);
             let t0 = record.then(Instant::now);
             let outcomes: Vec<(S, Result<(), E>, u64, u64)> = thread::scope(|s| {
@@ -169,6 +178,7 @@ impl WavefrontPool {
                             let mut done = 0u64;
                             for &b in part {
                                 done += 1;
+                                let _wg = checker.guard(b);
                                 if let Err(e) = work(&mut state, b) {
                                     outcome = Err(e);
                                     break;
@@ -181,7 +191,9 @@ impl WavefrontPool {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("wavefront worker panicked"))
+                    // resume_unwind keeps the original payload (e.g. the
+                    // overlap checker's message) instead of wrapping it.
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             });
             let mut first_err = None;

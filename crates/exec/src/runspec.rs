@@ -1,0 +1,1661 @@
+//! Run specialization: fused inner-loop macro-ops (DESIGN.md §4f).
+//!
+//! The bytecode engine's generic `Instr::For` pays per-point, per-instr
+//! dispatch plus a bounds check and an atomic round-trip for every load
+//! and store — ~100 ns/point on the 5-point Gauss-Seidel where a
+//! hand-written loop runs in single-digit nanoseconds. This module
+//! closes that gap with the classic superinstruction move (Ertl &
+//! Gregg) shaped by the paper's §2.4 *partial vectorization*: process a
+//! whole contiguous innermost-dimension run of points in **one**
+//! dispatch.
+//!
+//! The pipeline has a compile-time half and a run-time half:
+//!
+//! * **[`analyze`]** (tape-compile time) recognizes a straight-line
+//!   stencil point body — integer index arithmetic affine in the
+//!   induction variable, scalar loads/stores, pure float ops — and
+//!   produces a [`RunSpec`]: the body's accesses and float ops in
+//!   order, plus a *probe tape* holding the body's integer/constant
+//!   subset. Anything else (nested control flow, vector ops, divisions
+//!   of the induction variable, …) simply stays on the generic path.
+//! * **Planning** (each time the loop executes) runs the probe tape at
+//!   the first two iterations to resolve every access to
+//!   `base + t·delta` flat-address form, bounds-checks both run
+//!   endpoints through the checked [`BufferView`] path (indices are
+//!   affine in `t`, so the endpoints bound every iteration), and
+//!   classifies each operation:
+//!   - a load is **streamable** when no store of the body can write a
+//!     location the load would have observed differently under the
+//!     original point-by-point order (exact arithmetic on the
+//!     base/delta pairs; any imprecision falls back to *recurrent*);
+//!   - a float op is streamable when all its operands are;
+//!   - stores (and everything downstream of a loop-carried load, e.g.
+//!     the Gauss-Seidel west neighbour) are **recurrent**.
+//! * **Execution** then runs the streamed ops one *operation at a time*
+//!   over a chunk of iterations — flat `f64` stripe buffers indexed by
+//!   a compile-time-constant chunk stride, exactly the loops LLVM
+//!   autovectorizes — and finishes each point with the short recurrent
+//!   tail in original body order. Because streamed values are
+//!   bit-identical to what the sequential order would have produced
+//!   (that is what the hazard analysis guarantees) and the recurrent
+//!   tail *is* the sequential order, results match the interpreter
+//!   bit-for-bit.
+//!
+//! Memory is accessed through [`TileView`] — raw non-atomic words,
+//! justified by Eq. (3) schedule disjointness and policed by the
+//! debug-mode [`crate::buffer::overlap`] checker.
+//!
+//! [`BufferView`]: crate::buffer::BufferView
+
+use crate::buffer::TileView;
+use crate::bytecode::{FOp, FUn};
+
+/// Iteration-count threshold below which a run stays on the generic
+/// loop (probing two iterations plus planning doesn't pay for itself).
+pub(crate) const MIN_RUN: usize = 4;
+
+/// Iterations processed per streamed chunk. Also the compile-time
+/// stride between stripe rows, so streamed loops index with a constant
+/// multiplier. 256 iterations × one `f64` stripe per streamed op keeps
+/// the working set inside L1/L2 for realistic bodies.
+pub(crate) const CHUNK: usize = 256;
+
+/// A float operand of a run body operation, resolved at analysis time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FRef {
+    /// A float register whose value is invariant across the run (outer
+    /// definition, or produced once by the probe tape's constants).
+    Inv(u32),
+    /// The value produced by `ops[i]` of the same iteration.
+    Op(u16),
+}
+
+/// One operation of the specialized run body, in original body order.
+#[derive(Clone, Debug)]
+pub(crate) enum RunOp {
+    /// Scalar load; `acc` indexes the per-run access plan.
+    Load {
+        buf: u32,
+        idx: Box<[u32]>,
+        acc: u16,
+    },
+    /// Scalar store of `src`.
+    Store {
+        buf: u32,
+        idx: Box<[u32]>,
+        src: FRef,
+        acc: u16,
+    },
+    Bin {
+        op: FOp,
+        a: FRef,
+        b: FRef,
+    },
+    Un {
+        op: FUn,
+        a: FRef,
+    },
+    Fma {
+        a: FRef,
+        b: FRef,
+        c: FRef,
+    },
+}
+
+/// One pre-decoded instruction of a run's probe program — the body's
+/// integer/constant subset (`const`s, affine index arithmetic,
+/// `memref.dim`), flattened out of [`Instr`] form so executing it is a
+/// dispatch over six small variants instead of the full tape
+/// interpreter.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ProbeOp {
+    CF { dst: u32, v: f64 },
+    CI { dst: u32, v: i64 },
+    Mov { dst: u32, src: u32 },
+    S2F { dst: u32, src: u32 },
+    Dim { dst: u32, buf: u32, dim: u32 },
+    Bin { op: IOp, dst: u32, a: u32, b: u32 },
+}
+
+/// Compile-time description of a specializable innermost loop body,
+/// attached to `Instr::For`.
+#[derive(Clone, Debug)]
+pub(crate) struct RunSpec {
+    /// The body's integer/constant subset in body order, run once per
+    /// loop execution (at `lb`) to resolve accesses; float constants
+    /// land in their registers as a side effect.
+    pub probe: Box<[ProbeOp]>,
+    /// The iv-dependent subset of `probe`, re-evaluated at `lb + step`
+    /// to obtain the per-iteration index deltas without re-running the
+    /// run-invariant majority of the program.
+    pub probe_iv: Box<[ProbeOp]>,
+    /// Loads, stores and float ops in body order.
+    pub ops: Box<[RunOp]>,
+    /// Index registers of every access (loads and stores, in body
+    /// order), concatenated — lets the per-run index snapshots be one
+    /// tight pass instead of a re-scan of `ops`.
+    pub idx_regs: Box<[u32]>,
+    /// Per-iteration dynamic-stat increments of the generic body, used
+    /// to bulk-account [`crate::ExecStats`] identically to
+    /// point-by-point execution.
+    pub loads_per_iter: u64,
+    pub stores_per_iter: u64,
+    pub flops_per_iter: u64,
+    pub index_ops_per_iter: u64,
+}
+
+/// One access of one run execution, resolved to flat-address form.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AccessPlan {
+    /// Flat address at iteration 0.
+    pub base: isize,
+    /// Flat-address step per iteration.
+    pub delta: isize,
+    /// Raw storage handle.
+    pub tile: TileView,
+    /// Position of the access in `ops` (body order, for hazard
+    /// direction).
+    pub pos: u32,
+    /// Whether this access is a store.
+    pub store: bool,
+}
+
+/// Source operand of a streamed (op-at-a-time) operation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SSrc {
+    /// Stripe row of an earlier streamed op.
+    Slot(u32),
+    /// Run-invariant value, materialized at plan time.
+    Const(f64),
+}
+
+/// One streamed operation: writes stripe row `slot` for a whole chunk.
+#[derive(Clone, Debug)]
+pub(crate) enum SOp {
+    Load {
+        slot: u32,
+        base: isize,
+        delta: isize,
+        tile: TileView,
+        /// Access-plan index, for base patching on plan-cache hits.
+        acc: u16,
+    },
+    Bin {
+        op: FOp,
+        slot: u32,
+        a: SSrc,
+        b: SSrc,
+    },
+    Un {
+        op: FUn,
+        slot: u32,
+        a: SSrc,
+    },
+    Fma {
+        slot: u32,
+        a: SSrc,
+        b: SSrc,
+        c: SSrc,
+    },
+    /// A binary op whose two operands are load rows consumed by nothing
+    /// else: the staging copies are skipped and both tiles are read
+    /// directly in one fused pass (see [`fuse_stream_loads`]).
+    BinLoads {
+        op: FOp,
+        slot: u32,
+        a_base: isize,
+        a_delta: isize,
+        a_tile: TileView,
+        a_acc: u16,
+        b_base: isize,
+        b_delta: isize,
+        b_tile: TileView,
+        b_acc: u16,
+    },
+}
+
+/// Source operand of a recurrent (point-at-a-time) operation: an arena
+/// offset plus a per-iteration step. Stripe rows step by 1 with the
+/// in-chunk index; recurrent values and materialized constants are read
+/// at a fixed offset (step 0). Resolving the operand kind at plan time
+/// leaves no dispatch on the per-point path — each read is one indexed
+/// load.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RRef {
+    pub off: u32,
+    pub step: u32,
+}
+
+/// One link of a fused [`ROp::Chain`]: applies `op` between the
+/// running accumulator and `other`, with `acc_rhs` preserving which
+/// side of the original (non-commutative) operation the accumulator
+/// was on.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChainLink {
+    pub op: FOp,
+    pub other: RRef,
+    pub acc_rhs: bool,
+}
+
+/// One recurrent operation, executed in body order for every point.
+/// Value-producing ops write the arena at `dst` (the vals region).
+#[derive(Clone, Debug)]
+pub(crate) enum ROp {
+    Load {
+        dst: u32,
+        base: isize,
+        delta: isize,
+        tile: TileView,
+        /// Access-plan index, for base patching on plan-cache hits.
+        acc: u16,
+    },
+    /// Steady-state replacement for a `Load` that re-reads the value
+    /// stored one iteration earlier by this run's own store (offset
+    /// ratio k = −1 in `hazard` terms): the arena still holds that
+    /// value, so the memory round-trip is a copy.
+    Carry {
+        dst: u32,
+        src: u32,
+    },
+    Store {
+        src: RRef,
+        base: isize,
+        delta: isize,
+        tile: TileView,
+        /// Access-plan index, for base patching on plan-cache hits.
+        acc: u16,
+    },
+    Bin {
+        op: FOp,
+        dst: u32,
+        a: RRef,
+        b: RRef,
+    },
+    Un {
+        op: FUn,
+        dst: u32,
+        a: RRef,
+    },
+    Fma {
+        dst: u32,
+        a: RRef,
+        b: RRef,
+        c: RRef,
+    },
+    /// A fused run of consecutive `Bin` ops threading one accumulator
+    /// (each intermediate result consumed only by the next op): the
+    /// accumulator lives in a register for the whole sequence and only
+    /// the final value is written back — one dispatch instead of one
+    /// per op. Operand order and operation order are exactly those of
+    /// the unfused ops, so the result is bit-identical.
+    Chain {
+        dst: u32,
+        init: RRef,
+        links: Box<[ChainLink]>,
+    },
+    /// A [`ROp::Chain`] whose final value is also the source of the
+    /// immediately following store: the store rides along in the same
+    /// dispatch. The value is still written to `dst` — the next
+    /// iteration's forwarded operands read it there.
+    ChainStore {
+        dst: u32,
+        init: RRef,
+        links: Box<[ChainLink]>,
+        base: isize,
+        delta: isize,
+        tile: TileView,
+        /// Access-plan index, for base patching on plan-cache hits.
+        acc: u16,
+    },
+}
+
+/// Reusable per-frame run state. Lives in the register file so repeated
+/// runs (every tile row of every block) reuse the allocations; cloning
+/// a frame for a wavefront worker hands out *empty* scratch instead of
+/// copying plans that are only valid mid-run.
+#[derive(Debug, Default)]
+pub(crate) struct RunScratch {
+    /// Access plans, indexed by `RunOp::{Load,Store}::acc`.
+    pub acc: Vec<AccessPlan>,
+    /// Index values of the probe at iteration 0 / iteration 1.
+    pub idx0: Vec<i64>,
+    pub idx1: Vec<i64>,
+    /// Streamed plan of the current run.
+    pub stream: Vec<SOp>,
+    /// Recurrent plan: the faithful tape for the run's first iteration
+    /// and the steady-state tape (k = −1 loads forwarded) for the rest.
+    pub rec_first: Vec<ROp>,
+    pub rec_steady: Vec<ROp>,
+    /// Per-op streamed flag and stripe slot.
+    streamed: Vec<bool>,
+    slot_of: Vec<u32>,
+    /// Shared f64 arena: `n_slots` stripe rows of `CHUNK` elements,
+    /// then one val per body op, then materialized constants. All
+    /// recurrent operands resolve to offsets into this one slice.
+    pub arena: Vec<f64>,
+    /// Plan cache: address of the `RunSpec` the current `stream`/`rec`
+    /// were built for (0 = none), the run length, the per-access
+    /// signature `(delta, tile id, base − base₀)`, and the materialized
+    /// invariant values. When the signature of the next run matches,
+    /// classification is provably identical and only the flat bases
+    /// need patching — the common case for every row of every tile.
+    cached_spec: usize,
+    cached_n: usize,
+    sig: Vec<(isize, usize, isize)>,
+    inv_vals: Vec<(u32, f64)>,
+}
+
+impl Clone for RunScratch {
+    fn clone(&self) -> Self {
+        RunScratch::default()
+    }
+}
+
+/// Classifies every op of `spec` as streamed or recurrent for a run of
+/// `n` iterations and builds the execution plans into `scratch`
+/// (`scratch.acc` must already hold the resolved access plans).
+/// Run-invariant operands are materialized from `fregs`.
+pub(crate) fn build_plan(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &mut RunScratch) {
+    let ops = &spec.ops;
+    if plan_cache_hit(spec, n, fregs, scratch) {
+        patch_bases(scratch);
+        return;
+    }
+    scratch.streamed.clear();
+    scratch.streamed.resize(ops.len(), false);
+    scratch.slot_of.clear();
+    scratch.slot_of.resize(ops.len(), 0);
+    scratch.stream.clear();
+    scratch.rec_first.clear();
+    scratch.rec_steady.clear();
+
+    // Hazard classification: a load is streamable iff no store of the
+    // body can hit one of its addresses "from the past" of the original
+    // interleaving (see `hazard`); a float op is streamable iff all its
+    // operands are.
+    for i in 0..ops.len() {
+        let s = match &ops[i] {
+            RunOp::Load { acc, .. } => {
+                let load = scratch.acc[*acc as usize];
+                !scratch
+                    .acc
+                    .iter()
+                    .any(|store| store.store && hazard(&load, store, n))
+            }
+            RunOp::Store { .. } => false,
+            RunOp::Bin { a, b, .. } => {
+                fref_streamed(*a, &scratch.streamed) && fref_streamed(*b, &scratch.streamed)
+            }
+            RunOp::Un { a, .. } => fref_streamed(*a, &scratch.streamed),
+            RunOp::Fma { a, b, c } => {
+                fref_streamed(*a, &scratch.streamed)
+                    && fref_streamed(*b, &scratch.streamed)
+                    && fref_streamed(*c, &scratch.streamed)
+            }
+        };
+        scratch.streamed[i] = s;
+    }
+
+    // Plan construction: streamed ops get stripe slots in body order;
+    // everything else goes to the recurrent tail, also in body order.
+    // The arena is sized up front (grow-only: stripes are fully written
+    // before they are read within each chunk, and vals/constants are
+    // rewritten below, so stale contents never leak and the common
+    // run-after-run case skips the memset) so that baked offsets stay
+    // valid while constants are materialized into its tail.
+    let total_slots = scratch.streamed.iter().filter(|&&x| x).count() as u32;
+    let arena_len = total_slots as usize * CHUNK + ops.len() * 4;
+    if scratch.arena.len() < arena_len {
+        scratch.arena.resize(arena_len, 0.0);
+    }
+    let mut next_const = total_slots as usize * CHUNK + ops.len();
+    let mut n_slots = 0u32;
+    for (i, op) in ops.iter().enumerate() {
+        if scratch.streamed[i] {
+            let slot = n_slots;
+            n_slots += 1;
+            scratch.slot_of[i] = slot;
+            let sop = match op {
+                RunOp::Load { acc, .. } => {
+                    let a = scratch.acc[*acc as usize];
+                    SOp::Load {
+                        slot,
+                        base: a.base,
+                        delta: a.delta,
+                        tile: a.tile,
+                        acc: *acc,
+                    }
+                }
+                RunOp::Bin { op, a, b } => SOp::Bin {
+                    op: *op,
+                    slot,
+                    a: ssrc(*a, fregs, &scratch.slot_of),
+                    b: ssrc(*b, fregs, &scratch.slot_of),
+                },
+                RunOp::Un { op, a } => SOp::Un {
+                    op: *op,
+                    slot,
+                    a: ssrc(*a, fregs, &scratch.slot_of),
+                },
+                RunOp::Fma { a, b, c } => SOp::Fma {
+                    slot,
+                    a: ssrc(*a, fregs, &scratch.slot_of),
+                    b: ssrc(*b, fregs, &scratch.slot_of),
+                    c: ssrc(*c, fregs, &scratch.slot_of),
+                },
+                RunOp::Store { .. } => unreachable!("stores are never streamed"),
+            };
+            scratch.stream.push(sop);
+        } else {
+            let vals_base = total_slots as usize * CHUNK;
+            let rop = match op {
+                RunOp::Load { acc, .. } => {
+                    let a = scratch.acc[*acc as usize];
+                    ROp::Load {
+                        dst: (vals_base + i) as u32,
+                        base: a.base,
+                        delta: a.delta,
+                        tile: a.tile,
+                        acc: *acc,
+                    }
+                }
+                RunOp::Store { src, acc, .. } => {
+                    let a = scratch.acc[*acc as usize];
+                    ROp::Store {
+                        src: rref(
+                            *src,
+                            fregs,
+                            &scratch.streamed,
+                            &scratch.slot_of,
+                            vals_base,
+                            &mut scratch.arena,
+                            &mut next_const,
+                        ),
+                        base: a.base,
+                        delta: a.delta,
+                        tile: a.tile,
+                        acc: *acc,
+                    }
+                }
+                RunOp::Bin { op, a, b } => ROp::Bin {
+                    op: *op,
+                    dst: (vals_base + i) as u32,
+                    a: rref(
+                        *a,
+                        fregs,
+                        &scratch.streamed,
+                        &scratch.slot_of,
+                        vals_base,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    ),
+                    b: rref(
+                        *b,
+                        fregs,
+                        &scratch.streamed,
+                        &scratch.slot_of,
+                        vals_base,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    ),
+                },
+                RunOp::Un { op, a } => ROp::Un {
+                    op: *op,
+                    dst: (vals_base + i) as u32,
+                    a: rref(
+                        *a,
+                        fregs,
+                        &scratch.streamed,
+                        &scratch.slot_of,
+                        vals_base,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    ),
+                },
+                RunOp::Fma { a, b, c } => ROp::Fma {
+                    dst: (vals_base + i) as u32,
+                    a: rref(
+                        *a,
+                        fregs,
+                        &scratch.streamed,
+                        &scratch.slot_of,
+                        vals_base,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    ),
+                    b: rref(
+                        *b,
+                        fregs,
+                        &scratch.streamed,
+                        &scratch.slot_of,
+                        vals_base,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    ),
+                    c: rref(
+                        *c,
+                        fregs,
+                        &scratch.streamed,
+                        &scratch.slot_of,
+                        vals_base,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    ),
+                },
+            };
+            scratch.rec_first.push(rop);
+        }
+    }
+    debug_assert_eq!(n_slots, total_slots);
+    fuse_stream_loads(scratch);
+    build_steady(scratch, total_slots as usize * CHUNK);
+    if std::env::var_os("INSTENCIL_RUN_DEBUG").is_some() && scratch.cached_spec == 0 {
+        eprintln!(
+            "plan: probe={} probe_iv={} ops={} accs={}",
+            spec.probe.len(),
+            spec.probe_iv.len(),
+            spec.ops.len(),
+            scratch.acc.len()
+        );
+        eprintln!("plan: stream={:?}", scratch.stream);
+        eprintln!("plan: rec_first={:?}", scratch.rec_first);
+        eprintln!("plan: rec_steady={:?}", scratch.rec_steady);
+    }
+    // Record the cache signature for the next run.
+    scratch.cached_spec = spec as *const RunSpec as usize;
+    scratch.cached_n = n;
+    let base0 = scratch.acc[0].base;
+    scratch.sig.clear();
+    scratch
+        .sig
+        .extend(scratch.acc.iter().map(|a| (a.delta, a.tile.id(), a.base - base0)));
+    scratch.inv_vals.clear();
+    for op in ops.iter() {
+        let mut note = |r: &FRef| {
+            if let FRef::Inv(reg) = r {
+                scratch.inv_vals.push((*reg, fregs[*reg as usize]));
+            }
+        };
+        match op {
+            RunOp::Bin { a, b, .. } => {
+                note(a);
+                note(b);
+            }
+            RunOp::Un { a, .. } => note(a),
+            RunOp::Fma { a, b, c } => {
+                note(a);
+                note(b);
+                note(c);
+            }
+            RunOp::Store { src, .. } => note(src),
+            RunOp::Load { .. } => {}
+        }
+    }
+}
+
+/// Fuses `Bin(Slot(x), Slot(y))` with the loads producing rows `x` and
+/// `y` into one [`SOp::BinLoads`] when this op is the rows' only
+/// consumer — in the stream and in the recurrent tapes. The two staging
+/// passes over the chunk disappear; the fused loop reads both tiles
+/// directly, which is the same read the staging copy would have done.
+fn fuse_stream_loads(scratch: &mut RunScratch) {
+    let row_read = |r: &RRef, slot: u32| r.step == 1 && r.off == slot * CHUNK as u32;
+    let rec_reads = |slot: u32| {
+        scratch.rec_first.iter().any(|op| match op {
+            ROp::Load { .. } | ROp::Carry { .. } => false,
+            ROp::Store { src, .. } => row_read(src, slot),
+            ROp::Bin { a, b, .. } => row_read(a, slot) || row_read(b, slot),
+            ROp::Un { a, .. } => row_read(a, slot),
+            ROp::Fma { a, b, c, .. } => row_read(a, slot) || row_read(b, slot) || row_read(c, slot),
+            ROp::Chain { .. } | ROp::ChainStore { .. } => {
+                unreachable!("stream fusion runs before build_steady")
+            }
+        })
+    };
+    for k in 0..scratch.stream.len() {
+        let SOp::Bin {
+            op,
+            slot,
+            a: SSrc::Slot(x),
+            b: SSrc::Slot(y),
+        } = scratch.stream[k]
+        else {
+            continue;
+        };
+        let reads = |s: &SSrc, r| matches!(s, SSrc::Slot(v) if *v == r);
+        let other_consumer = |r: u32| {
+            scratch.stream.iter().enumerate().any(|(j, op)| match op {
+                SOp::Load { .. } | SOp::BinLoads { .. } => false,
+                SOp::Bin { a, b, .. } => j != k && (reads(a, r) || reads(b, r)),
+                SOp::Un { a, .. } => reads(a, r),
+                SOp::Fma { a, b, c, .. } => reads(a, r) || reads(b, r) || reads(c, r),
+            }) || rec_reads(r)
+        };
+        let load_of = |r: u32| {
+            scratch.stream.iter().position(
+                |op| matches!(op, SOp::Load { slot, .. } if *slot == r),
+            )
+        };
+        let (Some(la), Some(lb)) = (load_of(x), load_of(y)) else {
+            continue;
+        };
+        if other_consumer(x) || (y != x && other_consumer(y)) {
+            continue;
+        }
+        let SOp::Load {
+            base: a_base,
+            delta: a_delta,
+            tile: a_tile,
+            acc: a_acc,
+            ..
+        } = scratch.stream[la]
+        else {
+            unreachable!()
+        };
+        let SOp::Load {
+            base: b_base,
+            delta: b_delta,
+            tile: b_tile,
+            acc: b_acc,
+            ..
+        } = scratch.stream[lb]
+        else {
+            unreachable!()
+        };
+        scratch.stream[k] = SOp::BinLoads {
+            op,
+            slot,
+            a_base,
+            a_delta,
+            a_tile,
+            a_acc,
+            b_base,
+            b_delta,
+            b_tile,
+            b_acc,
+        };
+        // Drop the now-unconsumed loads (their slots stay allocated,
+        // simply unwritten). Remove the higher index first.
+        let (hi, lo) = (la.max(lb), la.min(lb));
+        scratch.stream.remove(hi);
+        if hi != lo {
+            scratch.stream.remove(lo);
+        }
+        return fuse_stream_loads(scratch); // indices shifted; rescan
+    }
+}
+
+/// Whether the cached plan in `scratch` is valid for this run: same
+/// spec, same length, same per-access deltas, allocations, and
+/// inter-access base offsets (⇒ identical hazard classification), and
+/// unchanged invariant operand values.
+fn plan_cache_hit(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &RunScratch) -> bool {
+    if scratch.cached_spec != spec as *const RunSpec as usize
+        || scratch.cached_n != n
+        || scratch.sig.len() != scratch.acc.len()
+    {
+        return false;
+    }
+    let base0 = scratch.acc[0].base;
+    if !scratch
+        .acc
+        .iter()
+        .zip(&scratch.sig)
+        .all(|(a, s)| (a.delta, a.tile.id(), a.base - base0) == *s)
+    {
+        return false;
+    }
+    scratch
+        .inv_vals
+        .iter()
+        .all(|&(reg, v)| fregs[reg as usize].to_bits() == v.to_bits())
+}
+
+/// Rewrites the flat base addresses of the cached plan to this run's
+/// resolved accesses (everything else — classification, slots, deltas,
+/// tiles, constants — is unchanged by construction on a cache hit).
+fn patch_bases(scratch: &mut RunScratch) {
+    let acc = &scratch.acc;
+    for op in &mut scratch.stream {
+        match op {
+            SOp::Load { base, acc: a, .. } => *base = acc[*a as usize].base,
+            SOp::BinLoads {
+                a_base,
+                a_acc,
+                b_base,
+                b_acc,
+                ..
+            } => {
+                *a_base = acc[*a_acc as usize].base;
+                *b_base = acc[*b_acc as usize].base;
+            }
+            _ => {}
+        }
+    }
+    for op in scratch.rec_first.iter_mut().chain(&mut scratch.rec_steady) {
+        match op {
+            ROp::Load { base, acc: a, .. }
+            | ROp::Store { base, acc: a, .. }
+            | ROp::ChainStore { base, acc: a, .. } => {
+                *base = acc[*a as usize].base;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[inline]
+fn fref_streamed(r: FRef, streamed: &[bool]) -> bool {
+    match r {
+        FRef::Inv(_) => true,
+        FRef::Op(j) => streamed[j as usize],
+    }
+}
+
+#[inline]
+fn ssrc(r: FRef, fregs: &[f64], slot_of: &[u32]) -> SSrc {
+    match r {
+        FRef::Inv(reg) => SSrc::Const(fregs[reg as usize]),
+        FRef::Op(j) => SSrc::Slot(slot_of[j as usize]),
+    }
+}
+
+/// Resolves a recurrent operand to its arena offset, materializing
+/// run-invariant values into the constants tail.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn rref(
+    r: FRef,
+    fregs: &[f64],
+    streamed: &[bool],
+    slot_of: &[u32],
+    vals_base: usize,
+    arena: &mut [f64],
+    next_const: &mut usize,
+) -> RRef {
+    match r {
+        FRef::Inv(reg) => {
+            let off = *next_const;
+            *next_const += 1;
+            arena[off] = fregs[reg as usize];
+            RRef {
+                off: off as u32,
+                step: 0,
+            }
+        }
+        FRef::Op(j) if streamed[j as usize] => RRef {
+            off: slot_of[j as usize] * CHUNK as u32,
+            step: 1,
+        },
+        FRef::Op(j) => RRef {
+            off: (vals_base + j as usize) as u32,
+            step: 0,
+        },
+    }
+}
+
+/// Builds the steady-state recurrent tape from `rec_first`: a `Load`
+/// whose address sequence trails this run's single store on the same
+/// allocation by exactly one iteration (k = −1) re-reads the value the
+/// arena already holds, so it is forwarded — its consumers are
+/// repointed at the store's source when every consumer reads it before
+/// the source is recomputed, or it degrades to a `Carry` copy. The
+/// first iteration always uses the faithful tape (there is no previous
+/// iteration to forward from).
+fn build_steady(scratch: &mut RunScratch, vals_base: usize) {
+    // dst offset of a forwardable load → the store's source offset.
+    let mut fwd: Vec<(u32, u32)> = Vec::new();
+    for op in &scratch.rec_first {
+        let ROp::Load { dst, acc, .. } = op else {
+            continue;
+        };
+        let la = scratch.acc[*acc as usize];
+        let mut stores = scratch
+            .acc
+            .iter()
+            .filter(|a| a.store && a.tile.id() == la.tile.id());
+        let (Some(sa), None) = (stores.next(), stores.next()) else {
+            continue; // forwarding needs a unique writer of the tile
+        };
+        if la.delta == 0 || sa.delta != la.delta || la.base != sa.base - sa.delta {
+            continue;
+        }
+        if la.pos >= sa.pos {
+            // The store of iteration t runs before this load; the arena
+            // would already hold iteration t's value, not t − 1's.
+            continue;
+        }
+        let src = scratch.rec_first.iter().find_map(|op| match op {
+            ROp::Store { src, acc, .. } if scratch.acc[*acc as usize].pos == sa.pos => Some(*src),
+            _ => None,
+        });
+        let Some(src) = src else { continue };
+        // The forwarded value must still be live (not yet recomputed
+        // this iteration) when the load's position is reached: its
+        // offset must belong to an op later in body order, or to the
+        // constants tail.
+        if src.step != 0 || (src.off as usize) <= vals_base + la.pos as usize {
+            continue;
+        }
+        fwd.push((*dst, src.off));
+    }
+    let fwd_of = |off: u32| fwd.iter().find(|(d, _)| *d == off).map(|&(_, s)| s);
+    // A consumer at body position p may read the store's source
+    // directly only if that source is produced after p; otherwise the
+    // load degrades to a Carry copy at its original position.
+    let live_at = |src: u32, pos: usize| src as usize > vals_base + pos;
+    let mut steady: Vec<ROp> = Vec::new();
+    for op in &scratch.rec_first {
+        let mut op = op.clone();
+        let patch = |r: &mut RRef, pos: usize| {
+            if r.step == 0 {
+                if let Some(src) = fwd_of(r.off) {
+                    if live_at(src, pos) {
+                        r.off = src;
+                    }
+                }
+            }
+        };
+        match &mut op {
+            ROp::Load { dst, .. } => {
+                if let Some(src) = fwd_of(*dst) {
+                    let dst = *dst;
+                    // Keep a Carry if any consumer still reads vals[dst]
+                    // (the redirect below was invalid for it).
+                    let all_redirected = scratch.rec_first.iter().all(|c| {
+                        let (refs, pos): (Vec<RRef>, usize) = match c {
+                            ROp::Bin { a, b, dst, .. } => {
+                                (vec![*a, *b], *dst as usize - vals_base)
+                            }
+                            ROp::Un { a, dst, .. } => (vec![*a], *dst as usize - vals_base),
+                            ROp::Fma { a, b, c, dst } => {
+                                (vec![*a, *b, *c], *dst as usize - vals_base)
+                            }
+                            ROp::Store { src, acc, .. } => {
+                                (vec![*src], scratch.acc[*acc as usize].pos as usize)
+                            }
+                            ROp::Load { .. } | ROp::Carry { .. } => (vec![], 0),
+                            ROp::Chain { .. } | ROp::ChainStore { .. } => {
+                                unreachable!("fusion runs after build_steady")
+                            }
+                        };
+                        refs.iter()
+                            .filter(|r| r.step == 0 && r.off == dst)
+                            .all(|_| live_at(src, pos))
+                    });
+                    if all_redirected {
+                        continue; // load disappears from the steady tape
+                    }
+                    steady.push(ROp::Carry { dst, src });
+                    continue;
+                }
+            }
+            ROp::Bin { a, b, dst, .. } => {
+                let pos = *dst as usize - vals_base;
+                patch(a, pos);
+                patch(b, pos);
+            }
+            ROp::Un { a, dst, .. } => {
+                let pos = *dst as usize - vals_base;
+                patch(a, pos);
+            }
+            ROp::Fma { a, b, c, dst } => {
+                let pos = *dst as usize - vals_base;
+                patch(a, pos);
+                patch(b, pos);
+                patch(c, pos);
+            }
+            ROp::Store { src, acc, .. } => {
+                let pos = scratch.acc[*acc as usize].pos as usize;
+                patch(src, pos);
+            }
+            ROp::Carry { .. } => {}
+            ROp::Chain { .. } | ROp::ChainStore { .. } => {
+                unreachable!("fusion runs after build_steady")
+            }
+        }
+        steady.push(op);
+    }
+    fuse_chains(&mut steady);
+    scratch.rec_steady = steady;
+}
+
+/// Fuses maximal runs of consecutive `Bin` ops where each op's result
+/// is read exactly once, by the immediately following op, into
+/// [`ROp::Chain`] superinstructions (Ertl & Gregg-style: amortize
+/// dispatch over the whole dependent sequence). Intermediate arena
+/// writes disappear with their only reader.
+fn fuse_chains(steady: &mut Vec<ROp>) {
+    let mut reads: HashMap<u32, u32> = HashMap::new();
+    let mut note = |r: &RRef| {
+        if r.step == 0 {
+            *reads.entry(r.off).or_insert(0) += 1;
+        }
+    };
+    for op in steady.iter() {
+        match op {
+            ROp::Bin { a, b, .. } => {
+                note(a);
+                note(b);
+            }
+            ROp::Un { a, .. } => note(a),
+            ROp::Fma { a, b, c, .. } => {
+                note(a);
+                note(b);
+                note(c);
+            }
+            ROp::Store { src, .. } => note(src),
+            ROp::Carry { src, .. } => note(&RRef { off: *src, step: 0 }),
+            ROp::Load { .. } => {}
+            ROp::Chain { .. } | ROp::ChainStore { .. } => unreachable!("fusion runs once"),
+        }
+    }
+    let single_use = |off: u32| reads.get(&off).copied() == Some(1);
+    let mut out: Vec<ROp> = Vec::with_capacity(steady.len());
+    let mut i = 0;
+    while i < steady.len() {
+        let ROp::Bin { op, dst, a, b } = steady[i] else {
+            out.push(steady[i].clone());
+            i += 1;
+            continue;
+        };
+        let mut links = vec![ChainLink {
+            op,
+            other: b,
+            acc_rhs: false,
+        }];
+        let mut cur = dst;
+        let mut j = i;
+        while let Some(ROp::Bin {
+            op: nop,
+            dst: ndst,
+            a: na,
+            b: nb,
+        }) = steady.get(j + 1)
+        {
+            if !single_use(cur) {
+                break;
+            }
+            if na.step == 0 && na.off == cur {
+                links.push(ChainLink {
+                    op: *nop,
+                    other: *nb,
+                    acc_rhs: false,
+                });
+            } else if nb.step == 0 && nb.off == cur {
+                links.push(ChainLink {
+                    op: *nop,
+                    other: *na,
+                    acc_rhs: true,
+                });
+            } else {
+                break;
+            }
+            cur = *ndst;
+            j += 1;
+        }
+        if j > i {
+            out.push(ROp::Chain {
+                dst: cur,
+                init: a,
+                links: links.into(),
+            });
+            i = j + 1;
+        } else {
+            out.push(steady[i].clone());
+            i += 1;
+        }
+    }
+    // Second pass: a store that immediately follows the chain producing
+    // its source value rides along in the chain's dispatch.
+    let mut merged: Vec<ROp> = Vec::with_capacity(out.len());
+    let mut it = out.into_iter().peekable();
+    while let Some(op) = it.next() {
+        if let ROp::Chain { dst, init, links } = &op {
+            if let Some(ROp::Store {
+                src,
+                base,
+                delta,
+                tile,
+                acc,
+            }) = it.peek()
+            {
+                if src.step == 0 && src.off == *dst {
+                    merged.push(ROp::ChainStore {
+                        dst: *dst,
+                        init: *init,
+                        links: links.clone(),
+                        base: *base,
+                        delta: *delta,
+                        tile: *tile,
+                        acc: *acc,
+                    });
+                    it.next();
+                    continue;
+                }
+            }
+        }
+        merged.push(op);
+    }
+    *steady = merged;
+}
+
+/// Whether streaming `load` (reading its whole address sequence from
+/// pre-run memory) could observe a different value than the original
+/// point-by-point interleaving with `store`.
+///
+/// With equal per-iteration deltas `d`, the store of iteration `t'`
+/// hits the load address of iteration `t` exactly when
+/// `t' = t + (Lbase − Sbase)/d`; under the original order the load of
+/// iteration `t` sees the store of iteration `t'` iff `t' < t`, or
+/// `t' = t` when the store precedes the load in the body. Unequal
+/// deltas over overlapping ranges are conservatively hazardous.
+fn hazard(load: &AccessPlan, store: &AccessPlan, n: usize) -> bool {
+    debug_assert!(store.store && !load.store);
+    if load.tile.id() != store.tile.id() {
+        return false;
+    }
+    let last = (n - 1) as isize;
+    let range = |a: &AccessPlan| {
+        let end = a.base + last * a.delta;
+        (a.base.min(end), a.base.max(end))
+    };
+    let (llo, lhi) = range(load);
+    let (slo, shi) = range(store);
+    if lhi < slo || shi < llo {
+        return false;
+    }
+    if load.delta != store.delta {
+        return true;
+    }
+    let d = load.delta;
+    if d == 0 {
+        // Same single address for the whole run: the load would observe
+        // every store after the first iteration.
+        return true;
+    }
+    let diff = load.base - store.base;
+    if diff % d != 0 {
+        return false;
+    }
+    let k = diff / d;
+    let reaches_past = k >= -last && k <= -1;
+    let same_iteration = k == 0 && store.pos < load.pos;
+    reaches_past || same_iteration
+}
+
+/// Executes the streamed plan for in-chunk iterations `[t0, t0 + m)`:
+/// one operation at a time over the whole chunk, into/over stripe rows
+/// of constant stride [`CHUNK`] — the loops LLVM autovectorizes.
+pub(crate) fn exec_streamed(stream: &[SOp], stripe: &mut [f64], t0: usize, m: usize) {
+    for op in stream {
+        match op {
+            SOp::Load {
+                slot,
+                base,
+                delta,
+                tile,
+                ..
+            } => {
+                let start = base + t0 as isize * delta;
+                let row = *slot as usize * CHUNK;
+                if *delta == 1 {
+                    let s = start as usize;
+                    for (l, o) in stripe[row..row + m].iter_mut().enumerate() {
+                        *o = tile.get(s + l);
+                    }
+                } else {
+                    let d = *delta;
+                    for (l, o) in stripe[row..row + m].iter_mut().enumerate() {
+                        *o = tile.get((start + l as isize * d) as usize);
+                    }
+                }
+            }
+            SOp::Bin { op, slot, a, b } => match op {
+                FOp::Add => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Add.apply(x, y)),
+                FOp::Sub => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Sub.apply(x, y)),
+                FOp::Mul => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Mul.apply(x, y)),
+                FOp::Div => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Div.apply(x, y)),
+                FOp::Max => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Max.apply(x, y)),
+                FOp::Min => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Min.apply(x, y)),
+                FOp::Pow => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Pow.apply(x, y)),
+            },
+            SOp::Un { op, slot, a } => match op {
+                FUn::Neg => un_chunk(stripe, m, *slot, *a, |x| FUn::Neg.apply(x)),
+                FUn::Sqrt => un_chunk(stripe, m, *slot, *a, |x| FUn::Sqrt.apply(x)),
+                FUn::Abs => un_chunk(stripe, m, *slot, *a, |x| FUn::Abs.apply(x)),
+                FUn::Exp => un_chunk(stripe, m, *slot, *a, |x| FUn::Exp.apply(x)),
+            },
+            SOp::BinLoads {
+                op,
+                slot,
+                a_base,
+                a_delta,
+                a_tile,
+                b_base,
+                b_delta,
+                b_tile,
+                ..
+            } => {
+                let sa = a_base + t0 as isize * a_delta;
+                let sb = b_base + t0 as isize * b_delta;
+                let row = *slot as usize * CHUNK;
+                let out = &mut stripe[row..row + m];
+                macro_rules! loop_for {
+                    ($f:expr) => {
+                        if (*a_delta, *b_delta) == (1, 1) {
+                            let (sa, sb) = (sa as usize, sb as usize);
+                            for (l, o) in out.iter_mut().enumerate() {
+                                *o = $f(a_tile.get(sa + l), b_tile.get(sb + l));
+                            }
+                        } else {
+                            let (da, db) = (*a_delta, *b_delta);
+                            for (l, o) in out.iter_mut().enumerate() {
+                                let l = l as isize;
+                                *o = $f(
+                                    a_tile.get((sa + l * da) as usize),
+                                    b_tile.get((sb + l * db) as usize),
+                                );
+                            }
+                        }
+                    };
+                }
+                match op {
+                    FOp::Add => loop_for!(|x, y| FOp::Add.apply(x, y)),
+                    FOp::Sub => loop_for!(|x, y| FOp::Sub.apply(x, y)),
+                    FOp::Mul => loop_for!(|x, y| FOp::Mul.apply(x, y)),
+                    FOp::Div => loop_for!(|x, y| FOp::Div.apply(x, y)),
+                    FOp::Max => loop_for!(|x, y| FOp::Max.apply(x, y)),
+                    FOp::Min => loop_for!(|x, y| FOp::Min.apply(x, y)),
+                    FOp::Pow => loop_for!(|x, y| FOp::Pow.apply(x, y)),
+                }
+            }
+            SOp::Fma { slot, a, b, c } => {
+                let d0 = *slot as usize * CHUNK;
+                for l in 0..m {
+                    let v = sread(stripe, *a, l).mul_add(sread(stripe, *b, l), sread(stripe, *c, l));
+                    stripe[d0 + l] = v;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn sread(stripe: &[f64], s: SSrc, l: usize) -> f64 {
+    match s {
+        SSrc::Slot(x) => stripe[x as usize * CHUNK + l],
+        SSrc::Const(c) => c,
+    }
+}
+
+/// Splits the stripe into (earlier rows, destination row). Stripe slots
+/// are assigned in body order, so every source slot of an op is
+/// strictly below its destination slot — the split is always valid and
+/// gives the chunk loops aliasing-free slices with no per-element
+/// bounds checks (which is what lets LLVM vectorize them).
+#[inline]
+fn dst_row(stripe: &mut [f64], dst: u32, m: usize) -> (&[f64], &mut [f64]) {
+    let (src, rest) = stripe.split_at_mut(dst as usize * CHUNK);
+    (src, &mut rest[..m])
+}
+
+#[inline]
+fn bin_chunk<F: Fn(f64, f64) -> f64>(
+    stripe: &mut [f64],
+    m: usize,
+    dst: u32,
+    a: SSrc,
+    b: SSrc,
+    f: F,
+) {
+    let (src, out) = dst_row(stripe, dst, m);
+    match (a, b) {
+        (SSrc::Slot(x), SSrc::Slot(y)) => {
+            let xs = &src[x as usize * CHUNK..x as usize * CHUNK + m];
+            let ys = &src[y as usize * CHUNK..y as usize * CHUNK + m];
+            for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+                *o = f(x, y);
+            }
+        }
+        (SSrc::Slot(x), SSrc::Const(c)) => {
+            let xs = &src[x as usize * CHUNK..x as usize * CHUNK + m];
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = f(x, c);
+            }
+        }
+        (SSrc::Const(c), SSrc::Slot(y)) => {
+            let ys = &src[y as usize * CHUNK..y as usize * CHUNK + m];
+            for (o, &y) in out.iter_mut().zip(ys) {
+                *o = f(c, y);
+            }
+        }
+        (SSrc::Const(c1), SSrc::Const(c2)) => out.fill(f(c1, c2)),
+    }
+}
+
+#[inline]
+fn un_chunk<F: Fn(f64) -> f64>(stripe: &mut [f64], m: usize, dst: u32, a: SSrc, f: F) {
+    let (src, out) = dst_row(stripe, dst, m);
+    match a {
+        SSrc::Slot(x) => {
+            let xs = &src[x as usize * CHUNK..x as usize * CHUNK + m];
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = f(x);
+            }
+        }
+        SSrc::Const(c) => out.fill(f(c)),
+    }
+}
+
+/// Executes the recurrent tail point by point for in-chunk iterations
+/// `[t0, t0 + m)`, in original body order — this *is* the sequential
+/// schedule, restricted to the ops that carry the loop dependence. The
+/// run's very first iteration uses the faithful `first` tape; all
+/// others use the forwarded `steady` tape (see [`build_steady`]).
+pub(crate) fn exec_recurrent(
+    first: &[ROp],
+    steady: &[ROp],
+    arena: &mut [f64],
+    t0: usize,
+    m: usize,
+) {
+    let mut l0 = 0;
+    if t0 == 0 && m > 0 {
+        exec_point(first, arena, 0, 0);
+        l0 = 1;
+    }
+    // The dominant steady shape after forwarding and fusion is a single
+    // fused chain+store; give it a loop that keeps the carried value in
+    // a register instead of bouncing it through the arena.
+    if let [ROp::ChainStore {
+        dst,
+        init,
+        links,
+        base,
+        delta,
+        tile,
+        ..
+    }] = steady
+    {
+        if chain_store_loop(arena, *dst, *init, links, *base, *delta, *tile, t0, l0, m) {
+            return;
+        }
+    }
+    for l in l0..m {
+        exec_point(steady, arena, (t0 + l) as isize, l);
+    }
+}
+
+#[inline]
+fn exec_point(ops: &[ROp], arena: &mut [f64], t: isize, l: usize) {
+    {
+        for op in ops {
+            match op {
+                ROp::Load {
+                    dst,
+                    base,
+                    delta,
+                    tile,
+                    ..
+                } => {
+                    arena[*dst as usize] = tile.get((base + t * delta) as usize);
+                }
+                ROp::Carry { dst, src } => arena[*dst as usize] = arena[*src as usize],
+                ROp::Store {
+                    src,
+                    base,
+                    delta,
+                    tile,
+                    ..
+                } => {
+                    let v = aread(arena, *src, l);
+                    let addr = (base + t * delta) as usize;
+                    #[cfg(debug_assertions)]
+                    crate::buffer::overlap::note_store_raw(tile.id(), addr, 1);
+                    tile.set(addr, v);
+                }
+                ROp::Bin { op, dst, a, b } => {
+                    arena[*dst as usize] = op.apply(aread(arena, *a, l), aread(arena, *b, l));
+                }
+                ROp::Un { op, dst, a } => {
+                    arena[*dst as usize] = op.apply(aread(arena, *a, l));
+                }
+                ROp::Fma { dst, a, b, c } => {
+                    arena[*dst as usize] =
+                        aread(arena, *a, l).mul_add(aread(arena, *b, l), aread(arena, *c, l));
+                }
+                ROp::Chain { dst, init, links } => {
+                    arena[*dst as usize] = chain_eval(arena, *init, links, l);
+                }
+                ROp::ChainStore {
+                    dst,
+                    init,
+                    links,
+                    base,
+                    delta,
+                    tile,
+                    ..
+                } => {
+                    let v = chain_eval(arena, *init, links, l);
+                    arena[*dst as usize] = v;
+                    let addr = (base + t * delta) as usize;
+                    #[cfg(debug_assertions)]
+                    crate::buffer::overlap::note_store_raw(tile.id(), addr, 1);
+                    tile.set(addr, v);
+                }
+            }
+        }
+    }
+}
+
+/// How a chain operand is fetched inside [`chain_store_loop`]: the
+/// register-carried recurrence value, a hoisted loop-invariant, or a
+/// stripe row indexed by the in-chunk position.
+#[derive(Clone, Copy)]
+enum COperand {
+    Carry,
+    Inv(f64),
+    Row(u32),
+}
+
+const CHAIN_MAX: usize = 16;
+
+#[inline]
+fn coperand(r: RRef, dst: u32, arena: &[f64]) -> COperand {
+    if r.step != 0 {
+        COperand::Row(r.off)
+    } else if r.off == dst {
+        COperand::Carry
+    } else {
+        COperand::Inv(arena[r.off as usize])
+    }
+}
+
+/// Specialized loop for a steady tape that is a single fused
+/// chain+store. The recurrence value (the step-0 operand aliasing the
+/// chain's own destination) lives in a register across iterations;
+/// other step-0 operands are loop-invariant and read once. Applies the
+/// exact same ops in the same order and operand sides as the generic
+/// path, so results stay bit-identical. Returns false (nothing done)
+/// when the chain is too long for the operand scratch table.
+#[allow(clippy::too_many_arguments)]
+fn chain_store_loop(
+    arena: &mut [f64],
+    dst: u32,
+    init: RRef,
+    links: &[ChainLink],
+    base: isize,
+    delta: isize,
+    tile: TileView,
+    t0: usize,
+    l0: usize,
+    m: usize,
+) -> bool {
+    if links.len() > CHAIN_MAX || l0 >= m {
+        return l0 >= m;
+    }
+    let initk = coperand(init, dst, arena);
+    let mut ops = [(FOp::Add, false, COperand::Carry); CHAIN_MAX];
+    for (o, lk) in ops.iter_mut().zip(links) {
+        *o = (lk.op, lk.acc_rhs, coperand(lk.other, dst, arena));
+    }
+    let ops = &ops[..links.len()];
+    // Entered with arena[dst] holding the previous iteration's value
+    // (written by the `first` tape or the previous chunk).
+    let mut carry = arena[dst as usize];
+    let mut addr = base + (t0 + l0) as isize * delta;
+    for l in l0..m {
+        let fetch = |k: COperand| match k {
+            COperand::Carry => carry,
+            COperand::Inv(c) => c,
+            COperand::Row(o) => arena[o as usize + l],
+        };
+        let mut acc = fetch(initk);
+        for &(op, acc_rhs, k) in ops {
+            let x = fetch(k);
+            acc = if acc_rhs { op.apply(x, acc) } else { op.apply(acc, x) };
+        }
+        #[cfg(debug_assertions)]
+        crate::buffer::overlap::note_store_raw(tile.id(), addr as usize, 1);
+        tile.set(addr as usize, acc);
+        carry = acc;
+        addr += delta;
+    }
+    arena[dst as usize] = carry;
+    true
+}
+
+#[inline]
+fn chain_eval(arena: &[f64], init: RRef, links: &[ChainLink], l: usize) -> f64 {
+    let mut acc = aread(arena, init, l);
+    for lk in links {
+        let x = aread(arena, lk.other, l);
+        acc = if lk.acc_rhs {
+            lk.op.apply(x, acc)
+        } else {
+            lk.op.apply(acc, x)
+        };
+    }
+    acc
+}
+
+#[inline]
+fn aread(arena: &[f64], r: RRef, l: usize) -> f64 {
+    arena[r.off as usize + l * r.step as usize]
+}
+
+use std::collections::{HashMap, HashSet};
+
+use crate::bytecode::{IOp, Instr, Tape};
+
+/// Executes a probe program. Returns `false` on any condition the
+/// generic body would report as an error (division by zero, unset
+/// buffer); the caller then falls back so the error surfaces from the
+/// generic loop with exact accounting.
+pub(crate) fn run_probe(probe: &[ProbeOp], regs: &mut crate::bytecode::Regs) -> bool {
+    for op in probe {
+        match *op {
+            ProbeOp::CF { dst, v } => regs.f[dst as usize] = v,
+            ProbeOp::CI { dst, v } => regs.i[dst as usize] = v,
+            ProbeOp::Mov { dst, src } => regs.i[dst as usize] = regs.i[src as usize],
+            ProbeOp::S2F { dst, src } => regs.f[dst as usize] = regs.i[src as usize] as f64,
+            ProbeOp::Dim { dst, buf, dim } => {
+                let Some(b) = regs.b[buf as usize].as_ref() else {
+                    return false;
+                };
+                regs.i[dst as usize] = b.dim(dim as usize) as i64;
+            }
+            ProbeOp::Bin { op, dst, a, b } => {
+                let a = regs.i[a as usize];
+                let b = regs.i[b as usize];
+                regs.i[dst as usize] = match op {
+                    IOp::Add => a + b,
+                    IOp::Sub => a - b,
+                    IOp::Mul => a * b,
+                    IOp::FloorDiv | IOp::CeilDiv | IOp::Rem if b == 0 => return false,
+                    IOp::FloorDiv => a.div_euclid(b),
+                    IOp::CeilDiv => (a + b - 1).div_euclid(b),
+                    IOp::Rem => a.rem_euclid(b),
+                    IOp::Min => a.min(b),
+                    IOp::Max => a.max(b),
+                };
+            }
+        }
+    }
+    true
+}
+
+/// Recognizes a specializable innermost loop body and builds its
+/// [`RunSpec`]. Returns `None` when the body uses anything outside the
+/// straight-line stencil subset — nested control flow, vector ops,
+/// comparisons/selects, allocation, view construction, float-typed
+/// induction values, or index arithmetic that is not affine in `iv`.
+///
+/// Affinity tracking: integer registers are *linear* (affine in `iv`)
+/// or *invariant*. `iv` is linear; registers defined outside the body
+/// are invariant (SSA + dominance); `addi`/`subi` preserve linearity;
+/// `muli` of linear × invariant stays linear (linear × linear bails);
+/// division/remainder/min/max of anything linear bails. Access index
+/// registers may be either class — the probe resolves their values —
+/// but linearity is what justifies probing only two iterations and
+/// bounds-checking only the run endpoints.
+pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
+    if !tape.term.is_empty() {
+        return None;
+    }
+    let mut probe_code: Vec<ProbeOp> = Vec::new();
+    let mut probe_iv_code: Vec<ProbeOp> = Vec::new();
+    let mut lin: HashSet<u32> = HashSet::new();
+    lin.insert(iv);
+    // f-register → producing op position; absent means run-invariant.
+    let mut fdef: HashMap<u32, u16> = HashMap::new();
+    let fref = |r: u32, fdef: &HashMap<u32, u16>| -> FRef {
+        fdef.get(&r).map_or(FRef::Inv(r), |&j| FRef::Op(j))
+    };
+    let mut ops: Vec<RunOp> = Vec::new();
+    let mut n_acc: u16 = 0;
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut flops = 0u64;
+    let mut index_ops = 0u64;
+
+    for instr in &tape.code {
+        if ops.len() >= u16::MAX as usize || n_acc == u16::MAX {
+            return None;
+        }
+        match instr {
+            Instr::ConstF { dst, v } => probe_code.push(ProbeOp::CF { dst: *dst, v: *v }),
+            Instr::ConstI { dst, v } => probe_code.push(ProbeOp::CI { dst: *dst, v: *v }),
+            Instr::Dim { dst, buf, dim } => probe_code.push(ProbeOp::Dim {
+                dst: *dst,
+                buf: *buf,
+                dim: *dim,
+            }),
+            Instr::MoveI { dst, src } => {
+                let p = ProbeOp::Mov {
+                    dst: *dst,
+                    src: *src,
+                };
+                if lin.contains(src) {
+                    lin.insert(*dst);
+                    probe_iv_code.push(p);
+                }
+                probe_code.push(p);
+            }
+            Instr::SiToFp { dst, src } => {
+                if lin.contains(src) {
+                    // A float that varies per point without going through
+                    // memory — outside the stencil subset.
+                    return None;
+                }
+                probe_code.push(ProbeOp::S2F {
+                    dst: *dst,
+                    src: *src,
+                });
+            }
+            Instr::BinI { op, dst, a, b } => {
+                index_ops += 1;
+                let la = lin.contains(a);
+                let lb = lin.contains(b);
+                let dst_linear = match op {
+                    IOp::Add | IOp::Sub => la || lb,
+                    IOp::Mul => {
+                        if la && lb {
+                            return None;
+                        }
+                        la || lb
+                    }
+                    IOp::FloorDiv | IOp::CeilDiv | IOp::Rem | IOp::Min | IOp::Max => {
+                        if la || lb {
+                            return None;
+                        }
+                        false
+                    }
+                };
+                let p = ProbeOp::Bin {
+                    op: *op,
+                    dst: *dst,
+                    a: *a,
+                    b: *b,
+                };
+                if dst_linear {
+                    lin.insert(*dst);
+                    probe_iv_code.push(p);
+                }
+                probe_code.push(p);
+            }
+            Instr::BinF { op, dst, a, b } => {
+                flops += 1;
+                let rop = RunOp::Bin {
+                    op: *op,
+                    a: fref(*a, &fdef),
+                    b: fref(*b, &fdef),
+                };
+                fdef.insert(*dst, ops.len() as u16);
+                ops.push(rop);
+            }
+            Instr::UnF { op, dst, a } => {
+                flops += 1;
+                let rop = RunOp::Un {
+                    op: *op,
+                    a: fref(*a, &fdef),
+                };
+                fdef.insert(*dst, ops.len() as u16);
+                ops.push(rop);
+            }
+            Instr::FmaF { dst, a, b, c } => {
+                flops += 1;
+                let rop = RunOp::Fma {
+                    a: fref(*a, &fdef),
+                    b: fref(*b, &fdef),
+                    c: fref(*c, &fdef),
+                };
+                fdef.insert(*dst, ops.len() as u16);
+                ops.push(rop);
+            }
+            Instr::Load { dst, buf, idx } => {
+                loads += 1;
+                let rop = RunOp::Load {
+                    buf: *buf,
+                    idx: idx.clone(),
+                    acc: n_acc,
+                };
+                n_acc += 1;
+                fdef.insert(*dst, ops.len() as u16);
+                ops.push(rop);
+            }
+            Instr::Store { src, buf, idx } => {
+                stores += 1;
+                ops.push(RunOp::Store {
+                    buf: *buf,
+                    idx: idx.clone(),
+                    src: fref(*src, &fdef),
+                    acc: n_acc,
+                });
+                n_acc += 1;
+            }
+            _ => return None,
+        }
+    }
+    if stores == 0 {
+        return None;
+    }
+    let idx_regs: Vec<u32> = ops
+        .iter()
+        .flat_map(|op| match op {
+            RunOp::Load { idx, .. } | RunOp::Store { idx, .. } => idx.iter().copied(),
+            _ => [].iter().copied(),
+        })
+        .collect();
+    Some(RunSpec {
+        probe: probe_code.into(),
+        probe_iv: probe_iv_code.into(),
+        ops: ops.into(),
+        idx_regs: idx_regs.into(),
+        loads_per_iter: loads,
+        stores_per_iter: stores,
+        flops_per_iter: flops,
+        index_ops_per_iter: index_ops,
+    })
+}

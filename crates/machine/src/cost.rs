@@ -47,6 +47,18 @@ impl PerPointCosts {
             + self.vector_mem_ops * vec_cost / m.mem_ops_per_cycle
             + self.control_ops / 4.0
     }
+
+    /// Cycles per point when the innermost loop executes as one
+    /// contiguous run of `run` points per dispatch (the exec engine's
+    /// run specialization): index and control work — address
+    /// computation, bounds handling, opcode dispatch — is paid once per
+    /// run and amortized across its points, so the per-point control
+    /// share shrinks by the run length. Floating-point and memory terms
+    /// are unchanged; with `run == 1` this is exactly [`Self::cycles`].
+    pub fn cycles_with_run(&self, m: &Machine, strided_vectors: bool, run: usize) -> f64 {
+        let control_pp = self.control_ops / 4.0;
+        self.cycles(m, strided_vectors) - control_pp + control_pp / run.max(1) as f64
+    }
 }
 
 /// One run-configuration of the estimator.
@@ -128,7 +140,11 @@ pub fn estimate_sweep(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
     let points: f64 = cfg.domain.iter().product::<usize>() as f64;
 
     // --- per-point time (roofline) ---
-    let cycles_pp = cfg.costs.cycles(m, cfg.strided_vectors) * cfg.tile_overhead;
+    // The execution engine specializes contiguous innermost runs (one
+    // dispatch per run, not per point), so control overhead amortizes
+    // over the innermost tile extent — wide-x tiles are credited for it.
+    let run = cfg.tile.last().copied().unwrap_or(1).max(1);
+    let cycles_pp = cfg.costs.cycles_with_run(m, cfg.strided_vectors, run) * cfg.tile_overhead;
     let compute_pp = cycles_pp * m.cycle_s();
     // Streamed traffic: every live tensor element is moved once per sweep
     // when the tile working set fits in L2, with a reuse penalty
@@ -214,6 +230,43 @@ mod tests {
         };
         cfg.deps = vec![vec![-1, 0], vec![0, -1]];
         cfg
+    }
+
+    #[test]
+    fn run_amortization_credits_wide_innermost_tiles() {
+        let m = xeon_6152_dual();
+        let costs = PerPointCosts {
+            scalar_flops: 6.0,
+            mem_ops: 7.0,
+            control_ops: 8.0,
+            ..Default::default()
+        };
+        // Same tile area, same op mix — only the innermost extent
+        // differs. The run path pays control once per run, so the
+        // wide-x tile must estimate strictly faster.
+        let mut wide = RunConfig::new(vec![512, 512], vec![64, 64], vec![8, 64]);
+        let mut tall = RunConfig::new(vec![512, 512], vec![64, 64], vec![64, 8]);
+        wide.costs = costs;
+        tall.costs = costs;
+        let t_wide = estimate_sweep(&m, &wide).total_s;
+        let t_tall = estimate_sweep(&m, &tall).total_s;
+        assert!(
+            t_wide < t_tall,
+            "wide-x tile must be credited: {t_wide} vs {t_tall}"
+        );
+    }
+
+    #[test]
+    fn run_of_one_matches_per_point_cycles() {
+        let m = xeon_6152_dual();
+        let costs = PerPointCosts {
+            scalar_flops: 3.0,
+            mem_ops: 4.0,
+            control_ops: 5.0,
+            ..Default::default()
+        };
+        assert_eq!(costs.cycles_with_run(&m, false, 1), costs.cycles(&m, false));
+        assert!(costs.cycles_with_run(&m, false, 64) < costs.cycles(&m, false));
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! CI gate: assert that the engines bench's `BENCH_exec_report.json`
+//! (written next to `BENCH_exec.json` by `benches/engines.rs`) still
+//! validates against the current obs report schema. The bench validates
+//! at write time; this re-validates the *committed artifact*, so a
+//! schema change that silently invalidates the stored report — or a
+//! stale report after a schema bump — fails CI instead of lingering.
+
+use instencil::obs::report::validate_report_json;
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec_report.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} — run the engines bench first"));
+    validate_report_json(&text)
+        .unwrap_or_else(|e| panic!("{path} does not validate against the obs report schema: {e}"));
+    println!("{path}: schema OK");
+}

@@ -1,11 +1,20 @@
-//! The bytecode engine is *bit-identical* to the tree-walking
+//! Every bytecode flavor is *bit-identical* to the tree-walking
 //! interpreter — results and statistics.
 //!
 //! The bytecode compiler translates each lowered function once into flat
-//! register-machine tapes; the only thing it is allowed to change is
-//! wall-clock time. These tests drive every §4.2 transformation preset
-//! (tr1–tr4) of the SOR solver and the Euler LU-SGS solver through both
-//! engines at 1, 2, 4 and 8 wavefront threads and require
+//! register-machine tapes, and the run-specialized engine additionally
+//! collapses straight-line innermost loops into fused macro-ops
+//! (`RunSpec`); the only thing either is allowed to change is wall-clock
+//! time. These tests drive every §4.2 transformation preset (tr1–tr4) of
+//! the SOR solver, the Euler LU-SGS solver and the gs5 bench kernel
+//! through three engines at 1, 2, 4 and 8 wavefront threads:
+//!
+//! * [`Engine::Interp`] — the reference tree-walking interpreter,
+//! * [`Engine::BytecodeDispatch`] — bytecode with run specialization
+//!   off (every point pays full opcode dispatch),
+//! * [`Engine::Bytecode`] — the run-specialized default,
+//!
+//! and require
 //!
 //! * identical `f64` bit patterns in every output buffer, and
 //! * identical [`ExecStats`](instencil::exec::ExecStats) counters
@@ -13,7 +22,10 @@
 //!
 //! which is the contract that lets wall-clock numbers be measured on the
 //! bytecode engine while correctness arguments stay with the reference
-//! interpreter.
+//! interpreter. Domains whose innermost interior extent is *not* a
+//! multiple of the tile width are covered explicitly: short trailing
+//! runs exercise the scalar epilogue and the sub-`MIN_RUN` generic
+//! fallback of the run-specialized path.
 
 use instencil::prelude::*;
 use instencil::solvers::euler::NV;
@@ -21,6 +33,13 @@ use instencil::solvers::euler_codegen::euler_lusgs_module;
 use instencil::solvers::lusgs::vortex_initial;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The two engines-under-test, each compared bit-for-bit against the
+/// interpreter reference.
+const CANDIDATES: [(&str, Engine); 2] = [
+    ("bytecode", Engine::Bytecode),
+    ("bytecode-dispatch", Engine::BytecodeDispatch),
+];
 
 /// Deterministic non-trivial initial data.
 fn seeded(shape: &[usize]) -> BufferView {
@@ -41,8 +60,37 @@ fn assert_bits_equal(expect: &[f64], got: &[f64], what: &str) {
     }
 }
 
+/// Runs `sweeps` sweeps of `func` on freshly seeded buffers under every
+/// engine and thread count, asserting the candidates reproduce the
+/// interpreter bits and counters exactly.
+fn check_all_engines(
+    module: &Module,
+    func: &str,
+    shape: &[usize],
+    n_buffers: usize,
+    sweeps: usize,
+    what: &str,
+) {
+    for threads in THREAD_COUNTS {
+        let run = |engine: Engine| {
+            let bufs: Vec<BufferView> = (0..n_buffers).map(|_| seeded(shape)).collect();
+            let stats =
+                run_sweeps_with(module, func, &bufs, sweeps, threads, engine).unwrap();
+            (bufs[0].to_vec(), stats)
+        };
+        let (expect, stats_i) = run(Engine::Interp);
+        for (name, engine) in CANDIDATES {
+            let (got, stats_e) = run(engine);
+            let label = format!("{what} {name} threads={threads}");
+            assert_bits_equal(&expect, &got, &label);
+            assert_eq!(stats_i, stats_e, "{label}: engines must count identically");
+            assert!(stats_e.wavefront_levels > 0, "{label}: wavefronts expected");
+        }
+    }
+}
+
 #[test]
-fn sor_bytecode_matches_interp_on_every_preset() {
+fn sor_engines_match_on_every_preset() {
     let module = kernels::sor_module(1.5);
     let n = 17usize;
     let shape = [1, n, n];
@@ -54,45 +102,19 @@ fn sor_bytecode_matches_interp_on_every_preset() {
     ];
     for (name, opts) in presets {
         let compiled = compile(&module, &opts).expect("sor compiles");
-        for threads in THREAD_COUNTS {
-            let u_i = seeded(&shape);
-            let b_i = seeded(&shape);
-            let stats_i = run_sweeps_with(
-                &compiled.module,
-                "sor",
-                &[u_i.clone(), b_i],
-                3,
-                threads,
-                Engine::Interp,
-            )
-            .unwrap();
-            let u_b = seeded(&shape);
-            let b_b = seeded(&shape);
-            let stats_b = run_sweeps_with(
-                &compiled.module,
-                "sor",
-                &[u_b.clone(), b_b],
-                3,
-                threads,
-                Engine::Bytecode,
-            )
-            .unwrap();
-            assert_bits_equal(
-                &u_i.to_vec(),
-                &u_b.to_vec(),
-                &format!("sor {name} threads={threads}"),
-            );
-            assert_eq!(
-                stats_i, stats_b,
-                "sor {name} threads={threads}: engines must count identically"
-            );
-            assert!(stats_b.wavefront_levels > 0, "{name}: wavefronts expected");
-        }
+        check_all_engines(
+            &compiled.module,
+            "sor",
+            &shape,
+            2,
+            3,
+            &format!("sor {name}"),
+        );
     }
 }
 
 #[test]
-fn lusgs_bytecode_matches_interp() {
+fn lusgs_engines_match() {
     let module = euler_lusgs_module(0.05);
     let n = 10usize;
     let shape = [NV, n, n, n];
@@ -123,47 +145,61 @@ fn lusgs_bytecode_matches_interp() {
 
     for threads in THREAD_COUNTS {
         let (expect, stats_i) = run(threads, Engine::Interp);
-        let (got, stats_b) = run(threads, Engine::Bytecode);
-        assert_bits_equal(&expect, &got, &format!("lusgs threads={threads}"));
-        assert_eq!(
-            stats_i, stats_b,
-            "lusgs threads={threads}: engines must count identically"
-        );
-        assert!(stats_b.wavefront_levels > 0, "wavefronts expected");
+        for (name, engine) in CANDIDATES {
+            let (got, stats_e) = run(threads, engine);
+            let label = format!("lusgs {name} threads={threads}");
+            assert_bits_equal(&expect, &got, &label);
+            assert_eq!(stats_i, stats_e, "{label}: engines must count identically");
+            assert!(stats_e.wavefront_levels > 0, "{label}: wavefronts expected");
+        }
     }
 }
 
 #[test]
-fn gs5_presets_match_across_engines() {
+fn gs5_engines_match_on_presets() {
     // The bench kernel of the acceptance criterion: 5-point 2D
-    // Gauss-Seidel through every preset at every thread count.
+    // Gauss-Seidel through tiling presets at every thread count.
     let module = kernels::gauss_seidel_5pt_module();
     let n = 18usize;
     let shape = [1, n, n];
-    for opts in [
-        PipelineOptions::tr1(vec![8, 8], vec![4, 4]),
-        PipelineOptions::tr4(vec![8, 8], vec![4, 4]),
+    for (name, opts) in [
+        ("tr1", PipelineOptions::tr1(vec![8, 8], vec![4, 4])),
+        ("tr4", PipelineOptions::tr4(vec![8, 8], vec![4, 4])),
     ] {
         let compiled = compile(&module, &opts).expect("gs5 compiles");
-        for threads in THREAD_COUNTS {
-            let run = |engine: Engine| {
-                let w = seeded(&shape);
-                let b = seeded(&shape);
-                let stats = run_sweeps_with(
-                    &compiled.module,
-                    "gs5",
-                    &[w.clone(), b],
-                    2,
-                    threads,
-                    engine,
-                )
-                .unwrap();
-                (w.to_vec(), stats)
-            };
-            let (expect, stats_i) = run(Engine::Interp);
-            let (got, stats_b) = run(Engine::Bytecode);
-            assert_bits_equal(&expect, &got, &format!("gs5 threads={threads}"));
-            assert_eq!(stats_i, stats_b, "gs5 threads={threads}: stats differ");
-        }
+        check_all_engines(
+            &compiled.module,
+            "gs5",
+            &shape,
+            2,
+            2,
+            &format!("gs5 {name}"),
+        );
+    }
+}
+
+#[test]
+fn gs5_engines_match_on_ragged_innermost_extents() {
+    // Interior extents that are NOT multiples of the innermost tile
+    // width: the last tile of each row is short, so the run-specialized
+    // engine must take its scalar epilogue — including trailing runs
+    // shorter than `MIN_RUN`, which fall back to generic dispatch
+    // mid-sweep. Bit-identity must survive the mixed paths.
+    let module = kernels::gauss_seidel_5pt_module();
+    for (ny, nx) in [(17usize, 17usize), (18, 13), (12, 12)] {
+        // Interior nx-2 ∈ {15, 11, 10}; tile x = 4 (and 8 for the last)
+        // leaves trailing runs of 3, 3 and 2 points respectively.
+        let shape = [1, ny, nx];
+        let tile_x = if nx == 12 { 8 } else { 4 };
+        let opts = PipelineOptions::tr4(vec![8, 8], vec![4, tile_x]);
+        let compiled = compile(&module, &opts).expect("gs5 compiles");
+        check_all_engines(
+            &compiled.module,
+            "gs5",
+            &shape,
+            2,
+            2,
+            &format!("gs5 ragged {ny}x{nx}"),
+        );
     }
 }
