@@ -41,6 +41,13 @@ echo "==> overlap checker (debug profile — the checker compiles out in release
 # both accepts a correct schedule and panics on a deliberate mis-schedule.
 cargo test $OFFLINE --test overlap_checker
 
+echo "==> dataflow scheduler ordering property (debug profile)"
+# The dataflow pool replaces the per-level barrier with per-edge atomic
+# in-degrees; this property test stamps every block with a shared
+# logical clock on random graphs and asserts no block ever starts
+# before its predecessors finish, at 1/2/4/8 workers.
+cargo test $OFFLINE --test dataflow_trace
+
 echo "==> engines bench smoke (interp vs dispatch vs run-specialized, writes BENCH_exec.json)"
 INSTENCIL_BENCH_FAST=1 cargo bench $OFFLINE -p instencil-bench --bench engines
 

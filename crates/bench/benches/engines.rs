@@ -36,16 +36,26 @@ use std::time::Instant;
 
 use instencil_bench::cases::paper_cases;
 use instencil_core::kernels;
-use instencil_core::pipeline::{compile, PipelineOptions};
+use instencil_core::pipeline::{compile, Engine, PipelineOptions};
 use instencil_exec::driver::run_compiled_report;
-use instencil_exec::{buffer::BufferView, BcOptions, BytecodeEngine, Interpreter, RtVal};
+use instencil_exec::{buffer::BufferView, BcOptions, BytecodeEngine, Interpreter, RtVal, Runner};
 use instencil_ir::Module;
 use instencil_obs::{report::validate_report_json, Json, Obs, ObsLevel};
+use instencil_pattern::Scheduler;
+use instencil_solvers::euler::NV;
+use instencil_solvers::euler_codegen::euler_lusgs_module;
 
 /// Tolerated slowdown of a fresh bytecode measurement vs the stored
 /// baseline before the bench fails (generous: CI machines are noisy,
 /// and the guard only needs to catch gross Off-path overhead).
 const MAX_REGRESSION: f64 = 1.5;
+
+/// Tolerated slowdown of dataflow@8 vs levels@8 in the scaling section
+/// before the bench fails. The dataflow pool exists to *remove* barrier
+/// idle, so at the highest thread count it must not lose; the margin
+/// absorbs timer noise on oversubscribed CI hosts (a breach gets one
+/// re-measurement, like the baseline gate).
+const DATAFLOW_TOLERANCE: f64 = 1.10;
 
 struct Row {
     engine: &'static str,
@@ -124,6 +134,89 @@ fn bench_case(
     rows
 }
 
+/// One scheduler-scaling measurement: `case@threads` on the bytecode
+/// engine under `scheduler`, ns/point of one call.
+fn measure_scheduler(
+    samples: usize,
+    module: &Module,
+    func: &str,
+    shape: &[usize],
+    n_buffers: usize,
+    threads: usize,
+    scheduler: Scheduler,
+) -> f64 {
+    let points: usize = shape.iter().product();
+    let buffers: Vec<BufferView> = (0..n_buffers).map(|_| BufferView::alloc(shape)).collect();
+    buffers[0].fill(1.0);
+    let args = || -> Vec<RtVal> { buffers.iter().cloned().map(RtVal::Buf).collect() };
+    let mut runner =
+        Runner::with_opts(module, Engine::Bytecode, threads, scheduler, Obs::off()).unwrap();
+    let t = measure(samples, || {
+        runner.call(func, args()).unwrap();
+    });
+    t / points as f64
+}
+
+/// The scheduler-scaling section: levels vs dataflow ns/point on the
+/// wavefront-heavy cases (LU-SGS and SOR Tr2) at 1, 2, 4 and 8 threads.
+/// Row engines are `levels`/`dataflow` (outside the `bytecode*`
+/// namespace, so the cross-run baseline gate ignores them — scheduler
+/// rows are judged against each other within one run instead).
+fn bench_scaling(samples: usize, rows: &mut Vec<Row>) {
+    let sor = kernels::sor_module(1.6);
+    let gs5 = paper_cases().into_iter().find(|c| c.name == "gs5").unwrap();
+    let sor_compiled = compile(
+        &sor,
+        &PipelineOptions::tr2(gs5.profile_subdomain.clone(), gs5.profile_tile.clone()),
+    )
+    .unwrap();
+    let mut sor_shape = vec![1usize];
+    sor_shape.extend(&gs5.profile_domain);
+
+    let n = 10usize;
+    let lusgs = euler_lusgs_module(0.05);
+    let lusgs_compiled =
+        compile(&lusgs, &PipelineOptions::new(vec![2, 2, 2], vec![2, 2, 2])).unwrap();
+    let lusgs_shape = [NV, n, n, n];
+
+    let cases: [(&str, &Module, &str, &[usize], usize); 2] = [
+        ("lusgs", &lusgs_compiled.module, "euler_step", &lusgs_shape, 3),
+        ("sor-tr2", &sor_compiled.module, "sor", &sor_shape, 2),
+    ];
+    for (label, module, func, shape, nb) in cases {
+        for threads in [1usize, 2, 4, 8] {
+            let at = |scheduler: Scheduler| {
+                measure_scheduler(samples, module, func, shape, nb, threads, scheduler)
+            };
+            let mut levels = at(Scheduler::Levels);
+            let mut dataflow = at(Scheduler::Dataflow);
+            if threads == 8 && dataflow / levels > DATAFLOW_TOLERANCE {
+                // One re-measurement before judging, like the baseline
+                // gate: short smoke samples on oversubscribed hosts are
+                // noisy, and min-of-two is a fairer estimate.
+                levels = levels.min(at(Scheduler::Levels));
+                dataflow = dataflow.min(at(Scheduler::Dataflow));
+            }
+            for (engine, ns) in [("levels", levels), ("dataflow", dataflow)] {
+                println!("engines/scaling/{engine}/{label}@{threads:<2} {ns:>10.1} ns/point");
+                rows.push(Row {
+                    engine,
+                    case: format!("{label}@{threads}"),
+                    ns_per_point: ns,
+                });
+            }
+            if threads == 8 {
+                let ratio = dataflow / levels;
+                assert!(
+                    ratio <= DATAFLOW_TOLERANCE,
+                    "dataflow@8 lost to levels@8 on {label}: {ratio:.2}x \
+                     ({dataflow:.1} vs {levels:.1} ns/point)"
+                );
+            }
+        }
+    }
+}
+
 /// Reads the bytecode baselines (case -> ns/point) from a previous
 /// `BENCH_exec.json`, if one exists and parses.
 fn read_baselines(path: &str) -> Vec<(String, String, f64)> {
@@ -196,6 +289,7 @@ fn main() {
     for (m, opts, nb, label, func) in &cases {
         rows.extend(bench_case(samples, label, m, opts, &shape, *nb, func));
     }
+    bench_scaling(samples, &mut rows);
 
     // Regression gate, in smoke mode too: a fresh bytecode measurement
     // more than MAX_REGRESSION over the stored baseline fails the

@@ -19,6 +19,7 @@ use std::fmt;
 use instencil_ir::pass::CanonicalizePass;
 use instencil_ir::{Module, Pass, PassError};
 use instencil_obs::{Obs, ObsLevel};
+pub use instencil_pattern::dataflow::Scheduler;
 
 use crate::transforms::bufferize::bufferize_module;
 use crate::transforms::lower::{lower_module, LowerOptions, LowerStats};
@@ -96,10 +97,18 @@ pub struct PipelineOptions {
     pub vectorize: Option<usize>,
     /// OS threads for wavefront execution (§3.4): each wavefront level of
     /// `scf.execute_wavefronts` is split across this many workers at run
-    /// time. `1` = sequential. Purely a runtime knob — the generated IR
-    /// is identical for every value, and so are the computed results
-    /// (sub-domains within a level are independent by Eq. (3)).
+    /// time. `1` = sequential; `0` = auto — the exec driver resolves it
+    /// to `std::thread::available_parallelism()` when the `Runner` is
+    /// built. Purely a runtime knob — the generated IR is identical for
+    /// every value, and so are the computed results (sub-domains within
+    /// a level are independent by Eq. (3)).
     pub threads: usize,
+    /// How wavefront blocks synchronize at run time:
+    /// [`Scheduler::Levels`] (barrier between wavefront levels) or
+    /// [`Scheduler::Dataflow`] (point-to-point, each block fires when
+    /// its own predecessors finish). Runtime knob; results are
+    /// bit-identical either way.
+    pub scheduler: Scheduler,
     /// Execution engine for the lowered module (runtime knob; the
     /// generated IR is identical either way).
     pub engine: Engine,
@@ -120,6 +129,7 @@ impl PipelineOptions {
             fuse: false,
             vectorize: None,
             threads: 1,
+            scheduler: Scheduler::default(),
             engine: Engine::default(),
             obs: ObsLevel::default(),
         }
@@ -146,10 +156,18 @@ impl PipelineOptions {
         self
     }
 
-    /// Sets the wavefront worker count (minimum 1).
+    /// Sets the wavefront worker count. `0` means auto: the exec driver
+    /// resolves it via `std::thread::available_parallelism()`.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the wavefront scheduler (levels-with-barriers vs dataflow).
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -334,13 +352,25 @@ mod tests {
     }
 
     #[test]
-    fn threads_knob_clamps_and_persists() {
+    fn threads_knob_persists_and_zero_means_auto() {
+        // 0 is stored as-is: it means "auto", resolved to
+        // available_parallelism() by the exec driver, not here.
         let o = PipelineOptions::new(vec![8, 8], vec![4, 4]).threads(0);
-        assert_eq!(o.threads, 1);
+        assert_eq!(o.threads, 0);
         let o = o.threads(4);
         assert_eq!(o.threads, 4);
         let c = compile(&kernels::gauss_seidel_5pt_module(), &o).unwrap();
         assert_eq!(c.options.threads, 4);
+    }
+
+    #[test]
+    fn scheduler_knob_defaults_to_levels_and_persists() {
+        let o = PipelineOptions::new(vec![8, 8], vec![4, 4]);
+        assert_eq!(o.scheduler, Scheduler::Levels, "levels is the default");
+        let o = o.scheduler(Scheduler::Dataflow);
+        assert_eq!(o.scheduler, Scheduler::Dataflow);
+        let c = compile(&kernels::gauss_seidel_5pt_module(), &o).unwrap();
+        assert_eq!(c.options.scheduler, Scheduler::Dataflow);
     }
 
     #[test]

@@ -701,6 +701,126 @@ pub mod overlap {
         }
     }
 
+    /// Whole-run overlap checker for the dataflow scheduler.
+    ///
+    /// Dataflow execution has no levels to reset at, so disjointness is
+    /// checked against the block *dependence graph* instead: any two
+    /// blocks left **unordered** by the graph may run concurrently (at
+    /// some thread count, under some timing), so they must write
+    /// disjoint extents. Blocks ordered by a transitive dependence may
+    /// freely reuse cells — the Acquire/Release edge of the in-degree
+    /// handoff orders their writes.
+    ///
+    /// Ordering is decided from transitive-ancestor bitsets computed
+    /// once per run, so verdicts are deterministic: the same module
+    /// panics (or passes) identically at every thread count, including
+    /// 1 — unlike a temporal check, which would only catch races that
+    /// happened to manifest.
+    pub struct GraphChecker {
+        /// `ancestors[b]` bit `p` set iff block `p` is a transitive
+        /// predecessor of `b` (all predecessors have lower flat index).
+        ancestors: Vec<Vec<u64>>,
+        done: Mutex<Vec<BlockWrites>>,
+    }
+
+    impl GraphChecker {
+        /// A fresh checker for one dataflow run over `graph`.
+        pub fn new(graph: &instencil_pattern::dataflow::BlockGraph) -> Self {
+            let n = graph.num_blocks();
+            let words = n.div_ceil(64);
+            let mut ancestors: Vec<Vec<u64>> = Vec::with_capacity(n);
+            for b in 0..n {
+                let mut bits = vec![0u64; words];
+                for &p in graph.predecessors(b) {
+                    let p = p as usize;
+                    // Predecessors precede `b` in flat order (deps are
+                    // lexicographically negative), so ancestors[p] is
+                    // already final.
+                    for (w, a) in bits.iter_mut().zip(&ancestors[p]) {
+                        *w |= a;
+                    }
+                    bits[p / 64] |= 1 << (p % 64);
+                }
+                ancestors.push(bits);
+            }
+            GraphChecker {
+                ancestors,
+                done: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn ordered(&self, a: usize, b: usize) -> bool {
+            let has = |anc: &[u64], x: usize| anc[x / 64] >> (x % 64) & 1 == 1;
+            has(&self.ancestors[b], a) || has(&self.ancestors[a], b)
+        }
+
+        /// Starts recording block `block` on the current thread; the
+        /// returned guard commits and checks the write set on drop.
+        pub fn guard(&self, block: usize) -> GraphGuard<'_> {
+            ACTIVE.with(|a| {
+                let mut a = a.borrow_mut();
+                debug_assert!(a.is_none(), "nested overlap-checker blocks");
+                *a = Some(BlockWrites {
+                    block,
+                    per_storage: Vec::new(),
+                });
+            });
+            GraphGuard { checker: self }
+        }
+
+        fn commit(&self, mut writes: BlockWrites) {
+            for (_, _, intervals) in &mut writes.per_storage {
+                normalize(intervals);
+            }
+            let mut done = self.done.lock().unwrap();
+            for prior in done.iter() {
+                if self.ordered(prior.block, writes.block) {
+                    continue;
+                }
+                for (id, _, intervals) in &writes.per_storage {
+                    for (pid, _, prior_intervals) in &prior.per_storage {
+                        if pid != id {
+                            continue;
+                        }
+                        if let Some((lo, hi)) = intersect(intervals, prior_intervals) {
+                            // Commit order is nondeterministic under
+                            // concurrency; report the pair in block order.
+                            let (a, b) = (
+                                prior.block.min(writes.block),
+                                prior.block.max(writes.block),
+                            );
+                            panic!(
+                                "wavefront overlap: blocks {a} and {b} are \
+                                 unordered by the block dependence graph and \
+                                 both wrote flat extent [{lo}, {hi}] of one \
+                                 allocation — the dependences violate Eq. (3) \
+                                 disjointness"
+                            );
+                        }
+                    }
+                }
+            }
+            done.push(writes);
+        }
+    }
+
+    /// RAII scope of one block's recording (see [`GraphChecker::guard`]).
+    pub struct GraphGuard<'a> {
+        checker: &'a GraphChecker,
+    }
+
+    impl Drop for GraphGuard<'_> {
+        fn drop(&mut self) {
+            let Some(writes) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+                return;
+            };
+            if std::thread::panicking() {
+                return;
+            }
+            self.checker.commit(writes);
+        }
+    }
+
     /// Sorts and merges an interval list in place.
     fn normalize(intervals: &mut Vec<(usize, usize)>) {
         intervals.sort_unstable();
@@ -760,6 +880,26 @@ pub mod overlap {
         #[inline]
         pub fn guard(&self, _block: usize) -> BlockGuard {
             BlockGuard
+        }
+    }
+
+    /// No-op stand-in for the debug dataflow checker.
+    pub struct GraphChecker;
+
+    /// No-op guard.
+    pub struct GraphGuard;
+
+    impl GraphChecker {
+        /// A fresh (no-op) checker.
+        #[inline]
+        pub fn new(_graph: &instencil_pattern::dataflow::BlockGraph) -> Self {
+            Self
+        }
+
+        /// No-op block scope.
+        #[inline]
+        pub fn guard(&self, _block: usize) -> GraphGuard {
+            GraphGuard
         }
     }
 

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use instencil_ir::{CmpPred, Module};
 use instencil_obs::Obs;
+use instencil_pattern::dataflow::{self, Scheduler};
 use instencil_pattern::CsrWavefronts;
 
 use crate::buffer::BufferView;
@@ -531,6 +532,7 @@ pub struct BytecodeEngine {
     pub stats: ExecStats,
     threads: usize,
     obs: Obs,
+    scheduler: Scheduler,
 }
 
 impl BytecodeEngine {
@@ -584,12 +586,26 @@ impl BytecodeEngine {
             stats: ExecStats::default(),
             threads: threads.max(1),
             obs,
+            scheduler: Scheduler::Levels,
         })
+    }
+
+    /// Selects the wavefront scheduler mode (a pure runtime knob — the
+    /// compiled program is unchanged; results are bit-identical).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// The wavefront worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The wavefront scheduler mode.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
     }
 
     /// Calls a compiled function by name.
@@ -604,7 +620,7 @@ impl BytecodeEngine {
             .ok_or_else(|| ExecError::new(format!("no function `{name}`")))?;
         let ctx = BcCtx {
             program: &self.program,
-            pool: WavefrontPool::with_obs(self.threads, self.obs.clone()),
+            pool: WavefrontPool::with_opts(self.threads, self.obs.clone(), self.scheduler),
         };
         let mut stats = ExecStats::default();
         let out = ctx.call(fi, args, &mut stats);
@@ -870,17 +886,16 @@ impl BcCtx<'_> {
                         .map(|&r| regs.i[r as usize].max(1) as usize)
                         .collect();
                     let mut span = self.pool.obs().span("run:schedule");
-                    let schedule =
-                        instencil_pattern::WavefrontSchedule::compute(&grid, deps.as_ref());
-                    span.note("levels", schedule.num_levels() as i64);
+                    // Cached per (grid, deps) process-wide; the Arc
+                    // identity of `cols` lets `exec_wavefronts` recover
+                    // the dependence graph for dataflow mode.
+                    let bundle = dataflow::schedule_bundle(&grid, deps.as_ref());
+                    span.note("levels", bundle.csr.num_levels() as i64);
                     span.note("blocks", grid.iter().product::<usize>() as i64);
                     drop(span);
                     stats.schedules_computed += 1;
-                    let csr = schedule.into_wavefronts();
-                    let row_ptr: Vec<i64> = csr.row_ptr().iter().map(|&x| x as i64).collect();
-                    let col: Vec<i64> = csr.cols().iter().map(|&x| x as i64).collect();
-                    regs.a[*rows as usize] = Some(Arc::new(row_ptr));
-                    regs.a[*cols as usize] = Some(Arc::new(col));
+                    regs.a[*rows as usize] = Some(Arc::clone(&bundle.rows));
+                    regs.a[*cols as usize] = Some(Arc::clone(&bundle.cols));
                 }
                 Instr::Call {
                     func: callee_idx,
@@ -1117,6 +1132,31 @@ impl BcCtx<'_> {
     ) -> Result<(), ExecError> {
         let rows = Arc::clone(regs.arr(rows)?);
         let cols = Arc::clone(regs.arr(cols)?);
+        // Dataflow mode recovers the dependence graph from the Arc
+        // identity of `cols` (minted by `Instr::GetParallelBlocks` via
+        // the schedule-bundle cache); a miss falls back to levels.
+        if self.pool.scheduler() == Scheduler::Dataflow && self.pool.threads() > 1 {
+            if let Some(graph) = dataflow::lookup_by_cols(&cols).map(|b| Arc::clone(&b.graph)) {
+                // Levels are still counted from the CSR row pointer so
+                // statistics stay scheduler-invariant.
+                stats.wavefront_levels += (rows.len() - 1) as u64;
+                let base: &Regs = regs;
+                return self.pool.try_execute_dataflow(
+                    &graph,
+                    || (base.clone(), ExecStats::default()),
+                    |state: &mut (Regs, ExecStats), b| {
+                        let (worker_regs, worker_stats) = state;
+                        worker_stats.blocks_executed += 1;
+                        worker_regs.i[block as usize] = b as i64;
+                        self.run_tape(func, body, worker_regs, worker_stats)
+                    },
+                    |(_, worker_stats)| stats.merge(&worker_stats),
+                );
+            }
+            self.pool
+                .obs()
+                .event("dataflow-fallback", "cols not from schedule cache");
+        }
         if self.pool.threads() == 1 {
             let obs = self.pool.obs();
             let record = obs.enabled();
@@ -1148,6 +1188,7 @@ impl BcCtx<'_> {
                             vec![instencil_obs::WorkerRecord {
                                 busy_ns: wall_ns,
                                 blocks: done,
+                                steals: 0,
                             }]
                         } else {
                             Vec::new()
@@ -1161,6 +1202,7 @@ impl BcCtx<'_> {
             if record {
                 obs.record_wavefronts(instencil_obs::WavefrontRecord {
                     threads: 1,
+                    scheduler: Scheduler::Levels.name().to_owned(),
                     levels: level_records,
                 });
             }

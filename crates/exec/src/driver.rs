@@ -25,6 +25,7 @@
 use instencil_core::pipeline::{CompiledModule, Engine};
 use instencil_ir::Module;
 use instencil_obs::{Obs, RunReport};
+use instencil_pattern::dataflow::Scheduler;
 
 use crate::buffer::BufferView;
 use crate::bytecode::BytecodeEngine;
@@ -67,6 +68,19 @@ pub struct Runner<'m> {
     requested: Engine,
     fallback: Option<String>,
     obs: Obs,
+    threads: usize,
+}
+
+/// Resolves the `threads` knob: `0` means "auto" — one worker per
+/// available hardware thread. This is the single place the sentinel is
+/// interpreted; the engines themselves clamp to a minimum of 1 and never
+/// see the zero.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
 }
 
 impl<'m> Runner<'m> {
@@ -95,11 +109,28 @@ impl<'m> Runner<'m> {
         threads: usize,
         obs: Obs,
     ) -> Result<Self, ExecError> {
+        Self::with_opts(module, engine, threads, Scheduler::Levels, obs)
+    }
+
+    /// [`Runner::with_obs`] with an explicit wavefront [`Scheduler`].
+    /// `threads == 0` means "auto": one worker per available hardware
+    /// thread (resolved here, nowhere else).
+    ///
+    /// # Errors
+    /// Returns an error only for [`BcCompileError::Malformed`] modules.
+    pub fn with_opts(
+        module: &'m Module,
+        engine: Engine,
+        threads: usize,
+        scheduler: Scheduler,
+        obs: Obs,
+    ) -> Result<Self, ExecError> {
+        let threads = resolve_threads(threads);
         let mut fallback = None;
         let inner = match engine {
             Engine::Interp => RunnerInner::Interp {
                 module,
-                interp: Interpreter::with_obs(threads, obs.clone()),
+                interp: Interpreter::with_opts(threads, obs.clone(), scheduler),
             },
             Engine::Bytecode | Engine::BytecodeDispatch => {
                 let compiled = {
@@ -108,6 +139,7 @@ impl<'m> Runner<'m> {
                         specialize_runs: engine == Engine::Bytecode,
                     };
                     BytecodeEngine::compile_with_opts(module, threads, obs.clone(), opts)
+                        .map(|e| e.with_scheduler(scheduler))
                 };
                 match compiled {
                     Ok(engine) => RunnerInner::Bytecode(engine),
@@ -117,7 +149,7 @@ impl<'m> Runner<'m> {
                         fallback = Some(reason);
                         RunnerInner::Interp {
                             module,
-                            interp: Interpreter::with_obs(threads, obs.clone()),
+                            interp: Interpreter::with_opts(threads, obs.clone(), scheduler),
                         }
                     }
                     Err(e @ BcCompileError::Malformed(_)) => {
@@ -131,6 +163,7 @@ impl<'m> Runner<'m> {
             requested: engine,
             fallback,
             obs,
+            threads,
         })
     }
 
@@ -167,6 +200,12 @@ impl<'m> Runner<'m> {
     /// The engine the caller asked for.
     pub fn requested_engine(&self) -> Engine {
         self.requested
+    }
+
+    /// The resolved wavefront worker count (`threads == 0` requests
+    /// resolve to the available hardware parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Why the runner fell back to the interpreter, when it did.
@@ -241,7 +280,26 @@ pub fn run_sweeps_with(
     threads: usize,
     engine: Engine,
 ) -> Result<ExecStats, ExecError> {
-    let mut runner = Runner::new(module, engine, threads)?;
+    run_sweeps_opts(module, func, buffers, iterations, threads, engine, Scheduler::Levels)
+}
+
+/// [`run_sweeps_with`] with an explicit wavefront [`Scheduler`]. Results
+/// and statistics are bit-identical across schedulers (enforced by
+/// `tests/engine_equiv.rs`); only wall-clock time changes.
+///
+/// # Errors
+/// Propagates engine failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweeps_opts(
+    module: &Module,
+    func: &str,
+    buffers: &[BufferView],
+    iterations: usize,
+    threads: usize,
+    engine: Engine,
+    scheduler: Scheduler,
+) -> Result<ExecStats, ExecError> {
+    let mut runner = Runner::with_opts(module, engine, threads, scheduler, Obs::off())?;
     for _ in 0..iterations {
         let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
         runner.call(func, args)?;
@@ -291,10 +349,11 @@ fn run_compiled_runner<'m>(
     buffers: &[BufferView],
     iterations: usize,
 ) -> Result<Runner<'m>, ExecError> {
-    let mut runner = Runner::with_obs(
+    let mut runner = Runner::with_opts(
         &compiled.module,
         compiled.options.engine,
         compiled.options.threads,
+        compiled.options.scheduler,
         compiled.obs.clone(),
     )?;
     for _ in 0..iterations {
@@ -460,6 +519,58 @@ mod tests {
         assert_eq!(ws.to_vec(), wp.to_vec(), "bit-identical across engines");
         assert_eq!(stats_seq, stats_par, "engine- and thread-invariant stats");
         assert!(stats_par.wavefront_levels > 0);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let c = compile(
+            &kernels::gauss_seidel_5pt_module(),
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]).threads(0),
+        )
+        .unwrap();
+        assert_eq!(c.options.threads, 0, "the sentinel survives compilation");
+        let runner = Runner::new(&c.module, Engine::Bytecode, 0).unwrap();
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(runner.threads(), auto, "0 means one worker per hw thread");
+        assert!(runner.threads() >= 1);
+        // Explicit counts pass through untouched.
+        let runner = Runner::new(&c.module, Engine::Bytecode, 3).unwrap();
+        assert_eq!(runner.threads(), 3);
+    }
+
+    #[test]
+    fn compiled_dataflow_matches_levels_bitwise() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let m = kernels::gauss_seidel_5pt_module();
+        let init = || {
+            let w = BufferView::alloc(&[1, 14, 14]);
+            for i in 0..14i64 {
+                for j in 0..14i64 {
+                    w.store(&[0, i, j], ((i * 5 + j * 11) % 13) as f64 * 0.25);
+                }
+            }
+            (w, BufferView::alloc(&[1, 14, 14]))
+        };
+        let levels = compile(
+            &m,
+            &PipelineOptions::new(vec![3, 3], vec![2, 2]).threads(4),
+        )
+        .unwrap();
+        let dataflow = compile(
+            &m,
+            &PipelineOptions::new(vec![3, 3], vec![2, 2])
+                .threads(4)
+                .scheduler(Scheduler::Dataflow),
+        )
+        .unwrap();
+        let (wl, bl) = init();
+        let stats_l = run_compiled_sweeps(&levels, "gs5", &[wl.clone(), bl], 3).unwrap();
+        let (wd, bd) = init();
+        let stats_d = run_compiled_sweeps(&dataflow, "gs5", &[wd.clone(), bd], 3).unwrap();
+        assert_eq!(wl.to_vec(), wd.to_vec(), "bit-identical across schedulers");
+        assert_eq!(stats_l, stats_d, "scheduler-invariant statistics");
+        assert!(stats_d.wavefront_levels > 0);
     }
 
     #[test]

@@ -32,7 +32,8 @@ use instencil_core::ops::RegionLayout;
 use instencil_obs::Obs;
 use instencil_ir::body::ValueDef;
 use instencil_ir::{Attribute, Body, Module, OpCode, OpId, RegionId, Type, ValueId};
-use instencil_pattern::{blockdeps, CsrWavefronts, Sweep, WavefrontSchedule};
+use instencil_pattern::dataflow::{self, Scheduler};
+use instencil_pattern::{blockdeps, CsrWavefronts, Sweep};
 
 use crate::buffer::BufferView;
 use crate::parallel::WavefrontPool;
@@ -79,6 +80,7 @@ pub struct Interpreter {
     pub stats: ExecStats,
     threads: usize,
     obs: Obs,
+    scheduler: Scheduler,
 }
 
 impl Default for Interpreter {
@@ -105,16 +107,29 @@ impl Interpreter {
     /// Like [`Interpreter::with_threads`], but recording wavefront-level
     /// and schedule timings into `obs`.
     pub fn with_obs(threads: usize, obs: Obs) -> Self {
+        Self::with_opts(threads, obs, Scheduler::Levels)
+    }
+
+    /// Full-knob constructor: thread count, observability, and wavefront
+    /// scheduler mode. [`Scheduler::Dataflow`] executes the block
+    /// dependence graph point-to-point (bit-identical to levels).
+    pub fn with_opts(threads: usize, obs: Obs, scheduler: Scheduler) -> Self {
         Interpreter {
             stats: ExecStats::default(),
             threads: threads.max(1),
             obs,
+            scheduler,
         }
     }
 
     /// The wavefront worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The wavefront scheduler mode.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
     }
 
     /// Calls a function of `module` by name.
@@ -130,7 +145,7 @@ impl Interpreter {
     ) -> Result<Vec<RtVal>, ExecError> {
         let ctx = ExecCtx {
             module,
-            pool: WavefrontPool::with_obs(self.threads, self.obs.clone()),
+            pool: WavefrontPool::with_opts(self.threads, self.obs.clone(), self.scheduler),
         };
         let mut frame = Frame::default();
         let out = ctx.call(name, args, &mut frame);
@@ -462,7 +477,50 @@ impl ExecCtx<'_> {
                     RtVal::I64Arr(a) => a,
                     other => return Err(ExecError::new(format!("cols {other:?}"))),
                 };
-                if self.pool.threads() == 1 {
+                // Dataflow execution needs the block dependence graph,
+                // recovered by Arc identity from the transport `cols`
+                // produced by `cfd.get_parallel_blocks` (see
+                // `instencil_pattern::dataflow::lookup_by_cols`). A miss
+                // (cols not minted by the bundle cache) falls back to
+                // level execution and says so in the obs event stream.
+                let graph = if self.pool.scheduler() == Scheduler::Dataflow
+                    && self.pool.threads() > 1
+                {
+                    let hit = dataflow::lookup_by_cols(&cols).map(|b| Arc::clone(&b.graph));
+                    if hit.is_none() {
+                        self.pool
+                            .obs()
+                            .event("dataflow-fallback", "cols not from schedule cache");
+                    }
+                    hit
+                } else {
+                    None
+                };
+                if let Some(graph) = graph {
+                    // Levels are counted from the CSR row pointer even
+                    // though no barrier separates them at run time, so
+                    // statistics stay scheduler-invariant.
+                    frame.stats.wavefront_levels += (rows.len() - 1) as u64;
+                    let region = op.regions[0];
+                    let base_env: Env = env.clone();
+                    self.pool.try_execute_dataflow(
+                        &graph,
+                        || (base_env.clone(), Frame::default()),
+                        |state: &mut (Env, Frame), block| {
+                            let (worker_env, worker_frame) = state;
+                            worker_frame.stats.blocks_executed += 1;
+                            self.eval_region(
+                                body,
+                                region,
+                                &[RtVal::Int(block as i64)],
+                                worker_env,
+                                worker_frame,
+                            )
+                            .map(|_| ())
+                        },
+                        |(_, worker_frame)| frame.stats.merge(&worker_frame.stats),
+                    )?;
+                } else if self.pool.threads() == 1 {
                     let obs = self.pool.obs();
                     let record = obs.enabled();
                     let detail = obs.detail_enabled();
@@ -498,6 +556,7 @@ impl ExecCtx<'_> {
                                     vec![instencil_obs::WorkerRecord {
                                         busy_ns: wall_ns,
                                         blocks: done,
+                                        steals: 0,
                                     }]
                                 } else {
                                     Vec::new()
@@ -516,6 +575,7 @@ impl ExecCtx<'_> {
                     if record {
                         obs.record_wavefronts(instencil_obs::WavefrontRecord {
                             threads: 1,
+                            scheduler: Scheduler::Levels.name().to_owned(),
                             levels: level_records,
                         });
                     }
@@ -568,16 +628,17 @@ impl ExecCtx<'_> {
                     .ok_or_else(|| ExecError::new("missing block_stencil"))?;
                 let deps = blockdeps::from_block_stencil(shape, data);
                 let mut span = self.pool.obs().span("run:schedule");
-                let schedule = WavefrontSchedule::compute(&grid, &deps);
-                span.note("levels", schedule.num_levels() as i64);
+                // The bundle cache runs the Eq. (3) sweep (and the
+                // dependence-graph build) once per (grid, deps) pair
+                // process-wide; the returned Arcs carry the identity
+                // `scf.execute_wavefronts` uses to recover the graph.
+                let bundle = dataflow::schedule_bundle(&grid, &deps);
+                span.note("levels", bundle.csr.num_levels() as i64);
                 span.note("blocks", grid.iter().product::<usize>() as i64);
                 drop(span);
                 frame.stats.schedules_computed += 1;
-                let csr = schedule.into_wavefronts();
-                let row_ptr: Vec<i64> = csr.row_ptr().iter().map(|&x| x as i64).collect();
-                let cols: Vec<i64> = csr.cols().iter().map(|&x| x as i64).collect();
-                env[op.results[0].index()] = Some(RtVal::I64Arr(Arc::new(row_ptr)));
-                env[op.results[1].index()] = Some(RtVal::I64Arr(Arc::new(cols)));
+                env[op.results[0].index()] = Some(RtVal::I64Arr(Arc::clone(&bundle.rows)));
+                env[op.results[1].index()] = Some(RtVal::I64Arr(Arc::clone(&bundle.cols)));
             }
             OpCode::Call => {
                 let callee = op

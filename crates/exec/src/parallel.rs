@@ -1,32 +1,60 @@
 //! Real multithreaded wavefront execution.
 //!
-//! [`WavefrontPool`] executes a CSR wavefront schedule with genuine OS
-//! threads: within a level, the sub-domain indices are distributed across
-//! the workers; a barrier separates consecutive levels — exactly the
-//! lowering of `cfd.tiled_loop` with parallel groups described in §3.4
-//! ("a sequential for loop iterating over groups that contains a parallel
-//! for loop").
+//! [`WavefrontPool`] executes a block schedule with genuine OS threads,
+//! under one of two synchronization disciplines selected by
+//! [`Scheduler`]:
+//!
+//! * **Levels** — the §3.4 lowering as written: a sequential loop over
+//!   wavefront levels with the level's sub-domain indices split across
+//!   the workers and a barrier between consecutive levels. The pool is
+//!   *persistent*: workers are spawned once per run and synchronize on a
+//!   lightweight [`std::sync::Barrier`], not respawned per level.
+//! * **Dataflow** — point-to-point execution of the block dependence
+//!   graph ([`BlockGraph`]): each worker drains a ready-set of blocks,
+//!   decrements successor in-degrees with atomics, and pushes
+//!   newly-ready blocks onto its own deque (stealing from other workers
+//!   when empty). The Release half of the in-degree `fetch_sub` and the
+//!   Acquire half performed by the final decrementer form a
+//!   happens-before chain from every predecessor's buffer writes to the
+//!   successor's execution, replacing the barrier's publication role
+//!   (see `DESIGN.md` §4f/§4g). Local dispatch prefers the
+//!   lexicographically smallest newly-ready successor, which keeps the
+//!   k=−1 forwarded-recurrence stripe rows hot in cache.
 //!
 //! The pool runs closures over *linearized sub-domain indices*. It has
-//! two entry points: [`WavefrontPool::execute`] for stateless workers,
-//! and [`WavefrontPool::try_execute_stateful`], which gives each worker
-//! private state (the interpreter uses this to run
+//! three entry points: [`WavefrontPool::execute`] for stateless workers,
+//! [`WavefrontPool::try_execute_stateful`] (level mode) and
+//! [`WavefrontPool::try_execute_dataflow`] (graph mode), the latter two
+//! giving each worker private state (the interpreter uses this to run
 //! `scf.execute_wavefronts` bodies with a per-thread environment and
-//! statistics frame) and propagates the first error.
+//! statistics frame) and propagating the first error.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::thread;
 use std::time::Instant;
 
 use instencil_obs::{LevelRecord, Obs, WavefrontRecord, WorkerRecord};
+use instencil_pattern::dataflow::{BlockGraph, Scheduler};
 use instencil_pattern::CsrWavefronts;
 
 use crate::buffer::overlap;
+
+/// Captured panic payload from a worker, re-raised on the calling
+/// thread so the original message (e.g. the overlap checker's) survives.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Per-level obs samples a worker collects: `(level index, busy ns,
+/// blocks executed)`.
+type LevelSamples = Vec<(usize, u64, u64)>;
 
 /// A scoped thread pool executing wavefront schedules.
 #[derive(Clone, Debug)]
 pub struct WavefrontPool {
     threads: usize,
     obs: Obs,
+    scheduler: Scheduler,
 }
 
 impl WavefrontPool {
@@ -38,9 +66,15 @@ impl WavefrontPool {
     /// Creates a pool that records per-level (and, at
     /// [`instencil_obs::ObsLevel::Trace`], per-worker) timings into `obs`.
     pub fn with_obs(threads: usize, obs: Obs) -> Self {
+        Self::with_opts(threads, obs, Scheduler::Levels)
+    }
+
+    /// Creates a pool with an explicit scheduler mode.
+    pub fn with_opts(threads: usize, obs: Obs, scheduler: Scheduler) -> Self {
         WavefrontPool {
             threads: threads.max(1),
             obs,
+            scheduler,
         }
     }
 
@@ -54,9 +88,14 @@ impl WavefrontPool {
         &self.obs
     }
 
+    /// The scheduler mode this pool runs under.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
     /// Executes `work` for every scheduled sub-domain, level by level.
     /// Within a level the indices are split into contiguous chunks, one
-    /// per worker; levels are separated by a join barrier.
+    /// per worker; levels are separated by a barrier.
     ///
     /// # Panics
     /// Propagates panics from worker closures.
@@ -64,58 +103,46 @@ impl WavefrontPool {
     where
         F: Fn(usize) + Sync,
     {
-        if self.threads == 1 {
-            for level in schedule.levels() {
-                let checker = overlap::LevelChecker::new();
-                for &b in level {
-                    let _wg = checker.guard(b);
-                    work(b);
-                }
-            }
-            return;
-        }
-        let work = &work;
-        for level in schedule.levels() {
-            if level.is_empty() {
-                continue;
-            }
-            let checker = &overlap::LevelChecker::new();
-            let chunk = level.len().div_ceil(self.threads);
-            thread::scope(|s| {
-                for part in level.chunks(chunk) {
-                    s.spawn(move || {
-                        for &b in part {
-                            let _wg = checker.guard(b);
-                            work(b);
-                        }
-                    });
-                }
-            });
+        let result: Result<(), std::convert::Infallible> = self.try_execute_stateful(
+            schedule,
+            || (),
+            |(), b| {
+                work(b);
+                Ok(())
+            },
+            |()| {},
+        );
+        match result {
+            Ok(()) => {}
+            Err(never) => match never {},
         }
     }
 
     /// Executes a fallible `work` closure over every scheduled sub-domain
-    /// with per-worker state.
+    /// with per-worker state, level by level.
     ///
-    /// Each worker thread gets its own state from `init`; when its chunk
-    /// finishes (or fails), the state is handed to `merge` on the calling
-    /// thread. Within a level the sub-domain indices are split into
-    /// contiguous chunks, one per worker; a join barrier separates
-    /// consecutive levels, which is what publishes one level's buffer
-    /// stores to the next (see [`crate::buffer`]).
+    /// Each worker thread gets its own state from `init` once for the
+    /// whole run (the pool is persistent — workers are spawned once, and
+    /// a [`Barrier`] separates consecutive levels, which is what
+    /// publishes one level's buffer stores to the next; see
+    /// [`crate::buffer`]). Within a level the sub-domain indices are
+    /// split into contiguous chunks, one per worker. When the run
+    /// finishes (or fails), every worker's state is handed to `merge` on
+    /// the calling thread.
     ///
     /// State is always merged — including the partial state of a worker
-    /// that failed — so additive counters (e.g.
-    /// [`crate::ExecStats`]) stay consistent. Workers already running
-    /// when another worker of the same level fails are not cancelled;
-    /// no further level starts after a failure.
+    /// that failed — so additive counters (e.g. [`crate::ExecStats`])
+    /// stay consistent. Workers already running when another worker of
+    /// the same level fails are not cancelled; no further level starts
+    /// after a failure.
     ///
     /// # Errors
-    /// Returns the first error produced by `work` (in chunk order within
-    /// the failing level).
+    /// Returns the first error produced by `work` (earliest failing
+    /// level, lowest worker index within it).
     ///
     /// # Panics
-    /// Propagates panics from worker closures.
+    /// Propagates panics from worker closures (the original payload is
+    /// re-raised once every worker has parked).
     pub fn try_execute_stateful<S, E, I, W, M>(
         &self,
         schedule: &CsrWavefronts,
@@ -158,70 +185,391 @@ impl WavefrontPool {
             self.flush_levels(level_records);
             return outcome;
         }
+        if schedule.num_blocks() == 0 {
+            // Nothing to run: spawn no workers, merge no states.
+            self.flush_levels(level_records);
+            return Ok(());
+        }
+
+        let threads = self.threads;
         let init = &init;
         let work = &work;
-        for (index, level) in schedule.levels().enumerate() {
-            if level.is_empty() {
-                continue;
-            }
-            let checker = &overlap::LevelChecker::new();
-            let chunk = level.len().div_ceil(self.threads);
-            let t0 = record.then(Instant::now);
-            let outcomes: Vec<(S, Result<(), E>, u64, u64)> = thread::scope(|s| {
-                let handles: Vec<_> = level
-                    .chunks(chunk)
-                    .map(|part| {
-                        s.spawn(move || {
-                            let w0 = detail.then(Instant::now);
-                            let mut state = init();
-                            let mut outcome = Ok(());
-                            let mut done = 0u64;
-                            for &b in part {
-                                done += 1;
-                                let _wg = checker.guard(b);
-                                if let Err(e) = work(&mut state, b) {
-                                    outcome = Err(e);
-                                    break;
-                                }
-                            }
-                            let busy = w0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                            (state, outcome, busy, done)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    // resume_unwind keeps the original payload (e.g. the
-                    // overlap checker's message) instead of wrapping it.
-                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                    .collect()
-            });
-            let mut first_err = None;
-            let mut workers = Vec::new();
-            for (state, outcome, busy_ns, blocks) in outcomes {
-                merge(state);
-                if first_err.is_none() {
-                    first_err = outcome.err();
+        // One checker per level, shared by all workers of that level
+        // (a ZST vector in release builds).
+        let checkers: Vec<overlap::LevelChecker> = (0..schedule.num_levels())
+            .map(|_| overlap::LevelChecker::new())
+            .collect();
+        let barrier = Barrier::new(threads);
+        // Index of the earliest level where a worker failed or panicked.
+        // This must be a level, not a boolean: a fast worker can race
+        // into level L+1 and fail there before a slow worker performs
+        // its post-barrier check at level L — a boolean would make the
+        // slow worker break a level early and desert the L+1 barrier.
+        // Any value <= L is published before level L's end barrier, so
+        // the `stop_level <= L` decision is uniform across workers.
+        let stop_level = AtomicUsize::new(usize::MAX);
+        let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+        let first_err: Mutex<Option<(usize, usize, E)>> = Mutex::new(None);
+        // Per-level wall times, written by worker 0 only.
+        let walls: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+
+        // The persistent worker body: iterates all levels in lockstep
+        // with its peers, executing its static chunk of each level.
+        // Returns the worker state plus per-level (index, busy_ns,
+        // blocks) samples for the obs records.
+        let worker_loop = |w: usize| -> (S, Vec<(usize, u64, u64)>) {
+            let mut state = init();
+            let mut samples: Vec<(usize, u64, u64)> = Vec::new();
+            for (index, level) in schedule.levels().enumerate() {
+                if level.is_empty() {
+                    continue;
+                }
+                let chunk = level.len().div_ceil(threads);
+                let part = level
+                    .get(w * chunk..level.len().min((w + 1) * chunk))
+                    .unwrap_or(&[]);
+                let t0 = if record && w == 0 {
+                    let t0 = Some(Instant::now());
+                    // Start alignment: no peer enters the level before
+                    // worker 0 has read the clock, so the recorded wall
+                    // covers every worker's chunk.
+                    barrier.wait();
+                    t0
+                } else {
+                    if record {
+                        barrier.wait();
+                    }
+                    None
+                };
+                let w0 = detail.then(Instant::now);
+                let mut done = 0u64;
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
+                    for &b in part {
+                        done += 1;
+                        let _wg = checkers[index].guard(b);
+                        work(&mut state, b)?;
+                    }
+                    Ok(())
+                }));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        let mut slot = first_err.lock().unwrap();
+                        if slot.as_ref().is_none_or(|&(pl, pw, _)| (index, w) < (pl, pw)) {
+                            *slot = Some((index, w, e));
+                        }
+                        stop_level.fetch_min(index, Ordering::AcqRel);
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        stop_level.fetch_min(index, Ordering::AcqRel);
+                    }
                 }
                 if detail {
-                    workers.push(WorkerRecord { busy_ns, blocks });
+                    samples.push((index, w0.map_or(0, |t| t.elapsed().as_nanos() as u64), done));
+                }
+                // The end-of-level barrier: publishes this level's
+                // stores to the next level and lines every worker up on
+                // the same stop decision.
+                barrier.wait();
+                if let Some(t0) = t0 {
+                    walls.lock().unwrap().push((index, t0.elapsed().as_nanos() as u64));
+                }
+                if stop_level.load(Ordering::Acquire) <= index {
+                    break;
                 }
             }
-            if let Some(t0) = t0 {
+            (state, samples)
+        };
+
+        let mut results: Vec<(S, LevelSamples)> = Vec::with_capacity(threads);
+        thread::scope(|s| {
+            let handles: Vec<_> = (1..threads)
+                .map(|w| s.spawn(move || worker_loop(w)))
+                .collect();
+            results.push(worker_loop(0));
+            for h in handles {
+                // Workers catch their own panics; a join error here means
+                // something escaped the protocol — re-raise it directly.
+                results.push(h.join().unwrap_or_else(|p| resume_unwind(p)));
+            }
+        });
+
+        if record {
+            let walls = walls.into_inner().unwrap();
+            for &(index, wall_ns) in &walls {
+                let mut workers = Vec::new();
+                if detail {
+                    for (_, samples) in &results {
+                        if let Some(&(_, busy_ns, blocks)) =
+                            samples.iter().find(|&&(i, _, _)| i == index)
+                        {
+                            if blocks > 0 {
+                                workers.push(WorkerRecord {
+                                    busy_ns,
+                                    blocks,
+                                    steals: 0,
+                                });
+                            }
+                        }
+                    }
+                }
                 level_records.push(LevelRecord {
                     index,
-                    blocks: level.len() as u64,
-                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    blocks: schedule.level(index).len() as u64,
+                    wall_ns,
                     workers,
                 });
             }
-            if let Some(e) = first_err {
-                self.flush_levels(level_records);
-                return Err(e);
-            }
+        }
+        for (state, _) in results {
+            merge(state);
+        }
+        if let Some(payload) = panic_slot.into_inner().unwrap() {
+            resume_unwind(payload);
         }
         self.flush_levels(level_records);
-        Ok(())
+        match first_err.into_inner().unwrap() {
+            Some((_, _, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Executes a fallible `work` closure over every block of `graph`
+    /// in dataflow order: each block runs as soon as all its
+    /// predecessors have finished, with no level barriers.
+    ///
+    /// Worker `w` owns a deque of ready blocks. Finishing a block
+    /// decrements each successor's in-degree (`fetch_sub(1, AcqRel)`);
+    /// the worker that takes an in-degree to zero owns the newly-ready
+    /// successor — the lexicographically smallest one is kept in hand
+    /// and executed next (locality), the rest go onto the worker's
+    /// deque. An idle worker first drains its own deque from the back,
+    /// then steals from the front of its peers' deques, and parks only
+    /// when every block has retired. The atomic read-modify-write chain
+    /// on the in-degree carries the happens-before edge from every
+    /// predecessor's buffer writes to the successor's execution,
+    /// replacing the level barrier (DESIGN.md §4g).
+    ///
+    /// State and merge semantics match
+    /// [`try_execute_stateful`](Self::try_execute_stateful); under
+    /// concurrency "first error" is the first one *observed*, which is
+    /// deterministic only at one thread.
+    ///
+    /// # Errors
+    /// Returns the first observed error produced by `work`.
+    ///
+    /// # Panics
+    /// Propagates panics from worker closures (original payload).
+    pub fn try_execute_dataflow<S, E, I, W, M>(
+        &self,
+        graph: &BlockGraph,
+        init: I,
+        work: W,
+        mut merge: M,
+    ) -> Result<(), E>
+    where
+        S: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize) -> Result<(), E> + Sync,
+        M: FnMut(S),
+    {
+        let n = graph.num_blocks();
+        if n == 0 {
+            return Ok(());
+        }
+        let record = self.obs.enabled();
+        let detail = self.obs.detail_enabled();
+        let checker = overlap::GraphChecker::new(graph);
+        if self.threads == 1 {
+            // Ascending flat order is a topological order: every
+            // predecessor of a block has a smaller flat index (all
+            // dependence offsets are lexicographically negative).
+            let t0 = record.then(Instant::now);
+            let mut state = init();
+            let mut outcome = Ok(());
+            let mut done = 0u64;
+            for b in 0..n {
+                let _wg = checker.guard(b);
+                done += 1;
+                if let Err(e) = work(&mut state, b) {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+            merge(state);
+            if let Some(t0) = t0 {
+                self.flush_dataflow(
+                    1,
+                    n,
+                    t0.elapsed().as_nanos() as u64,
+                    detail.then(|| {
+                        vec![(
+                            t0.elapsed().as_nanos() as u64,
+                            done,
+                            0u64,
+                        )]
+                    }),
+                );
+            }
+            return outcome;
+        }
+
+        // No point spawning more workers than blocks: the surplus would
+        // only spin on empty deques until the run retires.
+        let threads = self.threads.min(n);
+        let indeg: Vec<AtomicU32> = (0..n).map(|b| AtomicU32::new(graph.in_degree(b))).collect();
+        let remaining = AtomicUsize::new(n);
+        let deques: Vec<Mutex<std::collections::VecDeque<u32>>> = (0..threads)
+            .map(|_| Mutex::new(std::collections::VecDeque::new()))
+            .collect();
+        for (i, r) in graph.roots().into_iter().enumerate() {
+            deques[i % threads].lock().unwrap().push_back(r);
+        }
+        let abort = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+        let first_err: Mutex<Option<E>> = Mutex::new(None);
+        let init = &init;
+        let work = &work;
+        let checker = &checker;
+
+        let worker_loop = |w: usize| -> (S, u64, u64, u64) {
+            let mut state = init();
+            let mut my_next: Option<u32> = None;
+            let (mut busy_ns, mut blocks, mut steals) = (0u64, 0u64, 0u64);
+            loop {
+                if abort.load(Ordering::Acquire) {
+                    break;
+                }
+                // Local first: the block kept in hand, then the back of
+                // the own deque (LIFO keeps the footprint warm).
+                let mut block = my_next
+                    .take()
+                    .or_else(|| deques[w].lock().unwrap().pop_back());
+                if block.is_none() {
+                    // Steal from the front of a peer's deque (FIFO:
+                    // take the work its owner would reach last).
+                    for other in (w + 1..threads).chain(0..w) {
+                        if let Some(b) = deques[other].lock().unwrap().pop_front() {
+                            steals += 1;
+                            block = Some(b);
+                            break;
+                        }
+                    }
+                }
+                let Some(b) = block else {
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    thread::yield_now();
+                    continue;
+                };
+                let b = b as usize;
+                let t0 = detail.then(Instant::now);
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
+                    let _wg = checker.guard(b);
+                    work(&mut state, b)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {
+                        if let Some(t0) = t0 {
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        blocks += 1;
+                        // Successors are ascending, so the first one this
+                        // worker readies is the lexicographically
+                        // smallest — keep it in hand for locality.
+                        for &s in graph.successors(b) {
+                            if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                if my_next.is_none() {
+                                    my_next = Some(s);
+                                } else {
+                                    deques[w].lock().unwrap().push_back(s);
+                                }
+                            }
+                        }
+                        remaining.fetch_sub(1, Ordering::Release);
+                    }
+                    Ok(Err(e)) => {
+                        let mut slot = first_err.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        abort.store(true, Ordering::Release);
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        abort.store(true, Ordering::Release);
+                    }
+                }
+            }
+            (state, busy_ns, blocks, steals)
+        };
+
+        let t0 = record.then(Instant::now);
+        let mut results: Vec<(S, u64, u64, u64)> = Vec::with_capacity(threads);
+        thread::scope(|s| {
+            let handles: Vec<_> = (1..threads)
+                .map(|w| s.spawn(move || worker_loop(w)))
+                .collect();
+            results.push(worker_loop(0));
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| resume_unwind(p)));
+            }
+        });
+        let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let workers =
+            detail.then(|| results.iter().map(|&(_, b, n, s)| (b, n, s)).collect::<Vec<_>>());
+        for (state, ..) in results {
+            merge(state);
+        }
+        if let Some(payload) = panic_slot.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        if record {
+            self.flush_dataflow(threads, n, wall_ns, workers);
+        }
+        match first_err.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Publishes a dataflow run as a single all-blocks level record
+    /// (there are no barriers to split the timeline on).
+    fn flush_dataflow(
+        &self,
+        threads: usize,
+        blocks: usize,
+        wall_ns: u64,
+        workers: Option<Vec<(u64, u64, u64)>>,
+    ) {
+        let workers = workers
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(busy_ns, blocks, steals)| WorkerRecord {
+                busy_ns,
+                blocks,
+                steals,
+            })
+            .collect();
+        self.obs.record_wavefronts(WavefrontRecord {
+            threads,
+            scheduler: Scheduler::Dataflow.name().to_owned(),
+            levels: vec![LevelRecord {
+                index: 0,
+                blocks: blocks as u64,
+                wall_ns,
+                workers,
+            }],
+        });
     }
 
     /// Closes one single-thread level record (`blocks_done` holds the
@@ -243,6 +591,7 @@ impl WavefrontPool {
                 .map(|blocks| WorkerRecord {
                     busy_ns: wall_ns,
                     blocks,
+                    steals: 0,
                 })
                 .collect()
         } else {
@@ -262,6 +611,7 @@ impl WavefrontPool {
         if self.obs.enabled() {
             self.obs.record_wavefronts(WavefrontRecord {
                 threads: self.threads,
+                scheduler: Scheduler::Levels.name().to_owned(),
                 levels,
             });
         }
@@ -391,5 +741,171 @@ mod tests {
             .unwrap();
         // No level spawns workers, so nothing to merge (multi-thread path).
         assert_eq!(merges, 0);
+    }
+
+    #[test]
+    fn stateful_propagates_worker_panics_with_payload() {
+        let csr = CsrWavefronts::from_rows(vec![vec![0, 1, 2, 3]]);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            WavefrontPool::new(2)
+                .try_execute_stateful(
+                    &csr,
+                    || (),
+                    |(), b| {
+                        if b == 1 {
+                            panic!("block {b} exploded");
+                        }
+                        Ok::<(), ()>(())
+                    },
+                    |()| {},
+                )
+                .unwrap();
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "block 1 exploded", "original payload must survive");
+    }
+
+    #[test]
+    fn dataflow_executes_every_block_once_and_respects_deps() {
+        let deps = vec![vec![-1i64, 0], vec![0, -1]];
+        let graph = BlockGraph::build(&[5, 5], &deps);
+        for threads in [1usize, 2, 4, 8] {
+            let clock = AtomicUsize::new(0);
+            let starts: Vec<AtomicUsize> = (0..25).map(|_| AtomicUsize::new(0)).collect();
+            let ends: Vec<AtomicUsize> = (0..25).map(|_| AtomicUsize::new(0)).collect();
+            let count = AtomicUsize::new(0);
+            WavefrontPool::new(threads)
+                .try_execute_dataflow(
+                    &graph,
+                    || (),
+                    |(), b| {
+                        starts[b].store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                        count.fetch_add(1, Ordering::SeqCst);
+                        ends[b].store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                        Ok::<(), ()>(())
+                    },
+                    |()| {},
+                )
+                .unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 25, "threads={threads}");
+            for (b, start) in starts.iter().enumerate() {
+                for &p in graph.predecessors(b) {
+                    assert!(
+                        ends[p as usize].load(Ordering::SeqCst)
+                            < start.load(Ordering::SeqCst),
+                        "threads={threads}: pred {p} still running when {b} started"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_merges_states_and_propagates_errors() {
+        let graph = BlockGraph::build(&[4, 2], &[vec![-1i64, 0]]);
+        for threads in [1usize, 2, 4] {
+            let mut total = 0usize;
+            WavefrontPool::new(threads)
+                .try_execute_dataflow(
+                    &graph,
+                    || 0usize,
+                    |count, b| {
+                        *count += b + 1;
+                        Ok::<(), ()>(())
+                    },
+                    |count| total += count,
+                )
+                .unwrap();
+            assert_eq!(total, 36, "threads={threads}");
+
+            let err = WavefrontPool::new(threads)
+                .try_execute_dataflow(
+                    &graph,
+                    || (),
+                    |(), b| {
+                        if b >= 6 {
+                            return Err(format!("block {b} failed"));
+                        }
+                        Ok(())
+                    },
+                    |()| {},
+                )
+                .unwrap_err();
+            assert!(err.starts_with("block "), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn dataflow_propagates_worker_panics_with_payload() {
+        let graph = BlockGraph::build(&[3, 3], &[vec![-1i64, 0], vec![0, -1]]);
+        for threads in [1usize, 3] {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                WavefrontPool::new(threads)
+                    .try_execute_dataflow(
+                        &graph,
+                        || (),
+                        |(), b| {
+                            if b == 4 {
+                                panic!("block {b} exploded");
+                            }
+                            Ok::<(), ()>(())
+                        },
+                        |()| {},
+                    )
+                    .unwrap();
+            }))
+            .expect_err("worker panic must propagate");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert_eq!(msg, "block 4 exploded", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dataflow_empty_graph_is_a_no_op() {
+        // A 1-block graph with no deps degenerates but must still run.
+        let graph = BlockGraph::build(&[1], &[]);
+        let mut ran = 0usize;
+        WavefrontPool::new(4)
+            .try_execute_dataflow(
+                &graph,
+                || (),
+                |(), _| {
+                    Ok::<(), ()>(())
+                },
+                |()| ran += 1,
+            )
+            .unwrap();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn dataflow_records_steals_and_busy_at_trace() {
+        let obs = Obs::new(instencil_obs::ObsLevel::Trace);
+        let graph = BlockGraph::build(&[6, 6], &[vec![-1i64, 0], vec![0, -1]]);
+        WavefrontPool::with_opts(4, obs.clone(), Scheduler::Dataflow)
+            .try_execute_dataflow(
+                &graph,
+                || (),
+                |(), _| {
+                    // Enough work that busy times are nonzero.
+                    std::hint::black_box((0..500).sum::<u64>());
+                    Ok::<(), ()>(())
+                },
+                |()| {},
+            )
+            .unwrap();
+        let rec = obs.snapshot();
+        assert_eq!(rec.wavefronts.len(), 1);
+        let w = &rec.wavefronts[0];
+        assert_eq!(w.scheduler, "dataflow");
+        assert_eq!(w.levels.len(), 1, "dataflow reports one all-blocks level");
+        assert_eq!(w.levels[0].blocks, 36);
+        let total: u64 = w.levels[0].workers.iter().map(|x| x.blocks).sum();
+        assert_eq!(total, 36, "every block attributed to exactly one worker");
+        assert!(w.levels[0].wall_ns > 0);
     }
 }

@@ -11,9 +11,9 @@ use std::fmt;
 
 use instencil_obs::{AutotuneCandidate, AutotuneTrace, Obs};
 use instencil_pattern::tiling::{candidate_tile_sizes, clamp_tile_sizes};
-use instencil_pattern::{blockdeps, StencilPattern};
+use instencil_pattern::{blockdeps, Scheduler, StencilPattern};
 
-use crate::cost::{estimate_sweep, RunConfig};
+use crate::cost::{estimate_sweep, estimate_sweep_dataflow, RunConfig};
 use crate::topology::Machine;
 
 /// The autotuner found no legal candidate: every enumerated tile was
@@ -56,6 +56,27 @@ pub struct TunedTiles {
     pub time_s: f64,
     /// Number of candidates evaluated.
     pub evaluated: usize,
+    /// The execution schedule the winning estimate assumed: each
+    /// candidate is scored under both the level-barrier and the
+    /// dataflow model (when more than one thread is available) and the
+    /// cheaper one wins alongside the tile sizes.
+    pub scheduler: Scheduler,
+}
+
+/// Scores one candidate configuration under every scheduler the thread
+/// count admits and returns the cheaper estimate. Single-threaded runs
+/// execute inline without a pool, so only the levels model applies.
+fn score_candidate(m: &Machine, cfg: &RunConfig) -> (f64, Scheduler) {
+    let levels = estimate_sweep(m, cfg).total_s;
+    if cfg.threads <= 1 {
+        return (levels, Scheduler::Levels);
+    }
+    let dataflow = estimate_sweep_dataflow(m, cfg).total_s;
+    if dataflow < levels {
+        (dataflow, Scheduler::Dataflow)
+    } else {
+        (levels, Scheduler::Levels)
+    }
 }
 
 /// Searches tile and sub-domain sizes minimizing the estimated sweep
@@ -170,7 +191,7 @@ pub fn autotune_traced(
             cfg.tile = tile.clone();
             cfg.subdomain = subdomain.clone();
             cfg.deps = deps;
-            let t = estimate_sweep(m, &cfg).total_s;
+            let (t, scheduler) = score_candidate(m, &cfg);
             evaluated += 1;
             record(&mut table, candidate(Some(t), "evaluated"));
             if best.as_ref().is_none_or(|b| t < b.time_s) {
@@ -179,6 +200,7 @@ pub fn autotune_traced(
                     subdomain,
                     time_s: t,
                     evaluated,
+                    scheduler,
                 });
                 best_record = Some(table.len().saturating_sub(1));
             }
@@ -252,11 +274,15 @@ pub fn autotune_or_fallback_traced(
             if let Ok(deps) = blockdeps::block_dependences(pattern, &subdomain) {
                 cfg.deps = deps;
             }
+            // The whole-domain fallback has a single block; with no
+            // parallelism to exploit there is nothing for the dataflow
+            // scheduler to win, so score it under the levels model.
             TunedTiles {
                 tile,
                 subdomain,
                 time_s: estimate_sweep(m, &cfg).total_s,
                 evaluated: 0,
+                scheduler: Scheduler::Levels,
             }
         }
     }
@@ -449,6 +475,38 @@ mod tests {
         assert_eq!(plain.subdomain, traced.subdomain);
         assert_eq!(plain.time_s, traced.time_s);
         assert_eq!(plain.evaluated, traced.evaluated);
+    }
+
+    #[test]
+    fn single_thread_tuning_always_picks_levels() {
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 1).unwrap();
+        assert_eq!(tuned.scheduler, Scheduler::Levels);
+    }
+
+    #[test]
+    fn winning_scheduler_is_the_argmin_of_both_models() {
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let tuned = autotune(&m, &p, &proto(vec![2000, 2000]), 10).unwrap();
+        // Re-score the winning configuration under both models: the
+        // recorded scheduler must be the cheaper one and its time the
+        // reported time.
+        let mut cfg = proto(vec![2000, 2000]);
+        cfg.threads = 10;
+        cfg.tile = tuned.tile.clone();
+        cfg.subdomain = tuned.subdomain.clone();
+        cfg.deps = blockdeps::block_dependences(&p, &tuned.subdomain).unwrap();
+        let levels = estimate_sweep(&m, &cfg).total_s;
+        let dataflow = estimate_sweep_dataflow(&m, &cfg).total_s;
+        let (want_t, want_s) = if dataflow < levels {
+            (dataflow, Scheduler::Dataflow)
+        } else {
+            (levels, Scheduler::Levels)
+        };
+        assert_eq!(tuned.scheduler, want_s);
+        assert_eq!(tuned.time_s, want_t);
     }
 
     #[test]

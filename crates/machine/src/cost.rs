@@ -14,6 +14,7 @@
 //!    barrier per level — the discrete-event part that produces the
 //!    NUMA/synchronization effects of Figs. 13 and 15.
 
+use instencil_pattern::dataflow::{BlockGraph, Scheduler};
 use instencil_pattern::{Offset, WavefrontSchedule};
 
 use crate::topology::Machine;
@@ -207,6 +208,150 @@ pub fn estimate_sweep(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
     }
 }
 
+/// Per-block bookkeeping cost of the dataflow executor, in cycles: a
+/// deque pop, one in-degree `fetch_sub` per successor edge, and the
+/// retire-counter decrement. Replaces the per-level barrier of the
+/// levels estimate.
+const DATAFLOW_TASK_CYCLES: f64 = 200.0;
+
+/// `f64` with a total order, for the event heaps of the dataflow replay.
+#[derive(Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Estimates the makespan of one sweep under dataflow (point-to-point)
+/// scheduling: a greedy list-scheduling replay of the block dependence
+/// graph on `cfg.threads` workers. Each block costs its roofline time
+/// (compute vs its bandwidth share) plus a small per-task overhead
+/// ([`DATAFLOW_TASK_CYCLES`]); there are no per-level barriers — a block
+/// starts as soon as its predecessors finish and a worker is free. This
+/// is the `cycles_dataflow` capacity estimate the autotuner weighs
+/// against [`estimate_sweep`].
+///
+/// # Panics
+/// Panics on rank mismatches between `domain`, `subdomain` and `tile`.
+pub fn estimate_sweep_dataflow(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let k = cfg.domain.len();
+    assert_eq!(cfg.subdomain.len(), k);
+    assert_eq!(cfg.tile.len(), k);
+    let points: f64 = cfg.domain.iter().product::<usize>() as f64;
+
+    // Same per-point roofline inputs as the levels estimate.
+    let run = cfg.tile.last().copied().unwrap_or(1).max(1);
+    let cycles_pp = cfg.costs.cycles_with_run(m, cfg.strided_vectors, run) * cfg.tile_overhead;
+    let compute_pp = cycles_pp * m.cycle_s();
+    let tile_points: usize = cfg.tile.iter().product();
+    let footprint = tile_points * cfg.nb_var * cfg.live_tensors * 8;
+    let reuse = if footprint <= m.l2_bytes { 1.0 } else { 2.0 };
+    let bytes_pp = cfg.streams * cfg.nb_var as f64 * 8.0 * reuse;
+    let threads = cfg.threads.max(1);
+    let bw = m.bandwidth(threads);
+
+    let grid: Vec<usize> = cfg
+        .domain
+        .iter()
+        .zip(&cfg.subdomain)
+        .map(|(&n, &s)| n.div_ceil(s.max(1)).max(1))
+        .collect();
+    let graph = BlockGraph::build(&grid, &cfg.deps);
+    let n = graph.num_blocks();
+    let block_points = points / n as f64;
+    let block_compute = block_points * compute_pp;
+    let block_bytes = block_points * bytes_pp;
+    let task_overhead = DATAFLOW_TASK_CYCLES * m.cycle_s();
+
+    // Critical-path depth of every block (= its wavefront level) and the
+    // width of each level. A block's bandwidth share is the aggregate
+    // divided by how many blocks run beside it — min(threads, width of
+    // its level) — which is exactly the share the levels estimate grants,
+    // so the two models differ only in barriers and round quantization.
+    let mut depth = vec![0usize; n];
+    let mut levels = 0usize;
+    for b in 0..n {
+        for &p in graph.predecessors(b) {
+            depth[b] = depth[b].max(depth[p as usize] + 1);
+        }
+        levels = levels.max(depth[b] + 1);
+    }
+    let mut width = vec![0usize; levels];
+    for &d in &depth {
+        width[d] += 1;
+    }
+    let block_memory = |b: usize| {
+        let share = bw / width[depth[b]].min(threads) as f64;
+        block_bytes / share
+    };
+
+    // Greedy list scheduling: pop the earliest-ready block, run it on
+    // the earliest-free worker. Because every predecessor has a smaller
+    // flat index, ready times are final when pushed.
+    let mut indeg: Vec<u32> = (0..n).map(|b| graph.in_degree(b)).collect();
+    let mut ready_at: Vec<f64> = vec![0.0; n];
+    let mut ready: BinaryHeap<Reverse<(Time, usize)>> = graph
+        .roots()
+        .into_iter()
+        .map(|b| Reverse((Time(0.0), b as usize)))
+        .collect();
+    let mut workers: BinaryHeap<Reverse<Time>> = (0..threads.min(n))
+        .map(|_| Reverse(Time(0.0)))
+        .collect();
+    let mut makespan = 0.0f64;
+    let mut busy_total = 0.0f64;
+    let mut memory_total = 0.0f64;
+    while let Some(Reverse((Time(t_ready), b))) = ready.pop() {
+        let Reverse(Time(t_free)) = workers.pop().expect("worker pool is non-empty");
+        let block_time = block_compute.max(block_memory(b));
+        let start = t_ready.max(t_free);
+        let end = start + block_time + task_overhead;
+        workers.push(Reverse(Time(end)));
+        makespan = makespan.max(end);
+        busy_total += block_time;
+        memory_total += block_memory(b);
+        for &s in graph.successors(b) {
+            let s = s as usize;
+            ready_at[s] = ready_at[s].max(end);
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(Reverse((Time(ready_at[s]), s)));
+            }
+        }
+    }
+    makespan += cfg.extra_barriers * m.barrier_cost(threads);
+
+    TimeEstimate {
+        compute_s: busy_total.min(makespan * threads as f64),
+        memory_s: memory_total,
+        sync_s: n as f64 * task_overhead,
+        total_s: makespan,
+        levels,
+    }
+}
+
+/// Dispatches between [`estimate_sweep`] (levels) and
+/// [`estimate_sweep_dataflow`] by scheduler mode.
+pub fn estimate_sweep_scheduled(m: &Machine, cfg: &RunConfig, scheduler: Scheduler) -> TimeEstimate {
+    match scheduler {
+        Scheduler::Levels => estimate_sweep(m, cfg),
+        Scheduler::Dataflow => estimate_sweep_dataflow(m, cfg),
+    }
+}
+
 /// The paper's Fig. 15 metric: average time per cell per iteration per
 /// thread, `t_cell = threads · elapsed / (iterations · cells)`.
 pub fn t_cell(m: &Machine, cfg: &RunConfig, sweeps: &[RunConfig]) -> f64 {
@@ -357,6 +502,46 @@ mod tests {
         let ef = estimate_sweep(&m, &few);
         let em = estimate_sweep(&m, &many);
         assert!(em.sync_s > ef.sync_s);
+    }
+
+    #[test]
+    fn dataflow_estimate_beats_levels_on_ragged_schedules() {
+        // Many narrow levels at 8 threads: the levels estimate pays a
+        // barrier per level plus end-of-level idle; the dataflow replay
+        // pays neither, so it must come out faster.
+        let m = xeon_6152_dual();
+        let mut cfg = base_cfg(8);
+        cfg.subdomain = vec![32, 32]; // 16x16 grid, 31 levels
+        let levels = estimate_sweep(&m, &cfg);
+        let dataflow = estimate_sweep_dataflow(&m, &cfg);
+        assert!(
+            dataflow.total_s < levels.total_s,
+            "dataflow {dataflow:?} vs levels {levels:?}"
+        );
+        assert_eq!(dataflow.levels, levels.levels, "critical path = level count");
+        assert!(dataflow.sync_s < levels.sync_s);
+    }
+
+    #[test]
+    fn dataflow_estimate_scales_with_threads() {
+        let m = xeon_6152_dual();
+        let mut one = base_cfg(1);
+        one.domain = vec![2048, 2048];
+        let mut eight = base_cfg(8);
+        eight.domain = vec![2048, 2048];
+        let t1 = estimate_sweep_dataflow(&m, &one).total_s;
+        let t8 = estimate_sweep_dataflow(&m, &eight).total_s;
+        assert!(t8 < t1 / 4.0, "8 workers should scale: {t1} vs {t8}");
+    }
+
+    #[test]
+    fn scheduled_dispatch_selects_the_right_model() {
+        let m = xeon_6152_dual();
+        let cfg = base_cfg(4);
+        let l = estimate_sweep_scheduled(&m, &cfg, Scheduler::Levels);
+        let d = estimate_sweep_scheduled(&m, &cfg, Scheduler::Dataflow);
+        assert_eq!(l.total_s, estimate_sweep(&m, &cfg).total_s);
+        assert_eq!(d.total_s, estimate_sweep_dataflow(&m, &cfg).total_s);
     }
 
     #[test]

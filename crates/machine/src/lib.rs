@@ -37,5 +37,8 @@ pub use autotune::{
     autotune, autotune_or_fallback, autotune_or_fallback_traced, autotune_traced, AutotuneError,
     TunedTiles,
 };
-pub use cost::{estimate_sweep, t_cell, PerPointCosts, RunConfig, TimeEstimate};
+pub use cost::{
+    estimate_sweep, estimate_sweep_dataflow, estimate_sweep_scheduled, t_cell, PerPointCosts,
+    RunConfig, TimeEstimate,
+};
 pub use topology::{xeon_6152_dual, Machine};

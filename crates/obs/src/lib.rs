@@ -100,13 +100,17 @@ pub struct EventRecord {
     pub detail: String,
 }
 
-/// Timing of one worker's chunk within one wavefront level.
+/// Timing of one worker's chunk within one wavefront level (or, under
+/// the dataflow scheduler, of one worker's whole run).
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkerRecord {
     /// Time the worker spent executing its blocks, nanoseconds.
     pub busy_ns: u64,
     /// Blocks the worker executed.
     pub blocks: u64,
+    /// Blocks this worker stole from another worker's deque (always 0
+    /// under the levels scheduler, whose chunks are static).
+    pub steals: u64,
 }
 
 /// Timing of one wavefront level (one barrier-to-barrier region).
@@ -124,10 +128,17 @@ pub struct LevelRecord {
 }
 
 /// One `scf.execute_wavefronts` execution: every level it ran.
+///
+/// Under the dataflow scheduler there are no barriers, so the whole
+/// execution is reported as a single [`LevelRecord`] covering all
+/// blocks, tagged `scheduler == "dataflow"`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WavefrontRecord {
     /// Worker threads the schedule ran with.
     pub threads: usize,
+    /// Scheduler tag: `"levels"` or `"dataflow"` (kept as a string so
+    /// this crate stays dependency-free).
+    pub scheduler: String,
     /// Per-level timings.
     pub levels: Vec<LevelRecord>,
 }
@@ -403,6 +414,7 @@ mod tests {
         obs.event("e", "d");
         obs.record_wavefronts(WavefrontRecord {
             threads: 1,
+            scheduler: "levels".into(),
             levels: vec![],
         });
         assert_eq!(obs.snapshot(), Recorded::default());

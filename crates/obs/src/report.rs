@@ -96,6 +96,9 @@ pub struct WorkerSummary {
     pub idle_ns: u64,
     /// Mean blocks executed per sweep.
     pub blocks: u64,
+    /// Mean blocks stolen from other workers per sweep (dataflow
+    /// scheduler only; 0 under levels).
+    pub steals: u64,
 }
 
 /// One wavefront level, aggregated across sweeps.
@@ -119,6 +122,9 @@ pub struct LevelSummary {
 pub struct WavefrontGroup {
     /// Worker threads.
     pub threads: usize,
+    /// Scheduler tag (`"levels"` or `"dataflow"`). Dataflow executions
+    /// report as a single all-blocks level (no barriers to split on).
+    pub scheduler: String,
     /// Number of executions (sweeps) aggregated.
     pub sweeps: usize,
     /// Per-level aggregates.
@@ -296,6 +302,7 @@ impl RunReport {
             .map(|g| {
                 Json::Obj(vec![
                     ("threads".into(), Json::num(g.threads as f64)),
+                    ("scheduler".into(), Json::str(&g.scheduler)),
                     ("sweeps".into(), Json::num(g.sweeps as f64)),
                     (
                         "levels".into(),
@@ -326,6 +333,10 @@ impl RunReport {
                                                             (
                                                                 "blocks".into(),
                                                                 Json::num(w.blocks as f64),
+                                                            ),
+                                                            (
+                                                                "steals".into(),
+                                                                Json::num(w.steals as f64),
                                                             ),
                                                         ])
                                                     })
@@ -474,8 +485,8 @@ impl RunReport {
         for g in &self.wavefronts {
             let _ = writeln!(
                 out,
-                "\n-- wavefronts @ {} thread(s), {} sweep(s) (means per sweep) --",
-                g.threads, g.sweeps
+                "\n-- wavefronts [{}] @ {} thread(s), {} sweep(s) (means per sweep) --",
+                g.scheduler, g.threads, g.sweeps
             );
             let _ = writeln!(
                 out,
@@ -486,7 +497,14 @@ impl RunReport {
                 let workers = l
                     .workers
                     .iter()
-                    .map(|w| format!("{}/{}", fmt_ns(w.busy_ns), fmt_ns(w.idle_ns)))
+                    .map(|w| {
+                        let stolen = if w.steals > 0 {
+                            format!("(+{} stolen)", w.steals)
+                        } else {
+                            String::new()
+                        };
+                        format!("{}/{}{stolen}", fmt_ns(w.busy_ns), fmt_ns(w.idle_ns))
+                    })
                     .collect::<Vec<_>>()
                     .join(" ");
                 let _ = writeln!(
@@ -605,22 +623,22 @@ fn build_engine(rec: &Recorded) -> EngineReport {
 }
 
 fn build_wavefronts(rec: &Recorded) -> Vec<WavefrontGroup> {
-    // Group executions by (threads, level count) and average per level
-    // across sweeps; block counts come from the first sweep (the
-    // schedule is identical every sweep).
-    let mut groups: Vec<(usize, usize, Vec<&crate::WavefrontRecord>)> = Vec::new();
+    // Group executions by (threads, scheduler, level count) and average
+    // per level across sweeps; block counts come from the first sweep
+    // (the schedule is identical every sweep).
+    #[allow(clippy::type_complexity)]
+    let mut groups: Vec<(usize, &str, usize, Vec<&crate::WavefrontRecord>)> = Vec::new();
     for w in &rec.wavefronts {
-        match groups
-            .iter_mut()
-            .find(|(t, n, _)| *t == w.threads && *n == w.levels.len())
-        {
-            Some((_, _, members)) => members.push(w),
-            None => groups.push((w.threads, w.levels.len(), vec![w])),
+        match groups.iter_mut().find(|(t, s, n, _)| {
+            *t == w.threads && *s == w.scheduler && *n == w.levels.len()
+        }) {
+            Some((_, _, _, members)) => members.push(w),
+            None => groups.push((w.threads, &w.scheduler, w.levels.len(), vec![w])),
         }
     }
     groups
         .into_iter()
-        .map(|(threads, n_levels, members)| {
+        .map(|(threads, scheduler, n_levels, members)| {
             let sweeps = members.len();
             let levels = (0..n_levels)
                 .map(|li| {
@@ -642,10 +660,16 @@ fn build_wavefronts(rec: &Recorded) -> Vec<WavefrontGroup> {
                                 .map(|m| m.levels[li].workers.get(wi).map_or(0, |w| w.blocks))
                                 .sum::<u64>()
                                 / sweeps as u64;
+                            let steals = members
+                                .iter()
+                                .map(|m| m.levels[li].workers.get(wi).map_or(0, |w| w.steals))
+                                .sum::<u64>()
+                                / sweeps as u64;
                             WorkerSummary {
                                 busy_ns,
                                 idle_ns: wall_ns.saturating_sub(busy_ns),
                                 blocks,
+                                steals,
                             }
                         })
                         .collect();
@@ -672,6 +696,7 @@ fn build_wavefronts(rec: &Recorded) -> Vec<WavefrontGroup> {
                 .collect();
             WavefrontGroup {
                 threads,
+                scheduler: scheduler.to_owned(),
                 sweeps,
                 levels,
             }
@@ -786,6 +811,7 @@ mod tests {
         for _ in 0..2 {
             obs.record_wavefronts(WavefrontRecord {
                 threads: 2,
+                scheduler: "levels".into(),
                 levels: vec![LevelRecord {
                     index: 0,
                     blocks: 4,
@@ -794,10 +820,12 @@ mod tests {
                         WorkerRecord {
                             busy_ns: 90,
                             blocks: 2,
+                            steals: 0,
                         },
                         WorkerRecord {
                             busy_ns: 30,
                             blocks: 2,
+                            steals: 0,
                         },
                     ],
                 }],
@@ -807,11 +835,52 @@ mod tests {
         assert_eq!(report.wavefronts.len(), 1);
         let g = &report.wavefronts[0];
         assert_eq!((g.threads, g.sweeps), (2, 2));
+        assert_eq!(g.scheduler, "levels");
         let l = &g.levels[0];
         assert_eq!(l.wall_ns, 100);
         assert_eq!(l.workers[0].busy_ns, 90);
         assert_eq!(l.workers[0].idle_ns, 10);
         assert!((l.imbalance - 1.5).abs() < 1e-9, "{}", l.imbalance);
+    }
+
+    #[test]
+    fn scheduler_tag_splits_groups_and_steals_survive_to_json() {
+        // Same thread count and level count, different schedulers: the
+        // executions must land in separate groups, and steal counts must
+        // reach the JSON worker objects.
+        let obs = Obs::new(ObsLevel::Trace);
+        for scheduler in ["levels", "dataflow"] {
+            obs.record_wavefronts(WavefrontRecord {
+                threads: 2,
+                scheduler: scheduler.into(),
+                levels: vec![LevelRecord {
+                    index: 0,
+                    blocks: 6,
+                    wall_ns: 50,
+                    workers: vec![WorkerRecord {
+                        busy_ns: 40,
+                        blocks: 6,
+                        steals: if scheduler == "dataflow" { 3 } else { 0 },
+                    }],
+                }],
+            });
+        }
+        let report = obs.report();
+        assert_eq!(report.wavefronts.len(), 2, "one group per scheduler");
+        let df = report
+            .wavefronts
+            .iter()
+            .find(|g| g.scheduler == "dataflow")
+            .unwrap();
+        assert_eq!(df.levels[0].workers[0].steals, 3);
+        let text = report.to_json().to_string();
+        validate_report_json(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let groups = doc.get("wavefronts").unwrap().as_arr().unwrap();
+        assert!(groups
+            .iter()
+            .any(|g| g.get("scheduler").and_then(Json::as_str) == Some("dataflow")));
+        assert!(report.to_text().contains("(+3 stolen)"));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 pub mod affine;
 pub mod blockdeps;
 pub mod csr;
+pub mod dataflow;
 pub mod offset;
 pub mod pattern;
 pub mod presets;
@@ -46,6 +47,7 @@ pub mod tiling;
 
 pub use affine::{optimal_affine, AffineSchedule};
 pub use csr::CsrWavefronts;
+pub use dataflow::{BlockGraph, ScheduleBundle, Scheduler};
 pub use offset::{lex_compare, LexOrder, Offset};
 pub use pattern::{PatternError, StencilPattern, Sweep};
 pub use schedule::WavefrontSchedule;

@@ -1,0 +1,114 @@
+//! Barrier idle vs dataflow idle on LU-SGS (the EXPERIMENTS.md recipe,
+//! runnable): execute the generated Euler LU-SGS solver under both
+//! wavefront schedulers at the same thread count with one `Trace`
+//! collector, then compare summed per-worker idle between the two
+//! `wavefronts` report groups. LU-SGS wavefronts are diagonal planes of
+//! the cube — level widths ramp 1, 3, 6, … and back down — so the
+//! per-level barriers idle most workers on the narrow edge levels; the
+//! dataflow pool lets those workers start downstream blocks instead.
+//!
+//! ```text
+//! cargo run --release --example dataflow_idle
+//! ```
+//!
+//! Exits non-zero if the dataflow idle is not lower — this is the
+//! "per-worker idle reduced vs levels" claim of DESIGN.md §4g, checked
+//! on the real pool rather than the cost model.
+
+use instencil::obs::report::WavefrontGroup;
+use instencil::prelude::*;
+use instencil::solvers::euler::NV;
+use instencil::solvers::euler_codegen::euler_lusgs_module;
+use instencil::solvers::lusgs::vortex_initial;
+
+/// Sum of (level wall × workers − Σ worker busy) over a group's levels,
+/// in nanoseconds per sweep: the time workers spent waiting rather than
+/// executing blocks.
+fn summed_idle_ns(g: &WavefrontGroup) -> u64 {
+    g.levels
+        .iter()
+        .map(|l| l.workers.iter().map(|w| w.idle_ns).sum::<u64>())
+        .sum()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10usize;
+    let threads = 4usize;
+    let sweeps = 5usize;
+    let shape = [NV, n, n, n];
+    let module = euler_lusgs_module(0.05);
+    let compiled = compile(&module, &PipelineOptions::new(vec![2, 2, 2], vec![2, 2, 2]))?;
+
+    let obs = Obs::new(ObsLevel::Trace);
+    let mut report = None;
+    for scheduler in [Scheduler::Levels, Scheduler::Dataflow] {
+        let mut runner = Runner::with_opts(
+            &compiled.module,
+            Engine::Bytecode,
+            threads,
+            scheduler,
+            obs.clone(),
+        )?;
+        let w = BufferView::from_data(&shape, vortex_initial(n).data().to_vec());
+        let dw = BufferView::alloc(&shape);
+        let b = BufferView::alloc(&shape);
+        for _ in 0..sweeps {
+            dw.fill(0.0);
+            b.fill(0.0);
+            runner.call(
+                "euler_step",
+                vec![
+                    RtVal::Buf(w.clone()),
+                    RtVal::Buf(dw.clone()),
+                    RtVal::Buf(b.clone()),
+                ],
+            )?;
+        }
+        report = Some(runner.report());
+    }
+    let report = report.expect("two runs recorded");
+
+    // The solver step contains several wavefront ops with different
+    // level counts, and the report groups by (threads, scheduler,
+    // levels) — so sum idle over *every* group of each scheduler.
+    let groups = |name: &str| -> Vec<&WavefrontGroup> {
+        let gs: Vec<_> = report
+            .wavefronts
+            .iter()
+            .filter(|g| g.scheduler == name && g.threads == threads)
+            .collect();
+        assert!(!gs.is_empty(), "no {name} wavefront group in the report");
+        gs
+    };
+    let levels = groups("levels");
+    let dataflow = groups("dataflow");
+    let idle_levels: u64 = levels.iter().map(|g| summed_idle_ns(g)).sum();
+    let idle_dataflow: u64 = dataflow.iter().map(|g| summed_idle_ns(g)).sum();
+    let n_levels: usize = levels.iter().map(|g| g.levels.len()).sum();
+
+    println!(
+        "lusgs {n}^3, {threads} threads, {sweeps} sweeps (per-sweep means):"
+    );
+    println!(
+        "  levels   : {n_levels:>3} barrier levels, summed worker idle {idle_levels:>9} ns"
+    );
+    let steals: u64 = dataflow
+        .iter()
+        .flat_map(|g| &g.levels)
+        .flat_map(|l| &l.workers)
+        .map(|w| w.steals)
+        .sum();
+    println!(
+        "  dataflow : fused per-op levels, summed worker idle {idle_dataflow:>9} ns \
+         ({steals} blocks stolen)"
+    );
+    assert!(
+        idle_dataflow < idle_levels,
+        "dataflow did not reduce worker idle: {idle_dataflow} ns vs {idle_levels} ns"
+    );
+    println!(
+        "  idle reduced {:.1}x — the barrier wait is what the dataflow pool removes",
+        idle_levels as f64 / idle_dataflow.max(1) as f64
+    );
+    Ok(())
+}

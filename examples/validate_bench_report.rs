@@ -1,17 +1,60 @@
-//! CI gate: assert that the engines bench's `BENCH_exec_report.json`
-//! (written next to `BENCH_exec.json` by `benches/engines.rs`) still
-//! validates against the current obs report schema. The bench validates
-//! at write time; this re-validates the *committed artifact*, so a
-//! schema change that silently invalidates the stored report — or a
-//! stale report after a schema bump — fails CI instead of lingering.
+//! CI gate: assert that the engines bench's committed artifacts still
+//! validate — `BENCH_exec_report.json` against the current obs report
+//! schema, and `BENCH_exec.json` against the row shape the bench
+//! writes, including the scheduler-scaling section (levels vs dataflow
+//! at 1/2/4/8 threads on LU-SGS and SOR Tr2). The bench validates at
+//! write time; this re-validates the *committed artifacts*, so a schema
+//! change that silently invalidates a stored report — or a stale report
+//! after a schema bump — fails CI instead of lingering.
 
 use instencil::obs::report::validate_report_json;
+use instencil::obs::Json;
 
 fn main() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec_report.json");
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e} — run the engines bench first"));
-    validate_report_json(&text)
-        .unwrap_or_else(|e| panic!("{path} does not validate against the obs report schema: {e}"));
-    println!("{path}: schema OK");
+    let report_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec_report.json");
+    let text = std::fs::read_to_string(report_path).unwrap_or_else(|e| {
+        panic!("cannot read {report_path}: {e} — run the engines bench first")
+    });
+    validate_report_json(&text).unwrap_or_else(|e| {
+        panic!("{report_path} does not validate against the obs report schema: {e}")
+    });
+    println!("{report_path}: schema OK");
+
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec.json");
+    let text = std::fs::read_to_string(bench_path)
+        .unwrap_or_else(|e| panic!("cannot read {bench_path}: {e} — run the engines bench first"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{bench_path}: parse error: {e}"));
+    let rows = doc
+        .as_arr()
+        .unwrap_or_else(|| panic!("{bench_path}: top level must be an array of rows"));
+    for (i, r) in rows.iter().enumerate() {
+        for key in ["engine", "case"] {
+            assert!(
+                r.get(key).and_then(|v| v.as_str()).is_some(),
+                "{bench_path}: row {i} lacks string field `{key}`"
+            );
+        }
+        let ns = r
+            .get("ns_per_point")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("{bench_path}: row {i} lacks numeric `ns_per_point`"));
+        assert!(ns > 0.0, "{bench_path}: row {i} has non-positive ns_per_point");
+    }
+    // The scaling section must cover the full (scheduler × threads)
+    // matrix on both wavefront-heavy cases.
+    for case in ["lusgs", "sor-tr2"] {
+        for threads in [1, 2, 4, 8] {
+            for engine in ["levels", "dataflow"] {
+                let want = format!("{case}@{threads}");
+                assert!(
+                    rows.iter().any(|r| {
+                        r.get("engine").and_then(|v| v.as_str()) == Some(engine)
+                            && r.get("case").and_then(|v| v.as_str()) == Some(want.as_str())
+                    }),
+                    "{bench_path}: missing scaling row {engine}/{want}"
+                );
+            }
+        }
+    }
+    println!("{bench_path}: {} rows OK (scaling matrix complete)", rows.len());
 }

@@ -62,11 +62,11 @@ pub mod prelude {
     pub use instencil_exec::buffer::BufferView;
     pub use instencil_exec::driver::{
         run_compiled_report, run_compiled_sweeps, run_jacobi_sweeps, run_sweeps,
-        run_sweeps_threaded, run_sweeps_with,
+        run_sweeps_opts, run_sweeps_threaded, run_sweeps_with,
     };
     pub use instencil_exec::{BytecodeEngine, Interpreter, RtVal, Runner, WavefrontPool};
     pub use instencil_obs::{Obs, ObsLevel, RunReport};
     pub use instencil_ir::{FuncBuilder, Module, Type};
     pub use instencil_machine::{autotune, estimate_sweep, xeon_6152_dual, RunConfig};
-    pub use instencil_pattern::{presets, StencilPattern, Sweep, WavefrontSchedule};
+    pub use instencil_pattern::{presets, Scheduler, StencilPattern, Sweep, WavefrontSchedule};
 }

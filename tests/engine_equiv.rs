@@ -7,7 +7,9 @@
 //! (`RunSpec`); the only thing either is allowed to change is wall-clock
 //! time. These tests drive every §4.2 transformation preset (tr1–tr4) of
 //! the SOR solver, the Euler LU-SGS solver and the gs5 bench kernel
-//! through three engines at 1, 2, 4 and 8 wavefront threads:
+//! through three engines, both wavefront schedulers (per-level barriers
+//! and the dataflow work-stealing pool) at 1, 2, 4 and 8 wavefront
+//! threads:
 //!
 //! * [`Engine::Interp`] — the reference tree-walking interpreter,
 //! * [`Engine::BytecodeDispatch`] — bytecode with run specialization
@@ -34,9 +36,18 @@ use instencil::solvers::lusgs::vortex_initial;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// The two engines-under-test, each compared bit-for-bit against the
-/// interpreter reference.
-const CANDIDATES: [(&str, Engine); 2] = [
+/// Both wavefront schedulers: per-level barriers and the dataflow
+/// work-stealing pool. The reference runs levels; every other
+/// (engine × scheduler) combination must reproduce its bits and
+/// counters exactly — the dataflow pool reorders *execution*, never
+/// *effects*, because Eq. (3) already makes dependent blocks ordered
+/// and independent blocks disjoint.
+const SCHEDULERS: [Scheduler; 2] = [Scheduler::Levels, Scheduler::Dataflow];
+
+/// Every (engine × scheduler) pair checked against the reference,
+/// including the interpreter itself under the dataflow scheduler.
+const PAIRS: [(&str, Engine); 3] = [
+    ("interp", Engine::Interp),
     ("bytecode", Engine::Bytecode),
     ("bytecode-dispatch", Engine::BytecodeDispatch),
 ];
@@ -72,19 +83,26 @@ fn check_all_engines(
     what: &str,
 ) {
     for threads in THREAD_COUNTS {
-        let run = |engine: Engine| {
+        let run = |engine: Engine, scheduler: Scheduler| {
             let bufs: Vec<BufferView> = (0..n_buffers).map(|_| seeded(shape)).collect();
             let stats =
-                run_sweeps_with(module, func, &bufs, sweeps, threads, engine).unwrap();
+                run_sweeps_opts(module, func, &bufs, sweeps, threads, engine, scheduler)
+                    .unwrap();
             (bufs[0].to_vec(), stats)
         };
-        let (expect, stats_i) = run(Engine::Interp);
-        for (name, engine) in CANDIDATES {
-            let (got, stats_e) = run(engine);
-            let label = format!("{what} {name} threads={threads}");
-            assert_bits_equal(&expect, &got, &label);
-            assert_eq!(stats_i, stats_e, "{label}: engines must count identically");
-            assert!(stats_e.wavefront_levels > 0, "{label}: wavefronts expected");
+        let (expect, stats_i) = run(Engine::Interp, Scheduler::Levels);
+        for scheduler in SCHEDULERS {
+            for (name, engine) in PAIRS {
+                if engine == Engine::Interp && scheduler == Scheduler::Levels {
+                    continue; // the reference itself
+                }
+                let (got, stats_e) = run(engine, scheduler);
+                let label =
+                    format!("{what} {name} scheduler={} threads={threads}", scheduler.name());
+                assert_bits_equal(&expect, &got, &label);
+                assert_eq!(stats_i, stats_e, "{label}: engines must count identically");
+                assert!(stats_e.wavefront_levels > 0, "{label}: wavefronts expected");
+            }
         }
     }
 }
@@ -121,7 +139,7 @@ fn lusgs_engines_match() {
     let compiled = compile(&module, &PipelineOptions::new(vec![4, 4, 4], vec![2, 2, 2]))
         .expect("euler compiles");
 
-    let run = |threads: usize, engine: Engine| {
+    let run = |threads: usize, engine: Engine, scheduler: Scheduler| {
         let w0 = vortex_initial(n);
         let w = BufferView::from_data(&shape, w0.data().to_vec());
         let dw = BufferView::alloc(&shape);
@@ -130,13 +148,14 @@ fn lusgs_engines_match() {
         for _ in 0..2 {
             dw.fill(0.0);
             b.fill(0.0);
-            stats = run_sweeps_with(
+            stats = run_sweeps_opts(
                 &compiled.module,
                 "euler_step",
                 &[w.clone(), dw.clone(), b.clone()],
                 1,
                 threads,
                 engine,
+                scheduler,
             )
             .expect("euler step runs");
         }
@@ -144,13 +163,19 @@ fn lusgs_engines_match() {
     };
 
     for threads in THREAD_COUNTS {
-        let (expect, stats_i) = run(threads, Engine::Interp);
-        for (name, engine) in CANDIDATES {
-            let (got, stats_e) = run(threads, engine);
-            let label = format!("lusgs {name} threads={threads}");
-            assert_bits_equal(&expect, &got, &label);
-            assert_eq!(stats_i, stats_e, "{label}: engines must count identically");
-            assert!(stats_e.wavefront_levels > 0, "{label}: wavefronts expected");
+        let (expect, stats_i) = run(threads, Engine::Interp, Scheduler::Levels);
+        for scheduler in SCHEDULERS {
+            for (name, engine) in PAIRS {
+                if engine == Engine::Interp && scheduler == Scheduler::Levels {
+                    continue;
+                }
+                let (got, stats_e) = run(threads, engine, scheduler);
+                let label =
+                    format!("lusgs {name} scheduler={} threads={threads}", scheduler.name());
+                assert_bits_equal(&expect, &got, &label);
+                assert_eq!(stats_i, stats_e, "{label}: engines must count identically");
+                assert!(stats_e.wavefront_levels > 0, "{label}: wavefronts expected");
+            }
         }
     }
 }

@@ -91,11 +91,39 @@ fn run_bytecode(m: &Module) {
         .expect("wavefront module runs");
 }
 
+/// The dataflow scheduler replaces the per-level checker with a
+/// graph-reachability checker: two blocks may write a common extent only
+/// if one is an ancestor of the other in the block dependence graph.
+fn run_interp_dataflow(m: &Module) {
+    let b = BufferView::alloc(&[4]);
+    Interpreter::with_opts(2, Obs::off(), Scheduler::Dataflow)
+        .call(m, "wf", vec![RtVal::Buf(b)])
+        .expect("wavefront module runs");
+}
+
+fn run_bytecode_dataflow(m: &Module) {
+    let b = BufferView::alloc(&[4]);
+    BytecodeEngine::compile_with_threads(m, 2)
+        .expect("wavefront module compiles")
+        .with_scheduler(Scheduler::Dataflow)
+        .call("wf", vec![RtVal::Buf(b)])
+        .expect("wavefront module runs");
+}
+
 #[test]
 fn correct_schedule_runs_clean() {
     let m = two_block_module(honest_deps());
     run_interp(&m);
     run_bytecode(&m);
+}
+
+#[test]
+fn correct_schedule_runs_clean_under_dataflow() {
+    // Block 1 depends on block 0, so the graph orders them and the
+    // shared element-1 write is sound — the dataflow checker must agree.
+    let m = two_block_module(honest_deps());
+    run_interp_dataflow(&m);
+    run_bytecode_dataflow(&m);
 }
 
 #[cfg(debug_assertions)]
@@ -131,5 +159,21 @@ mod debug_only {
     fn mis_schedule_panics_in_bytecode() {
         let m = two_block_module(lying_deps());
         expect_overlap_panic(move || run_bytecode(&m));
+    }
+
+    #[test]
+    fn mis_schedule_panics_in_interp_dataflow() {
+        // With no dependences both blocks are roots of the block graph
+        // — unordered — yet both write element 1: the dataflow-mode
+        // reachability checker must object exactly like the per-level
+        // checker does under barriers.
+        let m = two_block_module(lying_deps());
+        expect_overlap_panic(move || run_interp_dataflow(&m));
+    }
+
+    #[test]
+    fn mis_schedule_panics_in_bytecode_dataflow() {
+        let m = two_block_module(lying_deps());
+        expect_overlap_panic(move || run_bytecode_dataflow(&m));
     }
 }
