@@ -48,10 +48,23 @@ echo "==> dataflow scheduler ordering property (debug profile)"
 # before its predecessors finish, at 1/2/4/8 workers.
 cargo test $OFFLINE --test dataflow_trace
 
-echo "==> engines bench smoke (interp vs dispatch vs run-specialized, writes BENCH_exec.json)"
+echo "==> scaling shape fence (release profile — timing asserts are noise in debug)"
+# Regression fence for the inverse-scaling bug (ROADMAP item 4): ns/point
+# must be monotone non-increasing from 1 to 4 threads on LU-SGS and SOR
+# Tr2 under both wavefront schedulers, and coarsened dataflow tasks must
+# stay bit- and stats-identical to sequential levels execution.
+cargo test $OFFLINE --release --test scaling_shape
+
+echo "==> engines bench smoke (engines matrix + scheduler scaling gates, writes BENCH_exec.json)"
+# Besides the engine comparison this runs the three scaling gates:
+# dataflow@8 within tolerance of levels@8, monotone 1→2→4 steps, and
+# dataflow@8 vs levels@1 on LU-SGS (the seed inversion), each with a
+# single re-measure on breach.
 INSTENCIL_BENCH_FAST=1 cargo bench $OFFLINE -p instencil-bench --bench engines
 
 echo "==> bench report schema gate (BENCH_exec_report.json vs obs schema)"
+# Also asserts worker records carry the steal_dist/fused counters and
+# that the scaling matrix (levels/dataflow x 1/2/4/8 threads) is complete.
 cargo run $OFFLINE --release --example validate_bench_report
 
 echo "==> obs report smoke (Trace pipeline run, schema-validates the JSON)"

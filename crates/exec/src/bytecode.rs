@@ -582,7 +582,7 @@ impl BytecodeEngine {
         opts: BcOptions,
     ) -> Result<Self, BcCompileError> {
         Ok(BytecodeEngine {
-            program: compile_program(module, opts)?,
+            program: compile_program(module, opts, &obs)?,
             stats: ExecStats::default(),
             threads: threads.max(1),
             obs,
@@ -1134,15 +1134,19 @@ impl BcCtx<'_> {
         let cols = Arc::clone(regs.arr(cols)?);
         // Dataflow mode recovers the dependence graph from the Arc
         // identity of `cols` (minted by `Instr::GetParallelBlocks` via
-        // the schedule-bundle cache); a miss falls back to levels.
-        if self.pool.scheduler() == Scheduler::Dataflow && self.pool.threads() > 1 {
-            if let Some(graph) = dataflow::lookup_by_cols(&cols).map(|b| Arc::clone(&b.graph)) {
+        // the schedule-bundle cache); a miss falls back to levels. The
+        // path is taken at one thread too: the inline dataflow sweep
+        // walks blocks in flat ascending order with no CSR level
+        // indirection, which is strictly cheaper than the level-major
+        // walk below.
+        if self.pool.scheduler() == Scheduler::Dataflow {
+            if let Some(bundle) = dataflow::lookup_by_cols(&cols) {
                 // Levels are still counted from the CSR row pointer so
                 // statistics stay scheduler-invariant.
                 stats.wavefront_levels += (rows.len() - 1) as u64;
                 let base: &Regs = regs;
-                return self.pool.try_execute_dataflow(
-                    &graph,
+                return self.pool.try_execute_bundle(
+                    &bundle,
                     || (base.clone(), ExecStats::default()),
                     |state: &mut (Regs, ExecStats), b| {
                         let (worker_regs, worker_stats) = state;
@@ -1188,7 +1192,7 @@ impl BcCtx<'_> {
                             vec![instencil_obs::WorkerRecord {
                                 busy_ns: wall_ns,
                                 blocks: done,
-                                steals: 0,
+                                ..instencil_obs::WorkerRecord::default()
                             }]
                         } else {
                             Vec::new()

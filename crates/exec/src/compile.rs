@@ -31,6 +31,7 @@ use std::fmt;
 
 use instencil_ir::body::Block;
 use instencil_ir::{Attribute, Body, Func, Module, OpCode, Operation, Type, ValueId};
+use instencil_obs::Obs;
 use instencil_pattern::blockdeps;
 
 use crate::bytecode::{BcFunc, BcProgram, DimSpec, FOp, FUn, IOp, Instr, Move, RKind, Reg, Tape};
@@ -87,11 +88,19 @@ impl Default for BcOptions {
 
 /// Compiles every function of a module to bytecode.
 ///
+/// Run-specialization declines (a loop that *could* have been a fused
+/// macro-op but was rejected by [`runspec::analyze`]) are not errors —
+/// the loop keeps the generic dispatch path — but they are exactly the
+/// "bytecode ≈ dispatch, why?" cases, so each one is surfaced to `obs`
+/// as a `runspec-decline` event naming the function, the loop's tape,
+/// and the rejection reason.
+///
 /// # Errors
 /// See [`BcCompileError`].
 pub(crate) fn compile_program(
     module: &Module,
     opts: BcOptions,
+    obs: &Obs,
 ) -> Result<BcProgram, BcCompileError> {
     // Callee indices resolve against module order (call targets may be
     // defined after their callers).
@@ -99,7 +108,7 @@ pub(crate) fn compile_program(
     let funcs = module
         .funcs()
         .iter()
-        .map(|f| compile_func(f, &names, opts))
+        .map(|f| compile_func(f, &names, opts, obs))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(BcProgram { funcs })
 }
@@ -130,9 +139,19 @@ struct FnCompiler<'m> {
     num_v_slots: u32,
     num_b: u32,
     num_a: u32,
+    /// Loops that were eligible for run specialization but declined:
+    /// `(body tape index, reason)`. "Nested control flow" declines are
+    /// not recorded — every non-innermost loop of a nest declines that
+    /// way by construction, so they carry no signal.
+    runspec_declines: Vec<(u32, &'static str)>,
 }
 
-fn compile_func(func: &Func, names: &[&str], opts: BcOptions) -> Result<BcFunc, BcCompileError> {
+fn compile_func(
+    func: &Func,
+    names: &[&str],
+    opts: BcOptions,
+    obs: &Obs,
+) -> Result<BcFunc, BcCompileError> {
     let body = &func.body;
     let mut c = FnCompiler {
         body,
@@ -145,6 +164,7 @@ fn compile_func(func: &Func, names: &[&str], opts: BcOptions) -> Result<BcFunc, 
         num_v_slots: 0,
         num_b: 0,
         num_a: 0,
+        runspec_declines: Vec::new(),
     };
     let entry = c.compile_block(body.entry_block())?;
     debug_assert_eq!(entry, 0, "entry block must be tape 0");
@@ -160,6 +180,12 @@ fn compile_func(func: &Func, names: &[&str], opts: BcOptions) -> Result<BcFunc, 
         .iter()
         .map(rkind_of)
         .collect::<Result<Vec<_>, _>>()?;
+    for (tape, reason) in &c.runspec_declines {
+        obs.event(
+            "runspec-decline",
+            &format!("{}: loop body tape {tape}: {reason}", func.name),
+        );
+    }
     Ok(BcFunc {
         name: func.name.clone(),
         tapes: c.tapes,
@@ -591,7 +617,19 @@ impl FnCompiler<'_> {
                     && loopback.is_empty()
                     && res_moves.is_empty()
                 {
-                    runspec::analyze(&self.tapes[body_tape as usize], iv).map(Box::new)
+                    match runspec::analyze(&self.tapes[body_tape as usize], iv) {
+                        Ok(spec) => Some(Box::new(spec)),
+                        Err(reason) => {
+                            if reason != "nested control flow" {
+                                self.runspec_declines.push((body_tape, reason));
+                            }
+                            None
+                        }
+                    }
+                } else if self.opts.specialize_runs {
+                    self.runspec_declines
+                        .push((body_tape, "loop-carried iter args"));
+                    None
                 } else {
                     None
                 };

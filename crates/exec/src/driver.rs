@@ -72,14 +72,23 @@ pub struct Runner<'m> {
 }
 
 /// Resolves the `threads` knob: `0` means "auto" — one worker per
-/// available hardware thread. This is the single place the sentinel is
-/// interpreted; the engines themselves clamp to a minimum of 1 and never
-/// see the zero.
+/// available hardware thread — and any explicit request is clamped to
+/// the host's available parallelism. Oversubscribing wavefront workers
+/// is never useful here: the workers are CPU-bound and barrier- or
+/// steal-coupled, so extra OS threads on the same cores only add
+/// context-switch latency to every level/in-degree handoff (this is
+/// exactly the inverse-scaling pathology BENCH_exec.json showed on
+/// single-core hosts: 621 -> 1174 ns/point from 1 to 8 "threads").
+/// This is the single place the sentinel and the clamp are applied;
+/// the engines and [`WavefrontPool`](crate::parallel::WavefrontPool)
+/// run whatever count they are given, so tests can still exercise true
+/// multi-worker interleavings on any host.
 fn resolve_threads(threads: usize) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        host
     } else {
-        threads
+        threads.min(host)
     }
 }
 
@@ -534,9 +543,13 @@ mod tests {
         let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
         assert_eq!(runner.threads(), auto, "0 means one worker per hw thread");
         assert!(runner.threads() >= 1);
-        // Explicit counts pass through untouched.
+        // Explicit counts are clamped to the host: oversubscribed
+        // wavefront workers only trade useful work for context
+        // switches (see `resolve_threads`).
         let runner = Runner::new(&c.module, Engine::Bytecode, 3).unwrap();
-        assert_eq!(runner.threads(), 3);
+        assert_eq!(runner.threads(), 3.min(auto));
+        let runner = Runner::new(&c.module, Engine::Bytecode, auto + 7).unwrap();
+        assert_eq!(runner.threads(), auto, "requests beyond the host clamp");
     }
 
     #[test]

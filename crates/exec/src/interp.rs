@@ -483,10 +483,10 @@ impl ExecCtx<'_> {
                 // `instencil_pattern::dataflow::lookup_by_cols`). A miss
                 // (cols not minted by the bundle cache) falls back to
                 // level execution and says so in the obs event stream.
-                let graph = if self.pool.scheduler() == Scheduler::Dataflow
-                    && self.pool.threads() > 1
-                {
-                    let hit = dataflow::lookup_by_cols(&cols).map(|b| Arc::clone(&b.graph));
+                // Taken at one thread too — the inline dataflow sweep
+                // skips the CSR level indirection entirely.
+                let bundle = if self.pool.scheduler() == Scheduler::Dataflow {
+                    let hit = dataflow::lookup_by_cols(&cols);
                     if hit.is_none() {
                         self.pool
                             .obs()
@@ -496,15 +496,15 @@ impl ExecCtx<'_> {
                 } else {
                     None
                 };
-                if let Some(graph) = graph {
+                if let Some(bundle) = bundle {
                     // Levels are counted from the CSR row pointer even
                     // though no barrier separates them at run time, so
                     // statistics stay scheduler-invariant.
                     frame.stats.wavefront_levels += (rows.len() - 1) as u64;
                     let region = op.regions[0];
                     let base_env: Env = env.clone();
-                    self.pool.try_execute_dataflow(
-                        &graph,
+                    self.pool.try_execute_bundle(
+                        &bundle,
                         || (base_env.clone(), Frame::default()),
                         |state: &mut (Env, Frame), block| {
                             let (worker_env, worker_frame) = state;
@@ -556,7 +556,7 @@ impl ExecCtx<'_> {
                                     vec![instencil_obs::WorkerRecord {
                                         busy_ns: wall_ns,
                                         blocks: done,
-                                        steals: 0,
+                                        ..instencil_obs::WorkerRecord::default()
                                     }]
                                 } else {
                                     Vec::new()

@@ -10,33 +10,41 @@
 //!   *persistent*: workers are spawned once per run and synchronize on a
 //!   lightweight [`std::sync::Barrier`], not respawned per level.
 //! * **Dataflow** — point-to-point execution of the block dependence
-//!   graph ([`BlockGraph`]): each worker drains a ready-set of blocks,
-//!   decrements successor in-degrees with atomics, and pushes
-//!   newly-ready blocks onto its own deque (stealing from other workers
-//!   when empty). The Release half of the in-degree `fetch_sub` and the
-//!   Acquire half performed by the final decrementer form a
-//!   happens-before chain from every predecessor's buffer writes to the
-//!   successor's execution, replacing the barrier's publication role
-//!   (see `DESIGN.md` §4f/§4g). Local dispatch prefers the
-//!   lexicographically smallest newly-ready successor, which keeps the
-//!   k=−1 forwarded-recurrence stripe rows hot in cache.
+//!   graph ([`BlockGraph`]), coarsened into [`TaskGraph`] tasks: chains
+//!   of consecutive small blocks fuse into single scheduled units so the
+//!   atomic in-degree traffic and deque locking amortize over real work
+//!   (the machine model's [`Machine::dataflow_grain`] picks the fusion
+//!   grain). Each worker drains a ready-set of tasks, decrements
+//!   successor in-degrees with atomics, and routes newly-ready tasks to
+//!   their *owning* worker's deque — ownership is a stable contiguous
+//!   shard of the flat index space ([`shard_owner`]), so lexicographic
+//!   neighbors stay on one core across levels and sweeps. An idle
+//!   worker steals along a NUMA-near-first rotated peer order derived
+//!   from the [`Machine`] topology, and backs off (bounded spin, then
+//!   exponential sleep) when the whole pool runs dry. The Release half
+//!   of the in-degree `fetch_sub` and the Acquire half performed by the
+//!   final decrementer form a happens-before chain from every
+//!   predecessor's buffer writes to the successor's execution, replacing
+//!   the barrier's publication role (see `DESIGN.md` §4f/§4g).
 //!
 //! The pool runs closures over *linearized sub-domain indices*. It has
-//! three entry points: [`WavefrontPool::execute`] for stateless workers,
+//! four entry points: [`WavefrontPool::execute`] for stateless workers,
 //! [`WavefrontPool::try_execute_stateful`] (level mode) and
-//! [`WavefrontPool::try_execute_dataflow`] (graph mode), the latter two
+//! [`WavefrontPool::try_execute_dataflow`] /
+//! [`WavefrontPool::try_execute_bundle`] (graph mode), the stateful ones
 //! giving each worker private state (the interpreter uses this to run
 //! `scf.execute_wavefronts` bodies with a per-thread environment and
 //! statistics frame) and propagating the first error.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use instencil_machine::topology::{xeon_6152_dual, Machine};
 use instencil_obs::{LevelRecord, Obs, WavefrontRecord, WorkerRecord};
-use instencil_pattern::dataflow::{BlockGraph, Scheduler};
+use instencil_pattern::dataflow::{shard_owner, BlockGraph, ScheduleBundle, Scheduler, TaskGraph};
 use instencil_pattern::CsrWavefronts;
 
 use crate::buffer::overlap;
@@ -49,12 +57,42 @@ type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 /// blocks executed)`.
 type LevelSamples = Vec<(usize, u64, u64)>;
 
+/// Idle scan rounds an empty-handed worker spends yielding before it
+/// starts sleeping. Yields are near-free and keep wake-up latency at
+/// scheduler-quantum scale while the wavefront pipeline is merely
+/// momentarily narrow.
+const SPIN_ROUNDS: u32 = 64;
+
+/// Cap on the exponential sleep, microseconds. Bounded low: a parked
+/// owner whose deque just received routed work must come back quickly,
+/// or the affinity routing would lengthen the critical path.
+const MAX_PARK_US: u64 = 64;
+
+/// Per-worker counters of one dataflow run, surfaced as a
+/// [`WorkerRecord`] at `Trace` detail.
+#[derive(Clone, Copy, Default)]
+struct WorkerStats {
+    busy_ns: u64,
+    blocks: u64,
+    steals: u64,
+    steal_dist: u64,
+    fused: u64,
+}
+
+/// The process-default machine model (the paper's evaluation platform);
+/// used when a pool is built without an explicit [`Machine`].
+fn default_machine() -> Arc<Machine> {
+    static MODEL: OnceLock<Arc<Machine>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| Arc::new(xeon_6152_dual())))
+}
+
 /// A scoped thread pool executing wavefront schedules.
 #[derive(Clone, Debug)]
 pub struct WavefrontPool {
     threads: usize,
     obs: Obs,
     scheduler: Scheduler,
+    machine: Arc<Machine>,
 }
 
 impl WavefrontPool {
@@ -69,18 +107,36 @@ impl WavefrontPool {
         Self::with_opts(threads, obs, Scheduler::Levels)
     }
 
-    /// Creates a pool with an explicit scheduler mode.
+    /// Creates a pool with an explicit scheduler mode, on the default
+    /// machine model.
     pub fn with_opts(threads: usize, obs: Obs, scheduler: Scheduler) -> Self {
+        Self::with_machine(threads, obs, scheduler, default_machine())
+    }
+
+    /// Creates a pool whose steal order and coarsening grain derive
+    /// from an explicit [`Machine`] topology.
+    pub fn with_machine(
+        threads: usize,
+        obs: Obs,
+        scheduler: Scheduler,
+        machine: Arc<Machine>,
+    ) -> Self {
         WavefrontPool {
             threads: threads.max(1),
             obs,
             scheduler,
+            machine,
         }
     }
 
     /// Number of workers.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The machine topology this pool schedules against.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
     }
 
     /// The observability collector this pool reports into.
@@ -182,16 +238,20 @@ impl WavefrontPool {
                 }
             }
             merge(state);
-            self.flush_levels(level_records);
+            self.flush_levels(1, level_records);
             return outcome;
         }
         if schedule.num_blocks() == 0 {
             // Nothing to run: spawn no workers, merge no states.
-            self.flush_levels(level_records);
+            self.flush_levels(self.threads, level_records);
             return Ok(());
         }
 
-        let threads = self.threads;
+        // Workers beyond the widest level would only ever wait at
+        // barriers — clamp to the schedule's actual width.
+        let max_width = schedule.levels().map(|l| l.len()).max().unwrap_or(1);
+        let threads = self.threads.min(max_width.max(1));
+        let n_total = schedule.num_blocks();
         let init = &init;
         let work = &work;
         // One checker per level, shared by all workers of that level
@@ -224,10 +284,6 @@ impl WavefrontPool {
                 if level.is_empty() {
                     continue;
                 }
-                let chunk = level.len().div_ceil(threads);
-                let part = level
-                    .get(w * chunk..level.len().min((w + 1) * chunk))
-                    .unwrap_or(&[]);
                 let t0 = if record && w == 0 {
                     let t0 = Some(Instant::now());
                     // Start alignment: no peer enters the level before
@@ -244,7 +300,19 @@ impl WavefrontPool {
                 let w0 = detail.then(Instant::now);
                 let mut done = 0u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
-                    for &b in part {
+                    // Stable worker↔tile affinity: worker `w` executes
+                    // the blocks of its contiguous flat-index shard in
+                    // *every* level and every sweep. The per-level
+                    // membership varies, but a given block (and its
+                    // cache lines, and its recurrence-stripe neighbors)
+                    // always belongs to the same worker — unlike
+                    // chunking each level afresh, which reshuffled
+                    // blocks across workers between levels and trashed
+                    // private caches.
+                    for &b in level {
+                        if shard_owner(b, n_total, threads) != w {
+                            continue;
+                        }
                         done += 1;
                         let _wg = checkers[index].guard(b);
                         work(&mut state, b)?;
@@ -311,7 +379,7 @@ impl WavefrontPool {
                                 workers.push(WorkerRecord {
                                     busy_ns,
                                     blocks,
-                                    steals: 0,
+                                    ..WorkerRecord::default()
                                 });
                             }
                         }
@@ -331,28 +399,29 @@ impl WavefrontPool {
         if let Some(payload) = panic_slot.into_inner().unwrap() {
             resume_unwind(payload);
         }
-        self.flush_levels(level_records);
+        self.flush_levels(threads, level_records);
         match first_err.into_inner().unwrap() {
             Some((_, _, e)) => Err(e),
             None => Ok(()),
         }
     }
 
+    /// The coarsening grain for `graph` under this pool's machine model
+    /// and worker count.
+    fn grain_for(&self, graph: &BlockGraph) -> usize {
+        let inner = graph.grid().last().copied().unwrap_or(1);
+        self.machine.dataflow_grain(graph.num_blocks(), inner, self.threads)
+    }
+
     /// Executes a fallible `work` closure over every block of `graph`
     /// in dataflow order: each block runs as soon as all its
     /// predecessors have finished, with no level barriers.
     ///
-    /// Worker `w` owns a deque of ready blocks. Finishing a block
-    /// decrements each successor's in-degree (`fetch_sub(1, AcqRel)`);
-    /// the worker that takes an in-degree to zero owns the newly-ready
-    /// successor — the lexicographically smallest one is kept in hand
-    /// and executed next (locality), the rest go onto the worker's
-    /// deque. An idle worker first drains its own deque from the back,
-    /// then steals from the front of its peers' deques, and parks only
-    /// when every block has retired. The atomic read-modify-write chain
-    /// on the in-degree carries the happens-before edge from every
-    /// predecessor's buffer writes to the successor's execution,
-    /// replacing the level barrier (DESIGN.md §4g).
+    /// The graph is first coarsened into a [`TaskGraph`] at the
+    /// machine-derived grain; prefer
+    /// [`try_execute_bundle`](Self::try_execute_bundle) when a
+    /// [`ScheduleBundle`] is at hand (it memoizes the coarsened graph
+    /// across sweeps).
     ///
     /// State and merge semantics match
     /// [`try_execute_stateful`](Self::try_execute_stateful); under
@@ -367,6 +436,71 @@ impl WavefrontPool {
     pub fn try_execute_dataflow<S, E, I, W, M>(
         &self,
         graph: &BlockGraph,
+        init: I,
+        work: W,
+        merge: M,
+    ) -> Result<(), E>
+    where
+        S: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize) -> Result<(), E> + Sync,
+        M: FnMut(S),
+    {
+        let tasks = TaskGraph::build(graph, self.grain_for(graph));
+        self.try_execute_tasks(graph, &tasks, init, work, merge)
+    }
+
+    /// Dataflow execution through a [`ScheduleBundle`]: like
+    /// [`try_execute_dataflow`](Self::try_execute_dataflow) but the
+    /// coarsened task graph comes from the bundle's per-grain memo, so
+    /// solver iterations re-running the same schedule do not rebuild it.
+    ///
+    /// # Errors
+    /// Returns the first observed error produced by `work`.
+    pub fn try_execute_bundle<S, E, I, W, M>(
+        &self,
+        bundle: &ScheduleBundle,
+        init: I,
+        work: W,
+        merge: M,
+    ) -> Result<(), E>
+    where
+        S: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize) -> Result<(), E> + Sync,
+        M: FnMut(S),
+    {
+        let tasks = bundle.task_graph(self.grain_for(&bundle.graph));
+        self.try_execute_tasks(&bundle.graph, &tasks, init, work, merge)
+    }
+
+    /// The dataflow engine proper, over a coarsened task partition.
+    ///
+    /// Worker `w` owns a deque of ready *tasks* (each a chain of up to
+    /// `grain` consecutive blocks, executed in ascending flat order).
+    /// Finishing a task decrements each successor task's in-degree
+    /// (`fetch_sub(1, AcqRel)`); the worker that takes an in-degree to
+    /// zero routes the newly-ready task: the first one is kept in hand
+    /// (work-first — never go idle while shipping work away; it is also
+    /// the lexicographically smallest, whose recurrence stripe this
+    /// worker just touched), surplus tasks go to their *owner*'s deque,
+    /// where ownership is the stable contiguous shard map
+    /// ([`shard_owner`]) that also seeded the roots. An idle worker
+    /// first drains its own deque from the back (LIFO keeps the
+    /// footprint warm), then steals from the front of its peers' deques
+    /// in the machine's NUMA-near-first rotated order, then backs off —
+    /// [`SPIN_ROUNDS`] yields, then exponential sleep capped at
+    /// [`MAX_PARK_US`] — until every task has retired. The atomic
+    /// read-modify-write chain on the in-degree carries the
+    /// happens-before edge from every predecessor's buffer writes to
+    /// the successor's execution, replacing the level barrier
+    /// (DESIGN.md §4g).
+    fn try_execute_tasks<S, E, I, W, M>(
+        &self,
+        graph: &BlockGraph,
+        tasks: &TaskGraph,
         init: I,
         work: W,
         mut merge: M,
@@ -408,93 +542,130 @@ impl WavefrontPool {
                     n,
                     t0.elapsed().as_nanos() as u64,
                     detail.then(|| {
-                        vec![(
-                            t0.elapsed().as_nanos() as u64,
-                            done,
-                            0u64,
-                        )]
+                        vec![WorkerStats {
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                            blocks: done,
+                            ..WorkerStats::default()
+                        }]
                     }),
                 );
             }
             return outcome;
         }
 
-        // No point spawning more workers than blocks: the surplus would
+        // No point spawning more workers than tasks: the surplus would
         // only spin on empty deques until the run retires.
-        let threads = self.threads.min(n);
-        let indeg: Vec<AtomicU32> = (0..n).map(|b| AtomicU32::new(graph.in_degree(b))).collect();
-        let remaining = AtomicUsize::new(n);
+        let n_tasks = tasks.num_tasks();
+        let threads = self.threads.min(n_tasks);
+        let indeg: Vec<AtomicU32> =
+            (0..n_tasks).map(|t| AtomicU32::new(tasks.in_degree(t))).collect();
+        let remaining = AtomicUsize::new(n_tasks);
         let deques: Vec<Mutex<std::collections::VecDeque<u32>>> = (0..threads)
             .map(|_| Mutex::new(std::collections::VecDeque::new()))
             .collect();
-        for (i, r) in graph.roots().into_iter().enumerate() {
-            deques[i % threads].lock().unwrap().push_back(r);
+        // Seed each worker's deque with its own contiguous shard of the
+        // ready roots (task indices ascend with flat block order, so
+        // shard neighbors are lexicographic neighbors).
+        for r in tasks.roots() {
+            deques[shard_owner(r as usize, n_tasks, threads)]
+                .lock()
+                .unwrap()
+                .push_back(r);
         }
+        // NUMA-near-first rotated peer scan per worker, from the model.
+        let steal_orders: Vec<Vec<usize>> =
+            (0..threads).map(|w| self.machine.steal_order(w, threads)).collect();
         let abort = AtomicBool::new(false);
         let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
         let first_err: Mutex<Option<E>> = Mutex::new(None);
         let init = &init;
         let work = &work;
         let checker = &checker;
+        let steal_orders = &steal_orders;
 
-        let worker_loop = |w: usize| -> (S, u64, u64, u64) {
+        let worker_loop = |w: usize| -> (S, WorkerStats) {
             let mut state = init();
             let mut my_next: Option<u32> = None;
-            let (mut busy_ns, mut blocks, mut steals) = (0u64, 0u64, 0u64);
+            let mut st = WorkerStats::default();
+            let mut idle_rounds = 0u32;
             loop {
                 if abort.load(Ordering::Acquire) {
                     break;
                 }
-                // Local first: the block kept in hand, then the back of
+                // Local first: the task kept in hand, then the back of
                 // the own deque (LIFO keeps the footprint warm).
-                let mut block = my_next
+                let mut task = my_next
                     .take()
                     .or_else(|| deques[w].lock().unwrap().pop_back());
-                if block.is_none() {
+                if task.is_none() {
                     // Steal from the front of a peer's deque (FIFO:
-                    // take the work its owner would reach last).
-                    for other in (w + 1..threads).chain(0..w) {
-                        if let Some(b) = deques[other].lock().unwrap().pop_front() {
-                            steals += 1;
-                            block = Some(b);
+                    // take the work its owner would reach last),
+                    // nearest peers first.
+                    for (dist, &other) in steal_orders[w].iter().enumerate() {
+                        if let Some(t) = deques[other].lock().unwrap().pop_front() {
+                            st.steals += 1;
+                            st.steal_dist += dist as u64 + 1;
+                            task = Some(t);
                             break;
                         }
                     }
                 }
-                let Some(b) = block else {
+                let Some(t) = task else {
                     if remaining.load(Ordering::Acquire) == 0 {
                         break;
                     }
-                    thread::yield_now();
+                    // Bounded spin, then exponential backoff: an empty
+                    // scan means the pipeline is momentarily narrower
+                    // than the pool, and hammering peer deque locks
+                    // only slows the workers that do hold work.
+                    idle_rounds += 1;
+                    if idle_rounds <= SPIN_ROUNDS {
+                        thread::yield_now();
+                    } else {
+                        let exp = u64::from(idle_rounds - SPIN_ROUNDS).min(6);
+                        thread::sleep(Duration::from_micros((1 << exp).min(MAX_PARK_US)));
+                    }
                     continue;
                 };
-                let b = b as usize;
+                idle_rounds = 0;
+                let t = t as usize;
+                let range = tasks.blocks_of(t);
+                let chain = range.len() as u64;
                 let t0 = detail.then(Instant::now);
+                let mut ran = 0u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
-                    let _wg = checker.guard(b);
-                    work(&mut state, b)
+                    for b in range {
+                        let _wg = checker.guard(b);
+                        work(&mut state, b)?;
+                        ran += 1;
+                    }
+                    Ok(())
                 }));
                 match outcome {
                     Ok(Ok(())) => {
                         if let Some(t0) = t0 {
-                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            st.busy_ns += t0.elapsed().as_nanos() as u64;
                         }
-                        blocks += 1;
-                        // Successors are ascending, so the first one this
+                        st.blocks += ran;
+                        st.fused += chain - 1;
+                        // Successors ascend, so the first task this
                         // worker readies is the lexicographically
-                        // smallest — keep it in hand for locality.
-                        for &s in graph.successors(b) {
+                        // smallest — keep it in hand (work-first);
+                        // route the surplus to its owning worker.
+                        for &s in tasks.successors(t) {
                             if indeg[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 if my_next.is_none() {
                                     my_next = Some(s);
                                 } else {
-                                    deques[w].lock().unwrap().push_back(s);
+                                    let owner = shard_owner(s as usize, n_tasks, threads);
+                                    deques[owner].lock().unwrap().push_back(s);
                                 }
                             }
                         }
                         remaining.fetch_sub(1, Ordering::Release);
                     }
                     Ok(Err(e)) => {
+                        st.blocks += ran;
                         let mut slot = first_err.lock().unwrap();
                         if slot.is_none() {
                             *slot = Some(e);
@@ -502,6 +673,7 @@ impl WavefrontPool {
                         abort.store(true, Ordering::Release);
                     }
                     Err(payload) => {
+                        st.blocks += ran;
                         let mut slot = panic_slot.lock().unwrap();
                         if slot.is_none() {
                             *slot = Some(payload);
@@ -510,11 +682,11 @@ impl WavefrontPool {
                     }
                 }
             }
-            (state, busy_ns, blocks, steals)
+            (state, st)
         };
 
         let t0 = record.then(Instant::now);
-        let mut results: Vec<(S, u64, u64, u64)> = Vec::with_capacity(threads);
+        let mut results: Vec<(S, WorkerStats)> = Vec::with_capacity(threads);
         thread::scope(|s| {
             let handles: Vec<_> = (1..threads)
                 .map(|w| s.spawn(move || worker_loop(w)))
@@ -525,8 +697,7 @@ impl WavefrontPool {
             }
         });
         let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-        let workers =
-            detail.then(|| results.iter().map(|&(_, b, n, s)| (b, n, s)).collect::<Vec<_>>());
+        let workers = detail.then(|| results.iter().map(|&(_, st)| st).collect::<Vec<_>>());
         for (state, ..) in results {
             merge(state);
         }
@@ -549,15 +720,17 @@ impl WavefrontPool {
         threads: usize,
         blocks: usize,
         wall_ns: u64,
-        workers: Option<Vec<(u64, u64, u64)>>,
+        workers: Option<Vec<WorkerStats>>,
     ) {
         let workers = workers
             .unwrap_or_default()
             .into_iter()
-            .map(|(busy_ns, blocks, steals)| WorkerRecord {
-                busy_ns,
-                blocks,
-                steals,
+            .map(|st| WorkerRecord {
+                busy_ns: st.busy_ns,
+                blocks: st.blocks,
+                steals: st.steals,
+                steal_dist: st.steal_dist,
+                fused: st.fused,
             })
             .collect();
         self.obs.record_wavefronts(WavefrontRecord {
@@ -591,7 +764,7 @@ impl WavefrontPool {
                 .map(|blocks| WorkerRecord {
                     busy_ns: wall_ns,
                     blocks,
-                    steals: 0,
+                    ..WorkerRecord::default()
                 })
                 .collect()
         } else {
@@ -607,10 +780,11 @@ impl WavefrontPool {
 
     /// Publishes the accumulated per-level records as one
     /// [`WavefrontRecord`] (no-op when nothing was recorded).
-    fn flush_levels(&self, levels: Vec<LevelRecord>) {
+    /// `threads` is the *effective* worker count after the width clamp.
+    fn flush_levels(&self, threads: usize, levels: Vec<LevelRecord>) {
         if self.obs.enabled() {
             self.obs.record_wavefronts(WavefrontRecord {
-                threads: self.threads,
+                threads,
                 scheduler: Scheduler::Levels.name().to_owned(),
                 levels,
             });
@@ -880,6 +1054,74 @@ mod tests {
             )
             .unwrap();
         assert!(ran >= 1);
+    }
+
+    #[test]
+    fn dataflow_fuses_chains_and_counts_blocks_not_tasks() {
+        // 6x6 grid at 4 threads under the default machine model:
+        // grain = (36 / (4*4)).clamp(1, 6) = 2, row-clipped into 18
+        // tasks of 2 blocks each. The `blocks` counters must keep
+        // counting *blocks* and the fusion savings must be attributed
+        // to `fused`.
+        let obs = Obs::new(instencil_obs::ObsLevel::Trace);
+        let graph = BlockGraph::build(&[6, 6], &[vec![-1i64, 0], vec![0, -1]]);
+        let pool = WavefrontPool::with_opts(4, obs.clone(), Scheduler::Dataflow);
+        assert_eq!(pool.grain_for(&graph), 2);
+        let count = AtomicUsize::new(0);
+        pool.try_execute_dataflow(
+            &graph,
+            || (),
+            |(), _| {
+                count.fetch_add(1, Ordering::SeqCst);
+                Ok::<(), ()>(())
+            },
+            |()| {},
+        )
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 36);
+        let rec = obs.snapshot();
+        let w = &rec.wavefronts[0];
+        let blocks: u64 = w.levels[0].workers.iter().map(|x| x.blocks).sum();
+        let fused: u64 = w.levels[0].workers.iter().map(|x| x.fused).sum();
+        let steals: u64 = w.levels[0].workers.iter().map(|x| x.steals).sum();
+        let dist: u64 = w.levels[0].workers.iter().map(|x| x.steal_dist).sum();
+        assert_eq!(blocks, 36, "counters count blocks, not tasks");
+        assert_eq!(fused, 18, "36 blocks over 18 two-block tasks");
+        assert!(dist >= steals, "every steal travels distance >= 1");
+    }
+
+    #[test]
+    fn bundle_execution_matches_dataflow_and_respects_deps() {
+        let deps = vec![vec![-1i64, 0], vec![0, -1]];
+        let bundle = instencil_pattern::dataflow::schedule_bundle(&[5, 5], &deps);
+        for threads in [1usize, 2, 4, 8] {
+            let clock = AtomicUsize::new(0);
+            let starts: Vec<AtomicUsize> = (0..25).map(|_| AtomicUsize::new(0)).collect();
+            let ends: Vec<AtomicUsize> = (0..25).map(|_| AtomicUsize::new(0)).collect();
+            let mut total = 0usize;
+            WavefrontPool::new(threads)
+                .try_execute_bundle(
+                    &bundle,
+                    || 0usize,
+                    |count, b| {
+                        starts[b].store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                        *count += b + 1;
+                        ends[b].store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                        Ok::<(), ()>(())
+                    },
+                    |count| total += count,
+                )
+                .unwrap();
+            assert_eq!(total, 325, "threads={threads}");
+            for (b, start) in starts.iter().enumerate() {
+                for &p in bundle.graph.predecessors(b) {
+                    assert!(
+                        ends[p as usize].load(Ordering::SeqCst) < start.load(Ordering::SeqCst),
+                        "threads={threads}: pred {p} still running when {b} started"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1487,10 +1487,12 @@ pub(crate) fn run_probe(probe: &[ProbeOp], regs: &mut crate::bytecode::Regs) -> 
 }
 
 /// Recognizes a specializable innermost loop body and builds its
-/// [`RunSpec`]. Returns `None` when the body uses anything outside the
-/// straight-line stencil subset — nested control flow, vector ops,
-/// comparisons/selects, allocation, view construction, float-typed
-/// induction values, or index arithmetic that is not affine in `iv`.
+/// [`RunSpec`]. Declines — with a reason suitable for a
+/// `runspec-decline` observability event — when the body uses anything
+/// outside the straight-line stencil subset: nested control flow,
+/// vector ops, comparisons/selects, allocation, view construction,
+/// float-typed induction values, or index arithmetic that is not
+/// affine in `iv`.
 ///
 /// Affinity tracking: integer registers are *linear* (affine in `iv`)
 /// or *invariant*. `iv` is linear; registers defined outside the body
@@ -1500,9 +1502,22 @@ pub(crate) fn run_probe(probe: &[ProbeOp], regs: &mut crate::bytecode::Regs) -> 
 /// registers may be either class — the probe resolves their values —
 /// but linearity is what justifies probing only two iterations and
 /// bounds-checking only the run endpoints.
-pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
+pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
     if !tape.term.is_empty() {
-        return None;
+        return Err("body yields loop-carried values");
+    }
+    // Classify nested control flow up front, whatever else the tape
+    // holds: an outer tile loop clamps its bounds (min/max on the
+    // induction value) *before* its nested `For` appears on the tape,
+    // and blaming the clamp would misname every outer loop of a nest
+    // as a non-affine-arithmetic decline.
+    if tape.code.iter().any(|i| {
+        matches!(
+            i,
+            Instr::For { .. } | Instr::If { .. } | Instr::ParallelLoop { .. } | Instr::Wavefronts { .. }
+        )
+    }) {
+        return Err("nested control flow");
     }
     let mut probe_code: Vec<ProbeOp> = Vec::new();
     let mut probe_iv_code: Vec<ProbeOp> = Vec::new();
@@ -1522,7 +1537,7 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
 
     for instr in &tape.code {
         if ops.len() >= u16::MAX as usize || n_acc == u16::MAX {
-            return None;
+            return Err("op count exceeds the u16 stream budget");
         }
         match instr {
             Instr::ConstF { dst, v } => probe_code.push(ProbeOp::CF { dst: *dst, v: *v }),
@@ -1547,7 +1562,7 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
                 if lin.contains(src) {
                     // A float that varies per point without going through
                     // memory — outside the stencil subset.
-                    return None;
+                    return Err("per-point int-to-float conversion");
                 }
                 probe_code.push(ProbeOp::S2F {
                     dst: *dst,
@@ -1562,13 +1577,13 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
                     IOp::Add | IOp::Sub => la || lb,
                     IOp::Mul => {
                         if la && lb {
-                            return None;
+                            return Err("index arithmetic quadratic in the induction value");
                         }
                         la || lb
                     }
                     IOp::FloorDiv | IOp::CeilDiv | IOp::Rem | IOp::Min | IOp::Max => {
                         if la || lb {
-                            return None;
+                            return Err("non-affine index arithmetic on the induction value");
                         }
                         false
                     }
@@ -1635,11 +1650,38 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
                 });
                 n_acc += 1;
             }
-            _ => return None,
+            // Outside the straight-line scalar subset. The class matters
+            // for diagnostics: vector-shaped bodies are the ones worth
+            // flagging loudly, since the whole point of specialization
+            // is to beat dispatch on exactly those dense inner loops.
+            Instr::ConstV { .. }
+            | Instr::BinV { .. }
+            | Instr::UnV { .. }
+            | Instr::FmaV { .. }
+            | Instr::SelV { .. }
+            | Instr::VLoad { .. }
+            | Instr::VStore { .. }
+            | Instr::VExtract { .. }
+            | Instr::VBroadcast { .. } => return Err("vector ops in body"),
+            Instr::For { .. }
+            | Instr::If { .. }
+            | Instr::ParallelLoop { .. }
+            | Instr::Wavefronts { .. } => return Err("nested control flow"),
+            Instr::CmpI { .. } | Instr::CmpF { .. } | Instr::SelF { .. } | Instr::SelI { .. } => {
+                return Err("compare/select in body")
+            }
+            Instr::Call { .. } => return Err("call in body"),
+            Instr::Alloc { .. }
+            | Instr::Subview { .. }
+            | Instr::ShiftView { .. }
+            | Instr::CopyBuf { .. }
+            | Instr::GetParallelBlocks { .. } => {
+                return Err("allocation or view construction in body")
+            }
         }
     }
     if stores == 0 {
-        return None;
+        return Err("no stores in body");
     }
     let idx_regs: Vec<u32> = ops
         .iter()
@@ -1648,7 +1690,7 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Option<RunSpec> {
             _ => [].iter().copied(),
         })
         .collect();
-    Some(RunSpec {
+    Ok(RunSpec {
         probe: probe_code.into(),
         probe_iv: probe_iv_code.into(),
         ops: ops.into(),

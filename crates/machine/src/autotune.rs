@@ -152,7 +152,15 @@ pub fn autotune_traced(
             );
             continue;
         }
-        for factor in [1usize, 2, 4, 8] {
+        // The sub-domain factor set scales with the resolved thread
+        // count: at 1-2 workers there is nothing to feed, so coarser
+        // unions (×16, ×32) that amortize per-block scheduling
+        // overhead become viable candidates too.
+        let mut factors = vec![1usize, 2, 4, 8];
+        if threads <= 2 {
+            factors.extend([16, 32]);
+        }
+        for factor in factors {
             let subdomain: Vec<usize> = tile
                 .iter()
                 .zip(&proto.domain)
@@ -178,7 +186,12 @@ pub fn autotune_traced(
                 .zip(&subdomain)
                 .map(|(&n, &s)| n.div_ceil(s))
                 .product();
-            if grid < threads {
+            // One block per worker is not enough: wavefronts over a
+            // `grid == threads` partition are ragged, so most workers
+            // idle at the start and end of every sweep. Demand 2x
+            // slack when there is any parallelism to keep fed.
+            let min_grid = if threads > 1 { threads * 2 } else { 1 };
+            if grid < min_grid {
                 record(&mut table, candidate(None, "skip-grid-threads"));
                 continue;
             }
@@ -338,6 +351,35 @@ mod tests {
             .map(|(&n, &s)| n.div_ceil(s))
             .product();
         assert!(grid >= 44);
+    }
+
+    #[test]
+    fn candidate_set_scales_with_thread_count() {
+        use instencil_obs::ObsLevel;
+        let m = xeon_6152_dual();
+        let p = presets::gauss_seidel_5pt();
+        let trace_for = |threads: usize| {
+            let obs = Obs::new(ObsLevel::Trace);
+            let tuned = autotune_traced(&m, &p, &proto(vec![2000, 2000]), threads, &obs).unwrap();
+            (tuned, obs.snapshot().autotune.remove(0))
+        };
+        // One worker enumerates the extra coarse factors (x16, x32).
+        let (_, t1) = trace_for(1);
+        let (tuned8, t8) = trace_for(8);
+        assert!(
+            t1.candidates.len() > t8.candidates.len(),
+            "1 thread: {} candidates, 8 threads: {}",
+            t1.candidates.len(),
+            t8.candidates.len()
+        );
+        // Any multi-thread winner carries 2x sub-domain slack so ragged
+        // wavefront edges cannot idle most of the pool.
+        let grid: usize = [2000usize, 2000]
+            .iter()
+            .zip(&tuned8.subdomain)
+            .map(|(&n, &s)| n.div_ceil(s))
+            .product();
+        assert!(grid >= 16, "winner grid {grid} must be >= 2x threads");
     }
 
     #[test]

@@ -274,7 +274,11 @@ pub fn estimate_sweep_dataflow(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
     let block_points = points / n as f64;
     let block_compute = block_points * compute_pp;
     let block_bytes = block_points * bytes_pp;
-    let task_overhead = DATAFLOW_TASK_CYCLES * m.cycle_s();
+    // The executor fuses chains of `grain` consecutive blocks into one
+    // task (same [`Machine::dataflow_grain`] the pool uses), so the
+    // deque/in-degree bookkeeping is paid once per task, not per block.
+    let grain = m.dataflow_grain(n, grid.last().copied().unwrap_or(1), threads);
+    let task_overhead = DATAFLOW_TASK_CYCLES * m.cycle_s() / grain as f64;
 
     // Critical-path depth of every block (= its wavefront level) and the
     // width of each level. A block's bandwidth share is the aggregate

@@ -102,15 +102,25 @@ pub struct EventRecord {
 
 /// Timing of one worker's chunk within one wavefront level (or, under
 /// the dataflow scheduler, of one worker's whole run).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorkerRecord {
     /// Time the worker spent executing its blocks, nanoseconds.
     pub busy_ns: u64,
     /// Blocks the worker executed.
     pub blocks: u64,
-    /// Blocks this worker stole from another worker's deque (always 0
-    /// under the levels scheduler, whose chunks are static).
+    /// Tasks this worker stole from another worker's deque (always 0
+    /// under the levels scheduler, whose shards are static).
     pub steals: u64,
+    /// Total steal distance: the sum, over this worker's steals, of the
+    /// victim's 1-based position in the thief's NUMA-near-first scan
+    /// order. `steal_dist / steals` near 1 means steals stayed on
+    /// adjacent workers (same NUMA node under the machine model);
+    /// larger ratios mean work crossed the topology.
+    pub steal_dist: u64,
+    /// Blocks this worker executed as a coarsened chain mate — i.e.
+    /// `blocks` minus the number of scheduled tasks. 0 when the fusion
+    /// grain is 1 (every task is a single block).
+    pub fused: u64,
 }
 
 /// Timing of one wavefront level (one barrier-to-barrier region).

@@ -96,9 +96,15 @@ pub struct WorkerSummary {
     pub idle_ns: u64,
     /// Mean blocks executed per sweep.
     pub blocks: u64,
-    /// Mean blocks stolen from other workers per sweep (dataflow
+    /// Mean tasks stolen from other workers per sweep (dataflow
     /// scheduler only; 0 under levels).
     pub steals: u64,
+    /// Mean total steal distance per sweep (see
+    /// [`instencil_obs` `WorkerRecord::steal_dist`](crate::WorkerRecord::steal_dist)).
+    pub steal_dist: u64,
+    /// Mean blocks per sweep executed as coarsened chain mates (see
+    /// [`WorkerRecord::fused`](crate::WorkerRecord::fused)).
+    pub fused: u64,
 }
 
 /// One wavefront level, aggregated across sweeps.
@@ -338,6 +344,14 @@ impl RunReport {
                                                                 "steals".into(),
                                                                 Json::num(w.steals as f64),
                                                             ),
+                                                            (
+                                                                "steal_dist".into(),
+                                                                Json::num(w.steal_dist as f64),
+                                                            ),
+                                                            (
+                                                                "fused".into(),
+                                                                Json::num(w.fused as f64),
+                                                            ),
                                                         ])
                                                     })
                                                     .collect(),
@@ -499,11 +513,16 @@ impl RunReport {
                     .iter()
                     .map(|w| {
                         let stolen = if w.steals > 0 {
-                            format!("(+{} stolen)", w.steals)
+                            format!("(+{} stolen, dist {})", w.steals, w.steal_dist)
                         } else {
                             String::new()
                         };
-                        format!("{}/{}{stolen}", fmt_ns(w.busy_ns), fmt_ns(w.idle_ns))
+                        let fused = if w.fused > 0 {
+                            format!("(~{} fused)", w.fused)
+                        } else {
+                            String::new()
+                        };
+                        format!("{}/{}{stolen}{fused}", fmt_ns(w.busy_ns), fmt_ns(w.idle_ns))
                     })
                     .collect::<Vec<_>>()
                     .join(" ");
@@ -660,16 +679,20 @@ fn build_wavefronts(rec: &Recorded) -> Vec<WavefrontGroup> {
                                 .map(|m| m.levels[li].workers.get(wi).map_or(0, |w| w.blocks))
                                 .sum::<u64>()
                                 / sweeps as u64;
-                            let steals = members
-                                .iter()
-                                .map(|m| m.levels[li].workers.get(wi).map_or(0, |w| w.steals))
-                                .sum::<u64>()
-                                / sweeps as u64;
+                            let mean_of = |f: &dyn Fn(&crate::WorkerRecord) -> u64| {
+                                members
+                                    .iter()
+                                    .map(|m| m.levels[li].workers.get(wi).map_or(0, f))
+                                    .sum::<u64>()
+                                    / sweeps as u64
+                            };
                             WorkerSummary {
                                 busy_ns,
                                 idle_ns: wall_ns.saturating_sub(busy_ns),
                                 blocks,
-                                steals,
+                                steals: mean_of(&|w| w.steals),
+                                steal_dist: mean_of(&|w| w.steal_dist),
+                                fused: mean_of(&|w| w.fused),
                             }
                         })
                         .collect();
@@ -820,12 +843,12 @@ mod tests {
                         WorkerRecord {
                             busy_ns: 90,
                             blocks: 2,
-                            steals: 0,
+                            ..WorkerRecord::default()
                         },
                         WorkerRecord {
                             busy_ns: 30,
                             blocks: 2,
-                            steals: 0,
+                            ..WorkerRecord::default()
                         },
                     ],
                 }],
@@ -861,6 +884,8 @@ mod tests {
                         busy_ns: 40,
                         blocks: 6,
                         steals: if scheduler == "dataflow" { 3 } else { 0 },
+                        steal_dist: if scheduler == "dataflow" { 4 } else { 0 },
+                        fused: if scheduler == "dataflow" { 2 } else { 0 },
                     }],
                 }],
             });
@@ -873,14 +898,25 @@ mod tests {
             .find(|g| g.scheduler == "dataflow")
             .unwrap();
         assert_eq!(df.levels[0].workers[0].steals, 3);
+        assert_eq!(df.levels[0].workers[0].steal_dist, 4);
+        assert_eq!(df.levels[0].workers[0].fused, 2);
         let text = report.to_json().to_string();
         validate_report_json(&text).unwrap();
         let doc = Json::parse(&text).unwrap();
         let groups = doc.get("wavefronts").unwrap().as_arr().unwrap();
-        assert!(groups
+        let df_json = groups
             .iter()
-            .any(|g| g.get("scheduler").and_then(Json::as_str) == Some("dataflow")));
-        assert!(report.to_text().contains("(+3 stolen)"));
+            .find(|g| g.get("scheduler").and_then(Json::as_str) == Some("dataflow"))
+            .expect("dataflow group in JSON");
+        let worker = &df_json.get("levels").unwrap().as_arr().unwrap()[0]
+            .get("workers")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        assert_eq!(worker.get("steal_dist").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(worker.get("fused").and_then(Json::as_f64), Some(2.0));
+        assert!(report.to_text().contains("(+3 stolen, dist 4)"));
+        assert!(report.to_text().contains("(~2 fused)"));
     }
 
     #[test]

@@ -190,6 +190,152 @@ impl BlockGraph {
     }
 }
 
+/// Stable contiguous shard map: which of `workers` workers owns item
+/// `i` of `n`. Consecutive flat indices land on the same worker (shards
+/// are contiguous ranges of near-equal size), so lexicographic
+/// neighbors — which share recurrence stripes and cache lines — stay on
+/// one core across levels and sweeps. This is the worker↔tile affinity
+/// map used for both deque seeding and successor routing.
+pub fn shard_owner(i: usize, n: usize, workers: usize) -> usize {
+    debug_assert!(i < n && workers > 0);
+    (i * workers) / n
+}
+
+/// A coarsened view of a [`BlockGraph`]: consecutive blocks of one
+/// innermost grid row fuse into a single scheduled *task*, executed
+/// in ascending flat order.
+///
+/// Fusing contiguous flat ranges is dependence-safe by construction.
+/// Every dependence offset is lexicographically negative, so all edges
+/// run from a lower flat index to a higher one: edges *inside* a task's
+/// range are honored by the task's ascending execution order, and edges
+/// *between* tasks always point from a lower-ranged task to a
+/// higher-ranged one — the task graph inherits acyclicity, and its
+/// edge set relaxes nothing (a task waits for *all* of a predecessor
+/// task, a superset of the block-level happens-before edges). Results
+/// and per-block statistics are therefore bit-identical to block-level
+/// execution; only scheduling overhead changes — one atomic in-degree
+/// round and one deque transaction per `grain` blocks instead of per
+/// block, which is what rescues wavefront-poor workloads whose blocks
+/// are individually cheaper than their bookkeeping.
+#[derive(Debug)]
+pub struct TaskGraph {
+    /// Blocks of task `t` are the flat range
+    /// `task_ptr[t]..task_ptr[t + 1]` (contiguous, row-clipped).
+    task_ptr: Vec<u32>,
+    /// CSR successor lists over tasks, ascending.
+    succ_ptr: Vec<usize>,
+    succ: Vec<u32>,
+    /// In-degree (distinct predecessor tasks) per task.
+    indeg: Vec<u32>,
+    /// The fusion grain the partition was built with.
+    grain: usize,
+}
+
+impl TaskGraph {
+    /// Partitions `graph` into tasks of up to `grain` consecutive
+    /// blocks, clipped at innermost-row boundaries, and contracts the
+    /// block edges onto the partition (deduplicated).
+    pub fn build(graph: &BlockGraph, grain: usize) -> Self {
+        let n = graph.num_blocks();
+        let inner = graph.grid().last().copied().unwrap_or(1).max(1);
+        let grain = grain.clamp(1, inner);
+        // Row-clipped contiguous partition: every row of `inner` blocks
+        // yields the same chunking, so task boundaries are periodic.
+        let mut task_ptr: Vec<u32> = Vec::with_capacity(n / grain + 2);
+        task_ptr.push(0);
+        let mut b = 0usize;
+        while b < n {
+            let row_end = (b / inner + 1) * inner;
+            b = (b + grain).min(row_end).min(n);
+            task_ptr.push(b as u32);
+        }
+        let n_tasks = task_ptr.len() - 1;
+        let tasks_per_row = inner.div_ceil(grain);
+        let task_of = |block: usize| -> usize {
+            (block / inner) * tasks_per_row + (block % inner) / grain
+        };
+
+        // Contract block edges onto tasks. Predecessor tasks of `t` are
+        // collected, sorted, deduplicated; the successor CSR then fills
+        // ascending because tasks are visited in ascending order.
+        let mut pred_tasks: Vec<Vec<u32>> = vec![Vec::new(); n_tasks];
+        for (t, preds) in pred_tasks.iter_mut().enumerate() {
+            for b in task_ptr[t] as usize..task_ptr[t + 1] as usize {
+                for &p in graph.predecessors(b) {
+                    let tp = task_of(p as usize);
+                    if tp != t {
+                        debug_assert!(tp < t, "contracted edges must stay forward");
+                        preds.push(tp as u32);
+                    }
+                }
+            }
+            preds.sort_unstable();
+            preds.dedup();
+        }
+        let mut out_deg = vec![0usize; n_tasks];
+        let mut indeg = vec![0u32; n_tasks];
+        for (t, preds) in pred_tasks.iter().enumerate() {
+            indeg[t] = preds.len() as u32;
+            for &tp in preds {
+                out_deg[tp as usize] += 1;
+            }
+        }
+        let mut succ_ptr = vec![0usize; n_tasks + 1];
+        for t in 0..n_tasks {
+            succ_ptr[t + 1] = succ_ptr[t] + out_deg[t];
+        }
+        let mut succ = vec![0u32; succ_ptr[n_tasks]];
+        let mut fill = succ_ptr.clone();
+        for (t, preds) in pred_tasks.iter().enumerate() {
+            for &tp in preds {
+                succ[fill[tp as usize]] = t as u32;
+                fill[tp as usize] += 1;
+            }
+        }
+        TaskGraph {
+            task_ptr,
+            succ_ptr,
+            succ,
+            indeg,
+            grain,
+        }
+    }
+
+    /// Number of tasks in the partition.
+    pub fn num_tasks(&self) -> usize {
+        self.task_ptr.len() - 1
+    }
+
+    /// The flat block range of task `t` (ascending execution order).
+    pub fn blocks_of(&self, t: usize) -> std::ops::Range<usize> {
+        self.task_ptr[t] as usize..self.task_ptr[t + 1] as usize
+    }
+
+    /// Successor tasks of `t`, ascending.
+    pub fn successors(&self, t: usize) -> &[u32] {
+        &self.succ[self.succ_ptr[t]..self.succ_ptr[t + 1]]
+    }
+
+    /// Number of distinct predecessor tasks of `t`.
+    pub fn in_degree(&self, t: usize) -> u32 {
+        self.indeg[t]
+    }
+
+    /// Tasks with no predecessor tasks, ascending.
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.num_tasks())
+            .filter(|&t| self.indeg[t] == 0)
+            .map(|t| t as u32)
+            .collect()
+    }
+
+    /// The fusion grain this partition was built with.
+    pub fn grain(&self) -> usize {
+        self.grain
+    }
+}
+
 /// Everything one `(grid, deps)` pair compiles to: the wavefront CSR in
 /// both its native and `i64` transport forms, plus the block dependence
 /// graph for dataflow execution. Computed once, shared via [`Arc`].
@@ -203,6 +349,25 @@ pub struct ScheduleBundle {
     pub csr: CsrWavefronts,
     /// The dependence graph the levels were derived from.
     pub graph: Arc<BlockGraph>,
+    /// Coarsened task partitions, memoized per fusion grain (the grain
+    /// depends on the executing pool's worker count, so one bundle can
+    /// serve several pools).
+    tasks: Mutex<Vec<(usize, Arc<TaskGraph>)>>,
+}
+
+impl ScheduleBundle {
+    /// The coarsened task partition of [`Self::graph`] for `grain`,
+    /// built on first use and memoized (solver iterations re-running
+    /// `cfd.execute_wavefronts` hit the memo).
+    pub fn task_graph(&self, grain: usize) -> Arc<TaskGraph> {
+        let mut memo = self.tasks.lock().unwrap();
+        if let Some((_, hit)) = memo.iter().find(|(g, _)| *g == grain) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(TaskGraph::build(&self.graph, grain));
+        memo.push((grain, Arc::clone(&built)));
+        built
+    }
 }
 
 /// Bound on cached `(grid, deps)` entries; on overflow the cache is
@@ -234,6 +399,7 @@ pub fn schedule_bundle(grid: &[usize], deps: &[Offset]) -> Arc<ScheduleBundle> {
         cols: Arc::new(cols),
         csr,
         graph: Arc::new(BlockGraph::build(grid, deps)),
+        tasks: Mutex::new(Vec::new()),
     });
     if map.len() >= CACHE_CAP {
         map.clear();
@@ -337,5 +503,86 @@ mod tests {
         let direct = WavefrontSchedule::compute(&grid, &deps).into_wavefronts();
         assert_eq!(bundle.csr.row_ptr(), direct.row_ptr());
         assert_eq!(bundle.csr.cols(), direct.cols());
+    }
+
+    #[test]
+    fn shard_owner_is_contiguous_and_balanced() {
+        let owners: Vec<usize> = (0..10).map(|i| shard_owner(i, 10, 4)).collect();
+        // Monotone non-decreasing (contiguous shards), covers all workers,
+        // and neighboring indices mostly share a worker.
+        assert!(owners.windows(2).all(|w| w[0] <= w[1] && w[1] - w[0] <= 1));
+        assert_eq!(owners[0], 0);
+        assert_eq!(*owners.last().unwrap(), 3);
+        for w in 0..4 {
+            let share = owners.iter().filter(|&&o| o == w).count();
+            assert!((2..=3).contains(&share), "worker {w} owns {share} of 10");
+        }
+    }
+
+    #[test]
+    fn task_graph_partitions_blocks_row_clipped() {
+        let g = BlockGraph::build(&[3, 5], &[vec![-1, 0], vec![0, -1]]);
+        let t = TaskGraph::build(&g, 2);
+        // Rows of 5 cut at grain 2: 2+2+1 per row, 3 rows = 9 tasks.
+        assert_eq!(t.num_tasks(), 9);
+        assert_eq!(t.grain(), 2);
+        let mut covered = Vec::new();
+        for task in 0..t.num_tasks() {
+            let r = t.blocks_of(task);
+            assert!(!r.is_empty());
+            assert_eq!(r.start / 5, (r.end - 1) / 5, "task straddles a row");
+            covered.extend(r);
+        }
+        assert_eq!(covered, (0..15).collect::<Vec<_>>(), "exact partition");
+    }
+
+    #[test]
+    fn task_graph_edges_cover_block_edges_and_stay_acyclic() {
+        let g = BlockGraph::build(&[4, 4, 4], &[vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]]);
+        for grain in [1usize, 2, 3, 4, 7] {
+            let t = TaskGraph::build(&g, grain);
+            let task_of = |b: usize| (0..t.num_tasks()).find(|&x| t.blocks_of(x).contains(&b)).unwrap();
+            // Every cross-task block edge appears as a task edge; all
+            // edges point forward (ascending task index = acyclic).
+            let mut indeg_check = vec![0u32; t.num_tasks()];
+            for task in 0..t.num_tasks() {
+                for &s in t.successors(task) {
+                    assert!(s as usize > task, "edge must point forward");
+                    indeg_check[s as usize] += 1;
+                }
+                let s = t.successors(task);
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "successors sorted+deduped");
+            }
+            for b in 0..g.num_blocks() {
+                for &p in g.predecessors(b) {
+                    let (tp, tb) = (task_of(p as usize), task_of(b));
+                    if tp != tb {
+                        assert!(
+                            t.successors(tp).contains(&(tb as u32)),
+                            "grain {grain}: block edge {p}->{b} lost in contraction"
+                        );
+                    }
+                }
+            }
+            assert_eq!(indeg_check, (0..t.num_tasks()).map(|x| t.in_degree(x)).collect::<Vec<_>>());
+            // Grain 1 must degenerate to the block graph's shape.
+            if grain == 1 {
+                assert_eq!(t.num_tasks(), g.num_blocks());
+                assert_eq!(t.roots(), g.roots());
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_memoizes_task_graphs_per_grain() {
+        let grid = [6usize, 6];
+        let deps = vec![vec![-1i64, 0], vec![0, -1]];
+        let bundle = schedule_bundle(&grid, &deps);
+        let a = bundle.task_graph(3);
+        let b = bundle.task_graph(3);
+        assert!(Arc::ptr_eq(&a, &b), "same grain must hit the memo");
+        let c = bundle.task_graph(2);
+        assert_eq!(c.grain(), 2);
+        assert_ne!(a.num_tasks(), c.num_tasks());
     }
 }

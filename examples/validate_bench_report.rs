@@ -18,7 +18,37 @@ fn main() {
     validate_report_json(&text).unwrap_or_else(|e| {
         panic!("{report_path} does not validate against the obs report schema: {e}")
     });
-    println!("{report_path}: schema OK");
+    // Worker rows carry the steal-distance and fusion counters of the
+    // topology-aware pool; a report written before those fields existed
+    // is stale and must be regenerated, not silently accepted.
+    let report = Json::parse(&text).unwrap_or_else(|e| panic!("{report_path}: parse error: {e}"));
+    let mut workers_checked = 0usize;
+    if let Some(wavefronts) = report.get("wavefronts").and_then(|w| w.as_arr()) {
+        for group in wavefronts {
+            let Some(levels) = group.get("levels").and_then(|l| l.as_arr()) else {
+                continue;
+            };
+            for level in levels {
+                let Some(workers) = level.get("workers").and_then(|w| w.as_arr()) else {
+                    continue;
+                };
+                for w in workers {
+                    for key in ["steal_dist", "fused"] {
+                        assert!(
+                            w.get(key).and_then(|v| v.as_f64()).is_some(),
+                            "{report_path}: worker record lacks numeric `{key}`"
+                        );
+                    }
+                    workers_checked += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        workers_checked > 0,
+        "{report_path}: no worker records found — report must be written at Trace"
+    );
+    println!("{report_path}: schema OK ({workers_checked} worker records carry steal/fusion counters)");
 
     let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec.json");
     let text = std::fs::read_to_string(bench_path)
