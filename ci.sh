@@ -55,16 +55,21 @@ echo "==> scaling shape fence (release profile — timing asserts are noise in d
 # stay bit- and stats-identical to sequential levels execution.
 cargo test $OFFLINE --release --test scaling_shape
 
-echo "==> engines bench smoke (engines matrix + scheduler scaling gates, writes BENCH_exec.json)"
-# Besides the engine comparison this runs the three scaling gates:
-# dataflow@8 within tolerance of levels@8, monotone 1→2→4 steps, and
-# dataflow@8 vs levels@1 on LU-SGS (the seed inversion), each with a
-# single re-measure on breach.
+echo "==> engines bench smoke (engines matrix + vectorization + scaling gates, writes BENCH_exec.json)"
+# Besides the engine comparison this runs the vectorization gate (every
+# run-specialized gs5-vf* row must beat its scalar sibling — the fence
+# for the partial-vectorization pessimization) and the three scaling
+# gates: dataflow@8 within tolerance of levels@8, monotone 1→2→4 steps,
+# and dataflow@8 vs levels@1 on LU-SGS (the seed inversion), each with a
+# single re-measure on breach; accepted re-measurements are what the
+# JSON persists.
 INSTENCIL_BENCH_FAST=1 cargo bench $OFFLINE -p instencil-bench --bench engines
 
 echo "==> bench report schema gate (BENCH_exec_report.json vs obs schema)"
-# Also asserts worker records carry the steal_dist/fused counters and
-# that the scaling matrix (levels/dataflow x 1/2/4/8 threads) is complete.
+# Also asserts worker records carry the steal_dist/fused counters, that
+# the gs5-vf4/gs5-vf8 rows exist on every engine and beat gs5-scalar on
+# the run-specialized one, and that the scaling matrix
+# (levels/dataflow x 1/2/4/8 threads) is complete.
 cargo run $OFFLINE --release --example validate_bench_report
 
 echo "==> obs report smoke (Trace pipeline run, schema-validates the JSON)"

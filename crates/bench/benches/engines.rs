@@ -5,7 +5,7 @@
 //! `BENCH_exec.json` so CI can track the speedup:
 //!
 //! * `gs5` — 5-point 2D Gauss-Seidel (profiling scale of
-//!   `generated.rs`), scalar and vf8;
+//!   `generated.rs`), scalar, vf4 and vf8;
 //! * `sor-tr2` — SOR (ω = 1.6) through the §4.2 Tr2 preset (fusion, no
 //!   vectorization).
 //!
@@ -28,9 +28,14 @@
 //! dispatch). The dispatch rows quantify what the run path buys.
 //!
 //! `INSTENCIL_BENCH_FAST=1` shrinks the sampling to a CI smoke run;
-//! the >1.5x regression gate runs in both modes (a smoke breach gets
-//! one re-measurement before failing, since short smoke samples are
-//! noisy); the JSON is written either way.
+//! the >1.5x regression gate and the vectorization gate (every
+//! run-specialized `gs5-vf*` row must beat its scalar sibling — the
+//! fence for the 2.3x partial-vectorization pessimization) run in both
+//! modes (a smoke breach gets one re-measurement before failing, since
+//! short smoke samples are noisy); the JSON is written either way.
+//! Whenever a gate re-measures a breached point, the accepted (better)
+//! value replaces the first measurement in the persisted rows, so
+//! `BENCH_exec.json` never stores a number a gate rejected.
 
 use std::time::Instant;
 
@@ -287,6 +292,37 @@ fn bench_scaling(samples: usize, rows: &mut Vec<Row>) {
     }
 }
 
+/// Re-measures one engine-comparison case and folds the better of
+/// (stored, fresh) into `rows` for every engine row of that case: the
+/// value a gate accepts after a re-measurement is the value that gets
+/// persisted, so the written JSON can never contradict a gate that just
+/// passed (the stored file once held lusgs@2 *above* lusgs@1 because a
+/// gate's re-measurement was judged but the first, rejected sample was
+/// written out).
+fn remeasure_into(
+    rows: &mut [Row],
+    samples: usize,
+    label: &str,
+    cases: &[(Module, PipelineOptions, usize, String, &'static str)],
+    shape: &[usize],
+) {
+    let Some((m, o, nb, f)) = cases
+        .iter()
+        .find(|c| c.3 == label)
+        .map(|c| (&c.0, &c.1, c.2, c.4))
+    else {
+        return;
+    };
+    for fresh in bench_case(samples, label, m, o, shape, nb, f) {
+        if let Some(r) = rows
+            .iter_mut()
+            .find(|r| r.engine == fresh.engine && r.case == fresh.case)
+        {
+            r.ns_per_point = r.ns_per_point.min(fresh.ns_per_point);
+        }
+    }
+}
+
 /// Reads the bytecode baselines (case -> ns/point) from a previous
 /// `BENCH_exec.json`, if one exists and parses.
 fn read_baselines(path: &str) -> Vec<(String, String, f64)> {
@@ -334,7 +370,7 @@ fn main() {
     // around so the regression gate can re-measure a breached case.
     let sor = kernels::sor_module(1.6);
     let mut cases: Vec<(Module, PipelineOptions, usize, String, &str)> = Vec::new();
-    for (label, vf) in [("scalar", None), ("vf8", Some(8))] {
+    for (label, vf) in [("scalar", None), ("vf4", Some(4)), ("vf8", Some(8))] {
         let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
             .vectorize(vf);
         cases.push((
@@ -359,36 +395,55 @@ fn main() {
     for (m, opts, nb, label, func) in &cases {
         rows.extend(bench_case(samples, label, m, opts, &shape, *nb, func));
     }
+
+    // Vectorization gate: partial vectorization must never be a
+    // pessimization again. Every vectorized gs5 row on the
+    // run-specialized engine must beat (or tie) its scalar sibling —
+    // the bug this fences was gs5-vf8 at 43.1 ns/point against 16.9
+    // scalar, because the specializer declined vector-IR bodies and
+    // every vectorized point paid generic dispatch. A breach
+    // re-measures both rows once (min-of-two) before judging, and the
+    // accepted values are what the JSON persists.
+    let ns_of = |rows: &[Row], case: &str| {
+        rows.iter()
+            .find(|r| r.engine == "bytecode" && r.case == case)
+            .map(|r| r.ns_per_point)
+    };
+    for vf_case in ["gs5-vf4", "gs5-vf8"] {
+        if ns_of(&rows, vf_case).unwrap() > ns_of(&rows, "gs5-scalar").unwrap() {
+            remeasure_into(&mut rows, samples, vf_case, &cases, &shape);
+            remeasure_into(&mut rows, samples, "gs5-scalar", &cases, &shape);
+        }
+        let v = ns_of(&rows, vf_case).unwrap();
+        let s = ns_of(&rows, "gs5-scalar").unwrap();
+        println!("engines/vf-gate/{vf_case:<14} {:>8.2}x vs scalar", v / s);
+        assert!(
+            v <= s,
+            "{vf_case} lost to gs5-scalar on the run-specialized engine: \
+             {v:.1} vs {s:.1} ns/point — vectorized loops fell off the run path"
+        );
+    }
+
     bench_scaling(samples, &mut rows);
 
     // Regression gate, in smoke mode too: a fresh bytecode measurement
     // more than MAX_REGRESSION over the stored baseline fails the
     // bench — this catches a run-path perf regression (or obs work
     // leaking onto the Off path) in CI. Smoke samples are short and CI
-    // machines are noisy, so a breach gets one re-measurement and the
-    // better of the two is judged.
+    // machines are noisy, so a breach gets one re-measurement; the
+    // better of the two is judged *and* replaces the stored row.
     for (engine_name, case_name, baseline_ns) in &baselines {
-        let Some(row) = rows
-            .iter()
-            .find(|r| r.engine == *engine_name && r.case == *case_name)
-        else {
+        let find = |rows: &[Row]| {
+            rows.iter()
+                .find(|r| r.engine == *engine_name && r.case == *case_name)
+                .map(|r| r.ns_per_point)
+        };
+        let Some(mut ns) = find(&rows) else {
             continue;
         };
-        let mut ns = row.ns_per_point;
         if ns / baseline_ns > MAX_REGRESSION {
-            if let Some((m, o, nb, f)) = cases
-                .iter()
-                .find(|c| c.3 == *case_name)
-                .map(|c| (&c.0, &c.1, c.2, c.4))
-            {
-                let again = bench_case(samples, case_name, m, o, &shape, nb, f);
-                if let Some(r2) = again
-                    .iter()
-                    .find(|r| r.engine == *engine_name && r.case == *case_name)
-                {
-                    ns = ns.min(r2.ns_per_point);
-                }
-            }
+            remeasure_into(&mut rows, samples, case_name, &cases, &shape);
+            ns = find(&rows).expect("row existed before re-measurement");
         }
         let ratio = ns / baseline_ns;
         println!(

@@ -200,15 +200,27 @@ impl BufferView {
         Some((lo, hi))
     }
 
-    /// Element strides per dimension (run planner).
     /// Resolves one run access to `(flat base, per-iteration flat
-    /// delta)` in a single pass over the dimensions, bounds-checking
-    /// both run endpoints — per-dimension indices are linear in the
-    /// iteration, so in-bounds endpoints bound all `n` iterations.
-    /// Panics exactly like a scalar access at the offending endpoint.
-    pub(crate) fn resolve_run(&self, i0: &[i64], i1: &[i64], n: usize) -> (isize, isize) {
+    /// delta, flat lane stride)` in a single pass over the dimensions,
+    /// bounds-checking both run endpoints — per-dimension indices are
+    /// linear in the iteration, so in-bounds endpoints bound all `n`
+    /// iterations. Panics exactly like a scalar access at the offending
+    /// endpoint. A `lanes`-wide vector access advances its lanes along
+    /// the last dimension (matching `load_vector_into` /
+    /// `store_vector`), so both run endpoints are additionally checked
+    /// at last-dim index `+ (lanes − 1)`; per-lane plans are
+    /// `base + l · lane_stride`.
+    pub(crate) fn resolve_run_lanes(
+        &self,
+        i0: &[i64],
+        i1: &[i64],
+        n: usize,
+        lanes: usize,
+    ) -> (isize, isize, isize) {
         debug_assert_eq!(i0.len(), self.rank(), "index rank mismatch");
         let last = (n - 1) as i64;
+        let wide = (lanes - 1) as i64;
+        let inner = i0.len() - 1;
         let mut base = self.base;
         let mut delta = 0isize;
         for d in 0..i0.len() {
@@ -221,10 +233,20 @@ impl BufferView {
             if end < 0 || (end as usize) >= self.shape[d] {
                 self.oob_end(i0, i1, last, d);
             }
+            if d == inner && wide > 0 {
+                // Highest lane of both endpoints: in-bounds corners
+                // bound every (iteration, lane) cell in between.
+                if (local + wide) as usize >= self.shape[d] {
+                    self.oob_lane(i0, wide, d);
+                }
+                if end + wide < 0 || (end + wide) as usize >= self.shape[d] {
+                    self.oob_end_lane(i0, i1, last, wide, d);
+                }
+            }
             base += local as isize * self.strides[d];
             delta += step as isize * self.strides[d];
         }
-        (base, delta)
+        (base, delta, self.strides[inner])
     }
 
     /// Outlined endpoint-violation path of [`Self::resolve_run`]:
@@ -238,6 +260,28 @@ impl BufferView {
             .zip(i1)
             .map(|(&a, &b)| a + last * (b - a))
             .collect();
+        self.oob(&end, d);
+    }
+
+    /// Outlined lane-violation paths of [`Self::resolve_run_lanes`]:
+    /// panic like a scalar access to the highest lane's cell.
+    #[cold]
+    #[inline(never)]
+    fn oob_lane(&self, i0: &[i64], wide: i64, d: usize) -> ! {
+        let mut idx = i0.to_vec();
+        *idx.last_mut().unwrap() += wide;
+        self.oob(&idx, d);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn oob_end_lane(&self, i0: &[i64], i1: &[i64], last: i64, wide: i64, d: usize) -> ! {
+        let mut end: Vec<i64> = i0
+            .iter()
+            .zip(i1)
+            .map(|(&a, &b)| a + last * (b - a))
+            .collect();
+        *end.last_mut().unwrap() += wide;
         self.oob(&end, d);
     }
 

@@ -24,7 +24,7 @@
 //! statistics are bit-identical to the interpreter, which the
 //! `engine_equiv` differential tests enforce for every pipeline variant.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use instencil_ir::{CmpPred, Module};
 use instencil_obs::Obs;
@@ -409,7 +409,7 @@ impl BcProgram {
 pub(crate) struct Regs {
     pub(crate) f: Vec<f64>,
     pub(crate) i: Vec<i64>,
-    v: Vec<f64>,
+    pub(crate) v: Vec<f64>,
     pub(crate) b: Vec<Option<BufferView>>,
     a: Vec<Option<Arc<Vec<i64>>>>,
     /// Reusable index scratch for scalar/vector memory access (no
@@ -533,6 +533,18 @@ pub struct BytecodeEngine {
     threads: usize,
     obs: Obs,
     scheduler: Scheduler,
+    /// Run-specialization scratch retired by finished frames and handed
+    /// to new ones, so plan caches survive across calls: the cache
+    /// re-validates by spec address (stable — the specs live in
+    /// `program`, owned by this engine for the pool's whole lifetime),
+    /// run length, access signature, and invariant values, and patches
+    /// every base and tile handle from the current frame's buffers on a
+    /// hit. Without pooling, every call pays one cold plan build per
+    /// specialized loop — at short-run geometries that cold build is
+    /// the dominant per-point cost of the wide (vf) tapes.
+    #[allow(clippy::vec_box)] // boxed on purpose: frames hold `Box<RunScratch>`,
+    // so pool push/pop transfers one pointer instead of moving the arena struct
+    scratch_pool: Mutex<Vec<Box<RunScratch>>>,
 }
 
 impl BytecodeEngine {
@@ -587,6 +599,7 @@ impl BytecodeEngine {
             threads: threads.max(1),
             obs,
             scheduler: Scheduler::Levels,
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -621,6 +634,7 @@ impl BytecodeEngine {
         let ctx = BcCtx {
             program: &self.program,
             pool: WavefrontPool::with_opts(self.threads, self.obs.clone(), self.scheduler),
+            scratch: &self.scratch_pool,
         };
         let mut stats = ExecStats::default();
         let out = ctx.call(fi, args, &mut stats);
@@ -634,6 +648,11 @@ impl BytecodeEngine {
 struct BcCtx<'p> {
     program: &'p BcProgram,
     pool: WavefrontPool,
+    /// The engine's cross-call [`RunScratch`] pool (see the field doc on
+    /// [`BytecodeEngine`]). Frames pop a warm scratch on entry and push
+    /// it back when they finish.
+    #[allow(clippy::vec_box)] // see `BytecodeEngine::scratch_pool`
+    scratch: &'p Mutex<Vec<Box<RunScratch>>>,
 }
 
 impl BcCtx<'_> {
@@ -653,10 +672,18 @@ impl BcCtx<'_> {
             )));
         }
         let mut regs = Regs::new(func);
+        if let Some(rs) = self.scratch.lock().unwrap().pop() {
+            regs.rs = rs;
+        }
         for ((kind, reg), val) in func.args.iter().zip(args) {
             regs.set_rtval(*reg, *kind, val)?;
         }
-        self.run_tape(func, 0, &mut regs, stats)?;
+        let run = self.run_tape(func, 0, &mut regs, stats);
+        self.scratch
+            .lock()
+            .unwrap()
+            .push(std::mem::take(&mut regs.rs));
+        run?;
         func.tapes[0]
             .term
             .iter()
@@ -904,10 +931,18 @@ impl BcCtx<'_> {
                 } => {
                     let callee = &self.program.funcs[*callee_idx as usize];
                     let mut callee_regs = Regs::new(callee);
+                    if let Some(rs) = self.scratch.lock().unwrap().pop() {
+                        callee_regs.rs = rs;
+                    }
                     for (&src, (_, dst)) in args.iter().zip(&callee.args) {
                         cross_move(regs, src, &mut callee_regs, *dst);
                     }
-                    self.run_tape(callee, 0, &mut callee_regs, stats)?;
+                    let run = self.run_tape(callee, 0, &mut callee_regs, stats);
+                    self.scratch
+                        .lock()
+                        .unwrap()
+                        .push(std::mem::take(&mut callee_regs.rs));
+                    run?;
                     let term = &callee.tapes[0].term;
                     for (&src, &dst) in term.iter().zip(results.iter()) {
                         cross_move(&callee_regs, src, regs, dst);
@@ -1044,6 +1079,17 @@ impl BcCtx<'_> {
         if n < runspec::MIN_RUN {
             return false;
         }
+        // Negative plan-cache entry: a loop that failed probing or
+        // buffer resolution once will fail the same way every sweep
+        // (those depend on the spec and the frame's buffer bindings,
+        // not on n), so skip straight to the always-correct generic
+        // path instead of re-paying the probe + resolve cost each run.
+        let spec_addr = spec as *const RunSpec as usize;
+        if regs.rs.declined.contains(&spec_addr) {
+            return false;
+        }
+        let timing = runspec::phase_timing::enabled();
+        let t_probe = timing.then(std::time::Instant::now);
         // Probe the body's integer/constant subset at `lb`, then
         // re-evaluate only its iv-dependent part at `lb + step`; the
         // index deltas resolve every access to base + t·delta form.
@@ -1054,6 +1100,7 @@ impl BcCtx<'_> {
         let mut rs = std::mem::take(&mut regs.rs);
         regs.i[iv as usize] = lb;
         if !runspec::run_probe(&spec.probe, regs) {
+            rs.declined.push(spec_addr);
             regs.rs = rs;
             return false;
         }
@@ -1061,56 +1108,75 @@ impl BcCtx<'_> {
         rs.idx0.extend(spec.idx_regs.iter().map(|&r| regs.i[r as usize]));
         regs.i[iv as usize] = lb + step;
         if !runspec::run_probe(&spec.probe_iv, regs) {
+            rs.declined.push(spec_addr);
             regs.rs = rs;
             return false;
         }
         rs.idx1.clear();
         rs.idx1.extend(spec.idx_regs.iter().map(|&r| regs.i[r as usize]));
-        // Resolve each access: flat base at t = 0, per-iteration flat
-        // delta, raw tile view. Both run endpoints go through the
-        // checked indexing path — every per-dimension index is linear
-        // in t, so in-bounds endpoints bound all n iterations.
-        rs.acc.clear();
+        // Resolve each merged access-table entry: flat base at t = 0,
+        // per-iteration flat delta, raw tile view. Both run endpoints
+        // go through the checked indexing path — every per-dimension
+        // index is linear in t, so in-bounds endpoints (at lanes 0 and
+        // `lanes − 1`) bound all n iterations of every member access.
+        // The table collapses lane-unrolled access groups, so the
+        // per-run resolve/compare/patch cost is per *group*, not per
+        // unrolled op.
+        rs.tab.clear();
         let mut cursor = 0usize;
-        for (pos, op) in spec.ops.iter().enumerate() {
-            let (buf, idx_len, store) = match op {
-                runspec::RunOp::Load { buf, idx, .. } => (*buf, idx.len(), false),
-                runspec::RunOp::Store { buf, idx, .. } => (*buf, idx.len(), true),
-                _ => continue,
-            };
-            let Some(view) = regs.b[buf as usize].as_ref() else {
+        for (ti, a) in spec.accs.iter().enumerate() {
+            let Some(view) = regs.b[a.buf as usize].as_ref() else {
+                rs.declined.push(spec_addr);
                 regs.rs = rs;
                 return false;
             };
-            let i0 = &rs.idx0[cursor..cursor + idx_len];
-            let i1 = &rs.idx1[cursor..cursor + idx_len];
-            cursor += idx_len;
-            let (base, delta) = view.resolve_run(i0, i1, n);
+            let i0 = &rs.idx0[cursor..cursor + a.idx.len()];
+            let i1 = &rs.idx1[cursor..cursor + a.idx.len()];
+            cursor += a.idx.len();
+            let (base, delta, lane_stride) = view.resolve_run_lanes(i0, i1, n, a.lanes as usize);
             #[cfg(debug_assertions)]
-            if store {
+            if a.store {
                 crate::buffer::overlap::pin_storage(view.storage());
             }
-            rs.acc.push(runspec::AccessPlan {
+            rs.tab.push(runspec::AccessPlan {
                 base,
                 delta,
+                lane_stride,
+                lanes: a.lanes,
                 tile: view.tile_view(),
-                pos: pos as u32,
-                store,
+                pos: ti as u32,
+                store: a.store,
             });
         }
-        runspec::build_plan(spec, n, &regs.f, &mut rs);
+        let t_plan = timing.then(std::time::Instant::now);
+        runspec::build_plan(spec, n, &regs.f, &regs.v, &mut rs);
+        let t_exec = timing.then(std::time::Instant::now);
         let mut t0 = 0usize;
         while t0 < n {
             let m = (n - t0).min(runspec::CHUNK);
             runspec::exec_streamed(&rs.stream, &mut rs.arena, t0, m);
-            runspec::exec_recurrent(&rs.rec_first, &rs.rec_steady, &mut rs.arena, t0, m);
+            runspec::exec_recurrent(
+                &rs.rec_steady,
+                &rs.prelude,
+                &rs.tab,
+                &rs.acc_map,
+                &mut rs.arena,
+                t0,
+                m,
+            );
             t0 += m;
+        }
+        if let (Some(p), Some(b), Some(e)) = (t_probe, t_plan, t_exec) {
+            runspec::phase_timing::record(b - p, e - b, e.elapsed(), n);
         }
         let n = n as u64;
         stats.loads += spec.loads_per_iter * n;
         stats.stores += spec.stores_per_iter * n;
         stats.scalar_flops += spec.flops_per_iter * n;
         stats.index_ops += spec.index_ops_per_iter * n;
+        stats.vector_loads += spec.vloads_per_iter * n;
+        stats.vector_stores += spec.vstores_per_iter * n;
+        stats.vector_flops += spec.vflops_per_iter * n;
         regs.rs = rs;
         true
     }
@@ -1147,14 +1213,26 @@ impl BcCtx<'_> {
                 let base: &Regs = regs;
                 return self.pool.try_execute_bundle(
                     &bundle,
-                    || (base.clone(), ExecStats::default()),
+                    || {
+                        let mut r = base.clone();
+                        if let Some(rs) = self.scratch.lock().unwrap().pop() {
+                            r.rs = rs;
+                        }
+                        (r, ExecStats::default())
+                    },
                     |state: &mut (Regs, ExecStats), b| {
                         let (worker_regs, worker_stats) = state;
                         worker_stats.blocks_executed += 1;
                         worker_regs.i[block as usize] = b as i64;
                         self.run_tape(func, body, worker_regs, worker_stats)
                     },
-                    |(_, worker_stats)| stats.merge(&worker_stats),
+                    |(mut worker_regs, worker_stats)| {
+                        self.scratch
+                            .lock()
+                            .unwrap()
+                            .push(std::mem::take(&mut worker_regs.rs));
+                        stats.merge(&worker_stats);
+                    },
                 );
             }
             self.pool
@@ -1223,14 +1301,26 @@ impl BcCtx<'_> {
         let base: &Regs = regs;
         self.pool.try_execute_stateful(
             &schedule,
-            || (base.clone(), ExecStats::default()),
+            || {
+                let mut r = base.clone();
+                if let Some(rs) = self.scratch.lock().unwrap().pop() {
+                    r.rs = rs;
+                }
+                (r, ExecStats::default())
+            },
             |state: &mut (Regs, ExecStats), b| {
                 let (worker_regs, worker_stats) = state;
                 worker_stats.blocks_executed += 1;
                 worker_regs.i[block as usize] = b as i64;
                 self.run_tape(func, body, worker_regs, worker_stats)
             },
-            |(_, worker_stats)| stats.merge(&worker_stats),
+            |(mut worker_regs, worker_stats)| {
+                self.scratch
+                    .lock()
+                    .unwrap()
+                    .push(std::mem::take(&mut worker_regs.rs));
+                stats.merge(&worker_stats);
+            },
         )
     }
 }

@@ -26,6 +26,7 @@
 //! tree-walking interpreter instead" — and [`BcCompileError::Malformed`],
 //! a genuinely broken module that neither engine could execute.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -144,6 +145,15 @@ struct FnCompiler<'m> {
     /// not recorded — every non-innermost loop of a nest declines that
     /// way by construction, so they carry no signal.
     runspec_declines: Vec<(u32, &'static str)>,
+    /// Integer registers proven to hold a compile-time constant:
+    /// `ConstI` destinations. Registers are allocated one per SSA value
+    /// and only iter-arg/result slots are ever re-written (by `Move`s),
+    /// so a `ConstI` destination has exactly one write in the whole
+    /// function and dominates every read (verified SSA input). Run-spec
+    /// analysis folds these like in-body literals, which lets it merge
+    /// lane-unrolled accesses whose offsets route through hoisted
+    /// constants.
+    const_i: HashMap<u32, i64>,
 }
 
 fn compile_func(
@@ -165,6 +175,7 @@ fn compile_func(
         num_b: 0,
         num_a: 0,
         runspec_declines: Vec::new(),
+        const_i: HashMap::new(),
     };
     let entry = c.compile_block(body.entry_block())?;
     debug_assert_eq!(entry, 0, "entry block must be tape 0");
@@ -180,7 +191,14 @@ fn compile_func(
         .iter()
         .map(rkind_of)
         .collect::<Result<Vec<_>, _>>()?;
+    // One event per distinct declined loop per compile — a tape
+    // referenced by several `For` ops (or re-visited by nest handling)
+    // still names its decline once.
+    let mut seen_declines = std::collections::HashSet::new();
     for (tape, reason) in &c.runspec_declines {
+        if !seen_declines.insert((*tape, *reason)) {
+            continue;
+        }
         obs.event(
             "runspec-decline",
             &format!("{}: loop body tape {tape}: {reason}", func.name),
@@ -400,10 +418,12 @@ impl FnCompiler<'_> {
                     }
                     (Type::I64 | Type::Index, Attribute::Int(i)) => {
                         let dst = self.def_i(res)?;
+                        self.const_i.insert(dst, *i);
                         code.push(Instr::ConstI { dst, v: *i });
                     }
                     (Type::I1, Attribute::Bool(b)) => {
                         let dst = self.def_i(res)?;
+                        self.const_i.insert(dst, i64::from(*b));
                         code.push(Instr::ConstI {
                             dst,
                             v: i64::from(*b),
@@ -617,7 +637,7 @@ impl FnCompiler<'_> {
                     && loopback.is_empty()
                     && res_moves.is_empty()
                 {
-                    match runspec::analyze(&self.tapes[body_tape as usize], iv) {
+                    match runspec::analyze(&self.tapes[body_tape as usize], iv, &self.const_i) {
                         Ok(spec) => Some(Box::new(spec)),
                         Err(reason) => {
                             if reason != "nested control flow" {

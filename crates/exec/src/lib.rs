@@ -43,6 +43,7 @@ pub mod driver;
 pub mod interp;
 pub mod parallel;
 pub(crate) mod runspec;
+pub use runspec::phase_timing;
 pub mod stats;
 pub mod value;
 

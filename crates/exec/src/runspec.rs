@@ -61,45 +61,83 @@ pub(crate) const MIN_RUN: usize = 4;
 pub(crate) const CHUNK: usize = 256;
 
 /// A float operand of a run body operation, resolved at analysis time.
+/// Operands of *wide* ops (lanes > 1) denote whole lane groups; scalar
+/// consumers address individual lanes through [`FRef::Lane`].
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum FRef {
     /// A float register whose value is invariant across the run (outer
     /// definition, or produced once by the probe tape's constants).
     Inv(u32),
-    /// The value produced by `ops[i]` of the same iteration.
+    /// Run-invariant value(s) in the vector register file starting at
+    /// this v-slot: an in-body `ConstV` (materialized by the probe) or a
+    /// vector defined outside the body. Width comes from the consumer.
+    VInv(u32),
+    /// The value produced by `ops[i]` of the same iteration (all lanes
+    /// when `ops[i]` is wide).
     Op(u16),
+    /// One lane of the wide value produced by `ops[i]` (a `VExtract`,
+    /// folded away at analysis time).
+    Lane(u16, u16),
 }
 
 /// One operation of the specialized run body, in original body order.
+/// `lanes == 1` is the scalar case; `lanes > 1` ops process a whole
+/// vector-IR lane group per iteration ("wide" ops, §2.4 partial
+/// vectorization).
 #[derive(Clone, Debug)]
 pub(crate) enum RunOp {
-    /// Scalar load; `acc` indexes the per-run access plan.
+    /// Load; `acc` indexes the first of `lanes` consecutive per-run
+    /// access plans (lane `l` reads one element further along the
+    /// innermost dimension).
     Load {
         buf: u32,
         idx: Box<[u32]>,
         acc: u16,
+        lanes: u16,
     },
-    /// Scalar store of `src`.
+    /// Store of `src` (all lanes of it when wide).
     Store {
         buf: u32,
         idx: Box<[u32]>,
         src: FRef,
         acc: u16,
+        lanes: u16,
     },
     Bin {
         op: FOp,
         a: FRef,
         b: FRef,
+        lanes: u16,
     },
     Un {
         op: FUn,
         a: FRef,
+        lanes: u16,
     },
     Fma {
         a: FRef,
         b: FRef,
         c: FRef,
+        lanes: u16,
     },
+    /// `VBroadcast`: replicates the scalar `a` across `lanes` lanes.
+    Splat {
+        a: FRef,
+        lanes: u16,
+    },
+}
+
+impl RunOp {
+    pub(crate) fn lanes(&self) -> u16 {
+        match self {
+            RunOp::Load { lanes, .. }
+            | RunOp::Store { lanes, .. }
+            | RunOp::Bin { lanes, .. }
+            | RunOp::Un { lanes, .. }
+            | RunOp::Fma { lanes, .. }
+            | RunOp::Splat { lanes, .. } => *lanes,
+        }
+    }
 }
 
 /// One pre-decoded instruction of a run's probe program — the body's
@@ -111,6 +149,9 @@ pub(crate) enum RunOp {
 pub(crate) enum ProbeOp {
     CF { dst: u32, v: f64 },
     CI { dst: u32, v: i64 },
+    /// In-body `ConstV`: fills `lanes` v-slots so plan-time [`FRef::VInv`]
+    /// reads observe exactly what the generic body would have written.
+    CV { off: u32, lanes: u32, v: f64 },
     Mov { dst: u32, src: u32 },
     S2F { dst: u32, src: u32 },
     Dim { dst: u32, buf: u32, dim: u32 },
@@ -131,26 +172,64 @@ pub(crate) struct RunSpec {
     pub probe_iv: Box<[ProbeOp]>,
     /// Loads, stores and float ops in body order.
     pub ops: Box<[RunOp]>,
-    /// Index registers of every access (loads and stores, in body
+    /// Merged access table: what the per-run resolve loop walks. Lane-
+    /// unrolled scalar accesses whose indices differ only by consecutive
+    /// last-dimension constants (proved by affine value-numbering at
+    /// analysis time) collapse into one wide entry, so a vf-lowered body
+    /// pays per-run resolution, signature comparison, and base patching
+    /// per *group*, like its scalar sibling — not per unrolled lane.
+    pub accs: Box<[SpecAccess]>,
+    /// Per-access-op `(table entry, lane)`: op `acc` touches
+    /// `tab[entry].base + lane · tab[entry].lane_stride`.
+    pub acc_map: Box<[(u16, u16)]>,
+    /// Index registers of every *table entry* (lane-0 member, in table
     /// order), concatenated — lets the per-run index snapshots be one
     /// tight pass instead of a re-scan of `ops`.
     pub idx_regs: Box<[u32]>,
     /// Per-iteration dynamic-stat increments of the generic body, used
     /// to bulk-account [`crate::ExecStats`] identically to
-    /// point-by-point execution.
+    /// point-by-point execution. Vector counters count *instructions*
+    /// (not lanes), matching the interpreter and the generic engine.
     pub loads_per_iter: u64,
     pub stores_per_iter: u64,
     pub flops_per_iter: u64,
     pub index_ops_per_iter: u64,
+    pub vloads_per_iter: u64,
+    pub vstores_per_iter: u64,
+    pub vflops_per_iter: u64,
 }
 
-/// One access of one run execution, resolved to flat-address form.
+/// One entry of the merged access table: the lane-0 member's index
+/// registers plus the total lane count the entry covers (a genuinely
+/// wide access contributes its own width; a merged group of `g`
+/// accesses of width `w` at consecutive last-dim offsets covers
+/// `g · w`). Resolution bounds-checks the entry's corners, which bound
+/// every member cell — the same accept/panic decision the per-op
+/// resolves made.
+#[derive(Clone, Debug)]
+pub(crate) struct SpecAccess {
+    pub buf: u32,
+    pub idx: Box<[u32]>,
+    pub lanes: u16,
+    pub store: bool,
+}
+
+/// One access *op* of one run execution, resolved to flat-address form.
+/// A wide access is one plan: lane `l` of iteration `t` touches
+/// `base + l·lane_stride + t·delta` (hazard analysis expands the lanes
+/// arithmetically instead of materializing per-lane plans — resolution
+/// runs once per run per op, so plan count is what the fallback-free
+/// hot path pays for).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct AccessPlan {
-    /// Flat address at iteration 0.
+    /// Flat address of lane 0 at iteration 0.
     pub base: isize,
     /// Flat-address step per iteration.
     pub delta: isize,
+    /// Flat stride between adjacent lanes (0 for scalar accesses).
+    pub lane_stride: isize,
+    /// Lane count (1 for scalar accesses).
+    pub lanes: u16,
     /// Raw storage handle.
     pub tile: TileView,
     /// Position of the access in `ops` (body order, for hazard
@@ -163,46 +242,73 @@ pub(crate) struct AccessPlan {
 /// Source operand of a streamed (op-at-a-time) operation.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum SSrc {
-    /// Stripe row of an earlier streamed op.
-    Slot(u32),
-    /// Run-invariant value, materialized at plan time.
+    /// Arena elements: iteration `t`, lane `l` reads `off + t·step + l`.
+    /// Scalar stripe rows have `step == 1`; wide rows `step == lanes`;
+    /// a single lane of a wide row is `off = row + lane` with the row's
+    /// step (and `l == 0` at the scalar consumer). Wide consumers only
+    /// ever see lane-aligned sources (`step == lanes`) or lane-constant
+    /// cells (`step == 0`, `lanes` consecutive values), which is what
+    /// makes the unified read formula correct for every combination.
+    Row { off: u32, step: u32 },
+    /// Run-invariant scalar, broadcast across iterations and lanes.
     Const(f64),
 }
 
-/// One streamed operation: writes stripe row `slot` for a whole chunk.
+/// One streamed operation: writes the stripe row at element offset
+/// `row` (`m·lanes` elements, lane-major within each iteration) for a
+/// whole chunk.
 #[derive(Clone, Debug)]
 pub(crate) enum SOp {
     Load {
-        slot: u32,
+        row: u32,
+        lanes: u16,
+        /// Flat stride between adjacent lanes (innermost-dimension
+        /// element stride of the tile; 1 for dense rows).
+        lane_stride: isize,
         base: isize,
         delta: isize,
         tile: TileView,
-        /// Access-plan index, for base patching on plan-cache hits.
+        /// First access-plan index of the op's `lanes` consecutive
+        /// plans, for base patching on plan-cache hits.
         acc: u16,
     },
     Bin {
         op: FOp,
-        slot: u32,
+        row: u32,
+        lanes: u16,
         a: SSrc,
         b: SSrc,
     },
     Un {
         op: FUn,
-        slot: u32,
+        row: u32,
+        lanes: u16,
         a: SSrc,
     },
     Fma {
-        slot: u32,
+        row: u32,
+        lanes: u16,
         a: SSrc,
         b: SSrc,
         c: SSrc,
     },
+    /// `VBroadcast`: fills each iteration's `lanes` row elements with
+    /// the scalar source value of that iteration.
+    Splat {
+        row: u32,
+        lanes: u16,
+        a: SSrc,
+    },
     /// A binary op whose two operands are load rows consumed by nothing
     /// else: the staging copies are skipped and both tiles are read
-    /// directly in one fused pass (see [`fuse_stream_loads`]).
+    /// directly in one fused pass (see [`fuse_stream_loads`]). Wide ops
+    /// fuse only *dense* loads (`lane_stride == 1`, `delta == lanes`),
+    /// so element `e = t·lanes + l` always reads `base + t0·delta + e·s`
+    /// with `s = delta` when scalar and `s = 1` when wide.
     BinLoads {
         op: FOp,
-        slot: u32,
+        row: u32,
+        lanes: u16,
         a_base: isize,
         a_delta: isize,
         a_tile: TileView,
@@ -215,9 +321,11 @@ pub(crate) enum SOp {
 }
 
 /// Source operand of a recurrent (point-at-a-time) operation: an arena
-/// offset plus a per-iteration step. Stripe rows step by 1 with the
-/// in-chunk index; recurrent values and materialized constants are read
-/// at a fixed offset (step 0). Resolving the operand kind at plan time
+/// offset plus a per-iteration step — lane `l` of in-chunk iteration
+/// `t` reads `off + t·step + l`. Scalar stripe rows step by 1, wide
+/// rows by their lane count; recurrent values and materialized
+/// constants are read at a fixed offset (step 0, wide consumers see
+/// `lanes` consecutive cells). Resolving the operand kind at plan time
 /// leaves no dispatch on the per-point path — each read is one indexed
 /// load.
 #[derive(Clone, Copy, Debug)]
@@ -238,15 +346,20 @@ pub(crate) struct ChainLink {
 }
 
 /// One recurrent operation, executed in body order for every point.
-/// Value-producing ops write the arena at `dst` (the vals region).
+/// Value-producing ops write the arena at `dst` (the vals region;
+/// `lanes` consecutive cells when wide).
 #[derive(Clone, Debug)]
 pub(crate) enum ROp {
     Load {
         dst: u32,
+        lanes: u16,
+        /// Flat stride between adjacent lanes.
+        lane_stride: isize,
         base: isize,
         delta: isize,
         tile: TileView,
-        /// Access-plan index, for base patching on plan-cache hits.
+        /// First access-plan index of the op's `lanes` plans, for base
+        /// patching on plan-cache hits.
         acc: u16,
     },
     /// Steady-state replacement for a `Load` that re-reads the value
@@ -259,28 +372,42 @@ pub(crate) enum ROp {
     },
     Store {
         src: RRef,
+        lanes: u16,
+        /// Flat stride between adjacent lanes.
+        lane_stride: isize,
         base: isize,
         delta: isize,
         tile: TileView,
-        /// Access-plan index, for base patching on plan-cache hits.
+        /// First access-plan index of the op's `lanes` plans, for base
+        /// patching on plan-cache hits.
         acc: u16,
     },
     Bin {
         op: FOp,
         dst: u32,
+        lanes: u16,
         a: RRef,
         b: RRef,
     },
     Un {
         op: FUn,
         dst: u32,
+        lanes: u16,
         a: RRef,
     },
     Fma {
         dst: u32,
+        lanes: u16,
         a: RRef,
         b: RRef,
         c: RRef,
+    },
+    /// `VBroadcast`: writes `lanes` consecutive vals cells from the
+    /// scalar source.
+    Splat {
+        dst: u32,
+        lanes: u16,
+        a: RRef,
     },
     /// A fused run of consecutive `Bin` ops threading one accumulator
     /// (each intermediate result consumed only by the next op): the
@@ -307,42 +434,103 @@ pub(crate) enum ROp {
         /// Access-plan index, for base patching on plan-cache hits.
         acc: u16,
     },
+    /// The vf-lowered serial chain: `w` [`ROp::ChainStore`]s forming one
+    /// lane-unrolled recurrence — lane `k`'s chain consumes lane
+    /// `k − 1`'s value (lane 0 consumes lane `w − 1`'s from the previous
+    /// iteration). Fused so the carried value crosses lane boundaries in
+    /// a register: one dispatch per chunk instead of `w` per iteration.
+    /// Lane order, operation order, and operand sides are exactly those
+    /// of the unfused tape, so results stay bit-identical.
+    ChainStoreW {
+        lanes: Box<[WLane]>,
+        /// Arena cell holding the carried value between chunks (the
+        /// last lane's `dst`; lane 0's carry operand reads it).
+        carry_cell: u32,
+    },
+}
+
+/// One lane of a [`ROp::ChainStoreW`]: a full chain-store, plus the
+/// link position whose operand is the carried value (served from the
+/// running register instead of the arena).
+#[derive(Clone, Debug)]
+pub(crate) struct WLane {
+    pub dst: u32,
+    pub init: RRef,
+    pub links: Box<[ChainLink]>,
+    pub carry_at: u16,
+    pub base: isize,
+    pub delta: isize,
+    pub tile: TileView,
+    /// Access-plan index, for base patching on plan-cache hits.
+    pub acc: u16,
 }
 
 /// Reusable per-frame run state. Lives in the register file so repeated
 /// runs (every tile row of every block) reuse the allocations; cloning
 /// a frame for a wavefront worker hands out *empty* scratch instead of
-/// copying plans that are only valid mid-run.
+/// copying plans that are only valid mid-run. The engine additionally
+/// pools scratch across calls: the plan cache below re-validates by
+/// spec address, run length, signature, and invariant values before any
+/// cached state is trusted (and [`patch_bases`] refreshes every pointer
+/// from the current frame), so a warm scratch from a previous call
+/// turns the per-call cold plan build into a patch-only hit.
 #[derive(Debug, Default)]
 pub(crate) struct RunScratch {
-    /// Access plans, indexed by `RunOp::{Load,Store}::acc`.
+    /// Resolved plans of the merged access table, in table order — the
+    /// per-run artifact (`pos` holds the table index). Signature
+    /// comparison and base patching run over these few entries.
+    pub tab: Vec<AccessPlan>,
+    /// Per-access-op copy of [`RunSpec::acc_map`], captured at plan
+    /// build so cache-hit patching needs no spec access.
+    pub acc_map: Vec<(u16, u16)>,
+    /// Expanded per-op access plans, indexed by
+    /// `RunOp::{Load,Store}::acc` — rebuilt from `tab` only on plan
+    /// cache misses (classification, forwarding, and hazard analysis
+    /// consume exactly what per-op resolution used to produce). Stale
+    /// on cache hits: every hit-path consumer goes through `tab`.
     pub acc: Vec<AccessPlan>,
     /// Index values of the probe at iteration 0 / iteration 1.
     pub idx0: Vec<i64>,
     pub idx1: Vec<i64>,
     /// Streamed plan of the current run.
     pub stream: Vec<SOp>,
-    /// Recurrent plan: the faithful tape for the run's first iteration
-    /// and the steady-state tape (k = −1 loads forwarded) for the rest.
+    /// Recurrent plan: `rec_first` is the faithful body tape (the
+    /// forwarding analysis input — never executed); `rec_steady` is the
+    /// executed tape, valid from t = 0 once `prelude` seeds the k = −1
+    /// forward cells with their loads' pre-run memory values.
     pub rec_first: Vec<ROp>,
     pub rec_steady: Vec<ROp>,
-    /// Per-op streamed flag and stripe slot.
+    /// (cell, access-plan index) pairs: before the first chunk,
+    /// `arena[cell] = tile[base]` materializes what the forwarded k = −1
+    /// load would have read at t = 0.
+    pub prelude: Vec<(u32, u16)>,
+    /// Per-op streamed flag, stripe-row element offset, and vals-region
+    /// element offset (rows are `lanes·CHUNK` elements wide, vals cells
+    /// `lanes` wide, so both are prefix sums rather than plain indices).
     streamed: Vec<bool>,
-    slot_of: Vec<u32>,
-    /// Shared f64 arena: `n_slots` stripe rows of `CHUNK` elements,
-    /// then one val per body op, then materialized constants. All
-    /// recurrent operands resolve to offsets into this one slice.
+    row_of: Vec<u32>,
+    vals_of: Vec<u32>,
+    /// Shared f64 arena: the streamed ops' stripe rows, then the
+    /// per-op vals cells, then materialized constants. All recurrent
+    /// operands resolve to offsets into this one slice.
     pub arena: Vec<f64>,
     /// Plan cache: address of the `RunSpec` the current `stream`/`rec`
     /// were built for (0 = none), the run length, the per-access
     /// signature `(delta, tile id, base − base₀)`, and the materialized
-    /// invariant values. When the signature of the next run matches,
-    /// classification is provably identical and only the flat bases
-    /// need patching — the common case for every row of every tile.
+    /// invariant values (from the float and vector register files).
+    /// When the signature of the next run matches, classification is
+    /// provably identical and only the flat bases need patching — the
+    /// common case for every row of every tile.
     cached_spec: usize,
     cached_n: usize,
-    sig: Vec<(isize, usize, isize)>,
+    sig: Vec<(isize, usize, isize, isize)>,
     inv_vals: Vec<(u32, f64)>,
+    inv_vvals: Vec<(u32, f64)>,
+    /// Negative verdict cache: specs whose probe/resolution failed in
+    /// this frame. The generic path is always a correct (just slower)
+    /// fallback, so once a loop declines at run time it stops paying
+    /// the probe + snapshot cost on every subsequent execution.
+    pub declined: Vec<usize>,
 }
 
 impl Clone for RunScratch {
@@ -353,26 +541,60 @@ impl Clone for RunScratch {
 
 /// Classifies every op of `spec` as streamed or recurrent for a run of
 /// `n` iterations and builds the execution plans into `scratch`
-/// (`scratch.acc` must already hold the resolved access plans).
-/// Run-invariant operands are materialized from `fregs`.
-pub(crate) fn build_plan(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &mut RunScratch) {
+/// (`scratch.acc` must already hold the resolved access plans, one per
+/// lane of each access). Run-invariant operands are materialized from
+/// the float (`fregs`) and vector (`vregs`) register files.
+pub(crate) fn build_plan(
+    spec: &RunSpec,
+    n: usize,
+    fregs: &[f64],
+    vregs: &[f64],
+    scratch: &mut RunScratch,
+) {
     let ops = &spec.ops;
-    if plan_cache_hit(spec, n, fregs, scratch) {
+    if plan_cache_hit(spec, n, fregs, vregs, scratch) {
         patch_bases(scratch);
         return;
     }
+    let t_miss = phase_timing::enabled().then(std::time::Instant::now);
+    phase_timing::count_miss();
+    // Expand the merged table into per-op access plans: classification,
+    // forwarding, and hazard analysis below see exactly what per-op
+    // resolution used to produce (the bases are the same integers —
+    // lane-0 base plus the member's lane offset).
+    scratch.acc_map.clear();
+    scratch.acc_map.extend_from_slice(&spec.acc_map);
+    scratch.acc.clear();
+    for (pos, op) in ops.iter().enumerate() {
+        let (acc, lanes, store) = match op {
+            RunOp::Load { acc, lanes, .. } => (*acc, *lanes, false),
+            RunOp::Store { acc, lanes, .. } => (*acc, *lanes, true),
+            _ => continue,
+        };
+        let (t, l) = scratch.acc_map[acc as usize];
+        let p = &scratch.tab[t as usize];
+        scratch.acc.push(AccessPlan {
+            base: p.base + l as isize * p.lane_stride,
+            delta: p.delta,
+            lane_stride: p.lane_stride,
+            lanes,
+            tile: p.tile,
+            pos: pos as u32,
+            store,
+        });
+    }
     scratch.streamed.clear();
     scratch.streamed.resize(ops.len(), false);
-    scratch.slot_of.clear();
-    scratch.slot_of.resize(ops.len(), 0);
+    scratch.row_of.clear();
+    scratch.row_of.resize(ops.len(), 0);
     scratch.stream.clear();
     scratch.rec_first.clear();
     scratch.rec_steady.clear();
 
     // Hazard classification: a load is streamable iff no store of the
-    // body can hit one of its addresses "from the past" of the original
-    // interleaving (see `hazard`); a float op is streamable iff all its
-    // operands are.
+    // body can hit one of its lanes' addresses "from the past" of the
+    // original interleaving (see `hazard`); a float op is streamable
+    // iff all its operands are.
     for i in 0..ops.len() {
         let s = match &ops[i] {
             RunOp::Load { acc, .. } => {
@@ -386,8 +608,8 @@ pub(crate) fn build_plan(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &mut 
             RunOp::Bin { a, b, .. } => {
                 fref_streamed(*a, &scratch.streamed) && fref_streamed(*b, &scratch.streamed)
             }
-            RunOp::Un { a, .. } => fref_streamed(*a, &scratch.streamed),
-            RunOp::Fma { a, b, c } => {
+            RunOp::Un { a, .. } | RunOp::Splat { a, .. } => fref_streamed(*a, &scratch.streamed),
+            RunOp::Fma { a, b, c, .. } => {
                 fref_streamed(*a, &scratch.streamed)
                     && fref_streamed(*b, &scratch.streamed)
                     && fref_streamed(*c, &scratch.streamed)
@@ -396,159 +618,187 @@ pub(crate) fn build_plan(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &mut 
         scratch.streamed[i] = s;
     }
 
-    // Plan construction: streamed ops get stripe slots in body order;
-    // everything else goes to the recurrent tail, also in body order.
-    // The arena is sized up front (grow-only: stripes are fully written
-    // before they are read within each chunk, and vals/constants are
-    // rewritten below, so stale contents never leak and the common
-    // run-after-run case skips the memset) so that baked offsets stay
-    // valid while constants are materialized into its tail.
-    let total_slots = scratch.streamed.iter().filter(|&&x| x).count() as u32;
-    let arena_len = total_slots as usize * CHUNK + ops.len() * 4;
+    // Arena layout (grow-only, element offsets): the streamed ops'
+    // stripe rows (`lanes·CHUNK` elements each, plus headroom for
+    // lane-varying invariant operands, which must sit *below* their
+    // consumer's row for the aliasing split in the chunk loops), then
+    // `lanes` vals cells per body op, then materialized scalar
+    // constants. Stripes are fully written before they are read within
+    // each chunk and vals/constants are rewritten below, so stale
+    // contents never leak and the run-after-run case skips the memset.
+    // Rows hold one chunk of iterations; short runs (narrow tiles, or
+    // few vector iterations after lane division) get proportionally
+    // small rows. Safe because the run length is part of the plan-cache
+    // key — a cached layout is only ever reused at the same `n`.
+    let chunk = CHUNK.min(n);
+    let row_budget: usize = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| scratch.streamed[*i])
+        .map(|(_, o)| o.lanes() as usize * (chunk + 3))
+        .sum();
+    scratch.vals_of.clear();
+    let mut v = row_budget as u32;
+    for op in ops.iter() {
+        scratch.vals_of.push(v);
+        v += u32::from(op.lanes());
+    }
+    let vals_end = v as usize;
+    let const_budget: usize = ops.iter().map(|o| 3 * o.lanes() as usize + 1).sum();
+    let arena_len = vals_end + const_budget;
     if scratch.arena.len() < arena_len {
         scratch.arena.resize(arena_len, 0.0);
     }
-    let mut next_const = total_slots as usize * CHUNK + ops.len();
-    let mut n_slots = 0u32;
+    let mut next_const = vals_end;
+    let mut row_cursor = 0u32;
     for (i, op) in ops.iter().enumerate() {
         if scratch.streamed[i] {
-            let slot = n_slots;
-            n_slots += 1;
-            scratch.slot_of[i] = slot;
+            let w = op.lanes();
+            // Operand resolution may allocate lane-constant cells at
+            // the row cursor; the op's own row is assigned after, so
+            // every source offset stays strictly below it.
+            macro_rules! s {
+                ($r:expr, $w:expr) => {
+                    ssrc(
+                        $r,
+                        $w,
+                        fregs,
+                        vregs,
+                        &scratch.row_of,
+                        ops,
+                        &mut scratch.arena,
+                        &mut row_cursor,
+                    )
+                };
+            }
             let sop = match op {
-                RunOp::Load { acc, .. } => {
+                RunOp::Load { acc, lanes, .. } => {
                     let a = scratch.acc[*acc as usize];
                     SOp::Load {
-                        slot,
+                        row: 0, // patched below once the row is assigned
+                        lanes: *lanes,
+                        lane_stride: a.lane_stride,
                         base: a.base,
                         delta: a.delta,
                         tile: a.tile,
                         acc: *acc,
                     }
                 }
-                RunOp::Bin { op, a, b } => SOp::Bin {
+                RunOp::Bin { op, a, b, lanes } => SOp::Bin {
                     op: *op,
-                    slot,
-                    a: ssrc(*a, fregs, &scratch.slot_of),
-                    b: ssrc(*b, fregs, &scratch.slot_of),
+                    row: 0,
+                    lanes: *lanes,
+                    a: s!(*a, *lanes),
+                    b: s!(*b, *lanes),
                 },
-                RunOp::Un { op, a } => SOp::Un {
+                RunOp::Un { op, a, lanes } => SOp::Un {
                     op: *op,
-                    slot,
-                    a: ssrc(*a, fregs, &scratch.slot_of),
+                    row: 0,
+                    lanes: *lanes,
+                    a: s!(*a, *lanes),
                 },
-                RunOp::Fma { a, b, c } => SOp::Fma {
-                    slot,
-                    a: ssrc(*a, fregs, &scratch.slot_of),
-                    b: ssrc(*b, fregs, &scratch.slot_of),
-                    c: ssrc(*c, fregs, &scratch.slot_of),
+                RunOp::Fma { a, b, c, lanes } => SOp::Fma {
+                    row: 0,
+                    lanes: *lanes,
+                    a: s!(*a, *lanes),
+                    b: s!(*b, *lanes),
+                    c: s!(*c, *lanes),
+                },
+                RunOp::Splat { a, lanes } => SOp::Splat {
+                    row: 0,
+                    lanes: *lanes,
+                    a: s!(*a, 1),
                 },
                 RunOp::Store { .. } => unreachable!("stores are never streamed"),
             };
+            let row = row_cursor;
+            row_cursor += u32::from(w) * chunk as u32;
+            scratch.row_of[i] = row;
+            let mut sop = sop;
+            match &mut sop {
+                SOp::Load { row: r, .. }
+                | SOp::Bin { row: r, .. }
+                | SOp::Un { row: r, .. }
+                | SOp::Fma { row: r, .. }
+                | SOp::Splat { row: r, .. } => *r = row,
+                SOp::BinLoads { .. } => unreachable!("fusion runs later"),
+            }
             scratch.stream.push(sop);
         } else {
-            let vals_base = total_slots as usize * CHUNK;
+            macro_rules! r {
+                ($r:expr, $w:expr) => {
+                    rref(
+                        $r,
+                        $w,
+                        fregs,
+                        vregs,
+                        &scratch.streamed,
+                        &scratch.row_of,
+                        &scratch.vals_of,
+                        ops,
+                        &mut scratch.arena,
+                        &mut next_const,
+                    )
+                };
+            }
+            let dst = scratch.vals_of[i];
             let rop = match op {
-                RunOp::Load { acc, .. } => {
+                RunOp::Load { acc, lanes, .. } => {
                     let a = scratch.acc[*acc as usize];
                     ROp::Load {
-                        dst: (vals_base + i) as u32,
+                        dst,
+                        lanes: *lanes,
+                        lane_stride: a.lane_stride,
                         base: a.base,
                         delta: a.delta,
                         tile: a.tile,
                         acc: *acc,
                     }
                 }
-                RunOp::Store { src, acc, .. } => {
+                RunOp::Store { src, acc, lanes, .. } => {
                     let a = scratch.acc[*acc as usize];
                     ROp::Store {
-                        src: rref(
-                            *src,
-                            fregs,
-                            &scratch.streamed,
-                            &scratch.slot_of,
-                            vals_base,
-                            &mut scratch.arena,
-                            &mut next_const,
-                        ),
+                        src: r!(*src, *lanes),
+                        lanes: *lanes,
+                        lane_stride: a.lane_stride,
                         base: a.base,
                         delta: a.delta,
                         tile: a.tile,
                         acc: *acc,
                     }
                 }
-                RunOp::Bin { op, a, b } => ROp::Bin {
+                RunOp::Bin { op, a, b, lanes } => ROp::Bin {
                     op: *op,
-                    dst: (vals_base + i) as u32,
-                    a: rref(
-                        *a,
-                        fregs,
-                        &scratch.streamed,
-                        &scratch.slot_of,
-                        vals_base,
-                        &mut scratch.arena,
-                        &mut next_const,
-                    ),
-                    b: rref(
-                        *b,
-                        fregs,
-                        &scratch.streamed,
-                        &scratch.slot_of,
-                        vals_base,
-                        &mut scratch.arena,
-                        &mut next_const,
-                    ),
+                    dst,
+                    lanes: *lanes,
+                    a: r!(*a, *lanes),
+                    b: r!(*b, *lanes),
                 },
-                RunOp::Un { op, a } => ROp::Un {
+                RunOp::Un { op, a, lanes } => ROp::Un {
                     op: *op,
-                    dst: (vals_base + i) as u32,
-                    a: rref(
-                        *a,
-                        fregs,
-                        &scratch.streamed,
-                        &scratch.slot_of,
-                        vals_base,
-                        &mut scratch.arena,
-                        &mut next_const,
-                    ),
+                    dst,
+                    lanes: *lanes,
+                    a: r!(*a, *lanes),
                 },
-                RunOp::Fma { a, b, c } => ROp::Fma {
-                    dst: (vals_base + i) as u32,
-                    a: rref(
-                        *a,
-                        fregs,
-                        &scratch.streamed,
-                        &scratch.slot_of,
-                        vals_base,
-                        &mut scratch.arena,
-                        &mut next_const,
-                    ),
-                    b: rref(
-                        *b,
-                        fregs,
-                        &scratch.streamed,
-                        &scratch.slot_of,
-                        vals_base,
-                        &mut scratch.arena,
-                        &mut next_const,
-                    ),
-                    c: rref(
-                        *c,
-                        fregs,
-                        &scratch.streamed,
-                        &scratch.slot_of,
-                        vals_base,
-                        &mut scratch.arena,
-                        &mut next_const,
-                    ),
+                RunOp::Fma { a, b, c, lanes } => ROp::Fma {
+                    dst,
+                    lanes: *lanes,
+                    a: r!(*a, *lanes),
+                    b: r!(*b, *lanes),
+                    c: r!(*c, *lanes),
+                },
+                RunOp::Splat { a, lanes } => ROp::Splat {
+                    dst,
+                    lanes: *lanes,
+                    a: r!(*a, 1),
                 },
             };
             scratch.rec_first.push(rop);
         }
     }
-    debug_assert_eq!(n_slots, total_slots);
+    debug_assert!(row_cursor as usize <= row_budget);
     fuse_stream_loads(scratch);
-    build_steady(scratch, total_slots as usize * CHUNK);
+    build_steady(scratch, n, row_budget, vals_end);
     if std::env::var_os("INSTENCIL_RUN_DEBUG").is_some() && scratch.cached_spec == 0 {
         eprintln!(
             "plan: probe={} probe_iv={} ops={} accs={}",
@@ -561,35 +811,89 @@ pub(crate) fn build_plan(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &mut 
         eprintln!("plan: rec_first={:?}", scratch.rec_first);
         eprintln!("plan: rec_steady={:?}", scratch.rec_steady);
     }
-    // Record the cache signature for the next run.
+    // Record the cache signature for the next run (over the merged
+    // table: per-op signatures are an affine expansion of the entry
+    // signatures, so entry-level equality implies op-level equality).
     scratch.cached_spec = spec as *const RunSpec as usize;
     scratch.cached_n = n;
-    let base0 = scratch.acc[0].base;
+    let base0 = scratch.tab[0].base;
     scratch.sig.clear();
     scratch
         .sig
-        .extend(scratch.acc.iter().map(|a| (a.delta, a.tile.id(), a.base - base0)));
+        .extend(
+            scratch
+                .tab
+                .iter()
+                .map(|a| (a.delta, a.tile.id(), a.base - base0, a.lane_stride)),
+        );
     scratch.inv_vals.clear();
-    for op in ops.iter() {
-        let mut note = |r: &FRef| {
-            if let FRef::Inv(reg) = r {
-                scratch.inv_vals.push((*reg, fregs[*reg as usize]));
+    scratch.inv_vvals.clear();
+    // Registers whose value at plan time is a literal the probe itself
+    // just wrote (`CF`/`CV`, not later overwritten by `S2F`): the probe
+    // reruns before every plan, so these can never drift from the
+    // snapshot — recording them would re-verify a tautology on every
+    // cache hit, per consumer and per lane.
+    let mut fconst: HashSet<u32> = HashSet::new();
+    let mut vconst: HashSet<u32> = HashSet::new();
+    for p in spec.probe.iter() {
+        match p {
+            ProbeOp::CF { dst, .. } => {
+                fconst.insert(*dst);
             }
+            ProbeOp::S2F { dst, .. } => {
+                fconst.remove(dst);
+            }
+            ProbeOp::CV { off, lanes, .. } => {
+                for l in 0..*lanes {
+                    vconst.insert(*off + l);
+                }
+            }
+            _ => {}
+        }
+    }
+    for op in ops.iter() {
+        let lanes = op.lanes();
+        let mut note = |r: &FRef, w: u16| match r {
+            FRef::Inv(reg) => {
+                if !fconst.contains(reg) {
+                    scratch.inv_vals.push((*reg, fregs[*reg as usize]));
+                }
+            }
+            FRef::VInv(off) => {
+                for l in 0..u32::from(w) {
+                    if !vconst.contains(&(*off + l)) {
+                        scratch
+                            .inv_vvals
+                            .push((*off + l, vregs[(*off + l) as usize]));
+                    }
+                }
+            }
+            FRef::Op(_) | FRef::Lane(..) => {}
         };
         match op {
             RunOp::Bin { a, b, .. } => {
-                note(a);
-                note(b);
+                note(a, lanes);
+                note(b, lanes);
             }
-            RunOp::Un { a, .. } => note(a),
-            RunOp::Fma { a, b, c } => {
-                note(a);
-                note(b);
-                note(c);
+            RunOp::Un { a, .. } => note(a, lanes),
+            RunOp::Fma { a, b, c, .. } => {
+                note(a, lanes);
+                note(b, lanes);
+                note(c, lanes);
             }
-            RunOp::Store { src, .. } => note(src),
+            RunOp::Store { src, .. } => note(src, lanes),
+            RunOp::Splat { a, .. } => note(a, 1),
             RunOp::Load { .. } => {}
         }
+    }
+    // An invariant register read by several consumers needs verifying
+    // once, not per consumer.
+    scratch.inv_vals.sort_unstable_by_key(|&(r, _)| r);
+    scratch.inv_vals.dedup_by_key(|&mut (r, _)| r);
+    scratch.inv_vvals.sort_unstable_by_key(|&(r, _)| r);
+    scratch.inv_vvals.dedup_by_key(|&mut (r, _)| r);
+    if let Some(t) = t_miss {
+        phase_timing::record_miss_ns(t.elapsed());
     }
 }
 
@@ -599,15 +903,19 @@ pub(crate) fn build_plan(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &mut 
 /// passes over the chunk disappear; the fused loop reads both tiles
 /// directly, which is the same read the staging copy would have done.
 fn fuse_stream_loads(scratch: &mut RunScratch) {
-    let row_read = |r: &RRef, slot: u32| r.step == 1 && r.off == slot * CHUNK as u32;
-    let rec_reads = |slot: u32| {
+    // Any read touching an element of `[row, row + lanes)` consumes the
+    // row (lane refs carry `row + lane` offsets; lane-constant cells
+    // never alias a load's row by construction).
+    let in_row = |off: u32, row: u32, lanes: u16| off >= row && off < row + u32::from(lanes);
+    let rec_reads = |row: u32, lanes: u16| {
+        let rr = |r: &RRef| r.step != 0 && in_row(r.off, row, lanes);
         scratch.rec_first.iter().any(|op| match op {
             ROp::Load { .. } | ROp::Carry { .. } => false,
-            ROp::Store { src, .. } => row_read(src, slot),
-            ROp::Bin { a, b, .. } => row_read(a, slot) || row_read(b, slot),
-            ROp::Un { a, .. } => row_read(a, slot),
-            ROp::Fma { a, b, c, .. } => row_read(a, slot) || row_read(b, slot) || row_read(c, slot),
-            ROp::Chain { .. } | ROp::ChainStore { .. } => {
+            ROp::Store { src, .. } => rr(src),
+            ROp::Bin { a, b, .. } => rr(a) || rr(b),
+            ROp::Un { a, .. } | ROp::Splat { a, .. } => rr(a),
+            ROp::Fma { a, b, c, .. } => rr(a) || rr(b) || rr(c),
+            ROp::Chain { .. } | ROp::ChainStore { .. } | ROp::ChainStoreW { .. } => {
                 unreachable!("stream fusion runs before build_steady")
             }
         })
@@ -615,26 +923,38 @@ fn fuse_stream_loads(scratch: &mut RunScratch) {
     for k in 0..scratch.stream.len() {
         let SOp::Bin {
             op,
-            slot,
-            a: SSrc::Slot(x),
-            b: SSrc::Slot(y),
+            row,
+            lanes,
+            a: SSrc::Row { off: x, step: sx },
+            b: SSrc::Row { off: y, step: sy },
         } = scratch.stream[k]
         else {
             continue;
         };
-        let reads = |s: &SSrc, r| matches!(s, SSrc::Slot(v) if *v == r);
+        // Both operands must be whole aligned rows of the same width as
+        // the consumer (step == lanes and offset at a load's row start).
+        if sx != u32::from(lanes) || sy != u32::from(lanes) {
+            continue;
+        }
+        let reads = |s: &SSrc, row: u32| matches!(s, SSrc::Row { off, .. } if in_row(*off, row, lanes));
         let other_consumer = |r: u32| {
             scratch.stream.iter().enumerate().any(|(j, op)| match op {
                 SOp::Load { .. } | SOp::BinLoads { .. } => false,
                 SOp::Bin { a, b, .. } => j != k && (reads(a, r) || reads(b, r)),
-                SOp::Un { a, .. } => reads(a, r),
+                SOp::Un { a, .. } | SOp::Splat { a, .. } => reads(a, r),
                 SOp::Fma { a, b, c, .. } => reads(a, r) || reads(b, r) || reads(c, r),
-            }) || rec_reads(r)
+            }) || rec_reads(r, lanes)
         };
+        // A wide fused load must be dense (contiguous lanes, row-major
+        // advance) so the fused loop reads `m·lanes` consecutive
+        // elements; scalar loads may stride arbitrarily.
         let load_of = |r: u32| {
-            scratch.stream.iter().position(
-                |op| matches!(op, SOp::Load { slot, .. } if *slot == r),
-            )
+            scratch.stream.iter().position(|op| {
+                matches!(op, SOp::Load { row, lanes: ll, lane_stride, delta, .. }
+                    if *row == r
+                        && *ll == lanes
+                        && (lanes == 1 || (*lane_stride == 1 && *delta == lanes as isize)))
+            })
         };
         let (Some(la), Some(lb)) = (load_of(x), load_of(y)) else {
             continue;
@@ -664,7 +984,8 @@ fn fuse_stream_loads(scratch: &mut RunScratch) {
         };
         scratch.stream[k] = SOp::BinLoads {
             op,
-            slot,
+            row,
+            lanes,
             a_base,
             a_delta,
             a_tile,
@@ -689,19 +1010,25 @@ fn fuse_stream_loads(scratch: &mut RunScratch) {
 /// spec, same length, same per-access deltas, allocations, and
 /// inter-access base offsets (⇒ identical hazard classification), and
 /// unchanged invariant operand values.
-fn plan_cache_hit(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &RunScratch) -> bool {
+fn plan_cache_hit(
+    spec: &RunSpec,
+    n: usize,
+    fregs: &[f64],
+    vregs: &[f64],
+    scratch: &RunScratch,
+) -> bool {
     if scratch.cached_spec != spec as *const RunSpec as usize
         || scratch.cached_n != n
-        || scratch.sig.len() != scratch.acc.len()
+        || scratch.sig.len() != scratch.tab.len()
     {
         return false;
     }
-    let base0 = scratch.acc[0].base;
+    let base0 = scratch.tab[0].base;
     if !scratch
-        .acc
+        .tab
         .iter()
         .zip(&scratch.sig)
-        .all(|(a, s)| (a.delta, a.tile.id(), a.base - base0) == *s)
+        .all(|(a, s)| (a.delta, a.tile.id(), a.base - base0, a.lane_stride) == *s)
     {
         return false;
     }
@@ -709,35 +1036,69 @@ fn plan_cache_hit(spec: &RunSpec, n: usize, fregs: &[f64], scratch: &RunScratch)
         .inv_vals
         .iter()
         .all(|&(reg, v)| fregs[reg as usize].to_bits() == v.to_bits())
+        && scratch
+            .inv_vvals
+            .iter()
+            .all(|&(off, v)| vregs[off as usize].to_bits() == v.to_bits())
 }
 
-/// Rewrites the flat base addresses of the cached plan to this run's
-/// resolved accesses (everything else — classification, slots, deltas,
-/// tiles, constants — is unchanged by construction on a cache hit).
+/// Rewrites the flat base addresses *and tile handles* of the cached
+/// plan to this run's resolved accesses (everything else —
+/// classification, slots, deltas, constants — is unchanged by
+/// construction on a cache hit). Tiles must be refreshed, not just
+/// revalidated: the signature proves the fresh access resolves to the
+/// same allocation *address* as the cached one, but scratch outlives
+/// single calls (the engine pools it across frames), so the cached
+/// `TileView` copies may be stale handles from a previous call whose
+/// buffers are gone. After patching, every pointer the hit path
+/// dereferences comes from the current frame's live buffer registers.
 fn patch_bases(scratch: &mut RunScratch) {
-    let acc = &scratch.acc;
+    let tab = &scratch.tab;
+    let map = &scratch.acc_map;
+    let b = |a: u16| {
+        let (t, l) = map[a as usize];
+        let p = &tab[t as usize];
+        (p.base + l as isize * p.lane_stride, p.tile)
+    };
     for op in &mut scratch.stream {
         match op {
-            SOp::Load { base, acc: a, .. } => *base = acc[*a as usize].base,
+            SOp::Load {
+                base, tile, acc: a, ..
+            } => (*base, *tile) = b(*a),
             SOp::BinLoads {
                 a_base,
+                a_tile,
                 a_acc,
                 b_base,
+                b_tile,
                 b_acc,
                 ..
             } => {
-                *a_base = acc[*a_acc as usize].base;
-                *b_base = acc[*b_acc as usize].base;
+                (*a_base, *a_tile) = b(*a_acc);
+                (*b_base, *b_tile) = b(*b_acc);
             }
             _ => {}
         }
     }
-    for op in scratch.rec_first.iter_mut().chain(&mut scratch.rec_steady) {
+    // `rec_first` is never executed (analysis input only), so only the
+    // steady tape's bases need patching.
+    for op in &mut scratch.rec_steady {
         match op {
-            ROp::Load { base, acc: a, .. }
-            | ROp::Store { base, acc: a, .. }
-            | ROp::ChainStore { base, acc: a, .. } => {
-                *base = acc[*a as usize].base;
+            ROp::Load {
+                base, tile, acc: a, ..
+            }
+            | ROp::Store {
+                base, tile, acc: a, ..
+            }
+            | ROp::ChainStore {
+                base, tile, acc: a, ..
+            } => {
+                (*base, *tile) = b(*a);
+            }
+            ROp::ChainStoreW { lanes, .. } => {
+                for lane in lanes.iter_mut() {
+                    (lane.base, lane.tile) = b(lane.acc);
+                }
             }
             _ => {}
         }
@@ -747,160 +1108,291 @@ fn patch_bases(scratch: &mut RunScratch) {
 #[inline]
 fn fref_streamed(r: FRef, streamed: &[bool]) -> bool {
     match r {
-        FRef::Inv(_) => true,
-        FRef::Op(j) => streamed[j as usize],
+        FRef::Inv(_) | FRef::VInv(_) => true,
+        FRef::Op(j) | FRef::Lane(j, _) => streamed[j as usize],
     }
 }
 
+/// Resolves a streamed operand for a consumer of width `w`.
+/// Lane-varying invariant vectors are materialized as `w` cells at the
+/// row cursor — strictly below the consumer's (not yet assigned) row,
+/// which keeps the `dst_row` aliasing split valid.
 #[inline]
-fn ssrc(r: FRef, fregs: &[f64], slot_of: &[u32]) -> SSrc {
+#[allow(clippy::too_many_arguments)]
+fn ssrc(
+    r: FRef,
+    w: u16,
+    fregs: &[f64],
+    vregs: &[f64],
+    row_of: &[u32],
+    ops: &[RunOp],
+    arena: &mut [f64],
+    row_cursor: &mut u32,
+) -> SSrc {
     match r {
         FRef::Inv(reg) => SSrc::Const(fregs[reg as usize]),
-        FRef::Op(j) => SSrc::Slot(slot_of[j as usize]),
+        FRef::VInv(off) => {
+            let v = &vregs[off as usize..off as usize + w as usize];
+            if v.iter().all(|x| x.to_bits() == v[0].to_bits()) {
+                SSrc::Const(v[0])
+            } else {
+                let at = *row_cursor as usize;
+                arena[at..at + w as usize].copy_from_slice(v);
+                *row_cursor += u32::from(w);
+                SSrc::Row {
+                    off: at as u32,
+                    step: 0,
+                }
+            }
+        }
+        FRef::Op(j) => SSrc::Row {
+            off: row_of[j as usize],
+            step: u32::from(ops[j as usize].lanes()),
+        },
+        FRef::Lane(j, lane) => SSrc::Row {
+            off: row_of[j as usize] + u32::from(lane),
+            step: u32::from(ops[j as usize].lanes()),
+        },
     }
 }
 
-/// Resolves a recurrent operand to its arena offset, materializing
-/// run-invariant values into the constants tail.
+/// Resolves a recurrent operand for a consumer of width `w` to its
+/// arena offset, materializing run-invariant values (replicated to `w`
+/// cells for wide consumers) into the constants tail.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn rref(
     r: FRef,
+    w: u16,
     fregs: &[f64],
+    vregs: &[f64],
     streamed: &[bool],
-    slot_of: &[u32],
-    vals_base: usize,
+    row_of: &[u32],
+    vals_of: &[u32],
+    ops: &[RunOp],
     arena: &mut [f64],
     next_const: &mut usize,
 ) -> RRef {
     match r {
         FRef::Inv(reg) => {
             let off = *next_const;
-            *next_const += 1;
-            arena[off] = fregs[reg as usize];
+            *next_const += w as usize;
+            arena[off..off + w as usize].fill(fregs[reg as usize]);
+            RRef {
+                off: off as u32,
+                step: 0,
+            }
+        }
+        FRef::VInv(voff) => {
+            let off = *next_const;
+            *next_const += w as usize;
+            arena[off..off + w as usize]
+                .copy_from_slice(&vregs[voff as usize..voff as usize + w as usize]);
             RRef {
                 off: off as u32,
                 step: 0,
             }
         }
         FRef::Op(j) if streamed[j as usize] => RRef {
-            off: slot_of[j as usize] * CHUNK as u32,
-            step: 1,
+            off: row_of[j as usize],
+            step: u32::from(ops[j as usize].lanes()),
         },
         FRef::Op(j) => RRef {
-            off: (vals_base + j as usize) as u32,
+            off: vals_of[j as usize],
+            step: 0,
+        },
+        FRef::Lane(j, lane) if streamed[j as usize] => RRef {
+            off: row_of[j as usize] + u32::from(lane),
+            step: u32::from(ops[j as usize].lanes()),
+        },
+        FRef::Lane(j, lane) => RRef {
+            off: vals_of[j as usize] + u32::from(lane),
             step: 0,
         },
     }
 }
 
-/// Builds the steady-state recurrent tape from `rec_first`: a `Load`
-/// whose address sequence trails this run's single store on the same
-/// allocation by exactly one iteration (k = −1) re-reads the value the
-/// arena already holds, so it is forwarded — its consumers are
-/// repointed at the store's source when every consumer reads it before
-/// the source is recomputed, or it degrades to a `Carry` copy. The
-/// first iteration always uses the faithful tape (there is no previous
-/// iteration to forward from).
-fn build_steady(scratch: &mut RunScratch, vals_base: usize) {
-    // dst offset of a forwardable load → the store's source offset.
-    let mut fwd: Vec<(u32, u32)> = Vec::new();
+/// Builds the steady-state recurrent tape from `rec_first`. A scalar
+/// `Load` whose address was last written by a store of this same body —
+/// either one iteration earlier (k = −1) or earlier in the current
+/// iteration (k = 0, store before load in body order) — re-reads a
+/// value the plan already holds, so it is forwarded: its consumers are
+/// repointed at the store's source operand (for k = −1 only while that
+/// source has not been recomputed this iteration; a k = 0 source is
+/// always already this iteration's value), or the load degrades to a
+/// `Carry` copy. The steady tape is valid from t = 0: each k = −1
+/// forward's source cell is pre-seeded (`prelude`) with the value its
+/// load would have read from pre-run memory, so no separate
+/// first-iteration execution remains.
+fn build_steady(scratch: &mut RunScratch, n: usize, row_budget: usize, vals_end: usize) {
+    // Body-op index owning a step-0 vals cell (None for stripe rows,
+    // lane-constant cells, and the constants tail — all of which hold
+    // values no recurrent op rewrites mid-iteration).
+    let vals_of = &scratch.vals_of;
+    let owner = |off: u32| -> Option<usize> {
+        let off = off as usize;
+        if off < row_budget || off >= vals_end {
+            return None;
+        }
+        let i = vals_of.partition_point(|&v| v as usize <= off) - 1;
+        Some(i)
+    };
+    // dst offset of a forwardable load → (store source, k).
+    let mut fwd: Vec<(u32, RRef, i64)> = Vec::new();
+    let mut prelude: Vec<(u32, u16)> = Vec::new();
     for op in &scratch.rec_first {
-        let ROp::Load { dst, acc, .. } = op else {
+        let ROp::Load { dst, lanes: 1, acc, .. } = op else {
             continue;
         };
         let la = scratch.acc[*acc as usize];
-        let mut stores = scratch
-            .acc
-            .iter()
-            .filter(|a| a.store && a.tile.id() == la.tile.id());
-        let (Some(sa), None) = (stores.next(), stores.next()) else {
-            continue; // forwarding needs a unique writer of the tile
-        };
-        if la.delta == 0 || sa.delta != la.delta || la.base != sa.base - sa.delta {
+        if la.delta == 0 {
             continue;
         }
-        if la.pos >= sa.pos {
-            // The store of iteration t runs before this load; the arena
-            // would already hold iteration t's value, not t − 1's.
+        let d = la.delta;
+        // Find the sequentially latest store hitting this load's address
+        // sequence. All stores on the tile must share the load's delta
+        // (conservative bail otherwise); a divisible base difference
+        // identifies the aliasing ones, and among those that the
+        // original interleaving orders before the load, the largest
+        // (k, pos) wrote last.
+        let mut best: Option<(i64, u32)> = None;
+        let mut bail = false;
+        for sa in scratch.acc.iter() {
+            if !sa.store || sa.tile.id() != la.tile.id() {
+                continue;
+            }
+            if sa.delta != d {
+                bail = true;
+                break;
+            }
+            // A wide store is one plan; each lane is its own address
+            // sequence. (A wide winner never forwards — the scalar
+            // store-source lookup below only matches `lanes: 1` — but
+            // its lanes still participate in picking the latest writer,
+            // which keeps a scalar store from winning incorrectly.)
+            for sl in 0..sa.lanes as isize {
+                let diff = la.base - (sa.base + sl * sa.lane_stride);
+                if diff % d != 0 {
+                    continue;
+                }
+                let k = (diff / d) as i64;
+                let reaches = (k >= -((n as i64) - 1) && k <= -1) || (k == 0 && sa.pos < la.pos);
+                if reaches && best.is_none_or(|b| (k, sa.pos) > b) {
+                    best = Some((k, sa.pos));
+                }
+            }
+        }
+        if bail {
             continue;
         }
+        let Some((k, spos)) = best else { continue };
+        if k != -1 && k != 0 {
+            continue; // writer too far back: keep the real load
+        }
+        // The (scalar) store op at that body position; its source.
         let src = scratch.rec_first.iter().find_map(|op| match op {
-            ROp::Store { src, acc, .. } if scratch.acc[*acc as usize].pos == sa.pos => Some(*src),
+            ROp::Store { src, lanes: 1, acc, .. }
+                if scratch.acc[*acc as usize].pos == spos =>
+            {
+                Some(*src)
+            }
             _ => None,
         });
         let Some(src) = src else { continue };
-        // The forwarded value must still be live (not yet recomputed
-        // this iteration) when the load's position is reached: its
-        // offset must belong to an op later in body order, or to the
-        // constants tail.
-        if src.step != 0 || (src.off as usize) <= vals_base + la.pos as usize {
-            continue;
+        if k == -1 {
+            // The previous iteration's source value must survive into
+            // this one: a step-0 cell rewritten only after the load's
+            // position (or never — constants/lane cells).
+            if src.step != 0 {
+                continue;
+            }
+            match owner(src.off) {
+                Some(p) if p <= la.pos as usize => continue,
+                _ => {}
+            }
+            // At t = 0 there is no previous iteration: seed the source
+            // cell with the load's own t = 0 memory value before the
+            // first chunk. No store of this run writes that address
+            // before the original t = 0 load would have read it (the
+            // aliasing store lands there at t′ = −1; any other store
+            // with k′ = 0 is ordered after the load, and k′ ≥ 1 stores
+            // never reach it).
+            prelude.push((src.off, *acc));
         }
-        fwd.push((*dst, src.off));
+        fwd.push((*dst, src, k));
     }
-    let fwd_of = |off: u32| fwd.iter().find(|(d, _)| *d == off).map(|&(_, s)| s);
-    // A consumer at body position p may read the store's source
-    // directly only if that source is produced after p; otherwise the
-    // load degrades to a Carry copy at its original position.
-    let live_at = |src: u32, pos: usize| src as usize > vals_base + pos;
+    let fwd_of = |off: u32| fwd.iter().find(|(d, _, _)| *d == off).map(|&(_, s, k)| (s, k));
+    // A consumer at body position p may read a k = −1 source directly
+    // only while it still holds the previous iteration's value, i.e.
+    // when the source is produced after p. k = 0 sources already hold
+    // this iteration's value at every position past the store.
+    let live_at = |src: RRef, k: i64, pos: usize| {
+        k == 0 || src.step != 0 || owner(src.off).is_none_or(|p| p > pos)
+    };
     let mut steady: Vec<ROp> = Vec::new();
     for op in &scratch.rec_first {
         let mut op = op.clone();
         let patch = |r: &mut RRef, pos: usize| {
             if r.step == 0 {
-                if let Some(src) = fwd_of(r.off) {
-                    if live_at(src, pos) {
-                        r.off = src;
+                if let Some((src, k)) = fwd_of(r.off) {
+                    if live_at(src, k, pos) {
+                        *r = src;
                     }
                 }
             }
         };
+        let pos_of_dst = |dst: u32| owner(dst).expect("recurrent dst is a vals cell");
         match &mut op {
             ROp::Load { dst, .. } => {
-                if let Some(src) = fwd_of(*dst) {
+                if let Some((src, k)) = fwd_of(*dst) {
                     let dst = *dst;
                     // Keep a Carry if any consumer still reads vals[dst]
                     // (the redirect below was invalid for it).
                     let all_redirected = scratch.rec_first.iter().all(|c| {
                         let (refs, pos): (Vec<RRef>, usize) = match c {
-                            ROp::Bin { a, b, dst, .. } => {
-                                (vec![*a, *b], *dst as usize - vals_base)
+                            ROp::Bin { a, b, dst, .. } => (vec![*a, *b], pos_of_dst(*dst)),
+                            ROp::Un { a, dst, .. } | ROp::Splat { a, dst, .. } => {
+                                (vec![*a], pos_of_dst(*dst))
                             }
-                            ROp::Un { a, dst, .. } => (vec![*a], *dst as usize - vals_base),
-                            ROp::Fma { a, b, c, dst } => {
-                                (vec![*a, *b, *c], *dst as usize - vals_base)
-                            }
+                            ROp::Fma { a, b, c, dst, .. } => (vec![*a, *b, *c], pos_of_dst(*dst)),
                             ROp::Store { src, acc, .. } => {
                                 (vec![*src], scratch.acc[*acc as usize].pos as usize)
                             }
                             ROp::Load { .. } | ROp::Carry { .. } => (vec![], 0),
-                            ROp::Chain { .. } | ROp::ChainStore { .. } => {
+                            ROp::Chain { .. }
+                            | ROp::ChainStore { .. }
+                            | ROp::ChainStoreW { .. } => {
                                 unreachable!("fusion runs after build_steady")
                             }
                         };
                         refs.iter()
                             .filter(|r| r.step == 0 && r.off == dst)
-                            .all(|_| live_at(src, pos))
+                            .all(|_| live_at(src, k, pos))
                     });
                     if all_redirected {
                         continue; // load disappears from the steady tape
                     }
-                    steady.push(ROp::Carry { dst, src });
+                    if src.step != 0 {
+                        // A row-sourced k = 0 forward has no scalar cell
+                        // to Carry from; keep the load for the laggards.
+                        steady.push(op);
+                        continue;
+                    }
+                    steady.push(ROp::Carry { dst, src: src.off });
                     continue;
                 }
             }
             ROp::Bin { a, b, dst, .. } => {
-                let pos = *dst as usize - vals_base;
+                let pos = pos_of_dst(*dst);
                 patch(a, pos);
                 patch(b, pos);
             }
-            ROp::Un { a, dst, .. } => {
-                let pos = *dst as usize - vals_base;
+            ROp::Un { a, dst, .. } | ROp::Splat { a, dst, .. } => {
+                let pos = pos_of_dst(*dst);
                 patch(a, pos);
             }
-            ROp::Fma { a, b, c, dst } => {
-                let pos = *dst as usize - vals_base;
+            ROp::Fma { a, b, c, dst, .. } => {
+                let pos = pos_of_dst(*dst);
                 patch(a, pos);
                 patch(b, pos);
                 patch(c, pos);
@@ -910,13 +1402,14 @@ fn build_steady(scratch: &mut RunScratch, vals_base: usize) {
                 patch(src, pos);
             }
             ROp::Carry { .. } => {}
-            ROp::Chain { .. } | ROp::ChainStore { .. } => {
+            ROp::Chain { .. } | ROp::ChainStore { .. } | ROp::ChainStoreW { .. } => {
                 unreachable!("fusion runs after build_steady")
             }
         }
         steady.push(op);
     }
     fuse_chains(&mut steady);
+    scratch.prelude = prelude;
     scratch.rec_steady = steady;
 }
 
@@ -945,16 +1438,26 @@ fn fuse_chains(steady: &mut Vec<ROp>) {
                 note(c);
             }
             ROp::Store { src, .. } => note(src),
+            ROp::Splat { a, .. } => note(a),
             ROp::Carry { src, .. } => note(&RRef { off: *src, step: 0 }),
             ROp::Load { .. } => {}
-            ROp::Chain { .. } | ROp::ChainStore { .. } => unreachable!("fusion runs once"),
+            ROp::Chain { .. } | ROp::ChainStore { .. } | ROp::ChainStoreW { .. } => {
+                unreachable!("fusion runs once")
+            }
         }
     }
     let single_use = |off: u32| reads.get(&off).copied() == Some(1);
     let mut out: Vec<ROp> = Vec::with_capacity(steady.len());
     let mut i = 0;
     while i < steady.len() {
-        let ROp::Bin { op, dst, a, b } = steady[i] else {
+        let ROp::Bin {
+            op,
+            dst,
+            lanes: 1,
+            a,
+            b,
+        } = steady[i]
+        else {
             out.push(steady[i].clone());
             i += 1;
             continue;
@@ -969,6 +1472,7 @@ fn fuse_chains(steady: &mut Vec<ROp>) {
         while let Some(ROp::Bin {
             op: nop,
             dst: ndst,
+            lanes: 1,
             a: na,
             b: nb,
         }) = steady.get(j + 1)
@@ -1014,10 +1518,12 @@ fn fuse_chains(steady: &mut Vec<ROp>) {
         if let ROp::Chain { dst, init, links } = &op {
             if let Some(ROp::Store {
                 src,
+                lanes: 1,
                 base,
                 delta,
                 tile,
                 acc,
+                ..
             }) = it.peek()
             {
                 if src.step == 0 && src.off == *dst {
@@ -1037,7 +1543,81 @@ fn fuse_chains(steady: &mut Vec<ROp>) {
         }
         merged.push(op);
     }
+    // Third pass: a steady tape that is nothing but `w` chain-stores
+    // forming one lane-unrolled serial recurrence (the §2.4 partial
+    // vectorization shape: lane k's chain consumes lane k − 1's value,
+    // lane 0 consumes lane w − 1's previous-iteration value) fuses into
+    // a single wide chain-store whose carry lives in a register.
+    if let Some(wide) = fuse_wide_chain(&merged) {
+        merged = vec![wide];
+    }
     *steady = merged;
+}
+
+/// Recognizes a steady tape consisting solely of `w ≥ 2` chain-stores
+/// whose only cross-references are the ring of carried values, and
+/// builds the fused [`ROp::ChainStoreW`]. Returns `None` when any
+/// operand besides the per-lane carry touches a chain destination (the
+/// register loop would then skip an arena write some reader needs).
+fn fuse_wide_chain(steady: &[ROp]) -> Option<ROp> {
+    if steady.len() < 2 {
+        return None;
+    }
+    let mut dsts = Vec::with_capacity(steady.len());
+    for op in steady {
+        let ROp::ChainStore { dst, links, .. } = op else {
+            return None;
+        };
+        if links.len() > CHAIN_MAX {
+            return None;
+        }
+        dsts.push(*dst);
+    }
+    let w = dsts.len();
+    let is_dst = |r: &RRef| r.step == 0 && dsts.contains(&r.off);
+    let mut lanes = Vec::with_capacity(w);
+    for (k, op) in steady.iter().enumerate() {
+        let ROp::ChainStore {
+            dst,
+            init,
+            links,
+            base,
+            delta,
+            tile,
+            acc,
+        } = op
+        else {
+            unreachable!()
+        };
+        if is_dst(init) {
+            return None;
+        }
+        let want = dsts[(k + w - 1) % w];
+        let mut carry_at = None;
+        for (j, lk) in links.iter().enumerate() {
+            if !is_dst(&lk.other) {
+                continue;
+            }
+            if lk.other.off != want || carry_at.is_some() {
+                return None;
+            }
+            carry_at = Some(j as u16);
+        }
+        lanes.push(WLane {
+            dst: *dst,
+            init: *init,
+            links: links.clone(),
+            carry_at: carry_at?,
+            base: *base,
+            delta: *delta,
+            tile: *tile,
+            acc: *acc,
+        });
+    }
+    Some(ROp::ChainStoreW {
+        lanes: lanes.into(),
+        carry_cell: dsts[w - 1],
+    })
 }
 
 /// Whether streaming `load` (reading its whole address sequence from
@@ -1056,9 +1636,18 @@ fn hazard(load: &AccessPlan, store: &AccessPlan, n: usize) -> bool {
         return false;
     }
     let last = (n - 1) as isize;
+    // Bounding box over all lanes and iterations (conservative for the
+    // unequal-delta early-out; the modular check below is per lane
+    // pair, exactly what per-lane plans used to test).
     let range = |a: &AccessPlan| {
-        let end = a.base + last * a.delta;
-        (a.base.min(end), a.base.max(end))
+        let span = (a.lanes as isize - 1) * a.lane_stride;
+        let ends = [
+            a.base,
+            a.base + last * a.delta,
+            a.base + span,
+            a.base + last * a.delta + span,
+        ];
+        (*ends.iter().min().unwrap(), *ends.iter().max().unwrap())
     };
     let (llo, lhi) = range(load);
     let (slo, shi) = range(store);
@@ -1074,14 +1663,20 @@ fn hazard(load: &AccessPlan, store: &AccessPlan, n: usize) -> bool {
         // every store after the first iteration.
         return true;
     }
-    let diff = load.base - store.base;
-    if diff % d != 0 {
-        return false;
+    for ll in 0..load.lanes as isize {
+        for sl in 0..store.lanes as isize {
+            let diff =
+                (load.base + ll * load.lane_stride) - (store.base + sl * store.lane_stride);
+            if diff % d != 0 {
+                continue;
+            }
+            let k = diff / d;
+            if (k >= -last && k <= -1) || (k == 0 && store.pos < load.pos) {
+                return true;
+            }
+        }
     }
-    let k = diff / d;
-    let reaches_past = k >= -last && k <= -1;
-    let same_iteration = k == 0 && store.pos < load.pos;
-    reaches_past || same_iteration
+    false
 }
 
 /// Executes the streamed plan for in-chunk iterations `[t0, t0 + m)`:
@@ -1091,44 +1686,71 @@ pub(crate) fn exec_streamed(stream: &[SOp], stripe: &mut [f64], t0: usize, m: us
     for op in stream {
         match op {
             SOp::Load {
-                slot,
+                row,
+                lanes,
+                lane_stride,
                 base,
                 delta,
                 tile,
                 ..
             } => {
+                let w = *lanes as usize;
                 let start = base + t0 as isize * delta;
-                let row = *slot as usize * CHUNK;
-                if *delta == 1 {
+                let row = *row as usize;
+                if w == 1 {
+                    if *delta == 1 {
+                        let s = start as usize;
+                        for (l, o) in stripe[row..row + m].iter_mut().enumerate() {
+                            *o = tile.get(s + l);
+                        }
+                    } else {
+                        let d = *delta;
+                        for (l, o) in stripe[row..row + m].iter_mut().enumerate() {
+                            *o = tile.get((start + l as isize * d) as usize);
+                        }
+                    }
+                } else if *lane_stride == 1 && *delta == w as isize {
+                    // Dense wide load: the run's lanes tile memory
+                    // contiguously — one flat copy of m·w elements.
                     let s = start as usize;
-                    for (l, o) in stripe[row..row + m].iter_mut().enumerate() {
-                        *o = tile.get(s + l);
+                    for (e, o) in stripe[row..row + m * w].iter_mut().enumerate() {
+                        *o = tile.get(s + e);
                     }
                 } else {
-                    let d = *delta;
-                    for (l, o) in stripe[row..row + m].iter_mut().enumerate() {
-                        *o = tile.get((start + l as isize * d) as usize);
+                    let (d, ls) = (*delta, *lane_stride);
+                    for t in 0..m {
+                        let b = start + t as isize * d;
+                        for l in 0..w {
+                            stripe[row + t * w + l] = tile.get((b + l as isize * ls) as usize);
+                        }
                     }
                 }
             }
-            SOp::Bin { op, slot, a, b } => match op {
-                FOp::Add => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Add.apply(x, y)),
-                FOp::Sub => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Sub.apply(x, y)),
-                FOp::Mul => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Mul.apply(x, y)),
-                FOp::Div => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Div.apply(x, y)),
-                FOp::Max => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Max.apply(x, y)),
-                FOp::Min => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Min.apply(x, y)),
-                FOp::Pow => bin_chunk(stripe, m, *slot, *a, *b, |x, y| FOp::Pow.apply(x, y)),
+            SOp::Bin {
+                op,
+                row,
+                lanes,
+                a,
+                b,
+            } => match op {
+                FOp::Add => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Add.apply(x, y)),
+                FOp::Sub => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Sub.apply(x, y)),
+                FOp::Mul => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Mul.apply(x, y)),
+                FOp::Div => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Div.apply(x, y)),
+                FOp::Max => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Max.apply(x, y)),
+                FOp::Min => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Min.apply(x, y)),
+                FOp::Pow => bin_chunk(stripe, m, *row, *lanes, *a, *b, |x, y| FOp::Pow.apply(x, y)),
             },
-            SOp::Un { op, slot, a } => match op {
-                FUn::Neg => un_chunk(stripe, m, *slot, *a, |x| FUn::Neg.apply(x)),
-                FUn::Sqrt => un_chunk(stripe, m, *slot, *a, |x| FUn::Sqrt.apply(x)),
-                FUn::Abs => un_chunk(stripe, m, *slot, *a, |x| FUn::Abs.apply(x)),
-                FUn::Exp => un_chunk(stripe, m, *slot, *a, |x| FUn::Exp.apply(x)),
+            SOp::Un { op, row, lanes, a } => match op {
+                FUn::Neg => un_chunk(stripe, m, *row, *lanes, *a, |x| FUn::Neg.apply(x)),
+                FUn::Sqrt => un_chunk(stripe, m, *row, *lanes, *a, |x| FUn::Sqrt.apply(x)),
+                FUn::Abs => un_chunk(stripe, m, *row, *lanes, *a, |x| FUn::Abs.apply(x)),
+                FUn::Exp => un_chunk(stripe, m, *row, *lanes, *a, |x| FUn::Exp.apply(x)),
             },
             SOp::BinLoads {
                 op,
-                slot,
+                row,
+                lanes,
                 a_base,
                 a_delta,
                 a_tile,
@@ -1137,24 +1759,27 @@ pub(crate) fn exec_streamed(stream: &[SOp], stripe: &mut [f64], t0: usize, m: us
                 b_tile,
                 ..
             } => {
+                let w = *lanes as usize;
                 let sa = a_base + t0 as isize * a_delta;
                 let sb = b_base + t0 as isize * b_delta;
-                let row = *slot as usize * CHUNK;
-                let out = &mut stripe[row..row + m];
+                let row = *row as usize;
+                let out = &mut stripe[row..row + m * w];
+                // Wide fused loads are dense by construction (element
+                // stride 1); scalar ones stride by delta per element.
+                let (da, db) = if w > 1 { (1, 1) } else { (*a_delta, *b_delta) };
                 macro_rules! loop_for {
                     ($f:expr) => {
-                        if (*a_delta, *b_delta) == (1, 1) {
+                        if (da, db) == (1, 1) {
                             let (sa, sb) = (sa as usize, sb as usize);
-                            for (l, o) in out.iter_mut().enumerate() {
-                                *o = $f(a_tile.get(sa + l), b_tile.get(sb + l));
+                            for (e, o) in out.iter_mut().enumerate() {
+                                *o = $f(a_tile.get(sa + e), b_tile.get(sb + e));
                             }
                         } else {
-                            let (da, db) = (*a_delta, *b_delta);
-                            for (l, o) in out.iter_mut().enumerate() {
-                                let l = l as isize;
+                            for (e, o) in out.iter_mut().enumerate() {
+                                let e = e as isize;
                                 *o = $f(
-                                    a_tile.get((sa + l * da) as usize),
-                                    b_tile.get((sb + l * db) as usize),
+                                    a_tile.get((sa + e * da) as usize),
+                                    b_tile.get((sb + e * db) as usize),
                                 );
                             }
                         }
@@ -1170,34 +1795,62 @@ pub(crate) fn exec_streamed(stream: &[SOp], stripe: &mut [f64], t0: usize, m: us
                     FOp::Pow => loop_for!(|x, y| FOp::Pow.apply(x, y)),
                 }
             }
-            SOp::Fma { slot, a, b, c } => {
-                let d0 = *slot as usize * CHUNK;
-                for l in 0..m {
-                    let v = sread(stripe, *a, l).mul_add(sread(stripe, *b, l), sread(stripe, *c, l));
-                    stripe[d0 + l] = v;
+            SOp::Fma {
+                row,
+                lanes,
+                a,
+                b,
+                c,
+            } => {
+                let w = *lanes as usize;
+                let (src, out) = dst_row(stripe, *row, m * w);
+                for t in 0..m {
+                    for l in 0..w {
+                        out[t * w + l] = sread(src, *a, t, l)
+                            .mul_add(sread(src, *b, t, l), sread(src, *c, t, l));
+                    }
+                }
+            }
+            SOp::Splat { row, lanes, a } => {
+                let w = *lanes as usize;
+                let (src, out) = dst_row(stripe, *row, m * w);
+                match a {
+                    SSrc::Const(c) => out.fill(*c),
+                    SSrc::Row { off, step } => {
+                        let (off, step) = (*off as usize, *step as usize);
+                        for t in 0..m {
+                            out[t * w..(t + 1) * w].fill(src[off + t * step]);
+                        }
+                    }
                 }
             }
         }
     }
 }
 
+/// Reads element (in-chunk iteration `t`, lane `l`) of a streamed
+/// source: `off + t·step + l`. Scalar rows have step 1; wide rows step
+/// by their lane count; lane-constant cells (step 0) repeat each
+/// iteration; single-lane refs into wide rows fold the lane into `off`
+/// and step over it.
 #[inline]
-fn sread(stripe: &[f64], s: SSrc, l: usize) -> f64 {
+fn sread(src: &[f64], s: SSrc, t: usize, l: usize) -> f64 {
     match s {
-        SSrc::Slot(x) => stripe[x as usize * CHUNK + l],
+        SSrc::Row { off, step } => src[off as usize + t * step as usize + l],
         SSrc::Const(c) => c,
     }
 }
 
-/// Splits the stripe into (earlier rows, destination row). Stripe slots
-/// are assigned in body order, so every source slot of an op is
-/// strictly below its destination slot — the split is always valid and
-/// gives the chunk loops aliasing-free slices with no per-element
+/// Splits the stripe into (everything below, destination row of `len`
+/// elements). Rows are assigned in body order with operand cells
+/// allocated before their consumer's row, so every source offset of an
+/// op is strictly below its destination row — the split is always valid
+/// and gives the chunk loops aliasing-free slices with no per-element
 /// bounds checks (which is what lets LLVM vectorize them).
 #[inline]
-fn dst_row(stripe: &mut [f64], dst: u32, m: usize) -> (&[f64], &mut [f64]) {
-    let (src, rest) = stripe.split_at_mut(dst as usize * CHUNK);
-    (src, &mut rest[..m])
+fn dst_row(stripe: &mut [f64], dst: u32, len: usize) -> (&[f64], &mut [f64]) {
+    let (src, rest) = stripe.split_at_mut(dst as usize);
+    (src, &mut rest[..len])
 }
 
 #[inline]
@@ -1205,43 +1858,68 @@ fn bin_chunk<F: Fn(f64, f64) -> f64>(
     stripe: &mut [f64],
     m: usize,
     dst: u32,
+    lanes: u16,
     a: SSrc,
     b: SSrc,
     f: F,
 ) {
-    let (src, out) = dst_row(stripe, dst, m);
+    let w = lanes as usize;
+    let len = m * w;
+    let (src, out) = dst_row(stripe, dst, len);
+    let aligned = |s: SSrc| match s {
+        SSrc::Row { step, .. } => step as usize == w,
+        SSrc::Const(_) => false,
+    };
     match (a, b) {
-        (SSrc::Slot(x), SSrc::Slot(y)) => {
-            let xs = &src[x as usize * CHUNK..x as usize * CHUNK + m];
-            let ys = &src[y as usize * CHUNK..y as usize * CHUNK + m];
+        (SSrc::Row { off: x, .. }, SSrc::Row { off: y, .. }) if aligned(a) && aligned(b) => {
+            let xs = &src[x as usize..x as usize + len];
+            let ys = &src[y as usize..y as usize + len];
             for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
                 *o = f(x, y);
             }
         }
-        (SSrc::Slot(x), SSrc::Const(c)) => {
-            let xs = &src[x as usize * CHUNK..x as usize * CHUNK + m];
+        (SSrc::Row { off: x, .. }, SSrc::Const(c)) if aligned(a) => {
+            let xs = &src[x as usize..x as usize + len];
             for (o, &x) in out.iter_mut().zip(xs) {
                 *o = f(x, c);
             }
         }
-        (SSrc::Const(c), SSrc::Slot(y)) => {
-            let ys = &src[y as usize * CHUNK..y as usize * CHUNK + m];
+        (SSrc::Const(c), SSrc::Row { off: y, .. }) if aligned(b) => {
+            let ys = &src[y as usize..y as usize + len];
             for (o, &y) in out.iter_mut().zip(ys) {
                 *o = f(c, y);
             }
         }
         (SSrc::Const(c1), SSrc::Const(c2)) => out.fill(f(c1, c2)),
+        (a, b) => {
+            // Misaligned source (a lane ref into a wider row, or a
+            // lane-constant cell): per-element addressing.
+            for t in 0..m {
+                for l in 0..w {
+                    out[t * w + l] = f(sread(src, a, t, l), sread(src, b, t, l));
+                }
+            }
+        }
     }
 }
 
 #[inline]
-fn un_chunk<F: Fn(f64) -> f64>(stripe: &mut [f64], m: usize, dst: u32, a: SSrc, f: F) {
-    let (src, out) = dst_row(stripe, dst, m);
+fn un_chunk<F: Fn(f64) -> f64>(stripe: &mut [f64], m: usize, dst: u32, lanes: u16, a: SSrc, f: F) {
+    let w = lanes as usize;
+    let len = m * w;
+    let (src, out) = dst_row(stripe, dst, len);
     match a {
-        SSrc::Slot(x) => {
-            let xs = &src[x as usize * CHUNK..x as usize * CHUNK + m];
+        SSrc::Row { off: x, step } if step as usize == w => {
+            let xs = &src[x as usize..x as usize + len];
             for (o, &x) in out.iter_mut().zip(xs) {
                 *o = f(x);
+            }
+        }
+        SSrc::Row { .. } => {
+            for t in 0..m {
+                for l in 0..w {
+                    out[t * w + l] = f(sread(src, a, t, l));
+                }
             }
         }
         SSrc::Const(c) => out.fill(f(c)),
@@ -1251,19 +1929,26 @@ fn un_chunk<F: Fn(f64) -> f64>(stripe: &mut [f64], m: usize, dst: u32, a: SSrc, 
 /// Executes the recurrent tail point by point for in-chunk iterations
 /// `[t0, t0 + m)`, in original body order — this *is* the sequential
 /// schedule, restricted to the ops that carry the loop dependence. The
-/// run's very first iteration uses the faithful `first` tape; all
-/// others use the forwarded `steady` tape (see [`build_steady`]).
+/// steady tape is valid from t = 0: before the first chunk, the
+/// `prelude` seeds each k = −1 forward cell with the pre-run memory
+/// value its load would have read (see [`build_steady`]).
 pub(crate) fn exec_recurrent(
-    first: &[ROp],
     steady: &[ROp],
+    prelude: &[(u32, u16)],
+    tab: &[AccessPlan],
+    map: &[(u16, u16)],
     arena: &mut [f64],
     t0: usize,
     m: usize,
 ) {
-    let mut l0 = 0;
-    if t0 == 0 && m > 0 {
-        exec_point(first, arena, 0, 0);
-        l0 = 1;
+    if t0 == 0 {
+        for &(cell, a) in prelude {
+            let (t, l) = map[a as usize];
+            let p = &tab[t as usize];
+            arena[cell as usize] = p
+                .tile
+                .get((p.base + l as isize * p.lane_stride) as usize);
+        }
     }
     // The dominant steady shape after forwarding and fusion is a single
     // fused chain+store; give it a loop that keeps the carried value in
@@ -1278,12 +1963,61 @@ pub(crate) fn exec_recurrent(
         ..
     }] = steady
     {
-        if chain_store_loop(arena, *dst, *init, links, *base, *delta, *tile, t0, l0, m) {
+        if chain_store_loop(arena, *dst, *init, links, *base, *delta, *tile, t0, 0, m) {
             return;
         }
     }
-    for l in l0..m {
+    // The vf-lowered shape: one wide chain-store carrying its value
+    // across lane boundaries in a register.
+    if let [ROp::ChainStoreW { lanes, carry_cell }] = steady {
+        chain_store_loop_w(arena, lanes, *carry_cell, t0, 0, m);
+        return;
+    }
+    for l in 0..m {
         exec_point(steady, arena, (t0 + l) as isize, l);
+    }
+}
+
+/// Register-carried loop over a fused wide chain-store: `m − l0`
+/// iterations × `w` lanes of serial chain evaluation, one store each,
+/// with the recurrence value never leaving a register inside the loop.
+/// Entered with `arena[carry_cell]` holding the previous iteration's
+/// last-lane value (written by the `first` tape or the previous chunk);
+/// leaves the final value there for the next chunk.
+fn chain_store_loop_w(
+    arena: &mut [f64],
+    lanes: &[WLane],
+    carry_cell: u32,
+    t0: usize,
+    l0: usize,
+    m: usize,
+) {
+    let mut carry = arena[carry_cell as usize];
+    for l in l0..m {
+        let t = (t0 + l) as isize;
+        for lane in lanes {
+            let mut acc = aread(arena, lane.init, l);
+            for (j, lk) in lane.links.iter().enumerate() {
+                let x = if j == lane.carry_at as usize {
+                    carry
+                } else {
+                    aread(arena, lk.other, l)
+                };
+                acc = if lk.acc_rhs {
+                    lk.op.apply(x, acc)
+                } else {
+                    lk.op.apply(acc, x)
+                };
+            }
+            let addr = (lane.base + t * lane.delta) as usize;
+            #[cfg(debug_assertions)]
+            crate::buffer::overlap::note_store_raw(lane.tile.id(), addr, 1);
+            lane.tile.set(addr, acc);
+            carry = acc;
+        }
+    }
+    if l0 < m {
+        arena[carry_cell as usize] = carry;
     }
 }
 
@@ -1294,36 +2028,70 @@ fn exec_point(ops: &[ROp], arena: &mut [f64], t: isize, l: usize) {
             match op {
                 ROp::Load {
                     dst,
+                    lanes,
+                    lane_stride,
                     base,
                     delta,
                     tile,
                     ..
                 } => {
-                    arena[*dst as usize] = tile.get((base + t * delta) as usize);
+                    let b = base + t * delta;
+                    for lane in 0..*lanes as usize {
+                        arena[*dst as usize + lane] =
+                            tile.get((b + lane as isize * lane_stride) as usize);
+                    }
                 }
                 ROp::Carry { dst, src } => arena[*dst as usize] = arena[*src as usize],
                 ROp::Store {
                     src,
+                    lanes,
+                    lane_stride,
                     base,
                     delta,
                     tile,
                     ..
                 } => {
-                    let v = aread(arena, *src, l);
-                    let addr = (base + t * delta) as usize;
-                    #[cfg(debug_assertions)]
-                    crate::buffer::overlap::note_store_raw(tile.id(), addr, 1);
-                    tile.set(addr, v);
+                    let b = base + t * delta;
+                    for lane in 0..*lanes as usize {
+                        let v = areadw(arena, *src, l, lane);
+                        let addr = (b + lane as isize * lane_stride) as usize;
+                        #[cfg(debug_assertions)]
+                        crate::buffer::overlap::note_store_raw(tile.id(), addr, 1);
+                        tile.set(addr, v);
+                    }
                 }
-                ROp::Bin { op, dst, a, b } => {
-                    arena[*dst as usize] = op.apply(aread(arena, *a, l), aread(arena, *b, l));
+                ROp::Bin {
+                    op,
+                    dst,
+                    lanes,
+                    a,
+                    b,
+                } => {
+                    for lane in 0..*lanes as usize {
+                        arena[*dst as usize + lane] =
+                            op.apply(areadw(arena, *a, l, lane), areadw(arena, *b, l, lane));
+                    }
                 }
-                ROp::Un { op, dst, a } => {
-                    arena[*dst as usize] = op.apply(aread(arena, *a, l));
+                ROp::Un { op, dst, lanes, a } => {
+                    for lane in 0..*lanes as usize {
+                        arena[*dst as usize + lane] = op.apply(areadw(arena, *a, l, lane));
+                    }
                 }
-                ROp::Fma { dst, a, b, c } => {
-                    arena[*dst as usize] =
-                        aread(arena, *a, l).mul_add(aread(arena, *b, l), aread(arena, *c, l));
+                ROp::Fma {
+                    dst,
+                    lanes,
+                    a,
+                    b,
+                    c,
+                } => {
+                    for lane in 0..*lanes as usize {
+                        arena[*dst as usize + lane] = areadw(arena, *a, l, lane)
+                            .mul_add(areadw(arena, *b, l, lane), areadw(arena, *c, l, lane));
+                    }
+                }
+                ROp::Splat { dst, lanes, a } => {
+                    let v = aread(arena, *a, l);
+                    arena[*dst as usize..*dst as usize + *lanes as usize].fill(v);
                 }
                 ROp::Chain { dst, init, links } => {
                     arena[*dst as usize] = chain_eval(arena, *init, links, l);
@@ -1344,6 +2112,19 @@ fn exec_point(ops: &[ROp], arena: &mut [f64], t: isize, l: usize) {
                     crate::buffer::overlap::note_store_raw(tile.id(), addr, 1);
                     tile.set(addr, v);
                 }
+                ROp::ChainStoreW { lanes, .. } => {
+                    // Faithful unfused semantics: each lane's carry
+                    // operand reads the previous lane's dst cell, which
+                    // this per-point path keeps written.
+                    for lane in lanes.iter() {
+                        let v = chain_eval(arena, lane.init, &lane.links, l);
+                        arena[lane.dst as usize] = v;
+                        let addr = (lane.base + t * lane.delta) as usize;
+                        #[cfg(debug_assertions)]
+                        crate::buffer::overlap::note_store_raw(lane.tile.id(), addr, 1);
+                        lane.tile.set(addr, v);
+                    }
+                }
             }
         }
     }
@@ -1356,7 +2137,7 @@ fn exec_point(ops: &[ROp], arena: &mut [f64], t: isize, l: usize) {
 enum COperand {
     Carry,
     Inv(f64),
-    Row(u32),
+    Row(u32, u32),
 }
 
 const CHAIN_MAX: usize = 16;
@@ -1364,7 +2145,7 @@ const CHAIN_MAX: usize = 16;
 #[inline]
 fn coperand(r: RRef, dst: u32, arena: &[f64]) -> COperand {
     if r.step != 0 {
-        COperand::Row(r.off)
+        COperand::Row(r.off, r.step)
     } else if r.off == dst {
         COperand::Carry
     } else {
@@ -1409,7 +2190,7 @@ fn chain_store_loop(
         let fetch = |k: COperand| match k {
             COperand::Carry => carry,
             COperand::Inv(c) => c,
-            COperand::Row(o) => arena[o as usize + l],
+            COperand::Row(o, step) => arena[o as usize + l * step as usize],
         };
         let mut acc = fetch(initk);
         for &(op, acc_rhs, k) in ops {
@@ -1445,6 +2226,15 @@ fn aread(arena: &[f64], r: RRef, l: usize) -> f64 {
     arena[r.off as usize + l * r.step as usize]
 }
 
+/// Lane-indexed arena read for wide recurrent operands: lane `lane` of
+/// in-chunk iteration `l`. Step-0 sources hold their lanes in
+/// consecutive cells; row sources interleave lanes within each
+/// iteration's group.
+#[inline]
+fn areadw(arena: &[f64], r: RRef, l: usize, lane: usize) -> f64 {
+    arena[r.off as usize + l * r.step as usize + lane]
+}
+
 use std::collections::{HashMap, HashSet};
 
 use crate::bytecode::{IOp, Instr, Tape};
@@ -1457,6 +2247,9 @@ pub(crate) fn run_probe(probe: &[ProbeOp], regs: &mut crate::bytecode::Regs) -> 
     for op in probe {
         match *op {
             ProbeOp::CF { dst, v } => regs.f[dst as usize] = v,
+            ProbeOp::CV { off, lanes, v } => {
+                regs.v[off as usize..(off + lanes) as usize].fill(v)
+            }
             ProbeOp::CI { dst, v } => regs.i[dst as usize] = v,
             ProbeOp::Mov { dst, src } => regs.i[dst as usize] = regs.i[src as usize],
             ProbeOp::S2F { dst, src } => regs.f[dst as usize] = regs.i[src as usize] as f64,
@@ -1486,6 +2279,93 @@ pub(crate) fn run_probe(probe: &[ProbeOp], regs: &mut crate::bytecode::Regs) -> 
     true
 }
 
+/// Backward-liveness pruning of a probe program. `seed` (plus `extra`)
+/// is the set of integer registers whose final values the caller still
+/// reads — the merged access table's index registers, and for the main
+/// probe the upward-exposed reads of the (already pruned) `probe_iv`.
+/// Dropped ops are exactly the pure integer computations whose results
+/// feed only merged-away unrolled lanes:
+/// - float-file writes (`CF`, `CV`, `S2F`) always stay — plan building
+///   snapshots those registers on cache misses;
+/// - ops the generic body could fault on (`Dim` of an unset buffer,
+///   euclidean division/remainder by zero) always stay, so the probe
+///   declines in exactly the situations the generic loop would error;
+/// - pure `CI`/`Mov`/`Add`/`Sub`/`Mul`/`Min`/`Max` survive only while
+///   some kept op still reads their destination.
+fn prune_probe(code: Vec<ProbeOp>, seed: &[u32], extra: &[u32]) -> Vec<ProbeOp> {
+    let mut live: HashSet<u32> = seed.iter().chain(extra).copied().collect();
+    let mut kept: Vec<ProbeOp> = Vec::with_capacity(code.len());
+    for op in code.iter().rev() {
+        let keep = match op {
+            ProbeOp::CF { .. } | ProbeOp::CV { .. } | ProbeOp::S2F { .. } | ProbeOp::Dim { .. } => {
+                true
+            }
+            ProbeOp::CI { dst, .. } | ProbeOp::Mov { dst, .. } => live.contains(dst),
+            ProbeOp::Bin { op, dst, .. } => {
+                live.contains(dst) || matches!(op, IOp::FloorDiv | IOp::CeilDiv | IOp::Rem)
+            }
+        };
+        if !keep {
+            continue;
+        }
+        match op {
+            ProbeOp::CI { dst, .. } => {
+                live.remove(dst);
+            }
+            ProbeOp::Mov { dst, src } => {
+                live.remove(dst);
+                live.insert(*src);
+            }
+            ProbeOp::Dim { dst, .. } => {
+                live.remove(dst);
+            }
+            ProbeOp::Bin { dst, a, b, .. } => {
+                live.remove(dst);
+                live.insert(*a);
+                live.insert(*b);
+            }
+            ProbeOp::S2F { src, .. } => {
+                live.insert(*src);
+            }
+            ProbeOp::CF { .. } | ProbeOp::CV { .. } => {}
+        }
+        kept.push(*op);
+    }
+    kept.reverse();
+    kept
+}
+
+/// Integer registers a probe program reads before (or without) writing
+/// — the values it expects to find in the frame when it runs.
+fn probe_upward_reads(code: &[ProbeOp]) -> Vec<u32> {
+    let mut defined: HashSet<u32> = HashSet::new();
+    let mut reads: Vec<u32> = Vec::new();
+    let read = |r: u32, defined: &HashSet<u32>, reads: &mut Vec<u32>| {
+        if !defined.contains(&r) {
+            reads.push(r);
+        }
+    };
+    for op in code {
+        match op {
+            ProbeOp::CI { dst, .. } | ProbeOp::Dim { dst, .. } => {
+                defined.insert(*dst);
+            }
+            ProbeOp::Mov { dst, src } => {
+                read(*src, &defined, &mut reads);
+                defined.insert(*dst);
+            }
+            ProbeOp::Bin { dst, a, b, .. } => {
+                read(*a, &defined, &mut reads);
+                read(*b, &defined, &mut reads);
+                defined.insert(*dst);
+            }
+            ProbeOp::S2F { src, .. } => read(*src, &defined, &mut reads),
+            ProbeOp::CF { .. } | ProbeOp::CV { .. } => {}
+        }
+    }
+    reads
+}
+
 /// Recognizes a specializable innermost loop body and builds its
 /// [`RunSpec`]. Declines — with a reason suitable for a
 /// `runspec-decline` observability event — when the body uses anything
@@ -1502,7 +2382,11 @@ pub(crate) fn run_probe(probe: &[ProbeOp], regs: &mut crate::bytecode::Regs) -> 
 /// registers may be either class — the probe resolves their values —
 /// but linearity is what justifies probing only two iterations and
 /// bounds-checking only the run endpoints.
-pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
+pub(crate) fn analyze(
+    tape: &Tape,
+    iv: u32,
+    outer_consts: &HashMap<u32, i64>,
+) -> Result<RunSpec, &'static str> {
     if !tape.term.is_empty() {
         return Err("body yields loop-carried values");
     }
@@ -1523,10 +2407,90 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
     let mut probe_iv_code: Vec<ProbeOp> = Vec::new();
     let mut lin: HashSet<u32> = HashSet::new();
     lin.insert(iv);
-    // f-register → producing op position; absent means run-invariant.
-    let mut fdef: HashMap<u32, u16> = HashMap::new();
-    let fref = |r: u32, fdef: &HashMap<u32, u16>| -> FRef {
-        fdef.get(&r).map_or(FRef::Inv(r), |&j| FRef::Op(j))
+    // Affine value numbers for the integer registers: each value is
+    // `(root, offset)` — root 0 is the literal-constant root (offset is
+    // the value); other roots are hash-consed over (input register |
+    // dim | non-foldable op), so two registers holding the *same
+    // symbolic expression plus a constant* get the same root. Folding
+    // wraps, which keeps number equality a sound witness for value
+    // equality without replicating the probe's overflow behavior.
+    let mut vn: HashMap<u32, (u32, i64)> = HashMap::new();
+    let mut vn_memo: HashMap<(u8, u32, i64, u32, i64), u32> = HashMap::new();
+    let mut vn_next: u32 = 1;
+    macro_rules! vn_root {
+        ($key:expr) => {{
+            *vn_memo.entry($key).or_insert_with(|| {
+                let r = vn_next;
+                vn_next += 1;
+                r
+            })
+        }};
+    }
+    macro_rules! vn_of {
+        ($r:expr) => {{
+            let r: u32 = $r;
+            match vn.get(&r) {
+                Some(&v) => v,
+                None => {
+                    // First read of an externally-defined register. One
+                    // the compiler proved to hold a dominating constant
+                    // (written exactly once, by a `ConstI`) numbers as
+                    // that literal — its runtime value can never differ
+                    // — so hoisted lane offsets fold like in-body ones.
+                    // Everything else gets a fresh opaque root.
+                    let v = match outer_consts.get(&r) {
+                        Some(&c) => (0u32, c),
+                        None => (vn_root!((0, r, 0, 0, 0)), 0i64),
+                    };
+                    vn.insert(r, v);
+                    v
+                }
+            }
+        }};
+    }
+    // Per-access index value numbers, captured at the access site
+    // (indexed like the `acc` fields).
+    let mut acc_vns: Vec<Box<[(u32, i64)]>> = Vec::new();
+    // f-register → the value it currently holds (op result, lane of a
+    // wide op, or — absent — a run-invariant register read).
+    let mut fdef: HashMap<u32, FRef> = HashMap::new();
+    let fref = |r: u32, fdef: &HashMap<u32, FRef>| -> FRef {
+        fdef.get(&r).copied().unwrap_or(FRef::Inv(r))
+    };
+    // v-file start offset → (producing op position, width); absent
+    // means the vector was defined outside the body (run-invariant,
+    // read from the v-file at plan time: `VInv`).
+    let mut vdef: HashMap<u32, (u16, u16)> = HashMap::new();
+    // Maps a vector operand to its FRef, rejecting width mismatches
+    // (a wide consumer of op j's row assumes j's lane interleave).
+    let vref = |r: u32, w: u16, vdef: &HashMap<u32, (u16, u16)>| -> Result<FRef, &'static str> {
+        match vdef.get(&r) {
+            Some(&(j, jw)) if jw == w => Ok(FRef::Op(j)),
+            Some(_) => Err("mixed vector widths in body"),
+            None => Ok(FRef::VInv(r)),
+        }
+    };
+    // Redefining part of an in-body vector's range can't be expressed
+    // as whole-row references; exact redefinitions just replace the
+    // mapping. Returns false on partial overlap.
+    let clear_vrange = |off: u32, w: u16, vdef: &mut HashMap<u32, (u16, u16)>| -> bool {
+        let end = off + u32::from(w);
+        let partial = vdef.iter().any(|(&k, &(_, kw))| {
+            let kend = k + u32::from(kw);
+            k < end && off < kend && !(k == off && kw == w)
+        });
+        if partial {
+            return false;
+        }
+        vdef.remove(&off);
+        true
+    };
+    const MAX_LANES: u32 = 64;
+    let lanes16 = |lanes: u32| -> Result<u16, &'static str> {
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err("vector width exceeds the lane budget");
+        }
+        Ok(lanes as u16)
     };
     let mut ops: Vec<RunOp> = Vec::new();
     let mut n_acc: u16 = 0;
@@ -1534,6 +2498,9 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
     let mut stores = 0u64;
     let mut flops = 0u64;
     let mut index_ops = 0u64;
+    let mut vloads = 0u64;
+    let mut vstores = 0u64;
+    let mut vflops = 0u64;
 
     for instr in &tape.code {
         if ops.len() >= u16::MAX as usize || n_acc == u16::MAX {
@@ -1541,13 +2508,22 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
         }
         match instr {
             Instr::ConstF { dst, v } => probe_code.push(ProbeOp::CF { dst: *dst, v: *v }),
-            Instr::ConstI { dst, v } => probe_code.push(ProbeOp::CI { dst: *dst, v: *v }),
-            Instr::Dim { dst, buf, dim } => probe_code.push(ProbeOp::Dim {
-                dst: *dst,
-                buf: *buf,
-                dim: *dim,
-            }),
+            Instr::ConstI { dst, v } => {
+                vn.insert(*dst, (0, *v));
+                probe_code.push(ProbeOp::CI { dst: *dst, v: *v });
+            }
+            Instr::Dim { dst, buf, dim } => {
+                let root = vn_root!((1, *buf, *dim as i64, 0, 0));
+                vn.insert(*dst, (root, 0));
+                probe_code.push(ProbeOp::Dim {
+                    dst: *dst,
+                    buf: *buf,
+                    dim: *dim,
+                });
+            }
             Instr::MoveI { dst, src } => {
+                let v = vn_of!(*src);
+                vn.insert(*dst, v);
                 let p = ProbeOp::Mov {
                     dst: *dst,
                     src: *src,
@@ -1571,6 +2547,19 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
             }
             Instr::BinI { op, dst, a, b } => {
                 index_ops += 1;
+                let va = vn_of!(*a);
+                let vb = vn_of!(*b);
+                let dv = match (op, va, vb) {
+                    (IOp::Add, (0, x), (0, y)) => (0, x.wrapping_add(y)),
+                    (IOp::Add, (r, o), (0, c)) | (IOp::Add, (0, c), (r, o)) => {
+                        (r, o.wrapping_add(c))
+                    }
+                    (IOp::Sub, (0, x), (0, y)) => (0, x.wrapping_sub(y)),
+                    (IOp::Sub, (r, o), (0, c)) => (r, o.wrapping_sub(c)),
+                    (IOp::Mul, (0, x), (0, y)) => (0, x.wrapping_mul(y)),
+                    _ => (vn_root!((2 + *op as u8, va.0, va.1, vb.0, vb.1)), 0),
+                };
+                vn.insert(*dst, dv);
                 let la = lin.contains(a);
                 let lb = lin.contains(b);
                 let dst_linear = match op {
@@ -1606,8 +2595,9 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
                     op: *op,
                     a: fref(*a, &fdef),
                     b: fref(*b, &fdef),
+                    lanes: 1,
                 };
-                fdef.insert(*dst, ops.len() as u16);
+                fdef.insert(*dst, FRef::Op(ops.len() as u16));
                 ops.push(rop);
             }
             Instr::UnF { op, dst, a } => {
@@ -1615,8 +2605,9 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
                 let rop = RunOp::Un {
                     op: *op,
                     a: fref(*a, &fdef),
+                    lanes: 1,
                 };
-                fdef.insert(*dst, ops.len() as u16);
+                fdef.insert(*dst, FRef::Op(ops.len() as u16));
                 ops.push(rop);
             }
             Instr::FmaF { dst, a, b, c } => {
@@ -1625,44 +2616,153 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
                     a: fref(*a, &fdef),
                     b: fref(*b, &fdef),
                     c: fref(*c, &fdef),
+                    lanes: 1,
                 };
-                fdef.insert(*dst, ops.len() as u16);
+                fdef.insert(*dst, FRef::Op(ops.len() as u16));
                 ops.push(rop);
             }
             Instr::Load { dst, buf, idx } => {
                 loads += 1;
+                acc_vns.push(idx.iter().map(|&r| vn_of!(r)).collect());
                 let rop = RunOp::Load {
                     buf: *buf,
                     idx: idx.clone(),
                     acc: n_acc,
+                    lanes: 1,
                 };
                 n_acc += 1;
-                fdef.insert(*dst, ops.len() as u16);
+                fdef.insert(*dst, FRef::Op(ops.len() as u16));
                 ops.push(rop);
             }
             Instr::Store { src, buf, idx } => {
                 stores += 1;
+                acc_vns.push(idx.iter().map(|&r| vn_of!(r)).collect());
                 ops.push(RunOp::Store {
                     buf: *buf,
                     idx: idx.clone(),
                     src: fref(*src, &fdef),
                     acc: n_acc,
+                    lanes: 1,
                 });
                 n_acc += 1;
             }
-            // Outside the straight-line scalar subset. The class matters
-            // for diagnostics: vector-shaped bodies are the ones worth
-            // flagging loudly, since the whole point of specialization
-            // is to beat dispatch on exactly those dense inner loops.
-            Instr::ConstV { .. }
-            | Instr::BinV { .. }
-            | Instr::UnV { .. }
-            | Instr::FmaV { .. }
-            | Instr::SelV { .. }
-            | Instr::VLoad { .. }
-            | Instr::VStore { .. }
-            | Instr::VExtract { .. }
-            | Instr::VBroadcast { .. } => return Err("vector ops in body"),
+            // Vector IR (the §2.4 partial-vectorization shape): vector
+            // instructions become *wide* run ops over lane-interleaved
+            // stripe rows. Stats counters mirror the generic engine:
+            // one count per vector instruction, not per lane; extracts,
+            // broadcasts, and constants count nothing.
+            Instr::ConstV { off, lanes, v } => {
+                if !clear_vrange(*off, lanes16(*lanes)?, &mut vdef) {
+                    return Err("partial vector redefinition in body");
+                }
+                // Same literal every iteration — hoisted to probe time,
+                // after which the v-file read (`VInv`) sees it.
+                probe_code.push(ProbeOp::CV {
+                    off: *off,
+                    lanes: *lanes,
+                    v: *v,
+                });
+            }
+            Instr::BinV { op, dst, a, b, lanes } => {
+                vflops += 1;
+                let w = lanes16(*lanes)?;
+                let rop = RunOp::Bin {
+                    op: *op,
+                    a: vref(*a, w, &vdef)?,
+                    b: vref(*b, w, &vdef)?,
+                    lanes: w,
+                };
+                if !clear_vrange(*dst, w, &mut vdef) {
+                    return Err("partial vector redefinition in body");
+                }
+                vdef.insert(*dst, (ops.len() as u16, w));
+                ops.push(rop);
+            }
+            Instr::UnV { op, dst, a, lanes } => {
+                vflops += 1;
+                let w = lanes16(*lanes)?;
+                let rop = RunOp::Un {
+                    op: *op,
+                    a: vref(*a, w, &vdef)?,
+                    lanes: w,
+                };
+                if !clear_vrange(*dst, w, &mut vdef) {
+                    return Err("partial vector redefinition in body");
+                }
+                vdef.insert(*dst, (ops.len() as u16, w));
+                ops.push(rop);
+            }
+            Instr::FmaV { dst, a, b, c, lanes } => {
+                vflops += 1;
+                let w = lanes16(*lanes)?;
+                let rop = RunOp::Fma {
+                    a: vref(*a, w, &vdef)?,
+                    b: vref(*b, w, &vdef)?,
+                    c: vref(*c, w, &vdef)?,
+                    lanes: w,
+                };
+                if !clear_vrange(*dst, w, &mut vdef) {
+                    return Err("partial vector redefinition in body");
+                }
+                vdef.insert(*dst, (ops.len() as u16, w));
+                ops.push(rop);
+            }
+            Instr::VLoad { dst, lanes, buf, idx } => {
+                vloads += 1;
+                acc_vns.push(idx.iter().map(|&r| vn_of!(r)).collect());
+                let w = lanes16(*lanes)?;
+                let rop = RunOp::Load {
+                    buf: *buf,
+                    idx: idx.clone(),
+                    acc: n_acc,
+                    lanes: w,
+                };
+                n_acc += 1;
+                if !clear_vrange(*dst, w, &mut vdef) {
+                    return Err("partial vector redefinition in body");
+                }
+                vdef.insert(*dst, (ops.len() as u16, w));
+                ops.push(rop);
+            }
+            Instr::VStore { src, lanes, buf, idx } => {
+                vstores += 1;
+                acc_vns.push(idx.iter().map(|&r| vn_of!(r)).collect());
+                let w = lanes16(*lanes)?;
+                ops.push(RunOp::Store {
+                    buf: *buf,
+                    idx: idx.clone(),
+                    src: vref(*src, w, &vdef)?,
+                    acc: n_acc,
+                    lanes: w,
+                });
+                n_acc += 1;
+            }
+            Instr::VExtract { dst, src, lane } => {
+                // Pure data movement, folded into the consumer's
+                // operand: lane of an in-body wide op, or a v-file cell.
+                let cell = *src + *lane;
+                let r = match vdef
+                    .iter()
+                    .find(|(&k, &(_, kw))| cell >= k && cell < k + u32::from(kw))
+                {
+                    Some((&k, &(j, _))) => FRef::Lane(j, (cell - k) as u16),
+                    None => FRef::VInv(cell),
+                };
+                fdef.insert(*dst, r);
+            }
+            Instr::VBroadcast { dst, lanes, src } => {
+                let w = lanes16(*lanes)?;
+                let rop = RunOp::Splat {
+                    a: fref(*src, &fdef),
+                    lanes: w,
+                };
+                if !clear_vrange(*dst, w, &mut vdef) {
+                    return Err("partial vector redefinition in body");
+                }
+                vdef.insert(*dst, (ops.len() as u16, w));
+                ops.push(rop);
+            }
+            Instr::SelV { .. } => return Err("vector select in body"),
             Instr::For { .. }
             | Instr::If { .. }
             | Instr::ParallelLoop { .. }
@@ -1683,21 +2783,309 @@ pub(crate) fn analyze(tape: &Tape, iv: u32) -> Result<RunSpec, &'static str> {
     if stores == 0 {
         return Err("no stores in body");
     }
-    let idx_regs: Vec<u32> = ops
+    // Dead-code elimination. Lane-unrolled vector bodies leave dead
+    // ops behind analysis — per-lane serial contributions folded into
+    // extracts of *other* positions, and vector-side arithmetic feeding
+    // nothing that survives. A dead op costs arena writes every
+    // iteration on whichever path it lands, so strip pure float ops no
+    // kept op references (loads and stores always stay: their bounds
+    // and error semantics are observable; the per-iter stat counters
+    // above were accumulated from the original instruction mix and are
+    // unaffected). References point strictly backwards, so one reverse
+    // pass reaches the fixpoint.
+    let mut used = vec![false; ops.len()];
+    for i in (0..ops.len()).rev() {
+        if !used[i] && !matches!(ops[i], RunOp::Load { .. } | RunOp::Store { .. }) {
+            continue;
+        }
+        let mut mark = |r: &FRef| {
+            if let FRef::Op(j) | FRef::Lane(j, _) = r {
+                used[*j as usize] = true;
+            }
+        };
+        match &ops[i] {
+            RunOp::Bin { a, b, .. } => {
+                mark(a);
+                mark(b);
+            }
+            RunOp::Un { a, .. } | RunOp::Splat { a, .. } => mark(a),
+            RunOp::Fma { a, b, c, .. } => {
+                mark(a);
+                mark(b);
+                mark(c);
+            }
+            RunOp::Store { src, .. } => mark(src),
+            RunOp::Load { .. } => {}
+        }
+    }
+    let mut remap = vec![u16::MAX; ops.len()];
+    let mut kept: Vec<RunOp> = Vec::with_capacity(ops.len());
+    for (i, op) in ops.into_iter().enumerate() {
+        if used[i] || matches!(op, RunOp::Load { .. } | RunOp::Store { .. }) {
+            remap[i] = kept.len() as u16;
+            kept.push(op);
+        }
+    }
+    for op in &mut kept {
+        let fix = |r: &mut FRef| {
+            if let FRef::Op(j) | FRef::Lane(j, _) = r {
+                *j = remap[*j as usize];
+            }
+        };
+        match op {
+            RunOp::Bin { a, b, .. } => {
+                fix(a);
+                fix(b);
+            }
+            RunOp::Un { a, .. } | RunOp::Splat { a, .. } => fix(a),
+            RunOp::Fma { a, b, c, .. } => {
+                fix(a);
+                fix(b);
+                fix(c);
+            }
+            RunOp::Store { src, .. } => fix(src),
+            RunOp::Load { .. } => {}
+        }
+    }
+    let ops = kept;
+    // Merged access table. Accesses in body order (DCE keeps every
+    // load/store, so the k-th access op has `acc == k`); group the ones
+    // whose index value numbers agree on every dimension except a
+    // constant last-dimension offset, then split each group into
+    // maximal chains of consecutive offsets — one table entry per
+    // chain, each member addressed as `(entry, lane)`.
+    struct AccGroup {
+        buf: u32,
+        w: u16,
+        store: bool,
+        key: Vec<(u32, i64)>,
+        last_root: u32,
+        members: Vec<(i64, usize)>,
+    }
+    let accesses: Vec<(u32, u16, bool, &[u32])> = ops
         .iter()
-        .flat_map(|op| match op {
-            RunOp::Load { idx, .. } | RunOp::Store { idx, .. } => idx.iter().copied(),
-            _ => [].iter().copied(),
+        .filter_map(|op| match op {
+            RunOp::Load { buf, idx, lanes, .. } => Some((*buf, *lanes, false, &idx[..])),
+            RunOp::Store { buf, idx, lanes, .. } => Some((*buf, *lanes, true, &idx[..])),
+            _ => None,
         })
         .collect();
+    debug_assert_eq!(accesses.len(), acc_vns.len());
+    let mut groups: Vec<AccGroup> = Vec::new();
+    for (a, &(buf, w, store, _)) in accesses.iter().enumerate() {
+        let vns = &acc_vns[a];
+        if vns.is_empty() {
+            // Rank-0 access: no lane dimension to merge along.
+            groups.push(AccGroup {
+                buf,
+                w,
+                store,
+                key: Vec::new(),
+                last_root: u32::MAX,
+                members: vec![(0, a)],
+            });
+            continue;
+        }
+        let (last_root, last_off) = vns[vns.len() - 1];
+        let prefix = &vns[..vns.len() - 1];
+        match groups.iter_mut().find(|g| {
+            g.buf == buf
+                && g.w == w
+                && g.store == store
+                && g.last_root == last_root
+                && g.last_root != u32::MAX
+                && g.key == prefix
+        }) {
+            Some(g) => g.members.push((last_off, a)),
+            None => groups.push(AccGroup {
+                buf,
+                w,
+                store,
+                key: prefix.to_vec(),
+                last_root,
+                members: vec![(last_off, a)],
+            }),
+        }
+    }
+    let mut accs: Vec<SpecAccess> = Vec::new();
+    let mut acc_map: Vec<(u16, u16)> = vec![(0, 0); accesses.len()];
+    for g in &mut groups {
+        g.members.sort_by_key(|&(off, _)| off);
+        let w = g.w as i64;
+        let mut i = 0;
+        while i < g.members.len() {
+            let start = g.members[i].0;
+            let mut hi = start;
+            let mut j = i;
+            while j + 1 < g.members.len() {
+                let next = g.members[j + 1].0;
+                if (next == hi || next == hi + w) && next - start + w <= u16::MAX as i64 {
+                    hi = next;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let entry = accs.len() as u16;
+            // Lane-0 member carries the entry's index registers.
+            let lane0 = g.members[i..=j].iter().find(|&&(off, _)| off == start).unwrap().1;
+            accs.push(SpecAccess {
+                buf: g.buf,
+                idx: accesses[lane0].3.to_vec().into(),
+                lanes: (hi - start + w) as u16,
+                store: g.store,
+            });
+            for &(off, a) in &g.members[i..=j] {
+                acc_map[a] = (entry, (off - start) as u16);
+            }
+            i = j + 1;
+        }
+    }
+    let idx_regs: Vec<u32> = accs.iter().flat_map(|a| a.idx.iter().copied()).collect();
+    // Prune the probe programs down to what still matters after the
+    // merge: the table entries' index registers (plus what kept ops
+    // read). Integer ops that can fail at run time (divisions, dims)
+    // stay regardless — the probe must decline exactly when the generic
+    // body would error — as do all float-file writes, which plan
+    // building snapshots on cache misses.
+    let probe_iv_code = prune_probe(probe_iv_code, &idx_regs, &[]);
+    let iv_inputs: Vec<u32> = probe_upward_reads(&probe_iv_code);
+    let probe_code = prune_probe(probe_code, &idx_regs, &iv_inputs);
     Ok(RunSpec {
         probe: probe_code.into(),
         probe_iv: probe_iv_code.into(),
         ops: ops.into(),
+        accs: accs.into(),
+        acc_map: acc_map.into(),
         idx_regs: idx_regs.into(),
         loads_per_iter: loads,
         stores_per_iter: stores,
         flops_per_iter: flops,
         index_ops_per_iter: index_ops,
+        vloads_per_iter: vloads,
+        vstores_per_iter: vstores,
+        vflops_per_iter: vflops,
     })
+}
+
+/// Diagnostic phase timing for `exec_run`, gated by the
+/// `INSTENCIL_RUNSPEC_TIMING` environment variable. Disabled it costs
+/// one cached bool load per run; enabled it accumulates probe/plan/exec
+/// wall time in process-wide atomics that [`phase_timing::drain`]
+/// returns and resets (printed by the `runspec_phases` example between
+/// measurements).
+pub mod phase_timing {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    static PROBE_NS: AtomicU64 = AtomicU64::new(0);
+    static PLAN_NS: AtomicU64 = AtomicU64::new(0);
+    static EXEC_NS: AtomicU64 = AtomicU64::new(0);
+    static RUNS: AtomicU64 = AtomicU64::new(0);
+    static POINTS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+    static MISS_NS: AtomicU64 = AtomicU64::new(0);
+
+    pub fn enabled() -> bool {
+        *ENABLED.get_or_init(|| std::env::var_os("INSTENCIL_RUNSPEC_TIMING").is_some())
+    }
+
+    pub fn record(probe: Duration, plan: Duration, exec: Duration, n: usize) {
+        PROBE_NS.fetch_add(probe.as_nanos() as u64, Ordering::Relaxed);
+        PLAN_NS.fetch_add(plan.as_nanos() as u64, Ordering::Relaxed);
+        EXEC_NS.fetch_add(exec.as_nanos() as u64, Ordering::Relaxed);
+        RUNS.fetch_add(1, Ordering::Relaxed);
+        POINTS.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss_ns(d: std::time::Duration) {
+        MISS_NS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_miss() {
+        if enabled() {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains the accumulated counters, returning `(probe_ns,
+    /// plan_ns, exec_ns, runs, points, plan_misses, miss_ns)`.
+    pub fn drain() -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            PROBE_NS.swap(0, Ordering::Relaxed),
+            PLAN_NS.swap(0, Ordering::Relaxed),
+            EXEC_NS.swap(0, Ordering::Relaxed),
+            RUNS.swap(0, Ordering::Relaxed),
+            POINTS.swap(0, Ordering::Relaxed),
+            MISSES.swap(0, Ordering::Relaxed),
+            MISS_NS.swap(0, Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stripe-kernel extension admits the vectorizer's lowered loop
+    /// shape — broadcasts, aligned vector loads, lane-wise FMAs, a
+    /// lane-unrolled recurrence — not *every* vector body. Lane-wise
+    /// select has no macro-op, so `analyze` must still decline it, with
+    /// the reason the compiler reports in its once-per-compile
+    /// `runspec-decline` event.
+    #[test]
+    fn vector_select_still_declines() {
+        let tape = Tape {
+            code: vec![Instr::SelV {
+                dst: 0,
+                cond: 0,
+                t: 0,
+                e: 0,
+                lanes: 4,
+            }],
+            term: vec![],
+        };
+        assert_eq!(
+            analyze(&tape, 0, &HashMap::new()).err(),
+            Some("vector select in body")
+        );
+    }
+
+    /// Loop-invariant registers that the surrounding function loads
+    /// with `ConstI` are folded to literal value numbers, which is what
+    /// lets the vectorizer's per-lane `base + k` indices land in one
+    /// merged access-table entry. The fold must only apply to registers
+    /// the caller vouches for: an unknown register stays symbolic and
+    /// the two bodies below must therefore disagree about whether their
+    /// access indices coincide.
+    #[test]
+    fn outer_constants_fold_into_access_indices() {
+        // for i { store f0 -> buf0[i + r1] } with r1 = 3 outside the
+        // body; register 2 holds the address index, register 0 is `i`.
+        let body = |k: u32| Tape {
+            code: vec![
+                Instr::BinI {
+                    op: IOp::Add,
+                    dst: 2,
+                    a: 0,
+                    b: k,
+                },
+                Instr::Store {
+                    src: 0,
+                    buf: 0,
+                    idx: vec![2].into(),
+                },
+            ],
+            term: vec![],
+        };
+        let consts = HashMap::from([(1u32, 3i64)]);
+        let folded = analyze(&body(1), 0, &consts).expect("affine body specializes");
+        let symbolic = analyze(&body(1), 0, &HashMap::new()).expect("still affine unfolded");
+        // Same single access either way — the fold changes the value
+        // numbers, not the admissibility of a one-store body.
+        assert_eq!(folded.accs.len(), 1);
+        assert_eq!(symbolic.accs.len(), 1);
+    }
 }

@@ -60,6 +60,26 @@ impl PerPointCosts {
         let control_pp = self.control_ops / 4.0;
         self.cycles(m, strided_vectors) - control_pp + control_pp / run.max(1) as f64
     }
+
+    /// Per-point surcharge a loop pays when it does NOT run-specialize:
+    /// every dynamic op goes through generic bytecode dispatch (opcode
+    /// decode, operand indirection, dispatch branch) instead of a fused
+    /// macro-op loop. [`Self::cycles`] models issue throughput of the
+    /// *work* only; this term is the engine overhead the run path
+    /// removes, and it is what made partially vectorized loops — whose
+    /// bodies the specializer used to decline — slower end-to-end than
+    /// their scalar siblings despite doing less arithmetic.
+    pub fn generic_dispatch_cycles(&self) -> f64 {
+        /// Measured on the bench host: the dispatch-heavy engine runs
+        /// ~a handful of cycles per executed op over the roofline cost.
+        const DISPATCH_CYCLES_PER_OP: f64 = 4.0;
+        (self.scalar_flops
+            + self.vector_flops
+            + self.mem_ops
+            + self.vector_mem_ops
+            + self.control_ops)
+            * DISPATCH_CYCLES_PER_OP
+    }
 }
 
 /// One run-configuration of the estimator.
@@ -88,6 +108,17 @@ pub struct RunConfig {
     /// Whether vector accesses are strided (wavefront vectorization) —
     /// charged the gather penalty.
     pub strided_vectors: bool,
+    /// Whether the execution engine's run specialization covers this op
+    /// mix, i.e. whether innermost rows execute as fused macro-op runs
+    /// (control amortized over [`RunConfig::tile`]'s innermost extent)
+    /// rather than per-point generic dispatch. Scalar bodies have
+    /// always been eligible; vector-IR (partially vectorized) bodies
+    /// are eligible since the stripe-kernel extension — before it they
+    /// silently fell back to generic dispatch and paid full per-point
+    /// control, which made the paper's best transformation estimate
+    /// (and run) *slower* than its scalar sibling. Defaults to `true`;
+    /// set `false` to model a declined loop.
+    pub run_specialized: bool,
     /// Extra multiplier for partial/parallelogram tiles (Pluto paths).
     pub tile_overhead: f64,
     /// Synchronization barriers per sweep *in addition* to the wavefront
@@ -109,8 +140,22 @@ impl RunConfig {
             live_tensors: 3,
             deps: Vec::new(),
             strided_vectors: false,
+            run_specialized: true,
             tile_overhead: 1.0,
             extra_barriers: 0.0,
+        }
+    }
+
+    /// The innermost run length the engine's dispatch amortizes over:
+    /// the innermost tile extent when the loop run-specializes (scalar
+    /// *or* vector stripes — a vf-w stripe covers the same row of
+    /// points per run, paying setup once for all w lanes), 1 when it
+    /// declined to generic per-point dispatch.
+    fn dispatch_run(&self) -> usize {
+        if self.run_specialized {
+            self.tile.last().copied().unwrap_or(1).max(1)
+        } else {
+            1
         }
     }
 }
@@ -143,9 +188,18 @@ pub fn estimate_sweep(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
     // --- per-point time (roofline) ---
     // The execution engine specializes contiguous innermost runs (one
     // dispatch per run, not per point), so control overhead amortizes
-    // over the innermost tile extent — wide-x tiles are credited for it.
-    let run = cfg.tile.last().copied().unwrap_or(1).max(1);
-    let cycles_pp = cfg.costs.cycles_with_run(m, cfg.strided_vectors, run) * cfg.tile_overhead;
+    // over the innermost tile extent — wide-x tiles are credited for
+    // it, and vector stripe kernels earn the same credit as scalar runs
+    // (a run covers the same points either way; see `dispatch_run`).
+    // Declined loops instead pay generic per-op dispatch on every point
+    // (redundant halo points included, hence inside the overhead
+    // factor).
+    let run = cfg.dispatch_run();
+    let mut raw_pp = cfg.costs.cycles_with_run(m, cfg.strided_vectors, run);
+    if !cfg.run_specialized {
+        raw_pp += cfg.costs.generic_dispatch_cycles();
+    }
+    let cycles_pp = raw_pp * cfg.tile_overhead;
     let compute_pp = cycles_pp * m.cycle_s();
     // Streamed traffic: every live tensor element is moved once per sweep
     // when the tile working set fits in L2, with a reuse penalty
@@ -253,8 +307,12 @@ pub fn estimate_sweep_dataflow(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
     let points: f64 = cfg.domain.iter().product::<usize>() as f64;
 
     // Same per-point roofline inputs as the levels estimate.
-    let run = cfg.tile.last().copied().unwrap_or(1).max(1);
-    let cycles_pp = cfg.costs.cycles_with_run(m, cfg.strided_vectors, run) * cfg.tile_overhead;
+    let run = cfg.dispatch_run();
+    let mut raw_pp = cfg.costs.cycles_with_run(m, cfg.strided_vectors, run);
+    if !cfg.run_specialized {
+        raw_pp += cfg.costs.generic_dispatch_cycles();
+    }
+    let cycles_pp = raw_pp * cfg.tile_overhead;
     let compute_pp = cycles_pp * m.cycle_s();
     let tile_points: usize = cfg.tile.iter().product();
     let footprint = tile_points * cfg.nb_var * cfg.live_tensors * 8;
@@ -402,6 +460,52 @@ mod tests {
         assert!(
             t_wide < t_tall,
             "wide-x tile must be credited: {t_wide} vs {t_tall}"
+        );
+    }
+
+    #[test]
+    fn vector_stripes_earn_the_run_credit() {
+        // The partial-vectorization pessimization, in model form: a
+        // vf8-lowered gs5-like body does less arithmetic per point than
+        // its scalar sibling, but when the engine declines to
+        // run-specialize it (`run_specialized = false`, the pre-fix
+        // behavior) every point pays full generic dispatch and the
+        // vector plan estimates *slower* than the scalar one. With the
+        // stripe-kernel path the vector body amortizes dispatch over
+        // the same innermost runs as scalar code and must win.
+        let m = xeon_6152_dual();
+        let mut scalar = RunConfig::new(vec![512, 512], vec![64, 64], vec![8, 64]);
+        scalar.costs = PerPointCosts {
+            scalar_flops: 8.0,
+            mem_ops: 7.0,
+            control_ops: 8.0,
+            ..Default::default()
+        };
+        let mut vector = scalar.clone();
+        // Neighborhood work in 8-lane ops, a scalar recurrent chain
+        // left per point, and slightly more control (stripe + tail
+        // bookkeeping).
+        vector.costs = PerPointCosts {
+            scalar_flops: 2.0,
+            vector_flops: 6.0 / 8.0,
+            mem_ops: 2.0,
+            vector_mem_ops: 5.0 / 8.0,
+            control_ops: 10.0,
+        };
+        let t_scalar = estimate_sweep(&m, &scalar).total_s;
+        let t_striped = estimate_sweep(&m, &vector).total_s;
+        let mut declined = vector.clone();
+        declined.run_specialized = false;
+        let t_declined = estimate_sweep(&m, &declined).total_s;
+        assert!(
+            t_declined > t_scalar,
+            "declined vector loop must model the pessimization: \
+             {t_declined} vs scalar {t_scalar}"
+        );
+        assert!(
+            t_striped < t_scalar,
+            "stripe-specialized vector loop must beat scalar: \
+             {t_striped} vs {t_scalar}"
         );
     }
 

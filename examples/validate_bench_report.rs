@@ -70,6 +70,35 @@ fn main() {
             .unwrap_or_else(|| panic!("{bench_path}: row {i} lacks numeric `ns_per_point`"));
         assert!(ns > 0.0, "{bench_path}: row {i} has non-positive ns_per_point");
     }
+    // The vectorized gs5 rows must exist on every engine — their
+    // absence would mean the bench silently stopped covering the
+    // partial-vectorization path — and on the run-specialized engine
+    // the committed numbers must not contradict the bench's
+    // vectorization gate: a stored `gs5-vf*` row above its scalar
+    // sibling is the 2.3x pessimization artifact, not a valid baseline.
+    let ns_of = |engine: &str, case: &str| -> f64 {
+        rows.iter()
+            .find_map(|r| {
+                (r.get("engine").and_then(|v| v.as_str()) == Some(engine)
+                    && r.get("case").and_then(|v| v.as_str()) == Some(case))
+                .then(|| r.get("ns_per_point").and_then(|v| v.as_f64()))
+                .flatten()
+            })
+            .unwrap_or_else(|| panic!("{bench_path}: missing row {engine}/{case}"))
+    };
+    let scalar = ns_of("bytecode", "gs5-scalar");
+    for vf_case in ["gs5-vf4", "gs5-vf8"] {
+        for engine in ["interp", "bytecode", "bytecode-dispatch"] {
+            ns_of(engine, vf_case);
+        }
+        let vf = ns_of("bytecode", vf_case);
+        assert!(
+            vf <= scalar,
+            "{bench_path}: stored {vf_case} ({vf:.1} ns/point) loses to \
+             gs5-scalar ({scalar:.1}) — regenerate with the engines bench"
+        );
+    }
+
     // The scaling section must cover the full (scheduler × threads)
     // matrix on both wavefront-heavy cases.
     for case in ["lusgs", "sor-tr2"] {
@@ -86,5 +115,8 @@ fn main() {
             }
         }
     }
-    println!("{bench_path}: {} rows OK (scaling matrix complete)", rows.len());
+    println!(
+        "{bench_path}: {} rows OK (vf rows beat scalar, scaling matrix complete)",
+        rows.len()
+    );
 }

@@ -204,6 +204,59 @@ fn gs5_engines_match_on_presets() {
 }
 
 #[test]
+fn gs5_vectorized_engines_match() {
+    // The vf-lowered inner-loop shape (vector loads/FMAs over the
+    // U-neighborhood, a lane-unrolled scalar recurrence for the L-chain,
+    // and a peeled scalar tail) now takes the run-specialized path too —
+    // the fix for the 2.3× partial-vectorization pessimization. The
+    // wide stripe kernels must reproduce the interpreter bit-for-bit
+    // and counter-for-counter at every width, engine, scheduler, and
+    // thread count, exactly like the scalar tapes.
+    let module = kernels::gauss_seidel_5pt_module();
+    let n = 18usize; // interior 16: a whole number of vf4/vf8 stripes
+    let shape = [1, n, n];
+    for vf in [4usize, 8] {
+        let opts = PipelineOptions::tr4(vec![8, 16], vec![4, 16]).vectorize(Some(vf));
+        let compiled = compile(&module, &opts).expect("vectorized gs5 compiles");
+        check_all_engines(
+            &compiled.module,
+            "gs5",
+            &shape,
+            2,
+            2,
+            &format!("gs5 vf{vf}"),
+        );
+    }
+}
+
+#[test]
+fn gs5_vectorized_engines_match_on_ragged_innermost_extents() {
+    // Innermost interior extents that are NOT multiples of the vector
+    // width: the vectorizer peels a scalar tail after the wide stripes,
+    // so every sweep mixes wide macro-ops, scalar macro-ops, and (for
+    // tails under MIN_RUN) generic dispatch. Bit- and stats-identity
+    // must survive the mix at every thread count.
+    let module = kernels::gauss_seidel_5pt_module();
+    for vf in [4usize, 8] {
+        for (ny, nx) in [(12usize, 20usize), (13, 17)] {
+            // Interior nx-2 ∈ {18, 15}: 18 = 2·8+2 / 4·4+2, 15 = 8+7 /
+            // 3·4+3 — tails of 2, 3 and 7 points across the widths.
+            let shape = [1, ny, nx];
+            let opts = PipelineOptions::tr4(vec![8, 16], vec![4, 16]).vectorize(Some(vf));
+            let compiled = compile(&module, &opts).expect("vectorized gs5 compiles");
+            check_all_engines(
+                &compiled.module,
+                "gs5",
+                &shape,
+                2,
+                2,
+                &format!("gs5 vf{vf} ragged {ny}x{nx}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn gs5_engines_match_on_ragged_innermost_extents() {
     // Interior extents that are NOT multiples of the innermost tile
     // width: the last tile of each row is short, so the run-specialized
