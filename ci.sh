@@ -77,4 +77,14 @@ echo "==> obs report smoke (Trace pipeline run, schema-validates the JSON)"
 # current report schema version, so this doubles as the schema gate.
 cargo run $OFFLINE --release --example obs_report
 
+echo "==> scheduler trace export (LU-SGS under both schedulers, validates the Perfetto JSON)"
+# Runs the §4.3 LU-SGS solver at ObsLevel::Trace with the levels and the
+# dataflow scheduler, folds the per-worker event rings into Chrome
+# trace_event JSON (results/TRACE_lusgs_*.json), and validates the
+# emitted documents against the trace_event shape plus the run report
+# against the obs schema — the example panics on any violation, so this
+# is the trace-export schema gate. The Trace-ring ≤1.10x overhead gate
+# itself runs inside the engines bench above.
+cargo run $OFFLINE --release --example trace_export
+
 echo "CI OK"

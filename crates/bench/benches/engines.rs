@@ -9,7 +9,8 @@
 //! * `sor-tr2` — SOR (ω = 1.6) through the §4.2 Tr2 preset (fusion, no
 //!   vectorization).
 //!
-//! All measured runs execute with observability **Off**; the previous
+//! All measured runs execute with observability **Off** (the dedicated
+//! trace-overhead gate below measures Off vs Trace explicitly); the previous
 //! `BENCH_exec.json` is parsed first and the fresh bytecode numbers are
 //! compared against it, so an accidental Off-path overhead regression
 //! in the obs layer fails the bench instead of silently shifting the
@@ -75,6 +76,14 @@ const MONOTONE_TOLERANCE: f64 = 1.15;
 /// *lose* to a plain single-threaded sweep; topology-aware scheduling
 /// must at minimum break even with the best sequential baseline.
 const INVERSION_TOLERANCE: f64 = 1.05;
+
+/// Tolerated slowdown of a gs5 sweep at `ObsLevel::Trace` (per-worker
+/// event rings, per-level Task spans, coalesced plan-cache events) over
+/// the same sweep at `ObsLevel::Off`. The rings are fixed-capacity and
+/// allocation-free and plan-cache hit streaks coalesce without a clock
+/// read, so tracing a profiling-scale sweep must stay within 10%; a
+/// breach means per-event cost leaked into the hot path.
+const TRACE_RING_OVERHEAD: f64 = 1.10;
 
 struct Row {
     engine: &'static str,
@@ -292,6 +301,55 @@ fn bench_scaling(samples: usize, rows: &mut Vec<Row>) {
     }
 }
 
+/// The Trace-ring overhead gate: one gs5 geometry, same engine and
+/// thread count, measured at `ObsLevel::Off` and `ObsLevel::Trace`.
+/// The domain is larger than the engine-comparison one so each sweep
+/// is long enough that the gate measures per-event cost rather than
+/// timer noise (rings fill from ~2k specialized runs per sweep).
+fn bench_trace_overhead(samples: usize) {
+    let module = kernels::gauss_seidel_5pt_module();
+    let opts = PipelineOptions::new(vec![8, 16], vec![4, 8]);
+    let compiled = compile(&module, &opts).unwrap();
+    let shape = [1usize, 130, 258];
+    let points: usize = shape.iter().product();
+    let buffers: Vec<BufferView> = (0..2).map(|_| BufferView::alloc(&shape)).collect();
+    buffers[0].fill(1.0);
+    let args = || -> Vec<RtVal> { buffers.iter().cloned().map(RtVal::Buf).collect() };
+    let at = |level: ObsLevel| {
+        let mut runner = Runner::with_opts(
+            &compiled.module,
+            Engine::Bytecode,
+            1,
+            Scheduler::Levels,
+            Obs::new(level),
+        )
+        .unwrap();
+        measure(samples, || {
+            runner.call("gs5", args()).unwrap();
+        })
+    };
+    let mut off = at(ObsLevel::Off);
+    let mut traced = at(ObsLevel::Trace);
+    if traced / off > TRACE_RING_OVERHEAD {
+        // One re-measurement before judging, like every other gate.
+        off = off.min(at(ObsLevel::Off));
+        traced = traced.min(at(ObsLevel::Trace));
+    }
+    let ratio = traced / off;
+    println!(
+        "engines/trace-gate/gs5        {:>10.2}x  (off {:.1}, trace {:.1} ns/point)",
+        ratio,
+        off / points as f64,
+        traced / points as f64
+    );
+    assert!(
+        ratio <= TRACE_RING_OVERHEAD,
+        "Trace-level event rings cost {ratio:.2}x over Off on gs5 \
+         (limit {TRACE_RING_OVERHEAD}x) — per-event tracing cost leaked \
+         into the sweep hot path"
+    );
+}
+
 /// Re-measures one engine-comparison case and folds the better of
 /// (stored, fresh) into `rows` for every engine row of that case: the
 /// value a gate accepts after a re-measurement is the value that gets
@@ -425,6 +483,7 @@ fn main() {
     }
 
     bench_scaling(samples, &mut rows);
+    bench_trace_overhead(samples);
 
     // Regression gate, in smoke mode too: a fresh bytecode measurement
     // more than MAX_REGRESSION over the stored baseline fails the

@@ -27,6 +27,7 @@
 use std::sync::{Arc, Mutex};
 
 use instencil_ir::{CmpPred, Module};
+use instencil_obs::trace::{self, TraceKind};
 use instencil_obs::Obs;
 use instencil_pattern::dataflow::{self, Scheduler};
 use instencil_pattern::CsrWavefronts;
@@ -671,6 +672,11 @@ impl BcCtx<'_> {
                 args.len()
             )));
         }
+        // Trace events emitted on the calling thread outside the
+        // wavefront worker loops (plan-cache activity of straight-line
+        // runs) land on the driver lane; workers install their own
+        // tracers over this one for the duration of a parallel region.
+        let _tracer = trace::install(self.pool.obs().worker_tracer(trace::DRIVER));
         let mut regs = Regs::new(func);
         if let Some(rs) = self.scratch.lock().unwrap().pop() {
             regs.rs = rs;
@@ -1149,8 +1155,19 @@ impl BcCtx<'_> {
             });
         }
         let t_plan = timing.then(std::time::Instant::now);
-        runspec::build_plan(spec, n, &regs.f, &regs.v, &mut rs);
+        let hit = runspec::build_plan(spec, n, &regs.f, &regs.v, &mut rs);
         let t_exec = timing.then(std::time::Instant::now);
+        if self.pool.obs().detail_enabled() {
+            // Consecutive hits coalesce into one event (a tail compare,
+            // no clock read), keeping the per-run Trace cost flat; the
+            // compile duration itself is emitted inside `build_plan`.
+            let spec_id = (spec_addr >> 4) as u32;
+            if hit {
+                trace::coalesce(TraceKind::PlanHit, spec_id);
+            } else {
+                trace::instant(TraceKind::PlanMiss, spec_id, n as u32);
+            }
+        }
         let mut t0 = 0usize;
         while t0 < n {
             let m = (n - t0).min(runspec::CHUNK);
@@ -1243,11 +1260,13 @@ impl BcCtx<'_> {
             let obs = self.pool.obs();
             let record = obs.enabled();
             let detail = obs.detail_enabled();
+            let _tg = trace::install(obs.worker_tracer(0));
             let mut level_records = Vec::new();
             let mut outcome = Ok(());
             'levels: for (index, level) in rows.windows(2).enumerate() {
                 let checker = crate::buffer::overlap::LevelChecker::new();
                 let t0 = record.then(std::time::Instant::now);
+                let ts = trace::begin();
                 let mut done = 0u64;
                 stats.wavefront_levels += 1;
                 for &c in &cols[level[0] as usize..level[1] as usize] {
@@ -1259,6 +1278,9 @@ impl BcCtx<'_> {
                         outcome = Err(e);
                         break;
                     }
+                }
+                if done > 0 {
+                    trace::end(TraceKind::Task, ts, index as u32, done as u32);
                 }
                 if let Some(t0) = t0 {
                     let wall_ns = t0.elapsed().as_nanos() as u64;

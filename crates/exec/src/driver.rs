@@ -243,6 +243,17 @@ impl<'m> Runner<'m> {
         report.exec_stats = Some(self.stats().to_json());
         report
     }
+
+    /// Folds everything the attached collector's per-worker event rings
+    /// have recorded (plus the pass/engine spans) into Chrome/Perfetto
+    /// `trace_event` JSON — load the string in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>. Empty-but-valid document unless the
+    /// collector is at [`ObsLevel::Trace`](instencil_obs::ObsLevel).
+    pub fn chrome_trace(&self) -> String {
+        let rec = self.obs.snapshot();
+        let rings = instencil_obs::trace::merge_rings(&rec.rings);
+        instencil_obs::trace::chrome_trace(&rings, &rec.spans).to_string()
+    }
 }
 
 /// Runs `func` of `module` for `iterations` sweeps over the given

@@ -43,6 +43,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use instencil_machine::topology::{xeon_6152_dual, Machine};
+use instencil_obs::trace::{self, TraceKind};
 use instencil_obs::{LevelRecord, Obs, WavefrontRecord, WorkerRecord};
 use instencil_pattern::dataflow::{shard_owner, BlockGraph, ScheduleBundle, Scheduler, TaskGraph};
 use instencil_pattern::CsrWavefronts;
@@ -217,23 +218,29 @@ impl WavefrontPool {
         let detail = self.obs.detail_enabled();
         let mut level_records: Vec<LevelRecord> = Vec::new();
         if self.threads == 1 {
+            let _tg = trace::install(self.obs.worker_tracer(0));
             let mut state = init();
             let mut outcome = Ok(());
             'levels: for (index, level) in schedule.levels().enumerate() {
                 let checker = overlap::LevelChecker::new();
                 let t0 = record.then(Instant::now);
+                let ts = trace::begin();
                 let mut done = 0u64;
                 for &b in level {
                     let _wg = checker.guard(b);
                     if let Err(e) = work(&mut state, b) {
                         outcome = Err(e);
                         done += 1; // the failing block still ran
+                        trace::end(TraceKind::Task, ts, index as u32, done as u32);
                         self.push_level(&mut level_records, index, level.len(), t0, detail, vec![done]);
                         break 'levels;
                     }
                     done += 1;
                 }
                 if outcome.is_ok() {
+                    if done > 0 {
+                        trace::end(TraceKind::Task, ts, index as u32, done as u32);
+                    }
                     self.push_level(&mut level_records, index, level.len(), t0, detail, vec![done]);
                 }
             }
@@ -278,6 +285,7 @@ impl WavefrontPool {
         // Returns the worker state plus per-level (index, busy_ns,
         // blocks) samples for the obs records.
         let worker_loop = |w: usize| -> (S, Vec<(usize, u64, u64)>) {
+            let _tg = trace::install(self.obs.worker_tracer(w as u32));
             let mut state = init();
             let mut samples: Vec<(usize, u64, u64)> = Vec::new();
             for (index, level) in schedule.levels().enumerate() {
@@ -298,6 +306,7 @@ impl WavefrontPool {
                     None
                 };
                 let w0 = detail.then(Instant::now);
+                let ts = trace::begin();
                 let mut done = 0u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
                     // Stable worker↔tile affinity: worker `w` executes
@@ -335,6 +344,9 @@ impl WavefrontPool {
                         }
                         stop_level.fetch_min(index, Ordering::AcqRel);
                     }
+                }
+                if done > 0 {
+                    trace::end(TraceKind::Task, ts, index as u32, done as u32);
                 }
                 if detail {
                     samples.push((index, w0.map_or(0, |t| t.elapsed().as_nanos() as u64), done));
@@ -523,7 +535,9 @@ impl WavefrontPool {
             // Ascending flat order is a topological order: every
             // predecessor of a block has a smaller flat index (all
             // dependence offsets are lexicographically negative).
+            let _tg = trace::install(self.obs.worker_tracer(0));
             let t0 = record.then(Instant::now);
+            let ts = trace::begin();
             let mut state = init();
             let mut outcome = Ok(());
             let mut done = 0u64;
@@ -535,6 +549,7 @@ impl WavefrontPool {
                     break;
                 }
             }
+            trace::end(TraceKind::Task, ts, 0, done as u32);
             merge(state);
             if let Some(t0) = t0 {
                 self.flush_dataflow(
@@ -584,6 +599,7 @@ impl WavefrontPool {
         let steal_orders = &steal_orders;
 
         let worker_loop = |w: usize| -> (S, WorkerStats) {
+            let _tg = trace::install(self.obs.worker_tracer(w as u32));
             let mut state = init();
             let mut my_next: Option<u32> = None;
             let mut st = WorkerStats::default();
@@ -605,6 +621,7 @@ impl WavefrontPool {
                         if let Some(t) = deques[other].lock().unwrap().pop_front() {
                             st.steals += 1;
                             st.steal_dist += dist as u64 + 1;
+                            trace::instant(TraceKind::Steal, other as u32, dist as u32 + 1);
                             task = Some(t);
                             break;
                         }
@@ -623,7 +640,9 @@ impl WavefrontPool {
                         thread::yield_now();
                     } else {
                         let exp = u64::from(idle_rounds - SPIN_ROUNDS).min(6);
+                        let ts = trace::begin();
                         thread::sleep(Duration::from_micros((1 << exp).min(MAX_PARK_US)));
+                        trace::end(TraceKind::Park, ts, idle_rounds, 0);
                     }
                     continue;
                 };
@@ -632,6 +651,7 @@ impl WavefrontPool {
                 let range = tasks.blocks_of(t);
                 let chain = range.len() as u64;
                 let t0 = detail.then(Instant::now);
+                let ts = trace::begin();
                 let mut ran = 0u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
                     for b in range {
@@ -641,6 +661,7 @@ impl WavefrontPool {
                     }
                     Ok(())
                 }));
+                trace::end(TraceKind::Task, ts, t as u32, ran as u32);
                 match outcome {
                     Ok(Ok(())) => {
                         if let Some(t0) = t0 {

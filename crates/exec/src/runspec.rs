@@ -49,6 +49,7 @@
 
 use crate::buffer::TileView;
 use crate::bytecode::{FOp, FUn};
+use instencil_obs::trace::{self, TraceKind};
 
 /// Iteration-count threshold below which a run stays on the generic
 /// loop (probing two iterations plus planning doesn't pay for itself).
@@ -550,13 +551,14 @@ pub(crate) fn build_plan(
     fregs: &[f64],
     vregs: &[f64],
     scratch: &mut RunScratch,
-) {
+) -> bool {
     let ops = &spec.ops;
     if plan_cache_hit(spec, n, fregs, vregs, scratch) {
         patch_bases(scratch);
-        return;
+        return true;
     }
     let t_miss = phase_timing::enabled().then(std::time::Instant::now);
+    let t_compile = trace::begin();
     phase_timing::count_miss();
     // Expand the merged table into per-op access plans: classification,
     // forwarding, and hazard analysis below see exactly what per-op
@@ -895,6 +897,13 @@ pub(crate) fn build_plan(
     if let Some(t) = t_miss {
         phase_timing::record_miss_ns(t.elapsed());
     }
+    trace::end(
+        TraceKind::PlanCompile,
+        t_compile,
+        (spec as *const RunSpec as usize >> 4) as u32,
+        n as u32,
+    );
+    false
 }
 
 /// Fuses `Bin(Slot(x), Slot(y))` with the loads producing rows `x` and

@@ -3,10 +3,11 @@
 //! that `ObsLevel::Off` produces the byte-identical default report.
 
 use instencil_core::kernels;
-use instencil_core::pipeline::{compile, reference_module, Engine, PipelineOptions};
+use instencil_core::pipeline::{compile, reference_module, Engine, PipelineOptions, Scheduler};
 use instencil_exec::buffer::BufferView;
 use instencil_exec::driver::{run_compiled_report, run_compiled_sweeps, Runner};
 use instencil_exec::RtVal;
+use instencil_obs::trace::TraceKind;
 use instencil_obs::{Obs, ObsLevel, RunReport};
 
 fn gs5_buffers(n: usize) -> Vec<BufferView> {
@@ -195,6 +196,68 @@ fn runspec_accepts_vector_loops_without_decline_events() {
             rec.events
         );
     }
+}
+
+#[test]
+fn trace_rings_record_tasks_under_both_schedulers() {
+    // Trace-level runs fill per-worker event rings with level/block Task
+    // spans plus plan-cache events, under both the barrier (levels) and
+    // the work-stealing (dataflow) scheduler; quieter levels leave the
+    // rings untouched.
+    for scheduler in [Scheduler::Levels, Scheduler::Dataflow] {
+        let c = compile(
+            &kernels::gauss_seidel_5pt_module(),
+            &PipelineOptions::new(vec![4, 4], vec![2, 2])
+                .threads(2)
+                .scheduler(scheduler)
+                .obs(ObsLevel::Trace),
+        )
+        .unwrap();
+        let buffers = gs5_buffers(16);
+        run_compiled_sweeps(&c, "gs5", &buffers, 2).unwrap();
+        let rec = c.obs.snapshot();
+        assert!(!rec.rings.is_empty(), "{scheduler:?}: rings must exist");
+        let tasks: usize = rec
+            .rings
+            .iter()
+            .flat_map(|r| &r.events)
+            .filter(|e| e.kind == TraceKind::Task)
+            .count();
+        assert!(tasks > 0, "{scheduler:?}: task events recorded");
+        for ring in &rec.rings {
+            assert!(ring.events.len() <= ring.capacity.max(2));
+            for e in &ring.events {
+                if e.kind.is_span() {
+                    assert!(e.dur_ns > 0, "{scheduler:?}: spans carry a duration");
+                }
+            }
+        }
+        // The report folds the rings into histograms + a merged timeline.
+        let report = RunReport::build(&c.obs);
+        assert!(!report.trace.is_empty());
+        assert!(report
+            .histograms
+            .iter()
+            .any(|h| h.name == "task_ns" && h.count > 0));
+        // And the driver exports the same rings as a valid Chrome trace.
+        let runner = Runner::with_obs(&c.module, Engine::Bytecode, 2, c.obs.clone()).unwrap();
+        let doc = runner.chrome_trace();
+        instencil_obs::trace::validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("{scheduler:?}: {e}"));
+        assert!(doc.contains("\"task\""));
+    }
+
+    // Summary collects wavefront records but never fills trace rings.
+    let c = compile(
+        &kernels::gauss_seidel_5pt_module(),
+        &PipelineOptions::new(vec![4, 4], vec![2, 2])
+            .threads(2)
+            .obs(ObsLevel::Summary),
+    )
+    .unwrap();
+    let buffers = gs5_buffers(16);
+    run_compiled_sweeps(&c, "gs5", &buffers, 1).unwrap();
+    assert!(c.obs.snapshot().rings.is_empty());
 }
 
 #[test]

@@ -1,0 +1,251 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! A [`LogHist`] buckets `u64` nanosecond durations into linear
+//! sub-buckets of power-of-two octaves: values below 2^[`SUB_BITS`] are
+//! recorded exactly, and every larger octave is split into 2^[`SUB_BITS`]
+//! equal sub-buckets, bounding the relative quantile error at
+//! 2^-[`SUB_BITS`] (≈3%) while the whole range of `u64` fits in fewer
+//! than 2k buckets. Recording is a handful of integer ops (no floats,
+//! no allocation once the bucket table has grown to cover the observed
+//! range), histograms merge by bucket-wise addition, and quantiles come
+//! from a single cumulative walk — the latency-distribution primitive
+//! the run report's per-sweep/per-task sections and the future stencil
+//! service's per-job receipts share.
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets, so quantiles carry at most `2^-SUB_BITS` relative error.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave (`2^SUB_BITS`).
+const SUB: usize = 1 << SUB_BITS;
+
+/// A mergeable log-linear histogram of `u64` values (nanoseconds by
+/// convention). `Default` is the empty histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LogHist {
+    /// Bucket counts, indexed by [`bucket_index`]; grown lazily to the
+    /// highest observed bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket index of `v`: identity below [`SUB`], then
+/// `(octave − SUB_BITS + 1) · SUB + linear position` above.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    ((msb - SUB_BITS + 1) as usize) * SUB + ((v >> shift) as usize - SUB)
+}
+
+/// The largest value landing in bucket `idx` (inclusive upper edge) —
+/// the representative quantile extraction reports.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = idx / SUB;
+    let pos = (idx % SUB) as u64;
+    ((SUB as u64 + pos + 1) << (octave - 1)) - 1
+}
+
+impl LogHist {
+    /// The empty histogram.
+    pub fn new() -> Self {
+        LogHist::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition;
+    /// equivalent to having recorded every value of `other` here).
+    pub fn merge(&mut self, other: &LogHist) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean of the recorded values (exact — from the running
+    /// sum, not the buckets; 0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the upper edge of the first
+    /// bucket whose cumulative count reaches `ceil(q · count)`, clamped
+    /// into the exact `[min, max]` range. Relative error is bounded by
+    /// the sub-bucket width (`2^-`[`SUB_BITS`]). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median ([`quantile`](Self::quantile) at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value maps to a bucket whose index never decreases, with
+        // no gaps, and the bucket's upper edge always bounds the value.
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == prev || idx == prev + 1, "gap at v={v}");
+            assert!(bucket_high(idx) >= v, "v={v} above its bucket edge");
+            prev = idx;
+        }
+        assert!(bucket_index(u64::MAX) < 2048);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHist::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+            assert_eq!(bucket_high(bucket_index(v)), v);
+        }
+        assert_eq!(h.count(), SUB as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_stay_within_relative_error() {
+        let mut h = LogHist::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100 ns .. 1 ms
+        }
+        for (q, exact) in [(0.50, 500_000.0), (0.90, 900_000.0), (0.99, 990_000.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err <= 1.0 / SUB as f64 + 1e-9, "q={q}: got {got}, err {err}");
+        }
+        // The extremes: q=0 lands in the min's bucket (upper edge, so
+        // within one sub-bucket of the exact min); q=1 clamps to max.
+        let q0 = h.quantile(0.0);
+        assert!(q0 >= h.min() && q0 <= h.min() + h.min() / SUB as u64);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = LogHist::new();
+        let mut b = LogHist::new();
+        let mut all = LogHist::new();
+        for v in [3u64, 70, 900, 12_345, 7, 1 << 40] {
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging into an empty histogram copies min/max.
+        let mut empty = LogHist::new();
+        empty.merge(&all);
+        assert_eq!(empty.min(), all.min());
+        assert_eq!(empty.max(), all.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

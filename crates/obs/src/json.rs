@@ -373,6 +373,50 @@ mod tests {
     }
 
     #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        // RFC 8259 §7: U+0000..U+001F must not appear raw in strings.
+        // The serializer must emit an escape for every one of them, and
+        // the in-tree parser must decode it back to the same scalar.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let original = Json::Str(format!("a{c}b"));
+            let text = original.to_string();
+            let expected = match c {
+                '\n' => "\"a\\nb\"".to_owned(),
+                '\r' => "\"a\\rb\"".to_owned(),
+                '\t' => "\"a\\tb\"".to_owned(),
+                _ => format!("\"a\\u{code:04x}b\""),
+            };
+            assert_eq!(text, expected, "U+{code:04X} serialized wrong");
+            assert!(
+                !text.chars().any(|c| (c as u32) < 0x20),
+                "U+{code:04X} leaked raw into the output"
+            );
+            assert_eq!(Json::parse(&text).unwrap(), original, "U+{code:04X} round trip");
+        }
+    }
+
+    #[test]
+    fn control_characters_round_trip_inside_object_keys() {
+        // Keys go through the same escaper as values.
+        let v = Json::Obj(vec![("k\u{1}ey".into(), Json::Num(1.0))]);
+        let text = v.to_string();
+        assert!(text.contains("\\u0001"));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_accepts_uppercase_and_backspace_formfeed_escapes() {
+        // \u001F-style uppercase hex, and the \b / \f short escapes the
+        // serializer never emits but a foreign document may contain.
+        assert_eq!(Json::parse("\"\\u001F\"").unwrap(), Json::Str("\u{1f}".into()));
+        assert_eq!(Json::parse("\"\\b\\f\"").unwrap(), Json::Str("\u{8}\u{c}".into()));
+        // And the serializer's own forms for those two scalars re-parse.
+        let v = Json::Str("\u{8}\u{c}".into());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
     fn object_lookup_and_keys() {
         let v = Json::parse("{\"x\": 1, \"y\": \"s\"}").unwrap();
         assert_eq!(v.keys(), vec!["x", "y"]);

@@ -26,11 +26,15 @@
 //! compile/execute phases, `instencil-machine` records autotune
 //! candidates. This crate only defines the collector and the report.
 
+pub mod hist;
 pub mod json;
 pub mod report;
+pub mod trace;
 
+pub use hist::LogHist;
 pub use json::Json;
 pub use report::{RunReport, SCHEMA_VERSION};
+pub use trace::{TraceEvent, TraceKind, WorkerRing, WorkerTracer};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -196,6 +200,9 @@ pub struct Recorded {
     pub wavefronts: Vec<WavefrontRecord>,
     /// Autotune searches, in search order.
     pub autotune: Vec<AutotuneTrace>,
+    /// Flushed per-worker trace rings ([`ObsLevel::Trace`] only), one
+    /// lane per worker after merging (see [`trace::merge_rings`]).
+    pub rings: Vec<WorkerRing>,
 }
 
 struct Inner {
@@ -322,6 +329,48 @@ impl Obs {
     pub fn record_autotune(&self, trace: AutotuneTrace) {
         if let Some(inner) = &self.0 {
             inner.data.lock().unwrap().autotune.push(trace);
+        }
+    }
+
+    /// A per-worker event ring at the default capacity
+    /// ([`trace::ring_capacity`]). Inert — every call a no-op, nothing
+    /// allocated — unless this collector is at [`ObsLevel::Trace`].
+    /// Flushes into the collector when dropped.
+    pub fn worker_tracer(&self, worker: u32) -> WorkerTracer {
+        self.worker_tracer_with_capacity(worker, trace::ring_capacity())
+    }
+
+    /// [`worker_tracer`](Self::worker_tracer) with an explicit ring
+    /// capacity (clamped to ≥ 2); used by wraparound tests.
+    pub fn worker_tracer_with_capacity(&self, worker: u32, capacity: usize) -> WorkerTracer {
+        match &self.0 {
+            Some(inner) if inner.level == ObsLevel::Trace => {
+                WorkerTracer::active(self.clone(), inner.epoch, worker, capacity)
+            }
+            _ => WorkerTracer::inert(),
+        }
+    }
+
+    /// Accepts a flushed ring, merging it into the existing lane for
+    /// the same worker. Lanes stay bounded: past twice the lane
+    /// capacity the oldest events are evicted into the drop counter
+    /// (amortized O(1) per event; the final report trims lanes down to
+    /// exactly `capacity` via [`trace::merge_rings`]).
+    pub(crate) fn record_ring(&self, ring: WorkerRing) {
+        let Some(inner) = &self.0 else { return };
+        let mut data = inner.data.lock().unwrap();
+        match data.rings.iter_mut().find(|r| r.worker == ring.worker) {
+            Some(lane) => {
+                lane.capacity = lane.capacity.max(ring.capacity);
+                lane.dropped += ring.dropped;
+                lane.events.extend_from_slice(&ring.events);
+                if lane.events.len() > lane.capacity * 2 {
+                    let excess = lane.events.len() - lane.capacity;
+                    lane.events.drain(..excess);
+                    lane.dropped += excess as u64;
+                }
+            }
+            None => data.rings.push(ring),
         }
     }
 

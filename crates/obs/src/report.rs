@@ -14,6 +14,12 @@
 //! * `autotune` — the candidate table with the winner marked;
 //! * `exec_stats` — the dynamic `ExecStats` counters (attached by the
 //!   exec layer as JSON, since this crate sits below it);
+//! * `histograms` — log-linear latency distributions
+//!   ([`crate::hist::LogHist`]) of per-sweep (`sweep_ns`, from
+//!   `engine:execute` spans) and per-task (`task_ns`, from trace rings)
+//!   durations, with p50/p90/p99 quantiles;
+//! * `trace` — merged per-worker scheduler event rings
+//!   ([`ObsLevel::Trace`] only; see [`crate::trace`]);
 //! * `events`, `spans` — the raw streams (spans only at
 //!   [`ObsLevel::Trace`]).
 //!
@@ -24,15 +30,17 @@
 
 use std::fmt::Write as _;
 
+use crate::hist::LogHist;
 use crate::json::Json;
+use crate::trace::{TraceKind, WorkerRing};
 use crate::{Obs, ObsLevel, Recorded, SpanRecord};
 
 /// Version of the JSON report schema. Bump when adding, removing or
-/// re-typing a top-level key.
-pub const SCHEMA_VERSION: u32 = 1;
+/// re-typing a top-level key. (v2 added `histograms` and `trace`.)
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The exact top-level keys of a version-[`SCHEMA_VERSION`] report.
-pub const TOP_LEVEL_KEYS: [&str; 9] = [
+pub const TOP_LEVEL_KEYS: [&str; 11] = [
     "schema_version",
     "level",
     "passes",
@@ -40,7 +48,9 @@ pub const TOP_LEVEL_KEYS: [&str; 9] = [
     "wavefronts",
     "autotune",
     "exec_stats",
+    "histograms",
     "events",
+    "trace",
     "spans",
 ];
 
@@ -165,6 +175,45 @@ pub struct AutotuneReport {
     pub candidates: Vec<CandidateReport>,
 }
 
+/// One latency distribution (see [`crate::hist::LogHist`]): quantiles
+/// carry at most 2^-[`crate::hist::SUB_BITS`] (≈3%) relative error.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistReport {
+    /// Metric name: `"sweep_ns"` (per `engine:execute` call) or
+    /// `"task_ns"` (per traced task event).
+    pub name: String,
+    /// Values recorded.
+    pub count: u64,
+    /// Smallest value, nanoseconds.
+    pub min_ns: u64,
+    /// Largest value, nanoseconds.
+    pub max_ns: u64,
+    /// Exact arithmetic mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl HistReport {
+    /// Extracts the report row from a histogram.
+    pub fn from_hist(name: &str, h: &LogHist) -> HistReport {
+        HistReport {
+            name: name.to_owned(),
+            count: h.count(),
+            min_ns: h.min(),
+            max_ns: h.max(),
+            mean_ns: h.mean(),
+            p50_ns: h.p50(),
+            p90_ns: h.p90(),
+            p99_ns: h.p99(),
+        }
+    }
+}
+
 /// A point event in the report.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct EventReport {
@@ -194,8 +243,12 @@ pub struct RunReport {
     pub autotune: Vec<AutotuneReport>,
     /// Dynamic execution counters, attached by the exec layer.
     pub exec_stats: Option<Json>,
+    /// Latency distributions (empty rows are omitted).
+    pub histograms: Vec<HistReport>,
     /// Point events.
     pub events: Vec<EventReport>,
+    /// Merged per-worker trace rings ([`ObsLevel::Trace`] only).
+    pub trace: Vec<WorkerRing>,
     /// Raw span dump ([`ObsLevel::Trace`] only).
     pub spans: Vec<SpanRecord>,
 }
@@ -210,7 +263,9 @@ impl Default for RunReport {
             wavefronts: Vec::new(),
             autotune: Vec::new(),
             exec_stats: None,
+            histograms: Vec::new(),
             events: Vec::new(),
+            trace: Vec::new(),
             spans: Vec::new(),
         }
     }
@@ -261,6 +316,23 @@ impl RunReport {
                 detail: e.detail.clone(),
             })
             .collect();
+        let mut sweep = LogHist::new();
+        for s in rec.spans.iter().filter(|s| s.name == "engine:execute") {
+            sweep.record(s.dur_ns);
+        }
+        let rings = crate::trace::merge_rings(&rec.rings);
+        let mut task = LogHist::new();
+        for e in rings.iter().flat_map(|r| &r.events) {
+            if e.kind == TraceKind::Task {
+                task.record(e.dur_ns);
+            }
+        }
+        for (name, h) in [("sweep_ns", &sweep), ("task_ns", &task)] {
+            if h.count() > 0 {
+                report.histograms.push(HistReport::from_hist(name, h));
+            }
+        }
+        report.trace = rings;
         if obs.level() == ObsLevel::Trace {
             report.spans = rec.spans.clone();
         }
@@ -407,6 +479,50 @@ impl RunReport {
                 ])
             })
             .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&h.name)),
+                    ("count".into(), Json::num(h.count as f64)),
+                    ("min_ns".into(), Json::num(h.min_ns as f64)),
+                    ("max_ns".into(), Json::num(h.max_ns as f64)),
+                    ("mean_ns".into(), Json::Num(h.mean_ns)),
+                    ("p50_ns".into(), Json::num(h.p50_ns as f64)),
+                    ("p90_ns".into(), Json::num(h.p90_ns as f64)),
+                    ("p99_ns".into(), Json::num(h.p99_ns as f64)),
+                ])
+            })
+            .collect();
+        let trace = self
+            .trace
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("worker".into(), Json::num(f64::from(r.worker))),
+                    ("capacity".into(), Json::num(r.capacity as f64)),
+                    ("dropped".into(), Json::num(r.dropped as f64)),
+                    (
+                        "events".into(),
+                        Json::Arr(
+                            r.events
+                                .iter()
+                                .map(|e| {
+                                    Json::Obj(vec![
+                                        ("t_ns".into(), Json::num(e.t_ns as f64)),
+                                        ("dur_ns".into(), Json::num(e.dur_ns as f64)),
+                                        ("kind".into(), Json::str(e.kind.name())),
+                                        ("a".into(), Json::num(f64::from(e.a))),
+                                        ("b".into(), Json::num(f64::from(e.b))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
         let spans = self
             .spans
             .iter()
@@ -447,7 +563,9 @@ impl RunReport {
                 "exec_stats".into(),
                 self.exec_stats.clone().unwrap_or(Json::Null),
             ),
+            ("histograms".into(), Json::Arr(histograms)),
             ("events".into(), Json::Arr(events)),
+            ("trace".into(), Json::Arr(trace)),
             ("spans".into(), Json::Arr(spans)),
         ])
     }
@@ -540,6 +658,16 @@ impl RunReport {
                     workers
                 );
             }
+            let steals: u64 = g.levels.iter().flat_map(|l| &l.workers).map(|w| w.steals).sum();
+            let dist: u64 = g.levels.iter().flat_map(|l| &l.workers).map(|w| w.steal_dist).sum();
+            let fused: u64 = g.levels.iter().flat_map(|l| &l.workers).map(|w| w.fused).sum();
+            if steals > 0 || fused > 0 {
+                let mean_dist = if steals > 0 { dist as f64 / steals as f64 } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "totals: {steals} steal(s) (mean dist {mean_dist:.1}), {fused} fused block(s)"
+                );
+            }
         }
         for t in &self.autotune {
             let _ = writeln!(
@@ -574,11 +702,42 @@ impl RunReport {
                 let _ = writeln!(out, "{stats}");
             }
         }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\n-- latency histograms --");
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "metric", "count", "p50", "p90", "p99", "max"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_ns(h.p50_ns),
+                    fmt_ns(h.p90_ns),
+                    fmt_ns(h.p99_ns),
+                    fmt_ns(h.max_ns)
+                );
+            }
+        }
         if !self.events.is_empty() {
             let _ = writeln!(out, "\n-- events --");
             for e in &self.events {
                 let _ = writeln!(out, "[{:>12}] {}: {}", fmt_ns(e.t_ns), e.name, e.detail);
             }
+        }
+        if !self.trace.is_empty() {
+            let lane_events: usize = self.trace.iter().map(|r| r.events.len()).sum();
+            let dropped: u64 = self.trace.iter().map(|r| r.dropped).sum();
+            let _ = writeln!(
+                out,
+                "\n-- trace rings: {} lane(s), {} event(s), {} dropped (full timeline in JSON) --",
+                self.trace.len(),
+                lane_events,
+                dropped
+            );
         }
         if !self.spans.is_empty() {
             let _ = writeln!(out, "\n({} raw spans in the JSON report)", self.spans.len());
@@ -766,9 +925,44 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
     if !["off", "summary", "trace"].contains(&level) {
         return Err(format!("unknown level `{level}`"));
     }
-    for section in ["passes", "wavefronts", "autotune", "events", "spans"] {
+    for section in ["passes", "wavefronts", "autotune", "histograms", "events", "trace", "spans"] {
         if doc.get(section).and_then(Json::as_arr).is_none() {
             return Err(format!("`{section}` must be an array"));
+        }
+    }
+    for (i, h) in doc.get("histograms").unwrap().as_arr().unwrap().iter().enumerate() {
+        if h.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("`histograms[{i}].name` must be a string"));
+        }
+        for field in ["count", "min_ns", "max_ns", "mean_ns", "p50_ns", "p90_ns", "p99_ns"] {
+            if h.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("`histograms[{i}].{field}` must be a number"));
+            }
+        }
+    }
+    for (i, lane) in doc.get("trace").unwrap().as_arr().unwrap().iter().enumerate() {
+        for field in ["worker", "capacity", "dropped"] {
+            if lane.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("`trace[{i}].{field}` must be a number"));
+            }
+        }
+        let events = lane
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or(format!("`trace[{i}].events` must be an array"))?;
+        for (j, e) in events.iter().enumerate() {
+            for field in ["t_ns", "dur_ns", "a", "b"] {
+                if e.get(field).and_then(Json::as_f64).is_none() {
+                    return Err(format!("`trace[{i}].events[{j}].{field}` must be a number"));
+                }
+            }
+            let kind = e
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(format!("`trace[{i}].events[{j}].kind` must be a string"))?;
+            if TraceKind::parse(kind).is_none() {
+                return Err(format!("`trace[{i}].events[{j}].kind` unknown: `{kind}`"));
+            }
         }
     }
     let engine = doc.get("engine").ok_or("missing engine")?;
@@ -917,6 +1111,104 @@ mod tests {
         assert_eq!(worker.get("fused").and_then(Json::as_f64), Some(2.0));
         assert!(report.to_text().contains("(+3 stolen, dist 4)"));
         assert!(report.to_text().contains("(~2 fused)"));
+    }
+
+    #[test]
+    fn text_renderer_pins_steal_and_fusion_telemetry_format() {
+        // Pins the exact text rendering of the PR 6 worker telemetry:
+        // the per-worker annotations and the per-group totals line.
+        let obs = Obs::new(ObsLevel::Trace);
+        obs.record_wavefronts(WavefrontRecord {
+            threads: 2,
+            scheduler: "dataflow".into(),
+            levels: vec![LevelRecord {
+                index: 0,
+                blocks: 8,
+                wall_ns: 100,
+                workers: vec![
+                    WorkerRecord { busy_ns: 80, blocks: 5, steals: 3, steal_dist: 4, fused: 2 },
+                    WorkerRecord { busy_ns: 60, blocks: 3, steals: 1, steal_dist: 2, fused: 0 },
+                ],
+            }],
+        });
+        let text = obs.report().to_text();
+        assert!(
+            text.contains("(+3 stolen, dist 4)"),
+            "worker 0 steal annotation missing:\n{text}"
+        );
+        assert!(
+            text.contains("(+1 stolen, dist 2)"),
+            "worker 1 steal annotation missing:\n{text}"
+        );
+        assert!(text.contains("(~2 fused)"), "fusion annotation missing:\n{text}");
+        // Group totals: 4 steals over distance 6 → mean 1.5.
+        assert!(
+            text.contains("totals: 4 steal(s) (mean dist 1.5), 2 fused block(s)"),
+            "group totals line missing or drifted:\n{text}"
+        );
+        // A levels group with no steals/fusion prints no totals line.
+        let quiet = Obs::new(ObsLevel::Trace);
+        quiet.record_wavefronts(WavefrontRecord {
+            threads: 1,
+            scheduler: "levels".into(),
+            levels: vec![LevelRecord {
+                index: 0,
+                blocks: 2,
+                wall_ns: 10,
+                workers: vec![WorkerRecord { busy_ns: 9, blocks: 2, ..WorkerRecord::default() }],
+            }],
+        });
+        assert!(!quiet.report().to_text().contains("totals:"));
+    }
+
+    #[test]
+    fn histograms_and_trace_rings_reach_the_validated_json() {
+        let obs = Obs::new(ObsLevel::Trace);
+        for _ in 0..4 {
+            let _sweep = obs.span("engine:execute");
+        }
+        {
+            let mut t = obs.worker_tracer(0);
+            for i in 0..3u32 {
+                let st = t.begin();
+                t.end(crate::TraceKind::Task, st, i, 1);
+            }
+            t.coalesce(crate::TraceKind::PlanHit, 5);
+        }
+        let report = obs.report();
+        let sweep = report.histograms.iter().find(|h| h.name == "sweep_ns").unwrap();
+        assert_eq!(sweep.count, 4);
+        assert!(sweep.p50_ns <= sweep.p90_ns && sweep.p90_ns <= sweep.p99_ns);
+        assert!(sweep.p99_ns <= sweep.max_ns);
+        let task = report.histograms.iter().find(|h| h.name == "task_ns").unwrap();
+        assert_eq!(task.count, 3, "only task events feed task_ns");
+        assert_eq!(report.trace.len(), 1);
+        assert_eq!(report.trace[0].events.len(), 4);
+        let text = report.to_json().to_string();
+        validate_report_json(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let hists = doc.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists[0].get("name").and_then(Json::as_str), Some("sweep_ns"));
+        assert_eq!(hists[0].get("count").and_then(Json::as_f64), Some(4.0));
+        let lanes = doc.get("trace").unwrap().as_arr().unwrap();
+        assert_eq!(lanes[0].get("worker").and_then(Json::as_f64), Some(0.0));
+        let kinds: Vec<&str> = lanes[0]
+            .get("events")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| e.get("kind").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kinds, vec!["task", "task", "task", "plan-hit"]);
+        let rendered = report.to_text();
+        assert!(rendered.contains("-- latency histograms --"));
+        assert!(rendered.contains("sweep_ns"));
+        assert!(rendered.contains("trace rings: 1 lane(s), 4 event(s), 0 dropped"));
+        // An unknown event kind in the document is rejected.
+        let bad = text.replacen("\"plan-hit\"", "\"mystery\"", 1);
+        assert!(validate_report_json(&bad).unwrap_err().contains("mystery"));
     }
 
     #[test]

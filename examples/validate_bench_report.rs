@@ -48,7 +48,51 @@ fn main() {
         workers_checked > 0,
         "{report_path}: no worker records found — report must be written at Trace"
     );
-    println!("{report_path}: schema OK ({workers_checked} worker records carry steal/fusion counters)");
+    // A Trace-level report also folds sweep durations into the
+    // log-linear histogram section and carries the merged per-worker
+    // trace rings; a report missing either predates the tracing layer.
+    let histograms = report
+        .get("histograms")
+        .and_then(|h| h.as_arr())
+        .unwrap_or_else(|| panic!("{report_path}: report lacks the `histograms` array"));
+    let sweep_count = histograms
+        .iter()
+        .find(|h| h.get("name").and_then(|n| n.as_str()) == Some("sweep_ns"))
+        .and_then(|h| h.get("count").and_then(|c| c.as_f64()))
+        .unwrap_or_else(|| panic!("{report_path}: no `sweep_ns` histogram"));
+    assert!(
+        sweep_count > 0.0,
+        "{report_path}: sweep_ns histogram is empty"
+    );
+    let lanes = report
+        .get("trace")
+        .and_then(|t| t.as_arr())
+        .unwrap_or_else(|| panic!("{report_path}: report lacks the `trace` array"));
+    assert!(
+        !lanes.is_empty(),
+        "{report_path}: no trace lanes — report must be written at Trace"
+    );
+    for lane in lanes {
+        let cap = lane
+            .get("capacity")
+            .and_then(|c| c.as_f64())
+            .unwrap_or_else(|| panic!("{report_path}: trace lane lacks numeric `capacity`"));
+        let events = lane
+            .get("events")
+            .and_then(|e| e.as_arr())
+            .unwrap_or_else(|| panic!("{report_path}: trace lane lacks `events`"));
+        assert!(
+            events.len() as f64 <= cap,
+            "{report_path}: trace lane holds {} events over its capacity {cap}",
+            events.len()
+        );
+    }
+    println!(
+        "{report_path}: schema OK ({workers_checked} worker records carry steal/fusion \
+         counters; {} histogram(s), {} trace lane(s))",
+        histograms.len(),
+        lanes.len()
+    );
 
     let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec.json");
     let text = std::fs::read_to_string(bench_path)
