@@ -43,13 +43,13 @@ use std::time::Instant;
 use instencil_bench::cases::paper_cases;
 use instencil_core::kernels;
 use instencil_core::pipeline::{compile, Engine, PipelineOptions};
-use instencil_exec::driver::run_compiled_report;
 use instencil_exec::{buffer::BufferView, BcOptions, BytecodeEngine, Interpreter, RtVal, Runner};
 use instencil_ir::Module;
 use instencil_obs::{report::validate_report_json, Json, Obs, ObsLevel};
 use instencil_pattern::Scheduler;
+use instencil_machine::{best_batch_depth, xeon_6152_dual, RunConfig};
 use instencil_solvers::euler::NV;
-use instencil_solvers::euler_codegen::euler_lusgs_module;
+use instencil_solvers::euler_codegen::{euler_lusgs_module, euler_lusgs_sweep_module};
 
 /// Tolerated slowdown of a fresh bytecode measurement vs the stored
 /// baseline before the bench fails (generous: CI machines are noisy,
@@ -350,6 +350,166 @@ fn bench_trace_overhead(samples: usize) {
     );
 }
 
+/// The fraction of the eager per-sweep time the batched drain must
+/// reach at the autotuned depth on the coarse multi-sweep LU-SGS case
+/// (i.e. batching must buy >= 1.1x there). The win is fixed-cost
+/// amortization — register file, scratch pool, prefix tape, schedule
+/// lookup and pool entry are paid once per batch instead of once per
+/// sweep — so the gate lives on a coarse grid where that fixed cost is
+/// a double-digit fraction of the sweep (the regime temporal batching
+/// targets: coarse-level smoothing with many sweeps between refreshes).
+const TEMPORAL_GATE: f64 = 0.9;
+
+/// One temporal-tiling case: a batchable module driven for many
+/// identical in-place sweeps, eagerly or through `call_sweeps`.
+struct TemporalCase {
+    label: &'static str,
+    module: Module,
+    func: &'static str,
+    shape: Vec<usize>,
+    n_buffers: usize,
+    /// Sweeps per timed sample (>= 8: the workload the section models).
+    sweeps: usize,
+}
+
+/// ns/(point x sweep) of `case` driven in chunks of `k` sweeps
+/// (`k == 1` is the eager one-call-per-sweep path).
+fn measure_temporal(samples: usize, case: &TemporalCase, k: usize) -> f64 {
+    let points: usize = case.shape.iter().product();
+    let buffers: Vec<BufferView> = (0..case.n_buffers)
+        .map(|_| BufferView::alloc(&case.shape))
+        .collect();
+    buffers[0].fill(1.0);
+    let args = || -> Vec<RtVal> { buffers.iter().cloned().map(RtVal::Buf).collect() };
+    let mut runner = Runner::with_opts(
+        &case.module,
+        Engine::Bytecode,
+        1,
+        Scheduler::Dataflow,
+        Obs::off(),
+    )
+    .unwrap();
+    assert!(
+        runner.supports_sweep_batching(),
+        "temporal case {} must bind the bytecode engine",
+        case.label
+    );
+    let t = measure(samples, || {
+        let mut done = 0usize;
+        while done < case.sweeps {
+            let kk = k.min(case.sweeps - done);
+            runner.call_sweeps(case.func, args(), kk).unwrap();
+            done += kk;
+        }
+    });
+    t / (points * case.sweeps) as f64
+}
+
+/// The temporal-tiling section: ns/(point x sweep) for the eager path
+/// and fused batches at k in {1, 2, 4, 8} on two multi-sweep cases —
+/// the coarse-grid LU-SGS forward-relaxation kernel (`lusgs_sweep`,
+/// the batchable single-wavefront variant of the Fig. 14 solver) and
+/// coarse SOR Tr2 — so the batch-depth sweet spot is visible in the
+/// persisted rows. Row engine is `temporal` (outside the `bytecode*`
+/// namespace: the cross-run baseline gate ignores it). Gate: on the
+/// LU-SGS case the batch depth the cost model picks must run at
+/// <= `TEMPORAL_GATE` x the eager time (re-measured once on breach,
+/// min-of-two persisted, like every other gate).
+fn bench_temporal(samples: usize, rows: &mut Vec<Row>) {
+    // Ratio gates need tight minima, like the scaling section.
+    let samples = samples.max(12);
+    let coarse = 4usize; // 2x2x2 interior blocks of [2,2,2] tiles
+    let lusgs = TemporalCase {
+        label: "lusgs-sweep",
+        module: compile(
+            &euler_lusgs_sweep_module(0.05),
+            &PipelineOptions::new(vec![2, 2, 2], vec![2, 2, 2]),
+        )
+        .unwrap()
+        .module,
+        func: "lusgs_sweep",
+        shape: vec![NV, coarse, coarse, coarse],
+        n_buffers: 3,
+        sweeps: 64,
+    };
+    let sor = TemporalCase {
+        label: "sor-tr2",
+        module: compile(
+            &kernels::sor_module(1.6),
+            &PipelineOptions::tr2(vec![4, 4], vec![2, 2]),
+        )
+        .unwrap()
+        .module,
+        func: "sor",
+        shape: vec![1, 16, 16],
+        n_buffers: 2,
+        sweeps: 64,
+    };
+    const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+    for case in [&lusgs, &sor] {
+        let mut eager = measure_temporal(samples, case, 1);
+        let mut batched = DEPTHS.map(|k| measure_temporal(samples, case, k));
+        for (i, &k) in DEPTHS.iter().enumerate() {
+            println!(
+                "engines/temporal/{}@k{k:<2} {:>12.1} ns/point.sweep ({:.2}x eager)",
+                case.label,
+                batched[i],
+                batched[i] / eager
+            );
+        }
+
+        if case.label == "lusgs-sweep" {
+            // The depth the cost model would pick for this coarse,
+            // L2-resident configuration (same arbitration the autotuner
+            // records in `TunedTiles::batch`).
+            let mut cfg = RunConfig::new(
+                vec![coarse, coarse, coarse],
+                vec![2, 2, 2],
+                vec![2, 2, 2],
+            );
+            cfg.threads = 1;
+            cfg.nb_var = NV;
+            cfg.deps = vec![vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]];
+            let kstar = best_batch_depth(&xeon_6152_dual(), &cfg, 8);
+            assert!(
+                kstar > 1,
+                "cost model must choose to batch the coarse LU-SGS case (got k*={kstar})"
+            );
+            let ki = DEPTHS.iter().position(|&k| k == kstar).unwrap();
+            if batched[ki] / eager > TEMPORAL_GATE {
+                // One re-measurement before judging, min-of-two persisted.
+                eager = eager.min(measure_temporal(samples, case, 1));
+                batched[ki] = batched[ki].min(measure_temporal(samples, case, kstar));
+            }
+            let ratio = batched[ki] / eager;
+            println!(
+                "engines/temporal-gate/{}@k{kstar} {:>8.2}x vs eager",
+                case.label, ratio
+            );
+            assert!(
+                ratio <= TEMPORAL_GATE,
+                "batched@k*={kstar} only reached {ratio:.2}x of eager on {} \
+                 (gate {TEMPORAL_GATE}x): cross-sweep batching no longer pays \
+                 for its queueing on the coarse multi-sweep case",
+                case.label
+            );
+        }
+
+        rows.push(Row {
+            engine: "temporal",
+            case: format!("{}@eager", case.label),
+            ns_per_point: eager,
+        });
+        for (i, &k) in DEPTHS.iter().enumerate() {
+            rows.push(Row {
+                engine: "temporal",
+                case: format!("{}@k{k}", case.label),
+                ns_per_point: batched[i],
+            });
+        }
+    }
+}
+
 /// Re-measures one engine-comparison case and folds the better of
 /// (stored, fresh) into `rows` for every engine row of that case: the
 /// value a gate accepts after a re-measurement is the value that gets
@@ -483,6 +643,7 @@ fn main() {
     }
 
     bench_scaling(samples, &mut rows);
+    bench_temporal(samples, &mut rows);
     bench_trace_overhead(samples);
 
     // Regression gate, in smoke mode too: a fresh bytecode measurement
@@ -531,7 +692,10 @@ fn main() {
     println!("wrote {out} ({} rows)", rows.len());
 
     // Unmeasured observability run: gs5 at Trace, rendered next to the
-    // numbers so the perf trajectory ships with its run report.
+    // numbers so the perf trajectory ships with its run report. The two
+    // sweeps drain as one fused batch, so the report exercises the
+    // batched schema too: a wavefront group with `sweeps: 2` and trace
+    // events tagged with their sweep lane.
     let opts = PipelineOptions::new(case.profile_subdomain.clone(), case.profile_tile.clone())
         .vectorize(Some(8))
         .obs(ObsLevel::Trace);
@@ -540,7 +704,17 @@ fn main() {
         .map(|_| BufferView::alloc(&shape))
         .collect();
     buffers[0].fill(1.0);
-    let report = run_compiled_report(&compiled, case.func, &buffers, 2).unwrap();
+    let mut runner = Runner::with_opts(
+        &compiled.module,
+        compiled.options.engine,
+        compiled.options.threads,
+        compiled.options.scheduler,
+        compiled.obs.clone(),
+    )
+    .unwrap();
+    let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+    runner.call_sweeps(case.func, args, 2).unwrap();
+    let report = runner.report();
     let report_json = report.to_json().to_string();
     validate_report_json(&report_json).expect("engines bench report must validate");
     let report_out = out.replace(".json", "_report.json");

@@ -559,6 +559,52 @@ impl BufferView {
         }
     }
 
+    /// Batch-boundary residual fold: one row-major pass computing the
+    /// max-norm of `self − prev` while refreshing `prev` in place with
+    /// the current values. Replaces the snapshot-then-zip double pass of
+    /// the eager convergence loop (one allocation and one traversal per
+    /// check instead of two of each). Partial maxima are kept per
+    /// fixed-size chunk and merged at the end, so the reduction tree is
+    /// deterministic regardless of how the sweeps that produced `self`
+    /// were scheduled.
+    ///
+    /// # Panics
+    /// Panics when `prev.len()` differs from the view's element count.
+    pub fn max_delta_update(&self, prev: &mut [f64]) -> f64 {
+        let total: usize = self.shape.iter().product();
+        assert_eq!(
+            prev.len(),
+            total,
+            "previous snapshot has a different element count"
+        );
+        const CHUNK: usize = 1024;
+        let mut idx = vec![0i64; self.rank()];
+        let mut full = vec![0i64; self.rank()];
+        let mut partials: Vec<f64> = Vec::with_capacity(total.div_ceil(CHUNK).min(4096));
+        let mut chunk_max = 0.0f64;
+        for (flat, prev_slot) in prev.iter_mut().enumerate() {
+            for d in 0..self.rank() {
+                full[d] = idx[d] + self.origin[d];
+            }
+            let cur = self.load(&full);
+            chunk_max = chunk_max.max((cur - *prev_slot).abs());
+            *prev_slot = cur;
+            if (flat + 1) % CHUNK == 0 {
+                partials.push(chunk_max);
+                chunk_max = 0.0;
+            }
+            for d in (0..self.rank()).rev() {
+                idx[d] += 1;
+                if (idx[d] as usize) < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        partials.push(chunk_max);
+        partials.into_iter().fold(0.0, f64::max)
+    }
+
     /// Maximum absolute elementwise difference against another view of the
     /// same shape.
     pub fn max_abs_diff(&self, other: &BufferView) -> f64 {
@@ -865,6 +911,146 @@ pub mod overlap {
         }
     }
 
+    /// Whole-batch overlap checker for sweep-batched dataflow runs.
+    ///
+    /// The checked universe is the `sweeps × num_blocks` grid of
+    /// sweep-qualified block executions. Within one sweep the ordering
+    /// relation is the block dependence graph, exactly as in
+    /// [`GraphChecker`]. Across sweeps, block `b` of sweep `s+1` is
+    /// ordered after `{b} ∪ succ(b)` of sweep `s` (the cross-sweep
+    /// dependence pattern of the L/U in-place split), and transitively
+    /// after everything those nodes dominate. Any pair of sweep-qualified
+    /// executions left unordered by that relation may run concurrently
+    /// under the batched drain, so their write intervals must be
+    /// disjoint.
+    ///
+    /// Like [`GraphChecker`], verdicts come from transitive-ancestor
+    /// bitsets computed once per batch, so a bad batched schedule panics
+    /// deterministically at every thread count.
+    pub struct SweepChecker {
+        /// Blocks per sweep (node id = `sweep * n_blocks + block`).
+        n_blocks: usize,
+        /// `ancestors[node]` bit `p` set iff node `p` transitively
+        /// precedes `node`. Node ids ascend topologically: intra-sweep
+        /// predecessors have lower block index, cross-sweep predecessors
+        /// live in the previous sweep.
+        ancestors: Vec<Vec<u64>>,
+        done: Mutex<Vec<BlockWrites>>,
+    }
+
+    impl SweepChecker {
+        /// A fresh checker for one batch of `sweeps` identical sweeps
+        /// over `graph`.
+        pub fn new(graph: &instencil_pattern::dataflow::BlockGraph, sweeps: usize) -> Self {
+            let n = graph.num_blocks();
+            let nodes = n * sweeps;
+            let words = nodes.div_ceil(64);
+            let mut ancestors: Vec<Vec<u64>> = Vec::with_capacity(nodes);
+            for node in 0..nodes {
+                let (s, b) = (node / n, node % n);
+                let mut bits = vec![0u64; words];
+                let mut absorb = |p: usize, ancestors: &[Vec<u64>]| {
+                    for (w, a) in bits.iter_mut().zip(&ancestors[p]) {
+                        *w |= a;
+                    }
+                    bits[p / 64] |= 1 << (p % 64);
+                };
+                for &p in graph.predecessors(b) {
+                    absorb(s * n + p as usize, &ancestors);
+                }
+                if s > 0 {
+                    // Cross-sweep predecessors: the previous-sweep self
+                    // node plus its lex-forward (successor) neighborhood.
+                    absorb((s - 1) * n + b, &ancestors);
+                    for &q in graph.successors(b) {
+                        absorb((s - 1) * n + q as usize, &ancestors);
+                    }
+                }
+                ancestors.push(bits);
+            }
+            SweepChecker {
+                n_blocks: n,
+                ancestors,
+                done: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn ordered(&self, a: usize, b: usize) -> bool {
+            let has = |anc: &[u64], x: usize| anc[x / 64] >> (x % 64) & 1 == 1;
+            has(&self.ancestors[b], a) || has(&self.ancestors[a], b)
+        }
+
+        /// Starts recording block `block` of sweep `sweep` on the
+        /// current thread; the returned guard commits and checks the
+        /// write set on drop.
+        pub fn guard(&self, sweep: usize, block: usize) -> SweepGuard<'_> {
+            ACTIVE.with(|a| {
+                let mut a = a.borrow_mut();
+                debug_assert!(a.is_none(), "nested overlap-checker blocks");
+                *a = Some(BlockWrites {
+                    block: sweep * self.n_blocks + block,
+                    per_storage: Vec::new(),
+                });
+            });
+            SweepGuard { checker: self }
+        }
+
+        fn commit(&self, mut writes: BlockWrites) {
+            for (_, _, intervals) in &mut writes.per_storage {
+                normalize(intervals);
+            }
+            let mut done = self.done.lock().unwrap();
+            for prior in done.iter() {
+                if self.ordered(prior.block, writes.block) {
+                    continue;
+                }
+                for (id, _, intervals) in &writes.per_storage {
+                    for (pid, _, prior_intervals) in &prior.per_storage {
+                        if pid != id {
+                            continue;
+                        }
+                        if let Some((lo, hi)) = intersect(intervals, prior_intervals) {
+                            let (a, b) = (
+                                prior.block.min(writes.block),
+                                prior.block.max(writes.block),
+                            );
+                            let n = self.n_blocks;
+                            panic!(
+                                "sweep-batch overlap: block {} of sweep {} and \
+                                 block {} of sweep {} are unordered by the \
+                                 sweep-extended dependence graph and both wrote \
+                                 flat extent [{lo}, {hi}] of one allocation",
+                                a % n,
+                                a / n,
+                                b % n,
+                                b / n,
+                            );
+                        }
+                    }
+                }
+            }
+            done.push(writes);
+        }
+    }
+
+    /// RAII scope of one sweep-qualified block's recording (see
+    /// [`SweepChecker::guard`]).
+    pub struct SweepGuard<'a> {
+        checker: &'a SweepChecker,
+    }
+
+    impl Drop for SweepGuard<'_> {
+        fn drop(&mut self) {
+            let Some(writes) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+                return;
+            };
+            if std::thread::panicking() {
+                return;
+            }
+            self.checker.commit(writes);
+        }
+    }
+
     /// Sorts and merges an interval list in place.
     fn normalize(intervals: &mut Vec<(usize, usize)>) {
         intervals.sort_unstable();
@@ -944,6 +1130,26 @@ pub mod overlap {
         #[inline]
         pub fn guard(&self, _block: usize) -> GraphGuard {
             GraphGuard
+        }
+    }
+
+    /// No-op stand-in for the debug sweep-batch checker.
+    pub struct SweepChecker;
+
+    /// No-op guard.
+    pub struct SweepGuard;
+
+    impl SweepChecker {
+        /// A fresh (no-op) checker.
+        #[inline]
+        pub fn new(_graph: &instencil_pattern::dataflow::BlockGraph, _sweeps: usize) -> Self {
+            Self
+        }
+
+        /// No-op block scope.
+        #[inline]
+        pub fn guard(&self, _sweep: usize, _block: usize) -> SweepGuard {
+            SweepGuard
         }
     }
 

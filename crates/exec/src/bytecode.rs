@@ -643,6 +643,112 @@ impl BytecodeEngine {
         self.stats.merge(&stats);
         out
     }
+
+    /// Calls a compiled function `sweeps` times over the same arguments
+    /// as one fused dataflow drain of the sweep-extended dependence
+    /// graph, returning the last call's results. Semantically identical
+    /// to `sweeps` back-to-back [`Self::call`]s (buffers are updated in
+    /// place through the shared views; statistics match too), but block
+    /// `b` of sweep `s+1` starts as soon as its lex-forward neighborhood
+    /// of sweep `s` retires — the per-call fixed costs (frame setup,
+    /// pool construction, prefix re-execution, schedule lookup) are paid
+    /// once per batch instead of once per sweep.
+    ///
+    /// Batching requires the entry tape to be a *pure prefix* (register
+    /// arithmetic, views, `cfd.get_parallel_blocks`) ending in exactly
+    /// one `scf.execute_wavefronts`; any other shape — or a schedule not
+    /// minted by the bundle cache — falls back to eager calls and
+    /// reports a `sweep-batch-fallback` obs event.
+    ///
+    /// # Errors
+    /// As [`Self::call`]; the first failing sweep aborts the batch.
+    pub fn call_sweeps(
+        &mut self,
+        name: &str,
+        args: Vec<RtVal>,
+        sweeps: usize,
+    ) -> Result<Vec<RtVal>, ExecError> {
+        if sweeps == 0 {
+            return Err(ExecError::new("sweep batch needs at least one sweep"));
+        }
+        if sweeps == 1 {
+            return self.call(name, args);
+        }
+        let fi = self
+            .program
+            .lookup(name)
+            .ok_or_else(|| ExecError::new(format!("no function `{name}`")))?;
+        if batchable_wavefronts(&self.program.funcs[fi]).is_none() {
+            self.obs
+                .event("sweep-batch-fallback", "entry tape is not a pure wavefront sweep");
+            let mut out = Vec::new();
+            for _ in 0..sweeps {
+                out = self.call(name, args.clone())?;
+            }
+            return Ok(out);
+        }
+        let ctx = BcCtx {
+            program: &self.program,
+            pool: WavefrontPool::with_opts(self.threads, self.obs.clone(), self.scheduler),
+            scratch: &self.scratch_pool,
+        };
+        let mut stats = ExecStats::default();
+        let out = ctx.call_batched(fi, args, sweeps, &mut stats);
+        self.stats.merge(&stats);
+        out
+    }
+}
+
+/// The trailing `Instr::Wavefronts` of `func`'s entry tape, when the
+/// function is sweep-batchable: the wavefront sweep must be the last
+/// instruction, and everything before it must be re-executable without
+/// observing buffer contents — register arithmetic, constants, view
+/// construction, `memref.dim`, and the (cached, pure) schedule
+/// computation. Buffer loads are excluded on purpose: a prefix that read
+/// a cell the sweep overwrites would see different values on the second
+/// eager call, so batching it would not be equivalent.
+fn batchable_wavefronts(func: &BcFunc) -> Option<(u32, u32, u32, u32)> {
+    let code = &func.tapes[0].code;
+    let Some(Instr::Wavefronts {
+        rows,
+        cols,
+        block,
+        body,
+    }) = code.last()
+    else {
+        return None;
+    };
+    code[..code.len() - 1]
+        .iter()
+        .all(|i| {
+            matches!(
+                i,
+                Instr::ConstF { .. }
+                    | Instr::ConstI { .. }
+                    | Instr::ConstV { .. }
+                    | Instr::BinF { .. }
+                    | Instr::BinV { .. }
+                    | Instr::UnF { .. }
+                    | Instr::UnV { .. }
+                    | Instr::FmaF { .. }
+                    | Instr::FmaV { .. }
+                    | Instr::BinI { .. }
+                    | Instr::CmpI { .. }
+                    | Instr::CmpF { .. }
+                    | Instr::SelF { .. }
+                    | Instr::SelI { .. }
+                    | Instr::SelV { .. }
+                    | Instr::MoveI { .. }
+                    | Instr::SiToFp { .. }
+                    | Instr::Dim { .. }
+                    | Instr::GetParallelBlocks { .. }
+                    | Instr::Subview { .. }
+                    | Instr::ShiftView { .. }
+                    | Instr::VExtract { .. }
+                    | Instr::VBroadcast { .. }
+            )
+        })
+        .then_some((*rows, *cols, *block, *body))
 }
 
 /// Read-only execution context shared by all threads.
@@ -698,9 +804,66 @@ impl BcCtx<'_> {
             .collect()
     }
 
+    /// One frame driving `sweeps` fused wavefront sweeps: runs the pure
+    /// prefix of the entry tape once (accounting its statistics `sweeps`
+    /// times, matching what eager re-execution would have counted), then
+    /// drains the trailing `scf.execute_wavefronts` through the
+    /// sweep-extended graph. The caller has verified the shape via
+    /// [`batchable_wavefronts`].
+    fn call_batched(
+        &self,
+        fi: usize,
+        args: Vec<RtVal>,
+        sweeps: usize,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<RtVal>, ExecError> {
+        let func = &self.program.funcs[fi];
+        if args.len() != func.args.len() {
+            return Err(ExecError::new(format!(
+                "`{}` expects {} args, got {}",
+                func.name,
+                func.args.len(),
+                args.len()
+            )));
+        }
+        let (rows, cols, block, body) =
+            batchable_wavefronts(func).expect("caller checked batchability");
+        let _tracer = trace::install(self.pool.obs().worker_tracer(trace::DRIVER));
+        let mut regs = Regs::new(func);
+        if let Some(rs) = self.scratch.lock().unwrap().pop() {
+            regs.rs = rs;
+        }
+        for ((kind, reg), val) in func.args.iter().zip(args) {
+            regs.set_rtval(*reg, *kind, val)?;
+        }
+        // The prefix is pure, so its single execution computes the same
+        // registers every eager call would have; its stats merge ×k so
+        // counters stay batching-invariant.
+        let mut prefix_stats = ExecStats::default();
+        let prefix_len = func.tapes[0].code.len() - 1;
+        let run = self
+            .run_tape_prefix(func, 0, prefix_len, &mut regs, &mut prefix_stats)
+            .and_then(|()| {
+                for _ in 0..sweeps {
+                    stats.merge(&prefix_stats);
+                }
+                self.exec_wavefronts_batched(func, rows, cols, block, body, sweeps, &mut regs, stats)
+            });
+        self.scratch
+            .lock()
+            .unwrap()
+            .push(std::mem::take(&mut regs.rs));
+        run?;
+        func.tapes[0]
+            .term
+            .iter()
+            .zip(&func.results)
+            .map(|(&r, &k)| regs.get_rtval(r, k))
+            .collect()
+    }
+
     /// Executes one tape over the frame's registers. The inner loop is a
     /// direct match over [`Instr`] — no value boxing, no allocation.
-    #[allow(clippy::too_many_lines)]
     fn run_tape(
         &self,
         func: &BcFunc,
@@ -708,7 +871,22 @@ impl BcCtx<'_> {
         regs: &mut Regs,
         stats: &mut ExecStats,
     ) -> Result<(), ExecError> {
-        for instr in &func.tapes[tape as usize].code {
+        self.run_tape_prefix(func, tape, func.tapes[tape as usize].code.len(), regs, stats)
+    }
+
+    /// [`Self::run_tape`] over the first `count` instructions only — the
+    /// sweep-batched call path runs the pure prefix of the entry tape
+    /// once, then drives the trailing `Instr::Wavefronts` itself.
+    #[allow(clippy::too_many_lines)]
+    fn run_tape_prefix(
+        &self,
+        func: &BcFunc,
+        tape: u32,
+        count: usize,
+        regs: &mut Regs,
+        stats: &mut ExecStats,
+    ) -> Result<(), ExecError> {
+        for instr in &func.tapes[tape as usize].code[..count] {
             match instr {
                 Instr::ConstF { dst, v } => regs.f[*dst as usize] = *v,
                 Instr::ConstI { dst, v } => regs.i[*dst as usize] = *v,
@@ -1307,6 +1485,7 @@ impl BcCtx<'_> {
                 obs.record_wavefronts(instencil_obs::WavefrontRecord {
                     threads: 1,
                     scheduler: Scheduler::Levels.name().to_owned(),
+                    sweeps: 1,
                     levels: level_records,
                 });
             }
@@ -1331,6 +1510,67 @@ impl BcCtx<'_> {
                 (r, ExecStats::default())
             },
             |state: &mut (Regs, ExecStats), b| {
+                let (worker_regs, worker_stats) = state;
+                worker_stats.blocks_executed += 1;
+                worker_regs.i[block as usize] = b as i64;
+                self.run_tape(func, body, worker_regs, worker_stats)
+            },
+            |(mut worker_regs, worker_stats)| {
+                self.scratch
+                    .lock()
+                    .unwrap()
+                    .push(std::mem::take(&mut worker_regs.rs));
+                stats.merge(&worker_stats);
+            },
+        )
+    }
+
+    /// `sweeps` fused executions of one `scf.execute_wavefronts`,
+    /// drained dataflow-style through the sweep-extended graph (the
+    /// scheduler knob is ignored: a level barrier would serialize the
+    /// sweeps and defeat the batching; results are order-independent, so
+    /// they are bit-identical either way). Statistics are counted as if
+    /// the sweeps ran eagerly: the level count accrues per sweep and the
+    /// workers count every block they execute.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_wavefronts_batched(
+        &self,
+        func: &BcFunc,
+        rows: u32,
+        cols: u32,
+        block: u32,
+        body: u32,
+        sweeps: usize,
+        regs: &mut Regs,
+        stats: &mut ExecStats,
+    ) -> Result<(), ExecError> {
+        let row_arr = Arc::clone(regs.arr(rows)?);
+        let col_arr = Arc::clone(regs.arr(cols)?);
+        let Some(bundle) = dataflow::lookup_by_cols(&col_arr) else {
+            // The schedule did not come from the bundle cache (never the
+            // case for `cfd.get_parallel_blocks` output): run the sweeps
+            // eagerly through the ordinary executor.
+            self.pool
+                .obs()
+                .event("sweep-batch-fallback", "cols not from schedule cache");
+            for _ in 0..sweeps {
+                self.exec_wavefronts(func, rows, cols, block, body, regs, stats)?;
+            }
+            return Ok(());
+        };
+        stats.wavefront_levels += (sweeps * (row_arr.len() - 1)) as u64;
+        let base: &Regs = regs;
+        self.pool.try_execute_sweep_batch(
+            &bundle,
+            sweeps,
+            || {
+                let mut r = base.clone();
+                if let Some(rs) = self.scratch.lock().unwrap().pop() {
+                    r.rs = rs;
+                }
+                (r, ExecStats::default())
+            },
+            |state: &mut (Regs, ExecStats), _sweep, b| {
                 let (worker_regs, worker_stats) = state;
                 worker_stats.blocks_executed += 1;
                 worker_regs.i[block as usize] = b as i64;

@@ -188,6 +188,72 @@ impl<'m> Runner<'m> {
         }
     }
 
+    /// Calls a function `sweeps` times over the same arguments,
+    /// returning the last call's results. On the bytecode engine the
+    /// whole batch drains as **one** fused dataflow pass over the
+    /// sweep-extended dependence graph (block `b` of sweep `s+1` starts
+    /// as soon as its sweep-`s` neighborhood retires); results and
+    /// statistics are bit-identical to `sweeps` eager [`Self::call`]s.
+    /// The interpreter has no batched path and loops eagerly.
+    ///
+    /// # Errors
+    /// Propagates engine failures; the first failing sweep aborts.
+    pub fn call_sweeps(
+        &mut self,
+        name: &str,
+        args: Vec<RtVal>,
+        sweeps: usize,
+    ) -> Result<Vec<RtVal>, ExecError> {
+        let _span = self.obs.span("engine:execute");
+        match &mut self.inner {
+            RunnerInner::Interp { module, interp } => {
+                if sweeps == 0 {
+                    return Err(ExecError::new("sweep batch needs at least one sweep"));
+                }
+                let mut out = Vec::new();
+                for _ in 0..sweeps {
+                    out = interp.call(module, name, args.clone())?;
+                }
+                Ok(out)
+            }
+            RunnerInner::Bytecode(engine) => engine.call_sweeps(name, args, sweeps),
+        }
+    }
+
+    /// Whether the bound engine can fuse queued sweeps into one drain
+    /// (bytecode yes, interpreter no). [`SweepBatch`] uses this to pick
+    /// its effective depth, so interpreter-bound modules keep exact
+    /// eager pacing (e.g. convergence checks after every sweep).
+    pub fn supports_sweep_batching(&self) -> bool {
+        matches!(self.inner, RunnerInner::Bytecode(_))
+    }
+
+    /// An OPS-style lazy sweep queue over this runner: [`SweepBatch::queue`]
+    /// records the intent to run one more identical in-place sweep and
+    /// flushes automatically once `depth` are pending; explicit
+    /// [`SweepBatch::flush`] drains the remainder (a batch boundary —
+    /// buffers are guaranteed up to date only after a flush). Depth
+    /// clamps to 1 on engines without a fused path.
+    pub fn sweep_batch<'r>(
+        &'r mut self,
+        func: &str,
+        args: Vec<RtVal>,
+        depth: usize,
+    ) -> SweepBatch<'r, 'm> {
+        let depth = if self.supports_sweep_batching() {
+            depth.max(1)
+        } else {
+            1
+        };
+        SweepBatch {
+            runner: self,
+            func: func.to_owned(),
+            args,
+            depth,
+            queued: 0,
+        }
+    }
+
     /// Statistics accumulated across calls.
     pub fn stats(&self) -> ExecStats {
         match &self.inner {
@@ -256,6 +322,90 @@ impl<'m> Runner<'m> {
     }
 }
 
+/// Default lazy-queue depth used by the sweep-driving helpers: deep
+/// enough to amortize the per-call fixed cost (dispatch, register file,
+/// prefix tape, schedule lookup) over a batch, shallow enough that
+/// convergence checks at batch boundaries overshoot the true stopping
+/// sweep by at most 7. The autotuner refines this per problem via
+/// [`best_batch_depth`](instencil_machine::best_batch_depth) into
+/// [`TunedTiles::batch`](instencil_machine::TunedTiles).
+pub const DEFAULT_SWEEP_BATCH: usize = 8;
+
+/// A lazy queue of identical in-place sweeps over one [`Runner`]
+/// (OPS-style lazy execution): [`SweepBatch::queue`] only records the
+/// intent to sweep; once `depth` sweeps are pending — or on an explicit
+/// [`SweepBatch::flush`] — the whole batch drains as one fused dataflow
+/// pass over the sweep-extended dependence graph. Buffers are
+/// guaranteed up to date only at batch boundaries (after a flush).
+/// Dropping a batch with sweeps still queued panics in debug builds;
+/// call [`SweepBatch::flush`] (or [`SweepBatch::finish`]) first.
+#[derive(Debug)]
+pub struct SweepBatch<'r, 'm> {
+    runner: &'r mut Runner<'m>,
+    func: String,
+    args: Vec<RtVal>,
+    depth: usize,
+    queued: usize,
+}
+
+impl SweepBatch<'_, '_> {
+    /// Queues one more sweep; drains automatically when the queue
+    /// reaches the batch depth.
+    ///
+    /// # Errors
+    /// Propagates engine failures from an automatic flush.
+    pub fn queue(&mut self) -> Result<(), ExecError> {
+        self.queued += 1;
+        if self.queued >= self.depth {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Drains every queued sweep as one fused batch (no-op when the
+    /// queue is empty). After this returns, the argument buffers hold
+    /// the state after all queued sweeps.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn flush(&mut self) -> Result<(), ExecError> {
+        let k = std::mem::take(&mut self.queued);
+        if k > 0 {
+            self.runner.call_sweeps(&self.func, self.args.clone(), k)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and consumes the batch, releasing the runner borrow.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn finish(mut self) -> Result<(), ExecError> {
+        self.flush()
+    }
+
+    /// Sweeps queued but not yet executed.
+    pub fn pending(&self) -> usize {
+        self.queued
+    }
+
+    /// The flush threshold this batch was built with (1 on engines
+    /// without a fused path).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for SweepBatch<'_, '_> {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.queued == 0 || std::thread::panicking(),
+            "SweepBatch dropped with {} sweep(s) still queued; call flush()",
+            self.queued
+        );
+    }
+}
+
 /// Runs `func` of `module` for `iterations` sweeps over the given
 /// buffers (passed as memref arguments each sweep). Returns accumulated
 /// execution statistics.
@@ -320,10 +470,12 @@ pub fn run_sweeps_opts(
     scheduler: Scheduler,
 ) -> Result<ExecStats, ExecError> {
     let mut runner = Runner::with_opts(module, engine, threads, scheduler, Obs::off())?;
+    let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
+    let mut batch = runner.sweep_batch(func, args, DEFAULT_SWEEP_BATCH);
     for _ in 0..iterations {
-        let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
-        runner.call(func, args)?;
+        batch.queue()?;
     }
+    batch.finish()?;
     Ok(runner.stats())
 }
 
@@ -419,6 +571,15 @@ pub fn run_jacobi_sweeps(
 /// consecutive sweeps; stops when it drops below `tol`. Returns the
 /// number of sweeps executed (capped at `max_sweeps`).
 ///
+/// On the bytecode engine, sweeps drain through a [`SweepBatch`] of
+/// depth [`DEFAULT_SWEEP_BATCH`] and convergence is checked only at
+/// batch boundaries — the residual fold
+/// ([`BufferView::max_delta_update`]) is fused into one pass over the
+/// watched buffer per batch, so the returned count may overshoot the
+/// true stopping sweep by up to `depth − 1` sweeps (extra Gauss-Seidel
+/// sweeps past the fixed point are harmless: the fixed point is
+/// stationary). Interpreter-bound modules keep exact per-sweep pacing.
+///
 /// # Errors
 /// Propagates engine failures.
 pub fn run_until_converged(
@@ -430,20 +591,24 @@ pub fn run_until_converged(
     max_sweeps: usize,
 ) -> Result<usize, ExecError> {
     let mut runner = Runner::new(module, Engine::default(), 1)?;
+    let depth = if runner.supports_sweep_batching() {
+        DEFAULT_SWEEP_BATCH
+    } else {
+        1
+    };
+    let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
     let mut previous = buffers[watch].to_vec();
-    for sweep in 1..=max_sweeps {
-        let args: Vec<RtVal> = buffers.iter().cloned().map(RtVal::Buf).collect();
-        runner.call(func, args)?;
-        let current = buffers[watch].to_vec();
-        let delta = previous
-            .iter()
-            .zip(&current)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+    let mut done = 0usize;
+    while done < max_sweeps {
+        let k = depth.min(max_sweeps - done);
+        runner.call_sweeps(func, args.clone(), k)?;
+        done += k;
+        // Batch boundary: one fused pass computes the max-norm delta
+        // against the last boundary and refreshes the snapshot in place.
+        let delta = buffers[watch].max_delta_update(&mut previous);
         if delta < tol {
-            return Ok(sweep);
+            return Ok(done);
         }
-        previous = current;
     }
     Ok(max_sweeps)
 }
@@ -595,6 +760,96 @@ mod tests {
         assert_eq!(wl.to_vec(), wd.to_vec(), "bit-identical across schedulers");
         assert_eq!(stats_l, stats_d, "scheduler-invariant statistics");
         assert!(stats_d.wavefront_levels > 0);
+    }
+
+    #[test]
+    fn sweep_batch_is_lazy_and_flushes_at_depth() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let c = compile(
+            &kernels::gauss_seidel_5pt_module(),
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]),
+        )
+        .unwrap();
+        let w = BufferView::alloc(&[1, 12, 12]);
+        w.store(&[0, 5, 5], 3.0);
+        let b = BufferView::alloc(&[1, 12, 12]);
+        let mut runner = Runner::new(&c.module, Engine::Bytecode, 1).unwrap();
+        assert!(runner.supports_sweep_batching());
+        let args = vec![RtVal::Buf(w.clone()), RtVal::Buf(b)];
+        let before = w.to_vec();
+        let mut batch = runner.sweep_batch("gs5", args, 3);
+        assert_eq!(batch.depth(), 3);
+        batch.queue().unwrap();
+        batch.queue().unwrap();
+        // Two queued, depth 3: nothing has executed yet.
+        assert_eq!(batch.pending(), 2);
+        assert_eq!(w.to_vec(), before, "queueing must not touch buffers");
+        batch.queue().unwrap(); // third sweep reaches depth → auto-flush
+        assert_eq!(batch.pending(), 0);
+        assert_ne!(w.to_vec(), before, "flush runs the queued sweeps");
+        batch.queue().unwrap();
+        batch.finish().unwrap(); // remainder of 1 drains explicitly
+        assert_eq!(runner.stats().reference_ops, 0);
+    }
+
+    #[test]
+    fn batched_sweeps_match_eager_bitwise() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let c = compile(
+            &kernels::gauss_seidel_5pt_module(),
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]).threads(2),
+        )
+        .unwrap();
+        let init = || {
+            let w = BufferView::alloc(&[1, 13, 13]);
+            for i in 0..13i64 {
+                for j in 0..13i64 {
+                    w.store(&[0, i, j], ((i * 3 + j * 7) % 9) as f64 * 0.5);
+                }
+            }
+            (w, BufferView::alloc(&[1, 13, 13]))
+        };
+        let sweeps = 6usize;
+        let (we, be) = init();
+        let mut eager = Runner::new(&c.module, Engine::Bytecode, 2).unwrap();
+        for _ in 0..sweeps {
+            eager
+                .call("gs5", vec![RtVal::Buf(we.clone()), RtVal::Buf(be.clone())])
+                .unwrap();
+        }
+        let (wb, bb) = init();
+        let mut batched = Runner::new(&c.module, Engine::Bytecode, 2).unwrap();
+        batched
+            .call_sweeps("gs5", vec![RtVal::Buf(wb.clone()), RtVal::Buf(bb)], sweeps)
+            .unwrap();
+        assert_eq!(we.to_vec(), wb.to_vec(), "bit-identical to eager sweeps");
+        assert_eq!(eager.stats(), batched.stats(), "batching-invariant stats");
+    }
+
+    #[test]
+    fn run_until_converged_batches_on_bytecode() {
+        use instencil_core::pipeline::{compile, PipelineOptions};
+        let c = compile(
+            &kernels::gauss_seidel_5pt_module(),
+            &PipelineOptions::new(vec![4, 4], vec![2, 2]),
+        )
+        .unwrap();
+        let w = BufferView::alloc(&[1, 10, 10]);
+        for i in 0..10i64 {
+            for j in 0..10i64 {
+                if i == 0 || j == 0 || i == 9 || j == 9 {
+                    w.store(&[0, i, j], 1.0);
+                }
+            }
+        }
+        let b = BufferView::alloc(&[1, 10, 10]);
+        let sweeps =
+            run_until_converged(&c.module, "gs5", &[w.clone(), b], 0, 1e-9, 5_000).unwrap();
+        assert!(sweeps < 5_000, "must converge");
+        // Convergence is checked at batch boundaries, so the count lands
+        // on a multiple of the batch depth (unless capped).
+        assert_eq!(sweeps % DEFAULT_SWEEP_BATCH, 0);
+        assert!((w.load(&[0, 5, 5]) - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -576,6 +576,7 @@ impl ExecCtx<'_> {
                         obs.record_wavefronts(instencil_obs::WavefrontRecord {
                             threads: 1,
                             scheduler: Scheduler::Levels.name().to_owned(),
+                            sweeps: 1,
                             levels: level_records,
                         });
                     }

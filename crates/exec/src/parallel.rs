@@ -555,6 +555,7 @@ impl WavefrontPool {
                 self.flush_dataflow(
                     1,
                     n,
+                    1,
                     t0.elapsed().as_nanos() as u64,
                     detail.then(|| {
                         vec![WorkerStats {
@@ -726,7 +727,318 @@ impl WavefrontPool {
             resume_unwind(payload);
         }
         if record {
-            self.flush_dataflow(threads, n, wall_ns, workers);
+            self.flush_dataflow(threads, n, 1, wall_ns, workers);
+        }
+        match first_err.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Fused execution of `sweeps` identical in-place sweeps as one
+    /// dataflow drain over the sweep-extended dependence graph
+    /// ([`instencil_pattern::dataflow::SweepGraph`]): node `(s, t)` is
+    /// task `t` of sweep `s`, with
+    /// the usual intra-sweep task edges plus cross-sweep edges from
+    /// `{t} ∪ pred(t)` of sweep `s` into `(s+1, ·)` — block `b` of
+    /// sweep `s+1` may start as soon as its own lex-forward
+    /// neighborhood of sweep `s` has retired, long before sweep `s`
+    /// finishes. `work` receives `(state, sweep, block)`.
+    ///
+    /// Always drains dataflow-style regardless of the pool's
+    /// [`Scheduler`] knob (a level barrier would serialize the sweeps
+    /// and defeat the batching). At one thread the drain keeps the
+    /// first task each retirement readies *in hand* and decrements
+    /// cross-sweep successors before intra-sweep ones, so execution
+    /// descends the temporal diagonal `(t, s) → (t', s+1)` while the
+    /// stripe's working set is still cache-resident. Multi-thread, the
+    /// eager worker loop is reused with nodes sharded by *task index*
+    /// ([`shard_owner`] over tasks, not nodes), keeping every sweep of
+    /// a stripe on the worker that owns it.
+    ///
+    /// Within a sweep, blocks of a task run in ascending flat order;
+    /// across sweeps the cross edges reproduce the L/U in-place
+    /// dependence pattern, so results are bit-identical to running the
+    /// sweeps back-to-back (see `DESIGN.md` §4j). In debug builds every
+    /// buffer store is checked against the sweep-qualified write
+    /// intervals of concurrent nodes ([`overlap::SweepChecker`]).
+    ///
+    /// # Errors
+    /// Returns the first observed error produced by `work`; remaining
+    /// nodes are abandoned.
+    ///
+    /// # Panics
+    /// Propagates panics from worker closures (original payload).
+    pub fn try_execute_sweep_batch<S, E, I, W, M>(
+        &self,
+        bundle: &ScheduleBundle,
+        sweeps: usize,
+        init: I,
+        work: W,
+        mut merge: M,
+    ) -> Result<(), E>
+    where
+        S: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize, usize) -> Result<(), E> + Sync,
+        M: FnMut(S),
+    {
+        let graph = &bundle.graph;
+        let n = graph.num_blocks();
+        if n == 0 || sweeps == 0 {
+            return Ok(());
+        }
+        let sgraph = bundle.sweep_graph(self.grain_for(graph), sweeps);
+        let tasks = sgraph.tasks();
+        let n_tasks = sgraph.num_tasks();
+        let total = sgraph.num_nodes();
+        let record = self.obs.enabled();
+        let detail = self.obs.detail_enabled();
+        let checker = overlap::SweepChecker::new(graph, sweeps);
+
+        if self.threads == 1 {
+            // Readies one successor node: the first task a retirement
+            // unlocks is kept in hand (work-first), surplus goes to the
+            // LIFO stack. Plain counters — no other thread exists.
+            fn offer(indeg: &mut [u32], in_hand: &mut Option<u32>, stack: &mut Vec<u32>, nd: u32) {
+                let d = &mut indeg[nd as usize];
+                *d -= 1;
+                if *d == 0 {
+                    if in_hand.is_none() {
+                        *in_hand = Some(nd);
+                    } else {
+                        stack.push(nd);
+                    }
+                }
+            }
+            let _tg = trace::install(self.obs.worker_tracer(0));
+            let t0 = record.then(Instant::now);
+            let mut state = init();
+            let mut outcome = Ok(());
+            let mut done = 0u64;
+            let mut indeg: Vec<u32> = Vec::with_capacity(total);
+            for s in 0..sweeps {
+                for t in 0..n_tasks {
+                    indeg.push(sgraph.in_degree(s, t));
+                }
+            }
+            // Roots live only in sweep 0; reversed so the stack pops
+            // them in ascending task order.
+            let mut stack: Vec<u32> = sgraph.roots();
+            stack.reverse();
+            let mut in_hand: Option<u32> = None;
+            'drain: while let Some(node) = in_hand.take().or_else(|| stack.pop()) {
+                let (sweep, task) = sgraph.split(node as usize);
+                let ts = trace::begin();
+                let mut ran = 0u32;
+                for b in tasks.blocks_of(task) {
+                    let _wg = checker.guard(sweep, b);
+                    if let Err(e) = work(&mut state, sweep, b) {
+                        trace::end_sweep(TraceKind::Task, ts, task as u32, ran, sweep as u32 + 1);
+                        outcome = Err(e);
+                        break 'drain;
+                    }
+                    ran += 1;
+                }
+                done += u64::from(ran);
+                trace::end_sweep(TraceKind::Task, ts, task as u32, ran, sweep as u32 + 1);
+                // Cross-sweep successors first: with the in-hand
+                // preference this descends the temporal diagonal —
+                // (t, s) hands off to (t', s+1) with t' ≤ t while the
+                // stripe is still hot — instead of finishing sweep `s`
+                // wall-to-wall before touching sweep `s+1`.
+                if sweep + 1 < sweeps {
+                    for &x in sgraph.cross_successors(task) {
+                        let nd = sgraph.node(sweep + 1, x as usize) as u32;
+                        offer(&mut indeg, &mut in_hand, &mut stack, nd);
+                    }
+                }
+                for &x in sgraph.intra_successors(task) {
+                    let nd = sgraph.node(sweep, x as usize) as u32;
+                    offer(&mut indeg, &mut in_hand, &mut stack, nd);
+                }
+            }
+            debug_assert!(outcome.is_err() || done == (n * sweeps) as u64);
+            merge(state);
+            if let Some(t0) = t0 {
+                self.flush_dataflow(
+                    1,
+                    n,
+                    sweeps,
+                    t0.elapsed().as_nanos() as u64,
+                    detail.then(|| {
+                        vec![WorkerStats {
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                            blocks: done,
+                            ..WorkerStats::default()
+                        }]
+                    }),
+                );
+            }
+            return outcome;
+        }
+
+        // Multi-thread: the eager worker loop over sweep-extended
+        // nodes. Sharding is by *task* so every sweep of a stripe lands
+        // on the worker whose cache already holds it.
+        let threads = self.threads.min(n_tasks);
+        let indeg: Vec<AtomicU32> = (0..total)
+            .map(|node| {
+                let (s, t) = sgraph.split(node);
+                AtomicU32::new(sgraph.in_degree(s, t))
+            })
+            .collect();
+        let remaining = AtomicUsize::new(total);
+        let deques: Vec<Mutex<std::collections::VecDeque<u32>>> = (0..threads)
+            .map(|_| Mutex::new(std::collections::VecDeque::new()))
+            .collect();
+        for r in sgraph.roots() {
+            deques[shard_owner(r as usize % n_tasks, n_tasks, threads)]
+                .lock()
+                .unwrap()
+                .push_back(r);
+        }
+        let steal_orders: Vec<Vec<usize>> =
+            (0..threads).map(|w| self.machine.steal_order(w, threads)).collect();
+        let abort = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+        let first_err: Mutex<Option<E>> = Mutex::new(None);
+        let init = &init;
+        let work = &work;
+        let checker = &checker;
+        let sgraph = &sgraph;
+        let steal_orders = &steal_orders;
+
+        let worker_loop = |w: usize| -> (S, WorkerStats) {
+            let _tg = trace::install(self.obs.worker_tracer(w as u32));
+            let mut state = init();
+            let mut my_next: Option<u32> = None;
+            let mut st = WorkerStats::default();
+            let mut idle_rounds = 0u32;
+            loop {
+                if abort.load(Ordering::Acquire) {
+                    break;
+                }
+                let mut node = my_next
+                    .take()
+                    .or_else(|| deques[w].lock().unwrap().pop_back());
+                if node.is_none() {
+                    for (dist, &other) in steal_orders[w].iter().enumerate() {
+                        if let Some(t) = deques[other].lock().unwrap().pop_front() {
+                            st.steals += 1;
+                            st.steal_dist += dist as u64 + 1;
+                            trace::instant(TraceKind::Steal, other as u32, dist as u32 + 1);
+                            node = Some(t);
+                            break;
+                        }
+                    }
+                }
+                let Some(nd) = node else {
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    idle_rounds += 1;
+                    if idle_rounds <= SPIN_ROUNDS {
+                        thread::yield_now();
+                    } else {
+                        let exp = u64::from(idle_rounds - SPIN_ROUNDS).min(6);
+                        let ts = trace::begin();
+                        thread::sleep(Duration::from_micros((1 << exp).min(MAX_PARK_US)));
+                        trace::end(TraceKind::Park, ts, idle_rounds, 0);
+                    }
+                    continue;
+                };
+                idle_rounds = 0;
+                let (sweep, task) = sgraph.split(nd as usize);
+                let range = sgraph.tasks().blocks_of(task);
+                let chain = range.len() as u64;
+                let t0 = detail.then(Instant::now);
+                let ts = trace::begin();
+                let mut ran = 0u64;
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), E> {
+                    for b in range {
+                        let _wg = checker.guard(sweep, b);
+                        work(&mut state, sweep, b)?;
+                        ran += 1;
+                    }
+                    Ok(())
+                }));
+                trace::end_sweep(TraceKind::Task, ts, task as u32, ran as u32, sweep as u32 + 1);
+                match outcome {
+                    Ok(Ok(())) => {
+                        if let Some(t0) = t0 {
+                            st.busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        st.blocks += ran;
+                        st.fused += chain - 1;
+                        // Cross-sweep successors first, mirroring the
+                        // sequential drain: the in-hand preference
+                        // favors the temporal diagonal, and the self
+                        // edge (t, s) → (t, s+1) stays on this worker
+                        // by construction of the task-keyed shard map.
+                        let mut offer = |x: u32, nd: u32| {
+                            if indeg[nd as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                if my_next.is_none() {
+                                    my_next = Some(nd);
+                                } else {
+                                    let owner = shard_owner(x as usize, n_tasks, threads);
+                                    deques[owner].lock().unwrap().push_back(nd);
+                                }
+                            }
+                        };
+                        if sweep + 1 < sweeps {
+                            for &x in sgraph.cross_successors(task) {
+                                offer(x, sgraph.node(sweep + 1, x as usize) as u32);
+                            }
+                        }
+                        for &x in sgraph.intra_successors(task) {
+                            offer(x, sgraph.node(sweep, x as usize) as u32);
+                        }
+                        remaining.fetch_sub(1, Ordering::Release);
+                    }
+                    Ok(Err(e)) => {
+                        st.blocks += ran;
+                        let mut slot = first_err.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        abort.store(true, Ordering::Release);
+                    }
+                    Err(payload) => {
+                        st.blocks += ran;
+                        let mut slot = panic_slot.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        abort.store(true, Ordering::Release);
+                    }
+                }
+            }
+            (state, st)
+        };
+
+        let t0 = record.then(Instant::now);
+        let mut results: Vec<(S, WorkerStats)> = Vec::with_capacity(threads);
+        thread::scope(|s| {
+            let handles: Vec<_> = (1..threads)
+                .map(|w| s.spawn(move || worker_loop(w)))
+                .collect();
+            results.push(worker_loop(0));
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| resume_unwind(p)));
+            }
+        });
+        let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let workers = detail.then(|| results.iter().map(|&(_, st)| st).collect::<Vec<_>>());
+        for (state, ..) in results {
+            merge(state);
+        }
+        if let Some(payload) = panic_slot.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        if record {
+            self.flush_dataflow(threads, n, sweeps, wall_ns, workers);
         }
         match first_err.into_inner().unwrap() {
             Some(e) => Err(e),
@@ -735,11 +1047,14 @@ impl WavefrontPool {
     }
 
     /// Publishes a dataflow run as a single all-blocks level record
-    /// (there are no barriers to split the timeline on).
+    /// (there are no barriers to split the timeline on). `blocks` is the
+    /// per-sweep block count and `sweeps` the batch depth (1 for eager
+    /// runs), so report means stay per-sweep across batch depths.
     fn flush_dataflow(
         &self,
         threads: usize,
         blocks: usize,
+        sweeps: usize,
         wall_ns: u64,
         workers: Option<Vec<WorkerStats>>,
     ) {
@@ -757,6 +1072,7 @@ impl WavefrontPool {
         self.obs.record_wavefronts(WavefrontRecord {
             threads,
             scheduler: Scheduler::Dataflow.name().to_owned(),
+            sweeps,
             levels: vec![LevelRecord {
                 index: 0,
                 blocks: blocks as u64,
@@ -807,6 +1123,7 @@ impl WavefrontPool {
             self.obs.record_wavefronts(WavefrontRecord {
                 threads,
                 scheduler: Scheduler::Levels.name().to_owned(),
+                sweeps: 1,
                 levels,
             });
         }

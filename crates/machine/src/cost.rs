@@ -405,6 +405,99 @@ pub fn estimate_sweep_dataflow(m: &Machine, cfg: &RunConfig) -> TimeEstimate {
     }
 }
 
+/// Fixed per-call overhead of one eager sweep dispatch, in cycles:
+/// frame construction (register files, scratch-pool handoff), the
+/// schedule-cache lookup, prefix tape re-execution, and worker-pool
+/// setup. The sweep-batched drain pays this once per *batch* instead of
+/// once per sweep — it is the dominant win on small domains where the
+/// sweep itself is tens of microseconds.
+const SWEEP_DISPATCH_CYCLES: f64 = 60_000.0;
+
+/// Bookkeeping cost of one cross-sweep dependence edge of the batched
+/// drain (an atomic in-degree decrement plus its share of routing), in
+/// cycles. Sweeps after the first pay `tasks + transposed-edges` of
+/// these; on large grids this is what makes deep batches lose.
+const CROSS_EDGE_CYCLES: f64 = 24.0;
+
+/// Streaming speedup of an L2-resident working set over DRAM: when the
+/// whole domain fits in L2, sweeps after the first re-read it from
+/// cache under the batched drain's temporal-diagonal traversal.
+const L2_STREAM_SPEEDUP: f64 = 4.0;
+
+/// Estimates the *per-sweep amortized* makespan when `sweeps` identical
+/// in-place sweeps are drained as one batch through the sweep-extended
+/// dependence graph (`sweeps == 1` is an eager sweep, including its
+/// per-call dispatch overhead). Batching amortizes the fixed dispatch
+/// cost ([`SWEEP_DISPATCH_CYCLES`]) across the batch and — when the
+/// whole working set is L2-resident — serves sweeps after the first
+/// from cache, but pays cross-sweep edge bookkeeping
+/// ([`CROSS_EDGE_CYCLES`] × (tasks + transposed intra edges)) on every
+/// later sweep. The argmin over depths is [`best_batch_depth`].
+///
+/// # Panics
+/// Panics on rank mismatches between `domain`, `subdomain` and `tile`.
+pub fn estimate_sweep_batched(m: &Machine, cfg: &RunConfig, sweeps: usize) -> TimeEstimate {
+    let k = sweeps.max(1) as f64;
+    let base = estimate_sweep_dataflow(m, cfg);
+    let points: f64 = cfg.domain.iter().product::<usize>() as f64;
+
+    let grid: Vec<usize> = cfg
+        .domain
+        .iter()
+        .zip(&cfg.subdomain)
+        .map(|(&n, &s)| n.div_ceil(s.max(1)).max(1))
+        .collect();
+    let graph = BlockGraph::build(&grid, &cfg.deps);
+    let n = graph.num_blocks();
+    let grain = m.dataflow_grain(n, grid.last().copied().unwrap_or(1), cfg.threads.max(1));
+    // Cross-sweep edges per sweep boundary: one self edge per task plus
+    // the transpose of the intra-sweep edge set (block counts divided by
+    // the fusion grain approximate task counts).
+    let cross_edges = (n + graph.num_edges()) as f64 / grain as f64;
+    let cross_s = cross_edges * CROSS_EDGE_CYCLES * m.cycle_s();
+
+    let dispatch_s = SWEEP_DISPATCH_CYCLES * m.cycle_s();
+    // Cache credit: only the memory-bound *excess* of the sweep can
+    // shrink, and only when the whole domain (not just a tile) stays
+    // resident between consecutive sweeps.
+    let ws_bytes = points * cfg.nb_var as f64 * cfg.live_tensors as f64 * 8.0;
+    let credit = if ws_bytes <= m.l2_bytes as f64 {
+        (base.memory_s - base.compute_s).max(0.0) * (1.0 - 1.0 / L2_STREAM_SPEEDUP)
+    } else {
+        0.0
+    };
+
+    let later = (k - 1.0) / k;
+    let total = base.total_s + dispatch_s / k + cross_s * later - credit * later;
+    TimeEstimate {
+        compute_s: base.compute_s,
+        memory_s: base.memory_s - credit * later,
+        sync_s: base.sync_s + cross_s * later,
+        total_s: total.max(base.compute_s),
+        levels: base.levels,
+    }
+}
+
+/// The batch depth (power of two in `1..=max_depth`) minimizing the
+/// per-sweep amortized estimate of [`estimate_sweep_batched`]: deep on
+/// small/L2-resident workloads where dispatch amortization and cache
+/// reuse dominate, 1 on large grids where cross-sweep edge bookkeeping
+/// outweighs the fixed savings.
+pub fn best_batch_depth(m: &Machine, cfg: &RunConfig, max_depth: usize) -> usize {
+    let mut best = 1usize;
+    let mut best_t = f64::INFINITY;
+    let mut k = 1usize;
+    while k <= max_depth.max(1) {
+        let t = estimate_sweep_batched(m, cfg, k).total_s;
+        if t < best_t {
+            best = k;
+            best_t = t;
+        }
+        k *= 2;
+    }
+    best
+}
+
 /// Dispatches between [`estimate_sweep`] (levels) and
 /// [`estimate_sweep_dataflow`] by scheduler mode.
 pub fn estimate_sweep_scheduled(m: &Machine, cfg: &RunConfig, scheduler: Scheduler) -> TimeEstimate {
@@ -650,6 +743,39 @@ mod tests {
         let d = estimate_sweep_scheduled(&m, &cfg, Scheduler::Dataflow);
         assert_eq!(l.total_s, estimate_sweep(&m, &cfg).total_s);
         assert_eq!(d.total_s, estimate_sweep_dataflow(&m, &cfg).total_s);
+    }
+
+    #[test]
+    fn batching_amortizes_dispatch_on_resident_domains() {
+        // A small domain whose whole working set fits L2: the fixed
+        // per-call dispatch cost dominates the sweep, so deep batches
+        // must estimate strictly faster per sweep and win the argmin.
+        let m = xeon_6152_dual();
+        let mut cfg = base_cfg(1);
+        cfg.domain = vec![40, 40];
+        cfg.subdomain = vec![8, 8];
+        cfg.tile = vec![8, 8];
+        let t1 = estimate_sweep_batched(&m, &cfg, 1).total_s;
+        let t4 = estimate_sweep_batched(&m, &cfg, 4).total_s;
+        assert!(t4 < t1, "batch of 4 must amortize dispatch: {t4} vs {t1}");
+        assert!(best_batch_depth(&m, &cfg, 8) > 1);
+    }
+
+    #[test]
+    fn batching_declines_when_cross_edges_dominate() {
+        // A huge, fine-grained grid: the working set is nowhere near
+        // L2-resident and every later sweep pays bookkeeping for
+        // hundreds of thousands of cross-sweep edges, far more than the
+        // one-off dispatch saving — the tuner must stay eager.
+        let m = xeon_6152_dual();
+        let mut cfg = base_cfg(1);
+        cfg.domain = vec![4096, 4096];
+        cfg.subdomain = vec![1, 16];
+        cfg.tile = vec![1, 16];
+        let t1 = estimate_sweep_batched(&m, &cfg, 1).total_s;
+        let t8 = estimate_sweep_batched(&m, &cfg, 8).total_s;
+        assert!(t8 > t1, "deep batch must lose here: {t8} vs {t1}");
+        assert_eq!(best_batch_depth(&m, &cfg, 8), 1);
     }
 
     #[test]

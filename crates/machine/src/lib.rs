@@ -38,7 +38,7 @@ pub use autotune::{
     TunedTiles,
 };
 pub use cost::{
-    estimate_sweep, estimate_sweep_dataflow, estimate_sweep_scheduled, t_cell, PerPointCosts,
-    RunConfig, TimeEstimate,
+    best_batch_depth, estimate_sweep, estimate_sweep_batched, estimate_sweep_dataflow,
+    estimate_sweep_scheduled, t_cell, PerPointCosts, RunConfig, TimeEstimate,
 };
 pub use topology::{xeon_6152_dual, Machine};

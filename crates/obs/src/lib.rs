@@ -153,6 +153,11 @@ pub struct WavefrontRecord {
     /// Scheduler tag: `"levels"` or `"dataflow"` (kept as a string so
     /// this crate stays dependency-free).
     pub scheduler: String,
+    /// Sweeps this execution covered: 1 for an eager per-sweep run, `k`
+    /// when a batched drain fused `k` sweeps into one DAG. Report means
+    /// divide by the group's total sweep count, so per-sweep figures
+    /// stay comparable across batch depths.
+    pub sweeps: usize,
     /// Per-level timings.
     pub levels: Vec<LevelRecord>,
 }
@@ -474,6 +479,7 @@ mod tests {
         obs.record_wavefronts(WavefrontRecord {
             threads: 1,
             scheduler: "levels".into(),
+            sweeps: 1,
             levels: vec![],
         });
         assert_eq!(obs.snapshot(), Recorded::default());

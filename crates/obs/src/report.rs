@@ -36,8 +36,11 @@ use crate::trace::{TraceKind, WorkerRing};
 use crate::{Obs, ObsLevel, Recorded, SpanRecord};
 
 /// Version of the JSON report schema. Bump when adding, removing or
-/// re-typing a top-level key. (v2 added `histograms` and `trace`.)
-pub const SCHEMA_VERSION: u32 = 2;
+/// re-typing a top-level key. (v2 added `histograms` and `trace`; v3
+/// added the per-event `sweep` tag on trace events — the batch lane of
+/// cross-sweep temporal tiling — and made `wavefronts[].sweeps` count
+/// sweeps, not executions.)
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The exact top-level keys of a version-[`SCHEMA_VERSION`] report.
 pub const TOP_LEVEL_KEYS: [&str; 11] = [
@@ -141,7 +144,9 @@ pub struct WavefrontGroup {
     /// Scheduler tag (`"levels"` or `"dataflow"`). Dataflow executions
     /// report as a single all-blocks level (no barriers to split on).
     pub scheduler: String,
-    /// Number of executions (sweeps) aggregated.
+    /// Total sweeps aggregated (a batched execution contributes its
+    /// whole batch depth, an eager one contributes 1), so per-sweep
+    /// means stay comparable across batch depths.
     pub sweeps: usize,
     /// Per-level aggregates.
     pub levels: Vec<LevelSummary>,
@@ -515,6 +520,7 @@ impl RunReport {
                                         ("kind".into(), Json::str(e.kind.name())),
                                         ("a".into(), Json::num(f64::from(e.a))),
                                         ("b".into(), Json::num(f64::from(e.b))),
+                                        ("sweep".into(), Json::num(f64::from(e.sweep))),
                                     ])
                                 })
                                 .collect(),
@@ -817,7 +823,10 @@ fn build_wavefronts(rec: &Recorded) -> Vec<WavefrontGroup> {
     groups
         .into_iter()
         .map(|(threads, scheduler, n_levels, members)| {
-            let sweeps = members.len();
+            // Per-sweep means divide by the sweeps *covered*, not the
+            // execution count — a k-deep batched drain is one record
+            // but k sweeps of work.
+            let sweeps = members.iter().map(|m| m.sweeps.max(1)).sum::<usize>();
             let levels = (0..n_levels)
                 .map(|li| {
                     let first = &members[0].levels[li];
@@ -951,7 +960,7 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
             .and_then(Json::as_arr)
             .ok_or(format!("`trace[{i}].events` must be an array"))?;
         for (j, e) in events.iter().enumerate() {
-            for field in ["t_ns", "dur_ns", "a", "b"] {
+            for field in ["t_ns", "dur_ns", "a", "b", "sweep"] {
                 if e.get(field).and_then(Json::as_f64).is_none() {
                     return Err(format!("`trace[{i}].events[{j}].{field}` must be a number"));
                 }
@@ -1029,6 +1038,7 @@ mod tests {
             obs.record_wavefronts(WavefrontRecord {
                 threads: 2,
                 scheduler: "levels".into(),
+                sweeps: 1,
                 levels: vec![LevelRecord {
                     index: 0,
                     blocks: 4,
@@ -1070,6 +1080,7 @@ mod tests {
             obs.record_wavefronts(WavefrontRecord {
                 threads: 2,
                 scheduler: scheduler.into(),
+                sweeps: 1,
                 levels: vec![LevelRecord {
                     index: 0,
                     blocks: 6,
@@ -1121,6 +1132,7 @@ mod tests {
         obs.record_wavefronts(WavefrontRecord {
             threads: 2,
             scheduler: "dataflow".into(),
+            sweeps: 1,
             levels: vec![LevelRecord {
                 index: 0,
                 blocks: 8,
@@ -1151,6 +1163,7 @@ mod tests {
         quiet.record_wavefronts(WavefrontRecord {
             threads: 1,
             scheduler: "levels".into(),
+            sweeps: 1,
             levels: vec![LevelRecord {
                 index: 0,
                 blocks: 2,

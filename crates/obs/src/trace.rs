@@ -133,6 +133,11 @@ pub struct TraceEvent {
     pub a: u32,
     /// Kind-dependent payload (see [`TraceKind`]).
     pub b: u32,
+    /// Sweep tag: 0 for work outside a sweep batch, `s + 1` for work of
+    /// sweep `s` inside a fused multi-sweep drain. Tagged events land on
+    /// per-sweep sub-lanes in the Perfetto export, so the temporal-
+    /// tiling diagonal is visible in the timeline.
+    pub sweep: u32,
 }
 
 /// A flushed ring: one worker's events in chronological order, plus the
@@ -241,9 +246,17 @@ impl WorkerTracer {
     /// Records a duration event started at `start_ns`.
     #[inline]
     pub fn end(&mut self, kind: TraceKind, start_ns: u64, a: u32, b: u32) {
+        self.end_sweep(kind, start_ns, a, b, 0);
+    }
+
+    /// Records a duration event started at `start_ns`, tagged with a
+    /// sweep (`sweep = s + 1` for sweep `s` of a fused batch; see
+    /// [`TraceEvent::sweep`]).
+    #[inline]
+    pub fn end_sweep(&mut self, kind: TraceKind, start_ns: u64, a: u32, b: u32, sweep: u32) {
         let Some(l) = &mut self.live else { return };
         let dur_ns = l.now_ns().saturating_sub(start_ns);
-        l.push(TraceEvent { t_ns: start_ns, dur_ns, kind, a, b });
+        l.push(TraceEvent { t_ns: start_ns, dur_ns, kind, a, b, sweep });
     }
 
     /// Records an instant event stamped now.
@@ -251,7 +264,7 @@ impl WorkerTracer {
     pub fn instant(&mut self, kind: TraceKind, a: u32, b: u32) {
         let Some(l) = &mut self.live else { return };
         let t_ns = l.now_ns();
-        l.push(TraceEvent { t_ns, dur_ns: 0, kind, a, b });
+        l.push(TraceEvent { t_ns, dur_ns: 0, kind, a, b, sweep: 0 });
     }
 
     /// Records an instant event with `b = 1`, or — when the most recent
@@ -268,7 +281,7 @@ impl WorkerTracer {
             }
         }
         let t_ns = l.now_ns();
-        l.push(TraceEvent { t_ns, dur_ns: 0, kind, a, b: 1 });
+        l.push(TraceEvent { t_ns, dur_ns: 0, kind, a, b: 1, sweep: 0 });
     }
 
     /// Events currently buffered (test hook).
@@ -355,6 +368,12 @@ pub fn end(kind: TraceKind, start_ns: u64, a: u32, b: u32) {
     with(|t| t.end(kind, start_ns, a, b));
 }
 
+/// [`WorkerTracer::end_sweep`] on the current tracer.
+#[inline]
+pub fn end_sweep(kind: TraceKind, start_ns: u64, a: u32, b: u32, sweep: u32) {
+    with(|t| t.end_sweep(kind, start_ns, a, b, sweep));
+}
+
 /// [`WorkerTracer::instant`] on the current tracer.
 #[inline]
 pub fn instant(kind: TraceKind, a: u32, b: u32) {
@@ -426,7 +445,26 @@ fn kind_args(e: &TraceEvent) -> Json {
     if e.kind != TraceKind::Park {
         members.push((kb.to_owned(), Json::num(e.b)));
     }
+    if e.sweep > 0 {
+        members.push(("sweep".to_owned(), Json::num(e.sweep - 1)));
+    }
     Json::Obj(members)
+}
+
+/// Cap on distinct per-sweep sub-lanes a worker gets in the Perfetto
+/// export; deeper sweeps fold onto the last sub-lane (the `sweep` arg
+/// still disambiguates them).
+const SWEEP_LANES: u32 = 16;
+
+/// Perfetto `tid` of a ring event: the worker's base lane for untagged
+/// events, a per-`(worker, sweep)` sub-lane in the 100..1000 band for
+/// sweep-tagged ones (span lanes start at 1000).
+fn event_tid(worker: u32, sweep: u32) -> f64 {
+    if sweep == 0 {
+        lane_tid(worker)
+    } else {
+        f64::from(100 + worker * SWEEP_LANES + (sweep - 1).min(SWEEP_LANES - 1))
+    }
 }
 
 /// Renders merged rings plus the collector's spans as a Chrome/Perfetto
@@ -448,8 +486,19 @@ pub fn chrome_trace(rings: &[WorkerRing], spans: &[SpanRecord]) -> Json {
         ])
     };
     for r in rings {
-        let tid = lane_tid(r.worker);
-        events.push(meta(lane_name(r.worker), tid));
+        events.push(meta(lane_name(r.worker), lane_tid(r.worker)));
+        // Sweep-tagged events get per-sweep sub-lanes under the worker,
+        // named once per distinct (worker, sweep) pair seen.
+        let mut sweep_lanes: Vec<u32> = Vec::new();
+        for e in &r.events {
+            if e.sweep > 0 && !sweep_lanes.contains(&e.sweep) {
+                sweep_lanes.push(e.sweep);
+                events.push(meta(
+                    format!("{} sweep {}", lane_name(r.worker), e.sweep - 1),
+                    event_tid(r.worker, e.sweep),
+                ));
+            }
+        }
         for e in &r.events {
             let mut obj = vec![
                 ("name".to_owned(), Json::str(e.kind.name())),
@@ -462,7 +511,7 @@ pub fn chrome_trace(rings: &[WorkerRing], spans: &[SpanRecord]) -> Json {
                 obj.push(("s".to_owned(), Json::str("t")));
             }
             obj.push(("pid".to_owned(), Json::num(1)));
-            obj.push(("tid".to_owned(), Json::Num(tid)));
+            obj.push(("tid".to_owned(), Json::Num(event_tid(r.worker, e.sweep))));
             obj.push(("args".to_owned(), kind_args(e)));
             events.push(Json::Obj(obj));
         }
@@ -553,7 +602,7 @@ mod tests {
     use crate::ObsLevel;
 
     fn ev(t_ns: u64, kind: TraceKind, a: u32) -> TraceEvent {
-        TraceEvent { t_ns, dur_ns: 0, kind, a, b: 0 }
+        TraceEvent { t_ns, dur_ns: 0, kind, a, b: 0, sweep: 0 }
     }
 
     #[test]
@@ -779,6 +828,53 @@ mod tests {
             e.get("name").and_then(Json::as_str) == Some("engine:execute")
                 && e.get("tid").and_then(Json::as_f64) >= Some(1000.0)
         }));
+    }
+
+    #[test]
+    fn sweep_tagged_events_get_sub_lanes_and_sweep_args() {
+        let obs = Obs::new(ObsLevel::Trace);
+        {
+            let mut t = obs.worker_tracer(0);
+            let st = t.begin();
+            t.end(TraceKind::Task, st, 1, 2); // untagged: base lane
+            let st = t.begin();
+            t.end_sweep(TraceKind::Task, st, 3, 4, 1); // sweep 0
+            let st = t.begin();
+            t.end_sweep(TraceKind::Task, st, 5, 6, 3); // sweep 2
+        }
+        let rec = obs.snapshot();
+        let rings = merge_rings(&rec.rings);
+        assert_eq!(rings[0].events[1].sweep, 1);
+        let text = chrome_trace(&rings, &rec.spans).to_string();
+        validate_chrome_trace(&text).unwrap();
+        let events = Json::parse(&text).unwrap();
+        let events = events.get("traceEvents").unwrap().as_arr().unwrap();
+        let lanes: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(lanes.contains(&"worker 0"));
+        assert!(lanes.contains(&"worker 0 sweep 0"));
+        assert!(lanes.contains(&"worker 0 sweep 2"));
+        // The untagged task stays on the base lane without a sweep arg;
+        // tagged ones move to distinct sub-lanes carrying it.
+        let tasks: Vec<(f64, Option<f64>)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("task"))
+            .map(|e| {
+                (
+                    e.get("tid").and_then(Json::as_f64).unwrap(),
+                    e.get("args").unwrap().get("sweep").and_then(Json::as_f64),
+                )
+            })
+            .collect();
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0], (1.0, None));
+        assert_eq!(tasks[1].1, Some(0.0));
+        assert_eq!(tasks[2].1, Some(2.0));
+        assert_ne!(tasks[1].0, tasks[2].0, "sweeps land on distinct lanes");
+        assert!(tasks[1].0 >= 100.0 && tasks[2].0 < 1000.0, "sub-lane band");
     }
 
     #[test]

@@ -322,6 +322,11 @@ impl TaskGraph {
         self.indeg[t]
     }
 
+    /// Number of distinct successor tasks of `t`.
+    pub fn out_degree(&self, t: usize) -> u32 {
+        (self.succ_ptr[t + 1] - self.succ_ptr[t]) as u32
+    }
+
     /// Tasks with no predecessor tasks, ascending.
     pub fn roots(&self) -> Vec<u32> {
         (0..self.num_tasks())
@@ -333,6 +338,148 @@ impl TaskGraph {
     /// The fusion grain this partition was built with.
     pub fn grain(&self) -> usize {
         self.grain
+    }
+}
+
+/// The sweep-extended task graph: `sweeps` identical copies of a
+/// [`TaskGraph`] chained by cross-sweep dependence edges into one fused
+/// DAG, so a dataflow pool can drain `k` in-place sweeps without a
+/// barrier between them (OPS-style lazy loop tiling over the sweep
+/// dimension).
+///
+/// Nodes are `(sweep, task)` pairs linearized as
+/// `node = sweep * num_tasks + task`; ascending node index is a
+/// topological order (intra-sweep edges point to higher tasks, cross
+/// edges to the next sweep).
+///
+/// Cross-sweep edges follow from the Eq. (3) L/U split without any new
+/// corner analysis. Within a sweep, task `t` reads the *current*-sweep
+/// values of its lex-backward neighborhood (its predecessor tasks, the
+/// L part) and the *previous*-sweep values of `{t}` plus its
+/// lex-forward neighborhood (its successor tasks, the U part). So task
+/// `t` in sweep `s+1` must wait exactly for `{t} ∪ succ_tasks(t)` of
+/// sweep `s`:
+///
+/// * flow: the U-reads of sweep-`s` values come from `{t} ∪ succ(t)`,
+///   each of which has finished its sweep-`s` write;
+/// * anti: the sweep-`s` readers of `t`'s region are `t` itself,
+///   `succ(t)` (U-reads after `t` wrote), and `pred(t)` (U-reads
+///   *before* `t` wrote — ordered transitively through `t`'s own
+///   sweep-`s` execution and the cross self-edge).
+///
+/// Equivalently, the cross-sweep *successors* of task `t` (the lists
+/// stored here) are `{t} ∪ pred_tasks(t)` in the next sweep. The edge
+/// set relaxes nothing, so batched execution is bit-identical to `k`
+/// eager sweeps (enforced by `tests/engine_equiv.rs`).
+#[derive(Debug)]
+pub struct SweepGraph {
+    tasks: Arc<TaskGraph>,
+    sweeps: usize,
+    /// CSR of cross-sweep successor lists: task `t` of sweep `s`
+    /// releases tasks `cross[cross_ptr[t]..cross_ptr[t + 1]]` of sweep
+    /// `s + 1`. Each list is `pred_tasks(t)` ascending followed by `t`
+    /// itself (predecessors all precede `t`, so the list is sorted).
+    cross_ptr: Vec<usize>,
+    cross: Vec<u32>,
+}
+
+impl SweepGraph {
+    /// Chains `sweeps` copies of `tasks` with cross-sweep edges. The
+    /// cross CSR is the transpose of the intra-sweep successor CSR plus
+    /// a self edge per task — `O(n_tasks + edges)`, built once and
+    /// memoized per `(grain, sweeps)` by [`ScheduleBundle::sweep_graph`].
+    ///
+    /// # Panics
+    /// Panics if `sweeps` is zero.
+    pub fn build(tasks: Arc<TaskGraph>, sweeps: usize) -> Self {
+        assert!(sweeps >= 1, "a sweep batch holds at least one sweep");
+        let n = tasks.num_tasks();
+        let mut cross_ptr = vec![0usize; n + 1];
+        for t in 0..n {
+            cross_ptr[t + 1] = cross_ptr[t] + tasks.in_degree(t) as usize + 1;
+        }
+        let mut cross = vec![0u32; cross_ptr[n]];
+        let mut fill = cross_ptr.clone();
+        for t in 0..n {
+            // Transposing in ascending `t` order fills each list's
+            // predecessor prefix ascending; the reserved last slot
+            // takes the self edge below.
+            for &s in tasks.successors(t) {
+                cross[fill[s as usize]] = t as u32;
+                fill[s as usize] += 1;
+            }
+        }
+        for t in 0..n {
+            cross[cross_ptr[t + 1] - 1] = t as u32;
+        }
+        SweepGraph {
+            tasks,
+            sweeps,
+            cross_ptr,
+            cross,
+        }
+    }
+
+    /// The per-sweep task partition the batch replicates.
+    pub fn tasks(&self) -> &Arc<TaskGraph> {
+        &self.tasks
+    }
+
+    /// Number of sweeps fused into the DAG.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Tasks per sweep.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.num_tasks()
+    }
+
+    /// Total nodes (`sweeps × tasks per sweep`).
+    pub fn num_nodes(&self) -> usize {
+        self.sweeps * self.tasks.num_tasks()
+    }
+
+    /// Linearized node id of `(sweep, task)`.
+    pub fn node(&self, sweep: usize, task: usize) -> usize {
+        sweep * self.tasks.num_tasks() + task
+    }
+
+    /// Inverse of [`Self::node`]: the `(sweep, task)` pair of a node.
+    pub fn split(&self, node: usize) -> (usize, usize) {
+        let n = self.tasks.num_tasks();
+        (node / n, node % n)
+    }
+
+    /// In-degree of `(sweep, task)`: the intra-sweep predecessor count,
+    /// plus `1 + out_degree(task)` cross-sweep predecessors
+    /// (`{task} ∪ succ_tasks(task)` of the previous sweep) for every
+    /// sweep but the first.
+    pub fn in_degree(&self, sweep: usize, task: usize) -> u32 {
+        let intra = self.tasks.in_degree(task);
+        if sweep == 0 {
+            intra
+        } else {
+            intra + 1 + self.tasks.out_degree(task)
+        }
+    }
+
+    /// Same-sweep successor tasks of `task`, ascending.
+    pub fn intra_successors(&self, task: usize) -> &[u32] {
+        self.tasks.successors(task)
+    }
+
+    /// Next-sweep successor tasks of `task` (`pred_tasks(task)`
+    /// ascending, then `task` itself). Empty by construction only for
+    /// graphs with zero tasks.
+    pub fn cross_successors(&self, task: usize) -> &[u32] {
+        &self.cross[self.cross_ptr[task]..self.cross_ptr[task + 1]]
+    }
+
+    /// Roots of the fused DAG: the sweep-0 task roots (every node of a
+    /// later sweep has at least its cross self-edge pending).
+    pub fn roots(&self) -> Vec<u32> {
+        self.tasks.roots()
     }
 }
 
@@ -353,7 +500,14 @@ pub struct ScheduleBundle {
     /// depends on the executing pool's worker count, so one bundle can
     /// serve several pools).
     tasks: Mutex<Vec<(usize, Arc<TaskGraph>)>>,
+    /// Sweep-extended graphs, memoized per `(grain, sweeps)` the same
+    /// way — batched drains re-run every batch and must not rebuild the
+    /// cross-sweep CSR per call.
+    sweep_graphs: Mutex<SweepGraphMemo>,
 }
+
+/// Memo entries of [`ScheduleBundle::sweep_graph`], keyed `(grain, sweeps)`.
+type SweepGraphMemo = Vec<((usize, usize), Arc<SweepGraph>)>;
 
 impl ScheduleBundle {
     /// The coarsened task partition of [`Self::graph`] for `grain`,
@@ -366,6 +520,28 @@ impl ScheduleBundle {
         }
         let built = Arc::new(TaskGraph::build(&self.graph, grain));
         memo.push((grain, Arc::clone(&built)));
+        built
+    }
+
+    /// The sweep-extended graph fusing `sweeps` copies of the `grain`
+    /// partition, built on first use and memoized per `(grain, sweeps)`
+    /// (batched solver iterations hit the memo, exactly like the
+    /// per-grain [`Self::task_graph`] memo they build on).
+    pub fn sweep_graph(&self, grain: usize, sweeps: usize) -> Arc<SweepGraph> {
+        let key = (grain, sweeps);
+        let memo = self.sweep_graphs.lock().unwrap();
+        if let Some((_, hit)) = memo.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(hit);
+        }
+        drop(memo);
+        // Build outside the lock: task_graph takes its own lock, and the
+        // cross-CSR transpose can be long enough to block other pools.
+        let built = Arc::new(SweepGraph::build(self.task_graph(grain), sweeps));
+        let mut memo = self.sweep_graphs.lock().unwrap();
+        if let Some((_, hit)) = memo.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(hit);
+        }
+        memo.push((key, Arc::clone(&built)));
         built
     }
 }
@@ -400,6 +576,7 @@ pub fn schedule_bundle(grid: &[usize], deps: &[Offset]) -> Arc<ScheduleBundle> {
         csr,
         graph: Arc::new(BlockGraph::build(grid, deps)),
         tasks: Mutex::new(Vec::new()),
+        sweep_graphs: Mutex::new(Vec::new()),
     });
     if map.len() >= CACHE_CAP {
         map.clear();
@@ -571,6 +748,82 @@ mod tests {
                 assert_eq!(t.roots(), g.roots());
             }
         }
+    }
+
+    #[test]
+    fn sweep_graph_edges_match_the_lu_split() {
+        // 3x3 GS grid at grain 1: cross-sweep successors of task t must
+        // be pred(t) ∪ {t}, cross in-degree 1 + outdeg(t), and every
+        // list ascending with t last.
+        let g = BlockGraph::build(&[3, 3], &[vec![-1, 0], vec![0, -1]]);
+        let t = Arc::new(TaskGraph::build(&g, 1));
+        let s = SweepGraph::build(Arc::clone(&t), 3);
+        assert_eq!(s.sweeps(), 3);
+        assert_eq!(s.num_nodes(), 27);
+        for task in 0..t.num_tasks() {
+            let cross = s.cross_successors(task);
+            let mut want: Vec<u32> = g.predecessors(task).to_vec();
+            want.push(task as u32);
+            assert_eq!(cross, want.as_slice(), "cross succ of {task}");
+            assert!(cross.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(s.in_degree(0, task), t.in_degree(task));
+            assert_eq!(
+                s.in_degree(1, task),
+                t.in_degree(task) + 1 + t.out_degree(task)
+            );
+        }
+        // Handshake: total cross out-edges == total cross in-edges.
+        let out: usize = (0..t.num_tasks()).map(|x| s.cross_successors(x).len()).sum();
+        let inn: usize = (0..t.num_tasks())
+            .map(|x| (s.in_degree(1, x) - t.in_degree(x)) as usize)
+            .sum();
+        assert_eq!(out, inn);
+        assert_eq!(out, t.num_tasks() + g.num_edges());
+        // Roots live only in sweep 0.
+        assert_eq!(s.roots(), vec![0]);
+        assert_eq!(s.split(s.node(2, 5)), (2, 5));
+    }
+
+    #[test]
+    fn sweep_graph_node_order_is_topological() {
+        // Every edge of the fused DAG must point to a higher node id:
+        // intra edges stay in-sweep toward higher tasks, cross edges
+        // land in the next sweep.
+        let g = BlockGraph::build(&[4, 3, 2], &[vec![-1, 0, 0], vec![0, -1, 0], vec![0, 0, -1]]);
+        for grain in [1usize, 2] {
+            let t = Arc::new(TaskGraph::build(&g, grain));
+            let s = SweepGraph::build(Arc::clone(&t), 4);
+            for sweep in 0..s.sweeps() {
+                for task in 0..s.num_tasks() {
+                    let me = s.node(sweep, task);
+                    for &x in s.intra_successors(task) {
+                        assert!(s.node(sweep, x as usize) > me);
+                    }
+                    if sweep + 1 < s.sweeps() {
+                        for &x in s.cross_successors(task) {
+                            assert!(s.node(sweep + 1, x as usize) > me);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_memoizes_sweep_graphs_per_grain_and_depth() {
+        let grid = [5usize, 5];
+        let deps = vec![vec![-1i64, 0], vec![0, -1]];
+        let bundle = schedule_bundle(&grid, &deps);
+        let a = bundle.sweep_graph(2, 4);
+        let b = bundle.sweep_graph(2, 4);
+        assert!(Arc::ptr_eq(&a, &b), "same (grain, k) must hit the memo");
+        assert!(
+            Arc::ptr_eq(a.tasks(), &bundle.task_graph(2)),
+            "sweep graph must share the memoized task partition"
+        );
+        let c = bundle.sweep_graph(2, 2);
+        assert_eq!(c.sweeps(), 2);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

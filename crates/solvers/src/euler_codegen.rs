@@ -15,7 +15,8 @@
 //! (`n_v = 5` fields, one auxiliary tensor carrying the frozen state `W`).
 
 use instencil_core::ops::{
-    build_face_iterator, build_pointwise, build_stencil, PointwiseSpec, StencilSpec, StencilYield,
+    build_face_iterator, build_pointwise, build_stencil, PointwiseSpec, StencilRegionView,
+    StencilSpec, StencilYield,
 };
 use instencil_ir::{FuncBuilder, Module, OpCode, Type, ValueId};
 use instencil_pattern::{StencilPattern, Sweep};
@@ -152,6 +153,34 @@ fn emit_offdiag(
     out
 }
 
+/// Emits the forward-sweep region — `ΔW*_c = D⁻¹·(g_c − Σ_{j∈L}
+/// off-diag_j)` with the frozen-state diagonal of `emit_inv_diag` —
+/// shared by the full [`euler_lusgs_module`] step and the
+/// repeated-relaxation [`euler_lusgs_sweep_module`] kernel.
+fn emit_forward_yield(fb: &mut FuncBuilder, view: &StencilRegionView, dt: f64) -> StencilYield {
+    let layout = view.layout().clone();
+    let center = layout.center_index();
+    let wc: Vec<ValueId> = (0..NV).map(|v| view.aux(center, 0, v)).collect();
+    let inv_d = emit_inv_diag(fb, &wc, dt);
+    let zero = fb.const_f64(0.0);
+    let mut contribs: Vec<Vec<ValueId>> = Vec::with_capacity(layout.offsets.len());
+    for (o, r) in layout.offsets.clone().iter().enumerate() {
+        if o == center {
+            contribs.push(vec![zero; NV]);
+            continue;
+        }
+        let axis = r.iter().position(|&x| x != 0).unwrap();
+        let w_j: Vec<ValueId> = (0..NV).map(|v| view.aux(o, 0, v)).collect();
+        let dw_j: Vec<ValueId> = (0..NV).map(|v| view.state(o, v)).collect();
+        let od = emit_offdiag(fb, &w_j, &dw_j, axis, 1.0);
+        contribs.push(od.to_vec());
+    }
+    StencilYield {
+        d: vec![inv_d; NV],
+        contribs,
+    }
+}
+
 /// The LU-SGS stencil pattern: `L = {−e_d}`, `U = ∅` (pure lower sweep).
 pub fn lusgs_pattern() -> StencilPattern {
     StencilPattern::from_sets(
@@ -198,27 +227,7 @@ pub fn euler_lusgs_module(dt: f64) -> Module {
         sweep: Sweep::Forward,
     };
     let dw1 = build_stencil(&mut fb, dw, b, &[w], dw, &fwd_spec, |fb, view| {
-        let layout = view.layout().clone();
-        let center = layout.center_index();
-        let wc: Vec<ValueId> = (0..NV).map(|v| view.aux(center, 0, v)).collect();
-        let inv_d = emit_inv_diag(fb, &wc, dt);
-        let zero = fb.const_f64(0.0);
-        let mut contribs: Vec<Vec<ValueId>> = Vec::with_capacity(layout.offsets.len());
-        for (o, r) in layout.offsets.clone().iter().enumerate() {
-            if o == center {
-                contribs.push(vec![zero; NV]);
-                continue;
-            }
-            let axis = r.iter().position(|&x| x != 0).unwrap();
-            let w_j: Vec<ValueId> = (0..NV).map(|v| view.aux(o, 0, v)).collect();
-            let dw_j: Vec<ValueId> = (0..NV).map(|v| view.state(o, v)).collect();
-            let od = emit_offdiag(fb, &w_j, &dw_j, axis, 1.0);
-            contribs.push(od.to_vec());
-        }
-        StencilYield {
-            d: vec![inv_d; NV],
-            contribs,
-        }
+        emit_forward_yield(fb, view, dt)
     });
 
     // 3. Zero tensor for the backward sweep's B (alloc is zero-filled).
@@ -293,6 +302,41 @@ pub fn euler_lusgs_module(dt: f64) -> Module {
     let w2 = build_pointwise(&mut fb, &[w, dw2], w, &upd, |fb, a| fb.addf(a[0], a[1]));
 
     fb.ret(vec![w2, dw2, b]);
+    module.push_func(fb.finish());
+    module
+}
+
+/// The repeated-relaxation LU-SGS kernel: *one* forward sweep,
+/// `lusgs_sweep(dW, B, W) -> dW'`, relaxing `ΔW` in place against a
+/// frozen residual `B` and frozen state `W` (the inner smoothing
+/// iteration of sub-iterated implicit schemes, run many times between
+/// coefficient refreshes). Unlike the multi-phase [`euler_lusgs_module`]
+/// step — whose tape interleaves face iterators, two sweeps and a
+/// pointwise update, so consecutive *steps* can never fuse — this
+/// lowers to pure view set-up followed by a single trailing wavefront
+/// sweep, exactly the shape the cross-sweep batcher fuses; it is the
+/// multi-sweep LU-SGS case of the temporal bench section.
+pub fn euler_lusgs_sweep_module(dt: f64) -> Module {
+    let t5 = Type::tensor_dyn(Type::F64, 4);
+    let mut module = Module::new("euler_lusgs_sweep");
+    let mut fb = FuncBuilder::new(
+        "lusgs_sweep",
+        vec![t5.clone(), t5.clone(), t5.clone()],
+        vec![t5],
+    );
+    let dw = fb.arg(0);
+    let b = fb.arg(1);
+    let w = fb.arg(2);
+    let fwd_spec = StencilSpec {
+        pattern: lusgs_pattern(),
+        nb_var: NV,
+        n_aux: 1,
+        sweep: Sweep::Forward,
+    };
+    let dw1 = build_stencil(&mut fb, dw, b, &[w], dw, &fwd_spec, |fb, view| {
+        emit_forward_yield(fb, view, dt)
+    });
+    fb.ret(vec![dw1]);
     module.push_func(fb.finish());
     module
 }

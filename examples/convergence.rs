@@ -8,6 +8,9 @@
 //! cargo run --release --example convergence
 //! ```
 
+use std::time::Instant;
+
+use instencil::prelude::*;
 use instencil::solvers::array::Field;
 use instencil::solvers::colored::{
     count_sweeps, nine_point_gs_sweep, nine_point_redblack_sweep, poisson_redblack_sweep,
@@ -86,4 +89,66 @@ fn main() {
     );
     assert!(gs * 2 <= jacobi + gs, "GS must be ~2x Jacobi");
     assert!(rb9 > gs9);
+
+    // --- The driver path: the same SOR solve through the generated
+    // kernel, eager vs temporally batched (DESIGN.md §4j). "Before"
+    // reproduces the pre-batching driver: one engine call per sweep
+    // plus a separate full-grid residual pass (compare, then snapshot
+    // copy) every sweep. "After" is `run_until_converged`: fused
+    // batches of DEFAULT_SWEEP_BATCH sweeps drained over the
+    // sweep-extended graph, residual folded into one compare-and-
+    // refresh pass at each batch boundary. Convergence may land on a
+    // batch multiple — the batched drive trades a few extra sweeps
+    // for k-fold fewer dispatches and residual passes.
+    let module = kernels::sor_module(omega);
+    let compiled = instencil::core::pipeline::compile(
+        &module,
+        &PipelineOptions::tr2(vec![8, 8], vec![4, 4]),
+    )
+    .expect("sor compiles");
+    let shape = [1usize, n, n];
+    let init = || {
+        let u = BufferView::from_data(&shape, boundary_one(n).data().to_vec());
+        let b = BufferView::alloc(&shape);
+        vec![u, b]
+    };
+
+    let bufs = init();
+    let args: Vec<RtVal> = bufs.iter().cloned().map(RtVal::Buf).collect();
+    let mut runner = Runner::new(&compiled.module, Engine::Bytecode, 1).unwrap();
+    let t0 = Instant::now();
+    let mut prev = bufs[0].to_vec();
+    let mut eager_sweeps = cap;
+    for it in 1..=cap {
+        runner.call("sor", args.clone()).unwrap();
+        let data = bufs[0].to_vec();
+        let delta = data
+            .iter()
+            .zip(prev.iter())
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        prev.copy_from_slice(&data);
+        if delta < tol {
+            eager_sweeps = it;
+            break;
+        }
+    }
+    let eager_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let bufs = init();
+    let t0 = Instant::now();
+    let batched_sweeps =
+        run_until_converged(&compiled.module, "sor", &bufs, 0, tol, cap).unwrap();
+    let batched_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "\ncompiled SOR driver: eager {eager_sweeps} sweeps in {eager_ms:.2} ms, \
+         batched (depth {DEFAULT_SWEEP_BATCH}) {batched_sweeps} sweeps in \
+         {batched_ms:.2} ms ({:.2}x)",
+        eager_ms / batched_ms
+    );
+    assert!(eager_sweeps < cap && batched_sweeps < cap, "both must converge");
+    assert!(
+        batched_sweeps >= eager_sweeps,
+        "batch-boundary checks cannot converge earlier than per-sweep checks"
+    );
 }

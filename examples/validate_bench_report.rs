@@ -87,9 +87,50 @@ fn main() {
             events.len()
         );
     }
+    // The bench's traced run drains its sweeps as one fused batch, so
+    // the committed report must carry the cross-sweep schema: wavefront
+    // groups count the sweeps they aggregate (>= 2 somewhere — a report
+    // with only `sweeps: 1` groups predates temporal batching) and
+    // trace events are tagged with their sweep lane.
+    let mut batched_groups = 0usize;
+    if let Some(wavefronts) = report.get("wavefronts").and_then(|w| w.as_arr()) {
+        for group in wavefronts {
+            let sweeps = group
+                .get("sweeps")
+                .and_then(|s| s.as_f64())
+                .unwrap_or_else(|| panic!("{report_path}: wavefront group lacks numeric `sweeps`"));
+            assert!(sweeps >= 1.0, "{report_path}: group aggregates no sweeps");
+            if sweeps >= 2.0 {
+                batched_groups += 1;
+            }
+        }
+    }
+    assert!(
+        batched_groups > 0,
+        "{report_path}: no wavefront group aggregates a fused sweep batch \
+         (sweeps >= 2) — regenerate with the engines bench"
+    );
+    let mut sweep_tagged = 0usize;
+    for lane in lanes {
+        for e in lane.get("events").and_then(|e| e.as_arr()).unwrap() {
+            let sweep = e
+                .get("sweep")
+                .and_then(|s| s.as_f64())
+                .unwrap_or_else(|| panic!("{report_path}: trace event lacks numeric `sweep`"));
+            if sweep >= 1.0 {
+                sweep_tagged += 1;
+            }
+        }
+    }
+    assert!(
+        sweep_tagged > 0,
+        "{report_path}: no trace event carries a sweep tag — the batched \
+         drain must stamp per-sweep task events"
+    );
     println!(
         "{report_path}: schema OK ({workers_checked} worker records carry steal/fusion \
-         counters; {} histogram(s), {} trace lane(s))",
+         counters; {} histogram(s), {} trace lane(s), {batched_groups} batched group(s), \
+         {sweep_tagged} sweep-tagged event(s))",
         histograms.len(),
         lanes.len()
     );
@@ -159,8 +200,30 @@ fn main() {
             }
         }
     }
+    // The temporal-tiling section must cover eager plus every measured
+    // batch depth on both multi-sweep cases, and the stored LU-SGS
+    // numbers must not contradict the bench's temporal gate: the best
+    // batched depth beats eager by >= 1.1x (<= 0.9x the time) on the
+    // coarse case, or the stored rows predate a batching regression.
+    for case in ["lusgs-sweep", "sor-tr2"] {
+        for suffix in ["eager", "k1", "k2", "k4", "k8"] {
+            ns_of("temporal", &format!("{case}@{suffix}"));
+        }
+    }
+    let eager = ns_of("temporal", "lusgs-sweep@eager");
+    let best = ["k1", "k2", "k4", "k8"]
+        .iter()
+        .map(|k| ns_of("temporal", &format!("lusgs-sweep@{k}")))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best <= eager * 0.9,
+        "{bench_path}: stored temporal rows show batched LU-SGS at best \
+         {best:.1} ns/point.sweep vs eager {eager:.1} — under the 1.1x \
+         amortization bar; regenerate with the engines bench"
+    );
     println!(
-        "{bench_path}: {} rows OK (vf rows beat scalar, scaling matrix complete)",
+        "{bench_path}: {} rows OK (vf rows beat scalar, scaling matrix complete, \
+         temporal section gated)",
         rows.len()
     );
 }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use instencil::exec::WavefrontPool;
 use instencil::obs::Obs;
-use instencil::pattern::dataflow::{BlockGraph, Scheduler};
+use instencil::pattern::dataflow::{schedule_bundle, BlockGraph, Scheduler};
 use instencil_testkit::{check_n, Rng};
 
 /// A random grid of rank 2 or 3 with extents in `[1, 6]`.
@@ -40,6 +40,88 @@ fn random_deps(rng: &mut Rng, rank: usize) -> Vec<Vec<i64>> {
         }
     }
     deps
+}
+
+/// The sweep-extended graph edition: batched drains must order block
+/// `b` of sweep `s+1` after its *cross-sweep* predecessors — `b` itself
+/// (anti dependence: sweep `s+1` overwrites what sweep `s` wrote) and
+/// every lex-forward successor of `b` (flow dependence: those blocks
+/// read `b`'s old values during sweep `s`) — on top of the usual
+/// intra-sweep Eq. (3) ordering, at every worker count and batch depth.
+#[test]
+fn sweep_batch_never_runs_a_block_before_its_cross_sweep_predecessors() {
+    check_n("sweep-batch-trace-ordering", 12, |rng| {
+        let grid = random_grid(rng);
+        let deps = random_deps(rng, grid.len());
+        let graph = BlockGraph::build(&grid, &deps);
+        let n = graph.num_blocks();
+        let bundle = schedule_bundle(&grid, &deps);
+        for threads in [1usize, 2, 4, 8] {
+            for sweeps in [2usize, 4] {
+                let total = n * sweeps;
+                let clock = AtomicU64::new(1);
+                let starts: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+                let ends: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+                let runs: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+                let pool = WavefrontPool::with_opts(threads, Obs::off(), Scheduler::Dataflow);
+                pool.try_execute_sweep_batch(
+                    &bundle,
+                    sweeps,
+                    || (),
+                    |_, s, b| {
+                        let nd = s * n + b;
+                        starts[nd].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                        runs[nd].fetch_add(1, Ordering::SeqCst);
+                        ends[nd].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                        Ok::<(), std::convert::Infallible>(())
+                    },
+                    |()| {},
+                )
+                .expect("infallible work cannot error");
+                let label = format!(
+                    "grid {grid:?} deps {deps:?} threads {threads} sweeps {sweeps}"
+                );
+                for s in 0..sweeps {
+                    for b in 0..n {
+                        let nd = s * n + b;
+                        assert_eq!(
+                            runs[nd].load(Ordering::SeqCst),
+                            1,
+                            "{label}: block {b} of sweep {s} must run exactly once"
+                        );
+                        let start = starts[nd].load(Ordering::SeqCst);
+                        for &p in graph.predecessors(b) {
+                            let pred_end = ends[s * n + p as usize].load(Ordering::SeqCst);
+                            assert!(
+                                pred_end < start,
+                                "{label}: block {b} of sweep {s} ran before its \
+                                 intra-sweep predecessor {p} finished"
+                            );
+                        }
+                        if s > 0 {
+                            let self_end = ends[(s - 1) * n + b].load(Ordering::SeqCst);
+                            assert!(
+                                self_end < start,
+                                "{label}: block {b} of sweep {s} ran before its own \
+                                 sweep-{} instance finished (anti dependence)",
+                                s - 1
+                            );
+                            for &q in graph.successors(b) {
+                                let q_end =
+                                    ends[(s - 1) * n + q as usize].load(Ordering::SeqCst);
+                                assert!(
+                                    q_end < start,
+                                    "{label}: block {b} of sweep {s} ran before forward \
+                                     neighbor {q} of sweep {} finished (flow dependence)",
+                                    s - 1
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
 }
 
 #[test]

@@ -107,6 +107,108 @@ fn check_all_engines(
     }
 }
 
+/// Runs `total` identical in-place sweeps with batch depth 1 (eager —
+/// every chunk is a plain `Runner::call`) and with depths 2 and 4
+/// (fused drains over the sweep-extended graph), asserting bit- and
+/// counter-identity across both schedulers and every thread count.
+/// `mk_bufs` builds a fresh deterministic buffer set per run.
+fn check_batched_matches_eager(
+    module: &Module,
+    func: &str,
+    mk_bufs: &dyn Fn() -> Vec<BufferView>,
+    total: usize,
+    what: &str,
+) {
+    for threads in THREAD_COUNTS {
+        for scheduler in SCHEDULERS {
+            let run = |batch: usize| {
+                let bufs = mk_bufs();
+                let mut runner =
+                    Runner::with_opts(module, Engine::Bytecode, threads, scheduler, Obs::off())
+                        .unwrap();
+                assert!(runner.supports_sweep_batching(), "{what}: lowered module");
+                let args: Vec<RtVal> = bufs.iter().cloned().map(RtVal::Buf).collect();
+                let mut done = 0usize;
+                while done < total {
+                    let k = batch.min(total - done);
+                    runner.call_sweeps(func, args.clone(), k).unwrap();
+                    done += k;
+                }
+                (bufs[0].to_vec(), runner.stats())
+            };
+            let (expect, stats_eager) = run(1);
+            for k in [2usize, 4] {
+                let (got, stats_batched) = run(k);
+                let label = format!(
+                    "{what} batched k={k} scheduler={} threads={threads}",
+                    scheduler.name()
+                );
+                assert_bits_equal(&expect, &got, &label);
+                assert_eq!(
+                    stats_eager, stats_batched,
+                    "{label}: batching must not change counters"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sor_batched_sweeps_match_eager() {
+    let module = kernels::sor_module(1.5);
+    let shape = [1usize, 17, 17];
+    let compiled =
+        compile(&module, &PipelineOptions::tr2(vec![4, 4], vec![2, 2])).expect("sor compiles");
+    check_batched_matches_eager(
+        &compiled.module,
+        "sor",
+        &|| vec![seeded(&shape), seeded(&shape)],
+        4,
+        "sor tr2",
+    );
+}
+
+#[test]
+fn gs5_batched_sweeps_match_eager() {
+    let module = kernels::gauss_seidel_5pt_module();
+    let shape = [1usize, 18, 18];
+    let compiled =
+        compile(&module, &PipelineOptions::tr4(vec![8, 8], vec![4, 4])).expect("gs5 compiles");
+    check_batched_matches_eager(
+        &compiled.module,
+        "gs5",
+        &|| vec![seeded(&shape), seeded(&shape)],
+        4,
+        "gs5 tr4",
+    );
+}
+
+#[test]
+fn lusgs_batched_sweeps_match_eager() {
+    // Pure repeated sweeps over fixed dw/b (no per-step refills): the
+    // fused batch models exactly this repeated-sweep iteration — block
+    // `b` of sweep `s+1` may start as soon as its sweep-`s` forward
+    // neighborhood retires, with no host code between sweeps.
+    let module = euler_lusgs_module(0.05);
+    let n = 10usize;
+    let shape = [NV, n, n, n];
+    let compiled = compile(&module, &PipelineOptions::new(vec![4, 4, 4], vec![2, 2, 2]))
+        .expect("euler compiles");
+    check_batched_matches_eager(
+        &compiled.module,
+        "euler_step",
+        &|| {
+            let w0 = vortex_initial(n);
+            let w = BufferView::from_data(&shape, w0.data().to_vec());
+            let dw = BufferView::alloc(&shape);
+            let b = BufferView::alloc(&shape);
+            vec![w, dw, b]
+        },
+        4,
+        "lusgs",
+    );
+}
+
 #[test]
 fn sor_engines_match_on_every_preset() {
     let module = kernels::sor_module(1.5);
